@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (table/figure) or one added
+performance experiment, asserts the qualitative "shape" the paper reports,
+and times the regeneration with pytest-benchmark.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def assert_result():
+    """Common sanity checks for an ExperimentResult."""
+
+    def check(result, expected_id, min_rows=1):
+        assert result.experiment_id == expected_id
+        assert len(result.rows) >= min_rows
+        assert result.columns
+        assert result.to_text()
+        return result
+
+    return check

@@ -1,0 +1,16 @@
+"""F1 — the Figure 1 grammar accepts and round-trips the paper's triggers."""
+
+from repro.bench import figure1_grammar
+
+
+def test_figure1_grammar(benchmark, assert_result):
+    result = benchmark(figure1_grammar)
+    assert_result(result, "F1", min_rows=7)
+    # every paper trigger parses and survives an unparse/reparse round trip
+    assert all(result.column("round_trip_stable"))
+    by_name = {row["trigger"]: row for row in result.rows}
+    assert by_name["NewCriticalMutation"]["event"] == "CREATE"
+    assert by_name["NewCriticalLineage"]["item"] == "RELATIONSHIP"
+    assert by_name["WhoDesignationChange"]["target"] == "Lineage.whoDesignation"
+    assert by_name["IcuPatientsOverThreshold"]["granularity"] == "ALL"
+    assert by_name["MoveToNearHospital"]["granularity"] == "EACH"

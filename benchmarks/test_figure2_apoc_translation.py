@@ -1,0 +1,20 @@
+"""F2 — syntax-directed translation from PG-Triggers to APOC triggers."""
+
+from repro.bench import figure2_apoc_translation
+
+
+def test_figure2_apoc_translation(benchmark, assert_result):
+    result = benchmark(figure2_apoc_translation)
+    assert_result(result, "F2", min_rows=11)
+    rows = {row["trigger"]: row for row in result.rows}
+    # Figure 2's worked case: node creation unwinds $createdNodes
+    assert rows["NewCriticalMutation"]["unwind_parameter"] == "createdNodes"
+    # all ten event kinds are covered and map to distinct metadata parameters
+    assert rows["DeleteNode"]["unwind_parameter"] == "deletedNodes"
+    assert rows["CreateRel"]["unwind_parameter"] == "createdRelationships"
+    assert rows["SetNodeProp"]["unwind_parameter"] == "assignedNodeProperties"
+    assert rows["RemoveRelProp"]["unwind_parameter"] == "removedRelProperties"
+    assert rows["SetLabelOnNode"]["unwind_parameter"] == "assignedLabels"
+    # every translation uses apoc.do.when and the afterAsync phase
+    assert all(row["uses_do_when"] for row in result.rows)
+    assert all(row["phase"] == "afterAsync" for row in result.rows)

@@ -1,0 +1,17 @@
+"""F3 — syntax-directed translation from PG-Triggers to Memgraph triggers."""
+
+from repro.bench import figure3_memgraph_translation
+
+
+def test_figure3_memgraph_translation(benchmark, assert_result):
+    result = benchmark(figure3_memgraph_translation)
+    assert_result(result, "F3", min_rows=11)
+    rows = {row["trigger"]: row for row in result.rows}
+    assert rows["NewCriticalMutation"]["source_variable"] == "createdVertices"
+    assert rows["CreateRel"]["source_variable"] == "createdEdges"
+    assert rows["SetNodeProp"]["source_variable"] == "setVertexProperties"
+    assert rows["DeleteNode"]["on_clause"] == "ON () DELETE"
+    assert rows["DeleteRel"]["on_clause"] == "ON --> DELETE"
+    # Figure 3's shape: every translation expresses the condition as a CASE
+    assert all(row["uses_case"] for row in result.rows)
+    assert all(row["phase"] in ("AFTER COMMIT", "BEFORE COMMIT") for row in result.rows)

@@ -1,0 +1,21 @@
+"""F4/F5 — the CoV2K PG-Schema and a conforming synthetic population."""
+
+from repro.bench import figure45_cov2k_schema
+
+
+def test_figure45_cov2k_schema(benchmark, assert_result):
+    result = benchmark(figure45_cov2k_schema)
+    assert_result(result, "F45", min_rows=15)
+    node_types = {row["name"] for row in result.rows if row["kind"] == "node type"}
+    edge_types = {row["name"] for row in result.rows if row["kind"] == "edge type"}
+    # Figure 4's entity and relationship types are all present
+    assert {"Mutation", "Sequence", "Lineage", "Patient", "HospitalizedPatient",
+            "IcuPatient", "Hospital", "Region", "Laboratory", "CriticalEffect"} <= node_types
+    assert {"Risk", "FoundIn", "BelongsTo", "TreatedAt", "LocatedIn", "ConnectedTo",
+            "HasSample", "SequencedAt"} <= edge_types
+    # the type hierarchy of Figure 4 is reflected
+    hierarchy = {row["name"]: row["supertype"] for row in result.rows if row["kind"] == "node type"}
+    assert hierarchy["HospitalizedPatient"] == "Patient"
+    assert hierarchy["IcuPatient"] == "HospitalizedPatient"
+    # the generated population conforms to the schema
+    assert any("schema violations in generated population: 0" in note for note in result.notes)

@@ -1,0 +1,19 @@
+"""P4 (added) — the same trigger and workload through all three execution routes."""
+
+from repro.bench import perf_compat_routes
+
+
+def test_perf_compat_routes(benchmark, assert_result):
+    result = benchmark.pedantic(
+        lambda: perf_compat_routes(admissions=25), rounds=1, iterations=1
+    )
+    assert_result(result, "P4", min_rows=3)
+    rows = {row["route"]: row for row in result.rows}
+    alerts = {row["alerts"] for row in result.rows}
+    # all three routes produce the same number of alerts on this workload
+    assert len(alerts) == 1
+    assert alerts.pop() > 0
+    # only the native engine supports cascading (the paper's Section 5 finding)
+    assert rows["PG-Trigger engine"]["cascading_supported"] is True
+    assert rows["APOC emulation (afterAsync)"]["cascading_supported"] is False
+    assert rows["Memgraph emulation (after commit)"]["cascading_supported"] is False

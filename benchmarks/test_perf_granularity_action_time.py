@@ -1,0 +1,21 @@
+"""P3 (added) — FOR EACH vs FOR ALL and the action-time options."""
+
+from repro.bench import perf_granularity_action_time
+
+
+def test_perf_granularity_action_time(benchmark, assert_result):
+    result = benchmark.pedantic(
+        lambda: perf_granularity_action_time(batch_sizes=(1, 10), admissions=30),
+        rounds=1,
+        iterations=1,
+    )
+    assert_result(result, "P3", min_rows=8)
+    rows = {(row["batch_size"], row["configuration"]): row for row in result.rows}
+    # FOR EACH produces one audit entry per admitted patient, FOR ALL one per statement
+    assert rows[(10, "FOR EACH / AFTER")]["audit_entries"] == 30
+    assert rows[(10, "FOR ALL / AFTER")]["audit_entries"] == 3
+    # with batch size 1 the two granularities coincide
+    assert rows[(1, "FOR EACH / AFTER")]["audit_entries"] == rows[(1, "FOR ALL / AFTER")]["audit_entries"]
+    # ONCOMMIT and DETACHED produce the same effects as AFTER for this workload
+    assert rows[(10, "FOR EACH / ONCOMMIT")]["audit_entries"] == 30
+    assert rows[(10, "FOR EACH / DETACHED")]["audit_entries"] == 30

@@ -1,0 +1,23 @@
+"""S62 — the paper's Section 6.2 trigger suite over the COVID workloads."""
+
+from repro.bench import section62_trigger_suite
+
+
+def test_section62_trigger_suite(benchmark, assert_result):
+    result = benchmark(section62_trigger_suite)
+    assert_result(result, "S62", min_rows=6)
+    rows = {row["trigger"]: row for row in result.rows}
+    # the three simple reaction triggers of Section 6.2.1 fire
+    assert rows["NewCriticalMutation"]["executed"] > 0
+    assert rows["NewCriticalLineage"]["executed"] > 0
+    assert rows["WhoDesignationChange"]["executed"] > 0
+    # harmless mutations / non-critical lineages are suppressed by the conditions
+    assert rows["NewCriticalMutation"]["suppressed"] > 0
+    assert rows["NewCriticalLineage"]["suppressed"] > 0
+    # the set-granularity ICU triggers both evaluate; the increase trigger fires
+    assert rows["IcuPatientIncrease"]["executed"] > 0
+    assert rows["IcuPatientMove"]["executed"] > 0
+    # the installed suite is statically terminating
+    assert any("termination guaranteed" in note for note in result.notes)
+    # alerts were produced overall
+    assert any("total alerts produced" in note for note in result.notes)

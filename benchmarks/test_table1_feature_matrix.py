@@ -1,0 +1,17 @@
+"""T1 — regenerate Table 1 (reactive support across graph databases)."""
+
+from repro.bench import table1_feature_matrix
+
+
+def test_table1_feature_matrix(benchmark, assert_result):
+    result = benchmark(table1_feature_matrix)
+    assert_result(result, "T1", min_rows=15)
+    rows = {row["System"]: row for row in result.rows}
+    # the paper's headline finding: only Neo4j and Memgraph offer graph triggers
+    assert [name for name, row in rows.items() if row["Tr-G"] == "✓"] == ["Neo4j", "Memgraph"]
+    # mixed relational systems only have relational triggers
+    assert all(rows[name]["Tr-R"] == "✓" for name in ("Oracle Graph Database", "Virtuoso", "AgensGraph"))
+    # three systems offer no reactive support at all
+    bare = [name for name, row in rows.items()
+            if row["Tr-G"] == "-" and row["Tr-R"] == "-" and row["Ev-L"] == "-"]
+    assert sorted(bare) == ["GraphDB", "Nebula Graph", "TigerGraph"]

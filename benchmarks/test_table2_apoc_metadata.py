@@ -1,0 +1,13 @@
+"""T2 — the APOC transition metadata of Table 2 is fully populated."""
+
+from repro.bench import table2_apoc_metadata
+
+
+def test_table2_apoc_metadata(benchmark, assert_result):
+    result = benchmark(table2_apoc_metadata)
+    assert_result(result, "T2", min_rows=10)
+    # the ten metadata kinds of Table 2, each exercised by the sample transaction
+    assert len(result.rows) == 10
+    assert all(row["entries_in_sample"] >= 1 for row in result.rows)
+    names = result.column("statement")
+    assert "assignedNodeProperties" in names and "removedRelProperties" in names

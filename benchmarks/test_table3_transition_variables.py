@@ -1,0 +1,20 @@
+"""T3 — OLD/NEW transition variable availability per event kind (Table 3)."""
+
+from repro.bench import table3_transition_variables
+
+
+def test_table3_transition_variables(benchmark, assert_result):
+    result = benchmark(table3_transition_variables)
+    assert_result(result, "T3", min_rows=10)
+    rows = {row["event"]: row for row in result.rows}
+    # Table 3: creations expose NEW only, deletions OLD only, sets both, removes OLD only
+    assert rows["Nodes Create"]["new_available"] and not rows["Nodes Create"]["old_available"]
+    assert rows["Nodes Delete"]["old_available"] and not rows["Nodes Delete"]["new_available"]
+    assert rows["Relationships Create"]["new_available"]
+    assert rows["Relationships Delete"]["old_available"]
+    assert rows["Node Properties Set"]["old_available"] and rows["Node Properties Set"]["new_available"]
+    assert rows["Node Properties Remove"]["old_available"]
+    assert not rows["Node Properties Remove"]["new_available"]
+    assert rows["Rel Properties Set"]["new_available"]
+    # every probed event kind had at least one activation in the sample transaction
+    assert all(row["activations"] >= 1 for row in result.rows)

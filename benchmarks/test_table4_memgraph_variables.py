@@ -1,0 +1,13 @@
+"""T4 — the Memgraph predefined variables of Table 4 are fully populated."""
+
+from repro.bench import table4_memgraph_variables
+
+
+def test_table4_memgraph_variables(benchmark, assert_result):
+    result = benchmark(table4_memgraph_variables)
+    assert_result(result, "T4", min_rows=15)
+    assert len(result.rows) == 15  # the fifteen variables of Table 4
+    assert all(row["entries_in_sample"] >= 1 for row in result.rows)
+    names = result.column("variable")
+    for expected in ("createdVertices", "updatedObjects", "removedEdgeProperties"):
+        assert expected in names

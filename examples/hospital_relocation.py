@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Cascading triggers with side effects: the ICU relocation scenario (Section 6.2.3).
+
+Shows the two relocation strategies of the paper — the fixed Sacco→Meyer
+transfer (set granularity) and the move-to-nearest-hospital rule (item
+granularity) — plus the termination analysis that distinguishes the safe
+variants from the potentially non-terminating one.
+
+Run with::
+
+    python examples/hospital_relocation.py
+"""
+
+from repro.datasets import icu_patient_move, move_to_near_hospital
+from repro.triggers import GraphSession, analyse_termination, parse_trigger
+
+
+def build_hospitals(session: GraphSession) -> None:
+    session.run("CREATE (:Region {name: 'Lombardy'})")
+    session.run("CREATE (:Region {name: 'Tuscany'})")
+    session.run(
+        "MATCH (r:Region {name: 'Lombardy'}) "
+        "CREATE (:Hospital {name: 'Sacco', icuBeds: 2})-[:LocatedIn]->(r), "
+        "(:Hospital {name: 'Niguarda', icuBeds: 3})-[:LocatedIn]->(r)"
+    )
+    session.run(
+        "MATCH (r:Region {name: 'Tuscany'}) "
+        "CREATE (:Hospital {name: 'Meyer', icuBeds: 4})-[:LocatedIn]->(r)"
+    )
+    session.run(
+        "MATCH (a:Hospital {name: 'Sacco'}), (b:Hospital {name: 'Niguarda'}), "
+        "(c:Hospital {name: 'Meyer'}) "
+        "CREATE (a)-[:ConnectedTo {distance: 8}]->(b), (a)-[:ConnectedTo {distance: 280}]->(c), "
+        "(b)-[:ConnectedTo {distance: 275}]->(c)"
+    )
+
+
+def admit(session: GraphSession, hospital: str, count: int, prefix: str) -> None:
+    for index in range(count):
+        session.run(
+            "MATCH (h:Hospital {name: $hospital}) "
+            "CREATE (:Patient:HospitalizedPatient:IcuPatient {ssn: $ssn})-[:TreatedAt]->(h)",
+            {"hospital": hospital, "ssn": f"{prefix}{index}"},
+        )
+
+
+def occupancy(session: GraphSession) -> str:
+    result = session.run(
+        "MATCH (p:IcuPatient)-[:TreatedAt]->(h:Hospital) "
+        "RETURN h.name AS hospital, count(p) AS patients ORDER BY hospital"
+    )
+    return result.to_table()
+
+
+def main() -> None:
+    # --- Strategy 1: fixed transfer Sacco -> Meyer (FOR ALL NODES) ----------
+    session = GraphSession()
+    build_hospitals(session)
+    session.create_trigger(icu_patient_move(source="Sacco", destination="Meyer"))
+    admit(session, "Sacco", 4, prefix="A")
+    print("After the fixed Sacco->Meyer relocation trigger:")
+    print(occupancy(session))
+
+    # --- Strategy 2: move to the nearest connected hospital (FOR EACH NODE) --
+    session = GraphSession()
+    build_hospitals(session)
+    session.create_trigger(move_to_near_hospital(region="Lombardy"))
+    admit(session, "Sacco", 5, prefix="B")
+    print("\nAfter the move-to-nearest-hospital trigger:")
+    print(occupancy(session))
+
+    # --- Termination analysis ------------------------------------------------
+    print("\nTermination analysis (the paper's Section 6.2.3 discussion):")
+    safe = analyse_termination([parse_trigger(icu_patient_move())])
+    print(f"  IcuPatientMove alone: {safe}")
+    risky_text = """
+        CREATE TRIGGER RelocateOnArrival
+        AFTER CREATE ON 'TreatedAt'
+        FOR EACH RELATIONSHIP
+        BEGIN
+          MATCH (p:IcuPatient)-[c:TreatedAt]->(h:Hospital)-[:ConnectedTo]-(hc:Hospital)
+          DELETE c
+          CREATE (p)-[:TreatedAt]->(hc)
+        END
+    """
+    risky = analyse_termination([parse_trigger(risky_text)])
+    print(f"  unconditional relocation on TreatedAt: {risky}")
+
+
+if __name__ == "__main__":
+    main()

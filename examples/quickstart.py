@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: a property graph, a PG-Trigger, and a few updates.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.triggers import GraphSession
+
+
+def main() -> None:
+    session = GraphSession()
+
+    # 1. Build a tiny graph with plain openCypher.
+    session.run("CREATE (:Hospital {name: 'Sacco', icuBeds: 2})")
+    session.run("CREATE (:Hospital {name: 'Meyer', icuBeds: 5})")
+
+    # 2. Install a PG-Trigger (the Figure 1 syntax): every new ICU patient
+    #    at a full hospital raises an alert.
+    session.create_trigger("""
+        CREATE TRIGGER IcuCapacityWatch
+        AFTER CREATE ON 'IcuPatient'
+        FOR EACH NODE
+        WHEN
+          MATCH (NEW)-[:TreatedAt]->(h:Hospital)
+          MATCH (p:IcuPatient)-[:TreatedAt]->(h)
+          WITH h, count(DISTINCT p) AS occupancy
+          WHERE occupancy > h.icuBeds
+        BEGIN
+          CREATE (:Alert {desc: 'ICU capacity exceeded', hospital: h.name})
+        END
+    """)
+
+    # 3. Admit patients; the trigger reacts at each statement boundary.
+    for index in range(4):
+        session.run(
+            "MATCH (h:Hospital {name: 'Sacco'}) "
+            "CREATE (:Patient:HospitalizedPatient:IcuPatient {ssn: $ssn})-[:TreatedAt]->(h)",
+            {"ssn": f"P{index}"},
+        )
+
+    # 4. Inspect results: alerts created by the trigger, plus a regular query.
+    print("Alerts:")
+    for alert in session.alerts():
+        print("  ", alert)
+
+    result = session.run(
+        "MATCH (p:IcuPatient)-[:TreatedAt]->(h:Hospital) "
+        "RETURN h.name AS hospital, count(p) AS patients ORDER BY hospital"
+    )
+    print("\nICU occupancy:")
+    print(result.to_table())
+
+    print("\nTrigger firing log:")
+    for line in session.firing_log():
+        print("  ", line)
+
+
+if __name__ == "__main__":
+    main()

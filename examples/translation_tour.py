@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Translating PG-Triggers to Neo4j APOC and Memgraph (Section 5).
+
+Prints the syntax-directed translations of the paper's triggers and then
+executes them against the APOC and Memgraph emulators, showing the three
+routes produce the same alerts on the same update stream.
+
+Run with::
+
+    python examples/translation_tour.py
+"""
+
+from repro.compat import (
+    ApocEmulator,
+    MemgraphEmulator,
+    render_table1,
+    translate_to_apoc,
+    translate_to_memgraph,
+)
+from repro.datasets import mutation_discovery_stream, new_critical_mutation, replay, who_designation_change
+from repro.triggers import GraphSession, parse_trigger
+
+
+def main() -> None:
+    print("The paper's Table 1 (reactive support across systems):\n")
+    print(render_table1())
+
+    trigger_text = new_critical_mutation()
+    definition = parse_trigger(trigger_text)
+
+    print("\n--- PG-Trigger (Figure 1 syntax) ---------------------------------")
+    print(definition.to_pg_trigger())
+
+    apoc = translate_to_apoc(definition)
+    print("\n--- APOC translation (Figure 2 scheme) ---------------------------")
+    print(apoc.call_text)
+
+    memgraph = translate_to_memgraph(definition)
+    print("\n--- Memgraph translation (Figure 3 scheme) -----------------------")
+    print(memgraph.ddl)
+
+    # Execute the same workload on the three routes.
+    workload = mutation_discovery_stream(count=20, critical_fraction=0.4)
+
+    session = GraphSession()
+    session.create_trigger(trigger_text)
+    session.create_trigger(who_designation_change())
+    replay(session, workload)
+
+    apoc_db = ApocEmulator()
+    apoc_db.run(apoc.call_text)
+    apoc_db.run(translate_to_apoc(parse_trigger(who_designation_change())).call_text)
+    for statement in workload:
+        apoc_db.run(statement.query, statement.parameters)
+
+    memgraph_db = MemgraphEmulator()
+    memgraph_db.run(memgraph.ddl)
+    memgraph_db.run(translate_to_memgraph(parse_trigger(who_designation_change())).ddl)
+    for statement in workload:
+        memgraph_db.run(statement.query, statement.parameters)
+
+    print("\n--- Alerts produced on the same workload --------------------------")
+    print(f"  PG-Trigger engine : {len(session.alerts())}")
+    print(f"  APOC emulation    : {apoc_db.graph.count_nodes_with_label('Alert')}")
+    print(f"  Memgraph emulation: {memgraph_db.graph.count_nodes_with_label('Alert')}")
+    print("\nNote: cascading triggers would diverge here — APOC and Memgraph block")
+    print("trigger cascades, which is one of the gaps the PG-Trigger proposal closes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in pyproject.toml; this file exists so
+that the package can be installed editable in offline environments whose
+setuptools/pip combination lacks the `wheel` package required by the PEP 517
+editable build path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — an executable reproduction of *PG-Triggers: Triggers for
+Property Graphs* (SIGMOD-Companion 2024).
+
+The top-level package re-exports the most commonly used entry points; the
+subpackages are:
+
+* :mod:`repro.graph` — in-memory property graph store;
+* :mod:`repro.tx` — transactions, undo log, commit hooks;
+* :mod:`repro.cypher` — openCypher-subset query engine;
+* :mod:`repro.schema` — PG-Schema / PG-Keys;
+* :mod:`repro.triggers` — the PG-Trigger language and execution engine;
+* :mod:`repro.compat` — APOC / Memgraph emulation and translators;
+* :mod:`repro.datasets` — CoV2K-style data and synthetic workloads;
+* :mod:`repro.bench` — experiment harness regenerating the paper artifacts.
+"""
+
+from .graph import Node, PropertyGraph, Relationship
+
+__version__ = "1.0.0"
+
+__all__ = ["Node", "PropertyGraph", "Relationship", "__version__"]

@@ -1,0 +1,41 @@
+"""Benchmark harness: experiment functions regenerating every paper artifact."""
+
+from .experiments import (
+    ALL_EXPERIMENTS,
+    figure1_grammar,
+    figure2_apoc_translation,
+    figure3_memgraph_translation,
+    figure45_cov2k_schema,
+    perf_cascading,
+    perf_compat_routes,
+    perf_granularity_action_time,
+    perf_trigger_overhead,
+    section62_trigger_suite,
+    section63_apoc_worked_translations,
+    table1_feature_matrix,
+    table2_apoc_metadata,
+    table3_transition_variables,
+    table4_memgraph_variables,
+)
+from .harness import ExperimentResult, run_experiments, timed
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "figure1_grammar",
+    "figure2_apoc_translation",
+    "figure3_memgraph_translation",
+    "figure45_cov2k_schema",
+    "perf_cascading",
+    "perf_compat_routes",
+    "perf_granularity_action_time",
+    "perf_trigger_overhead",
+    "run_experiments",
+    "section62_trigger_suite",
+    "section63_apoc_worked_translations",
+    "table1_feature_matrix",
+    "table2_apoc_metadata",
+    "table3_transition_variables",
+    "table4_memgraph_variables",
+    "timed",
+]

@@ -1,0 +1,28 @@
+"""Run all experiments and print their tables: ``python -m repro.bench [ids…]``."""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import ALL_EXPERIMENTS
+from .harness import timed
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments (all of them when no ids are given)."""
+    argv = sys.argv[1:] if argv is None else argv
+    requested = argv or list(ALL_EXPERIMENTS)
+    unknown = [key for key in requested if key not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for key in requested:
+        result = timed(ALL_EXPERIMENTS[key])
+        print(result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,580 @@
+"""One function per paper artifact (table/figure) plus added performance experiments.
+
+Paper artifacts (qualitative — the paper has no performance evaluation):
+
+* :func:`table1_feature_matrix`  — Table 1
+* :func:`figure1_grammar`        — Figure 1 (grammar round-trip)
+* :func:`figure2_apoc_translation` — Figure 2 (PG-Trigger → APOC, all event kinds)
+* :func:`table2_apoc_metadata`   — Table 2 (APOC transition metadata)
+* :func:`table3_transition_variables` — Table 3 (OLD/NEW construction)
+* :func:`figure3_memgraph_translation` — Figure 3 (PG-Trigger → Memgraph)
+* :func:`table4_memgraph_variables` — Table 4 (Memgraph predefined variables)
+* :func:`figure45_cov2k_schema`  — Figures 4–5 (CoV2K schema + validation)
+* :func:`section62_trigger_suite` — Section 6.2 (the six triggers, end to end)
+* :func:`section63_apoc_worked_translations` — Section 6.3 (translated triggers
+  behave like the native engine, up to APOC's documented limitations)
+
+Added performance experiments (labelled P1–P4 in DESIGN.md / EXPERIMENTS.md):
+
+* :func:`perf_trigger_overhead`  — cost per statement vs number of installed triggers
+* :func:`perf_cascading`         — cascade depth sweep + termination analysis verdicts
+* :func:`perf_granularity_action_time` — FOR EACH vs FOR ALL × action times
+* :func:`perf_compat_routes`     — native engine vs APOC route vs Memgraph route
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import time
+from typing import Callable
+
+from ..compat.apoc import ApocEmulator, transition_parameters, TABLE2_ROWS
+from ..compat.apoc_translator import translate_to_apoc
+from ..compat.comparison import table1_rows
+from ..compat.memgraph import MemgraphEmulator, predefined_variables, TABLE4_ROWS
+from ..compat.memgraph_translator import translate_to_memgraph
+from ..datasets.cov2k import Cov2kProfile, generate_cov2k
+from ..datasets.paper_triggers import (
+    icu_patient_increase,
+    icu_patient_move,
+    icu_patients_over_threshold,
+    move_to_near_hospital,
+    new_critical_lineage,
+    new_critical_mutation,
+    who_designation_change,
+)
+from ..datasets.workloads import (
+    designation_change_stream,
+    hospital_setup,
+    icu_admission_stream,
+    lineage_assignment_stream,
+    mutation_discovery_stream,
+    replay,
+)
+from ..graph.store import PropertyGraph
+from ..schema.validation import validate_graph
+from ..triggers.ast import EventType, ItemKind, TriggerDefinition, ActionTime, Granularity
+from ..triggers.events import compute_activations
+from ..triggers.parser import parse_trigger
+from ..triggers.session import GraphSession
+from ..triggers.termination import analyse_termination
+from ..tx.transaction import Transaction
+from .harness import ExperimentResult
+
+_CLOCK = lambda: _dt.datetime(2021, 3, 14, 12, 0, 0)  # noqa: E731 - deterministic clock
+
+
+# ---------------------------------------------------------------------------
+# T1
+# ---------------------------------------------------------------------------
+
+
+def table1_feature_matrix() -> ExperimentResult:
+    """Regenerate Table 1 (reactive support across graph databases)."""
+    result = ExperimentResult("T1", "Table 1 — reactive support in graph databases")
+    for row in table1_rows():
+        result.add_row(**row)
+    graph_trigger_systems = [r["System"] for r in result.rows if r["Tr-G"] == "✓"]
+    result.note(f"native graph triggers only in: {', '.join(graph_trigger_systems)}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# F1
+# ---------------------------------------------------------------------------
+
+
+def figure1_grammar() -> ExperimentResult:
+    """Round-trip the paper's triggers through the Figure 1 grammar."""
+    result = ExperimentResult("F1", "Figure 1 — PG-Trigger grammar round-trip")
+    sources = {
+        "NewCriticalMutation": new_critical_mutation(),
+        "NewCriticalLineage": new_critical_lineage(),
+        "WhoDesignationChange": who_designation_change(),
+        "IcuPatientsOverThreshold": icu_patients_over_threshold(),
+        "IcuPatientIncrease": icu_patient_increase(),
+        "IcuPatientMove": icu_patient_move(),
+        "MoveToNearHospital": move_to_near_hospital(),
+    }
+    for name, text in sources.items():
+        definition = parse_trigger(text)
+        reparsed = parse_trigger(definition.to_pg_trigger())
+        result.add_row(
+            trigger=name,
+            time=definition.time.value,
+            event=definition.event.value,
+            target=definition.target,
+            granularity=definition.granularity.value,
+            item=definition.item.value,
+            has_condition=definition.condition is not None,
+            round_trip_stable=(
+                reparsed.event == definition.event
+                and reparsed.granularity == definition.granularity
+                and reparsed.target == definition.target
+            ),
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# F2 / F3 — translations
+# ---------------------------------------------------------------------------
+
+
+def _event_kind_triggers() -> list[TriggerDefinition]:
+    """One minimal trigger per supported event kind."""
+    kinds = [
+        ("CreateNode", EventType.CREATE, ItemKind.NODE, None),
+        ("DeleteNode", EventType.DELETE, ItemKind.NODE, None),
+        ("CreateRel", EventType.CREATE, ItemKind.RELATIONSHIP, None),
+        ("DeleteRel", EventType.DELETE, ItemKind.RELATIONSHIP, None),
+        ("SetNodeProp", EventType.SET, ItemKind.NODE, "value"),
+        ("RemoveNodeProp", EventType.REMOVE, ItemKind.NODE, "value"),
+        ("SetRelProp", EventType.SET, ItemKind.RELATIONSHIP, "value"),
+        ("RemoveRelProp", EventType.REMOVE, ItemKind.RELATIONSHIP, "value"),
+        ("SetLabelOnNode", EventType.SET, ItemKind.NODE, None),
+        ("RemoveLabelOnNode", EventType.REMOVE, ItemKind.NODE, None),
+    ]
+    definitions = []
+    for name, event, item, prop in kinds:
+        definitions.append(
+            TriggerDefinition(
+                name=name,
+                time=ActionTime.AFTER,
+                event=event,
+                label="Target" if item == ItemKind.NODE else "RelType",
+                property=prop,
+                item=item,
+                statement="CREATE (:Alert {source: '" + name + "'})",
+            )
+        )
+    return definitions
+
+
+def figure2_apoc_translation() -> ExperimentResult:
+    """Figure 2 — translate all ten event kinds (plus the worked example) to APOC."""
+    result = ExperimentResult("F2", "Figure 2 — syntax-directed translation to APOC triggers")
+    example = translate_to_apoc(parse_trigger(new_critical_mutation()))
+    result.add_row(
+        trigger="NewCriticalMutation",
+        event="CREATE NODE",
+        unwind_parameter=example.parameter,
+        phase=example.phase,
+        uses_do_when="apoc.do.when" in example.call_text,
+    )
+    for definition in _event_kind_triggers():
+        translation = translate_to_apoc(definition)
+        result.add_row(
+            trigger=definition.name,
+            event=f"{definition.event.value} {definition.item.value}"
+            + (f".{definition.property}" if definition.property else ""),
+            unwind_parameter=translation.parameter,
+            phase=translation.phase,
+            uses_do_when="apoc.do.when" in translation.call_text,
+        )
+    result.note("all translations target the afterAsync phase, as advised in Section 5.1")
+    return result
+
+
+def figure3_memgraph_translation() -> ExperimentResult:
+    """Figure 3 — translate the same event kinds to Memgraph triggers."""
+    result = ExperimentResult("F3", "Figure 3 — syntax-directed translation to Memgraph triggers")
+    example = translate_to_memgraph(parse_trigger(new_critical_mutation()))
+    result.add_row(
+        trigger="NewCriticalMutation",
+        event="CREATE NODE",
+        source_variable=example.source_variable,
+        on_clause=example.on_clause,
+        phase=example.phase,
+        uses_case="CASE WHEN" in example.ddl,
+    )
+    for definition in _event_kind_triggers():
+        translation = translate_to_memgraph(definition)
+        result.add_row(
+            trigger=definition.name,
+            event=f"{definition.event.value} {definition.item.value}"
+            + (f".{definition.property}" if definition.property else ""),
+            source_variable=translation.source_variable,
+            on_clause=translation.on_clause,
+            phase=translation.phase,
+            uses_case="CASE WHEN" in translation.ddl,
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# T2 / T3 / T4 — transition metadata
+# ---------------------------------------------------------------------------
+
+
+def _representative_transaction(graph: PropertyGraph) -> Transaction:
+    """A transaction touching every change kind of Tables 2/4."""
+    tx = Transaction(graph)
+    lineage = tx.create_node(["Lineage"], {"name": "B.1.617.2", "whoDesignation": "Indian"})
+    sequence = tx.create_node(["Sequence"], {"accession": "EPI_ISL_1"})
+    doomed = tx.create_node(["Sequence"], {"accession": "EPI_ISL_2"})
+    rel = tx.create_relationship("BelongsTo", sequence.id, lineage.id, {"since": 2020})
+    doomed_rel = tx.create_relationship("BelongsTo", doomed.id, lineage.id)
+    tx.set_node_property(lineage.id, "whoDesignation", "Delta")
+    tx.add_label(lineage.id, "VariantOfConcern")
+    tx.remove_label(lineage.id, "VariantOfConcern")
+    tx.set_relationship_property(rel.id, "since", 2021)
+    tx.remove_relationship_property(rel.id, "since")
+    tx.remove_node_property(lineage.id, "whoDesignation")
+    tx.delete_relationship(doomed_rel.id)
+    tx.delete_node(doomed.id)
+    return tx
+
+
+def table2_apoc_metadata() -> ExperimentResult:
+    """Table 2 — the APOC transition metadata, populated from a real delta."""
+    result = ExperimentResult("T2", "Table 2 — APOC trigger transition metadata")
+    tx = _representative_transaction(PropertyGraph())
+    parameters = transition_parameters(tx.statement_delta)
+    sizes = {
+        "createdNodes": len(parameters["createdNodes"]),
+        "createdRels": len(parameters["createdRelationships"]),
+        "deletedNodes": len(parameters["deletedNodes"]),
+        "deletedRels": len(parameters["deletedRelationships"]),
+        "assignedLabels": sum(len(v) for v in parameters["assignedLabels"].values()),
+        "removedLabels": sum(len(v) for v in parameters["removedLabels"].values()),
+        "assignedNodeProperties": sum(
+            len(v) for v in parameters["assignedNodeProperties"].values()
+        ),
+        "assignedRelProperties": sum(
+            len(v) for v in parameters["assignedRelProperties"].values()
+        ),
+        "removedNodeProperties": sum(
+            len(v) for v in parameters["removedNodeProperties"].values()
+        ),
+        "removedRelProperties": sum(
+            len(v) for v in parameters["removedRelProperties"].values()
+        ),
+    }
+    for name, description in TABLE2_ROWS:
+        result.add_row(statement=name, description=description, entries_in_sample=sizes[name])
+    return result
+
+
+def table3_transition_variables() -> ExperimentResult:
+    """Table 3 — which transition variables each event kind provides."""
+    result = ExperimentResult("T3", "Table 3 — OLD/NEW transition variables per event")
+    graph = PropertyGraph()
+    tx = _representative_transaction(graph)
+    delta = tx.statement_delta
+    cases = [
+        ("Nodes Create", EventType.CREATE, ItemKind.NODE, "Sequence", None),
+        ("Nodes Delete", EventType.DELETE, ItemKind.NODE, "Sequence", None),
+        ("Relationships Create", EventType.CREATE, ItemKind.RELATIONSHIP, "BelongsTo", None),
+        ("Relationships Delete", EventType.DELETE, ItemKind.RELATIONSHIP, "BelongsTo", None),
+        ("Labels Set", EventType.SET, ItemKind.NODE, "Lineage", None),
+        ("Labels Remove", EventType.REMOVE, ItemKind.NODE, "Lineage", None),
+        ("Node Properties Set", EventType.SET, ItemKind.NODE, "Lineage", "whoDesignation"),
+        ("Node Properties Remove", EventType.REMOVE, ItemKind.NODE, "Lineage", "whoDesignation"),
+        ("Rel Properties Set", EventType.SET, ItemKind.RELATIONSHIP, "BelongsTo", "since"),
+        ("Rel Properties Remove", EventType.REMOVE, ItemKind.RELATIONSHIP, "BelongsTo", "since"),
+    ]
+    for label_text, event, item, target, prop in cases:
+        trigger = TriggerDefinition(
+            name=f"probe_{label_text.replace(' ', '_')}",
+            time=ActionTime.AFTER,
+            event=event,
+            label=target,
+            property=prop,
+            item=item,
+            statement="CREATE (:Alert)",
+        )
+        activations = compute_activations(trigger, delta)
+        result.add_row(
+            event=label_text,
+            activations=len(activations),
+            old_available=any(a.old is not None for a in activations),
+            new_available=any(a.new is not None for a in activations),
+        )
+    return result
+
+
+def table4_memgraph_variables() -> ExperimentResult:
+    """Table 4 — the Memgraph predefined variables, populated from a real delta."""
+    result = ExperimentResult("T4", "Table 4 — Memgraph predefined trigger variables")
+    tx = _representative_transaction(PropertyGraph())
+    variables = predefined_variables(tx.statement_delta)
+    for name, description in TABLE4_ROWS:
+        result.add_row(
+            variable=name, description=description, entries_in_sample=len(variables[name])
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# F4/F5 — CoV2K schema
+# ---------------------------------------------------------------------------
+
+
+def figure45_cov2k_schema() -> ExperimentResult:
+    """Figures 4–5 — the CoV2K PG-Schema and a conforming synthetic population."""
+    result = ExperimentResult("F45", "Figures 4-5 — CoV2K PG-Schema and population")
+    dataset = generate_cov2k(Cov2kProfile(patients=80, sequences=60, mutations=25))
+    schema = dataset.schema
+    for node_type in schema.node_types():
+        result.add_row(
+            kind="node type",
+            name=node_type.label,
+            supertype=(schema.node_type(node_type.supertype).label if node_type.supertype else "-"),
+            properties=len(schema.effective_properties(node_type.label)),
+            instances=dataset.graph.count_nodes_with_label(node_type.label),
+        )
+    for edge_type in schema.edge_types():
+        result.add_row(
+            kind="edge type",
+            name=edge_type.label,
+            supertype="-",
+            properties=len(edge_type.properties),
+            instances=dataset.graph.count_relationships_with_type(edge_type.label),
+        )
+    violations = validate_graph(dataset.graph, schema)
+    result.note(f"schema violations in generated population: {len(violations)}")
+    result.note(f"keys: {[str(k) for k in schema.keys()]}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# S62 — the running example end to end
+# ---------------------------------------------------------------------------
+
+
+def section62_trigger_suite(scale: float = 1.0) -> ExperimentResult:
+    """Section 6.2 — install the paper's triggers and replay the COVID workloads."""
+    result = ExperimentResult("S62", "Section 6.2 — the COVID-19 trigger suite in action")
+    session = GraphSession(clock=_CLOCK)
+    replay(session, hospital_setup(hospitals=3, icu_beds=8))
+    session.create_trigger(new_critical_mutation())
+    session.create_trigger(new_critical_lineage())
+    session.create_trigger(who_designation_change())
+    session.create_trigger(icu_patients_over_threshold(threshold=10))
+    session.create_trigger(icu_patient_increase(fraction=0.25))
+    session.create_trigger(icu_patient_move())
+
+    replay(session, mutation_discovery_stream(count=int(30 * scale), critical_fraction=0.3))
+    replay(session, lineage_assignment_stream(sequences=int(20 * scale), critical_every=4))
+    replay(session, designation_change_stream(changes=int(6 * scale)))
+    replay(session, icu_admission_stream(admissions=int(12 * scale), batch_size=3))
+
+    alerts = session.alerts()
+    summary = session.engine.firing_summary()
+    for name in session.registry.names():
+        stats = summary.get(name, {"executed": 0, "suppressed": 0, "max_depth": 0})
+        result.add_row(
+            trigger=name,
+            executed=stats["executed"],
+            suppressed=stats["suppressed"],
+            max_cascade_depth=stats["max_depth"],
+        )
+    result.note(f"total alerts produced: {len(alerts)}")
+    result.note(f"termination analysis: {session.analyse_termination()}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# S63 — worked APOC translations vs the native engine
+# ---------------------------------------------------------------------------
+
+
+def section63_apoc_worked_translations() -> ExperimentResult:
+    """Section 6.3 — the translated triggers reproduce the native engine's alerts."""
+    result = ExperimentResult(
+        "S63", "Section 6.3 — worked APOC translations vs the PG-Trigger engine"
+    )
+    cases = {
+        "NewCriticalMutation": new_critical_mutation(),
+        "WhoDesignationChange": who_designation_change(),
+        "IcuPatientsOverThreshold": icu_patients_over_threshold(threshold=3),
+    }
+    workload = (
+        hospital_setup(hospitals=2, icu_beds=10)
+        + mutation_discovery_stream(count=15, critical_fraction=0.4)
+        + designation_change_stream(changes=4)
+        + icu_admission_stream(admissions=6, batch_size=1)
+    )
+    for name, text in cases.items():
+        session = GraphSession(clock=_CLOCK)
+        session.create_trigger(text)
+        replay(session, workload)
+        native_alerts = len(session.alerts())
+
+        emulator = ApocEmulator(clock=_CLOCK)
+        emulator.run(translate_to_apoc(parse_trigger(text)).call_text)
+        for statement in workload:
+            emulator.run(statement.query, statement.parameters)
+        apoc_alerts = emulator.graph.count_nodes_with_label("Alert")
+
+        memgraph = MemgraphEmulator(clock=_CLOCK)
+        memgraph.run(translate_to_memgraph(parse_trigger(text)).ddl)
+        for statement in workload:
+            memgraph.run(statement.query, statement.parameters)
+        memgraph_alerts = memgraph.graph.count_nodes_with_label("Alert")
+
+        result.add_row(
+            trigger=name,
+            native_alerts=native_alerts,
+            apoc_alerts=apoc_alerts,
+            memgraph_alerts=memgraph_alerts,
+            equivalent=(native_alerts == apoc_alerts == memgraph_alerts),
+        )
+    result.note(
+        "set-granularity triggers may differ on duplicate alerts because APOC/Memgraph "
+        "cannot distinguish FOR EACH from FOR ALL (Section 5.1); MERGE collapses them"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# P1–P4 — added performance experiments
+# ---------------------------------------------------------------------------
+
+
+def perf_trigger_overhead(trigger_counts=(0, 1, 4, 16, 64), statements: int = 150) -> ExperimentResult:
+    """P1 — per-statement overhead as a function of installed (non-matching + matching) triggers."""
+    result = ExperimentResult("P1", "P1 — trigger matching overhead vs installed triggers")
+    for count in trigger_counts:
+        session = GraphSession(clock=_CLOCK)
+        for index in range(count):
+            # half the triggers target the created label, half target others
+            label = "Entity" if index % 2 == 0 else f"Other{index}"
+            session.create_trigger(
+                f"CREATE TRIGGER T{index} AFTER CREATE ON '{label}' FOR EACH NODE "
+                f"WHEN NEW.value > 1000000 BEGIN CREATE (:Never) END"
+            )
+        started = time.perf_counter()
+        for index in range(statements):
+            session.run("CREATE (:Entity {value: $v})", {"v": index})
+        elapsed = time.perf_counter() - started
+        result.add_row(
+            installed_triggers=count,
+            statements=statements,
+            total_seconds=elapsed,
+            mean_ms_per_statement=1000 * elapsed / statements,
+        )
+    result.note("conditions are never satisfied, so the cost measured is matching + condition evaluation")
+    return result
+
+
+def perf_cascading(depths=(1, 2, 4, 8, 12)) -> ExperimentResult:
+    """P2 — cascading chains of increasing length, with the static analysis verdict."""
+    result = ExperimentResult("P2", "P2 — cascading depth: runtime cost and termination analysis")
+    for depth in depths:
+        session = GraphSession(clock=_CLOCK, max_cascade_depth=depth + 2)
+        for level in range(depth):
+            session.create_trigger(
+                f"CREATE TRIGGER Chain{level} AFTER CREATE ON 'Level{level}' FOR EACH NODE "
+                f"BEGIN CREATE (:Level{level + 1} {{step: {level + 1}}}) END"
+            )
+        report = session.analyse_termination()
+        started = time.perf_counter()
+        session.run("CREATE (:Level0 {step: 0})")
+        elapsed = time.perf_counter() - started
+        fired = sum(1 for f in session.engine.firings if f.executed)
+        result.add_row(
+            chain_length=depth,
+            triggers_fired=fired,
+            max_depth_reached=max((f.depth for f in session.engine.firings), default=0),
+            seconds=elapsed,
+            termination_guaranteed=report.guaranteed_termination,
+        )
+    return result
+
+
+def perf_granularity_action_time(batch_sizes=(1, 10, 50), admissions: int = 50) -> ExperimentResult:
+    """P3 — FOR EACH vs FOR ALL and AFTER vs ONCOMMIT vs DETACHED."""
+    result = ExperimentResult("P3", "P3 — granularity and action time comparison")
+    configurations = [
+        ("FOR EACH / AFTER", "AFTER", "EACH"),
+        ("FOR ALL / AFTER", "AFTER", "ALL"),
+        ("FOR EACH / ONCOMMIT", "ONCOMMIT", "EACH"),
+        ("FOR EACH / DETACHED", "DETACHED", "EACH"),
+    ]
+    for batch in batch_sizes:
+        for label, time_word, granularity in configurations:
+            session = GraphSession(clock=_CLOCK)
+            replay(session, hospital_setup(hospitals=2, icu_beds=1000))
+            item = "NODE" if granularity == "EACH" else "NODES"
+            session.create_trigger(
+                f"CREATE TRIGGER Audit {time_word} CREATE ON 'IcuPatient' FOR {granularity} {item} "
+                "BEGIN CREATE (:AuditEntry) END"
+            )
+            stream = icu_admission_stream(admissions=admissions, batch_size=batch)
+            started = time.perf_counter()
+            replay(session, stream)
+            elapsed = time.perf_counter() - started
+            result.add_row(
+                batch_size=batch,
+                configuration=label,
+                statements=len(stream),
+                audit_entries=session.graph.count_nodes_with_label("AuditEntry"),
+                seconds=elapsed,
+            )
+    result.note("FOR ALL executes once per statement, FOR EACH once per admitted patient")
+    return result
+
+
+def perf_compat_routes(admissions: int = 40) -> ExperimentResult:
+    """P4 — the same trigger and workload through the three execution routes."""
+    result = ExperimentResult("P4", "P4 — native PG-Trigger engine vs APOC vs Memgraph routes")
+    trigger_text = new_critical_mutation()
+    workload = mutation_discovery_stream(count=admissions, critical_fraction=0.4)
+
+    session = GraphSession(clock=_CLOCK)
+    session.create_trigger(trigger_text)
+    started = time.perf_counter()
+    replay(session, workload)
+    native_seconds = time.perf_counter() - started
+    result.add_row(
+        route="PG-Trigger engine",
+        alerts=len(session.alerts()),
+        seconds=native_seconds,
+        cascading_supported=True,
+    )
+
+    emulator = ApocEmulator(clock=_CLOCK)
+    emulator.run(translate_to_apoc(parse_trigger(trigger_text)).call_text)
+    started = time.perf_counter()
+    for statement in workload:
+        emulator.run(statement.query, statement.parameters)
+    result.add_row(
+        route="APOC emulation (afterAsync)",
+        alerts=emulator.graph.count_nodes_with_label("Alert"),
+        seconds=time.perf_counter() - started,
+        cascading_supported=False,
+    )
+
+    memgraph = MemgraphEmulator(clock=_CLOCK)
+    memgraph.run(translate_to_memgraph(parse_trigger(trigger_text)).ddl)
+    started = time.perf_counter()
+    for statement in workload:
+        memgraph.run(statement.query, statement.parameters)
+    result.add_row(
+        route="Memgraph emulation (after commit)",
+        alerts=memgraph.graph.count_nodes_with_label("Alert"),
+        seconds=time.perf_counter() - started,
+        cascading_supported=False,
+    )
+    return result
+
+
+#: Registry used by the CLI runner and EXPERIMENTS.md generation.
+ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "T1": table1_feature_matrix,
+    "F1": figure1_grammar,
+    "F2": figure2_apoc_translation,
+    "T2": table2_apoc_metadata,
+    "T3": table3_transition_variables,
+    "F3": figure3_memgraph_translation,
+    "T4": table4_memgraph_variables,
+    "F45": figure45_cov2k_schema,
+    "S62": section62_trigger_suite,
+    "S63": section63_apoc_worked_translations,
+    "P1": perf_trigger_overhead,
+    "P2": perf_cascading,
+    "P3": perf_granularity_action_time,
+    "P4": perf_compat_routes,
+}

@@ -1,0 +1,55 @@
+"""Compatibility layers: APOC / Memgraph emulation, translators, Table 1."""
+
+from .apoc import (
+    TABLE2_ROWS,
+    ApocEmulator,
+    ApocTrigger,
+    apoc_do_case,
+    apoc_do_when,
+    transition_parameters,
+)
+from .apoc_translator import ApocTranslation, translate_all as translate_all_to_apoc, translate_to_apoc
+from .comparison import (
+    SYSTEMS,
+    SystemSupport,
+    render_table1,
+    systems_with_event_listeners,
+    systems_with_graph_triggers,
+    table1_rows,
+)
+from .errors import ApocTriggerError, CompatError, MemgraphTriggerError, TranslationError
+from .memgraph import TABLE4_ROWS, MemgraphEmulator, MemgraphTrigger, predefined_variables
+from .memgraph_translator import (
+    MemgraphTranslation,
+    translate_all as translate_all_to_memgraph,
+    translate_to_memgraph,
+)
+
+__all__ = [
+    "ApocEmulator",
+    "ApocTranslation",
+    "ApocTrigger",
+    "ApocTriggerError",
+    "CompatError",
+    "MemgraphEmulator",
+    "MemgraphTranslation",
+    "MemgraphTrigger",
+    "MemgraphTriggerError",
+    "SYSTEMS",
+    "SystemSupport",
+    "TABLE2_ROWS",
+    "TABLE4_ROWS",
+    "TranslationError",
+    "apoc_do_case",
+    "apoc_do_when",
+    "predefined_variables",
+    "render_table1",
+    "systems_with_event_listeners",
+    "systems_with_graph_triggers",
+    "table1_rows",
+    "transition_parameters",
+    "translate_all_to_apoc",
+    "translate_all_to_memgraph",
+    "translate_to_apoc",
+    "translate_to_memgraph",
+]

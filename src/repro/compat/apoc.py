@@ -1,0 +1,390 @@
+"""Emulation of Neo4j APOC triggers (Section 5.1 of the paper).
+
+The emulator reproduces the *observable* behaviour that the paper relies
+on when discussing the translation of PG-Triggers into APOC triggers:
+
+* the ``apoc.trigger.install / drop / dropAll / stop / start / list``
+  management procedures;
+* the four phases — ``before`` (right before commit), ``rollback``,
+  ``after`` and ``afterAsync`` (after commit; ``afterAsync`` is the advised
+  one and, in this in-process emulation, behaves like ``after``);
+* the transition metadata of Table 2 exposed to the trigger statement as
+  query parameters (``$createdNodes``, ``$assignedNodeProperties``, …);
+* the ``apoc.do.when`` conditional-execution procedure used by the
+  syntax-directed translation of Figure 2;
+* APOC's documented limitations: triggers do **not** cascade (changes made
+  by a trigger never re-activate triggers), and ``before``-phase triggers
+  all run once, in alphabetical order, regardless of what they monitor.
+
+The emulation runs on the same property graph substrate as the PG-Trigger
+engine, which is what allows the benchmark harness to compare the two
+routes on identical workloads.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from ..cypher.executor import ProcedureInvocation, QueryExecutor
+from ..cypher.result import QueryResult
+from ..graph.delta import GraphDelta
+from ..graph.store import PropertyGraph
+from ..tx.manager import TransactionManager
+from ..tx.transaction import Transaction
+from .errors import ApocTriggerError
+
+VALID_PHASES = ("before", "rollback", "after", "afterAsync")
+
+
+@dataclass
+class ApocTrigger:
+    """One installed APOC trigger."""
+
+    database: str
+    name: str
+    statement: str
+    phase: str = "afterAsync"
+    paused: bool = False
+    installed_at: int = 0
+    executions: int = 0
+
+    def as_row(self) -> dict[str, Any]:
+        """Row shape returned by ``apoc.trigger.list``."""
+        return {
+            "name": self.name,
+            "query": self.statement,
+            "selector": {"phase": self.phase},
+            "paused": self.paused,
+            "installed": True,
+        }
+
+
+def apoc_do_when(args, invocation: ProcedureInvocation):
+    """``CALL apoc.do.when(condition, ifQuery, elseQuery, params)``."""
+    if len(args) < 2:
+        raise ApocTriggerError("apoc.do.when requires at least (condition, ifQuery)")
+    condition = bool(args[0]) if args[0] is not None else False
+    if_query = args[1] or ""
+    else_query = args[2] if len(args) > 2 else ""
+    params = args[3] if len(args) > 3 else {}
+    query = if_query if condition else else_query
+    if not isinstance(params, Mapping):
+        raise ApocTriggerError("apoc.do.when params must be a map")
+    if query:
+        result = invocation.run_subquery(query, parameters=dict(params))
+        value = result.rows[0] if result.rows else {}
+    else:
+        value = {}
+    return [{"value": value}]
+
+
+def apoc_do_case(args, invocation: ProcedureInvocation):
+    """``CALL apoc.do.case([cond1, query1, cond2, query2, …], elseQuery, params)``."""
+    if not args:
+        raise ApocTriggerError("apoc.do.case requires a conditionals list")
+    conditionals = args[0] or []
+    else_query = args[1] if len(args) > 1 else ""
+    params = args[2] if len(args) > 2 else {}
+    chosen = else_query
+    for index in range(0, len(conditionals) - 1, 2):
+        if bool(conditionals[index]):
+            chosen = conditionals[index + 1]
+            break
+    if chosen:
+        result = invocation.run_subquery(chosen, parameters=dict(params))
+        value = result.rows[0] if result.rows else {}
+    else:
+        value = {}
+    return [{"value": value}]
+
+
+class ApocEmulator:
+    """A Neo4j-with-APOC stand-in: query execution plus APOC trigger semantics."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph | None = None,
+        database: str = "neo4j",
+        clock: Callable[[], _dt.datetime] | None = None,
+    ) -> None:
+        self.graph = graph or PropertyGraph()
+        self.database = database
+        self.clock = clock or _dt.datetime.now
+        self.manager = TransactionManager(self.graph)
+        self._triggers: dict[str, ApocTrigger] = {}
+        self._sequence = 0
+        #: Audit log of (trigger name, phase) executions.
+        self.execution_log: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # procedure registry (for queries executed through this emulator)
+    # ------------------------------------------------------------------
+
+    def procedures(self) -> dict[str, Any]:
+        """Procedures available to queries run through the emulator."""
+        return {
+            "apoc.do.when": apoc_do_when,
+            "apoc.do.case": apoc_do_case,
+            "apoc.trigger.install": self._proc_install,
+            "apoc.trigger.drop": self._proc_drop,
+            "apoc.trigger.dropAll": self._proc_drop_all,
+            "apoc.trigger.stop": self._proc_stop,
+            "apoc.trigger.start": self._proc_start,
+            "apoc.trigger.list": self._proc_list,
+        }
+
+    # ------------------------------------------------------------------
+    # trigger management (programmatic API)
+    # ------------------------------------------------------------------
+
+    def install(
+        self,
+        database: str,
+        name: str,
+        statement: str,
+        selector: Mapping[str, Any] | None = None,
+        config: Mapping[str, Any] | None = None,
+    ) -> ApocTrigger:
+        """``apoc.trigger.install`` — register a trigger statement."""
+        del config  # accepted for signature compatibility; not relevant here
+        phase = (selector or {}).get("phase", "afterAsync")
+        if phase not in VALID_PHASES:
+            raise ApocTriggerError(
+                f"invalid phase {phase!r}; expected one of {', '.join(VALID_PHASES)}"
+            )
+        self._sequence += 1
+        trigger = ApocTrigger(
+            database=database,
+            name=name,
+            statement=statement,
+            phase=phase,
+            installed_at=self._sequence,
+        )
+        self._triggers[name] = trigger
+        return trigger
+
+    def drop(self, database: str, name: str) -> ApocTrigger:
+        """``apoc.trigger.drop``."""
+        if name not in self._triggers:
+            raise ApocTriggerError(f"no APOC trigger named {name!r}")
+        del database
+        return self._triggers.pop(name)
+
+    def drop_all(self, database: str | None = None) -> int:
+        """``apoc.trigger.dropAll``."""
+        del database
+        count = len(self._triggers)
+        self._triggers.clear()
+        return count
+
+    def stop(self, database: str, name: str) -> None:
+        """``apoc.trigger.stop`` — pause a trigger."""
+        del database
+        self._require(name).paused = True
+
+    def start(self, database: str, name: str) -> None:
+        """``apoc.trigger.start`` — resume a trigger."""
+        del database
+        self._require(name).paused = False
+
+    def list_triggers(self) -> list[ApocTrigger]:
+        """All installed triggers, in installation order."""
+        return sorted(self._triggers.values(), key=lambda t: t.installed_at)
+
+    def _require(self, name: str) -> ApocTrigger:
+        if name not in self._triggers:
+            raise ApocTriggerError(f"no APOC trigger named {name!r}")
+        return self._triggers[name]
+
+    # -- CALL-able wrappers ---------------------------------------------
+
+    def _proc_install(self, args, invocation):
+        database, name, statement = args[0], args[1], args[2]
+        selector = args[3] if len(args) > 3 else {}
+        self.install(database, name, statement, selector)
+        return [{"name": name, "installed": True}]
+
+    def _proc_drop(self, args, invocation):
+        self.drop(args[0], args[1])
+        return [{"name": args[1], "installed": False}]
+
+    def _proc_drop_all(self, args, invocation):
+        return [{"dropped": self.drop_all(args[0] if args else None)}]
+
+    def _proc_stop(self, args, invocation):
+        self.stop(args[0], args[1])
+        return [{"name": args[1], "paused": True}]
+
+    def _proc_start(self, args, invocation):
+        self.start(args[0], args[1])
+        return [{"name": args[1], "paused": False}]
+
+    def _proc_list(self, args, invocation):
+        return [trigger.as_row() for trigger in self.list_triggers()]
+
+    # ------------------------------------------------------------------
+    # query execution with trigger processing
+    # ------------------------------------------------------------------
+
+    def run(self, query: str, parameters: Mapping[str, Any] | None = None) -> QueryResult:
+        """Execute a statement in auto-commit mode, firing APOC triggers."""
+        tx = self.manager.begin()
+        try:
+            executor = QueryExecutor(
+                self.graph,
+                transaction=tx,
+                parameters=parameters,
+                clock=self.clock,
+                procedures=self.procedures(),
+            )
+            result = executor.execute(query)
+            tx.end_statement()
+            # 'before' phase: right before commit, inside the same transaction,
+            # all triggers once, in alphabetical order (the APOC limitation the
+            # paper points out).
+            delta = tx.transaction_delta
+            if not delta.is_empty():
+                self._run_phase(("before",), delta, tx, alphabetical=True)
+            committed = self.manager.commit(tx)
+        except Exception:
+            if tx.is_active:
+                self.manager.rollback(tx)
+                self._run_rollback_phase(tx)
+            raise
+        if not committed.is_empty():
+            self._run_after_phases(committed)
+        return result
+
+    # ------------------------------------------------------------------
+    # phase execution
+    # ------------------------------------------------------------------
+
+    def _active_triggers(self, phases: tuple[str, ...], alphabetical: bool) -> list[ApocTrigger]:
+        selected = [
+            t for t in self._triggers.values() if not t.paused and t.phase in phases
+        ]
+        if alphabetical:
+            return sorted(selected, key=lambda t: t.name)
+        return sorted(selected, key=lambda t: t.installed_at)
+
+    def _run_phase(
+        self,
+        phases: tuple[str, ...],
+        delta: GraphDelta,
+        tx: Transaction,
+        alphabetical: bool,
+    ) -> None:
+        parameters = transition_parameters(delta)
+        for trigger in self._active_triggers(phases, alphabetical):
+            executor = QueryExecutor(
+                self.graph,
+                transaction=tx,
+                parameters=parameters,
+                clock=self.clock,
+                procedures=self.procedures(),
+            )
+            executor.execute(trigger.statement)
+            trigger.executions += 1
+            self.execution_log.append((trigger.name, trigger.phase))
+            # APOC triggers do not cascade: whatever the trigger changed is
+            # deliberately not re-examined.
+            tx.end_statement()
+
+    def _run_after_phases(self, committed: GraphDelta) -> None:
+        triggers = self._active_triggers(("after", "afterAsync"), alphabetical=False)
+        if not triggers:
+            return
+        # All after/afterAsync triggers run within a single new transaction.
+        tx = self.manager.begin(metadata={"source": "apoc-trigger"})
+        try:
+            self._run_phase(("after", "afterAsync"), committed, tx, alphabetical=False)
+            self.manager.commit(tx)
+        except Exception:
+            if tx.is_active:
+                self.manager.rollback(tx)
+            raise
+
+    def _run_rollback_phase(self, failed_tx: Transaction) -> None:
+        triggers = self._active_triggers(("rollback",), alphabetical=False)
+        if not triggers:
+            return
+        tx = self.manager.begin(metadata={"source": "apoc-trigger-rollback"})
+        try:
+            self._run_phase(("rollback",), GraphDelta(), tx, alphabetical=False)
+            self.manager.commit(tx)
+        except Exception:  # pragma: no cover - defensive
+            if tx.is_active:
+                self.manager.rollback(tx)
+            raise
+
+
+# ---------------------------------------------------------------------------
+# Table 2: transition metadata
+# ---------------------------------------------------------------------------
+
+
+def transition_parameters(delta: GraphDelta) -> dict[str, Any]:
+    """Build the APOC transition metadata of Table 2 from a graph delta.
+
+    Shapes follow the APOC documentation: created/deleted items are plain
+    lists; label changes are maps ``label -> [nodes]``; property changes are
+    maps ``property -> [{node|relationship, key, old, new}]``.
+    """
+    assigned_labels: dict[str, list] = {}
+    for assignment in delta.assigned_labels:
+        assigned_labels.setdefault(assignment.label, []).append(assignment.node)
+    removed_labels: dict[str, list] = {}
+    for removal in delta.removed_labels:
+        removed_labels.setdefault(removal.label, []).append(removal.node)
+
+    assigned_node_properties: dict[str, list] = {}
+    assigned_rel_properties: dict[str, list] = {}
+    for change in delta.assigned_properties:
+        record = {"node": change.item, "key": change.key, "old": change.old, "new": change.new}
+        if change.is_node:
+            assigned_node_properties.setdefault(change.key, []).append(record)
+        else:
+            record["relationship"] = record.pop("node")
+            assigned_rel_properties.setdefault(change.key, []).append(record)
+
+    removed_node_properties: dict[str, list] = {}
+    removed_rel_properties: dict[str, list] = {}
+    for change in delta.removed_properties:
+        record = {"node": change.item, "key": change.key, "old": change.old}
+        if change.is_node:
+            removed_node_properties.setdefault(change.key, []).append(record)
+        else:
+            record["relationship"] = record.pop("node")
+            removed_rel_properties.setdefault(change.key, []).append(record)
+
+    return {
+        "createdNodes": list(delta.created_nodes),
+        "createdRelationships": list(delta.created_relationships),
+        "deletedNodes": list(delta.deleted_nodes),
+        "deletedRelationships": list(delta.deleted_relationships),
+        "assignedLabels": assigned_labels,
+        "removedLabels": removed_labels,
+        "assignedNodeProperties": assigned_node_properties,
+        "assignedRelProperties": assigned_rel_properties,
+        "removedNodeProperties": removed_node_properties,
+        "removedRelProperties": removed_rel_properties,
+    }
+
+
+#: The rows of the paper's Table 2 (name and description of each utility).
+TABLE2_ROWS: tuple[tuple[str, str], ...] = (
+    ("createdNodes", "list of created nodes"),
+    ("createdRels", "list of created relationships"),
+    ("deletedNodes", "list of deleted nodes"),
+    ("deletedRels", "list of deleted relationships"),
+    ("assignedLabels", "set of new labels for an item"),
+    ("removedLabels", "set of removed labels from an item"),
+    ("assignedNodeProperties",
+     "quadruple representing <target node, property name, old value, new value>"),
+    ("assignedRelProperties",
+     "quadruple representing <target rel, property name, old value, new value>"),
+    ("removedNodeProperties", "triple representing <target node, property name, old value>"),
+    ("removedRelProperties", "triple representing <target rel, property name, old value>"),
+)

@@ -1,0 +1,429 @@
+"""Syntax-directed translation of PG-Triggers into Neo4j APOC triggers.
+
+This module reproduces the translation scheme of the paper's Figure 2 and
+Table 3.  Given a :class:`~repro.triggers.ast.TriggerDefinition`, it emits
+the corresponding ``CALL apoc.trigger.install(...)`` statement:
+
+* the monitored event picks the UNWIND-able transition metadata parameter
+  (Table 2 / Table 3): ``$createdNodes`` for node creation,
+  ``$assignedNodeProperties`` for property setting, and so on;
+* the condition becomes the first argument of ``apoc.do.when`` — a label
+  check on the unwound item conjoined with the trigger's own WHEN
+  predicate;
+* condition *queries* (MATCH/WITH pipelines) are emitted before the
+  ``do.when`` call, exactly as the paper describes for the
+  ``IcuPatientIncrease`` example;
+* the action statement becomes the second ``do.when`` argument (a quoted
+  sub-query receiving the unwound item through the parameter map);
+* the phase defaults to ``afterAsync``, the option the paper adopts after
+  discussing the blocking problems of ``before``/``after``.
+
+The emitted text is executable against
+:class:`~repro.compat.apoc.ApocEmulator`, which is how the benchmark
+harness shows that the translated triggers reproduce the PG-Trigger
+behaviour (up to APOC's documented limitations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cypher.lexer import TokenType, tokenize
+from ..triggers.ast import (
+    ActionTime,
+    EventType,
+    Granularity,
+    ItemKind,
+    TransitionVariable,
+    TriggerDefinition,
+)
+from .errors import TranslationError
+
+#: Mapping (event, item kind) -> the UNWIND parameter of Tables 2/3 for
+#: events that affect whole items.
+_ITEM_EVENT_PARAMETERS = {
+    (EventType.CREATE, ItemKind.NODE): "createdNodes",
+    (EventType.DELETE, ItemKind.NODE): "deletedNodes",
+    (EventType.CREATE, ItemKind.RELATIONSHIP): "createdRelationships",
+    (EventType.DELETE, ItemKind.RELATIONSHIP): "deletedRelationships",
+}
+
+#: Mapping (event, item kind) -> the property-change parameter.
+_PROPERTY_EVENT_PARAMETERS = {
+    (EventType.SET, ItemKind.NODE): "assignedNodeProperties",
+    (EventType.REMOVE, ItemKind.NODE): "removedNodeProperties",
+    (EventType.SET, ItemKind.RELATIONSHIP): "assignedRelProperties",
+    (EventType.REMOVE, ItemKind.RELATIONSHIP): "removedRelProperties",
+}
+
+#: Phase used for every translation (Section 5.1's recommendation).
+DEFAULT_PHASE = "afterAsync"
+
+#: Variable name used for the unwound items, as in Figure 2.
+UNWIND_VARIABLE = "cNodes"
+#: Variable name used for unwound property-change records.
+PROPERTY_VARIABLE = "aProp"
+
+
+@dataclass(frozen=True)
+class ApocTranslation:
+    """The result of translating one PG-Trigger."""
+
+    trigger: TriggerDefinition
+    database: str
+    parameter: str
+    unwind_clause: str
+    condition_query: str
+    do_when_condition: str
+    inner_statement: str
+    phase: str
+    call_text: str
+
+    def __str__(self) -> str:
+        return self.call_text
+
+
+def translate_to_apoc(
+    definition: TriggerDefinition, database: str = "databaseName"
+) -> ApocTranslation:
+    """Translate ``definition`` into an executable APOC trigger installation."""
+    if definition.time == ActionTime.BEFORE:
+        # The paper notes APOC's before/after phases are discouraged; BEFORE
+        # semantics cannot be reproduced faithfully after the fact.
+        raise TranslationError(
+            f"trigger {definition.name!r}: BEFORE action time has no faithful APOC phase; "
+            "only ONCOMMIT ('before'), AFTER and DETACHED ('afterAsync') can be mapped"
+        )
+    phase = "before" if definition.time == ActionTime.ONCOMMIT else DEFAULT_PHASE
+
+    if definition.property is None and (definition.event, definition.item) in _ITEM_EVENT_PARAMETERS:
+        parameter = _ITEM_EVENT_PARAMETERS[(definition.event, definition.item)]
+        unwind_clause = f"UNWIND ${parameter} AS {UNWIND_VARIABLE}"
+        item_variable = UNWIND_VARIABLE
+        label_check = f"{UNWIND_VARIABLE}:{definition.label}"
+        old_expr = UNWIND_VARIABLE
+        new_expr = UNWIND_VARIABLE
+    elif definition.event in (EventType.SET, EventType.REMOVE) and (
+        definition.property is not None or definition.item == ItemKind.RELATIONSHIP
+    ):
+        parameter = _PROPERTY_EVENT_PARAMETERS[(definition.event, definition.item)]
+        unwind_clause = (
+            f"UNWIND keys(${parameter}) AS k\n"
+            f"UNWIND ${parameter}[k] AS {PROPERTY_VARIABLE}\n"
+            f"WITH {PROPERTY_VARIABLE}.node AS {UNWIND_VARIABLE}, "
+            f"{PROPERTY_VARIABLE}.key AS changedKey, "
+            f"{PROPERTY_VARIABLE}.old AS oldValue, {PROPERTY_VARIABLE}.new AS newValue"
+        )
+        if definition.item == ItemKind.RELATIONSHIP:
+            unwind_clause = unwind_clause.replace(
+                f"{PROPERTY_VARIABLE}.node", f"{PROPERTY_VARIABLE}.relationship"
+            )
+        item_variable = UNWIND_VARIABLE
+        label_check = f"{UNWIND_VARIABLE}:{definition.label}"
+        if definition.property is not None:
+            label_check += f" AND changedKey = '{definition.property}'"
+        old_expr = UNWIND_VARIABLE
+        new_expr = UNWIND_VARIABLE
+    else:
+        # SET/REMOVE without a property on an item kind not covered above
+        # falls back to label metadata; the paper lists these among the ten
+        # supported event kinds.
+        parameter = "assignedLabels" if definition.event == EventType.SET else "removedLabels"
+        unwind_clause = (
+            f"UNWIND keys(${parameter}) AS changedLabel\n"
+            f"UNWIND ${parameter}[changedLabel] AS {UNWIND_VARIABLE}"
+        )
+        item_variable = UNWIND_VARIABLE
+        label_check = f"{UNWIND_VARIABLE}:{definition.label}"
+        old_expr = UNWIND_VARIABLE
+        new_expr = UNWIND_VARIABLE
+
+    substitutions = _transition_substitutions(definition, old_expr, new_expr)
+    property_substitutions = _property_substitutions(definition)
+    condition_query, condition_predicate = _split_condition(
+        definition, substitutions, property_substitutions
+    )
+    statement = _substitute_identifiers(
+        definition.statement, substitutions, property_substitutions
+    )
+
+    do_when_condition = label_check
+    if condition_predicate:
+        do_when_condition += f" AND {condition_predicate}"
+
+    inner_statement = statement
+    if definition.property is not None or (
+        definition.event in (EventType.SET, EventType.REMOVE)
+        and (definition.event, definition.item) in _PROPERTY_EVENT_PARAMETERS
+    ):
+        parameter_map = (
+            f"{{{item_variable}: {item_variable}, changedKey: changedKey, "
+            "oldValue: oldValue, newValue: newValue}"
+        )
+    else:
+        parameter_map = f"{{{item_variable}: {item_variable}}}"
+    call_text = _render_call(
+        database=database,
+        name=definition.name,
+        unwind_clause=unwind_clause,
+        condition_query=condition_query,
+        do_when_condition=do_when_condition,
+        inner_statement=inner_statement,
+        parameter_map=parameter_map,
+        phase=phase,
+    )
+    return ApocTranslation(
+        trigger=definition,
+        database=database,
+        parameter=parameter,
+        unwind_clause=unwind_clause,
+        condition_query=condition_query,
+        do_when_condition=do_when_condition,
+        inner_statement=inner_statement,
+        phase=phase,
+        call_text=call_text,
+    )
+
+
+def translate_all(
+    definitions, database: str = "databaseName"
+) -> list[ApocTranslation]:
+    """Translate a collection of PG-Triggers, skipping untranslatable ones."""
+    translations = []
+    for definition in definitions:
+        translations.append(translate_to_apoc(definition, database=database))
+    return translations
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _transition_substitutions(
+    definition: TriggerDefinition, old_expr: str, new_expr: str
+) -> dict[str, str]:
+    """Identifier substitutions mapping transition variables to APOC terms."""
+    substitutions: dict[str, str] = {}
+    plural_old = (
+        TransitionVariable.OLDNODES
+        if definition.item == ItemKind.NODE
+        else TransitionVariable.OLDRELS
+    )
+    plural_new = (
+        TransitionVariable.NEWNODES
+        if definition.item == ItemKind.NODE
+        else TransitionVariable.NEWRELS
+    )
+    if definition.granularity == Granularity.EACH:
+        for variable, replacement in (
+            (TransitionVariable.OLD, old_expr),
+            (TransitionVariable.NEW, new_expr),
+        ):
+            substitutions[variable.value] = replacement
+            substitutions[definition.alias_for(variable)] = replacement
+    else:
+        # The UNWIND clause flattens the set; set-oriented conditions refer to
+        # the same unwound variable (the paper notes that APOC cannot separate
+        # the two granularities).
+        for variable in (plural_old, plural_new):
+            substitutions[variable.value] = UNWIND_VARIABLE
+            substitutions[definition.alias_for(variable)] = UNWIND_VARIABLE
+    return substitutions
+
+
+def _property_substitutions(definition: TriggerDefinition) -> dict[tuple[str, str], str]:
+    """``OLD.<prop>`` / ``NEW.<prop>`` rewrites for property-targeted triggers.
+
+    The paper's WhoDesignationChange translation replaces accesses to the
+    monitored property with the ``old``/``new`` values carried by the
+    unwound ``$assignedNodeProperties`` record.
+    """
+    if definition.property is None or definition.event not in (EventType.SET, EventType.REMOVE):
+        return {}
+    result: dict[tuple[str, str], str] = {}
+    for variable, replacement in (
+        (TransitionVariable.OLD, "oldValue"),
+        (TransitionVariable.NEW, "newValue"),
+    ):
+        result[(variable.value, definition.property)] = replacement
+        result[(definition.alias_for(variable), definition.property)] = replacement
+    return result
+
+
+def _substitute_identifiers(
+    text: str,
+    substitutions: dict[str, str],
+    property_substitutions: dict[tuple[str, str], str] | None = None,
+) -> str:
+    """Replace transition-variable references in ``text`` (string-literal safe).
+
+    ``VAR.property`` sequences listed in ``property_substitutions`` are
+    rewritten first; remaining ``VAR`` identifier tokens are rewritten via
+    ``substitutions``, except when they appear in label position (directly
+    after a ``:``), where the reference is to a virtual label rather than a
+    variable.
+    """
+    if not text:
+        return text
+    property_substitutions = property_substitutions or {}
+    tokens = [t for t in tokenize(text) if t.type != TokenType.EOF]
+    pieces: list[str] = []
+    cursor = 0
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token.type == TokenType.IDENTIFIER:
+            in_label_position = _is_label_position(tokens, index)
+            # VAR.property rewrite (three-token window).
+            if (
+                not in_label_position
+                and index + 2 < len(tokens)
+                and tokens[index + 1].value == "."
+                and tokens[index + 2].type in (TokenType.IDENTIFIER, TokenType.KEYWORD)
+                and (token.value, tokens[index + 2].value) in property_substitutions
+            ):
+                replacement = property_substitutions[(token.value, tokens[index + 2].value)]
+                pieces.append(text[cursor:token.position])
+                pieces.append(replacement)
+                last = tokens[index + 2]
+                cursor = last.position + len(last.value)
+                index += 3
+                continue
+            if not in_label_position and token.value in substitutions:
+                pieces.append(text[cursor:token.position])
+                pieces.append(substitutions[token.value])
+                cursor = token.position + len(token.value)
+        index += 1
+    pieces.append(text[cursor:])
+    return "".join(pieces)
+
+
+def _is_label_position(tokens, index: int) -> bool:
+    """True when ``tokens[index]`` is used as a label (``:Name``), not a value.
+
+    A colon also separates map keys from values (``{mutation: NEW.name}``);
+    those occurrences must still be substituted.  The colon is treated as a
+    map separator when the token before it is a map key whose own
+    predecessor is ``{`` or ``,``.
+    """
+    if index == 0:
+        return False
+    previous = tokens[index - 1]
+    if not (previous.type in (TokenType.PUNCTUATION, TokenType.OPERATOR) and previous.value == ":"):
+        return False
+    if index < 2:
+        return True
+    key_candidate = tokens[index - 2]
+    if key_candidate.type in (TokenType.IDENTIFIER, TokenType.KEYWORD, TokenType.STRING):
+        if index >= 3:
+            opener = tokens[index - 3]
+            if opener.type in (TokenType.PUNCTUATION, TokenType.OPERATOR) and opener.value in ("{", ","):
+                return False
+        else:
+            return False
+    return True
+
+
+def _split_condition(
+    definition: TriggerDefinition,
+    substitutions: dict[str, str],
+    property_substitutions: dict[tuple[str, str], str] | None = None,
+) -> tuple[str, str]:
+    """Split the WHEN body into (condition query, boolean predicate).
+
+    Plain predicates translate into the ``do.when`` condition directly; a
+    condition query (MATCH/UNWIND/WITH pipeline) is emitted before the
+    ``do.when`` call and its final WHERE (if any) stays inside the query, so
+    the do.when condition only keeps the label check (Figure 2's
+    ``condition_query(nodes)`` placement).
+    """
+    condition = (definition.condition or "").strip()
+    if not condition:
+        return "", ""
+    substituted = _substitute_identifiers(condition, substitutions, property_substitutions)
+    first_word = substituted.split(None, 1)[0].upper() if substituted.split() else ""
+    if first_word in {"MATCH", "UNWIND", "WITH", "OPTIONAL"}:
+        return _carry_through_withs(substituted, UNWIND_VARIABLE), ""
+    return "", substituted
+
+
+def _carry_through_withs(text: str, variable: str) -> str:
+    """Append ``variable`` to every top-level WITH projection in ``text``.
+
+    Condition queries written for PG-Triggers do not know about the unwound
+    APOC variable; Figure 2's translation keeps that variable in scope so
+    the ``do.when`` condition and inner statement can still refer to it (the
+    paper's IcuPatientIncrease translation carries ``cNodes`` through its
+    WITH explicitly).  Note that adding a grouping key turns a set-level
+    aggregate into a per-item one — the paper addresses the resulting
+    duplicate actions by using MERGE in the translated statement.
+    """
+    tokens = [t for t in tokenize(text) if t.type != TokenType.EOF]
+    insert_positions: list[int] = []
+    for index, token in enumerate(tokens):
+        if not (token.type == TokenType.KEYWORD and token.value == "WITH"):
+            continue
+        # Find where this WITH's projection list ends.
+        end_offset = len(text)
+        for later in tokens[index + 1:]:
+            if later.type == TokenType.KEYWORD and later.value in {
+                "WHERE", "ORDER", "SKIP", "LIMIT", "MATCH", "UNWIND", "WITH",
+                "RETURN", "CREATE", "MERGE", "DELETE", "DETACH", "SET", "REMOVE",
+                "FOREACH", "CALL",
+            }:
+                end_offset = later.position
+                break
+        projection = text[token.position:end_offset]
+        if variable not in projection.split():
+            insert_positions.append(end_offset)
+    result = text
+    for offset in sorted(insert_positions, reverse=True):
+        prefix = result[:offset].rstrip()
+        suffix = result[offset:]
+        result = f"{prefix}, {variable} {suffix}" if suffix.strip() else f"{prefix}, {variable}"
+    return result
+
+
+def _escape_inner(text: str) -> str:
+    """Escape a sub-query for embedding in a single-quoted APOC argument."""
+    return text.replace("\\", "\\\\").replace("'", "\\'")
+
+
+def _escape_outer(text: str) -> str:
+    """Escape the trigger body for embedding in the double-quoted argument.
+
+    Backslashes are escaped as well so that the inner statement's own
+    escaping survives the outer string's un-escaping when the install call
+    is parsed back.
+    """
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _render_call(
+    database: str,
+    name: str,
+    unwind_clause: str,
+    condition_query: str,
+    do_when_condition: str,
+    inner_statement: str,
+    parameter_map: str,
+    phase: str,
+) -> str:
+    body_lines = [unwind_clause]
+    if condition_query:
+        body_lines.append(condition_query)
+    body_lines.append(
+        "CALL apoc.do.when(\n"
+        f"  {do_when_condition},\n"
+        f"  '{_escape_inner(inner_statement)}',\n"
+        "  '',\n"
+        f"  {parameter_map})\n"
+        "YIELD value RETURN *"
+    )
+    body = _escape_outer("\n".join(body_lines))
+    return (
+        f"CALL apoc.trigger.install('{database}', '{name}',\n"
+        f'"{body}",\n'
+        f"{{phase: '{phase}'}});"
+    )

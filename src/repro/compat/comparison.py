@@ -1,0 +1,94 @@
+"""The paper's Table 1: reactive support across graph database systems.
+
+The survey of Section 3 is static knowledge; encoding it as data lets the
+benchmark harness re-print the table and lets tests assert its contents
+(which systems have graph-trigger support, which only expose event
+listeners, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SystemSupport:
+    """One row of Table 1.
+
+    Attributes:
+        name: system name.
+        category: the subsection of Section 3 the system belongs to.
+        triggers_on_graph: native triggers over graph data (Tr-G).
+        triggers_on_relational: triggers on the relational component of a
+            mixed system (Tr-R).
+        event_listener: the event-listener mechanism, if any (Ev-L).
+    """
+
+    name: str
+    category: str
+    triggers_on_graph: bool = False
+    triggers_on_relational: bool = False
+    event_listener: Optional[str] = None
+
+    def row(self) -> dict[str, str]:
+        """Render the row with the paper's ✓ / - / (mechanism) notation."""
+        return {
+            "System": self.name,
+            "Tr-G": "✓" if self.triggers_on_graph else "-",
+            "Tr-R": "✓" if self.triggers_on_relational else "-",
+            "Ev-L": f"✓({self.event_listener})" if self.event_listener else "-",
+        }
+
+
+GRAPH_DATABASES = "graph databases"
+MIXED_RELATIONAL = "mixed graph-relational systems"
+MIXED_DOCUMENT = "mixed graph-document databases"
+
+#: The fifteen systems of Table 1, in the paper's order.
+SYSTEMS: tuple[SystemSupport, ...] = (
+    SystemSupport("Neo4j", GRAPH_DATABASES, triggers_on_graph=True),
+    SystemSupport("Memgraph", GRAPH_DATABASES, triggers_on_graph=True),
+    SystemSupport("JanusGraph", GRAPH_DATABASES, event_listener="JSBus"),
+    SystemSupport("Dgraph", GRAPH_DATABASES, event_listener="Lambda"),
+    SystemSupport("Amazon Neptune", GRAPH_DATABASES, event_listener="SNS"),
+    SystemSupport("Stardog", GRAPH_DATABASES, event_listener="Java"),
+    SystemSupport("Nebula Graph", GRAPH_DATABASES),
+    SystemSupport("TigerGraph", GRAPH_DATABASES),
+    SystemSupport("GraphDB", GRAPH_DATABASES),
+    SystemSupport("Oracle Graph Database", MIXED_RELATIONAL, triggers_on_relational=True),
+    SystemSupport("Virtuoso", MIXED_RELATIONAL, triggers_on_relational=True),
+    SystemSupport("AgensGraph", MIXED_RELATIONAL, triggers_on_relational=True),
+    SystemSupport("Microsoft Azure Cosmos DB", MIXED_DOCUMENT, event_listener="JS"),
+    SystemSupport("OrientDB", MIXED_DOCUMENT, event_listener="Hooks"),
+    SystemSupport("ArangoDB", MIXED_DOCUMENT, event_listener="✓"),
+)
+
+
+def table1_rows() -> list[dict[str, str]]:
+    """All Table 1 rows, in the paper's order."""
+    return [system.row() for system in SYSTEMS]
+
+
+def systems_with_graph_triggers() -> list[str]:
+    """Systems offering native triggers on graph data (the paper: Neo4j, Memgraph)."""
+    return [s.name for s in SYSTEMS if s.triggers_on_graph]
+
+
+def systems_with_event_listeners() -> list[str]:
+    """Systems offering only event-listener mechanisms."""
+    return [s.name for s in SYSTEMS if s.event_listener and not s.triggers_on_graph]
+
+
+def render_table1() -> str:
+    """Render Table 1 as fixed-width text (used by the benchmark harness)."""
+    rows = table1_rows()
+    headers = ["System", "Tr-G", "Tr-R", "Ev-L"]
+    widths = {h: max(len(h), *(len(r[h]) for r in rows)) for h in headers}
+    lines = [
+        " | ".join(h.ljust(widths[h]) for h in headers),
+        "-+-".join("-" * widths[h] for h in headers),
+    ]
+    for row in rows:
+        lines.append(" | ".join(row[h].ljust(widths[h]) for h in headers))
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Exception hierarchy for the compatibility (APOC / Memgraph) layers."""
+
+from __future__ import annotations
+
+
+class CompatError(Exception):
+    """Base class for compatibility-layer errors."""
+
+
+class ApocTriggerError(CompatError):
+    """Raised by the APOC trigger emulation (unknown trigger, bad phase, …)."""
+
+
+class MemgraphTriggerError(CompatError):
+    """Raised by the Memgraph trigger emulation."""
+
+
+class TranslationError(CompatError):
+    """Raised when a PG-Trigger cannot be translated to the target dialect."""

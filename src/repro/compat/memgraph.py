@@ -1,0 +1,319 @@
+"""Emulation of Memgraph triggers (Section 5.2 of the paper).
+
+Memgraph supports triggers natively with the syntax::
+
+    CREATE TRIGGER <name>
+    [ ON [ () | --> ] CREATE | UPDATE | DELETE ]
+    [ BEFORE | AFTER ] COMMIT
+    EXECUTE <openCypher statements>
+
+The emulator reproduces:
+
+* the trigger DDL (plus ``DROP TRIGGER`` and ``SHOW TRIGGERS``);
+* the event filter — ``()`` restricts to vertex (node) events, ``-->`` to
+  edge (relationship) events, and the bare event word covers both;
+* the ``BEFORE COMMIT`` / ``AFTER COMMIT`` execution times (before commit
+  runs inside the committing transaction; after commit runs in a new one);
+* the predefined variables of Table 4 (``createdVertices``,
+  ``setVertexProperties``, …), exposed to the trigger statement as bound
+  variables rather than parameters, matching Memgraph's behaviour;
+* the same no-cascade limitation as APOC, which the paper points out is
+  identical in Memgraph.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from ..cypher.executor import QueryExecutor
+from ..cypher.result import QueryResult
+from ..graph.delta import GraphDelta
+from ..graph.store import PropertyGraph
+from ..tx.manager import TransactionManager
+from ..tx.transaction import Transaction
+from .errors import MemgraphTriggerError
+
+_TRIGGER_DDL = re.compile(
+    r"^\s*CREATE\s+TRIGGER\s+(?P<name>\w+)"
+    r"(?:\s+ON\s+(?P<filter>\(\)|-->)?\s*(?P<event>CREATE|UPDATE|DELETE))?"
+    r"\s+(?P<phase>BEFORE|AFTER)\s+COMMIT"
+    r"\s+EXECUTE\s+(?P<statement>.+)$",
+    re.IGNORECASE | re.DOTALL,
+)
+_DROP_DDL = re.compile(r"^\s*DROP\s+TRIGGER\s+(?P<name>\w+)\s*;?\s*$", re.IGNORECASE)
+_SHOW_DDL = re.compile(r"^\s*SHOW\s+TRIGGERS\s*;?\s*$", re.IGNORECASE)
+
+
+@dataclass
+class MemgraphTrigger:
+    """One installed Memgraph trigger."""
+
+    name: str
+    statement: str
+    event: Optional[str] = None  # CREATE / UPDATE / DELETE / None = any
+    item_filter: Optional[str] = None  # "()" vertices, "-->" edges, None = any
+    phase: str = "AFTER"  # BEFORE | AFTER (commit)
+    installed_at: int = 0
+    executions: int = 0
+
+    def as_row(self) -> dict[str, Any]:
+        """Row shape returned by SHOW TRIGGERS."""
+        event_text = self.event or "ANY"
+        if self.item_filter == "()":
+            event_text = f"{event_text} (vertices)"
+        elif self.item_filter == "-->":
+            event_text = f"{event_text} (edges)"
+        return {
+            "trigger name": self.name,
+            "statement": self.statement,
+            "event type": event_text,
+            "phase": f"{self.phase} COMMIT",
+        }
+
+
+class MemgraphEmulator:
+    """A Memgraph stand-in: openCypher execution plus native trigger semantics."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph | None = None,
+        clock: Callable[[], _dt.datetime] | None = None,
+    ) -> None:
+        self.graph = graph or PropertyGraph()
+        self.clock = clock or _dt.datetime.now
+        self.manager = TransactionManager(self.graph)
+        self._triggers: dict[str, MemgraphTrigger] = {}
+        self._sequence = 0
+        #: Audit log of (trigger name, phase) executions.
+        self.execution_log: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # trigger management
+    # ------------------------------------------------------------------
+
+    def create_trigger(self, ddl: str) -> MemgraphTrigger:
+        """Install a trigger from its CREATE TRIGGER DDL text."""
+        match = _TRIGGER_DDL.match(ddl.strip().rstrip(";"))
+        if match is None:
+            raise MemgraphTriggerError(f"malformed CREATE TRIGGER statement: {ddl.strip()[:80]!r}")
+        name = match.group("name")
+        if name in self._triggers:
+            raise MemgraphTriggerError(f"trigger {name!r} already exists")
+        self._sequence += 1
+        trigger = MemgraphTrigger(
+            name=name,
+            statement=match.group("statement").strip(),
+            event=(match.group("event") or "").upper() or None,
+            item_filter=match.group("filter"),
+            phase=match.group("phase").upper(),
+            installed_at=self._sequence,
+        )
+        self._triggers[name] = trigger
+        return trigger
+
+    def drop_trigger(self, name: str) -> MemgraphTrigger:
+        """Remove a trigger by name."""
+        if name not in self._triggers:
+            raise MemgraphTriggerError(f"no trigger named {name!r}")
+        return self._triggers.pop(name)
+
+    def show_triggers(self) -> list[dict[str, Any]]:
+        """SHOW TRIGGERS."""
+        ordered = sorted(self._triggers.values(), key=lambda t: t.installed_at)
+        return [trigger.as_row() for trigger in ordered]
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+
+    def run(self, query: str, parameters: Mapping[str, Any] | None = None) -> QueryResult:
+        """Execute one statement (DDL or openCypher) in auto-commit mode."""
+        stripped = query.strip()
+        if _TRIGGER_DDL.match(stripped.rstrip(";")):
+            self.create_trigger(stripped)
+            return QueryResult()
+        drop = _DROP_DDL.match(stripped)
+        if drop:
+            self.drop_trigger(drop.group("name"))
+            return QueryResult()
+        if _SHOW_DDL.match(stripped):
+            rows = self.show_triggers()
+            columns = list(rows[0].keys()) if rows else []
+            return QueryResult(columns=columns, rows=rows)
+        return self._run_data_statement(stripped, parameters)
+
+    def _run_data_statement(
+        self, query: str, parameters: Mapping[str, Any] | None
+    ) -> QueryResult:
+        tx = self.manager.begin()
+        try:
+            executor = QueryExecutor(
+                self.graph, transaction=tx, parameters=parameters, clock=self.clock
+            )
+            result = executor.execute(query)
+            tx.end_statement()
+            delta = tx.transaction_delta
+            if not delta.is_empty():
+                self._run_phase("BEFORE", delta, tx)
+            committed = self.manager.commit(tx)
+        except Exception:
+            if tx.is_active:
+                self.manager.rollback(tx)
+            raise
+        if not committed.is_empty():
+            self._run_after_commit(committed)
+        return result
+
+    # ------------------------------------------------------------------
+    # trigger execution
+    # ------------------------------------------------------------------
+
+    def _relevant(self, trigger: MemgraphTrigger, delta: GraphDelta) -> bool:
+        """Does ``delta`` contain changes matching the trigger's event filter?"""
+        vertex_changes = {
+            "CREATE": bool(delta.created_nodes),
+            "DELETE": bool(delta.deleted_nodes),
+            "UPDATE": bool(
+                delta.assigned_labels
+                or delta.removed_labels
+                or delta.node_property_assignments()
+                or delta.node_property_removals()
+            ),
+        }
+        edge_changes = {
+            "CREATE": bool(delta.created_relationships),
+            "DELETE": bool(delta.deleted_relationships),
+            "UPDATE": bool(
+                delta.relationship_property_assignments()
+                or delta.relationship_property_removals()
+            ),
+        }
+        events = [trigger.event] if trigger.event else ["CREATE", "UPDATE", "DELETE"]
+        if trigger.item_filter == "()":
+            return any(vertex_changes[e] for e in events)
+        if trigger.item_filter == "-->":
+            return any(edge_changes[e] for e in events)
+        return any(vertex_changes[e] or edge_changes[e] for e in events)
+
+    def _run_phase(self, phase: str, delta: GraphDelta, tx: Transaction) -> None:
+        bindings = predefined_variables(delta)
+        ordered = sorted(self._triggers.values(), key=lambda t: t.installed_at)
+        for trigger in ordered:
+            if trigger.phase != phase or not self._relevant(trigger, delta):
+                continue
+            executor = QueryExecutor(self.graph, transaction=tx, clock=self.clock)
+            executor.execute(trigger.statement, bindings=bindings)
+            trigger.executions += 1
+            self.execution_log.append((trigger.name, trigger.phase))
+            # Triggers do not cascade (same limitation as Neo4j APOC).
+            tx.end_statement()
+
+    def _run_after_commit(self, committed: GraphDelta) -> None:
+        relevant = [
+            t for t in sorted(self._triggers.values(), key=lambda t: t.installed_at)
+            if t.phase == "AFTER" and self._relevant(t, committed)
+        ]
+        if not relevant:
+            return
+        tx = self.manager.begin(metadata={"source": "memgraph-trigger"})
+        try:
+            self._run_phase("AFTER", committed, tx)
+            self.manager.commit(tx)
+        except Exception:
+            if tx.is_active:
+                self.manager.rollback(tx)
+            raise
+
+
+# ---------------------------------------------------------------------------
+# Table 4: predefined variables
+# ---------------------------------------------------------------------------
+
+
+def predefined_variables(delta: GraphDelta) -> dict[str, Any]:
+    """Build the Memgraph predefined variables of Table 4 from a delta.
+
+    Update records are maps carrying the affected item plus the change
+    details, which is how Memgraph exposes them to openCypher.
+    """
+    set_vertex_labels = [
+        {"label": a.label, "vertex": a.node} for a in delta.assigned_labels
+    ]
+    removed_vertex_labels = [
+        {"label": r.label, "vertex": r.node} for r in delta.removed_labels
+    ]
+    set_vertex_properties = [
+        {"vertex": c.item, "key": c.key, "old": c.old, "new": c.new}
+        for c in delta.node_property_assignments()
+    ]
+    set_edge_properties = [
+        {"edge": c.item, "key": c.key, "old": c.old, "new": c.new}
+        for c in delta.relationship_property_assignments()
+    ]
+    removed_vertex_properties = [
+        {"vertex": c.item, "key": c.key, "old": c.old}
+        for c in delta.node_property_removals()
+    ]
+    removed_edge_properties = [
+        {"edge": c.item, "key": c.key, "old": c.old}
+        for c in delta.relationship_property_removals()
+    ]
+    updated_vertices = (
+        [{"event_type": "set_vertex_label", **entry} for entry in set_vertex_labels]
+        + [{"event_type": "removed_vertex_label", **entry} for entry in removed_vertex_labels]
+        + [{"event_type": "set_vertex_property", **entry} for entry in set_vertex_properties]
+        + [
+            {"event_type": "removed_vertex_property", **entry}
+            for entry in removed_vertex_properties
+        ]
+    )
+    updated_edges = (
+        [{"event_type": "set_edge_property", **entry} for entry in set_edge_properties]
+        + [{"event_type": "removed_edge_property", **entry} for entry in removed_edge_properties]
+    )
+    created_objects = [{"event_type": "created_vertex", "vertex": n} for n in delta.created_nodes] + [
+        {"event_type": "created_edge", "edge": r} for r in delta.created_relationships
+    ]
+    deleted_objects = [{"event_type": "deleted_vertex", "vertex": n} for n in delta.deleted_nodes] + [
+        {"event_type": "deleted_edge", "edge": r} for r in delta.deleted_relationships
+    ]
+    return {
+        "createdVertices": list(delta.created_nodes),
+        "createdEdges": list(delta.created_relationships),
+        "createdObjects": created_objects,
+        "deletedVertices": list(delta.deleted_nodes),
+        "deletedEdges": list(delta.deleted_relationships),
+        "deletedObjects": deleted_objects,
+        "updatedVertices": updated_vertices,
+        "updatedEdges": updated_edges,
+        "updatedObjects": updated_vertices + updated_edges,
+        "setVertexLabels": set_vertex_labels,
+        "removedVertexLabels": removed_vertex_labels,
+        "setVertexProperties": set_vertex_properties,
+        "setEdgeProperties": set_edge_properties,
+        "removedVertexProperties": removed_vertex_properties,
+        "removedEdgeProperties": removed_edge_properties,
+    }
+
+
+#: The rows of the paper's Table 4 (variable name and description).
+TABLE4_ROWS: tuple[tuple[str, str], ...] = (
+    ("createdVertices", "list of created nodes"),
+    ("createdEdges", "list of created relationships"),
+    ("createdObjects", "list of created objects (as maps)"),
+    ("updatedVertices", "list of node updates (set/removed properties/labels)"),
+    ("updatedEdges", "list of node updates (set/removed properties)"),
+    ("updatedObjects", "list of node/rels updates (set/removed properties/labels)"),
+    ("deletedVertices", "list of deleted nodes"),
+    ("deletedEdges", "list of deleted relationships"),
+    ("deletedObjects", "list of deleted objects (as maps)"),
+    ("setVertexLabels", "list of set node labels"),
+    ("removedVertexLabels", "list of removed node labels"),
+    ("setVertexProperties", "list of set node properties"),
+    ("setEdgeProperties", "list of set relationship properties"),
+    ("removedVertexProperties", "list of removed node properties"),
+    ("removedEdgeProperties", "list of removed relationship prop."),
+)

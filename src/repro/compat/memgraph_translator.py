@@ -1,0 +1,184 @@
+"""Syntax-directed translation of PG-Triggers into Memgraph triggers.
+
+Reproduces the scheme of the paper's Figure 3: the translated trigger
+unwinds the matching Table 4 predefined variable, evaluates the PG-Trigger
+condition inside a ``CASE`` expression that yields a ``flag``, guards the
+statement with ``WHERE flag IS NOT NULL`` and then runs the (rewritten)
+action statement.  The emitted DDL is executable against
+:class:`~repro.compat.memgraph.MemgraphEmulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..triggers.ast import (
+    ActionTime,
+    EventType,
+    Granularity,
+    ItemKind,
+    TransitionVariable,
+    TriggerDefinition,
+)
+from .apoc_translator import (  # shared token-level rewriting helpers
+    _carry_through_withs,
+    _substitute_identifiers,
+)
+from .errors import TranslationError
+
+#: Variable bound to the unwound item, as in Figure 3.
+UNWIND_VARIABLE = "newNode"
+
+#: (event, item) -> (predefined variable, item expression inside the record)
+_EVENT_SOURCES = {
+    (EventType.CREATE, ItemKind.NODE): ("createdVertices", None),
+    (EventType.DELETE, ItemKind.NODE): ("deletedVertices", None),
+    (EventType.CREATE, ItemKind.RELATIONSHIP): ("createdEdges", None),
+    (EventType.DELETE, ItemKind.RELATIONSHIP): ("deletedEdges", None),
+    (EventType.SET, ItemKind.NODE): ("setVertexProperties", "vertex"),
+    (EventType.REMOVE, ItemKind.NODE): ("removedVertexProperties", "vertex"),
+    (EventType.SET, ItemKind.RELATIONSHIP): ("setEdgeProperties", "edge"),
+    (EventType.REMOVE, ItemKind.RELATIONSHIP): ("removedEdgeProperties", "edge"),
+}
+
+#: PG-Trigger event -> Memgraph ON event word.
+_EVENT_WORDS = {
+    EventType.CREATE: "CREATE",
+    EventType.DELETE: "DELETE",
+    EventType.SET: "UPDATE",
+    EventType.REMOVE: "UPDATE",
+}
+
+
+@dataclass(frozen=True)
+class MemgraphTranslation:
+    """The result of translating one PG-Trigger to Memgraph."""
+
+    trigger: TriggerDefinition
+    source_variable: str
+    on_clause: str
+    phase: str
+    body: str
+    ddl: str
+
+    def __str__(self) -> str:
+        return self.ddl
+
+
+def translate_to_memgraph(definition: TriggerDefinition) -> MemgraphTranslation:
+    """Translate ``definition`` into a Memgraph CREATE TRIGGER statement."""
+    if definition.time == ActionTime.BEFORE:
+        raise TranslationError(
+            f"trigger {definition.name!r}: BEFORE action time has no Memgraph counterpart; "
+            "only ONCOMMIT (BEFORE COMMIT), AFTER and DETACHED (AFTER COMMIT) can be mapped"
+        )
+    phase = "BEFORE COMMIT" if definition.time == ActionTime.ONCOMMIT else "AFTER COMMIT"
+    source, record_field = _EVENT_SOURCES[(definition.event, definition.item)]
+    item_filter = "()" if definition.item == ItemKind.NODE else "-->"
+    on_clause = f"ON {item_filter} {_EVENT_WORDS[definition.event]}"
+
+    if record_field is None:
+        unwind = f"UNWIND {source} AS {UNWIND_VARIABLE}"
+        extra_with = ""
+    else:
+        unwind = f"UNWIND {source} AS change"
+        extra_with = (
+            f"WITH change.{record_field} AS {UNWIND_VARIABLE}, change.key AS changedKey, "
+            "change.old AS oldValue, change.new AS newValue"
+        )
+
+    substitutions = _variable_substitutions(definition)
+    property_substitutions = _property_substitutions(definition)
+    condition = (definition.condition or "").strip()
+    condition = _substitute_identifiers(condition, substitutions, property_substitutions)
+    statement = _substitute_identifiers(
+        definition.statement, substitutions, property_substitutions
+    )
+
+    label_check = _label_check(definition)
+    condition_query = ""
+    predicate = ""
+    if condition:
+        first_word = condition.split(None, 1)[0].upper()
+        if first_word in {"MATCH", "UNWIND", "WITH", "OPTIONAL"}:
+            # Keep the unwound item in scope across the condition query's WITH
+            # clauses (Section 5.2: condition-query variables must be carried
+            # through the WITH into the statement).
+            condition_query = _carry_through_withs(condition, UNWIND_VARIABLE)
+        else:
+            predicate = condition
+    case_condition = label_check
+    if definition.property is not None:
+        case_condition += f" AND changedKey = '{definition.property}'"
+    if predicate:
+        case_condition += f" AND ({predicate})"
+
+    lines = [unwind]
+    if extra_with:
+        lines.append(extra_with)
+    if condition_query:
+        lines.append(condition_query)
+    lines.append(
+        f"WITH CASE WHEN {case_condition} THEN {UNWIND_VARIABLE} END AS flag, "
+        f"{UNWIND_VARIABLE} AS {UNWIND_VARIABLE}"
+    )
+    lines.append("WHERE flag IS NOT NULL")
+    lines.append(statement)
+    body = "\n".join(lines)
+    ddl = (
+        f"CREATE TRIGGER {definition.name}\n"
+        f"{on_clause}\n"
+        f"{phase}\n"
+        f"EXECUTE\n{body};"
+    )
+    return MemgraphTranslation(
+        trigger=definition,
+        source_variable=source,
+        on_clause=on_clause,
+        phase=phase,
+        body=body,
+        ddl=ddl,
+    )
+
+
+def translate_all(definitions) -> list[MemgraphTranslation]:
+    """Translate a collection of PG-Triggers."""
+    return [translate_to_memgraph(definition) for definition in definitions]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _label_check(definition: TriggerDefinition) -> str:
+    if definition.item == ItemKind.NODE:
+        return f"'{definition.label}' IN labels({UNWIND_VARIABLE})"
+    return f"type({UNWIND_VARIABLE}) = '{definition.label}'"
+
+
+def _variable_substitutions(definition: TriggerDefinition) -> dict[str, str]:
+    substitutions: dict[str, str] = {}
+    if definition.granularity == Granularity.EACH:
+        variables = (TransitionVariable.OLD, TransitionVariable.NEW)
+    elif definition.item == ItemKind.NODE:
+        variables = (TransitionVariable.OLDNODES, TransitionVariable.NEWNODES)
+    else:
+        variables = (TransitionVariable.OLDRELS, TransitionVariable.NEWRELS)
+    for variable in variables:
+        substitutions[variable.value] = UNWIND_VARIABLE
+        substitutions[definition.alias_for(variable)] = UNWIND_VARIABLE
+    return substitutions
+
+
+def _property_substitutions(definition: TriggerDefinition) -> dict[tuple[str, str], str]:
+    if definition.property is None or definition.event not in (EventType.SET, EventType.REMOVE):
+        return {}
+    result: dict[tuple[str, str], str] = {}
+    for variable, replacement in (
+        (TransitionVariable.OLD, "oldValue"),
+        (TransitionVariable.NEW, "newValue"),
+    ):
+        result[(variable.value, definition.property)] = replacement
+        result[(definition.alias_for(variable), definition.property)] = replacement
+    return result

@@ -1,0 +1,79 @@
+"""openCypher-subset query engine.
+
+Typical usage::
+
+    from repro.cypher import execute
+    from repro.graph import PropertyGraph
+
+    graph = PropertyGraph()
+    execute(graph, "CREATE (:Hospital {name: 'Sacco', icuBeds: 20})")
+    result = execute(graph, "MATCH (h:Hospital) RETURN h.name AS name")
+    print(result.values("name"))
+
+For transactional execution (and therefore trigger-visible change capture),
+construct a :class:`QueryExecutor` with an explicit
+:class:`~repro.tx.transaction.Transaction`, or use the higher-level
+:class:`repro.triggers.session.GraphSession`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Callable, Mapping
+
+from ..graph.store import PropertyGraph
+from ..tx.transaction import Transaction
+from .ast import Query, expression_text
+from .errors import (
+    CypherError,
+    CypherRuntimeError,
+    CypherSyntaxError,
+    CypherTypeError,
+    UnsupportedFeatureError,
+)
+from .executor import ProcedureInvocation, QueryExecutor
+from .expressions import EvaluationContext, evaluate
+from .parser import parse_expression, parse_query
+from .result import QueryResult, QueryStatistics
+
+__all__ = [
+    "CypherError",
+    "CypherRuntimeError",
+    "CypherSyntaxError",
+    "CypherTypeError",
+    "EvaluationContext",
+    "ProcedureInvocation",
+    "Query",
+    "QueryExecutor",
+    "QueryResult",
+    "QueryStatistics",
+    "UnsupportedFeatureError",
+    "evaluate",
+    "execute",
+    "expression_text",
+    "parse_expression",
+    "parse_query",
+]
+
+
+def execute(
+    graph: PropertyGraph,
+    query: str | Query,
+    parameters: Mapping[str, Any] | None = None,
+    transaction: Transaction | None = None,
+    bindings: Mapping[str, Any] | None = None,
+    clock: Callable[[], _dt.datetime] | None = None,
+) -> QueryResult:
+    """Execute a single query against ``graph`` and return its result.
+
+    This convenience wrapper creates a fresh :class:`QueryExecutor` per
+    call; pass ``transaction`` to make the writes part of a larger unit of
+    work (and visible to trigger change capture).
+    """
+    executor = QueryExecutor(
+        graph,
+        transaction=transaction,
+        parameters=parameters,
+        clock=clock,
+    )
+    return executor.execute(query, bindings=bindings)

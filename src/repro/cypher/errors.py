@@ -1,0 +1,38 @@
+"""Exception hierarchy for the Cypher-subset query engine."""
+
+from __future__ import annotations
+
+
+class CypherError(Exception):
+    """Base class for all query engine errors."""
+
+
+class CypherSyntaxError(CypherError):
+    """Raised by the lexer/parser on malformed query text."""
+
+    def __init__(self, message: str, position: int | None = None, line: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" (line {line})"
+        elif position is not None:
+            location = f" (offset {position})"
+        super().__init__(f"{message}{location}")
+        self.position = position
+        self.line = line
+
+
+class CypherTypeError(CypherError):
+    """Raised when an expression is applied to values of the wrong type."""
+
+
+class CypherRuntimeError(CypherError):
+    """Raised for runtime failures (unknown variables, deleted items, …)."""
+
+
+class UnsupportedFeatureError(CypherError):
+    """Raised when a query uses openCypher syntax outside the supported subset.
+
+    The reproduction implements the subset needed by the paper's triggers
+    and examples; anything else fails loudly instead of silently returning
+    wrong answers.
+    """

@@ -1,0 +1,945 @@
+"""Clause-by-clause executor for the Cypher subset.
+
+The executor processes a query as a pipeline over *binding rows* (plain
+dictionaries mapping variable names to values).  Each clause consumes the
+current row list and produces a new one; RETURN materialises the final
+:class:`~repro.cypher.result.QueryResult`.
+
+Writes go through a :class:`~repro.tx.transaction.Transaction` so that the
+transaction's delta captures every change (which is what the PG-Trigger
+engine consumes).  When the caller passes a bare graph, a throwaway
+transaction is created internally.
+
+Two extension points exist for the trigger and compatibility layers:
+
+* ``virtual_labels`` — a mapping ``label -> set of node/relationship ids``
+  that behaves as an additional, query-scoped label.  The trigger engine
+  uses it to expose the set-granularity transition variables (``NEWNODES``,
+  ``OLDRELS``, …) to conditions written as patterns, e.g.
+  ``MATCH (pn:NEWNODES)-[:TreatedAt]-(h)``.
+* ``procedures`` — a registry of callables for ``CALL name(args) YIELD …``
+  clauses; the APOC emulation registers ``apoc.do.when`` and friends.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import itertools
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..graph.model import Node, Relationship
+from ..graph.store import PropertyGraph
+from ..tx.transaction import Transaction
+from .ast import (
+    BinaryOp,
+    CallClause,
+    Clause,
+    CountStar,
+    CreateClause,
+    DeleteClause,
+    ExistsPattern,
+    Expression,
+    ForeachClause,
+    FunctionCall,
+    MatchClause,
+    MergeClause,
+    NodePattern,
+    PathPattern,
+    ProjectionItem,
+    Query,
+    RelationshipPattern,
+    RemoveClause,
+    RemoveLabelsItem,
+    RemovePropertyItem,
+    ReturnClause,
+    SetClause,
+    SetFromMapItem,
+    SetLabelsItem,
+    SetPropertyItem,
+    UnwindClause,
+    WithClause,
+    walk_expression,
+)
+from .errors import CypherRuntimeError, CypherTypeError, UnsupportedFeatureError
+from .expressions import EvaluationContext, evaluate
+from .functions import AGGREGATE_FUNCTIONS, is_aggregate_function
+from .parser import parse_query
+from .result import QueryResult, QueryStatistics
+
+#: Signature of a registered procedure: ``(arguments, invocation) -> rows``.
+#: ``arguments`` are the evaluated argument values; ``invocation`` is a
+#: :class:`ProcedureInvocation` giving access to the executor and row.
+ProcedureCallable = Callable[[Sequence[Any], "ProcedureInvocation"], Iterable[Mapping[str, Any]]]
+
+#: Default bound applied to unbounded variable-length patterns (``[*]``);
+#: prevents accidental exponential blow-ups on dense graphs.
+DEFAULT_MAX_HOPS = 15
+
+
+class ProcedureInvocation:
+    """Context handed to procedure implementations."""
+
+    def __init__(self, executor: "QueryExecutor", row: dict[str, Any]) -> None:
+        self.executor = executor
+        self.row = row
+
+    @property
+    def graph(self) -> PropertyGraph:
+        """The graph being queried."""
+        return self.executor.graph
+
+    @property
+    def transaction(self) -> Transaction:
+        """The transaction write statements should go through."""
+        return self.executor.transaction
+
+    def run_subquery(
+        self, text: str, parameters: Mapping[str, Any] | None = None
+    ) -> QueryResult:
+        """Execute a nested query sharing this execution's transaction."""
+        merged = dict(self.executor.parameters)
+        merged.update(parameters or {})
+        nested = QueryExecutor(
+            self.executor.graph,
+            transaction=self.executor.transaction,
+            parameters=merged,
+            clock=self.executor.clock,
+            procedures=self.executor.procedures,
+            virtual_labels=self.executor.virtual_labels,
+        )
+        result = nested.execute(text)
+        self.executor.statistics_merge(nested.last_statistics)
+        return result
+
+
+class QueryExecutor:
+    """Executes parsed queries against a property graph."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        transaction: Transaction | None = None,
+        parameters: Mapping[str, Any] | None = None,
+        clock: Callable[[], _dt.datetime] | None = None,
+        procedures: Mapping[str, ProcedureCallable] | None = None,
+        virtual_labels: Mapping[str, set[int]] | None = None,
+        max_hops: int = DEFAULT_MAX_HOPS,
+    ) -> None:
+        self.graph = graph
+        self.transaction = transaction or Transaction(graph)
+        self.parameters = dict(parameters or {})
+        self.clock = clock or _dt.datetime.now
+        self.procedures = dict(procedures or {})
+        self.virtual_labels = {k: set(v) for k, v in (virtual_labels or {}).items()}
+        self.max_hops = max_hops
+        self.last_statistics = QueryStatistics()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: Query | str,
+        parameters: Mapping[str, Any] | None = None,
+        bindings: Mapping[str, Any] | None = None,
+    ) -> QueryResult:
+        """Execute ``query`` (text or parsed) and return its result.
+
+        ``bindings`` pre-populates the initial row; the trigger engine uses
+        this to expose transition variables (``NEW``, ``OLD``, …) to
+        condition and action statements.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        if parameters:
+            self.parameters.update(parameters)
+        self.last_statistics = QueryStatistics()
+        rows: list[dict[str, Any]] = [dict(bindings or {})]
+        result = QueryResult(statistics=self.last_statistics)
+        for index, clause in enumerate(query.clauses):
+            if isinstance(clause, ReturnClause):
+                if index != len(query.clauses) - 1:
+                    raise UnsupportedFeatureError("RETURN must be the final clause")
+                columns, projected = self._project(clause, rows)
+                result.columns = columns
+                result.rows = projected
+                return result
+            rows = self._execute_clause(clause, rows)
+        return result
+
+    def statistics_merge(self, other: QueryStatistics) -> None:
+        """Fold the statistics of a nested execution into this one."""
+        stats = self.last_statistics
+        stats.nodes_created += other.nodes_created
+        stats.nodes_deleted += other.nodes_deleted
+        stats.relationships_created += other.relationships_created
+        stats.relationships_deleted += other.relationships_deleted
+        stats.labels_added += other.labels_added
+        stats.labels_removed += other.labels_removed
+        stats.properties_set += other.properties_set
+        stats.properties_removed += other.properties_removed
+
+    # ------------------------------------------------------------------
+    # clause dispatch
+    # ------------------------------------------------------------------
+
+    def _execute_clause(self, clause: Clause, rows: list[dict]) -> list[dict]:
+        if isinstance(clause, MatchClause):
+            return self._execute_match(clause, rows)
+        if isinstance(clause, UnwindClause):
+            return self._execute_unwind(clause, rows)
+        if isinstance(clause, WithClause):
+            return self._execute_with(clause, rows)
+        if isinstance(clause, CreateClause):
+            return self._execute_create(clause, rows)
+        if isinstance(clause, MergeClause):
+            return self._execute_merge(clause, rows)
+        if isinstance(clause, SetClause):
+            return self._execute_set(clause, rows)
+        if isinstance(clause, RemoveClause):
+            return self._execute_remove(clause, rows)
+        if isinstance(clause, DeleteClause):
+            return self._execute_delete(clause, rows)
+        if isinstance(clause, ForeachClause):
+            return self._execute_foreach(clause, rows)
+        if isinstance(clause, CallClause):
+            return self._execute_call(clause, rows)
+        raise UnsupportedFeatureError(f"clause {type(clause).__name__} is not supported")
+
+    # ------------------------------------------------------------------
+    # evaluation helpers
+    # ------------------------------------------------------------------
+
+    def _context(self, aggregate_lookup: Optional[dict[int, Any]] = None) -> EvaluationContext:
+        return EvaluationContext(
+            graph=self.graph,
+            parameters=self.parameters,
+            clock=self.clock,
+            pattern_matcher=self._exists_matcher,
+            aggregate_lookup=aggregate_lookup,
+        )
+
+    def _evaluate(self, expr: Expression, row: Mapping[str, Any],
+                  aggregate_lookup: Optional[dict[int, Any]] = None) -> Any:
+        return evaluate(expr, row, self._context(aggregate_lookup))
+
+    def _exists_matcher(self, exists: ExistsPattern, row: dict[str, Any]) -> bool:
+        rows = [dict(row)]
+        for pattern in exists.patterns:
+            next_rows: list[dict] = []
+            for current in rows:
+                next_rows.extend(self._match_pattern(pattern, current))
+            rows = next_rows
+            if not rows:
+                return False
+        if exists.where is not None:
+            rows = [r for r in rows if self._evaluate(exists.where, r) is True]
+        return bool(rows)
+
+    # ------------------------------------------------------------------
+    # MATCH
+    # ------------------------------------------------------------------
+
+    def _execute_match(self, clause: MatchClause, rows: list[dict]) -> list[dict]:
+        output: list[dict] = []
+        for row in rows:
+            matched = [dict(row)]
+            for pattern in clause.patterns:
+                extended: list[dict] = []
+                for current in matched:
+                    extended.extend(self._match_pattern(pattern, current))
+                matched = extended
+                if not matched:
+                    break
+            if clause.where is not None:
+                matched = [r for r in matched if self._evaluate(clause.where, r) is True]
+            if matched:
+                output.extend(matched)
+            elif clause.optional:
+                padded = dict(row)
+                for name in _pattern_variables(clause.patterns):
+                    padded.setdefault(name, None)
+                output.append(padded)
+        return output
+
+    def _match_pattern(self, pattern: PathPattern, row: dict) -> list[dict]:
+        """All ways of matching ``pattern`` starting from the bindings in ``row``."""
+        elements = pattern.elements
+        results: list[dict] = []
+        first = elements[0]
+        assert isinstance(first, NodePattern)
+        for node, bindings in self._candidate_nodes(first, row):
+            self._extend_path(
+                elements, 1, node, bindings, used_rels=set(), path_nodes=[node], path_rels=[],
+                pattern=pattern, results=results,
+            )
+        return results
+
+    def _extend_path(
+        self,
+        elements: Sequence,
+        index: int,
+        current_node: Node,
+        bindings: dict,
+        used_rels: set[int],
+        path_nodes: list[Node],
+        path_rels: list[Relationship],
+        pattern: PathPattern,
+        results: list[dict],
+    ) -> None:
+        if index >= len(elements):
+            final = dict(bindings)
+            if pattern.variable is not None:
+                final[pattern.variable] = {
+                    "nodes": list(path_nodes),
+                    "relationships": list(path_rels),
+                }
+            results.append(final)
+            return
+        rel_pattern = elements[index]
+        node_pattern = elements[index + 1]
+        assert isinstance(rel_pattern, RelationshipPattern)
+        assert isinstance(node_pattern, NodePattern)
+        if rel_pattern.is_variable_length:
+            self._expand_variable_length(
+                rel_pattern, node_pattern, elements, index, current_node, bindings,
+                used_rels, path_nodes, path_rels, pattern, results,
+            )
+            return
+        for rel in self._candidate_relationships(rel_pattern, current_node, bindings):
+            if rel.id in used_rels:
+                continue
+            other_id = rel.other_end(current_node.id)
+            if not self.graph.has_node(other_id):
+                continue
+            other = self.graph.node(other_id)
+            new_bindings = self._bind_node(node_pattern, other, bindings)
+            if new_bindings is None:
+                continue
+            if rel_pattern.variable is not None:
+                if rel_pattern.variable in new_bindings and not _same_item(
+                    new_bindings[rel_pattern.variable], rel
+                ):
+                    continue
+                new_bindings = dict(new_bindings)
+                new_bindings[rel_pattern.variable] = rel
+            self._extend_path(
+                elements, index + 2, other, new_bindings, used_rels | {rel.id},
+                path_nodes + [other], path_rels + [rel], pattern, results,
+            )
+
+    def _expand_variable_length(
+        self, rel_pattern, node_pattern, elements, index, current_node, bindings,
+        used_rels, path_nodes, path_rels, pattern, results,
+    ) -> None:
+        min_hops = rel_pattern.min_hops if rel_pattern.min_hops is not None else 1
+        max_hops = rel_pattern.max_hops if rel_pattern.max_hops is not None else self.max_hops
+
+        def recurse(node: Node, hops: list[Relationship], visited_rels: set[int]) -> None:
+            if len(hops) >= min_hops:
+                target_bindings = self._bind_node(node_pattern, node, bindings)
+                if target_bindings is not None:
+                    final_bindings = dict(target_bindings)
+                    if rel_pattern.variable is not None:
+                        final_bindings[rel_pattern.variable] = list(hops)
+                    self._extend_path(
+                        elements, index + 2, node, final_bindings,
+                        used_rels | visited_rels,
+                        path_nodes + [node], path_rels + list(hops), pattern, results,
+                    )
+            if len(hops) >= max_hops:
+                return
+            for rel in self._candidate_relationships(rel_pattern, node, bindings, ignore_bound=True):
+                if rel.id in visited_rels or rel.id in used_rels:
+                    continue
+                other_id = rel.other_end(node.id)
+                if not self.graph.has_node(other_id):
+                    continue
+                recurse(self.graph.node(other_id), hops + [rel], visited_rels | {rel.id})
+
+        recurse(current_node, [], set())
+
+    def _candidate_nodes(self, node_pattern: NodePattern, row: dict) -> Iterator[tuple[Node, dict]]:
+        """Yield (node, updated bindings) pairs satisfying ``node_pattern``."""
+        variable = node_pattern.variable
+        if variable is not None and row.get(variable) is not None:
+            bound = row[variable]
+            if not isinstance(bound, Node):
+                raise CypherTypeError(f"variable {variable!r} is not bound to a node")
+            refreshed = self.graph.node(bound.id) if self.graph.has_node(bound.id) else bound
+            if self._node_satisfies(node_pattern, refreshed, row):
+                yield refreshed, dict(row)
+            return
+        for node in self._scan_nodes(node_pattern, row):
+            if self._node_satisfies(node_pattern, node, row):
+                bindings = dict(row)
+                if variable is not None:
+                    bindings[variable] = node
+                yield node, bindings
+
+    def _scan_nodes(self, node_pattern: NodePattern, row: dict) -> Iterable[Node]:
+        """Pick the cheapest starting candidate set for a node pattern."""
+        for label in node_pattern.labels:
+            if label in self.virtual_labels:
+                ids = self.virtual_labels[label]
+                return [self.graph.node(i) for i in sorted(ids) if self.graph.has_node(i)]
+        if node_pattern.labels:
+            real_labels = [l for l in node_pattern.labels if l not in self.virtual_labels]
+            if real_labels:
+                best = min(real_labels, key=self.graph.count_nodes_with_label)
+                return self.graph.nodes_with_label(best)
+        return self.graph.nodes()
+
+    def _node_satisfies(self, node_pattern: NodePattern, node: Node, row: dict) -> bool:
+        for label in node_pattern.labels:
+            if label in self.virtual_labels:
+                if node.id not in self.virtual_labels[label]:
+                    return False
+            elif label not in node.labels:
+                return False
+        for key, expr in node_pattern.properties:
+            expected = self._evaluate(expr, row)
+            if node.properties.get(key) != expected:
+                return False
+        return True
+
+    def _bind_node(self, node_pattern: NodePattern, node: Node, bindings: dict) -> dict | None:
+        """Check ``node`` against the pattern and return extended bindings (or None)."""
+        variable = node_pattern.variable
+        if variable is not None and bindings.get(variable) is not None:
+            existing = bindings[variable]
+            if not isinstance(existing, Node) or existing.id != node.id:
+                return None
+        if not self._node_satisfies(node_pattern, node, bindings):
+            return None
+        new_bindings = dict(bindings)
+        if variable is not None:
+            new_bindings[variable] = node
+        return new_bindings
+
+    def _candidate_relationships(
+        self,
+        rel_pattern: RelationshipPattern,
+        node: Node,
+        bindings: dict,
+        ignore_bound: bool = False,
+    ) -> list[Relationship]:
+        variable = rel_pattern.variable
+        if (
+            not ignore_bound
+            and variable is not None
+            and bindings.get(variable) is not None
+            and isinstance(bindings[variable], Relationship)
+        ):
+            candidates = [bindings[variable]]
+            if self.graph.has_relationship(candidates[0].id):
+                candidates = [self.graph.relationship(candidates[0].id)]
+        else:
+            direction = {"out": "out", "in": "in", "both": "both"}[rel_pattern.direction]
+            candidates = self.graph.relationships_of(node.id, direction=direction)
+        result = []
+        for rel in candidates:
+            if not self._relationship_satisfies(rel_pattern, rel, node, bindings):
+                continue
+            result.append(rel)
+        return result
+
+    def _relationship_satisfies(
+        self, rel_pattern: RelationshipPattern, rel: Relationship, node: Node, bindings: dict
+    ) -> bool:
+        if rel.start != node.id and rel.end != node.id:
+            return False
+        if rel_pattern.direction == "out" and rel.start != node.id:
+            return False
+        if rel_pattern.direction == "in" and rel.end != node.id:
+            return False
+        if rel_pattern.types:
+            virtual_hit = any(
+                t in self.virtual_labels and rel.id in self.virtual_labels[t]
+                for t in rel_pattern.types
+            )
+            if not virtual_hit and rel.type not in rel_pattern.types:
+                return False
+        for key, expr in rel_pattern.properties:
+            expected = self._evaluate(expr, bindings)
+            if rel.properties.get(key) != expected:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # UNWIND
+    # ------------------------------------------------------------------
+
+    def _execute_unwind(self, clause: UnwindClause, rows: list[dict]) -> list[dict]:
+        output: list[dict] = []
+        for row in rows:
+            value = self._evaluate(clause.expression, row)
+            if value is None:
+                continue
+            elements = value if isinstance(value, (list, tuple)) else [value]
+            for element in elements:
+                new_row = dict(row)
+                new_row[clause.variable] = element
+                output.append(new_row)
+        return output
+
+    # ------------------------------------------------------------------
+    # WITH / RETURN (projection and aggregation)
+    # ------------------------------------------------------------------
+
+    def _execute_with(self, clause: WithClause, rows: list[dict]) -> list[dict]:
+        _, projected = self._project(clause, rows)
+        if clause.where is not None:
+            projected = [row for row in projected if self._evaluate(clause.where, row) is True]
+        return projected
+
+    def _project(
+        self, clause: WithClause | ReturnClause, rows: list[dict]
+    ) -> tuple[list[str], list[dict]]:
+        items = list(clause.items)
+        columns: list[str] = []
+        wildcard_names: list[str] = []
+        if clause.include_wildcard:
+            seen: set[str] = set()
+            for row in rows:
+                for name in row:
+                    if name not in seen:
+                        seen.add(name)
+                        wildcard_names.append(name)
+            columns.extend(wildcard_names)
+        columns.extend(item.output_name() for item in items)
+
+        aggregates = _collect_aggregates(items)
+        if aggregates:
+            pairs = self._project_with_aggregation(items, wildcard_names, aggregates, rows)
+        else:
+            pairs = []
+            for row in rows:
+                out: dict[str, Any] = {}
+                for name in wildcard_names:
+                    out[name] = row.get(name)
+                for item in items:
+                    out[item.output_name()] = self._evaluate(item.expression, row)
+                pairs.append((out, row))
+
+        if clause.distinct:
+            pairs = _distinct_pairs(pairs)
+        if clause.order_by:
+            pairs = self._order_rows(pairs, clause.order_by)
+        if clause.skip is not None:
+            skip = int(self._evaluate(clause.skip, {}))
+            pairs = pairs[skip:]
+        if clause.limit is not None:
+            limit = int(self._evaluate(clause.limit, {}))
+            pairs = pairs[:limit]
+        return columns, [projected for projected, _ in pairs]
+
+    def _project_with_aggregation(
+        self,
+        items: Sequence[ProjectionItem],
+        wildcard_names: Sequence[str],
+        aggregates: list[Expression],
+        rows: list[dict],
+    ) -> list[tuple[dict, dict]]:
+        if wildcard_names:
+            raise UnsupportedFeatureError("WITH */RETURN * cannot be combined with aggregation")
+        grouping_items = [
+            item for item in items if not _contains_aggregate(item.expression)
+        ]
+        groups: dict[tuple, dict] = {}
+        group_rows: dict[tuple, list[dict]] = {}
+        for row in rows:
+            key_values = tuple(
+                _hashable(self._evaluate(item.expression, row)) for item in grouping_items
+            )
+            if key_values not in groups:
+                groups[key_values] = row
+                group_rows[key_values] = []
+            group_rows[key_values].append(row)
+        # A pure-aggregate projection over zero rows still yields one row
+        # (e.g. ``RETURN count(*)`` on an empty match gives 0).
+        if not groups and not grouping_items:
+            groups[()] = {}
+            group_rows[()] = []
+
+        pairs: list[tuple[dict, dict]] = []
+        for key, representative in groups.items():
+            lookup: dict[int, Any] = {}
+            for aggregate in aggregates:
+                lookup[id(aggregate)] = self._run_aggregator(aggregate, group_rows[key])
+            out: dict[str, Any] = {}
+            for item in items:
+                out[item.output_name()] = self._evaluate(
+                    item.expression, representative, aggregate_lookup=lookup
+                )
+            pairs.append((out, representative))
+        return pairs
+
+    def _run_aggregator(self, aggregate: Expression, rows: list[dict]) -> Any:
+        if isinstance(aggregate, CountStar):
+            return len(rows)
+        assert isinstance(aggregate, FunctionCall)
+        factory = AGGREGATE_FUNCTIONS[aggregate.name]
+        aggregator = factory(aggregate.distinct)
+        argument = aggregate.args[0] if aggregate.args else None
+        for row in rows:
+            value = self._evaluate(argument, row) if argument is not None else 1
+            aggregator.update(value)
+        return aggregator.result()
+
+    def _order_rows(
+        self, pairs: list[tuple[dict, dict]], sort_items
+    ) -> list[tuple[dict, dict]]:
+        def sort_key(pair: tuple[dict, dict]):
+            projected, source = pair
+            # ORDER BY may refer both to projected aliases and to the
+            # pre-projection variables (as in openCypher); projected names win.
+            scope = {**source, **projected}
+            key = []
+            for item in sort_items:
+                value = self._evaluate(item.expression, scope)
+                key.append(_SortValue(value, descending=item.descending))
+            return key
+
+        return sorted(pairs, key=sort_key)
+
+    # ------------------------------------------------------------------
+    # CREATE / MERGE
+    # ------------------------------------------------------------------
+
+    def _execute_create(self, clause: CreateClause, rows: list[dict]) -> list[dict]:
+        output = []
+        for row in rows:
+            current = dict(row)
+            for pattern in clause.patterns:
+                current = self._create_pattern(pattern, current)
+            output.append(current)
+        return output
+
+    def _create_pattern(self, pattern: PathPattern, row: dict) -> dict:
+        bindings = dict(row)
+        elements = pattern.elements
+        previous_node: Node | None = None
+        index = 0
+        while index < len(elements):
+            node_pattern = elements[index]
+            assert isinstance(node_pattern, NodePattern)
+            node = self._resolve_or_create_node(node_pattern, bindings)
+            if index > 0:
+                rel_pattern = elements[index - 1]
+                assert isinstance(rel_pattern, RelationshipPattern)
+                self._create_relationship(rel_pattern, previous_node, node, bindings)
+            previous_node = node
+            index += 2
+        return bindings
+
+    def _resolve_or_create_node(self, node_pattern: NodePattern, bindings: dict) -> Node:
+        variable = node_pattern.variable
+        if variable is not None and bindings.get(variable) is not None:
+            existing = bindings[variable]
+            if not isinstance(existing, Node):
+                raise CypherTypeError(f"variable {variable!r} is not bound to a node")
+            return self.graph.node(existing.id) if self.graph.has_node(existing.id) else existing
+        properties = {
+            key: self._evaluate(expr, bindings) for key, expr in node_pattern.properties
+        }
+        node = self.transaction.create_node(node_pattern.labels, properties)
+        stats = self.last_statistics
+        stats.nodes_created += 1
+        stats.labels_added += len(node_pattern.labels)
+        stats.properties_set += len([v for v in properties.values() if v is not None])
+        if variable is not None:
+            bindings[variable] = node
+        return node
+
+    def _create_relationship(
+        self, rel_pattern: RelationshipPattern, left: Node, right: Node, bindings: dict
+    ) -> Relationship:
+        if rel_pattern.is_variable_length:
+            raise UnsupportedFeatureError("cannot CREATE variable-length relationships")
+        if len(rel_pattern.types) != 1:
+            raise CypherRuntimeError("CREATE requires exactly one relationship type")
+        if rel_pattern.direction == "in":
+            start, end = right, left
+        else:
+            # Undirected create defaults to left-to-right, as in Neo4j.
+            start, end = left, right
+        properties = {
+            key: self._evaluate(expr, bindings) for key, expr in rel_pattern.properties
+        }
+        rel = self.transaction.create_relationship(
+            rel_pattern.types[0], start.id, end.id, properties
+        )
+        stats = self.last_statistics
+        stats.relationships_created += 1
+        stats.properties_set += len([v for v in properties.values() if v is not None])
+        if rel_pattern.variable is not None:
+            bindings[rel_pattern.variable] = rel
+        return rel
+
+    def _execute_merge(self, clause: MergeClause, rows: list[dict]) -> list[dict]:
+        output: list[dict] = []
+        for row in rows:
+            matches = self._match_pattern(clause.pattern, dict(row))
+            if matches:
+                output.extend(matches)
+            else:
+                output.append(self._create_pattern(clause.pattern, dict(row)))
+        return output
+
+    # ------------------------------------------------------------------
+    # SET / REMOVE / DELETE / FOREACH / CALL
+    # ------------------------------------------------------------------
+
+    def _resolve_item(self, row: dict, name: str) -> Node | Relationship | None:
+        if name not in row:
+            raise CypherRuntimeError(f"unknown variable {name!r}")
+        item = row[name]
+        if item is None:
+            return None
+        if not isinstance(item, (Node, Relationship)):
+            raise CypherTypeError(f"variable {name!r} is not a node or relationship")
+        return item
+
+    def _execute_set(self, clause: SetClause, rows: list[dict]) -> list[dict]:
+        stats = self.last_statistics
+        for row in rows:
+            for item in clause.items:
+                if isinstance(item, SetPropertyItem):
+                    target = self._resolve_item(row, item.subject)
+                    if target is None:
+                        continue
+                    value = self._evaluate(item.value, row)
+                    self._set_property(target, item.key, value)
+                elif isinstance(item, SetLabelsItem):
+                    target = self._resolve_item(row, item.subject)
+                    if target is None:
+                        continue
+                    if not isinstance(target, Node):
+                        raise CypherTypeError("labels can only be set on nodes")
+                    for label in item.labels:
+                        self.transaction.add_label(target.id, label)
+                        stats.labels_added += 1
+                elif isinstance(item, SetFromMapItem):
+                    target = self._resolve_item(row, item.subject)
+                    if target is None:
+                        continue
+                    value = self._evaluate(item.value, row)
+                    if not isinstance(value, Mapping):
+                        raise CypherTypeError("SET … = / += requires a map value")
+                    self._set_from_map(target, value, replace=item.replace)
+                self._refresh_binding(row, item.subject)
+        return rows
+
+    def _refresh_binding(self, row: dict, name: str) -> None:
+        """Re-bind ``name`` to the item's current snapshot after a write.
+
+        Snapshots are immutable, so later expressions in the same query would
+        otherwise keep seeing pre-write values.
+        """
+        item = row.get(name)
+        if isinstance(item, Node) and self.graph.has_node(item.id):
+            row[name] = self.graph.node(item.id)
+        elif isinstance(item, Relationship) and self.graph.has_relationship(item.id):
+            row[name] = self.graph.relationship(item.id)
+
+    def _set_property(self, target: Node | Relationship, key: str, value: Any) -> None:
+        stats = self.last_statistics
+        if isinstance(target, Node):
+            if value is None:
+                self.transaction.remove_node_property(target.id, key)
+                stats.properties_removed += 1
+            else:
+                self.transaction.set_node_property(target.id, key, value)
+                stats.properties_set += 1
+        else:
+            if value is None:
+                self.transaction.remove_relationship_property(target.id, key)
+                stats.properties_removed += 1
+            else:
+                self.transaction.set_relationship_property(target.id, key, value)
+                stats.properties_set += 1
+
+    def _set_from_map(self, target: Node | Relationship, value: Mapping, replace: bool) -> None:
+        if replace:
+            current = self.graph.node(target.id) if isinstance(target, Node) else (
+                self.graph.relationship(target.id)
+            )
+            for key in list(current.properties):
+                if key not in value:
+                    self._set_property(target, key, None)
+        for key, entry in value.items():
+            self._set_property(target, key, entry)
+
+    def _execute_remove(self, clause: RemoveClause, rows: list[dict]) -> list[dict]:
+        stats = self.last_statistics
+        for row in rows:
+            for item in clause.items:
+                target = self._resolve_item(row, item.subject)
+                if target is None:
+                    continue
+                if isinstance(item, RemovePropertyItem):
+                    self._set_property(target, item.key, None)
+                elif isinstance(item, RemoveLabelsItem):
+                    if not isinstance(target, Node):
+                        raise CypherTypeError("labels can only be removed from nodes")
+                    for label in item.labels:
+                        self.transaction.remove_label(target.id, label)
+                        stats.labels_removed += 1
+                self._refresh_binding(row, item.subject)
+        return rows
+
+    def _execute_delete(self, clause: DeleteClause, rows: list[dict]) -> list[dict]:
+        stats = self.last_statistics
+        deleted_nodes: set[int] = set()
+        deleted_rels: set[int] = set()
+        for row in rows:
+            for expr in clause.expressions:
+                value = self._evaluate(expr, row)
+                items = value if isinstance(value, (list, tuple)) else [value]
+                for item in items:
+                    if item is None:
+                        continue
+                    if isinstance(item, Relationship):
+                        if item.id not in deleted_rels and self.graph.has_relationship(item.id):
+                            self.transaction.delete_relationship(item.id)
+                            deleted_rels.add(item.id)
+                            stats.relationships_deleted += 1
+                    elif isinstance(item, Node):
+                        if item.id in deleted_nodes or not self.graph.has_node(item.id):
+                            continue
+                        before = self.graph.relationship_count()
+                        self.transaction.delete_node(item.id, detach=clause.detach)
+                        deleted_nodes.add(item.id)
+                        stats.nodes_deleted += 1
+                        stats.relationships_deleted += before - self.graph.relationship_count()
+                    else:
+                        raise CypherTypeError("DELETE expects nodes or relationships")
+        return rows
+
+    def _execute_foreach(self, clause: ForeachClause, rows: list[dict]) -> list[dict]:
+        for row in rows:
+            source = self._evaluate(clause.source, row)
+            if source is None:
+                continue
+            if not isinstance(source, (list, tuple)):
+                raise CypherTypeError("FOREACH requires a list")
+            for element in source:
+                scoped = dict(row)
+                scoped[clause.variable] = element
+                inner_rows = [scoped]
+                for inner in clause.body:
+                    inner_rows = self._execute_clause(inner, inner_rows)
+        return rows
+
+    def _execute_call(self, clause: CallClause, rows: list[dict]) -> list[dict]:
+        implementation = self.procedures.get(clause.procedure)
+        if implementation is None:
+            raise UnsupportedFeatureError(
+                f"procedure {clause.procedure!r} is not registered with this executor"
+            )
+        output: list[dict] = []
+        for row in rows:
+            arguments = [self._evaluate(arg, row) for arg in clause.arguments]
+            invocation = ProcedureInvocation(self, dict(row))
+            yielded = implementation(arguments, invocation)
+            for produced in yielded:
+                new_row = dict(row)
+                if clause.yield_items:
+                    for name, alias in clause.yield_items:
+                        new_row[alias] = produced.get(name)
+                else:
+                    new_row.update(produced)
+                output.append(new_row)
+        return output
+
+
+# ---------------------------------------------------------------------------
+# module-level helpers
+# ---------------------------------------------------------------------------
+
+
+class _SortValue:
+    """Sort key wrapper implementing null-last ordering and DESC inversion."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value: Any, descending: bool) -> None:
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "_SortValue") -> bool:
+        left, right = self.value, other.value
+        if left is None and right is None:
+            return False
+        if left is None:
+            return False if not self.descending else False
+        if right is None:
+            return True
+        if self.descending:
+            return right < left
+        return left < right
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortValue) and self.value == other.value
+
+
+def _pattern_variables(patterns: Iterable[PathPattern]) -> list[str]:
+    names: list[str] = []
+    for pattern in patterns:
+        if pattern.variable:
+            names.append(pattern.variable)
+        for element in pattern.elements:
+            if element.variable:
+                names.append(element.variable)
+    return names
+
+
+def _same_item(left: Any, right: Any) -> bool:
+    if isinstance(left, (Node, Relationship)) and isinstance(right, (Node, Relationship)):
+        return type(left) is type(right) and left.id == right.id
+    return left == right
+
+
+def _contains_aggregate(expr: Expression) -> bool:
+    for sub in walk_expression(expr):
+        if isinstance(sub, CountStar):
+            return True
+        if isinstance(sub, FunctionCall) and is_aggregate_function(sub.name):
+            return True
+    return False
+
+
+def _collect_aggregates(items: Sequence[ProjectionItem]) -> list[Expression]:
+    found: list[Expression] = []
+    for item in items:
+        for sub in walk_expression(item.expression):
+            if isinstance(sub, CountStar) or (
+                isinstance(sub, FunctionCall) and is_aggregate_function(sub.name)
+            ):
+                found.append(sub)
+    return found
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, Node):
+        return ("node", value.id)
+    if isinstance(value, Relationship):
+        return ("rel", value.id)
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    return value
+
+
+def _distinct_pairs(pairs: list[tuple[dict, dict]]) -> list[tuple[dict, dict]]:
+    seen: set = set()
+    output: list[tuple[dict, dict]] = []
+    for projected, source in pairs:
+        key = tuple(sorted((k, _hashable(v)) for k, v in projected.items()))
+        if key not in seen:
+            seen.add(key)
+            output.append((projected, source))
+    return output

@@ -1,0 +1,509 @@
+"""Scalar and aggregate functions for the Cypher subset.
+
+The registry exposes two lookup tables:
+
+* :data:`SCALAR_FUNCTIONS` — name -> callable(args, context) evaluated per row;
+* :data:`AGGREGATE_FUNCTIONS` — name -> aggregator factory used by
+  WITH/RETURN grouping.
+
+Functions follow openCypher null semantics: most scalar functions return
+``null`` when any argument is ``null``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Callable, Sequence
+
+from ..graph.model import Node, Relationship
+from .errors import CypherRuntimeError, CypherTypeError
+
+
+# ---------------------------------------------------------------------------
+# scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _require_args(name: str, args: Sequence[Any], minimum: int, maximum: int | None = None) -> None:
+    maximum = minimum if maximum is None else maximum
+    if not (minimum <= len(args) <= maximum):
+        raise CypherTypeError(
+            f"function {name}() expects between {minimum} and {maximum} arguments, "
+            f"got {len(args)}"
+        )
+
+
+def _fn_id(args, context):
+    _require_args("id", args, 1)
+    item = args[0]
+    if item is None:
+        return None
+    if isinstance(item, (Node, Relationship)):
+        return item.id
+    raise CypherTypeError("id() expects a node or relationship")
+
+
+def _fn_labels(args, context):
+    _require_args("labels", args, 1)
+    item = args[0]
+    if item is None:
+        return None
+    if isinstance(item, Node):
+        return sorted(item.labels)
+    raise CypherTypeError("labels() expects a node")
+
+
+def _fn_type(args, context):
+    _require_args("type", args, 1)
+    item = args[0]
+    if item is None:
+        return None
+    if isinstance(item, Relationship):
+        return item.type
+    raise CypherTypeError("type() expects a relationship")
+
+
+def _fn_keys(args, context):
+    _require_args("keys", args, 1)
+    item = args[0]
+    if item is None:
+        return None
+    if isinstance(item, (Node, Relationship)):
+        return sorted(item.properties)
+    if isinstance(item, dict):
+        return sorted(item)
+    raise CypherTypeError("keys() expects a node, relationship or map")
+
+
+def _fn_properties(args, context):
+    _require_args("properties", args, 1)
+    item = args[0]
+    if item is None:
+        return None
+    if isinstance(item, (Node, Relationship)):
+        return dict(item.properties)
+    if isinstance(item, dict):
+        return dict(item)
+    raise CypherTypeError("properties() expects a node, relationship or map")
+
+
+def _fn_exists(args, context):
+    _require_args("exists", args, 1)
+    return args[0] is not None
+
+
+def _fn_coalesce(args, context):
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _fn_size(args, context):
+    _require_args("size", args, 1)
+    value = args[0]
+    if value is None:
+        return None
+    if isinstance(value, (list, tuple, str, dict)):
+        return len(value)
+    raise CypherTypeError("size() expects a list, string or map")
+
+
+def _fn_length(args, context):
+    return _fn_size(args, context)
+
+
+def _fn_head(args, context):
+    _require_args("head", args, 1)
+    value = args[0]
+    if not value:
+        return None
+    return value[0]
+
+
+def _fn_last(args, context):
+    _require_args("last", args, 1)
+    value = args[0]
+    if not value:
+        return None
+    return value[-1]
+
+
+def _fn_abs(args, context):
+    _require_args("abs", args, 1)
+    value = args[0]
+    return None if value is None else abs(value)
+
+
+def _fn_round(args, context):
+    _require_args("round", args, 1, 2)
+    value = args[0]
+    if value is None:
+        return None
+    digits = args[1] if len(args) > 1 else 0
+    return round(value, int(digits))
+
+
+def _fn_floor(args, context):
+    _require_args("floor", args, 1)
+    value = args[0]
+    if value is None:
+        return None
+    import math
+
+    return float(math.floor(value))
+
+
+def _fn_ceil(args, context):
+    _require_args("ceil", args, 1)
+    value = args[0]
+    if value is None:
+        return None
+    import math
+
+    return float(math.ceil(value))
+
+
+def _fn_sign(args, context):
+    _require_args("sign", args, 1)
+    value = args[0]
+    if value is None:
+        return None
+    return (value > 0) - (value < 0)
+
+
+def _fn_to_integer(args, context):
+    _require_args("tointeger", args, 1)
+    value = args[0]
+    if value is None:
+        return None
+    try:
+        return int(float(value)) if isinstance(value, str) else int(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _fn_to_float(args, context):
+    _require_args("tofloat", args, 1)
+    value = args[0]
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _fn_to_string(args, context):
+    _require_args("tostring", args, 1)
+    value = args[0]
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _fn_to_upper(args, context):
+    _require_args("toupper", args, 1)
+    value = args[0]
+    return None if value is None else str(value).upper()
+
+
+def _fn_to_lower(args, context):
+    _require_args("tolower", args, 1)
+    value = args[0]
+    return None if value is None else str(value).lower()
+
+
+def _fn_trim(args, context):
+    _require_args("trim", args, 1)
+    value = args[0]
+    return None if value is None else str(value).strip()
+
+
+def _fn_split(args, context):
+    _require_args("split", args, 2)
+    value, separator = args
+    if value is None or separator is None:
+        return None
+    return str(value).split(str(separator))
+
+
+def _fn_substring(args, context):
+    _require_args("substring", args, 2, 3)
+    value = args[0]
+    if value is None:
+        return None
+    start = int(args[1])
+    if len(args) == 3:
+        return str(value)[start:start + int(args[2])]
+    return str(value)[start:]
+
+
+def _fn_replace(args, context):
+    _require_args("replace", args, 3)
+    value, search, replacement = args
+    if value is None:
+        return None
+    return str(value).replace(str(search), str(replacement))
+
+
+def _fn_datetime(args, context):
+    _require_args("datetime", args, 0, 1)
+    if not args:
+        return context.clock()
+    value = args[0]
+    if value is None:
+        return None
+    if isinstance(value, _dt.datetime):
+        return value
+    if isinstance(value, str):
+        return _dt.datetime.fromisoformat(value)
+    raise CypherTypeError("datetime() expects an ISO string")
+
+
+def _fn_date(args, context):
+    _require_args("date", args, 0, 1)
+    if not args:
+        return context.clock().date()
+    value = args[0]
+    if value is None:
+        return None
+    if isinstance(value, _dt.date) and not isinstance(value, _dt.datetime):
+        return value
+    if isinstance(value, _dt.datetime):
+        return value.date()
+    if isinstance(value, str):
+        return _dt.date.fromisoformat(value)
+    raise CypherTypeError("date() expects an ISO string")
+
+
+def _fn_timestamp(args, context):
+    _require_args("timestamp", args, 0, 0)
+    return int(context.clock().timestamp() * 1000)
+
+
+def _fn_range(args, context):
+    _require_args("range", args, 2, 3)
+    start, stop = int(args[0]), int(args[1])
+    step = int(args[2]) if len(args) == 3 else 1
+    if step == 0:
+        raise CypherRuntimeError("range() step must not be zero")
+    # openCypher range() is inclusive of the upper bound.
+    if step > 0:
+        return list(range(start, stop + 1, step))
+    return list(range(start, stop - 1, step))
+
+
+def _fn_nodes(args, context):
+    _require_args("nodes", args, 1)
+    path = args[0]
+    if path is None:
+        return None
+    if isinstance(path, dict) and "nodes" in path:
+        return list(path["nodes"])
+    raise CypherTypeError("nodes() expects a path")
+
+
+def _fn_relationships(args, context):
+    _require_args("relationships", args, 1)
+    path = args[0]
+    if path is None:
+        return None
+    if isinstance(path, dict) and "relationships" in path:
+        return list(path["relationships"])
+    raise CypherTypeError("relationships() expects a path")
+
+
+def _fn_startnode(args, context):
+    _require_args("startnode", args, 1)
+    rel = args[0]
+    if rel is None:
+        return None
+    if isinstance(rel, Relationship):
+        return context.node_by_id(rel.start)
+    raise CypherTypeError("startNode() expects a relationship")
+
+
+def _fn_endnode(args, context):
+    _require_args("endnode", args, 1)
+    rel = args[0]
+    if rel is None:
+        return None
+    if isinstance(rel, Relationship):
+        return context.node_by_id(rel.end)
+    raise CypherTypeError("endNode() expects a relationship")
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[[Sequence[Any], Any], Any]] = {
+    "id": _fn_id,
+    "labels": _fn_labels,
+    "type": _fn_type,
+    "keys": _fn_keys,
+    "properties": _fn_properties,
+    "exists": _fn_exists,
+    "coalesce": _fn_coalesce,
+    "size": _fn_size,
+    "length": _fn_length,
+    "head": _fn_head,
+    "last": _fn_last,
+    "abs": _fn_abs,
+    "round": _fn_round,
+    "floor": _fn_floor,
+    "ceil": _fn_ceil,
+    "sign": _fn_sign,
+    "tointeger": _fn_to_integer,
+    "tofloat": _fn_to_float,
+    "tostring": _fn_to_string,
+    "toupper": _fn_to_upper,
+    "tolower": _fn_to_lower,
+    "trim": _fn_trim,
+    "split": _fn_split,
+    "substring": _fn_substring,
+    "replace": _fn_replace,
+    "datetime": _fn_datetime,
+    "date": _fn_date,
+    "timestamp": _fn_timestamp,
+    "range": _fn_range,
+    "nodes": _fn_nodes,
+    "relationships": _fn_relationships,
+    "startnode": _fn_startnode,
+    "endnode": _fn_endnode,
+}
+
+
+# ---------------------------------------------------------------------------
+# aggregate functions
+# ---------------------------------------------------------------------------
+
+
+class Aggregator:
+    """Base class for aggregate accumulators.
+
+    One instance is created per output group and fed one value per input
+    row via :meth:`update`; :meth:`result` produces the aggregated value.
+    ``null`` inputs are skipped, as in openCypher.
+    """
+
+    def __init__(self, distinct: bool = False) -> None:
+        self.distinct = distinct
+        self._seen: set | None = set() if distinct else None
+
+    def _admit(self, value: Any) -> bool:
+        if value is None:
+            return False
+        if self._seen is None:
+            return True
+        key = tuple(value) if isinstance(value, list) else value
+        if isinstance(key, (Node, Relationship)):
+            key = (type(key).__name__, key.id)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        return True
+
+    def update(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class CountAggregator(Aggregator):
+    """``count(expr)`` / ``count(*)`` (with ``value`` always non-null)."""
+
+    def __init__(self, distinct: bool = False) -> None:
+        super().__init__(distinct)
+        self._count = 0
+
+    def update(self, value: Any) -> None:
+        if self._admit(value):
+            self._count += 1
+
+    def result(self) -> int:
+        return self._count
+
+
+class SumAggregator(Aggregator):
+    def __init__(self, distinct: bool = False) -> None:
+        super().__init__(distinct)
+        self._total = 0
+
+    def update(self, value: Any) -> None:
+        if self._admit(value):
+            self._total += value
+
+    def result(self) -> Any:
+        return self._total
+
+
+class AvgAggregator(Aggregator):
+    def __init__(self, distinct: bool = False) -> None:
+        super().__init__(distinct)
+        self._total = 0.0
+        self._count = 0
+
+    def update(self, value: Any) -> None:
+        if self._admit(value):
+            self._total += value
+            self._count += 1
+
+    def result(self) -> Any:
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class MinAggregator(Aggregator):
+    def __init__(self, distinct: bool = False) -> None:
+        super().__init__(distinct)
+        self._best = None
+
+    def update(self, value: Any) -> None:
+        if self._admit(value) and (self._best is None or value < self._best):
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+class MaxAggregator(Aggregator):
+    def __init__(self, distinct: bool = False) -> None:
+        super().__init__(distinct)
+        self._best = None
+
+    def update(self, value: Any) -> None:
+        if self._admit(value) and (self._best is None or value > self._best):
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+class CollectAggregator(Aggregator):
+    def __init__(self, distinct: bool = False) -> None:
+        super().__init__(distinct)
+        self._values: list[Any] = []
+
+    def update(self, value: Any) -> None:
+        if self._admit(value):
+            self._values.append(value)
+
+    def result(self) -> list[Any]:
+        return self._values
+
+
+AGGREGATE_FUNCTIONS: dict[str, Callable[[bool], Aggregator]] = {
+    "count": CountAggregator,
+    "sum": SumAggregator,
+    "avg": AvgAggregator,
+    "min": MinAggregator,
+    "max": MaxAggregator,
+    "collect": CollectAggregator,
+}
+
+
+def is_aggregate_function(name: str) -> bool:
+    """True when ``name`` (case-insensitive) is an aggregate function."""
+    return name.lower() in AGGREGATE_FUNCTIONS

@@ -1,0 +1,116 @@
+"""Query results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+
+@dataclass
+class QueryStatistics:
+    """Counters describing the write effects of one query execution."""
+
+    nodes_created: int = 0
+    nodes_deleted: int = 0
+    relationships_created: int = 0
+    relationships_deleted: int = 0
+    labels_added: int = 0
+    labels_removed: int = 0
+    properties_set: int = 0
+    properties_removed: int = 0
+
+    def contains_updates(self) -> bool:
+        """True when the query changed anything."""
+        return any(
+            value
+            for value in (
+                self.nodes_created,
+                self.nodes_deleted,
+                self.relationships_created,
+                self.relationships_deleted,
+                self.labels_added,
+                self.labels_removed,
+                self.properties_set,
+                self.properties_removed,
+            )
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (stable key order, handy for asserts and reports)."""
+        return {
+            "nodes_created": self.nodes_created,
+            "nodes_deleted": self.nodes_deleted,
+            "relationships_created": self.relationships_created,
+            "relationships_deleted": self.relationships_deleted,
+            "labels_added": self.labels_added,
+            "labels_removed": self.labels_removed,
+            "properties_set": self.properties_set,
+            "properties_removed": self.properties_removed,
+        }
+
+
+@dataclass
+class QueryResult:
+    """The outcome of executing one query.
+
+    ``columns`` and ``rows`` are empty for write-only queries (no RETURN).
+    Rows are plain dictionaries keyed by column name.
+    """
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    statistics: QueryStatistics = field(default_factory=QueryStatistics)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def values(self, column: str | None = None) -> list[Any]:
+        """Values of one column (default: the only column)."""
+        if column is None:
+            if len(self.columns) != 1:
+                raise ValueError("values() without a column name requires exactly one column")
+            column = self.columns[0]
+        return [row[column] for row in self.rows]
+
+    def single(self, column: str | None = None) -> Any:
+        """The single value of a single-row result."""
+        if len(self.rows) != 1:
+            raise ValueError(f"expected exactly one row, got {len(self.rows)}")
+        values = self.values(column) if (column or len(self.columns) == 1) else None
+        if values is not None:
+            return values[0]
+        return dict(self.rows[0])
+
+    def to_table(self) -> str:
+        """Render the result as a fixed-width text table (for examples/benchmarks)."""
+        if not self.columns:
+            return "(no results)"
+        headers = list(self.columns)
+        body = [[_render_cell(row.get(col)) for col in headers] for row in self.rows]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in body:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+
+def _render_cell(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, Mapping):
+        return "{" + ", ".join(f"{k}: {_render_cell(v)}" for k, v in value.items()) + "}"
+    return str(value)

@@ -1,0 +1,58 @@
+"""Datasets and workloads: the CoV2K running example and synthetic graphs."""
+
+from .cov2k import (
+    COV2K_SCHEMA_SPEC,
+    Cov2kDataset,
+    Cov2kProfile,
+    cov2k_schema,
+    generate_cov2k,
+)
+from .paper_triggers import (
+    all_paper_triggers,
+    icu_patient_increase,
+    icu_patient_move,
+    icu_patients_over_threshold,
+    move_to_near_hospital,
+    new_critical_lineage,
+    new_critical_mutation,
+    simple_reaction_triggers,
+    who_designation_change,
+)
+from .synthetic import preferential_attachment_graph, random_graph
+from .workloads import (
+    WorkloadStatement,
+    designation_change_stream,
+    hospital_setup,
+    icu_admission_stream,
+    lineage_assignment_stream,
+    mixed_update_stream,
+    mutation_discovery_stream,
+    replay,
+)
+
+__all__ = [
+    "COV2K_SCHEMA_SPEC",
+    "Cov2kDataset",
+    "Cov2kProfile",
+    "WorkloadStatement",
+    "all_paper_triggers",
+    "cov2k_schema",
+    "icu_patient_increase",
+    "icu_patient_move",
+    "icu_patients_over_threshold",
+    "move_to_near_hospital",
+    "new_critical_lineage",
+    "new_critical_mutation",
+    "simple_reaction_triggers",
+    "who_designation_change",
+    "designation_change_stream",
+    "generate_cov2k",
+    "hospital_setup",
+    "icu_admission_stream",
+    "lineage_assignment_stream",
+    "mixed_update_stream",
+    "mutation_discovery_stream",
+    "preferential_attachment_graph",
+    "random_graph",
+    "replay",
+]

@@ -1,0 +1,227 @@
+"""CoV2K-style synthetic dataset (the paper's running example, Section 6).
+
+The paper evaluates PG-Triggers on an excerpt of the CoV2K knowledge base
+(SARS-CoV-2 sequences, mutations, lineages, patients, hospitals).  The real
+CoV2K data is not redistributable, so this module generates a
+schema-faithful synthetic population: the node/edge types, properties and
+cardinalities follow Figure 4, and the values are drawn deterministically
+from a seeded random generator so experiments are reproducible.
+
+Two entry points:
+
+* :func:`cov2k_schema` — the PG-Schema of Figures 4–5;
+* :func:`generate_cov2k` — a populated :class:`~repro.graph.store.PropertyGraph`
+  (plus the profile used to generate it).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass, field
+
+from ..graph.store import PropertyGraph
+from ..schema.parser import parse_schema
+from ..schema.schema import PGSchema
+
+#: Textual PG-Schema specification for the running example (Figure 5 dialect).
+COV2K_SCHEMA_SPEC = """
+CREATE GRAPH TYPE CovidGraphType STRICT {
+  (MutationType: Mutation {name STRING, protein STRING}),
+  (CriticalEffectType: CriticalEffect {description STRING}),
+  (SequenceType: Sequence {accession STRING KEY, collection DATE OPTIONAL}),
+  (LineageType: Lineage {name STRING, whoDesignation STRING OPTIONAL}),
+  (PatientType: Patient {ssn STRING KEY, name STRING OPTIONAL, sex CHAR OPTIONAL,
+                         comorbidity ARRAY[STRING] OPTIONAL, vaccinated INT32 OPTIONAL}),
+  (HospitalizedPatientType: PatientType & HospitalizedPatient
+        {id INT32 OPTIONAL, prognosis STRING OPTIONAL, admission DATE OPTIONAL}),
+  (IcuPatientType: HospitalizedPatientType & IcuPatient {admittedToICU BOOL OPTIONAL}),
+  (HospitalType: Hospital {name STRING, icuBeds INT32}),
+  (RegionType: Region {name STRING}),
+  (LaboratoryType: Laboratory {name STRING}),
+  (AlertType: Alert OPEN),
+  (:MutationType)-[RiskType: Risk]->(:CriticalEffectType),
+  (:MutationType)-[FoundInType: FoundIn]->(:SequenceType),
+  (:SequenceType)-[BelongsToType: BelongsTo]->(:LineageType),
+  (:SequenceType)-[SequencedAtType: SequencedAt]->(:LaboratoryType),
+  (:PatientType)-[HasSampleType: HasSample]->(:SequenceType),
+  (:HospitalizedPatientType)-[TreatedAtType: TreatedAt]->(:HospitalType),
+  (:HospitalType)-[LocatedInType: LocatedIn]->(:RegionType),
+  (:LaboratoryType)-[LocatedInLabType: LocatedIn]->(:RegionType),
+  (:HospitalType)-[ConnectedToType: ConnectedTo {distance INT32}]->(:HospitalType)
+}
+"""
+
+#: Proteins and effects used when synthesising mutations.
+PROTEINS = ("Spike", "ORF1a", "ORF1b", "N", "E", "M", "ORF3a", "ORF8")
+CRITICAL_EFFECTS = (
+    "Enhanced infectivity",
+    "Immune escape",
+    "Increased transmissibility",
+    "Antiviral resistance",
+    "Reduced antibody neutralization",
+)
+WHO_DESIGNATIONS = ("Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Omicron")
+REGIONS = ("Lombardy", "Tuscany", "Lazio", "Veneto", "Piedmont")
+HOSPITAL_NAMES = (
+    "Sacco", "Meyer", "Spallanzani", "Niguarda", "Careggi",
+    "San Raffaele", "Molinette", "Gemelli", "Borgo Roma", "Cotugno",
+)
+COMORBIDITIES = ("diabetes", "hypertension", "obesity", "asthma", "cardiopathy")
+PROGNOSES = ("mild", "moderate", "severe", "critical")
+
+
+@dataclass(frozen=True)
+class Cov2kProfile:
+    """Size parameters of a generated CoV2K population."""
+
+    mutations: int = 40
+    critical_effects: int = 5
+    critical_mutation_fraction: float = 0.25
+    lineages: int = 8
+    sequences: int = 120
+    patients: int = 150
+    hospitalized_fraction: float = 0.4
+    icu_fraction: float = 0.15
+    hospitals: int = 6
+    regions: int = 4
+    laboratories: int = 5
+    seed: int = 7
+
+    def scaled(self, factor: float) -> "Cov2kProfile":
+        """Return a copy with all cardinalities multiplied by ``factor``."""
+        return Cov2kProfile(
+            mutations=max(1, int(self.mutations * factor)),
+            critical_effects=self.critical_effects,
+            critical_mutation_fraction=self.critical_mutation_fraction,
+            lineages=max(1, int(self.lineages * factor)),
+            sequences=max(1, int(self.sequences * factor)),
+            patients=max(1, int(self.patients * factor)),
+            hospitalized_fraction=self.hospitalized_fraction,
+            icu_fraction=self.icu_fraction,
+            hospitals=min(len(HOSPITAL_NAMES), max(2, int(self.hospitals * factor))),
+            regions=min(len(REGIONS), max(1, int(self.regions * factor))),
+            laboratories=max(1, int(self.laboratories * factor)),
+            seed=self.seed,
+        )
+
+
+@dataclass
+class Cov2kDataset:
+    """A generated population plus handles to its main entity groups."""
+
+    graph: PropertyGraph
+    profile: Cov2kProfile
+    schema: PGSchema
+    hospital_ids: list[int] = field(default_factory=list)
+    region_ids: list[int] = field(default_factory=list)
+    lineage_ids: list[int] = field(default_factory=list)
+    sequence_ids: list[int] = field(default_factory=list)
+    mutation_ids: list[int] = field(default_factory=list)
+    patient_ids: list[int] = field(default_factory=list)
+
+
+def cov2k_schema() -> PGSchema:
+    """The PG-Schema of the paper's Figures 4–5."""
+    return parse_schema(COV2K_SCHEMA_SPEC)
+
+
+def generate_cov2k(profile: Cov2kProfile | None = None) -> Cov2kDataset:
+    """Generate a deterministic CoV2K-style population."""
+    profile = profile or Cov2kProfile()
+    rng = random.Random(profile.seed)
+    graph = PropertyGraph("cov2k")
+    dataset = Cov2kDataset(graph=graph, profile=profile, schema=cov2k_schema())
+
+    effects = [
+        graph.create_node(["CriticalEffect"], {"description": CRITICAL_EFFECTS[i % len(CRITICAL_EFFECTS)]})
+        for i in range(profile.critical_effects)
+    ]
+
+    for index in range(profile.regions):
+        node = graph.create_node(["Region"], {"name": REGIONS[index % len(REGIONS)]})
+        dataset.region_ids.append(node.id)
+
+    for index in range(profile.hospitals):
+        hospital = graph.create_node(
+            ["Hospital"],
+            {"name": HOSPITAL_NAMES[index % len(HOSPITAL_NAMES)], "icuBeds": rng.randint(5, 30)},
+        )
+        dataset.hospital_ids.append(hospital.id)
+        region_id = dataset.region_ids[index % len(dataset.region_ids)]
+        graph.create_relationship("LocatedIn", hospital.id, region_id)
+    # Hospitals form a ring of ConnectedTo links with random distances, so
+    # relocation triggers always have a "closest hospital" to move to.
+    for index, hospital_id in enumerate(dataset.hospital_ids):
+        other = dataset.hospital_ids[(index + 1) % len(dataset.hospital_ids)]
+        if other != hospital_id:
+            graph.create_relationship(
+                "ConnectedTo", hospital_id, other, {"distance": rng.randint(20, 400)}
+            )
+
+    laboratories = []
+    for index in range(profile.laboratories):
+        lab = graph.create_node(["Laboratory"], {"name": f"Lab-{index:02d}"})
+        laboratories.append(lab)
+        region_id = dataset.region_ids[index % len(dataset.region_ids)]
+        graph.create_relationship("LocatedIn", lab.id, region_id)
+
+    for index in range(profile.lineages):
+        properties = {"name": f"B.1.{index + 1}"}
+        if rng.random() < 0.6:
+            properties["whoDesignation"] = WHO_DESIGNATIONS[index % len(WHO_DESIGNATIONS)]
+        lineage = graph.create_node(["Lineage"], properties)
+        dataset.lineage_ids.append(lineage.id)
+
+    for index in range(profile.mutations):
+        protein = PROTEINS[index % len(PROTEINS)]
+        mutation = graph.create_node(
+            ["Mutation"],
+            {"name": f"{protein}:{chr(65 + index % 26)}{100 + index}{chr(66 + index % 24)}",
+             "protein": protein},
+        )
+        dataset.mutation_ids.append(mutation.id)
+        if rng.random() < profile.critical_mutation_fraction:
+            graph.create_relationship("Risk", mutation.id, rng.choice(effects).id)
+
+    base_date = _dt.date(2021, 1, 1)
+    for index in range(profile.sequences):
+        sequence = graph.create_node(
+            ["Sequence"],
+            {"accession": f"EPI_ISL_{400000 + index}",
+             "collection": base_date + _dt.timedelta(days=rng.randint(0, 364))},
+        )
+        dataset.sequence_ids.append(sequence.id)
+        graph.create_relationship("BelongsTo", sequence.id, rng.choice(dataset.lineage_ids))
+        graph.create_relationship("SequencedAt", sequence.id, rng.choice(laboratories).id)
+        for mutation_id in rng.sample(dataset.mutation_ids, k=min(3, len(dataset.mutation_ids))):
+            graph.create_relationship("FoundIn", mutation_id, sequence.id)
+
+    for index in range(profile.patients):
+        labels = ["Patient"]
+        properties = {
+            "ssn": f"SSN{index:06d}",
+            "name": f"Patient {index}",
+            "sex": rng.choice("MF"),
+            "vaccinated": rng.randint(0, 3),
+        }
+        if rng.random() < 0.3:
+            properties["comorbidity"] = rng.sample(COMORBIDITIES, k=rng.randint(1, 2))
+        hospitalized = rng.random() < profile.hospitalized_fraction
+        icu = hospitalized and rng.random() < (profile.icu_fraction / profile.hospitalized_fraction)
+        if hospitalized:
+            labels.append("HospitalizedPatient")
+            properties["id"] = index
+            properties["prognosis"] = rng.choice(PROGNOSES)
+            properties["admission"] = base_date + _dt.timedelta(days=rng.randint(0, 364))
+        if icu:
+            labels.append("IcuPatient")
+            properties["admittedToICU"] = True
+        patient = graph.create_node(labels, properties)
+        dataset.patient_ids.append(patient.id)
+        if dataset.sequence_ids and rng.random() < 0.7:
+            graph.create_relationship("HasSample", patient.id, rng.choice(dataset.sequence_ids))
+        if hospitalized:
+            graph.create_relationship("TreatedAt", patient.id, rng.choice(dataset.hospital_ids))
+
+    return dataset

@@ -1,0 +1,182 @@
+"""The six PG-Triggers of the paper's Section 6.2, in the executable dialect.
+
+The paper presents its example triggers in a slightly informal pseudo-Cypher
+(e.g. ``THEN`` keywords and nested ``BEGIN``/``END`` blocks inside action
+statements).  The definitions below keep the paper's names, events, targets,
+granularities and intent, expressed in the openCypher subset the
+reproduction executes.  Deviations are deliberate and documented:
+
+* aggregates over the whole target population use ``count(DISTINCT …)`` so
+  that multiple MATCH clauses in one condition do not inflate counts via
+  their cross product;
+* ``IcuPatientsOverThreshold`` and friends take the threshold/hospital
+  names as Python parameters so tests and benchmarks can exercise them on
+  small populations;
+* ``IcuPatientMove`` (set granularity) and ``MoveToNearHospital`` (item
+  granularity) express the paper's nested BEGIN/THEN blocks as a single
+  statement whose MATCH clauses re-derive the variables they need.
+"""
+
+from __future__ import annotations
+
+SACCO = "Sacco"
+MEYER = "Meyer"
+LOMBARDY = "Lombardy"
+
+
+def new_critical_mutation() -> str:
+    """Section 6.2.1 — alert when a new mutation has a critical effect."""
+    return """
+    CREATE TRIGGER NewCriticalMutation
+    AFTER CREATE
+    ON 'Mutation'
+    FOR EACH NODE
+    WHEN EXISTS (NEW)-[:Risk]-(:CriticalEffect)
+    BEGIN
+      CREATE (:Alert {time: datetime(),
+                      desc: 'New critical mutation',
+                      mutation: NEW.name})
+    END
+    """
+
+
+def new_critical_lineage() -> str:
+    """Section 6.2.1 — alert when a sequence with a critical mutation joins a lineage."""
+    return """
+    CREATE TRIGGER NewCriticalLineage
+    AFTER CREATE
+    ON 'BelongsTo'
+    FOR EACH RELATIONSHIP
+    WHEN
+      MATCH (s:Sequence)-[NEW]-(l:Lineage)
+      WHERE EXISTS { MATCH (:CriticalEffect)-[:Risk]-(:Mutation)-[:FoundIn]-(s) }
+    BEGIN
+      CREATE (:Alert {time: datetime(),
+                      desc: 'New critical lineage',
+                      lineage: l.name})
+    END
+    """
+
+
+def who_designation_change() -> str:
+    """Section 6.2.1 — alert when a lineage's WHO designation changes."""
+    return """
+    CREATE TRIGGER WhoDesignationChange
+    AFTER SET
+    ON 'Lineage'.'whoDesignation'
+    FOR EACH NODE
+    WHEN OLD.whoDesignation <> NEW.whoDesignation
+    BEGIN
+      CREATE (:Alert {time: datetime(),
+                      desc: 'New Designation for an existing Lineage'})
+    END
+    """
+
+
+def icu_patients_over_threshold(threshold: int = 50, hospital: str = SACCO) -> str:
+    """Section 6.2.2 — alert when ICU patients at ``hospital`` exceed ``threshold``."""
+    return f"""
+    CREATE TRIGGER IcuPatientsOverThreshold
+    AFTER CREATE
+    ON 'IcuPatient'
+    FOR ALL NODES
+    WHEN
+      MATCH (p:HospitalizedPatient:IcuPatient)-[:TreatedAt]-(:Hospital {{name: '{hospital}'}})
+      WITH count(DISTINCT p) AS icuPat
+      WHERE icuPat > {threshold}
+    BEGIN
+      CREATE (:Alert {{time: datetime(),
+                       desc: 'ICU patients at {hospital} Hospital are more than {threshold}'}})
+    END
+    """
+
+
+def icu_patient_increase(fraction: float = 0.1, hospital: str = SACCO) -> str:
+    """Section 6.2.2 — alert when new ICU admissions exceed ``fraction`` of the total."""
+    return f"""
+    CREATE TRIGGER IcuPatientIncrease
+    AFTER CREATE
+    ON 'IcuPatient'
+    FOR ALL NODES
+    WHEN
+      MATCH (p:HospitalizedPatient:IcuPatient)-[:TreatedAt]-(:Hospital {{name: '{hospital}'}})
+      MATCH (pn:NEWNODES)-[:TreatedAt]-(:Hospital {{name: '{hospital}'}})
+      WITH count(DISTINCT pn) AS NewIcuPat, count(DISTINCT p) AS TotalIcuPat
+      WHERE NewIcuPat * 1.0 / TotalIcuPat > {fraction}
+    BEGIN
+      CREATE (:Alert {{time: datetime(),
+                       desc: 'ICU patients at {hospital} Hospital have increased by > {int(fraction * 100)}%'}})
+    END
+    """
+
+
+def icu_patient_move(source: str = SACCO, destination: str = MEYER) -> str:
+    """Section 6.2.3 — relocate newly admitted ICU patients from ``source`` to ``destination``."""
+    return f"""
+    CREATE TRIGGER IcuPatientMove
+    AFTER CREATE
+    ON 'IcuPatient'
+    FOR ALL NODES
+    WHEN
+      MATCH (p:HospitalizedPatient:IcuPatient)-[:TreatedAt]-(h:Hospital {{name: '{source}'}})
+      WITH h, count(DISTINCT p) AS TotalIcuPat
+      WHERE TotalIcuPat > h.icuBeds
+    BEGIN
+      MATCH (pt:HospitalizedPatient:IcuPatient)-[:TreatedAt]-(:Hospital {{name: '{destination}'}})
+      WITH count(DISTINCT pt) AS destinationIcu
+      MATCH (ht:Hospital {{name: '{destination}'}})
+      MATCH (pn:NEWNODES)-[c:TreatedAt]-(:Hospital {{name: '{source}'}})
+      WITH ht, destinationIcu, count(DISTINCT pn) AS newIcuSource
+      WHERE newIcuSource + destinationIcu <= ht.icuBeds
+      MATCH (p:NEWNODES)-[c:TreatedAt]-(:Hospital {{name: '{source}'}})
+      DELETE c
+      CREATE (p)-[:TreatedAt]->(ht)
+    END
+    """
+
+
+def move_to_near_hospital(region: str = LOMBARDY) -> str:
+    """Section 6.2.3 — move a new ICU patient from an overloaded ``region`` hospital
+    to the closest connected hospital."""
+    return f"""
+    CREATE TRIGGER MoveToNearHospital
+    AFTER CREATE
+    ON 'IcuPatient'
+    FOR EACH NODE
+    WHEN
+      MATCH (NEW)-[:TreatedAt]-(h:Hospital)-[:LocatedIn]-(:Region {{name: '{region}'}})
+      MATCH (p:IcuPatient)-[:TreatedAt]-(h)
+      WITH h, count(DISTINCT p) AS TotalIcuPat
+      WHERE TotalIcuPat > h.icuBeds
+      MATCH (h)-[ct:ConnectedTo]-(hc:Hospital)
+      WITH h, hc ORDER BY ct.distance LIMIT 1
+    BEGIN
+      MATCH (NEW)-[c:TreatedAt]-(h)
+      DELETE c
+      CREATE (NEW)-[:TreatedAt]->(hc)
+    END
+    """
+
+
+def simple_reaction_triggers() -> list[str]:
+    """The three Section 6.2.1 triggers."""
+    return [new_critical_mutation(), new_critical_lineage(), who_designation_change()]
+
+
+def all_paper_triggers(
+    threshold: int = 50,
+    fraction: float = 0.1,
+    source: str = SACCO,
+    destination: str = MEYER,
+    region: str = LOMBARDY,
+) -> list[str]:
+    """All six Section 6.2 triggers (plus the alternative relocation trigger)."""
+    return [
+        new_critical_mutation(),
+        new_critical_lineage(),
+        who_designation_change(),
+        icu_patients_over_threshold(threshold, source),
+        icu_patient_increase(fraction, source),
+        icu_patient_move(source, destination),
+        move_to_near_hospital(region),
+    ]

@@ -1,0 +1,79 @@
+"""Random property graphs for scaling benchmarks.
+
+The paper's evaluation is qualitative; the added performance experiments
+need graphs whose size and shape can be swept.  Two generators are
+provided: a uniform random graph (Erdős–Rényi-like over labelled nodes) and
+a scale-free-ish preferential-attachment graph, both deterministic under a
+seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..graph.store import PropertyGraph
+
+DEFAULT_LABELS = ("Entity", "Resource", "Agent", "Observation")
+DEFAULT_REL_TYPES = ("Links", "Uses", "Observes")
+
+
+def random_graph(
+    nodes: int = 1000,
+    relationships: int = 3000,
+    labels: Sequence[str] = DEFAULT_LABELS,
+    rel_types: Sequence[str] = DEFAULT_REL_TYPES,
+    property_count: int = 3,
+    seed: int = 23,
+    name: str = "random",
+) -> PropertyGraph:
+    """Uniform random property graph with ``nodes`` nodes and ``relationships`` edges."""
+    rng = random.Random(seed)
+    graph = PropertyGraph(name)
+    node_ids = []
+    for index in range(nodes):
+        label = labels[index % len(labels)]
+        properties = {"key": f"{label}-{index}", "value": rng.randint(0, 1000)}
+        for extra in range(property_count - 2):
+            properties[f"p{extra}"] = rng.random()
+        node_ids.append(graph.create_node([label], properties).id)
+    for _ in range(relationships):
+        start = rng.choice(node_ids)
+        end = rng.choice(node_ids)
+        graph.create_relationship(
+            rng.choice(list(rel_types)), start, end, {"weight": rng.random()}
+        )
+    return graph
+
+
+def preferential_attachment_graph(
+    nodes: int = 1000,
+    edges_per_node: int = 2,
+    labels: Sequence[str] = DEFAULT_LABELS,
+    rel_type: str = "Links",
+    seed: int = 29,
+    name: str = "preferential",
+) -> PropertyGraph:
+    """Scale-free-ish graph grown by preferential attachment.
+
+    High-degree hubs stress the pattern matcher and the trigger engine's
+    set-granularity bindings more than uniform graphs do.
+    """
+    rng = random.Random(seed)
+    graph = PropertyGraph(name)
+    targets: list[int] = []
+    node_ids: list[int] = []
+    for index in range(nodes):
+        label = labels[index % len(labels)]
+        node = graph.create_node([label], {"key": f"{label}-{index}"})
+        node_ids.append(node.id)
+        if not targets:
+            targets.append(node.id)
+            continue
+        for _ in range(min(edges_per_node, len(node_ids) - 1)):
+            target = rng.choice(targets)
+            if target == node.id:
+                continue
+            graph.create_relationship(rel_type, node.id, target)
+            targets.extend((node.id, target))
+    return graph

@@ -1,0 +1,264 @@
+"""Update-stream workloads for the trigger experiments.
+
+The paper's triggers react to streams of events — new mutations being
+linked to critical effects, sequences being assigned to lineages, ICU
+admissions arriving at hospitals.  Each generator below produces a list of
+:class:`WorkloadStatement` (openCypher text plus parameters) that a
+:class:`~repro.triggers.session.GraphSession`, an
+:class:`~repro.compat.apoc.ApocEmulator` or a
+:class:`~repro.compat.memgraph.MemgraphEmulator` can replay verbatim, which
+is how the benchmark harness drives all three routes with identical input.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class WorkloadStatement:
+    """One statement of a workload: query text plus parameters."""
+
+    query: str
+    parameters: dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+
+def replay(session, statements: Iterable[WorkloadStatement]) -> int:
+    """Run every statement through ``session.run``; returns how many ran."""
+    count = 0
+    for statement in statements:
+        session.run(statement.query, statement.parameters)
+        count += 1
+    return count
+
+
+# ---------------------------------------------------------------------------
+# Section 6.2.1 — discovery of mutations, lineages, designation changes
+# ---------------------------------------------------------------------------
+
+
+def mutation_discovery_stream(
+    count: int = 50, critical_fraction: float = 0.3, seed: int = 11
+) -> list[WorkloadStatement]:
+    """New mutations, a fraction of which are linked to a critical effect."""
+    rng = random.Random(seed)
+    statements: list[WorkloadStatement] = [
+        WorkloadStatement(
+            "MERGE (:CriticalEffect {description: 'Enhanced infectivity'})",
+            description="ensure a critical effect exists",
+        )
+    ]
+    for index in range(count):
+        name = f"Spike:M{index:04d}K"
+        if rng.random() < critical_fraction:
+            statements.append(
+                WorkloadStatement(
+                    "MATCH (c:CriticalEffect {description: 'Enhanced infectivity'}) "
+                    "CREATE (:Mutation {name: $name, protein: 'Spike'})-[:Risk]->(c)",
+                    {"name": name},
+                    description="critical mutation discovered",
+                )
+            )
+        else:
+            statements.append(
+                WorkloadStatement(
+                    "CREATE (:Mutation {name: $name, protein: 'Spike'})",
+                    {"name": name},
+                    description="harmless mutation discovered",
+                )
+            )
+    return statements
+
+
+def lineage_assignment_stream(
+    sequences: int = 40, lineages: int = 4, critical_every: int = 5, seed: int = 13
+) -> list[WorkloadStatement]:
+    """Sequences created and assigned to lineages (BelongsTo creations)."""
+    rng = random.Random(seed)
+    statements: list[WorkloadStatement] = [
+        WorkloadStatement("MERGE (:CriticalEffect {description: 'Immune escape'})"),
+    ]
+    for index in range(lineages):
+        statements.append(
+            WorkloadStatement(
+                "CREATE (:Lineage {name: $name})",
+                {"name": f"B.1.{index + 1}"},
+                description="new lineage",
+            )
+        )
+    for index in range(sequences):
+        accession = f"EPI_ISL_{500000 + index}"
+        statements.append(
+            WorkloadStatement(
+                "CREATE (:Sequence {accession: $accession})",
+                {"accession": accession},
+                description="sequence deposited",
+            )
+        )
+        if index % critical_every == 0:
+            statements.append(
+                WorkloadStatement(
+                    "MATCH (s:Sequence {accession: $accession}), "
+                    "(c:CriticalEffect {description: 'Immune escape'}) "
+                    "CREATE (:Mutation {name: $mutation, protein: 'Spike'})-[:Risk]->(c), "
+                    "(:Mutation {name: $other, protein: 'N'})-[:FoundIn]->(s)",
+                    {
+                        "accession": accession,
+                        "mutation": f"Spike:C{index:03d}T",
+                        "other": f"N:C{index:03d}A",
+                    },
+                    description="critical mutation found in sequence",
+                )
+            )
+            statements.append(
+                WorkloadStatement(
+                    "MATCH (s:Sequence {accession: $accession}), "
+                    "(m:Mutation {name: $mutation}) CREATE (m)-[:FoundIn]->(s)",
+                    {"accession": accession, "mutation": f"Spike:C{index:03d}T"},
+                )
+            )
+        lineage = f"B.1.{rng.randint(1, lineages)}"
+        statements.append(
+            WorkloadStatement(
+                "MATCH (s:Sequence {accession: $accession}), (l:Lineage {name: $lineage}) "
+                "CREATE (s)-[:BelongsTo]->(l)",
+                {"accession": accession, "lineage": lineage},
+                description="sequence assigned to lineage",
+            )
+        )
+    return statements
+
+
+def designation_change_stream(changes: int = 10) -> list[WorkloadStatement]:
+    """WHO designation updates on lineages (SET property events)."""
+    statements: list[WorkloadStatement] = []
+    for index in range(changes):
+        name = f"B.1.617.{index + 1}"
+        statements.append(
+            WorkloadStatement(
+                "CREATE (:Lineage {name: $name, whoDesignation: 'Under investigation'})",
+                {"name": name},
+            )
+        )
+        statements.append(
+            WorkloadStatement(
+                "MATCH (l:Lineage {name: $name}) SET l.whoDesignation = $designation",
+                {"name": name, "designation": "Delta" if index % 2 == 0 else "Kappa"},
+                description="WHO designation assigned",
+            )
+        )
+    return statements
+
+
+# ---------------------------------------------------------------------------
+# Section 6.2.2 / 6.2.3 — ICU admissions and relocations
+# ---------------------------------------------------------------------------
+
+
+def hospital_setup(
+    hospitals: int = 3, icu_beds: int = 5, region: str = "Lombardy"
+) -> list[WorkloadStatement]:
+    """Create a ring of hospitals located in ``region``."""
+    names = ["Sacco", "Meyer", "Niguarda", "Careggi", "San Raffaele"]
+    statements = [
+        WorkloadStatement("MERGE (:Region {name: $region})", {"region": region}),
+    ]
+    for index in range(hospitals):
+        statements.append(
+            WorkloadStatement(
+                "MATCH (r:Region {name: $region}) "
+                "CREATE (:Hospital {name: $name, icuBeds: $beds})-[:LocatedIn]->(r)",
+                {"region": region, "name": names[index % len(names)], "beds": icu_beds},
+            )
+        )
+    for index in range(hospitals):
+        statements.append(
+            WorkloadStatement(
+                "MATCH (a:Hospital {name: $a}), (b:Hospital {name: $b}) "
+                "CREATE (a)-[:ConnectedTo {distance: $distance}]->(b)",
+                {
+                    "a": names[index % len(names)],
+                    "b": names[(index + 1) % hospitals % len(names)],
+                    "distance": 50 + 10 * index,
+                },
+            )
+        )
+    return statements
+
+
+def icu_admission_stream(
+    admissions: int = 30,
+    hospital: str = "Sacco",
+    batch_size: int = 1,
+    start_index: int = 0,
+) -> list[WorkloadStatement]:
+    """ICU admissions at one hospital, in batches of ``batch_size``.
+
+    ``batch_size`` > 1 exercises set-granularity (FOR ALL) triggers, since a
+    single statement then creates several IcuPatient nodes.
+    """
+    statements: list[WorkloadStatement] = []
+    index = start_index
+    remaining = admissions
+    while remaining > 0:
+        batch = min(batch_size, remaining)
+        ssns = [f"ICU{index + offset:05d}" for offset in range(batch)]
+        statements.append(
+            WorkloadStatement(
+                "MATCH (h:Hospital {name: $hospital}) "
+                "UNWIND $ssns AS ssn "
+                "CREATE (:Patient:HospitalizedPatient:IcuPatient "
+                "{ssn: ssn, prognosis: 'severe', admittedToICU: true})-[:TreatedAt]->(h)",
+                {"hospital": hospital, "ssns": ssns},
+                description=f"{batch} ICU admission(s) at {hospital}",
+            )
+        )
+        index += batch
+        remaining -= batch
+    return statements
+
+
+def mixed_update_stream(operations: int = 100, seed: int = 17) -> list[WorkloadStatement]:
+    """A mixed create/set/remove/delete stream over a generic label set.
+
+    Used by the added performance experiments (P1, P3): every statement is a
+    small write touching the ``Entity`` label, so the number of trigger
+    activations is easy to reason about.
+    """
+    rng = random.Random(seed)
+    statements: list[WorkloadStatement] = []
+    created = 0
+    for index in range(operations):
+        roll = rng.random()
+        if roll < 0.5 or created == 0:
+            statements.append(
+                WorkloadStatement(
+                    "CREATE (:Entity {key: $key, value: $value})",
+                    {"key": f"E{index:05d}", "value": rng.randint(0, 100)},
+                )
+            )
+            created += 1
+        elif roll < 0.8:
+            statements.append(
+                WorkloadStatement(
+                    "MATCH (e:Entity) WITH e ORDER BY e.key LIMIT 1 SET e.value = $value",
+                    {"value": rng.randint(0, 100)},
+                )
+            )
+        elif roll < 0.9:
+            statements.append(
+                WorkloadStatement(
+                    "MATCH (e:Entity) WITH e ORDER BY e.key LIMIT 1 REMOVE e.flagged",
+                )
+            )
+        else:
+            statements.append(
+                WorkloadStatement(
+                    "MATCH (e:Entity) WITH e ORDER BY e.key DESC LIMIT 1 DETACH DELETE e",
+                )
+            )
+            created = max(0, created - 1)
+    return statements

@@ -1,0 +1,65 @@
+"""Property graph substrate.
+
+Public surface:
+
+* :class:`PropertyGraph` — the in-memory store;
+* :class:`Node`, :class:`Relationship` — immutable item snapshots;
+* :class:`GraphDelta` and the change-record dataclasses;
+* JSON serialization (:func:`save`, :func:`load`, …) and networkx bridging;
+* :func:`compute_statistics` / :func:`describe` for dataset summaries.
+"""
+
+from .delta import (
+    GraphDelta,
+    LabelAssignment,
+    LabelRemoval,
+    PropertyAssignment,
+    PropertyRemoval,
+)
+from .errors import (
+    GraphError,
+    GraphIntegrityError,
+    InvalidPropertyValueError,
+    NodeInUseError,
+    NodeNotFoundError,
+    RelationshipNotFoundError,
+)
+from .model import GraphItem, Node, Relationship, is_node, is_relationship
+from .networkx_adapter import from_networkx, to_networkx
+from .serialization import dumps, graph_from_dict, graph_to_dict, load, loads, save
+from .statistics import GraphStatistics, compute_statistics, describe
+from .store import BOTH, INCOMING, OUTGOING, PropertyGraph
+
+__all__ = [
+    "BOTH",
+    "GraphDelta",
+    "GraphError",
+    "GraphIntegrityError",
+    "GraphItem",
+    "GraphStatistics",
+    "INCOMING",
+    "InvalidPropertyValueError",
+    "LabelAssignment",
+    "LabelRemoval",
+    "Node",
+    "NodeInUseError",
+    "NodeNotFoundError",
+    "OUTGOING",
+    "PropertyAssignment",
+    "PropertyGraph",
+    "PropertyRemoval",
+    "Relationship",
+    "RelationshipNotFoundError",
+    "compute_statistics",
+    "describe",
+    "dumps",
+    "from_networkx",
+    "graph_from_dict",
+    "graph_to_dict",
+    "is_node",
+    "is_relationship",
+    "load",
+    "loads",
+    "save",
+    "to_networkx",
+]

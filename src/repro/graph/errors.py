@@ -1,0 +1,52 @@
+"""Exception hierarchy for the property graph substrate.
+
+Every error raised by :mod:`repro.graph` derives from :class:`GraphError`,
+so callers can catch a single base class when they do not care about the
+specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class GraphError(Exception):
+    """Base class for all property graph errors."""
+
+
+class NodeNotFoundError(GraphError):
+    """Raised when a node id does not exist (or refers to a deleted node)."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"node {node_id} does not exist")
+        self.node_id = node_id
+
+
+class RelationshipNotFoundError(GraphError):
+    """Raised when a relationship id does not exist."""
+
+    def __init__(self, rel_id: int) -> None:
+        super().__init__(f"relationship {rel_id} does not exist")
+        self.rel_id = rel_id
+
+
+class NodeInUseError(GraphError):
+    """Raised when deleting a node that still has attached relationships.
+
+    Mirrors Neo4j behaviour: a plain ``DELETE`` fails, while ``DETACH
+    DELETE`` removes the relationships first.
+    """
+
+    def __init__(self, node_id: int, degree: int) -> None:
+        super().__init__(
+            f"node {node_id} still has {degree} relationship(s); "
+            "use detach deletion to remove them first"
+        )
+        self.node_id = node_id
+        self.degree = degree
+
+
+class InvalidPropertyValueError(GraphError):
+    """Raised when a property value is not of a supported type."""
+
+
+class GraphIntegrityError(GraphError):
+    """Raised when an operation would corrupt graph invariants."""

@@ -1,0 +1,139 @@
+"""Secondary indexes for the property graph store.
+
+Two index families are provided:
+
+* :class:`LabelIndex` — label -> set of item ids, used by the trigger
+  engine's targeting step (a PG-Trigger targets all items with a label) and
+  by Cypher's ``MATCH (n:Label)`` scans;
+* :class:`PropertyIndex` — (label, property, value) -> set of node ids, an
+  optional exact-match index used to accelerate ``MATCH (n:Label {k: v})``.
+
+Both are maintained eagerly by :class:`repro.graph.store.PropertyGraph`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Hashable, Iterable, Iterator
+
+
+class LabelIndex:
+    """Maps label strings to sets of item ids."""
+
+    def __init__(self) -> None:
+        self._by_label: dict[str, set[int]] = defaultdict(set)
+
+    def add(self, label: str, item_id: int) -> None:
+        """Index ``item_id`` under ``label``."""
+        self._by_label[label].add(item_id)
+
+    def remove(self, label: str, item_id: int) -> None:
+        """Remove ``item_id`` from ``label``; silently ignores missing entries."""
+        bucket = self._by_label.get(label)
+        if bucket is None:
+            return
+        bucket.discard(item_id)
+        if not bucket:
+            del self._by_label[label]
+
+    def get(self, label: str) -> set[int]:
+        """Return a copy of the id set for ``label`` (empty if unknown)."""
+        return set(self._by_label.get(label, ()))
+
+    def labels(self) -> list[str]:
+        """Return all labels that currently index at least one item."""
+        return sorted(self._by_label)
+
+    def count(self, label: str) -> int:
+        """Return the number of items carrying ``label``."""
+        return len(self._by_label.get(label, ()))
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._by_label
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._by_label)
+
+
+def _freeze_value(value: Any) -> Hashable:
+    """Turn a property value into something hashable for index keys."""
+    if isinstance(value, list):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+class PropertyIndex:
+    """Exact-match index over (label, property) pairs.
+
+    The index is sparse: only (label, property) pairs that have been
+    explicitly registered with :meth:`create` are maintained.  This mirrors
+    how a real graph database only indexes declared properties.
+    """
+
+    def __init__(self) -> None:
+        self._indexed_pairs: set[tuple[str, str]] = set()
+        self._entries: dict[tuple[str, str], dict[Hashable, set[int]]] = {}
+
+    def create(self, label: str, prop: str) -> None:
+        """Declare an index on ``label``/``prop`` (idempotent)."""
+        pair = (label, prop)
+        if pair in self._indexed_pairs:
+            return
+        self._indexed_pairs.add(pair)
+        self._entries[pair] = defaultdict(set)
+
+    def drop(self, label: str, prop: str) -> None:
+        """Drop the index on ``label``/``prop`` if present."""
+        pair = (label, prop)
+        self._indexed_pairs.discard(pair)
+        self._entries.pop(pair, None)
+
+    def is_indexed(self, label: str, prop: str) -> bool:
+        """Return True when an index exists for ``label``/``prop``."""
+        return (label, prop) in self._indexed_pairs
+
+    def indexed_pairs(self) -> list[tuple[str, str]]:
+        """Return the declared (label, property) pairs."""
+        return sorted(self._indexed_pairs)
+
+    def add(self, label: str, prop: str, value: Any, item_id: int) -> None:
+        """Add an entry if the (label, property) pair is indexed."""
+        pair = (label, prop)
+        entries = self._entries.get(pair)
+        if entries is None:
+            return
+        entries[_freeze_value(value)].add(item_id)
+
+    def remove(self, label: str, prop: str, value: Any, item_id: int) -> None:
+        """Remove an entry if present."""
+        pair = (label, prop)
+        entries = self._entries.get(pair)
+        if entries is None:
+            return
+        key = _freeze_value(value)
+        bucket = entries.get(key)
+        if bucket is None:
+            return
+        bucket.discard(item_id)
+        if not bucket:
+            del entries[key]
+
+    def lookup(self, label: str, prop: str, value: Any) -> set[int] | None:
+        """Return matching ids, or ``None`` when the pair is not indexed.
+
+        Returning ``None`` (rather than an empty set) lets callers
+        distinguish "no index, fall back to a scan" from "indexed, zero
+        matches".
+        """
+        pair = (label, prop)
+        entries = self._entries.get(pair)
+        if entries is None:
+            return None
+        return set(entries.get(_freeze_value(value), ()))
+
+    def index_entries(
+        self, label: str, prop: str
+    ) -> Iterable[tuple[Hashable, set[int]]]:
+        """Iterate over (value, ids) pairs of one declared index."""
+        entries = self._entries.get((label, prop), {})
+        return ((value, set(ids)) for value, ids in entries.items())

@@ -1,0 +1,189 @@
+"""Core data model for property graphs.
+
+The model follows the Property Graph definition used by the PG-Triggers
+paper: a directed multigraph whose nodes and relationships carry a set of
+labels (a single type label for relationships) and a map of
+``property -> value`` pairs.
+
+Nodes and relationships are exposed to users as lightweight *snapshot*
+objects (:class:`Node`, :class:`Relationship`); the authoritative mutable
+state lives inside :class:`repro.graph.store.PropertyGraph`.  Snapshots are
+cheap to create and safe to hold across further updates (they never change
+after creation), which is exactly what trigger transition variables need:
+``OLD`` is a snapshot taken before the event and ``NEW`` a snapshot taken
+after it.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from .errors import InvalidPropertyValueError
+
+#: Property value types accepted by the store.  ``None`` is deliberately not
+#: allowed as a stored value: setting a property to ``None`` removes it,
+#: which matches openCypher semantics.
+SCALAR_TYPES = (bool, int, float, str, _dt.date, _dt.datetime)
+
+
+def validate_property_value(value: Any) -> Any:
+    """Validate a property value, returning a normalised copy.
+
+    Scalars are returned unchanged.  Lists (and tuples) are accepted if all
+    their elements are scalars and are normalised to plain lists.  Any other
+    type raises :class:`InvalidPropertyValueError`.
+    """
+    if isinstance(value, SCALAR_TYPES):
+        return value
+    if isinstance(value, (list, tuple)):
+        normalised = []
+        for element in value:
+            if not isinstance(element, SCALAR_TYPES):
+                raise InvalidPropertyValueError(
+                    f"list property elements must be scalars, got {type(element).__name__}"
+                )
+            normalised.append(element)
+        return normalised
+    raise InvalidPropertyValueError(
+        f"unsupported property value type: {type(value).__name__}"
+    )
+
+
+def validate_properties(properties: Mapping[str, Any] | None) -> dict[str, Any]:
+    """Validate a property map, dropping ``None`` values."""
+    validated: dict[str, Any] = {}
+    if not properties:
+        return validated
+    for key, value in properties.items():
+        if not isinstance(key, str) or not key:
+            raise InvalidPropertyValueError("property names must be non-empty strings")
+        if value is None:
+            continue
+        validated[key] = validate_property_value(value)
+    return validated
+
+
+@dataclass(frozen=True)
+class Node:
+    """Immutable snapshot of a node.
+
+    Attributes:
+        id: store-assigned identifier, unique among nodes.
+        labels: frozenset of label strings.
+        properties: property map (treated as read-only).
+    """
+
+    id: int
+    labels: frozenset[str] = field(default_factory=frozenset)
+    properties: Mapping[str, Any] = field(default_factory=dict)
+
+    def has_label(self, label: str) -> bool:
+        """Return True if the node carries ``label``."""
+        return label in self.labels
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return property ``key`` or ``default`` if absent."""
+        return self.properties.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.properties[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.properties
+
+    def with_updates(
+        self,
+        labels: Iterable[str] | None = None,
+        properties: Mapping[str, Any] | None = None,
+    ) -> "Node":
+        """Return a copy with labels/properties replaced (used by deltas)."""
+        return Node(
+            id=self.id,
+            labels=frozenset(labels) if labels is not None else self.labels,
+            properties=dict(properties) if properties is not None else dict(self.properties),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label_text = ":".join(sorted(self.labels))
+        return f"Node({self.id}:{label_text} {dict(self.properties)!r})"
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """Immutable snapshot of a relationship (edge).
+
+    Relationships are directed from ``start`` to ``end`` and carry a single
+    ``type`` label plus a property map, matching the openCypher model used
+    by the paper.
+    """
+
+    id: int
+    type: str
+    start: int
+    end: int
+    properties: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def labels(self) -> frozenset[str]:
+        """Expose the relationship type as a one-element label set.
+
+        PG-Triggers target relationships through labels exactly as they do
+        nodes; presenting ``type`` as ``labels`` lets the trigger engine
+        treat both item kinds uniformly.
+        """
+        return frozenset({self.type})
+
+    def has_label(self, label: str) -> bool:
+        """Return True if the relationship type equals ``label``."""
+        return self.type == label
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return property ``key`` or ``default`` if absent."""
+        return self.properties.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.properties[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.properties
+
+    def other_end(self, node_id: int) -> int:
+        """Return the endpoint opposite to ``node_id``."""
+        if node_id == self.start:
+            return self.end
+        if node_id == self.end:
+            return self.start
+        raise ValueError(f"node {node_id} is not an endpoint of relationship {self.id}")
+
+    def with_updates(self, properties: Mapping[str, Any] | None = None) -> "Relationship":
+        """Return a copy with the property map replaced (used by deltas)."""
+        return Relationship(
+            id=self.id,
+            type=self.type,
+            start=self.start,
+            end=self.end,
+            properties=dict(properties) if properties is not None else dict(self.properties),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Relationship({self.start})-[{self.id}:{self.type} "
+            f"{dict(self.properties)!r}]->({self.end})"
+        )
+
+
+#: A graph item is either a node or a relationship; triggers are defined
+#: over one of the two kinds via the FOR EACH NODE / RELATIONSHIP clause.
+GraphItem = Node | Relationship
+
+
+def is_node(item: GraphItem) -> bool:
+    """Return True if ``item`` is a node snapshot."""
+    return isinstance(item, Node)
+
+
+def is_relationship(item: GraphItem) -> bool:
+    """Return True if ``item`` is a relationship snapshot."""
+    return isinstance(item, Relationship)

@@ -1,0 +1,93 @@
+"""Bridging between :class:`~repro.graph.store.PropertyGraph` and networkx.
+
+The reproduction keeps its own store (snapshots + indexes + change capture
+are essential for triggers and are not provided by networkx), but analytics
+and visualisation are much easier on a :class:`networkx.MultiDiGraph`; this
+module converts in both directions.
+
+networkx is an optional dependency: importing this module does not require
+it, only calling the conversion functions does.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .store import PropertyGraph
+
+#: Attribute key under which node labels are stored in the networkx graph.
+LABELS_KEY = "labels"
+#: Attribute key under which the relationship type is stored.
+TYPE_KEY = "type"
+
+
+def _require_networkx():
+    """Import networkx lazily, with a helpful error when it is missing."""
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise ImportError(
+            "networkx is required for graph conversion; install it with "
+            "'pip install networkx'"
+        ) from exc
+    return networkx
+
+
+def to_networkx(graph: PropertyGraph):
+    """Convert ``graph`` into a :class:`networkx.MultiDiGraph`.
+
+    Node labels are stored under the ``labels`` attribute (as a sorted
+    list), relationship types under ``type``; all properties become plain
+    attributes.
+    """
+    networkx = _require_networkx()
+    result = networkx.MultiDiGraph(name=graph.name)
+    for node in graph.nodes():
+        attrs: dict[str, Any] = dict(node.properties)
+        attrs[LABELS_KEY] = sorted(node.labels)
+        result.add_node(node.id, **attrs)
+    for rel in graph.relationships():
+        attrs = dict(rel.properties)
+        attrs[TYPE_KEY] = rel.type
+        result.add_edge(rel.start, rel.end, key=rel.id, **attrs)
+    return result
+
+
+def from_networkx(source, name: str = "graph") -> PropertyGraph:
+    """Convert a networkx (multi)digraph into a :class:`PropertyGraph`.
+
+    Node attributes named ``labels`` become labels; edge attributes named
+    ``type`` become the relationship type (defaulting to ``"RELATED"``).
+    Non-integer node identifiers are remapped to fresh integer ids and the
+    original identifier is preserved in the ``_nx_id`` property.
+    """
+    _require_networkx()
+    graph = PropertyGraph(name=name)
+    id_map: dict[Any, int] = {}
+    for nx_id, attrs in source.nodes(data=True):
+        attrs = dict(attrs)
+        labels = attrs.pop(LABELS_KEY, [])
+        if isinstance(labels, str):
+            labels = [labels]
+        properties = dict(attrs)
+        if not isinstance(nx_id, int):
+            properties.setdefault("_nx_id", str(nx_id))
+            node = graph.create_node(labels=labels, properties=properties)
+        else:
+            node = graph.create_node(labels=labels, properties=properties, node_id=nx_id)
+        id_map[nx_id] = node.id
+    edge_iter = (
+        source.edges(data=True, keys=True)
+        if source.is_multigraph()
+        else ((u, v, None, data) for u, v, data in source.edges(data=True))
+    )
+    for start, end, _key, attrs in edge_iter:
+        attrs = dict(attrs)
+        rel_type = attrs.pop(TYPE_KEY, "RELATED")
+        graph.create_relationship(
+            rel_type=rel_type,
+            start=id_map[start],
+            end=id_map[end],
+            properties=attrs,
+        )
+    return graph

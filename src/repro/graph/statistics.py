@@ -1,0 +1,97 @@
+"""Descriptive statistics over property graphs.
+
+Used by the benchmark harness to characterise generated workloads (so the
+EXPERIMENTS report can state the size and shape of the graphs each
+experiment ran on) and by examples to print dataset summaries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .store import BOTH, PropertyGraph
+
+
+@dataclass
+class GraphStatistics:
+    """Aggregate statistics of a property graph."""
+
+    node_count: int = 0
+    relationship_count: int = 0
+    labels: dict[str, int] = field(default_factory=dict)
+    relationship_types: dict[str, int] = field(default_factory=dict)
+    node_property_keys: dict[str, int] = field(default_factory=dict)
+    relationship_property_keys: dict[str, int] = field(default_factory=dict)
+    min_degree: int = 0
+    max_degree: int = 0
+    mean_degree: float = 0.0
+    unlabeled_nodes: int = 0
+
+    def as_dict(self) -> dict:
+        """Return a plain-dict view suitable for JSON output."""
+        return {
+            "node_count": self.node_count,
+            "relationship_count": self.relationship_count,
+            "labels": dict(self.labels),
+            "relationship_types": dict(self.relationship_types),
+            "node_property_keys": dict(self.node_property_keys),
+            "relationship_property_keys": dict(self.relationship_property_keys),
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "unlabeled_nodes": self.unlabeled_nodes,
+        }
+
+
+def compute_statistics(graph: PropertyGraph) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for ``graph`` in a single pass."""
+    label_counts: Counter[str] = Counter()
+    node_prop_counts: Counter[str] = Counter()
+    rel_type_counts: Counter[str] = Counter()
+    rel_prop_counts: Counter[str] = Counter()
+    degrees: list[int] = []
+    unlabeled = 0
+
+    for node in graph.nodes():
+        if not node.labels:
+            unlabeled += 1
+        for label in node.labels:
+            label_counts[label] += 1
+        for key in node.properties:
+            node_prop_counts[key] += 1
+        degrees.append(graph.degree(node.id, BOTH))
+
+    for rel in graph.relationships():
+        rel_type_counts[rel.type] += 1
+        for key in rel.properties:
+            rel_prop_counts[key] += 1
+
+    node_count = graph.node_count()
+    return GraphStatistics(
+        node_count=node_count,
+        relationship_count=graph.relationship_count(),
+        labels=dict(sorted(label_counts.items())),
+        relationship_types=dict(sorted(rel_type_counts.items())),
+        node_property_keys=dict(sorted(node_prop_counts.items())),
+        relationship_property_keys=dict(sorted(rel_prop_counts.items())),
+        min_degree=min(degrees) if degrees else 0,
+        max_degree=max(degrees) if degrees else 0,
+        mean_degree=(sum(degrees) / node_count) if node_count else 0.0,
+        unlabeled_nodes=unlabeled,
+    )
+
+
+def describe(graph: PropertyGraph) -> str:
+    """Return a short human-readable description of ``graph``."""
+    stats = compute_statistics(graph)
+    label_text = ", ".join(f"{label}={count}" for label, count in stats.labels.items())
+    type_text = ", ".join(
+        f"{rel_type}={count}" for rel_type, count in stats.relationship_types.items()
+    )
+    return (
+        f"{graph.name}: {stats.node_count} nodes, {stats.relationship_count} relationships\n"
+        f"  labels: {label_text or '(none)'}\n"
+        f"  relationship types: {type_text or '(none)'}\n"
+        f"  degree: min={stats.min_degree} mean={stats.mean_degree:.2f} max={stats.max_degree}"
+    )

@@ -1,0 +1,455 @@
+"""In-memory property graph store.
+
+:class:`PropertyGraph` is the storage substrate on which the whole
+reproduction is built: the Cypher executor reads and writes through it, the
+transaction layer (:mod:`repro.tx`) wraps its primitive operations with undo
+logging and change capture, and the PG-Trigger engine consumes the captured
+changes.
+
+Design notes
+------------
+* Nodes and relationships are handed out to callers as immutable snapshots
+  (:class:`repro.graph.model.Node` / ``Relationship``).  Every mutation
+  produces a fresh snapshot; old snapshots stay valid, which is what trigger
+  transition variables require.
+* A label index is maintained for nodes (by label) and relationships (by
+  type); an optional exact-match property index can be declared per
+  (label, property) pair.
+* Adjacency is kept as two ``node id -> set of relationship ids`` maps
+  (outgoing and incoming), so expanding a pattern from a bound node is
+  proportional to its degree rather than to the graph size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Iterator, Mapping
+
+from .errors import (
+    GraphIntegrityError,
+    NodeInUseError,
+    NodeNotFoundError,
+    RelationshipNotFoundError,
+)
+from .indexes import LabelIndex, PropertyIndex
+from .model import Node, Relationship, validate_properties, validate_property_value
+
+#: Direction selector for relationship traversal.
+OUTGOING = "out"
+INCOMING = "in"
+BOTH = "both"
+
+
+class PropertyGraph:
+    """A mutable, in-memory property graph with label and property indexes."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._nodes: dict[int, Node] = {}
+        self._relationships: dict[int, Relationship] = {}
+        self._node_ids = itertools.count(0)
+        self._rel_ids = itertools.count(0)
+        self._node_labels = LabelIndex()
+        self._rel_types = LabelIndex()
+        self._property_index = PropertyIndex()
+        self._outgoing: dict[int, set[int]] = {}
+        self._incoming: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # size and iteration
+    # ------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        """Number of nodes currently in the graph."""
+        return len(self._nodes)
+
+    def relationship_count(self) -> int:
+        """Number of relationships currently in the graph."""
+        return len(self._relationships)
+
+    def order(self) -> int:
+        """Alias for :meth:`node_count` (graph-theory naming)."""
+        return self.node_count()
+
+    def size(self) -> int:
+        """Alias for :meth:`relationship_count` (graph-theory naming)."""
+        return self.relationship_count()
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all node snapshots (no particular order guaranteed)."""
+        return iter(list(self._nodes.values()))
+
+    def relationships(self) -> Iterator[Relationship]:
+        """Iterate over all relationship snapshots."""
+        return iter(list(self._relationships.values()))
+
+    def node_labels(self) -> list[str]:
+        """All node labels present in the graph."""
+        return self._node_labels.labels()
+
+    def relationship_types(self) -> list[str]:
+        """All relationship types present in the graph."""
+        return self._rel_types.labels()
+
+    def has_node(self, node_id: int) -> bool:
+        """Return True if a node with ``node_id`` exists."""
+        return node_id in self._nodes
+
+    def has_relationship(self, rel_id: int) -> bool:
+        """Return True if a relationship with ``rel_id`` exists."""
+        return rel_id in self._relationships
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        """Return the node snapshot for ``node_id`` or raise."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def relationship(self, rel_id: int) -> Relationship:
+        """Return the relationship snapshot for ``rel_id`` or raise."""
+        try:
+            return self._relationships[rel_id]
+        except KeyError:
+            raise RelationshipNotFoundError(rel_id) from None
+
+    def nodes_with_label(self, label: str) -> list[Node]:
+        """All nodes carrying ``label``."""
+        return [self._nodes[i] for i in sorted(self._node_labels.get(label))]
+
+    def relationships_with_type(self, rel_type: str) -> list[Relationship]:
+        """All relationships of type ``rel_type``."""
+        return [self._relationships[i] for i in sorted(self._rel_types.get(rel_type))]
+
+    def count_nodes_with_label(self, label: str) -> int:
+        """Number of nodes carrying ``label`` (index lookup, no scan)."""
+        return self._node_labels.count(label)
+
+    def count_relationships_with_type(self, rel_type: str) -> int:
+        """Number of relationships of type ``rel_type``."""
+        return self._rel_types.count(rel_type)
+
+    def find_nodes(
+        self,
+        label: str | None = None,
+        properties: Mapping[str, Any] | None = None,
+    ) -> list[Node]:
+        """Return nodes matching an optional label and exact property values.
+
+        Uses the property index when one is declared for (label, property);
+        otherwise falls back to scanning the label bucket (or the whole
+        graph when no label is given).
+        """
+        properties = properties or {}
+        candidates: Iterable[Node]
+        if label is not None and properties:
+            for key, value in properties.items():
+                hit = self._property_index.lookup(label, key, value)
+                if hit is not None:
+                    candidates = [self._nodes[i] for i in hit if i in self._nodes]
+                    break
+            else:
+                candidates = self.nodes_with_label(label)
+        elif label is not None:
+            candidates = self.nodes_with_label(label)
+        else:
+            candidates = self.nodes()
+        result = []
+        for node in candidates:
+            if label is not None and not node.has_label(label):
+                continue
+            if all(node.get(k) == v for k, v in properties.items()):
+                result.append(node)
+        return result
+
+    def relationships_of(
+        self,
+        node_id: int,
+        direction: str = BOTH,
+        rel_type: str | None = None,
+    ) -> list[Relationship]:
+        """Relationships attached to ``node_id``.
+
+        Args:
+            node_id: the anchor node.
+            direction: ``"out"``, ``"in"`` or ``"both"``.
+            rel_type: optional type filter.
+        """
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+        rel_ids: set[int] = set()
+        if direction in (OUTGOING, BOTH):
+            rel_ids |= self._outgoing.get(node_id, set())
+        if direction in (INCOMING, BOTH):
+            rel_ids |= self._incoming.get(node_id, set())
+        rels = [self._relationships[i] for i in sorted(rel_ids)]
+        if rel_type is not None:
+            rels = [r for r in rels if r.type == rel_type]
+        return rels
+
+    def degree(self, node_id: int, direction: str = BOTH) -> int:
+        """Number of relationships attached to ``node_id``."""
+        return len(self.relationships_of(node_id, direction))
+
+    def neighbours(
+        self, node_id: int, direction: str = BOTH, rel_type: str | None = None
+    ) -> list[Node]:
+        """Nodes adjacent to ``node_id`` along matching relationships."""
+        seen: set[int] = set()
+        result: list[Node] = []
+        for rel in self.relationships_of(node_id, direction, rel_type):
+            other = rel.other_end(node_id)
+            if other not in seen and other in self._nodes:
+                seen.add(other)
+                result.append(self._nodes[other])
+        return result
+
+    # ------------------------------------------------------------------
+    # property index management
+    # ------------------------------------------------------------------
+
+    def create_property_index(self, label: str, prop: str) -> None:
+        """Declare an exact-match index on ``label``/``prop`` and backfill it."""
+        self._property_index.create(label, prop)
+        for node in self.nodes_with_label(label):
+            if prop in node.properties:
+                self._property_index.add(label, prop, node.properties[prop], node.id)
+
+    def drop_property_index(self, label: str, prop: str) -> None:
+        """Drop a previously declared property index."""
+        self._property_index.drop(label, prop)
+
+    def property_indexes(self) -> list[tuple[str, str]]:
+        """Declared (label, property) index pairs."""
+        return self._property_index.indexed_pairs()
+
+    # ------------------------------------------------------------------
+    # mutation primitives
+    # ------------------------------------------------------------------
+
+    def create_node(
+        self,
+        labels: Iterable[str] | None = None,
+        properties: Mapping[str, Any] | None = None,
+        node_id: int | None = None,
+    ) -> Node:
+        """Create a node and return its snapshot.
+
+        ``node_id`` may be supplied by the transaction layer when undoing a
+        deletion so that the node reappears under its original id.
+        """
+        label_set = frozenset(labels or ())
+        props = validate_properties(properties)
+        if node_id is None:
+            node_id = next(self._node_ids)
+        elif node_id in self._nodes:
+            raise GraphIntegrityError(f"node id {node_id} already exists")
+        else:
+            self._node_ids = itertools.count(max(node_id + 1, self._peek_node_id()))
+        node = Node(id=node_id, labels=label_set, properties=props)
+        self._nodes[node_id] = node
+        self._outgoing.setdefault(node_id, set())
+        self._incoming.setdefault(node_id, set())
+        for label in label_set:
+            self._node_labels.add(label, node_id)
+            for key, value in props.items():
+                self._property_index.add(label, key, value, node_id)
+        return node
+
+    def create_relationship(
+        self,
+        rel_type: str,
+        start: int,
+        end: int,
+        properties: Mapping[str, Any] | None = None,
+        rel_id: int | None = None,
+    ) -> Relationship:
+        """Create a relationship from ``start`` to ``end`` and return its snapshot."""
+        if start not in self._nodes:
+            raise NodeNotFoundError(start)
+        if end not in self._nodes:
+            raise NodeNotFoundError(end)
+        if not rel_type:
+            raise GraphIntegrityError("relationship type must be a non-empty string")
+        props = validate_properties(properties)
+        if rel_id is None:
+            rel_id = next(self._rel_ids)
+        elif rel_id in self._relationships:
+            raise GraphIntegrityError(f"relationship id {rel_id} already exists")
+        else:
+            self._rel_ids = itertools.count(max(rel_id + 1, self._peek_rel_id()))
+        rel = Relationship(id=rel_id, type=rel_type, start=start, end=end, properties=props)
+        self._relationships[rel_id] = rel
+        self._outgoing[start].add(rel_id)
+        self._incoming[end].add(rel_id)
+        self._rel_types.add(rel_type, rel_id)
+        return rel
+
+    def delete_node(self, node_id: int, detach: bool = False) -> Node:
+        """Delete a node, returning the snapshot it had before deletion.
+
+        Raises :class:`NodeInUseError` when the node still has relationships
+        and ``detach`` is False.
+        """
+        node = self.node(node_id)
+        attached = self._outgoing.get(node_id, set()) | self._incoming.get(node_id, set())
+        if attached and not detach:
+            raise NodeInUseError(node_id, len(attached))
+        for rel_id in sorted(attached):
+            self.delete_relationship(rel_id)
+        del self._nodes[node_id]
+        self._outgoing.pop(node_id, None)
+        self._incoming.pop(node_id, None)
+        for label in node.labels:
+            self._node_labels.remove(label, node_id)
+            for key, value in node.properties.items():
+                self._property_index.remove(label, key, value, node_id)
+        return node
+
+    def delete_relationship(self, rel_id: int) -> Relationship:
+        """Delete a relationship, returning its pre-deletion snapshot."""
+        rel = self.relationship(rel_id)
+        del self._relationships[rel_id]
+        self._outgoing.get(rel.start, set()).discard(rel_id)
+        self._incoming.get(rel.end, set()).discard(rel_id)
+        self._rel_types.remove(rel.type, rel_id)
+        return rel
+
+    def add_label(self, node_id: int, label: str) -> tuple[Node, Node]:
+        """Add ``label`` to a node; returns (old snapshot, new snapshot).
+
+        Adding a label the node already has is a no-op (old is new).
+        """
+        old = self.node(node_id)
+        if label in old.labels:
+            return old, old
+        new = old.with_updates(labels=old.labels | {label})
+        self._nodes[node_id] = new
+        self._node_labels.add(label, node_id)
+        for key, value in new.properties.items():
+            self._property_index.add(label, key, value, node_id)
+        return old, new
+
+    def remove_label(self, node_id: int, label: str) -> tuple[Node, Node]:
+        """Remove ``label`` from a node; returns (old snapshot, new snapshot)."""
+        old = self.node(node_id)
+        if label not in old.labels:
+            return old, old
+        new = old.with_updates(labels=old.labels - {label})
+        self._nodes[node_id] = new
+        self._node_labels.remove(label, node_id)
+        for key, value in old.properties.items():
+            self._property_index.remove(label, key, value, node_id)
+        return old, new
+
+    def set_node_property(self, node_id: int, key: str, value: Any) -> tuple[Node, Node]:
+        """Set property ``key`` on a node; returns (old, new) snapshots.
+
+        Setting a property to ``None`` removes it, per openCypher semantics.
+        """
+        old = self.node(node_id)
+        if value is None:
+            return self.remove_node_property(node_id, key)
+        value = validate_property_value(value)
+        props = dict(old.properties)
+        previous = props.get(key)
+        props[key] = value
+        new = old.with_updates(properties=props)
+        self._nodes[node_id] = new
+        for label in old.labels:
+            if previous is not None:
+                self._property_index.remove(label, key, previous, node_id)
+            self._property_index.add(label, key, value, node_id)
+        return old, new
+
+    def remove_node_property(self, node_id: int, key: str) -> tuple[Node, Node]:
+        """Remove property ``key`` from a node; returns (old, new) snapshots."""
+        old = self.node(node_id)
+        if key not in old.properties:
+            return old, old
+        props = dict(old.properties)
+        previous = props.pop(key)
+        new = old.with_updates(properties=props)
+        self._nodes[node_id] = new
+        for label in old.labels:
+            self._property_index.remove(label, key, previous, node_id)
+        return old, new
+
+    def set_relationship_property(
+        self, rel_id: int, key: str, value: Any
+    ) -> tuple[Relationship, Relationship]:
+        """Set property ``key`` on a relationship; returns (old, new) snapshots."""
+        old = self.relationship(rel_id)
+        if value is None:
+            return self.remove_relationship_property(rel_id, key)
+        value = validate_property_value(value)
+        props = dict(old.properties)
+        props[key] = value
+        new = old.with_updates(properties=props)
+        self._relationships[rel_id] = new
+        return old, new
+
+    def remove_relationship_property(
+        self, rel_id: int, key: str
+    ) -> tuple[Relationship, Relationship]:
+        """Remove property ``key`` from a relationship; returns (old, new)."""
+        old = self.relationship(rel_id)
+        if key not in old.properties:
+            return old, old
+        props = dict(old.properties)
+        del props[key]
+        new = old.with_updates(properties=props)
+        self._relationships[rel_id] = new
+        return old, new
+
+    # ------------------------------------------------------------------
+    # bulk helpers
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Remove every node and relationship (indexes are preserved but emptied)."""
+        self._nodes.clear()
+        self._relationships.clear()
+        self._outgoing.clear()
+        self._incoming.clear()
+        self._node_labels = LabelIndex()
+        self._rel_types = LabelIndex()
+        declared = self._property_index.indexed_pairs()
+        self._property_index = PropertyIndex()
+        for label, prop in declared:
+            self._property_index.create(label, prop)
+
+    def copy(self, name: str | None = None) -> "PropertyGraph":
+        """Return an independent deep copy of the graph."""
+        clone = PropertyGraph(name=name or f"{self.name}-copy")
+        for node in self.nodes():
+            clone.create_node(node.labels, dict(node.properties), node_id=node.id)
+        for rel in self.relationships():
+            clone.create_relationship(
+                rel.type, rel.start, rel.end, dict(rel.properties), rel_id=rel.id
+            )
+        for label, prop in self.property_indexes():
+            clone.create_property_index(label, prop)
+        return clone
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _peek_node_id(self) -> int:
+        """Smallest id that the node counter would produce next."""
+        return max(self._nodes, default=-1) + 1
+
+    def _peek_rel_id(self) -> int:
+        """Smallest id that the relationship counter would produce next."""
+        return max(self._relationships, default=-1) + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PropertyGraph({self.name!r}, nodes={self.node_count()}, "
+            f"relationships={self.relationship_count()})"
+        )

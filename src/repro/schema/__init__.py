@@ -1,0 +1,58 @@
+"""PG-Schema / PG-Keys substrate.
+
+Build schemas programmatically with :class:`PGSchema` or parse the textual
+dialect of the paper's Figure 5 with :func:`parse_schema`; validate graphs
+with :func:`validate_graph` / :func:`assert_valid`.
+"""
+
+from .errors import SchemaDefinitionError, SchemaError, SchemaParseError, SchemaValidationError
+from .keys import PGKey, check_keys
+from .parser import parse_schema
+from .schema import EdgeType, NodeType, PGSchema
+from .types import (
+    AnyType,
+    ArrayType,
+    BoolType,
+    CharType,
+    DataType,
+    DateTimeType,
+    DateType,
+    FloatType,
+    Int32Type,
+    IntType,
+    PropertySpec,
+    StringType,
+    type_from_name,
+)
+from .validation import Violation, ViolationKind, assert_valid, conforms, validate_graph
+
+__all__ = [
+    "AnyType",
+    "ArrayType",
+    "BoolType",
+    "CharType",
+    "DataType",
+    "DateTimeType",
+    "DateType",
+    "EdgeType",
+    "FloatType",
+    "Int32Type",
+    "IntType",
+    "NodeType",
+    "PGKey",
+    "PGSchema",
+    "PropertySpec",
+    "SchemaDefinitionError",
+    "SchemaError",
+    "SchemaParseError",
+    "SchemaValidationError",
+    "StringType",
+    "Violation",
+    "ViolationKind",
+    "assert_valid",
+    "check_keys",
+    "conforms",
+    "parse_schema",
+    "type_from_name",
+    "validate_graph",
+]

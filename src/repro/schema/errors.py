@@ -1,0 +1,33 @@
+"""Exception hierarchy for the PG-Schema substrate."""
+
+from __future__ import annotations
+
+
+class SchemaError(Exception):
+    """Base class for all schema errors."""
+
+
+class SchemaDefinitionError(SchemaError):
+    """Raised when a schema definition is inconsistent (unknown supertype,
+    duplicate type names, malformed key, …)."""
+
+
+class SchemaParseError(SchemaError):
+    """Raised when a textual PG-Schema specification cannot be parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        suffix = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{suffix}")
+        self.line = line
+
+
+class SchemaValidationError(SchemaError):
+    """Raised by strict validation when a graph violates its schema."""
+
+    def __init__(self, violations: list["object"]) -> None:
+        from .validation import Violation  # local import to avoid a cycle
+
+        messages = "; ".join(str(v) for v in violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        super().__init__(f"{len(violations)} schema violation(s): {messages}{more}")
+        self.violations: list[Violation] = list(violations)

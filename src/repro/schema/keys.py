@@ -1,0 +1,89 @@
+"""PG-Keys: key constraints over labelled subsets of a property graph.
+
+The PG-Keys proposal ([5] Angles et al. 2021) expresses keys as
+``FOR <pattern> EXCLUSIVE MANDATORY SINGLETON <properties>``.  The paper's
+Figure 4 marks ``Sequence.accession`` and ``Patient.ssn`` with KEY; this
+module provides the constraint object and its checking logic, shared by
+schema validation and by the trigger engine's optional constraint hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.store import PropertyGraph
+
+
+@dataclass(frozen=True)
+class PGKey:
+    """A key constraint for nodes carrying ``label``.
+
+    Attributes:
+        label: the target label.
+        properties: the identifying property names (composite keys allowed).
+        mandatory: every node with the label must define all key properties.
+        exclusive: no two nodes with the label may share the same key values.
+    """
+
+    label: str
+    properties: tuple[str, ...]
+    mandatory: bool = True
+    exclusive: bool = True
+
+    def __str__(self) -> str:
+        modifiers = []
+        if self.exclusive:
+            modifiers.append("EXCLUSIVE")
+        if self.mandatory:
+            modifiers.append("MANDATORY")
+        props = ", ".join(f"x.{p}" for p in self.properties)
+        return f"FOR (x:{self.label}) {' '.join(modifiers)} SINGLETON {props}"
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+
+    def key_of(self, properties: dict) -> tuple | None:
+        """Extract the key tuple from a property map; None when incomplete."""
+        values = []
+        for name in self.properties:
+            if name not in properties:
+                return None
+            value = properties[name]
+            values.append(tuple(value) if isinstance(value, list) else value)
+        return tuple(values)
+
+    def violations(self, graph: "PropertyGraph") -> list[str]:
+        """Return human-readable violation messages for ``graph``."""
+        problems: list[str] = []
+        seen: dict[tuple, int] = {}
+        for node in graph.nodes_with_label(self.label):
+            key = self.key_of(dict(node.properties))
+            if key is None:
+                if self.mandatory:
+                    problems.append(
+                        f"node {node.id} with label {self.label} is missing key "
+                        f"properties {self.properties}"
+                    )
+                continue
+            if self.exclusive and key in seen:
+                problems.append(
+                    f"nodes {seen[key]} and {node.id} share key {key} for label {self.label}"
+                )
+            else:
+                seen[key] = node.id
+        return problems
+
+    def is_satisfied(self, graph: "PropertyGraph") -> bool:
+        """True when ``graph`` has no violations of this key."""
+        return not self.violations(graph)
+
+
+def check_keys(graph: "PropertyGraph", keys: Iterable[PGKey]) -> list[str]:
+    """Check several keys at once, returning all violation messages."""
+    problems: list[str] = []
+    for key in keys:
+        problems.extend(key.violations(graph))
+    return problems

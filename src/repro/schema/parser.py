@@ -1,0 +1,158 @@
+"""Parser for a textual PG-Schema dialect (the paper's Figure 5 style).
+
+The accepted syntax is the fragment of the PG-Schema proposal used by the
+paper's running example::
+
+    CREATE GRAPH TYPE CovidGraphType STRICT {
+      (MutationType: Mutation {name STRING, protein STRING}),
+      (PatientType: Patient {ssn STRING KEY, name STRING, sex CHAR,
+                             comorbidity ARRAY[STRING], vaccinated INT32 OPTIONAL}),
+      (HospitalizedPatientType: PatientType & HospitalizedPatient
+                                {id INT32, prognosis STRING}),
+      (AlertType: Alert OPEN),
+      (:MutationType)-[RiskType: Risk]->(:CriticalEffectType),
+      (:HospitalType)-[ConnectedToType: ConnectedTo {distance INT32}]->(:HospitalType)
+    }
+
+Node type entries declare ``(TypeName: [SupertypeName &] Label [OPEN]
+[{properties}])``; edge type entries declare
+``(:SourceType)-[TypeName: Label [{properties}]]->(:TargetType)``.
+Properties are ``name TYPE [OPTIONAL] [KEY]``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import SchemaParseError
+from .schema import PGSchema
+from .types import PropertySpec, type_from_name
+
+_HEADER = re.compile(
+    r"CREATE\s+GRAPH\s+TYPE\s+(?P<name>\w+)\s+(?P<mode>STRICT|LOOSE)\s*\{(?P<body>.*)\}\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_EDGE_ENTRY = re.compile(
+    r"^\(\s*:\s*(?P<source>\w+)\s*\)\s*-\s*\[\s*(?P<type>\w+)\s*:\s*(?P<label>\w+)\s*"
+    r"(?P<props>\{.*\})?\s*\]\s*->\s*\(\s*:\s*(?P<target>\w+)\s*\)$",
+    re.DOTALL,
+)
+_NODE_ENTRY = re.compile(
+    r"^\(\s*(?P<type>\w+)\s*:\s*(?:(?P<super>\w+)\s*&\s*)?(?P<label>\w+)\s*"
+    r"(?P<open>OPEN)?\s*(?P<props>\{.*\})?\s*\)$",
+    re.DOTALL | re.IGNORECASE,
+)
+
+
+def parse_schema(text: str) -> PGSchema:
+    """Parse a textual PG-Schema specification into a :class:`PGSchema`."""
+    cleaned = _strip_comments(text).strip()
+    header = _HEADER.search(cleaned)
+    if header is None:
+        raise SchemaParseError("expected 'CREATE GRAPH TYPE <name> STRICT|LOOSE { … }'")
+    schema = PGSchema(
+        name=header.group("name"),
+        strict=header.group("mode").upper() == "STRICT",
+    )
+    body = header.group("body")
+    for entry in _split_entries(body):
+        if not entry:
+            continue
+        if ")-[" in entry.replace(" ", ""):
+            _parse_edge_entry(entry, schema)
+        else:
+            _parse_node_entry(entry, schema)
+    return schema
+
+
+# ---------------------------------------------------------------------------
+
+
+def _strip_comments(text: str) -> str:
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def _split_entries(body: str) -> list[str]:
+    """Split the graph-type body on top-level commas."""
+    entries: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in body:
+        if ch in "({[":
+            depth += 1
+        elif ch in ")}]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            entries.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        entries.append(tail)
+    return entries
+
+
+def _parse_node_entry(entry: str, schema: PGSchema) -> None:
+    match = _NODE_ENTRY.match(entry.strip())
+    if match is None:
+        raise SchemaParseError(f"malformed node type entry: {entry.strip()!r}")
+    supertype_name = match.group("super")
+    supertype = None
+    if supertype_name is not None:
+        supertype = schema.node_type(supertype_name).name
+    schema.add_node_type(
+        label=match.group("label"),
+        name=match.group("type"),
+        supertype=supertype,
+        open=match.group("open") is not None,
+        properties=_parse_properties(match.group("props")),
+    )
+
+
+def _parse_edge_entry(entry: str, schema: PGSchema) -> None:
+    match = _EDGE_ENTRY.match(entry.strip())
+    if match is None:
+        raise SchemaParseError(f"malformed edge type entry: {entry.strip()!r}")
+    schema.add_edge_type(
+        label=match.group("label"),
+        name=match.group("type"),
+        source=match.group("source"),
+        target=match.group("target"),
+        properties=_parse_properties(match.group("props")),
+    )
+
+
+def _parse_properties(props_text: str | None) -> list[PropertySpec]:
+    if not props_text:
+        return []
+    inner = props_text.strip()
+    if inner.startswith("{") and inner.endswith("}"):
+        inner = inner[1:-1]
+    specs: list[PropertySpec] = []
+    for declaration in _split_entries(inner):
+        if not declaration:
+            continue
+        tokens = declaration.split()
+        if len(tokens) < 2:
+            raise SchemaParseError(f"malformed property declaration: {declaration!r}")
+        name = tokens[0]
+        flags = {t.upper() for t in tokens[2:]}
+        unknown = flags - {"OPTIONAL", "KEY"}
+        if unknown:
+            raise SchemaParseError(
+                f"unknown property modifier(s) {sorted(unknown)} in {declaration!r}"
+            )
+        try:
+            data_type = type_from_name(tokens[1])
+        except ValueError as exc:
+            raise SchemaParseError(str(exc)) from exc
+        specs.append(
+            PropertySpec(
+                name=name,
+                data_type=data_type,
+                optional="OPTIONAL" in flags,
+                is_key="KEY" in flags,
+            )
+        )
+    return specs

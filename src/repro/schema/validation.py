@@ -1,0 +1,282 @@
+"""Validation of property graph instances against a PG-Schema."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..graph.model import Node, Relationship
+from ..graph.store import PropertyGraph
+from .errors import SchemaValidationError
+from .schema import PGSchema
+
+
+class ViolationKind(enum.Enum):
+    """Classification of schema violations."""
+
+    UNKNOWN_LABEL = "unknown-label"
+    UNLABELED_ITEM = "unlabeled-item"
+    MISSING_PROPERTY = "missing-property"
+    UNDECLARED_PROPERTY = "undeclared-property"
+    WRONG_TYPE = "wrong-type"
+    MISSING_SUPERTYPE_LABEL = "missing-supertype-label"
+    BAD_ENDPOINT = "bad-endpoint"
+    KEY_VIOLATION = "key-violation"
+    ABSTRACT_INSTANCE = "abstract-instance"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One schema violation found during validation."""
+
+    kind: ViolationKind
+    message: str
+    item_id: Optional[int] = None
+    label: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"[{self.kind.value}] {self.message}"
+
+
+def validate_graph(graph: PropertyGraph, schema: PGSchema) -> list[Violation]:
+    """Validate ``graph`` against ``schema`` and return all violations.
+
+    In STRICT mode every node must carry at least one declared label, every
+    declared property must type-check, non-OPEN types reject undeclared
+    properties, and relationship endpoints must match the declared edge
+    types.  In LOOSE mode unknown labels and unlabeled items are accepted;
+    declared labels are still checked.
+    """
+    violations: list[Violation] = []
+    for node in graph.nodes():
+        violations.extend(_validate_node(node, schema))
+    for rel in graph.relationships():
+        violations.extend(_validate_relationship(rel, graph, schema))
+    for key in schema.keys():
+        for message in key.violations(graph):
+            violations.append(
+                Violation(kind=ViolationKind.KEY_VIOLATION, message=message, label=key.label)
+            )
+    return violations
+
+
+def assert_valid(graph: PropertyGraph, schema: PGSchema) -> None:
+    """Raise :class:`SchemaValidationError` when the graph violates the schema."""
+    violations = validate_graph(graph, schema)
+    if violations:
+        raise SchemaValidationError(violations)
+
+
+def conforms(graph: PropertyGraph, schema: PGSchema) -> bool:
+    """True when the graph has no violations."""
+    return not validate_graph(graph, schema)
+
+
+# ---------------------------------------------------------------------------
+# item-level checks
+# ---------------------------------------------------------------------------
+
+
+def _validate_node(node: Node, schema: PGSchema) -> list[Violation]:
+    violations: list[Violation] = []
+    declared = [label for label in node.labels if schema.has_node_label(label)]
+    unknown = [label for label in node.labels if not schema.has_node_label(label)]
+
+    if not node.labels and schema.strict:
+        violations.append(
+            Violation(
+                kind=ViolationKind.UNLABELED_ITEM,
+                message=f"node {node.id} has no label (STRICT graph type)",
+                item_id=node.id,
+            )
+        )
+        return violations
+    if unknown and schema.strict:
+        for label in unknown:
+            violations.append(
+                Violation(
+                    kind=ViolationKind.UNKNOWN_LABEL,
+                    message=f"node {node.id} carries undeclared label {label!r}",
+                    item_id=node.id,
+                    label=label,
+                )
+            )
+    if not declared:
+        return violations
+
+    # The most specific declared label(s) drive property validation: a label
+    # is "most specific" when no other declared label on the node is one of
+    # its subtypes.
+    specific_labels = _most_specific(declared, schema)
+    allowed_properties: set[str] = set()
+    open_type = False
+    for label in specific_labels:
+        node_type = schema.node_type(label)
+        if node_type.abstract:
+            violations.append(
+                Violation(
+                    kind=ViolationKind.ABSTRACT_INSTANCE,
+                    message=f"node {node.id} instantiates abstract type {node_type.name}",
+                    item_id=node.id,
+                    label=label,
+                )
+            )
+        if schema.is_open(label):
+            open_type = True
+        effective = schema.effective_properties(label)
+        allowed_properties.update(effective)
+        for name, spec in effective.items():
+            if name not in node.properties:
+                if not spec.optional and not spec.is_key:
+                    violations.append(
+                        Violation(
+                            kind=ViolationKind.MISSING_PROPERTY,
+                            message=(
+                                f"node {node.id} ({label}) is missing required property {name!r}"
+                            ),
+                            item_id=node.id,
+                            label=label,
+                        )
+                    )
+                continue
+            if not spec.accepts(node.properties[name]):
+                violations.append(
+                    Violation(
+                        kind=ViolationKind.WRONG_TYPE,
+                        message=(
+                            f"node {node.id} ({label}) property {name!r} = "
+                            f"{node.properties[name]!r} does not satisfy {spec.data_type}"
+                        ),
+                        item_id=node.id,
+                        label=label,
+                    )
+                )
+        # Subtype instances must also carry their supertype labels.
+        for expected in schema.expected_labels(label):
+            if expected not in node.labels:
+                violations.append(
+                    Violation(
+                        kind=ViolationKind.MISSING_SUPERTYPE_LABEL,
+                        message=(
+                            f"node {node.id} with label {label!r} must also carry its "
+                            f"supertype label {expected!r}"
+                        ),
+                        item_id=node.id,
+                        label=label,
+                    )
+                )
+
+    if schema.strict and not open_type:
+        for name in node.properties:
+            if name not in allowed_properties:
+                violations.append(
+                    Violation(
+                        kind=ViolationKind.UNDECLARED_PROPERTY,
+                        message=f"node {node.id} carries undeclared property {name!r}",
+                        item_id=node.id,
+                    )
+                )
+    return violations
+
+
+def _validate_relationship(
+    rel: Relationship, graph: PropertyGraph, schema: PGSchema
+) -> list[Violation]:
+    violations: list[Violation] = []
+    if not schema.has_edge_label(rel.type):
+        if schema.strict:
+            violations.append(
+                Violation(
+                    kind=ViolationKind.UNKNOWN_LABEL,
+                    message=f"relationship {rel.id} has undeclared type {rel.type!r}",
+                    item_id=rel.id,
+                    label=rel.type,
+                )
+            )
+        return violations
+
+    start = graph.node(rel.start)
+    end = graph.node(rel.end)
+    candidates = schema.edge_type_for_label(rel.type)
+    endpoint_ok = False
+    for edge_type in candidates:
+        source_labels = schema.expected_labels(schema.node_type(edge_type.source).label)
+        target_labels = schema.expected_labels(schema.node_type(edge_type.target).label)
+        source_label = schema.node_type(edge_type.source).label
+        target_label = schema.node_type(edge_type.target).label
+        if _carries(start, source_label, schema) and _carries(end, target_label, schema):
+            endpoint_ok = True
+            for name, spec in edge_type.properties.items():
+                if name not in rel.properties:
+                    if not spec.optional:
+                        violations.append(
+                            Violation(
+                                kind=ViolationKind.MISSING_PROPERTY,
+                                message=(
+                                    f"relationship {rel.id} ({rel.type}) is missing required "
+                                    f"property {name!r}"
+                                ),
+                                item_id=rel.id,
+                                label=rel.type,
+                            )
+                        )
+                elif not spec.accepts(rel.properties[name]):
+                    violations.append(
+                        Violation(
+                            kind=ViolationKind.WRONG_TYPE,
+                            message=(
+                                f"relationship {rel.id} ({rel.type}) property {name!r} does "
+                                f"not satisfy {spec.data_type}"
+                            ),
+                            item_id=rel.id,
+                            label=rel.type,
+                        )
+                    )
+            break
+        # keep looping: another edge type with the same label may fit
+        del source_labels, target_labels
+    if not endpoint_ok:
+        violations.append(
+            Violation(
+                kind=ViolationKind.BAD_ENDPOINT,
+                message=(
+                    f"relationship {rel.id} of type {rel.type!r} connects "
+                    f"{sorted(start.labels)} to {sorted(end.labels)}, which matches no "
+                    "declared edge type"
+                ),
+                item_id=rel.id,
+                label=rel.type,
+            )
+        )
+    return violations
+
+
+def _carries(node: Node, label: str, schema: PGSchema) -> bool:
+    """True when ``node`` carries ``label`` directly or via a declared subtype."""
+    if label in node.labels:
+        return True
+    for node_label in node.labels:
+        if not schema.has_node_label(node_label):
+            continue
+        ancestors = {t.label for t in schema.supertypes(node_label)}
+        if label in ancestors:
+            return True
+    return False
+
+
+def _most_specific(labels: list[str], schema: PGSchema) -> list[str]:
+    """Drop labels that are supertypes of other labels in the list."""
+    result = []
+    for label in labels:
+        is_super = False
+        for other in labels:
+            if other == label:
+                continue
+            ancestors = {t.label for t in schema.supertypes(other)}
+            if label in ancestors:
+                is_super = True
+                break
+        if not is_super:
+            result.append(label)
+    return result

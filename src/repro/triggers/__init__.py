@@ -1,0 +1,80 @@
+"""PG-Triggers: the paper's primary contribution, as an executable engine.
+
+Public surface:
+
+* :class:`GraphSession` — graph + transactions + Cypher + triggers;
+* :func:`parse_trigger` / :func:`parse_triggers` — the Figure 1 grammar;
+* :class:`TriggerDefinition` and its enums — the trigger abstract syntax;
+* :class:`TriggerRegistry`, :class:`TriggerEngine` — lower-level pieces for
+  embedding the engine in other substrates (the APOC/Memgraph emulations
+  reuse them);
+* :func:`analyse_termination` — the triggering-graph termination analysis.
+"""
+
+from .ast import (
+    ActionTime,
+    EventType,
+    Granularity,
+    InstalledTrigger,
+    ItemKind,
+    ReferencingAlias,
+    TransitionVariable,
+    TriggerDefinition,
+)
+from .context import ExecutionContext, TriggerBindings, TriggerFiring, bindings_for
+from .engine import TriggerEngine
+from .errors import (
+    TriggerDefinitionError,
+    TriggerError,
+    TriggerExecutionError,
+    TriggerRecursionError,
+    TriggerRegistrationError,
+    TriggerSyntaxError,
+)
+from .events import Activation, compute_activations
+from .parser import parse_trigger, parse_triggers
+from .registry import TriggerRegistry, validate_definition
+from .session import GraphSession
+from .termination import (
+    PotentialEvent,
+    TerminationReport,
+    TriggeringGraph,
+    analyse_termination,
+    build_triggering_graph,
+    statement_events,
+)
+
+__all__ = [
+    "Activation",
+    "ActionTime",
+    "EventType",
+    "ExecutionContext",
+    "GraphSession",
+    "Granularity",
+    "InstalledTrigger",
+    "ItemKind",
+    "PotentialEvent",
+    "ReferencingAlias",
+    "TerminationReport",
+    "TransitionVariable",
+    "TriggerBindings",
+    "TriggerDefinition",
+    "TriggerDefinitionError",
+    "TriggerEngine",
+    "TriggerError",
+    "TriggerExecutionError",
+    "TriggerFiring",
+    "TriggerRecursionError",
+    "TriggerRegistry",
+    "TriggerRegistrationError",
+    "TriggerSyntaxError",
+    "TriggeringGraph",
+    "analyse_termination",
+    "bindings_for",
+    "build_triggering_graph",
+    "compute_activations",
+    "parse_trigger",
+    "parse_triggers",
+    "statement_events",
+    "validate_definition",
+]

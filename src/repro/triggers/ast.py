@@ -1,0 +1,200 @@
+"""PG-Trigger definitions: the abstract syntax of Figure 1.
+
+A :class:`TriggerDefinition` captures everything the CREATE TRIGGER
+statement declares — name, action time, event, target label (and optional
+property), transition-variable aliases, granularity, item kind, condition
+and action statement.  The condition and statement bodies are kept as
+openCypher text (plus their parsed form) because that is how the paper
+defines them and how the APOC/Memgraph translators consume them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: The :class:`TriggerDefinition` dataclass has a field named ``property``
+#: (matching the paper's ``ON <label>.<property>`` clause), which shadows the
+#: ``property`` builtin inside the class body; keep an alias for decorators.
+_builtin_property = property
+
+
+class ActionTime(enum.Enum):
+    """When the trigger's condition is considered and its action executed."""
+
+    BEFORE = "BEFORE"
+    AFTER = "AFTER"
+    ONCOMMIT = "ONCOMMIT"
+    DETACHED = "DETACHED"
+
+
+class EventType(enum.Enum):
+    """The kinds of data changes a trigger can monitor."""
+
+    CREATE = "CREATE"
+    DELETE = "DELETE"
+    SET = "SET"
+    REMOVE = "REMOVE"
+
+
+class Granularity(enum.Enum):
+    """FOR EACH (item-level) vs FOR ALL (set-level) execution."""
+
+    EACH = "EACH"
+    ALL = "ALL"
+
+
+class ItemKind(enum.Enum):
+    """Whether the trigger targets nodes or relationships."""
+
+    NODE = "NODE"
+    RELATIONSHIP = "RELATIONSHIP"
+
+
+class TransitionVariable(enum.Enum):
+    """The transition variables of Section 4.2 that can be renamed with AS."""
+
+    OLD = "OLD"
+    NEW = "NEW"
+    OLDNODES = "OLDNODES"
+    NEWNODES = "NEWNODES"
+    OLDRELS = "OLDRELS"
+    NEWRELS = "NEWRELS"
+
+    @property
+    def is_set_level(self) -> bool:
+        """True for the plural (FOR ALL) variables."""
+        return self in (
+            TransitionVariable.OLDNODES,
+            TransitionVariable.NEWNODES,
+            TransitionVariable.OLDRELS,
+            TransitionVariable.NEWRELS,
+        )
+
+    @property
+    def is_old(self) -> bool:
+        """True for variables referring to the pre-event state."""
+        return self in (
+            TransitionVariable.OLD,
+            TransitionVariable.OLDNODES,
+            TransitionVariable.OLDRELS,
+        )
+
+    @property
+    def item_kind(self) -> Optional[ItemKind]:
+        """The item kind a plural variable refers to (None for OLD/NEW)."""
+        if self in (TransitionVariable.OLDNODES, TransitionVariable.NEWNODES):
+            return ItemKind.NODE
+        if self in (TransitionVariable.OLDRELS, TransitionVariable.NEWRELS):
+            return ItemKind.RELATIONSHIP
+        return None
+
+
+@dataclass(frozen=True)
+class ReferencingAlias:
+    """One ``REFERENCING <variable> AS <alias>`` entry."""
+
+    variable: TransitionVariable
+    alias: str
+
+    def __str__(self) -> str:
+        return f"{self.variable.value} AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class TriggerDefinition:
+    """A complete PG-Trigger declaration.
+
+    Attributes:
+        name: trigger name (unique within a registry).
+        time: the action time.
+        event: the monitored event type.
+        label: the target label (node label or relationship type).
+        property: the target property for SET/REMOVE events on
+            ``<label>.<property>``; None otherwise.
+        referencing: transition-variable aliases.
+        granularity: EACH or ALL.
+        item: NODE or RELATIONSHIP.
+        condition: WHEN body as openCypher text (None when absent).
+        statement: the BEGIN…END action body as openCypher text.
+    """
+
+    name: str
+    time: ActionTime
+    event: EventType
+    label: str
+    property: Optional[str] = None
+    referencing: tuple[ReferencingAlias, ...] = ()
+    granularity: Granularity = Granularity.EACH
+    item: ItemKind = ItemKind.NODE
+    condition: Optional[str] = None
+    statement: str = ""
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+
+    @_builtin_property
+    def target(self) -> str:
+        """The textual target of the ON clause (``label`` or ``label.property``)."""
+        if self.property:
+            return f"{self.label}.{self.property}"
+        return self.label
+
+    def alias_for(self, variable: TransitionVariable) -> str:
+        """The (possibly renamed) name under which a transition variable is visible."""
+        for entry in self.referencing:
+            if entry.variable == variable:
+                return entry.alias
+        return variable.value
+
+    def transition_names(self) -> dict[str, TransitionVariable]:
+        """All names (default and aliases) mapping to their transition variables."""
+        names: dict[str, TransitionVariable] = {v.value: v for v in TransitionVariable}
+        for entry in self.referencing:
+            names[entry.alias] = entry.variable
+        return names
+
+    # ------------------------------------------------------------------
+    # rendering (unparse back to the Figure 1 syntax)
+    # ------------------------------------------------------------------
+
+    def to_pg_trigger(self) -> str:
+        """Render the definition back into CREATE TRIGGER syntax."""
+        lines = [f"CREATE TRIGGER {self.name} {self.time.value} {self.event.value}"]
+        lines.append(f"ON '{self.label}'" + (f".'{self.property}'" if self.property else ""))
+        if self.referencing:
+            refs = " ".join(str(alias) for alias in self.referencing)
+            lines.append(f"REFERENCING {refs}")
+        item_word = self.item.value
+        if self.granularity == Granularity.ALL:
+            item_word += "S" if not item_word.endswith("S") else ""
+        lines.append(f"FOR {self.granularity.value} {item_word}")
+        if self.condition:
+            lines.append(f"WHEN {self.condition.strip()}")
+        lines.append("BEGIN")
+        lines.append(self.statement.strip())
+        lines.append("END")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_pg_trigger()
+
+
+@dataclass
+class InstalledTrigger:
+    """A trigger as stored in a registry: definition plus runtime bookkeeping."""
+
+    definition: TriggerDefinition
+    sequence: int
+    enabled: bool = True
+    #: Number of times the trigger's statement has been executed.
+    executions: int = 0
+    #: Number of activations whose condition evaluated to false.
+    suppressed: int = 0
+
+    @property
+    def name(self) -> str:
+        """The trigger's name."""
+        return self.definition.name

@@ -1,0 +1,371 @@
+"""The PG-Trigger execution engine.
+
+The engine implements the semantics of Section 4.2 of the paper:
+
+* **Action times** — BEFORE and AFTER triggers run at each statement
+  boundary (BEFORE first, restricted to conditioning NEW states), ONCOMMIT
+  triggers run when the surrounding transaction reaches its commit point
+  (their side effects are included in the same transaction, and they may
+  abort it), DETACHED triggers run after a successful commit inside an
+  autonomous transaction.
+* **Granularity** — FOR EACH executes the trigger once per affected item
+  with ``OLD``/``NEW`` bound; FOR ALL executes it once per statement with
+  the plural transition variables bound to the whole affected set.
+* **Ordering** — triggers sharing an action time execute in creation-time
+  order (the registry's sequence numbers).
+* **Cascading** — changes produced by trigger statements are collected and
+  recursively processed as new events, using a stack of execution contexts
+  and a configurable depth limit (the runtime counterpart of the
+  termination analysis in :mod:`repro.triggers.termination`).
+
+Conditions may be plain boolean expressions over the transition variables
+(``OLD.x <> NEW.x``), EXISTS patterns, or *condition queries* — a pipeline
+of MATCH/UNWIND/WITH clauses as in the paper's examples.  The rows that
+survive the condition are handed to the action statement, so variables
+bound in the condition (e.g. the overloaded hospital ``h``) are usable in
+the action.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from ..cypher.ast import Query, ReturnClause
+from ..cypher.errors import CypherError, CypherSyntaxError
+from ..cypher.executor import QueryExecutor
+from ..cypher.parser import parse_expression, parse_query
+from ..graph.delta import GraphDelta
+from ..graph.store import PropertyGraph
+from ..tx.errors import TransactionAborted
+from ..tx.manager import TransactionManager
+from ..tx.transaction import Transaction
+from .ast import ActionTime, Granularity, InstalledTrigger, TriggerDefinition
+from .context import ExecutionContext, TriggerBindings, TriggerFiring, bindings_for
+from .errors import TriggerExecutionError, TriggerRecursionError
+from .events import compute_activations
+from .registry import TriggerRegistry
+
+#: Maximum cascade depth before the engine assumes non-termination.
+DEFAULT_MAX_CASCADE_DEPTH = 16
+#: Maximum nesting of autonomous (DETACHED) transactions.
+DEFAULT_MAX_DETACHED_DEPTH = 4
+
+
+def _abort_procedure(args, invocation):
+    """``CALL db.abort('reason')`` — abort the surrounding transaction.
+
+    Registered in every trigger-statement executor so that ONCOMMIT
+    triggers can reject the transaction, as the paper's semantics allow.
+    """
+    reason = str(args[0]) if args else "aborted by trigger"
+    raise TransactionAborted(reason)
+
+
+class TriggerEngine:
+    """Evaluates installed triggers against the deltas of a transaction."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        registry: TriggerRegistry,
+        manager: TransactionManager,
+        clock: Callable[[], _dt.datetime] | None = None,
+        max_cascade_depth: int = DEFAULT_MAX_CASCADE_DEPTH,
+        max_detached_depth: int = DEFAULT_MAX_DETACHED_DEPTH,
+    ) -> None:
+        self.graph = graph
+        self.registry = registry
+        self.manager = manager
+        self.clock = clock or _dt.datetime.now
+        self.max_cascade_depth = max_cascade_depth
+        self.max_detached_depth = max_detached_depth
+        #: Audit log of trigger firings (cleared with :meth:`clear_firings`).
+        self.firings: list[TriggerFiring] = []
+        self._condition_cache: dict[str, Any] = {}
+        self._statement_cache: dict[str, Query] = {}
+        self._detached_depth = 0
+        #: Extra procedures made available inside trigger statements.
+        self.procedures = {"db.abort": _abort_procedure, "abort": _abort_procedure}
+
+    # ------------------------------------------------------------------
+    # public entry points (driven by GraphSession / TransactionManager hooks)
+    # ------------------------------------------------------------------
+
+    def run_statement_triggers(self, tx: Transaction, delta: GraphDelta) -> GraphDelta:
+        """Process BEFORE and AFTER triggers for one statement's delta."""
+        produced = GraphDelta()
+        produced = produced.merge(
+            self._process(tx, delta, (ActionTime.BEFORE,), depth=0, parent=None)
+        )
+        produced = produced.merge(
+            self._process(tx, delta, (ActionTime.AFTER,), depth=0, parent=None)
+        )
+        return produced
+
+    def run_commit_triggers(self, tx: Transaction, delta: GraphDelta) -> GraphDelta:
+        """Process ONCOMMIT triggers for the whole transaction delta."""
+        return self._process(tx, delta, (ActionTime.ONCOMMIT,), depth=0, parent=None)
+
+    def run_detached_triggers(self, delta: GraphDelta) -> Optional[GraphDelta]:
+        """Process DETACHED triggers in an autonomous transaction.
+
+        Returns the delta committed by the autonomous transaction, or None
+        when no DETACHED trigger had activations (no transaction is opened
+        in that case).
+        """
+        triggers = self.registry.ordered((ActionTime.DETACHED,), enabled_only=True)
+        if not triggers:
+            return None
+        if not any(compute_activations(t.definition, delta) for t in triggers):
+            return None
+        if self._detached_depth >= self.max_detached_depth:
+            raise TriggerRecursionError(
+                self.max_detached_depth, [t.name for t in triggers]
+            )
+        self._detached_depth += 1
+        try:
+            tx = self.manager.begin(metadata={"source": "detached-trigger"})
+            try:
+                self._process(tx, delta, (ActionTime.DETACHED,), depth=0, parent=None)
+                committed = self.manager.commit(tx)
+            except Exception:
+                if tx.is_active:
+                    self.manager.rollback(tx)
+                raise
+            return committed
+        finally:
+            self._detached_depth -= 1
+
+    def clear_firings(self) -> None:
+        """Reset the audit log of trigger firings."""
+        self.firings.clear()
+
+    # ------------------------------------------------------------------
+    # core processing loop
+    # ------------------------------------------------------------------
+
+    def _process(
+        self,
+        tx: Transaction,
+        delta: GraphDelta,
+        times: tuple[ActionTime, ...],
+        depth: int,
+        parent: Optional[ExecutionContext],
+    ) -> GraphDelta:
+        """Run all triggers of ``times`` over ``delta``; cascade recursively."""
+        if delta.is_empty():
+            return GraphDelta()
+        if depth > self.max_cascade_depth:
+            chain = parent.chain() if parent else []
+            raise TriggerRecursionError(self.max_cascade_depth, chain)
+
+        produced_total = GraphDelta()
+        for installed in self.registry.ordered(times, enabled_only=True):
+            produced = self._run_trigger(installed, tx, delta, depth, parent)
+            produced_total = produced_total.merge(produced)
+
+        if not produced_total.is_empty():
+            cascade_times = self._cascade_times(times)
+            nested = self._process(
+                tx, produced_total, cascade_times, depth + 1,
+                parent or ExecutionContext("(statement)", depth, 0, Granularity.ALL),
+            )
+            produced_total = produced_total.merge(nested)
+        return produced_total
+
+    def _cascade_times(self, times: tuple[ActionTime, ...]) -> tuple[ActionTime, ...]:
+        """Which action times participate in cascading rounds.
+
+        Changes produced by ONCOMMIT (or DETACHED) triggers are still inside
+        the same transaction (autonomous one for DETACHED), so statement-time
+        triggers react to them as well; the converse does not hold.
+        """
+        if ActionTime.ONCOMMIT in times:
+            return (ActionTime.BEFORE, ActionTime.AFTER, ActionTime.ONCOMMIT)
+        if ActionTime.DETACHED in times:
+            return (ActionTime.BEFORE, ActionTime.AFTER, ActionTime.DETACHED)
+        return (ActionTime.BEFORE, ActionTime.AFTER)
+
+    def _run_trigger(
+        self,
+        installed: InstalledTrigger,
+        tx: Transaction,
+        delta: GraphDelta,
+        depth: int,
+        parent: Optional[ExecutionContext],
+    ) -> GraphDelta:
+        trigger = installed.definition
+        activations = compute_activations(trigger, delta)
+        if not activations:
+            return GraphDelta()
+        context = ExecutionContext(
+            trigger_name=trigger.name,
+            depth=depth,
+            activation_count=len(activations),
+            granularity=trigger.granularity,
+            parent=parent,
+        )
+        produced = GraphDelta()
+        activations = [self._refresh_new_side(a) for a in activations]
+        for binding in bindings_for(trigger, activations):
+            condition_rows = self._condition_rows(trigger, binding, tx)
+            executed = bool(condition_rows)
+            if executed:
+                tx.end_statement()  # isolate the trigger's own changes
+                for row in condition_rows:
+                    self._execute_statement(trigger, binding, row, tx, context)
+                produced = produced.merge(tx.end_statement())
+                installed.executions += 1
+            else:
+                installed.suppressed += 1
+            self.firings.append(
+                TriggerFiring(
+                    trigger_name=trigger.name,
+                    depth=depth,
+                    activation_count=len(activations),
+                    condition_rows=len(condition_rows),
+                    executed=executed,
+                    action_time=trigger.time.value,
+                )
+            )
+        return produced
+
+    def _refresh_new_side(self, activation):
+        """Re-read the NEW side from the store so earlier triggers' writes are visible.
+
+        The OLD side stays frozen at its pre-event snapshot, as required by
+        the transition-variable semantics.
+        """
+        new = activation.new
+        if new is None:
+            return activation
+        from ..graph.model import Node as _Node
+
+        if isinstance(new, _Node):
+            if self.graph.has_node(new.id):
+                refreshed = self.graph.node(new.id)
+            else:
+                return activation
+        else:
+            if self.graph.has_relationship(new.id):
+                refreshed = self.graph.relationship(new.id)
+            else:
+                return activation
+        if refreshed is new:
+            return activation
+        from .events import Activation as _Activation
+
+        return _Activation(
+            item=activation.item, old=activation.old, new=refreshed, property=activation.property
+        )
+
+    # ------------------------------------------------------------------
+    # condition handling
+    # ------------------------------------------------------------------
+
+    def _condition_rows(
+        self, trigger: TriggerDefinition, binding: TriggerBindings, tx: Transaction
+    ) -> list[dict[str, Any]]:
+        """Rows surviving the WHEN condition (one empty row when it is absent)."""
+        if trigger.condition is None:
+            return [{}]
+        parsed = self._parse_condition(trigger)
+        executor = self._executor(tx, binding)
+        base = dict(binding.variables)
+        try:
+            if isinstance(parsed, Query):
+                result = executor.execute(parsed, bindings=base)
+                return [dict(row) for row in result.rows]
+            # Plain expression: evaluate it as a WHERE filter over the bindings.
+            query = Query(clauses=(ReturnClause(items=(), include_wildcard=True),))
+            result = executor.execute(query, bindings=base)
+            survivors = []
+            for row in result.rows:
+                value = executor._evaluate(parsed, {**base, **row})
+                if value is True:
+                    survivors.append(dict(row))
+            return survivors
+        except TransactionAborted:
+            raise
+        except CypherError as exc:
+            raise TriggerExecutionError(trigger.name, "condition", exc) from exc
+
+    def _parse_condition(self, trigger: TriggerDefinition):
+        cached = self._condition_cache.get(trigger.name)
+        if cached is not None:
+            return cached
+        text = trigger.condition or ""
+        try:
+            parsed: Any = parse_expression(text)
+        except CypherSyntaxError:
+            try:
+                query = parse_query(text)
+            except CypherError as exc:
+                raise TriggerExecutionError(trigger.name, "condition", exc) from exc
+            if not any(isinstance(clause, ReturnClause) for clause in query.clauses):
+                query = Query(
+                    clauses=query.clauses + (ReturnClause(items=(), include_wildcard=True),)
+                )
+            parsed = query
+        self._condition_cache[trigger.name] = parsed
+        return parsed
+
+    # ------------------------------------------------------------------
+    # statement handling
+    # ------------------------------------------------------------------
+
+    def _execute_statement(
+        self,
+        trigger: TriggerDefinition,
+        binding: TriggerBindings,
+        condition_row: Mapping[str, Any],
+        tx: Transaction,
+        context: ExecutionContext,
+    ) -> None:
+        parsed = self._statement_cache.get(trigger.name)
+        if parsed is None:
+            try:
+                parsed = parse_query(trigger.statement)
+            except CypherError as exc:
+                raise TriggerExecutionError(trigger.name, "statement", exc) from exc
+            self._statement_cache[trigger.name] = parsed
+        executor = self._executor(tx, binding)
+        bindings = {**binding.variables, **condition_row}
+        try:
+            executor.execute(parsed, bindings=bindings)
+        except TransactionAborted:
+            raise
+        except CypherError as exc:
+            raise TriggerExecutionError(trigger.name, "statement", exc) from exc
+
+    def _executor(self, tx: Transaction, binding: TriggerBindings) -> QueryExecutor:
+        return QueryExecutor(
+            self.graph,
+            transaction=tx,
+            clock=self.clock,
+            virtual_labels=binding.virtual_labels,
+            procedures=self.procedures,
+        )
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def execution_counts(self) -> dict[str, int]:
+        """Executions per trigger (from the registry's counters)."""
+        return {t.name: t.executions for t in self.registry.ordered()}
+
+    def firing_summary(self) -> dict[str, dict[str, int]]:
+        """Per-trigger summary of the audit log."""
+        summary: dict[str, dict[str, int]] = {}
+        for firing in self.firings:
+            entry = summary.setdefault(
+                firing.trigger_name, {"executed": 0, "suppressed": 0, "max_depth": 0}
+            )
+            if firing.executed:
+                entry["executed"] += 1
+            else:
+                entry["suppressed"] += 1
+            entry["max_depth"] = max(entry["max_depth"], firing.depth)
+        return summary

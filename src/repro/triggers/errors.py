@@ -1,0 +1,53 @@
+"""Exception hierarchy for the PG-Trigger engine."""
+
+from __future__ import annotations
+
+
+class TriggerError(Exception):
+    """Base class for all trigger errors."""
+
+
+class TriggerSyntaxError(TriggerError):
+    """Raised when a CREATE TRIGGER statement cannot be parsed."""
+
+
+class TriggerDefinitionError(TriggerError):
+    """Raised when a trigger definition is illegal.
+
+    Covers the legality constraints of Section 4.2: a trigger may not
+    monitor the setting/removal of its own target label, its statement may
+    not set or remove the target label, BEFORE triggers may only condition
+    NEW states, and set-granularity transition variables must match the
+    trigger's item kind.
+    """
+
+
+class TriggerRegistrationError(TriggerError):
+    """Raised on duplicate names or operations on unknown triggers."""
+
+
+class TriggerExecutionError(TriggerError):
+    """Raised when a trigger's condition or statement fails at runtime."""
+
+    def __init__(self, trigger_name: str, phase: str, cause: Exception) -> None:
+        super().__init__(f"trigger {trigger_name!r} failed during {phase}: {cause}")
+        self.trigger_name = trigger_name
+        self.phase = phase
+        self.cause = cause
+
+
+class TriggerRecursionError(TriggerError):
+    """Raised when cascading trigger executions exceed the configured depth.
+
+    This is the runtime safety net backing the static termination analysis
+    of :mod:`repro.triggers.termination` (cf. the paper's discussion of the
+    potentially non-terminating ``MoveToNearHospital`` trigger).
+    """
+
+    def __init__(self, depth: int, chain: list[str]) -> None:
+        trail = " -> ".join(chain[-8:])
+        super().__init__(
+            f"trigger cascade exceeded the maximum depth of {depth} (recent chain: {trail})"
+        )
+        self.depth = depth
+        self.chain = chain

@@ -1,0 +1,184 @@
+"""Event model: deriving trigger activations from graph deltas.
+
+Given the :class:`~repro.graph.delta.GraphDelta` produced by a statement or
+transaction, this module computes, for each installed trigger, the list of
+:class:`Activation` records (the affected items with their OLD and NEW
+states) following the scheme of the paper's Table 3:
+
+============================  ==========================  =====================
+event                          OLD                         NEW
+============================  ==========================  =====================
+CREATE node/relationship       —                           the created item
+DELETE node/relationship       the deleted item            —
+SET label                      —                           item after assignment
+REMOVE label                   item before removal         —
+SET property                   item with the old value     item with the new value
+REMOVE property                item with the old value     —
+============================  ==========================  =====================
+
+Targeting: a trigger ``ON label`` selects changes whose item carries
+``label`` (for relationships, whose type equals ``label``); ``ON
+label.property`` additionally restricts SET/REMOVE to that property.  Per
+the legality rule of Section 4.2, assignments/removals of the target label
+itself never activate the trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..graph.delta import GraphDelta
+from ..graph.model import Node, Relationship
+from .ast import EventType, ItemKind, TriggerDefinition
+
+#: ``Activation`` has a field named ``property`` (the property involved in a
+#: SET/REMOVE event), which shadows the builtin inside the class body.
+_builtin_property = property
+
+
+@dataclass(frozen=True)
+class Activation:
+    """One (item, OLD, NEW) change that activates a trigger."""
+
+    item: Node | Relationship
+    old: Optional[Node | Relationship]
+    new: Optional[Node | Relationship]
+    #: The property involved, for SET/REMOVE property events.
+    property: Optional[str] = None
+
+    @_builtin_property
+    def item_id(self) -> int:
+        """Id of the affected item."""
+        return self.item.id
+
+
+def compute_activations(trigger: TriggerDefinition, delta: GraphDelta) -> list[Activation]:
+    """All activations of ``trigger`` caused by the changes in ``delta``."""
+    if trigger.item == ItemKind.NODE:
+        return _node_activations(trigger, delta)
+    return _relationship_activations(trigger, delta)
+
+
+# ---------------------------------------------------------------------------
+# nodes
+# ---------------------------------------------------------------------------
+
+
+def _node_activations(trigger: TriggerDefinition, delta: GraphDelta) -> list[Activation]:
+    label = trigger.label
+    activations: list[Activation] = []
+
+    if trigger.event == EventType.CREATE:
+        for node in delta.created_nodes:
+            if label in node.labels:
+                activations.append(Activation(item=node, old=None, new=node))
+        return activations
+
+    if trigger.event == EventType.DELETE:
+        for node in delta.deleted_nodes:
+            if label in node.labels:
+                activations.append(Activation(item=node, old=node, new=None))
+        return activations
+
+    if trigger.event == EventType.SET:
+        if trigger.property is None:
+            # Any label (other than the target label) assigned to a target
+            # node, plus any property assigned on a target node.
+            for assignment in delta.assigned_labels:
+                if assignment.label == label:
+                    continue
+                if label in assignment.node.labels:
+                    activations.append(
+                        Activation(item=assignment.node, old=None, new=assignment.node)
+                    )
+            for change in delta.node_property_assignments():
+                if label in change.item.labels:
+                    activations.append(_property_set_activation(change))
+        else:
+            for change in delta.node_property_assignments():
+                if change.key == trigger.property and label in change.item.labels:
+                    activations.append(_property_set_activation(change))
+        return activations
+
+    # EventType.REMOVE
+    if trigger.property is None:
+        for removal in delta.removed_labels:
+            if removal.label == label:
+                continue
+            if label in removal.node.labels:
+                activations.append(Activation(item=removal.node, old=removal.node, new=None))
+        for change in delta.node_property_removals():
+            if label in change.item.labels:
+                activations.append(_property_remove_activation(change))
+    else:
+        for change in delta.node_property_removals():
+            if change.key == trigger.property and label in change.item.labels:
+                activations.append(_property_remove_activation(change))
+    return activations
+
+
+# ---------------------------------------------------------------------------
+# relationships
+# ---------------------------------------------------------------------------
+
+
+def _relationship_activations(trigger: TriggerDefinition, delta: GraphDelta) -> list[Activation]:
+    label = trigger.label
+    activations: list[Activation] = []
+
+    if trigger.event == EventType.CREATE:
+        for rel in delta.created_relationships:
+            if rel.type == label:
+                activations.append(Activation(item=rel, old=None, new=rel))
+        return activations
+
+    if trigger.event == EventType.DELETE:
+        for rel in delta.deleted_relationships:
+            if rel.type == label:
+                activations.append(Activation(item=rel, old=rel, new=None))
+        return activations
+
+    if trigger.event == EventType.SET:
+        for change in delta.relationship_property_assignments():
+            if change.item.type != label:
+                continue
+            if trigger.property is None or change.key == trigger.property:
+                activations.append(_property_set_activation(change))
+        return activations
+
+    # EventType.REMOVE
+    for change in delta.relationship_property_removals():
+        if change.item.type != label:
+            continue
+        if trigger.property is None or change.key == trigger.property:
+            activations.append(_property_remove_activation(change))
+    return activations
+
+
+# ---------------------------------------------------------------------------
+# helpers building OLD snapshots for property changes
+# ---------------------------------------------------------------------------
+
+
+def _with_property(item: Node | Relationship, key: str, value) -> Node | Relationship:
+    """Return a snapshot of ``item`` with ``key`` set to ``value`` (or absent)."""
+    properties = dict(item.properties)
+    if value is None:
+        properties.pop(key, None)
+    else:
+        properties[key] = value
+    if isinstance(item, Node):
+        return item.with_updates(properties=properties)
+    return item.with_updates(properties=properties)
+
+
+def _property_set_activation(change) -> Activation:
+    old_item = _with_property(change.item, change.key, change.old)
+    new_item = _with_property(change.item, change.key, change.new)
+    return Activation(item=change.item, old=old_item, new=new_item, property=change.key)
+
+
+def _property_remove_activation(change) -> Activation:
+    old_item = _with_property(change.item, change.key, change.old)
+    return Activation(item=change.item, old=old_item, new=None, property=change.key)

@@ -1,0 +1,267 @@
+"""Parser for the PG-Trigger syntax of the paper's Figure 1.
+
+The grammar::
+
+    CREATE TRIGGER <name> <time> <event>
+    ON <label>[.<property>]
+    [REFERENCING <alias for old or new>...]
+    FOR <granularity> <item>
+    [WHEN <condition>]
+    BEGIN
+    <statement>
+    END
+
+    <time>        ::= BEFORE | AFTER | ONCOMMIT | DETACHED
+    <event>       ::= CREATE | DELETE | SET | REMOVE
+    <granularity> ::= EACH | ALL
+    <item>        ::= NODE | RELATIONSHIP        (plural forms accepted)
+    <alias…>      ::= {OLD | NEW | OLDNODES | NEWNODES | OLDRELS | NEWRELS} AS <alias>
+
+The ``<condition>`` and ``<statement>`` bodies are openCypher fragments;
+the parser captures them as text (delimiting the statement by matching
+nested BEGIN/END pairs) and leaves their interpretation to the trigger
+engine, which is exactly the separation the paper's translation schemes
+rely on.
+
+The trigger text is tokenized with the Cypher lexer so that strings and
+comments never confuse the keyword scan.
+"""
+
+from __future__ import annotations
+
+from ..cypher.lexer import Token, TokenType, tokenize
+from ..cypher.errors import CypherSyntaxError
+from .ast import (
+    ActionTime,
+    EventType,
+    Granularity,
+    ItemKind,
+    ReferencingAlias,
+    TransitionVariable,
+    TriggerDefinition,
+)
+from .errors import TriggerSyntaxError
+
+_ITEM_WORDS = {
+    "NODE": ItemKind.NODE,
+    "NODES": ItemKind.NODE,
+    "RELATIONSHIP": ItemKind.RELATIONSHIP,
+    "RELATIONSHIPS": ItemKind.RELATIONSHIP,
+    "REL": ItemKind.RELATIONSHIP,
+    "RELS": ItemKind.RELATIONSHIP,
+}
+
+
+class _TriggerParser:
+    """Token-level parser for one CREATE TRIGGER statement."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        try:
+            self.tokens = tokenize(text)
+        except CypherSyntaxError as exc:
+            raise TriggerSyntaxError(f"cannot tokenize trigger text: {exc}") from exc
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def at_end(self) -> bool:
+        return self.current.type == TokenType.EOF
+
+    def advance(self) -> Token:
+        token = self.current
+        if not self.at_end():
+            self.pos += 1
+        return token
+
+    def word(self, token: Token) -> str:
+        """Uppercase view of a keyword/identifier token (empty otherwise)."""
+        if token.type in (TokenType.KEYWORD, TokenType.IDENTIFIER):
+            return token.value.upper()
+        return ""
+
+    def at_word(self, *words: str) -> bool:
+        return self.word(self.current) in words
+
+    def expect_word(self, *words: str) -> str:
+        if not self.at_word(*words):
+            raise TriggerSyntaxError(
+                f"expected {' or '.join(words)}, found {self.current.value!r} "
+                f"(line {self.current.line})"
+            )
+        return self.word(self.advance())
+
+    def expect_name(self) -> str:
+        token = self.current
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD, TokenType.STRING):
+            self.advance()
+            return token.value
+        raise TriggerSyntaxError(
+            f"expected a name, found {token.value!r} (line {token.line})"
+        )
+
+    def accept_punct(self, value: str) -> bool:
+        token = self.current
+        if token.type in (TokenType.PUNCTUATION, TokenType.OPERATOR) and token.value == value:
+            self.advance()
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> TriggerDefinition:
+        self.expect_word("CREATE")
+        self.expect_word("TRIGGER")
+        name = self.expect_name()
+        time = ActionTime(self.expect_word(*[t.value for t in ActionTime]))
+        event = EventType(self.expect_word(*[e.value for e in EventType]))
+
+        self.expect_word("ON")
+        label = self.expect_name()
+        prop = None
+        if self.accept_punct("."):
+            prop = self.expect_name()
+
+        referencing: list[ReferencingAlias] = []
+        if self.at_word("REFERENCING"):
+            self.advance()
+            referencing = self._parse_referencing()
+
+        self.expect_word("FOR")
+        granularity = Granularity(self.expect_word("EACH", "ALL"))
+        item = _ITEM_WORDS[self.expect_word(*_ITEM_WORDS)]
+
+        condition = None
+        if self.at_word("WHEN"):
+            when_token = self.advance()
+            condition = self._capture_until_begin(when_token)
+
+        begin_token = self.current
+        self.expect_word("BEGIN")
+        statement = self._capture_statement(begin_token)
+
+        if not self.at_end():
+            raise TriggerSyntaxError(
+                f"unexpected trailing input after END: {self.current.value!r}"
+            )
+        if prop is not None and event in (EventType.CREATE, EventType.DELETE):
+            raise TriggerSyntaxError(
+                f"trigger {name!r}: a property target ({label}.{prop}) is only legal "
+                "for SET and REMOVE events"
+            )
+        return TriggerDefinition(
+            name=name,
+            time=time,
+            event=event,
+            label=label,
+            property=prop,
+            referencing=tuple(referencing),
+            granularity=granularity,
+            item=item,
+            condition=condition,
+            statement=statement,
+        )
+
+    def _parse_referencing(self) -> list[ReferencingAlias]:
+        aliases: list[ReferencingAlias] = []
+        variable_words = {v.value for v in TransitionVariable}
+        while self.at_word(*variable_words):
+            variable = TransitionVariable(self.word(self.advance()))
+            self.expect_word("AS")
+            alias = self.expect_name()
+            aliases.append(ReferencingAlias(variable=variable, alias=alias))
+            self.accept_punct(",")
+        if not aliases:
+            raise TriggerSyntaxError("REFERENCING requires at least one '<variable> AS <alias>'")
+        return aliases
+
+    def _capture_until_begin(self, after: Token) -> str:
+        """Capture raw text from after the WHEN keyword up to the top-level BEGIN."""
+        start_offset = after.position + len(after.value)
+        while not self.at_end() and not self.at_word("BEGIN"):
+            self.advance()
+        if self.at_end():
+            raise TriggerSyntaxError("trigger is missing a BEGIN … END action block")
+        end_offset = self.current.position
+        return self.text[start_offset:end_offset].strip()
+
+    def _capture_statement(self, begin_token: Token) -> str:
+        """Capture the BEGIN…END body, honouring nested BEGIN/END pairs.
+
+        ``END`` also terminates openCypher CASE expressions, so a CASE
+        counter keeps those ENDs from closing the trigger block early.
+        """
+        start_offset = begin_token.position + len("BEGIN")
+        depth = 1
+        case_depth = 0
+        while not self.at_end():
+            word = self.word(self.current)
+            if word == "CASE":
+                case_depth += 1
+            elif word == "BEGIN":
+                depth += 1
+            elif word == "END":
+                if case_depth > 0:
+                    case_depth -= 1
+                else:
+                    depth -= 1
+                    if depth == 0:
+                        end_offset = self.current.position
+                        self.advance()
+                        statement = self.text[start_offset:end_offset].strip()
+                        if not statement:
+                            raise TriggerSyntaxError("trigger action statement is empty")
+                        return statement
+            self.advance()
+        raise TriggerSyntaxError("trigger action block is missing its closing END")
+
+
+def parse_trigger(text: str) -> TriggerDefinition:
+    """Parse one CREATE TRIGGER statement into a :class:`TriggerDefinition`."""
+    return _TriggerParser(text).parse()
+
+
+def parse_triggers(text: str) -> list[TriggerDefinition]:
+    """Parse several CREATE TRIGGER statements separated by semicolons or whitespace.
+
+    Statement boundaries are found by scanning for top-level ``CREATE
+    TRIGGER`` keywords outside BEGIN/END blocks, so trigger bodies may
+    freely contain CREATE clauses.
+    """
+    tokens = tokenize(text)
+    boundaries: list[int] = []
+    depth = 0
+    case_depth = 0
+    for index, token in enumerate(tokens):
+        if token.type not in (TokenType.KEYWORD, TokenType.IDENTIFIER):
+            continue
+        word = token.value.upper()
+        if word == "CASE":
+            case_depth += 1
+        elif word == "BEGIN":
+            depth += 1
+        elif word == "END":
+            if case_depth > 0:
+                case_depth -= 1
+            else:
+                depth = max(0, depth - 1)
+        elif (
+            word == "CREATE"
+            and depth == 0
+            and index + 1 < len(tokens)
+            and tokens[index + 1].value.upper() == "TRIGGER"
+        ):
+            boundaries.append(token.position)
+    if not boundaries:
+        raise TriggerSyntaxError("no CREATE TRIGGER statement found")
+    boundaries.append(len(text))
+    definitions: list[TriggerDefinition] = []
+    for start, end in zip(boundaries, boundaries[1:]):
+        fragment = text[start:end].strip().rstrip(";").strip()
+        if fragment:
+            definitions.append(parse_trigger(fragment))
+    return definitions

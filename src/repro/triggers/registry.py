@@ -1,0 +1,223 @@
+"""Trigger registry: installation, ordering, enable/disable.
+
+Triggers with the same action time are executed in a total order given by
+their creation time (the paper's Section 4.2 prioritisation rule); the
+registry records an increasing *sequence number* at installation and hands
+back triggers sorted by it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from ..cypher.ast import (
+    ForeachClause,
+    Query,
+    RemoveClause,
+    RemoveLabelsItem,
+    SetClause,
+    SetLabelsItem,
+)
+from ..cypher.errors import CypherError
+from ..cypher.parser import parse_query
+from .ast import (
+    ActionTime,
+    EventType,
+    Granularity,
+    InstalledTrigger,
+    ItemKind,
+    TransitionVariable,
+    TriggerDefinition,
+)
+from .errors import TriggerDefinitionError, TriggerRegistrationError
+from .parser import parse_trigger
+
+
+class TriggerRegistry:
+    """Holds installed triggers, totally ordered by creation time."""
+
+    def __init__(self) -> None:
+        self._triggers: dict[str, InstalledTrigger] = {}
+        self._sequence = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+
+    def install(self, trigger: TriggerDefinition | str) -> InstalledTrigger:
+        """Install a trigger (from a definition or CREATE TRIGGER text).
+
+        Validates the legality constraints of Section 4.2 before accepting
+        the trigger; raises :class:`TriggerDefinitionError` on violation and
+        :class:`TriggerRegistrationError` on duplicate names.
+        """
+        definition = parse_trigger(trigger) if isinstance(trigger, str) else trigger
+        if definition.name in self._triggers:
+            raise TriggerRegistrationError(f"trigger {definition.name!r} is already installed")
+        validate_definition(definition)
+        installed = InstalledTrigger(definition=definition, sequence=next(self._sequence))
+        self._triggers[definition.name] = installed
+        return installed
+
+    def drop(self, name: str) -> TriggerDefinition:
+        """Remove a trigger by name, returning its definition."""
+        installed = self._require(name)
+        del self._triggers[name]
+        return installed.definition
+
+    def drop_all(self) -> int:
+        """Remove every trigger, returning how many were removed."""
+        count = len(self._triggers)
+        self._triggers.clear()
+        return count
+
+    def stop(self, name: str) -> None:
+        """Pause a trigger (it stays installed but no longer activates)."""
+        self._require(name).enabled = False
+
+    def start(self, name: str) -> None:
+        """Resume a paused trigger."""
+        self._require(name).enabled = True
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> InstalledTrigger:
+        """Fetch an installed trigger by name."""
+        return self._require(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._triggers
+
+    def __len__(self) -> int:
+        return len(self._triggers)
+
+    def names(self) -> list[str]:
+        """Names of all installed triggers, in creation order."""
+        return [t.name for t in self.ordered()]
+
+    def ordered(
+        self,
+        times: Iterable[ActionTime] | None = None,
+        enabled_only: bool = False,
+    ) -> list[InstalledTrigger]:
+        """Installed triggers sorted by creation sequence, optionally filtered."""
+        selected = sorted(self._triggers.values(), key=lambda t: t.sequence)
+        if times is not None:
+            wanted = set(times)
+            selected = [t for t in selected if t.definition.time in wanted]
+        if enabled_only:
+            selected = [t for t in selected if t.enabled]
+        return selected
+
+    def definitions(self) -> list[TriggerDefinition]:
+        """All definitions in creation order."""
+        return [t.definition for t in self.ordered()]
+
+    def _require(self, name: str) -> InstalledTrigger:
+        if name not in self._triggers:
+            raise TriggerRegistrationError(f"no trigger named {name!r} is installed")
+        return self._triggers[name]
+
+
+# ---------------------------------------------------------------------------
+# definition-level validation (Section 4.2 legality constraints)
+# ---------------------------------------------------------------------------
+
+
+def validate_definition(definition: TriggerDefinition) -> None:
+    """Check a trigger definition against the paper's legality constraints."""
+    _check_property_target(definition)
+    _check_referencing(definition)
+    _check_statement(definition)
+
+
+def _check_property_target(definition: TriggerDefinition) -> None:
+    if definition.property is not None and definition.event in (
+        EventType.CREATE,
+        EventType.DELETE,
+    ):
+        raise TriggerDefinitionError(
+            f"trigger {definition.name!r}: property targets are only legal for SET/REMOVE events"
+        )
+
+
+def _check_referencing(definition: TriggerDefinition) -> None:
+    for alias in definition.referencing:
+        variable = alias.variable
+        if definition.granularity == Granularity.EACH and variable.is_set_level:
+            raise TriggerDefinitionError(
+                f"trigger {definition.name!r}: {variable.value} is a set-level transition "
+                "variable and requires FOR ALL granularity"
+            )
+        if definition.granularity == Granularity.ALL and not variable.is_set_level:
+            raise TriggerDefinitionError(
+                f"trigger {definition.name!r}: {variable.value} is an item-level transition "
+                "variable and requires FOR EACH granularity"
+            )
+        expected_kind = variable.item_kind
+        if expected_kind is not None and expected_kind != definition.item:
+            raise TriggerDefinitionError(
+                f"trigger {definition.name!r}: {variable.value} refers to "
+                f"{expected_kind.value.lower()}s but the trigger is FOR "
+                f"{definition.granularity.value} {definition.item.value}"
+            )
+        if variable.is_old and definition.event == EventType.CREATE:
+            raise TriggerDefinitionError(
+                f"trigger {definition.name!r}: {variable.value} is undefined for CREATE events"
+            )
+        if not variable.is_old and definition.event in (EventType.DELETE, EventType.REMOVE):
+            raise TriggerDefinitionError(
+                f"trigger {definition.name!r}: {variable.value} is undefined for "
+                f"{definition.event.value} events"
+            )
+
+
+def _check_statement(definition: TriggerDefinition) -> None:
+    """The statement may not set/remove the target label; BEFORE may only SET/REMOVE."""
+    try:
+        parsed = parse_query(definition.statement)
+    except CypherError as exc:
+        raise TriggerDefinitionError(
+            f"trigger {definition.name!r}: cannot parse action statement: {exc}"
+        ) from exc
+    touched = _labels_written(parsed)
+    if definition.label in touched:
+        raise TriggerDefinitionError(
+            f"trigger {definition.name!r}: the action statement sets or removes the trigger's "
+            f"target label {definition.label!r}, which Section 4.2 disallows"
+        )
+    if definition.time == ActionTime.BEFORE and not parsed.is_read_only:
+        for clause in parsed.clauses:
+            if not isinstance(clause, (SetClause, RemoveClause)):
+                from ..cypher.ast import MatchClause, UnwindClause, WithClause
+
+                if isinstance(clause, (MatchClause, UnwindClause, WithClause)):
+                    continue
+                raise TriggerDefinitionError(
+                    f"trigger {definition.name!r}: BEFORE triggers may only condition NEW "
+                    "states (SET/REMOVE); other updates require AFTER, ONCOMMIT or DETACHED"
+                )
+
+
+def _labels_written(parsed: Query) -> set[str]:
+    """Labels that a statement adds or removes via SET/REMOVE clauses."""
+    written: set[str] = set()
+
+    def visit(clauses) -> None:
+        for clause in clauses:
+            if isinstance(clause, SetClause):
+                for item in clause.items:
+                    if isinstance(item, SetLabelsItem):
+                        written.update(item.labels)
+            elif isinstance(clause, RemoveClause):
+                for item in clause.items:
+                    if isinstance(item, RemoveLabelsItem):
+                        written.update(item.labels)
+            elif isinstance(clause, ForeachClause):
+                visit(clause.body)
+
+    visit(parsed.clauses)
+    return written

@@ -1,0 +1,208 @@
+"""GraphSession: the user-facing façade tying everything together.
+
+A :class:`GraphSession` owns a property graph, a transaction manager, a
+trigger registry and a trigger engine, and exposes the workflow the paper
+describes: run openCypher statements, have PG-Triggers react at the right
+action times, optionally validate the graph against a PG-Schema.
+
+Typical usage::
+
+    from repro.triggers import GraphSession
+
+    session = GraphSession()
+    session.run("CREATE (:Hospital {name: 'Sacco', icuBeds: 20})")
+    session.create_trigger('''
+        CREATE TRIGGER NewCriticalMutation
+        AFTER CREATE ON 'Mutation'
+        FOR EACH NODE
+        WHEN EXISTS (NEW)-[:Risk]-(:CriticalEffect)
+        BEGIN
+          CREATE (:Alert {time: datetime(), desc: 'New critical mutation',
+                          mutation: NEW.name})
+        END
+    ''')
+"""
+
+from __future__ import annotations
+
+import contextlib
+import datetime as _dt
+from typing import Any, Callable, Iterator, Mapping, Optional
+
+from ..cypher.executor import QueryExecutor
+from ..cypher.result import QueryResult
+from ..graph.delta import GraphDelta
+from ..graph.store import PropertyGraph
+from ..schema.schema import PGSchema
+from ..schema.validation import Violation, validate_graph
+from ..tx.manager import TransactionManager
+from ..tx.transaction import Transaction
+from .ast import InstalledTrigger, TriggerDefinition
+from .engine import TriggerEngine
+from .registry import TriggerRegistry
+from .termination import TerminationReport, analyse_termination
+
+
+class GraphSession:
+    """A property graph with transactions, Cypher execution and PG-Triggers."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph | None = None,
+        schema: PGSchema | None = None,
+        clock: Callable[[], _dt.datetime] | None = None,
+        max_cascade_depth: int = 16,
+    ) -> None:
+        self.graph = graph or PropertyGraph()
+        self.schema = schema
+        self.clock = clock or _dt.datetime.now
+        self.manager = TransactionManager(self.graph)
+        self.registry = TriggerRegistry()
+        self.engine = TriggerEngine(
+            self.graph,
+            self.registry,
+            self.manager,
+            clock=self.clock,
+            max_cascade_depth=max_cascade_depth,
+        )
+        self._open_transaction: Optional[Transaction] = None
+        self.manager.add_before_commit_hook(self._on_before_commit)
+        self.manager.add_after_commit_hook(self._on_after_commit)
+
+    # ------------------------------------------------------------------
+    # trigger management
+    # ------------------------------------------------------------------
+
+    def create_trigger(self, trigger: str | TriggerDefinition) -> InstalledTrigger:
+        """Install a PG-Trigger (CREATE TRIGGER text or definition object)."""
+        return self.registry.install(trigger)
+
+    def drop_trigger(self, name: str) -> TriggerDefinition:
+        """Remove a trigger by name."""
+        return self.registry.drop(name)
+
+    def stop_trigger(self, name: str) -> None:
+        """Pause a trigger without dropping it."""
+        self.registry.stop(name)
+
+    def start_trigger(self, name: str) -> None:
+        """Resume a paused trigger."""
+        self.registry.start(name)
+
+    def triggers(self) -> list[TriggerDefinition]:
+        """All installed trigger definitions (creation order)."""
+        return self.registry.definitions()
+
+    def analyse_termination(self) -> TerminationReport:
+        """Run the static termination analysis on the installed trigger set."""
+        return analyse_termination(self.registry.definitions())
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        query: str,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> QueryResult:
+        """Execute one openCypher statement.
+
+        Outside an explicit transaction the statement runs in auto-commit
+        mode: statement-time triggers (BEFORE/AFTER) fire at the statement
+        boundary, ONCOMMIT triggers at the commit point, DETACHED triggers
+        right after the commit.  Inside a :meth:`transaction` block only the
+        statement-time triggers fire per statement; commit-time processing
+        happens when the block exits.
+        """
+        if self._open_transaction is not None:
+            return self._run_in_transaction(self._open_transaction, query, parameters)
+        tx = self.manager.begin()
+        try:
+            result = self._run_in_transaction(tx, query, parameters)
+            self.manager.commit(tx)
+        except Exception:
+            if tx.is_active:
+                self.manager.rollback(tx)
+            raise
+        return result
+
+    def _run_in_transaction(
+        self, tx: Transaction, query: str, parameters: Mapping[str, Any] | None
+    ) -> QueryResult:
+        executor = QueryExecutor(
+            self.graph, transaction=tx, parameters=parameters, clock=self.clock
+        )
+        result = executor.execute(query)
+        delta = tx.end_statement()
+        if not delta.is_empty():
+            self.engine.run_statement_triggers(tx, delta)
+        return result
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """Group several :meth:`run` calls into one transaction.
+
+        ONCOMMIT triggers see the union of all statements' changes and run
+        when the block exits successfully; DETACHED triggers run after the
+        commit.  On exception the transaction is rolled back and no commit-
+        time trigger fires.
+        """
+        if self._open_transaction is not None:
+            raise RuntimeError("a session transaction is already open")
+        tx = self.manager.begin()
+        self._open_transaction = tx
+        try:
+            yield tx
+        except Exception:
+            self._open_transaction = None
+            if tx.is_active:
+                self.manager.rollback(tx)
+            raise
+        else:
+            self._open_transaction = None
+            self.manager.commit(tx)
+
+    # ------------------------------------------------------------------
+    # commit hooks (ONCOMMIT / DETACHED action times)
+    # ------------------------------------------------------------------
+
+    def _on_before_commit(self, tx: Transaction, delta: GraphDelta) -> None:
+        if tx.metadata.get("source") == "detached-trigger":
+            # The autonomous transaction's own commit processing is driven by
+            # the engine itself (its cascade already covers ONCOMMIT-style
+            # reactions); avoid re-entrant processing here.
+            return
+        if not delta.is_empty():
+            self.engine.run_commit_triggers(tx, delta)
+
+    def _on_after_commit(self, tx: Transaction, delta: GraphDelta) -> None:
+        if tx.metadata.get("source") == "detached-trigger":
+            return
+        if not delta.is_empty():
+            self.engine.run_detached_triggers(delta)
+
+    # ------------------------------------------------------------------
+    # schema integration and introspection
+    # ------------------------------------------------------------------
+
+    def validate(self) -> list[Violation]:
+        """Validate the graph against the session's PG-Schema (if any)."""
+        if self.schema is None:
+            return []
+        return validate_graph(self.graph, self.schema)
+
+    def alerts(self) -> list[dict[str, Any]]:
+        """Convenience accessor for the ``Alert`` nodes the paper's triggers produce."""
+        return [dict(node.properties) for node in self.graph.nodes_with_label("Alert")]
+
+    def firing_log(self) -> list[str]:
+        """Human-readable audit log of trigger firings."""
+        return [str(firing) for firing in self.engine.firings]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GraphSession(nodes={self.graph.node_count()}, "
+            f"relationships={self.graph.relationship_count()}, "
+            f"triggers={len(self.registry)})"
+        )

@@ -1,0 +1,15 @@
+"""Transaction substrate: transactions, undo logging, commit hooks."""
+
+from .errors import TransactionAborted, TransactionError, TransactionStateError
+from .manager import TransactionHook, TransactionManager
+from .transaction import Transaction, TransactionState
+
+__all__ = [
+    "Transaction",
+    "TransactionAborted",
+    "TransactionError",
+    "TransactionHook",
+    "TransactionManager",
+    "TransactionState",
+    "TransactionStateError",
+]

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the transaction substrate."""
+
+from __future__ import annotations
+
+
+class TransactionError(Exception):
+    """Base class for all transaction errors."""
+
+
+class TransactionStateError(TransactionError):
+    """Raised when an operation is attempted in the wrong transaction state
+    (e.g. writing through an already-committed transaction)."""
+
+
+class TransactionAborted(TransactionError):
+    """Raised when a transaction is rolled back by a trigger or constraint.
+
+    The PG-Trigger ONCOMMIT action time may abort the surrounding
+    transaction; the engine signals that by raising this exception, and the
+    transaction manager undoes every buffered change before re-raising.
+    """
+
+    def __init__(self, reason: str = "transaction aborted") -> None:
+        super().__init__(reason)
+        self.reason = reason

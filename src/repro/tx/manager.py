@@ -1,0 +1,147 @@
+"""Transaction manager: lifecycle, hooks, and autonomous transactions.
+
+The manager is deliberately simple — this is an in-process, single-writer
+engine — but it exposes exactly the hook points that the PG-Trigger action
+times of the paper require:
+
+* ``statement`` hooks fire at every statement boundary inside an active
+  transaction (used for BEFORE/AFTER statement-level triggers);
+* ``before_commit`` hooks fire when :meth:`commit` is called, *before* the
+  transaction is finalised; they may still write through the transaction
+  and may abort it by raising
+  :class:`~repro.tx.errors.TransactionAborted` (ONCOMMIT semantics);
+* ``after_commit`` hooks fire after a successful commit and receive the
+  committed transaction's delta; any writes they perform happen in a new,
+  autonomous transaction (DETACHED semantics).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Iterator, Mapping
+
+from ..graph.delta import GraphDelta
+from ..graph.store import PropertyGraph
+from .errors import TransactionAborted, TransactionStateError
+from .transaction import Transaction, TransactionState
+
+#: Hook invoked with (transaction, delta) at statement boundaries and commit.
+TransactionHook = Callable[[Transaction, GraphDelta], None]
+
+
+class TransactionManager:
+    """Creates, commits and rolls back transactions over one graph."""
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self.graph = graph
+        self._statement_hooks: list[TransactionHook] = []
+        self._before_commit_hooks: list[TransactionHook] = []
+        self._after_commit_hooks: list[TransactionHook] = []
+        self._committed_count = 0
+        self._rolled_back_count = 0
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+
+    def add_statement_hook(self, hook: TransactionHook) -> None:
+        """Register a hook fired at each statement boundary."""
+        self._statement_hooks.append(hook)
+
+    def add_before_commit_hook(self, hook: TransactionHook) -> None:
+        """Register a hook fired inside :meth:`commit`, before finalising."""
+        self._before_commit_hooks.append(hook)
+
+    def add_after_commit_hook(self, hook: TransactionHook) -> None:
+        """Register a hook fired after a successful commit."""
+        self._after_commit_hooks.append(hook)
+
+    def remove_hook(self, hook: TransactionHook) -> None:
+        """Remove ``hook`` from whichever hook list contains it."""
+        for hooks in (self._statement_hooks, self._before_commit_hooks, self._after_commit_hooks):
+            if hook in hooks:
+                hooks.remove(hook)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def committed_count(self) -> int:
+        """Number of transactions committed through this manager."""
+        return self._committed_count
+
+    @property
+    def rolled_back_count(self) -> int:
+        """Number of transactions rolled back through this manager."""
+        return self._rolled_back_count
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, metadata: Mapping[str, Any] | None = None) -> Transaction:
+        """Start a new transaction."""
+        return Transaction(self.graph, metadata=metadata)
+
+    def end_statement(self, tx: Transaction) -> GraphDelta:
+        """Close the current statement of ``tx`` and fire statement hooks."""
+        delta = tx.end_statement()
+        if not delta.is_empty():
+            for hook in list(self._statement_hooks):
+                hook(tx, delta)
+        return delta
+
+    def commit(self, tx: Transaction) -> GraphDelta:
+        """Commit ``tx``, running ONCOMMIT-style and DETACHED-style hooks.
+
+        Returns the transaction's full delta.  If any before-commit hook
+        raises :class:`TransactionAborted`, every change of the transaction
+        (including those made by hooks) is undone and the exception is
+        re-raised.
+        """
+        if not tx.is_active:
+            raise TransactionStateError(
+                f"cannot commit transaction {tx.id} in state {tx.state.value}"
+            )
+        # Close any open statement so that before-commit hooks observe the
+        # complete transaction delta.
+        tx.end_statement()
+        try:
+            for hook in list(self._before_commit_hooks):
+                hook(tx, tx.transaction_delta)
+                tx.end_statement()
+        except TransactionAborted:
+            self.rollback(tx)
+            raise
+        delta = tx.transaction_delta
+        tx._mark_committed()
+        self._committed_count += 1
+        for hook in list(self._after_commit_hooks):
+            hook(tx, delta)
+        return delta
+
+    def rollback(self, tx: Transaction) -> None:
+        """Undo all changes of ``tx`` and mark it rolled back."""
+        if tx.state == TransactionState.ROLLED_BACK:
+            return
+        if not tx.is_active:
+            raise TransactionStateError(
+                f"cannot roll back transaction {tx.id} in state {tx.state.value}"
+            )
+        tx._rollback_changes()
+        self._rolled_back_count += 1
+
+    @contextlib.contextmanager
+    def transaction(self, metadata: Mapping[str, Any] | None = None) -> Iterator[Transaction]:
+        """Context manager: commit on success, roll back on exception."""
+        tx = self.begin(metadata=metadata)
+        try:
+            yield tx
+        except Exception:
+            if tx.is_active:
+                self.rollback(tx)
+            raise
+        else:
+            if tx.is_active:
+                self.commit(tx)

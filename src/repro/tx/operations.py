@@ -1,0 +1,141 @@
+"""Undoable primitive operations.
+
+Each write that a :class:`~repro.tx.transaction.Transaction` applies to the
+underlying :class:`~repro.graph.store.PropertyGraph` is paired with an
+*undo record*: a small object that knows how to restore the store to the
+state it had before the write.  Rollback replays undo records in reverse
+order.
+
+Undo records restore items under their original ids, so snapshots held by
+other components (e.g. trigger transition variables captured before the
+rollback) remain consistent with the restored store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+from ..graph.model import Node, Relationship
+from ..graph.store import PropertyGraph
+
+
+class UndoRecord(Protocol):
+    """A reversible effect on the property graph."""
+
+    def undo(self, graph: PropertyGraph) -> None:
+        """Reverse the effect on ``graph``."""
+
+
+@dataclass(frozen=True)
+class UndoNodeCreation:
+    """Reverses a node creation by deleting the node (detaching if needed)."""
+
+    node_id: int
+
+    def undo(self, graph: PropertyGraph) -> None:
+        if graph.has_node(self.node_id):
+            graph.delete_node(self.node_id, detach=True)
+
+
+@dataclass(frozen=True)
+class UndoNodeDeletion:
+    """Reverses a node deletion by recreating the node snapshot."""
+
+    node: Node
+
+    def undo(self, graph: PropertyGraph) -> None:
+        graph.create_node(
+            labels=self.node.labels,
+            properties=dict(self.node.properties),
+            node_id=self.node.id,
+        )
+
+
+@dataclass(frozen=True)
+class UndoRelationshipCreation:
+    """Reverses a relationship creation by deleting it."""
+
+    rel_id: int
+
+    def undo(self, graph: PropertyGraph) -> None:
+        if graph.has_relationship(self.rel_id):
+            graph.delete_relationship(self.rel_id)
+
+
+@dataclass(frozen=True)
+class UndoRelationshipDeletion:
+    """Reverses a relationship deletion by recreating the snapshot."""
+
+    rel: Relationship
+
+    def undo(self, graph: PropertyGraph) -> None:
+        graph.create_relationship(
+            rel_type=self.rel.type,
+            start=self.rel.start,
+            end=self.rel.end,
+            properties=dict(self.rel.properties),
+            rel_id=self.rel.id,
+        )
+
+
+@dataclass(frozen=True)
+class UndoLabelAddition:
+    """Reverses ``SET n:Label``."""
+
+    node_id: int
+    label: str
+
+    def undo(self, graph: PropertyGraph) -> None:
+        if graph.has_node(self.node_id):
+            graph.remove_label(self.node_id, self.label)
+
+
+@dataclass(frozen=True)
+class UndoLabelRemoval:
+    """Reverses ``REMOVE n:Label``."""
+
+    node_id: int
+    label: str
+
+    def undo(self, graph: PropertyGraph) -> None:
+        if graph.has_node(self.node_id):
+            graph.add_label(self.node_id, self.label)
+
+
+@dataclass(frozen=True)
+class UndoNodePropertyChange:
+    """Reverses a node property set/removal by restoring the old value.
+
+    ``old_value`` of ``None`` means the property did not exist before, so
+    undo removes it.
+    """
+
+    node_id: int
+    key: str
+    old_value: Any
+
+    def undo(self, graph: PropertyGraph) -> None:
+        if not graph.has_node(self.node_id):
+            return
+        if self.old_value is None:
+            graph.remove_node_property(self.node_id, self.key)
+        else:
+            graph.set_node_property(self.node_id, self.key, self.old_value)
+
+
+@dataclass(frozen=True)
+class UndoRelationshipPropertyChange:
+    """Reverses a relationship property set/removal."""
+
+    rel_id: int
+    key: str
+    old_value: Any
+
+    def undo(self, graph: PropertyGraph) -> None:
+        if not graph.has_relationship(self.rel_id):
+            return
+        if self.old_value is None:
+            graph.remove_relationship_property(self.rel_id, self.key)
+        else:
+            graph.set_relationship_property(self.rel_id, self.key, self.old_value)

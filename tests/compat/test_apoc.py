@@ -1,0 +1,184 @@
+"""Tests for the APOC trigger emulation (Section 5.1, Table 2)."""
+
+import datetime
+
+import pytest
+
+from repro.compat import ApocEmulator, ApocTriggerError, TABLE2_ROWS, transition_parameters
+from repro.graph import GraphDelta, Node, PropertyGraph, Relationship
+from repro.tx import Transaction
+
+CLOCK = lambda: datetime.datetime(2021, 3, 14, 12, 0, 0)  # noqa: E731
+
+
+@pytest.fixture
+def emulator():
+    return ApocEmulator(clock=CLOCK)
+
+
+class TestTriggerManagement:
+    def test_install_and_list(self, emulator):
+        emulator.install("neo4j", "T1", "RETURN 1", {"phase": "afterAsync"})
+        emulator.install("neo4j", "T2", "RETURN 2", {"phase": "before"})
+        rows = [t.as_row() for t in emulator.list_triggers()]
+        assert [r["name"] for r in rows] == ["T1", "T2"]
+        assert rows[0]["selector"] == {"phase": "afterAsync"}
+
+    def test_invalid_phase_rejected(self, emulator):
+        with pytest.raises(ApocTriggerError):
+            emulator.install("neo4j", "T", "RETURN 1", {"phase": "sometime"})
+
+    def test_drop_and_drop_all(self, emulator):
+        emulator.install("neo4j", "T1", "RETURN 1")
+        emulator.install("neo4j", "T2", "RETURN 1")
+        emulator.drop("neo4j", "T1")
+        assert [t.name for t in emulator.list_triggers()] == ["T2"]
+        assert emulator.drop_all() == 1
+
+    def test_drop_unknown(self, emulator):
+        with pytest.raises(ApocTriggerError):
+            emulator.drop("neo4j", "missing")
+
+    def test_stop_start(self, emulator):
+        emulator.install("neo4j", "T", "CREATE (:Alert)", {"phase": "afterAsync"})
+        emulator.stop("neo4j", "T")
+        emulator.run("CREATE (:Patient {ssn: 'P1'})")
+        assert emulator.graph.count_nodes_with_label("Alert") == 0
+        emulator.start("neo4j", "T")
+        emulator.run("CREATE (:Patient {ssn: 'P2'})")
+        assert emulator.graph.count_nodes_with_label("Alert") == 1
+
+    def test_management_via_call_procedures(self, emulator):
+        emulator.run(
+            "CALL apoc.trigger.install('neo4j', 'FromCall', 'CREATE (:Alert)', "
+            "{phase: 'afterAsync'})"
+        )
+        assert [t.name for t in emulator.list_triggers()] == ["FromCall"]
+        result = emulator.run("CALL apoc.trigger.list() YIELD name RETURN name")
+        assert result.values("name") == ["FromCall"]
+        emulator.run("CALL apoc.trigger.drop('neo4j', 'FromCall')")
+        assert emulator.list_triggers() == []
+
+
+class TestTriggerExecution:
+    def test_after_async_trigger_fires_on_created_nodes(self, emulator):
+        emulator.install(
+            "neo4j",
+            "OnMutation",
+            "UNWIND $createdNodes AS cNodes "
+            "CALL apoc.do.when(cNodes:Mutation, "
+            "'CREATE (:Alert {mutation: $cNodes.name})', '', {cNodes: cNodes}) "
+            "YIELD value RETURN *",
+            {"phase": "afterAsync"},
+        )
+        emulator.run("CREATE (:Mutation {name: 'Spike:D614G'})")
+        emulator.run("CREATE (:Sequence {accession: 'S1'})")  # not a mutation
+        alerts = emulator.graph.nodes_with_label("Alert")
+        assert len(alerts) == 1
+        assert alerts[0].properties["mutation"] == "Spike:D614G"
+        assert emulator.execution_log.count(("OnMutation", "afterAsync")) >= 1
+
+    def test_before_phase_runs_in_same_transaction_alphabetically(self, emulator):
+        emulator.install("neo4j", "Zeta", "CREATE (:Log {name: 'Zeta'})", {"phase": "before"})
+        emulator.install("neo4j", "Alpha", "CREATE (:Log {name: 'Alpha'})", {"phase": "before"})
+        emulator.run("CREATE (:Patient {ssn: 'P1'})")
+        # both fired exactly once, in alphabetical order (the APOC limitation)
+        assert emulator.execution_log == [("Alpha", "before"), ("Zeta", "before")]
+        assert emulator.graph.count_nodes_with_label("Log") == 2
+
+    def test_triggers_do_not_cascade(self, emulator):
+        # A trigger creating Alert nodes is never re-activated by the Alert
+        # nodes created by another trigger (or itself).
+        emulator.install(
+            "neo4j",
+            "OnAnything",
+            "UNWIND $createdNodes AS cNodes "
+            "CALL apoc.do.when(cNodes:Alert, 'CREATE (:Escalation)', '', {cNodes: cNodes}) "
+            "YIELD value RETURN *",
+            {"phase": "afterAsync"},
+        )
+        emulator.install(
+            "neo4j",
+            "RaiseAlert",
+            "UNWIND $createdNodes AS cNodes "
+            "CALL apoc.do.when(cNodes:Mutation, 'CREATE (:Alert)', '', {cNodes: cNodes}) "
+            "YIELD value RETURN *",
+            {"phase": "afterAsync"},
+        )
+        emulator.run("CREATE (:Mutation {name: 'X'})")
+        assert emulator.graph.count_nodes_with_label("Alert") == 1
+        # no cascade: the Alert created by RaiseAlert never reaches OnAnything
+        assert emulator.graph.count_nodes_with_label("Escalation") == 0
+
+    def test_do_when_else_branch(self, emulator):
+        emulator.install(
+            "neo4j",
+            "Classify",
+            "UNWIND $createdNodes AS cNodes "
+            "CALL apoc.do.when(cNodes.vaccinated > 0, "
+            "'CREATE (:Vaccinated)', 'CREATE (:Unvaccinated)', {cNodes: cNodes}) "
+            "YIELD value RETURN *",
+            {"phase": "afterAsync"},
+        )
+        emulator.run("CREATE (:Patient {vaccinated: 2})")
+        emulator.run("CREATE (:Patient {vaccinated: 0})")
+        assert emulator.graph.count_nodes_with_label("Vaccinated") == 1
+        assert emulator.graph.count_nodes_with_label("Unvaccinated") == 1
+
+    def test_assigned_properties_metadata(self, emulator):
+        emulator.install(
+            "neo4j",
+            "WhoChange",
+            "UNWIND keys($assignedNodeProperties) AS k "
+            "UNWIND $assignedNodeProperties[k] AS aProp "
+            "WITH aProp.node AS node, aProp.key AS key, aProp.old AS old, aProp.new AS new "
+            "CALL apoc.do.when(node:Lineage AND key = 'whoDesignation' AND old <> new, "
+            "'CREATE (:Alert {before: $old, after: $new})', '', {old: old, new: new}) "
+            "YIELD value RETURN *",
+            {"phase": "afterAsync"},
+        )
+        emulator.run("CREATE (:Lineage {name: 'B.1.617.2', whoDesignation: 'Indian'})")
+        emulator.run("MATCH (l:Lineage) SET l.whoDesignation = 'Delta'")
+        alerts = emulator.graph.nodes_with_label("Alert")
+        assert len(alerts) == 1
+        assert alerts[0].properties == {"before": "Indian", "after": "Delta"}
+
+
+class TestTransitionParameters:
+    def test_table2_rows_complete(self):
+        names = [name for name, _ in TABLE2_ROWS]
+        assert len(names) == 10
+        assert "assignedNodeProperties" in names
+
+    def test_parameter_shapes(self):
+        graph = PropertyGraph()
+        tx = Transaction(graph)
+        node = tx.create_node(["Lineage"], {"whoDesignation": "Indian"})
+        other = tx.create_node(["Sequence"])
+        rel = tx.create_relationship("BelongsTo", other.id, node.id)
+        tx.set_node_property(node.id, "whoDesignation", "Delta")
+        tx.add_label(node.id, "Variant")
+        tx.remove_label(node.id, "Variant")
+        tx.set_relationship_property(rel.id, "since", 2021)
+        tx.remove_relationship_property(rel.id, "since")
+        tx.remove_node_property(node.id, "whoDesignation")
+        tx.delete_relationship(rel.id)
+        tx.delete_node(other.id)
+        params = transition_parameters(tx.statement_delta)
+        assert {n.id for n in params["createdNodes"]} == {node.id, other.id}
+        assert [r.id for r in params["createdRelationships"]] == [rel.id]
+        assert [n.id for n in params["deletedNodes"]] == [other.id]
+        assert [r.id for r in params["deletedRelationships"]] == [rel.id]
+        assert [n.id for n in params["assignedLabels"]["Variant"]] == [node.id]
+        assert [n.id for n in params["removedLabels"]["Variant"]] == [node.id]
+        who = params["assignedNodeProperties"]["whoDesignation"][0]
+        assert who["old"] == "Indian" and who["new"] == "Delta"
+        since = params["assignedRelProperties"]["since"][0]
+        assert since["relationship"].id == rel.id and since["new"] == 2021
+        assert params["removedNodeProperties"]["whoDesignation"][0]["old"] == "Delta"
+        assert params["removedRelProperties"]["since"][0]["old"] == 2021
+
+    def test_empty_delta(self):
+        params = transition_parameters(GraphDelta())
+        assert params["createdNodes"] == []
+        assert params["assignedNodeProperties"] == {}

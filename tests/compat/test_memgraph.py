@@ -1,0 +1,162 @@
+"""Tests for the Memgraph trigger emulation (Section 5.2, Table 4)."""
+
+import pytest
+
+from repro.compat import MemgraphEmulator, MemgraphTriggerError, TABLE4_ROWS, predefined_variables
+from repro.graph import PropertyGraph
+from repro.tx import Transaction
+
+
+@pytest.fixture
+def emulator():
+    return MemgraphEmulator()
+
+
+class TestTriggerManagement:
+    def test_create_and_show(self, emulator):
+        emulator.run(
+            "CREATE TRIGGER OnNewNode ON () CREATE AFTER COMMIT EXECUTE "
+            "UNWIND createdVertices AS v CREATE (:Log)"
+        )
+        rows = emulator.show_triggers()
+        assert rows[0]["trigger name"] == "OnNewNode"
+        assert rows[0]["phase"] == "AFTER COMMIT"
+        assert "(vertices)" in rows[0]["event type"]
+
+    def test_show_triggers_statement(self, emulator):
+        emulator.run("CREATE TRIGGER T AFTER COMMIT EXECUTE CREATE (:Log)")
+        result = emulator.run("SHOW TRIGGERS")
+        assert len(result.rows) == 1
+
+    def test_drop_trigger(self, emulator):
+        emulator.run("CREATE TRIGGER T AFTER COMMIT EXECUTE CREATE (:Log)")
+        emulator.run("DROP TRIGGER T")
+        assert emulator.show_triggers() == []
+
+    def test_duplicate_name_rejected(self, emulator):
+        emulator.run("CREATE TRIGGER T AFTER COMMIT EXECUTE CREATE (:Log)")
+        with pytest.raises(MemgraphTriggerError):
+            emulator.run("CREATE TRIGGER T AFTER COMMIT EXECUTE CREATE (:Log)")
+
+    def test_malformed_ddl_rejected(self, emulator):
+        with pytest.raises(MemgraphTriggerError):
+            emulator.create_trigger("CREATE TRIGGER T WHENEVER EXECUTE CREATE (:Log)")
+
+    def test_drop_unknown_rejected(self, emulator):
+        with pytest.raises(MemgraphTriggerError):
+            emulator.run("DROP TRIGGER missing")
+
+
+class TestTriggerExecution:
+    def test_after_commit_vertex_create(self, emulator):
+        emulator.run(
+            "CREATE TRIGGER OnMutation ON () CREATE AFTER COMMIT EXECUTE "
+            "UNWIND createdVertices AS newNode "
+            "WITH CASE WHEN 'Mutation' IN labels(newNode) THEN newNode END AS flag, "
+            "newNode AS newNode WHERE flag IS NOT NULL "
+            "CREATE (:Alert {mutation: newNode.name})"
+        )
+        emulator.run("CREATE (:Mutation {name: 'Spike:D614G'})")
+        emulator.run("CREATE (:Sequence {accession: 'S1'})")
+        alerts = emulator.graph.nodes_with_label("Alert")
+        assert len(alerts) == 1
+        assert alerts[0].properties["mutation"] == "Spike:D614G"
+
+    def test_before_commit_runs_in_same_transaction(self, emulator):
+        emulator.run(
+            "CREATE TRIGGER Audit ON () CREATE BEFORE COMMIT EXECUTE "
+            "UNWIND createdVertices AS v CREATE (:AuditEntry)"
+        )
+        emulator.run("CREATE (:Patient {ssn: 'P1'})")
+        assert emulator.graph.count_nodes_with_label("AuditEntry") == 1
+        assert emulator.execution_log == [("Audit", "BEFORE")]
+        # both writes ended up committed by the same (first) transaction
+        assert emulator.manager.committed_count == 1
+
+    def test_edge_filter(self, emulator):
+        emulator.run(
+            "CREATE TRIGGER OnEdge ON --> CREATE AFTER COMMIT EXECUTE "
+            "UNWIND createdEdges AS e CREATE (:EdgeLog {kind: type(e)})"
+        )
+        emulator.run("CREATE (:Sequence {accession: 'S1'})")
+        assert emulator.graph.count_nodes_with_label("EdgeLog") == 0
+        emulator.run(
+            "MATCH (s:Sequence) CREATE (s)-[:BelongsTo]->(:Lineage {name: 'B.1.1.7'})"
+        )
+        logs = emulator.graph.nodes_with_label("EdgeLog")
+        assert len(logs) == 1
+        assert logs[0].properties["kind"] == "BelongsTo"
+
+    def test_update_event_with_set_vertex_properties(self, emulator):
+        emulator.run(
+            "CREATE TRIGGER WhoChange ON () UPDATE AFTER COMMIT EXECUTE "
+            "UNWIND setVertexProperties AS change "
+            "WITH change.vertex AS v, change.key AS key, change.old AS old, change.new AS new "
+            "WHERE key = 'whoDesignation' AND old <> new "
+            "CREATE (:Alert {before: old, after: new})"
+        )
+        emulator.run("CREATE (:Lineage {name: 'B.1.617.2', whoDesignation: 'Indian'})")
+        emulator.run("MATCH (l:Lineage) SET l.whoDesignation = 'Delta'")
+        alerts = emulator.graph.nodes_with_label("Alert")
+        assert len(alerts) == 1
+        assert alerts[0].properties == {"before": "Indian", "after": "Delta"}
+
+    def test_any_object_trigger(self, emulator):
+        emulator.run(
+            "CREATE TRIGGER Anything ON CREATE AFTER COMMIT EXECUTE "
+            "UNWIND createdObjects AS o CREATE (:Log)"
+        )
+        emulator.run("CREATE (:A)-[:R]->(:B)")
+        # one Log per created object (2 nodes + 1 relationship)
+        assert emulator.graph.count_nodes_with_label("Log") == 3
+
+    def test_no_cascading(self, emulator):
+        emulator.run(
+            "CREATE TRIGGER OnAlert ON () CREATE AFTER COMMIT EXECUTE "
+            "UNWIND createdVertices AS v "
+            "WITH CASE WHEN 'Alert' IN labels(v) THEN v END AS flag, v AS v "
+            "WHERE flag IS NOT NULL CREATE (:Escalation)"
+        )
+        emulator.run(
+            "CREATE TRIGGER RaiseAlert ON () CREATE AFTER COMMIT EXECUTE "
+            "UNWIND createdVertices AS v "
+            "WITH CASE WHEN 'Mutation' IN labels(v) THEN v END AS flag, v AS v "
+            "WHERE flag IS NOT NULL CREATE (:Alert)"
+        )
+        emulator.run("CREATE (:Mutation {name: 'X'})")
+        assert emulator.graph.count_nodes_with_label("Alert") == 1
+        assert emulator.graph.count_nodes_with_label("Escalation") == 0
+
+
+class TestPredefinedVariables:
+    def test_table4_rows_complete(self):
+        assert len(TABLE4_ROWS) == 15
+        assert TABLE4_ROWS[0][0] == "createdVertices"
+
+    def test_variable_shapes(self):
+        graph = PropertyGraph()
+        tx = Transaction(graph)
+        a = tx.create_node(["Lineage"], {"whoDesignation": "Indian"})
+        b = tx.create_node(["Sequence"])
+        rel = tx.create_relationship("BelongsTo", b.id, a.id)
+        tx.set_node_property(a.id, "whoDesignation", "Delta")
+        tx.add_label(a.id, "Variant")
+        tx.set_relationship_property(rel.id, "since", 2021)
+        tx.remove_node_property(a.id, "whoDesignation")
+        tx.delete_relationship(rel.id)
+        tx.delete_node(b.id)
+        variables = predefined_variables(tx.statement_delta)
+        assert {n.id for n in variables["createdVertices"]} == {a.id, b.id}
+        assert [r.id for r in variables["createdEdges"]] == [rel.id]
+        assert [n.id for n in variables["deletedVertices"]] == [b.id]
+        assert [r.id for r in variables["deletedEdges"]] == [rel.id]
+        assert variables["setVertexLabels"][0]["label"] == "Variant"
+        set_props = variables["setVertexProperties"][0]
+        assert set_props["old"] == "Indian" and set_props["new"] == "Delta"
+        assert variables["setEdgeProperties"][0]["new"] == 2021
+        assert variables["removedVertexProperties"][0]["key"] == "whoDesignation"
+        assert len(variables["createdObjects"]) == 3
+        assert len(variables["deletedObjects"]) == 2
+        assert len(variables["updatedObjects"]) == len(variables["updatedVertices"]) + len(
+            variables["updatedEdges"]
+        )

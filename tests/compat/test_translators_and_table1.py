@@ -1,0 +1,255 @@
+"""Tests for the APOC/Memgraph translators (Figures 2-3) and Table 1."""
+
+import pytest
+
+from repro.compat import (
+    ApocEmulator,
+    MemgraphEmulator,
+    TranslationError,
+    render_table1,
+    systems_with_event_listeners,
+    systems_with_graph_triggers,
+    table1_rows,
+    translate_to_apoc,
+    translate_to_memgraph,
+)
+from repro.triggers import parse_trigger
+
+NEW_CRITICAL_MUTATION = """
+CREATE TRIGGER NewCriticalMutation
+AFTER CREATE ON 'Mutation'
+FOR EACH NODE
+WHEN EXISTS (NEW)-[:Risk]-(:CriticalEffect)
+BEGIN
+CREATE (:Alert{desc:'New critical mutation', mutation:NEW.name})
+END
+"""
+
+WHO_DESIGNATION_CHANGE = """
+CREATE TRIGGER WhoDesignationChange
+AFTER SET ON 'Lineage'.'whoDesignation'
+FOR EACH NODE
+WHEN OLD.whoDesignation <> NEW.whoDesignation
+BEGIN
+CREATE (:Alert{desc:'New Designation for an existing Lineage'})
+END
+"""
+
+ICU_THRESHOLD = """
+CREATE TRIGGER IcuPatientsOverThreshold
+AFTER CREATE ON 'IcuPatient'
+FOR ALL NODES
+WHEN
+MATCH (p:IcuPatient)-[:TreatedAt]-(:Hospital{name:'Sacco'})
+WITH COUNT(DISTINCT p) AS icuPat
+WHERE icuPat > 2
+BEGIN
+MERGE (:Alert{desc:'ICU patients at Sacco Hospital are more than 2'})
+END
+"""
+
+DELETE_TRIGGER = """
+CREATE TRIGGER PatientDischarged
+AFTER DELETE ON 'IcuPatient'
+FOR EACH NODE
+BEGIN
+CREATE (:Alert {desc: 'discharge', ssn: OLD.ssn})
+END
+"""
+
+REL_TRIGGER = """
+CREATE TRIGGER NewAssignment
+AFTER CREATE ON 'TreatedAt'
+FOR EACH RELATIONSHIP
+BEGIN
+CREATE (:Alert {desc: 'new treatment'})
+END
+"""
+
+
+class TestApocTranslationText:
+    def test_figure2_structure_for_node_creation(self):
+        translation = translate_to_apoc(parse_trigger(NEW_CRITICAL_MUTATION))
+        text = translation.call_text
+        assert text.startswith("CALL apoc.trigger.install('databaseName', 'NewCriticalMutation'")
+        assert "UNWIND $createdNodes AS cNodes" in text
+        assert "CALL apoc.do.when(" in text
+        assert "cNodes:Mutation" in text
+        assert "{phase: 'afterAsync'}" in text
+        # the condition and statement now refer to the unwound variable
+        assert "EXISTS (cNodes)-[:Risk]-(:CriticalEffect)" in translation.do_when_condition
+        assert "cNodes.name" in translation.inner_statement
+
+    def test_event_parameter_mapping(self):
+        assert translate_to_apoc(parse_trigger(NEW_CRITICAL_MUTATION)).parameter == "createdNodes"
+        assert translate_to_apoc(parse_trigger(DELETE_TRIGGER)).parameter == "deletedNodes"
+        assert (
+            translate_to_apoc(parse_trigger(REL_TRIGGER)).parameter == "createdRelationships"
+        )
+        assert (
+            translate_to_apoc(parse_trigger(WHO_DESIGNATION_CHANGE)).parameter
+            == "assignedNodeProperties"
+        )
+
+    def test_property_trigger_uses_old_new_values(self):
+        translation = translate_to_apoc(parse_trigger(WHO_DESIGNATION_CHANGE))
+        assert "oldValue <> newValue" in translation.do_when_condition
+        assert "changedKey = 'whoDesignation'" in translation.do_when_condition
+        assert "UNWIND keys($assignedNodeProperties)" in translation.unwind_clause
+
+    def test_oncommit_maps_to_before_phase(self):
+        trigger = parse_trigger(
+            "CREATE TRIGGER C ONCOMMIT CREATE ON 'Patient' FOR EACH NODE BEGIN CREATE (:X) END"
+        )
+        assert translate_to_apoc(trigger).phase == "before"
+
+    def test_before_not_translatable(self):
+        trigger = parse_trigger(
+            "CREATE TRIGGER B BEFORE CREATE ON 'Patient' FOR EACH NODE "
+            "BEGIN MATCH (p:NEW) SET p.x = 1 END"
+        )
+        with pytest.raises(TranslationError):
+            translate_to_apoc(trigger)
+
+    def test_condition_query_emitted_before_do_when(self):
+        translation = translate_to_apoc(parse_trigger(ICU_THRESHOLD))
+        assert translation.condition_query.startswith("MATCH")
+        assert "cNodes" in translation.condition_query  # carried through the WITH
+        body_index = translation.call_text.index("CALL apoc.do.when")
+        assert translation.call_text.index("MATCH (p:IcuPatient)") < body_index
+
+
+class TestApocTranslationExecution:
+    """The translated install calls are executable on the APOC emulator."""
+
+    def seed(self, emulator):
+        emulator.run("CREATE (:CriticalEffect {description: 'Enhanced infectivity'})")
+
+    def test_node_creation_trigger_round_trip(self):
+        emulator = ApocEmulator()
+        self.seed(emulator)
+        translation = translate_to_apoc(parse_trigger(NEW_CRITICAL_MUTATION))
+        emulator.run(translation.call_text)
+        assert [t.name for t in emulator.list_triggers()] == ["NewCriticalMutation"]
+        # a mutation with a Risk edge to a critical effect raises an alert …
+        emulator.run(
+            "MATCH (c:CriticalEffect) CREATE (:Mutation {name: 'Spike:D614G'})-[:Risk]->(c)"
+        )
+        alerts = emulator.graph.nodes_with_label("Alert")
+        assert len(alerts) == 1
+        assert alerts[0].properties["mutation"] == "Spike:D614G"
+        # … while a harmless mutation does not
+        emulator.run("CREATE (:Mutation {name: 'ORF1a:T265I'})")
+        assert emulator.graph.count_nodes_with_label("Alert") == 1
+
+    def test_property_change_trigger_round_trip(self):
+        emulator = ApocEmulator()
+        translation = translate_to_apoc(parse_trigger(WHO_DESIGNATION_CHANGE))
+        emulator.run(translation.call_text)
+        emulator.run("CREATE (:Lineage {name: 'B.1.617.2', whoDesignation: 'Indian'})")
+        emulator.run("MATCH (l:Lineage) SET l.whoDesignation = 'Delta'")
+        assert emulator.graph.count_nodes_with_label("Alert") == 1
+        # setting an unrelated property does not fire
+        emulator.run("MATCH (l:Lineage) SET l.name = 'renamed'")
+        assert emulator.graph.count_nodes_with_label("Alert") == 1
+
+    def test_set_granularity_threshold_round_trip(self):
+        emulator = ApocEmulator()
+        translation = translate_to_apoc(parse_trigger(ICU_THRESHOLD))
+        emulator.run(translation.call_text)
+        emulator.run("CREATE (:Hospital {name: 'Sacco', icuBeds: 10})")
+        for i in range(3):
+            emulator.run(
+                "MATCH (h:Hospital {name: 'Sacco'}) "
+                f"CREATE (:IcuPatient {{ssn: 'P{i}'}})-[:TreatedAt]->(h)"
+            )
+        # threshold is 2: the third admission pushes the count to 3 (MERGE
+        # collapses duplicate alerts, as in the paper's translation advice)
+        assert emulator.graph.count_nodes_with_label("Alert") == 1
+
+
+class TestMemgraphTranslation:
+    def test_figure3_structure(self):
+        translation = translate_to_memgraph(parse_trigger(NEW_CRITICAL_MUTATION))
+        ddl = translation.ddl
+        assert ddl.startswith("CREATE TRIGGER NewCriticalMutation")
+        assert "ON () CREATE" in ddl
+        assert "AFTER COMMIT" in ddl
+        assert "UNWIND createdVertices AS newNode" in ddl
+        assert "WITH CASE WHEN 'Mutation' IN labels(newNode)" in ddl
+        assert "WHERE flag IS NOT NULL" in ddl
+
+    def test_phase_mapping(self):
+        oncommit = parse_trigger(
+            "CREATE TRIGGER C ONCOMMIT CREATE ON 'Patient' FOR EACH NODE BEGIN CREATE (:X) END"
+        )
+        assert translate_to_memgraph(oncommit).phase == "BEFORE COMMIT"
+        detached = parse_trigger(
+            "CREATE TRIGGER D DETACHED CREATE ON 'Patient' FOR EACH NODE BEGIN CREATE (:X) END"
+        )
+        assert translate_to_memgraph(detached).phase == "AFTER COMMIT"
+
+    def test_before_not_translatable(self):
+        trigger = parse_trigger(
+            "CREATE TRIGGER B BEFORE CREATE ON 'Patient' FOR EACH NODE "
+            "BEGIN MATCH (p:NEW) SET p.x = 1 END"
+        )
+        with pytest.raises(TranslationError):
+            translate_to_memgraph(trigger)
+
+    def test_relationship_trigger_uses_edge_source(self):
+        translation = translate_to_memgraph(parse_trigger(REL_TRIGGER))
+        assert translation.source_variable == "createdEdges"
+        assert "ON --> CREATE" in translation.ddl
+        assert "type(newNode) = 'TreatedAt'" in translation.ddl
+
+    def test_node_creation_trigger_round_trip(self):
+        emulator = MemgraphEmulator()
+        emulator.run("CREATE (:CriticalEffect {description: 'Enhanced infectivity'})")
+        translation = translate_to_memgraph(parse_trigger(NEW_CRITICAL_MUTATION))
+        emulator.run(translation.ddl)
+        emulator.run(
+            "MATCH (c:CriticalEffect) CREATE (:Mutation {name: 'Spike:D614G'})-[:Risk]->(c)"
+        )
+        emulator.run("CREATE (:Mutation {name: 'ORF1a:T265I'})")
+        alerts = emulator.graph.nodes_with_label("Alert")
+        assert len(alerts) == 1
+        assert alerts[0].properties["mutation"] == "Spike:D614G"
+
+    def test_property_change_trigger_round_trip(self):
+        emulator = MemgraphEmulator()
+        translation = translate_to_memgraph(parse_trigger(WHO_DESIGNATION_CHANGE))
+        emulator.run(translation.ddl)
+        emulator.run("CREATE (:Lineage {name: 'B.1.617.2', whoDesignation: 'Indian'})")
+        emulator.run("MATCH (l:Lineage) SET l.whoDesignation = 'Delta'")
+        assert emulator.graph.count_nodes_with_label("Alert") == 1
+
+
+class TestTable1:
+    def test_fifteen_systems(self):
+        assert len(table1_rows()) == 15
+
+    def test_graph_trigger_support(self):
+        assert systems_with_graph_triggers() == ["Neo4j", "Memgraph"]
+
+    def test_event_listener_systems(self):
+        listeners = systems_with_event_listeners()
+        for expected in ("JanusGraph", "Dgraph", "Amazon Neptune", "Stardog",
+                         "Microsoft Azure Cosmos DB", "OrientDB", "ArangoDB"):
+            assert expected in listeners
+
+    def test_relational_trigger_systems(self):
+        rows = {row["System"]: row for row in table1_rows()}
+        for system in ("Oracle Graph Database", "Virtuoso", "AgensGraph"):
+            assert rows[system]["Tr-R"] == "✓"
+            assert rows[system]["Tr-G"] == "-"
+
+    def test_no_support_systems(self):
+        rows = {row["System"]: row for row in table1_rows()}
+        for system in ("Nebula Graph", "TigerGraph", "GraphDB"):
+            assert rows[system] == {"System": system, "Tr-G": "-", "Tr-R": "-", "Ev-L": "-"}
+
+    def test_render_table(self):
+        text = render_table1()
+        assert "Neo4j" in text and "Tr-G" in text
+        assert len(text.splitlines()) == 17  # header + separator + 15 systems

@@ -1,0 +1,90 @@
+"""Tests for the Cypher lexer."""
+
+import pytest
+
+from repro.cypher.errors import CypherSyntaxError
+from repro.cypher.lexer import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type != TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_are_case_insensitive(self):
+        assert kinds("match MATCH Match") == [
+            (TokenType.KEYWORD, "MATCH"),
+            (TokenType.KEYWORD, "MATCH"),
+            (TokenType.KEYWORD, "MATCH"),
+        ]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("NewIcuPat")[0] == (TokenType.IDENTIFIER, "NewIcuPat")
+
+    def test_integers_and_floats(self):
+        assert kinds("42 3.14 1e3 2.5e-1") == [
+            (TokenType.INTEGER, "42"),
+            (TokenType.FLOAT, "3.14"),
+            (TokenType.FLOAT, "1e3"),
+            (TokenType.FLOAT, "2.5e-1"),
+        ]
+
+    def test_dotdot_is_not_a_float(self):
+        values = [v for _, v in kinds("*1..3")]
+        assert values == ["*", "1", "..", "3"]
+
+    def test_property_access_keeps_integer_and_dot_separate(self):
+        assert [v for _, v in kinds("n.age")] == ["n", ".", "age"]
+
+    def test_strings_single_and_double_quotes(self):
+        assert kinds("'Sacco' \"Meyer\"") == [
+            (TokenType.STRING, "Sacco"),
+            (TokenType.STRING, "Meyer"),
+        ]
+
+    def test_string_escapes(self):
+        assert kinds(r"'it\'s'")[0] == (TokenType.STRING, "it's")
+        assert kinds(r"'line\nbreak'")[0] == (TokenType.STRING, "line\nbreak")
+
+    def test_parameters(self):
+        assert kinds("$createdNodes")[0] == (TokenType.PARAMETER, "createdNodes")
+
+    def test_backquoted_identifier(self):
+        assert kinds("`weird name`")[0] == (TokenType.IDENTIFIER, "weird name")
+
+    def test_operators(self):
+        values = [v for _, v in kinds("<= >= <> = < > + - * / % ^ +=")]
+        assert values == ["<=", ">=", "<>", "=", "<", ">", "+", "-", "*", "/", "%", "^", "+="]
+
+    def test_punctuation(self):
+        values = [v for _, v in kinds("()[]{},.:;|")]
+        assert values == list("()[]{},.:;|")
+
+
+class TestCommentsAndErrors:
+    def test_line_comments_skipped(self):
+        assert kinds("MATCH // comment\n(n)")[0] == (TokenType.KEYWORD, "MATCH")
+
+    def test_block_comments_skipped(self):
+        assert [v for _, v in kinds("1 /* two\nthree */ 4")] == ["1", "4"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("/* never closed")
+
+    def test_unterminated_string(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("'open")
+
+    def test_unexpected_character(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("MATCH (n) WHERE n.x = @")
+
+    def test_empty_parameter_name(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("$ x")
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("MATCH (n)\nRETURN n")
+        return_token = [t for t in tokens if t.value == "RETURN"][0]
+        assert return_token.line == 2

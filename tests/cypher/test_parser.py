@@ -1,0 +1,349 @@
+"""Tests for the Cypher parser."""
+
+import pytest
+
+from repro.cypher import parse_expression, parse_query
+from repro.cypher.ast import (
+    BinaryOp,
+    CallClause,
+    CaseExpression,
+    CountStar,
+    CreateClause,
+    DeleteClause,
+    ExistsPattern,
+    ForeachClause,
+    FunctionCall,
+    LabelPredicate,
+    Literal,
+    MatchClause,
+    MergeClause,
+    NodePattern,
+    Parameter,
+    PropertyAccess,
+    RelationshipPattern,
+    RemoveClause,
+    ReturnClause,
+    SetClause,
+    SetLabelsItem,
+    SetPropertyItem,
+    UnwindClause,
+    Variable,
+    WithClause,
+)
+from repro.cypher.errors import CypherSyntaxError, UnsupportedFeatureError
+
+
+class TestPatternParsing:
+    def test_simple_node_pattern(self):
+        query = parse_query("MATCH (n:Hospital {name: 'Sacco'}) RETURN n")
+        match = query.clauses[0]
+        node = match.patterns[0].elements[0]
+        assert isinstance(node, NodePattern)
+        assert node.variable == "n"
+        assert node.labels == ("Hospital",)
+        assert node.properties[0][0] == "name"
+
+    def test_anonymous_node_with_multiple_labels(self):
+        query = parse_query("MATCH (:HospitalizedPatient:IcuPatient) RETURN count(*)")
+        node = query.clauses[0].patterns[0].elements[0]
+        assert node.variable is None
+        assert node.labels == ("HospitalizedPatient", "IcuPatient")
+
+    def test_relationship_directions(self):
+        out_rel = parse_query("MATCH (a)-[:R]->(b) RETURN a").clauses[0].patterns[0].elements[1]
+        in_rel = parse_query("MATCH (a)<-[:R]-(b) RETURN a").clauses[0].patterns[0].elements[1]
+        both_rel = parse_query("MATCH (a)-[:R]-(b) RETURN a").clauses[0].patterns[0].elements[1]
+        assert out_rel.direction == "out"
+        assert in_rel.direction == "in"
+        assert both_rel.direction == "both"
+
+    def test_relationship_variable_and_types(self):
+        rel = parse_query("MATCH (a)-[r:X|Y]->(b) RETURN r").clauses[0].patterns[0].elements[1]
+        assert rel.variable == "r"
+        assert rel.types == ("X", "Y")
+
+    def test_bare_relationship(self):
+        rel = parse_query("MATCH (a)--(b) RETURN a").clauses[0].patterns[0].elements[1]
+        assert isinstance(rel, RelationshipPattern)
+        assert rel.types == ()
+
+    def test_variable_length(self):
+        rel = parse_query("MATCH (a)-[:R*2..4]->(b) RETURN a").clauses[0].patterns[0].elements[1]
+        assert rel.min_hops == 2 and rel.max_hops == 4
+        rel = parse_query("MATCH (a)-[*]->(b) RETURN a").clauses[0].patterns[0].elements[1]
+        assert rel.min_hops == 1 and rel.max_hops is None
+        rel = parse_query("MATCH (a)-[:R*3]->(b) RETURN a").clauses[0].patterns[0].elements[1]
+        assert rel.min_hops == 3 and rel.max_hops == 3
+
+    def test_multiple_patterns_in_match(self):
+        match = parse_query("MATCH (a)-[:R]->(b), (c:Other) RETURN a").clauses[0]
+        assert len(match.patterns) == 2
+
+    def test_named_path(self):
+        pattern = parse_query("MATCH p = (a)-[:R]->(b) RETURN p").clauses[0].patterns[0]
+        assert pattern.variable == "p"
+
+    def test_quoted_label_in_pattern(self):
+        node = parse_query("MATCH (n:'Mutation') RETURN n").clauses[0].patterns[0].elements[0]
+        assert node.labels == ("Mutation",)
+
+    def test_long_chain(self):
+        pattern = parse_query(
+            "MATCH (a:Mutation)-[:FoundIn]-(s:Sequence)-[:BelongsTo]-(l:Lineage) RETURN l"
+        ).clauses[0].patterns[0]
+        assert len(pattern.nodes) == 3
+        assert len(pattern.relationships) == 2
+
+
+class TestClauseParsing:
+    def test_optional_match(self):
+        clause = parse_query("OPTIONAL MATCH (n) RETURN n").clauses[0]
+        assert isinstance(clause, MatchClause) and clause.optional
+
+    def test_match_where(self):
+        clause = parse_query("MATCH (n) WHERE n.age > 50 RETURN n").clauses[0]
+        assert isinstance(clause.where, BinaryOp)
+        assert clause.where.op == ">"
+
+    def test_unwind(self):
+        clause = parse_query("UNWIND [1, 2, 3] AS x RETURN x").clauses[0]
+        assert isinstance(clause, UnwindClause)
+        assert clause.variable == "x"
+
+    def test_with_aggregation_order_limit(self):
+        clause = parse_query(
+            "MATCH (n) WITH n.city AS city, count(*) AS c ORDER BY c DESC LIMIT 3 RETURN city"
+        ).clauses[1]
+        assert isinstance(clause, WithClause)
+        assert clause.items[0].alias == "city"
+        assert clause.order_by[0].descending
+        assert isinstance(clause.limit, Literal)
+
+    def test_with_where(self):
+        clause = parse_query("MATCH (n) WITH count(n) AS c WHERE c > 50 RETURN c").clauses[1]
+        assert clause.where is not None
+
+    def test_return_distinct_and_wildcard(self):
+        clause = parse_query("MATCH (n) RETURN DISTINCT n.name").clauses[-1]
+        assert isinstance(clause, ReturnClause) and clause.distinct
+        clause = parse_query("MATCH (n) RETURN *").clauses[-1]
+        assert clause.include_wildcard
+
+    def test_create(self):
+        clause = parse_query("CREATE (:Alert {desc: 'x'})").clauses[0]
+        assert isinstance(clause, CreateClause)
+
+    def test_merge(self):
+        clause = parse_query("MERGE (n:Hospital {name: 'Sacco'})").clauses[0]
+        assert isinstance(clause, MergeClause)
+
+    def test_merge_on_create_unsupported(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_query("MERGE (n) ON CREATE SET n.x = 1")
+
+    def test_set_variants(self):
+        clause = parse_query("MATCH (n) SET n.x = 1, n:Extra, n += {y: 2}").clauses[1]
+        assert isinstance(clause, SetClause)
+        assert isinstance(clause.items[0], SetPropertyItem)
+        assert isinstance(clause.items[1], SetLabelsItem)
+
+    def test_remove(self):
+        clause = parse_query("MATCH (n) REMOVE n.x, n:Label").clauses[1]
+        assert isinstance(clause, RemoveClause)
+        assert len(clause.items) == 2
+
+    def test_delete_and_detach_delete(self):
+        clause = parse_query("MATCH (n) DELETE n").clauses[1]
+        assert isinstance(clause, DeleteClause) and not clause.detach
+        clause = parse_query("MATCH (n) DETACH DELETE n").clauses[1]
+        assert clause.detach
+
+    def test_foreach(self):
+        clause = parse_query(
+            "MATCH (n) FOREACH (x IN [1,2] | CREATE (:Alert {v: x}))"
+        ).clauses[1]
+        assert isinstance(clause, ForeachClause)
+        assert isinstance(clause.body[0], CreateClause)
+
+    def test_call_with_yield(self):
+        clause = parse_query(
+            "CALL apoc.do.when(true, 'RETURN 1', '', {}) YIELD value RETURN value"
+        ).clauses[0]
+        assert isinstance(clause, CallClause)
+        assert clause.procedure == "apoc.do.when"
+        assert clause.yield_items == (("value", "value"),)
+
+    def test_union_unsupported(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_query("MATCH (n) RETURN n UNION MATCH (m) RETURN m")
+
+    def test_return_must_be_last(self):
+        # parser accepts it; the executor enforces position — but a query
+        # with RETURN before other clauses still parses into two clauses.
+        query = parse_query("MATCH (n) RETURN n")
+        assert isinstance(query.clauses[-1], ReturnClause)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse_query("   ")
+
+    def test_read_only_detection(self):
+        assert parse_query("MATCH (n) RETURN n").is_read_only
+        assert not parse_query("CREATE (:X)").is_read_only
+
+
+class TestExpressionParsing:
+    def test_precedence_and_or(self):
+        expr = parse_expression("true OR false AND false")
+        assert isinstance(expr, BinaryOp) and expr.op == "OR"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_comparison_chain(self):
+        expr = parse_expression("a.x <> b.y")
+        assert expr.op == "<>"
+        assert isinstance(expr.left, PropertyAccess)
+
+    def test_label_predicate_expression(self):
+        expr = parse_expression("n:IcuPatient")
+        assert isinstance(expr, LabelPredicate)
+        assert expr.labels == ("IcuPatient",)
+
+    def test_parameter_and_variable(self):
+        assert isinstance(parse_expression("$limit"), Parameter)
+        assert isinstance(parse_expression("limitx"), Variable)
+
+    def test_function_call(self):
+        expr = parse_expression("coalesce(n.x, 0)")
+        assert isinstance(expr, FunctionCall) and expr.name == "coalesce"
+
+    def test_count_star_and_distinct(self):
+        assert isinstance(parse_expression("count(*)"), CountStar)
+        expr = parse_expression("count(DISTINCT n)")
+        assert isinstance(expr, FunctionCall) and expr.distinct
+
+    def test_case_searched(self):
+        expr = parse_expression("CASE WHEN x > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(expr, CaseExpression)
+        assert expr.default is not None
+
+    def test_case_simple_normalised(self):
+        expr = parse_expression("CASE x WHEN 1 THEN 'one' END")
+        condition = expr.whens[0][0]
+        assert isinstance(condition, BinaryOp) and condition.op == "="
+
+    def test_exists_block(self):
+        expr = parse_expression(
+            "EXISTS { MATCH (:CriticalEffect)-[:Risk]-(m:Mutation) WHERE m.name = 'x' }"
+        )
+        assert isinstance(expr, ExistsPattern)
+        assert expr.where is not None
+
+    def test_exists_inline_pattern(self):
+        expr = parse_expression("EXISTS (NEW)-[:Risk]-(:CriticalEffect)")
+        assert isinstance(expr, ExistsPattern)
+        assert len(expr.patterns[0].relationships) == 1
+
+    def test_is_null(self):
+        expr = parse_expression("n.x IS NOT NULL")
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = parse_expression("'diabetes' IN p.comorbidity")
+        assert expr.op == "IN"
+
+    def test_string_predicates(self):
+        assert parse_expression("n.name STARTS WITH 'Spike'").op == "STARTS WITH"
+        assert parse_expression("n.name ENDS WITH 'G'").op == "ENDS WITH"
+        assert parse_expression("n.name CONTAINS 'D614'").op == "CONTAINS"
+
+    def test_list_and_map_literals(self):
+        expr = parse_expression("[1, 2, 3]")
+        assert len(expr.items) == 3
+        expr = parse_expression("{time: datetime(), desc: 'alert'}")
+        assert expr.entries[0][0] == "time"
+
+    def test_list_comprehension(self):
+        expr = parse_expression("[x IN [1,2,3] WHERE x > 1 | x * 10]")
+        assert expr.variable == "x"
+        assert expr.where is not None and expr.projection is not None
+
+    def test_list_index(self):
+        expr = parse_expression("xs[0]")
+        assert isinstance(expr.index, Literal)
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert expr.op == "-"
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse_expression("1 + 2 extra stuff (")
+
+    def test_nested_property_access(self):
+        expr = parse_expression("aProp.node.name")
+        assert isinstance(expr, PropertyAccess)
+        assert isinstance(expr.subject, PropertyAccess)
+
+
+class TestPaperTriggerQueries:
+    """The condition/statement fragments used by the paper's six triggers parse."""
+
+    def test_new_critical_mutation_statement(self):
+        parse_query(
+            "CREATE (:Alert{time:DATETIME(), desc:'New critical mutation', mutation:NEW.name})"
+        )
+
+    def test_new_critical_lineage_condition(self):
+        parse_query(
+            "MATCH (s:Sequence)-[NEW]-(l:Lineage) "
+            "WHERE EXISTS { MATCH (:CriticalEffect)-[:Risk]-(:Mutation)-[:FoundIn]-(s) } "
+            "RETURN l"
+        )
+
+    def test_icu_threshold_condition(self):
+        parse_query(
+            "MATCH (p:HospitalizedPatient:IcuPatient)-[:TreatedAt]-(:Hospital{name:'Sacco'}) "
+            "WITH COUNT(p) AS icuPat WHERE icuPat > 50 RETURN icuPat"
+        )
+
+    def test_icu_increase_condition(self):
+        parse_query(
+            "MATCH (p:HospitalizedPatient:IcuPatient)-[:TreatedAt]-(:Hospital{name: 'Sacco'}) "
+            "MATCH (pn:NEWNODES)-[:TreatedAt]-(:Hospital{name:'Sacco'}) "
+            "WITH COUNT(pn) AS NewIcuPat, COUNT(p) AS TotalIcuPat "
+            "WHERE NewIcuPat * 1.0 / TotalIcuPat > 0.1 RETURN NewIcuPat"
+        )
+
+    def test_relocation_statement(self):
+        parse_query(
+            "MATCH (pn:NEWNODES)-[:TreatedAt]-(:Hospital{name:'Sacco'}) "
+            "MATCH (pt:HospitalizedPatient:IcuPatient)-[:TreatedAt]-(ht:Hospital {name:'Meyer'}) "
+            "WITH COUNT(pt) AS MeyerICU, ht.icuBeds AS MeyerBeds, COUNT(pn) AS newICUSacco, ht "
+            "WHERE newICUSacco + MeyerICU <= MeyerBeds "
+            "MATCH (p:NEWNODES)-[c:TreatedAt]-(:Hospital{name:'Sacco'}) "
+            "DELETE c CREATE (p)-[:TreatedAt]->(ht)"
+        )
+
+    def test_move_to_near_hospital_statement(self):
+        parse_query(
+            "MATCH (h:Hospital)-[:LocatedIn]-(:Region{name:'Lombardy'}), "
+            "(NEW)-[:TreatedAt]-(h)-[ct:ConnectedTo]-(hc:Hospital) "
+            "WITH ct, hc, h, NEW ORDER BY ct.distance LIMIT 1 "
+            "MATCH (NEW)-[c:TreatedAt]-(h) DELETE c CREATE (NEW)-[:TreatedAt]->(hc)"
+        )
+
+    def test_apoc_style_translation_parses(self):
+        parse_query(
+            "UNWIND $createdNodes AS cNodes "
+            "MATCH (p:IcuPatient)-[:Isa]-(:HospitalizedPatient)"
+            "-[:TreatedAt]-(h:Hospital{name:'Sacco'}) "
+            "WITH COUNT(cNodes) AS NewIcuPat, COUNT(p) AS TotalIcuPat, cNodes "
+            "CALL apoc.do.when(cNodes:IcuPatient AND NewIcuPat/TotalIcuPat > 0.1, "
+            "'MERGE (:Alert{desc: \"increase\"})', '', {}) "
+            "YIELD value RETURN *"
+        )

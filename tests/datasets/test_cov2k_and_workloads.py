@@ -1,0 +1,133 @@
+"""Tests for the CoV2K generator, workload streams and synthetic graphs."""
+
+import pytest
+
+from repro.datasets import (
+    Cov2kProfile,
+    cov2k_schema,
+    designation_change_stream,
+    generate_cov2k,
+    hospital_setup,
+    icu_admission_stream,
+    lineage_assignment_stream,
+    mixed_update_stream,
+    mutation_discovery_stream,
+    preferential_attachment_graph,
+    random_graph,
+    replay,
+)
+from repro.schema import validate_graph
+from repro.triggers import GraphSession
+
+
+class TestCov2kSchema:
+    def test_schema_contents(self):
+        schema = cov2k_schema()
+        assert schema.strict
+        assert schema.has_node_label("Mutation")
+        assert schema.has_node_label("IcuPatient")
+        assert schema.has_edge_label("ConnectedTo")
+        chain = [t.label for t in schema.supertypes("IcuPatient")]
+        assert chain == ["HospitalizedPatient", "Patient"]
+
+
+class TestCov2kGenerator:
+    def test_default_population_sizes(self):
+        dataset = generate_cov2k()
+        graph = dataset.graph
+        assert graph.count_nodes_with_label("Mutation") == dataset.profile.mutations
+        assert graph.count_nodes_with_label("Sequence") == dataset.profile.sequences
+        assert graph.count_nodes_with_label("Patient") == dataset.profile.patients
+        assert graph.count_nodes_with_label("Hospital") == dataset.profile.hospitals
+        # every hospitalized patient is also a patient (type hierarchy labels)
+        assert graph.count_nodes_with_label("HospitalizedPatient") <= graph.count_nodes_with_label("Patient")
+        assert graph.count_nodes_with_label("IcuPatient") <= graph.count_nodes_with_label(
+            "HospitalizedPatient"
+        )
+
+    def test_deterministic_under_seed(self):
+        first = generate_cov2k(Cov2kProfile(seed=42))
+        second = generate_cov2k(Cov2kProfile(seed=42))
+        assert first.graph.node_count() == second.graph.node_count()
+        assert first.graph.relationship_count() == second.graph.relationship_count()
+        names_first = sorted(n.properties["name"] for n in first.graph.nodes_with_label("Mutation"))
+        names_second = sorted(n.properties["name"] for n in second.graph.nodes_with_label("Mutation"))
+        assert names_first == names_second
+
+    def test_conforms_to_schema(self):
+        dataset = generate_cov2k(Cov2kProfile(patients=40, sequences=30, mutations=15))
+        violations = validate_graph(dataset.graph, dataset.schema)
+        assert violations == []
+
+    def test_scaled_profile(self):
+        profile = Cov2kProfile().scaled(0.1)
+        assert profile.patients == 15
+        assert profile.hospitals >= 2
+        dataset = generate_cov2k(profile)
+        assert dataset.graph.count_nodes_with_label("Patient") == 15
+
+    def test_relationships_present(self):
+        dataset = generate_cov2k(Cov2kProfile(patients=30, sequences=20))
+        graph = dataset.graph
+        for rel_type in ("Risk", "FoundIn", "BelongsTo", "TreatedAt", "LocatedIn", "ConnectedTo"):
+            assert graph.count_relationships_with_type(rel_type) > 0
+
+
+class TestWorkloads:
+    def test_mutation_stream_counts(self):
+        statements = mutation_discovery_stream(count=20, critical_fraction=0.5, seed=1)
+        # one setup statement plus one per mutation
+        assert len(statements) == 21
+        critical = [s for s in statements if "Risk" in s.query]
+        assert 0 < len(critical) < 20
+
+    def test_lineage_stream_structure(self):
+        statements = lineage_assignment_stream(sequences=10, lineages=2, critical_every=5)
+        assert any("BelongsTo" in s.query for s in statements)
+        assert any("FoundIn" in s.query for s in statements)
+
+    def test_designation_stream(self):
+        statements = designation_change_stream(changes=4)
+        assert len(statements) == 8
+        assert any("SET l.whoDesignation" in s.query for s in statements)
+
+    def test_icu_admission_batching(self):
+        single = icu_admission_stream(admissions=6, batch_size=1)
+        batched = icu_admission_stream(admissions=6, batch_size=3)
+        assert len(single) == 6
+        assert len(batched) == 2
+        assert len(batched[0].parameters["ssns"]) == 3
+
+    def test_replay_against_session(self):
+        session = GraphSession()
+        replay(session, hospital_setup(hospitals=2, icu_beds=4))
+        count = replay(session, icu_admission_stream(admissions=5, hospital="Sacco"))
+        assert count == 5
+        assert session.graph.count_nodes_with_label("IcuPatient") == 5
+        assert session.graph.count_relationships_with_type("TreatedAt") == 5
+
+    def test_mixed_stream_replay(self):
+        session = GraphSession()
+        statements = mixed_update_stream(operations=30, seed=3)
+        replay(session, statements)
+        assert session.graph.count_nodes_with_label("Entity") > 0
+
+
+class TestSyntheticGraphs:
+    def test_random_graph_sizes(self):
+        graph = random_graph(nodes=200, relationships=400, seed=5)
+        assert graph.node_count() == 200
+        assert graph.relationship_count() == 400
+
+    def test_random_graph_deterministic(self):
+        first = random_graph(nodes=50, relationships=100, seed=9)
+        second = random_graph(nodes=50, relationships=100, seed=9)
+        assert sorted(n.properties["key"] for n in first.nodes()) == sorted(
+            n.properties["key"] for n in second.nodes()
+        )
+
+    def test_preferential_attachment_hubs(self):
+        graph = preferential_attachment_graph(nodes=300, edges_per_node=2, seed=5)
+        degrees = [graph.degree(n.id) for n in graph.nodes()]
+        assert max(degrees) > 10  # hubs emerge
+        assert graph.relationship_count() > 250

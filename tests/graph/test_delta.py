@@ -1,0 +1,99 @@
+"""Tests for graph change capture (GraphDelta)."""
+
+from repro.graph import GraphDelta, Node, Relationship
+
+
+def make_node(node_id=1, labels=("A",), **props):
+    return Node(id=node_id, labels=frozenset(labels), properties=props)
+
+
+def make_rel(rel_id=1, rel_type="R", start=1, end=2, **props):
+    return Relationship(id=rel_id, type=rel_type, start=start, end=end, properties=props)
+
+
+class TestRecording:
+    def test_empty_delta(self):
+        delta = GraphDelta()
+        assert delta.is_empty()
+        assert delta.summary()["created_nodes"] == 0
+
+    def test_record_node_events(self):
+        delta = GraphDelta()
+        node = make_node()
+        delta.record_node_created(node)
+        delta.record_node_deleted(node)
+        assert delta.created_node_ids() == {1}
+        assert delta.deleted_node_ids() == {1}
+        assert not delta.is_empty()
+
+    def test_record_relationship_events(self):
+        delta = GraphDelta()
+        rel = make_rel(rel_id=7)
+        delta.record_relationship_created(rel)
+        delta.record_relationship_deleted(rel)
+        assert delta.created_relationship_ids() == {7}
+        assert delta.deleted_relationship_ids() == {7}
+
+    def test_record_label_events(self):
+        delta = GraphDelta()
+        node = make_node()
+        delta.record_label_assigned(node, "IcuPatient")
+        delta.record_label_removed(node, "Recovered")
+        assert delta.assigned_labels[0].label == "IcuPatient"
+        assert delta.removed_labels[0].label == "Recovered"
+
+    def test_record_property_events_split_by_item_kind(self):
+        delta = GraphDelta()
+        node = make_node()
+        rel = make_rel()
+        delta.record_property_assigned(node, "x", None, 1)
+        delta.record_property_assigned(rel, "w", 2, 3)
+        delta.record_property_removed(node, "y", 5)
+        delta.record_property_removed(rel, "z", 6)
+        assert len(delta.node_property_assignments()) == 1
+        assert len(delta.relationship_property_assignments()) == 1
+        assert len(delta.node_property_removals()) == 1
+        assert len(delta.relationship_property_removals()) == 1
+        assert delta.node_property_assignments()[0].old is None
+        assert delta.relationship_property_assignments()[0].new == 3
+
+
+class TestMerge:
+    def test_merge_preserves_order(self):
+        first = GraphDelta()
+        second = GraphDelta()
+        first.record_node_created(make_node(1))
+        second.record_node_created(make_node(2))
+        merged = first.merge(second)
+        assert [n.id for n in merged.created_nodes] == [1, 2]
+        # originals untouched
+        assert len(first.created_nodes) == 1
+        assert len(second.created_nodes) == 1
+
+    def test_merged_static_helper(self):
+        deltas = []
+        for i in range(3):
+            d = GraphDelta()
+            d.record_node_created(make_node(i))
+            deltas.append(d)
+        merged = GraphDelta.merged(deltas)
+        assert [n.id for n in merged.created_nodes] == [0, 1, 2]
+
+    def test_merge_does_not_cancel_create_delete(self):
+        delta = GraphDelta()
+        node = make_node(3)
+        delta.record_node_created(node)
+        other = GraphDelta()
+        other.record_node_deleted(node)
+        merged = delta.merge(other)
+        assert merged.created_node_ids() == {3}
+        assert merged.deleted_node_ids() == {3}
+
+    def test_summary_counts(self):
+        delta = GraphDelta()
+        delta.record_node_created(make_node())
+        delta.record_property_assigned(make_node(), "k", 1, 2)
+        summary = delta.summary()
+        assert summary["created_nodes"] == 1
+        assert summary["assigned_properties"] == 1
+        assert summary["deleted_nodes"] == 0

@@ -1,0 +1,109 @@
+"""Tests for the node/relationship snapshot model and value validation."""
+
+import datetime
+
+import pytest
+
+from repro.graph import InvalidPropertyValueError, Node, Relationship, is_node, is_relationship
+from repro.graph.model import validate_properties, validate_property_value
+
+
+class TestValidatePropertyValue:
+    def test_accepts_scalars(self):
+        for value in (True, 3, 2.5, "text", datetime.date(2021, 5, 1),
+                      datetime.datetime(2021, 5, 1, 12, 0)):
+            assert validate_property_value(value) == value
+
+    def test_accepts_list_of_scalars(self):
+        assert validate_property_value(["a", "b"]) == ["a", "b"]
+
+    def test_normalises_tuple_to_list(self):
+        assert validate_property_value((1, 2)) == [1, 2]
+
+    def test_rejects_nested_lists(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_property_value([[1], [2]])
+
+    def test_rejects_dicts(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_property_value({"a": 1})
+
+    def test_rejects_arbitrary_objects(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_property_value(object())
+
+
+class TestValidateProperties:
+    def test_none_map_gives_empty_dict(self):
+        assert validate_properties(None) == {}
+
+    def test_none_values_are_dropped(self):
+        assert validate_properties({"a": 1, "b": None}) == {"a": 1}
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_properties({"": 1})
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_properties({3: 1})
+
+
+class TestNode:
+    def test_label_membership(self):
+        node = Node(id=1, labels=frozenset({"Patient"}), properties={"name": "Ada"})
+        assert node.has_label("Patient")
+        assert not node.has_label("Hospital")
+
+    def test_property_access(self):
+        node = Node(id=1, labels=frozenset(), properties={"name": "Ada"})
+        assert node["name"] == "Ada"
+        assert node.get("missing", 7) == 7
+        assert "name" in node
+        assert "missing" not in node
+
+    def test_with_updates_creates_new_snapshot(self):
+        node = Node(id=1, labels=frozenset({"A"}), properties={"x": 1})
+        updated = node.with_updates(labels={"A", "B"}, properties={"x": 2})
+        assert node.labels == frozenset({"A"})
+        assert node.properties["x"] == 1
+        assert updated.labels == frozenset({"A", "B"})
+        assert updated.properties["x"] == 2
+
+    def test_is_node_predicate(self):
+        node = Node(id=1)
+        assert is_node(node)
+        assert not is_relationship(node)
+
+
+class TestRelationship:
+    def test_labels_view_is_type(self):
+        rel = Relationship(id=5, type="TreatedAt", start=1, end=2)
+        assert rel.labels == frozenset({"TreatedAt"})
+        assert rel.has_label("TreatedAt")
+        assert not rel.has_label("Other")
+
+    def test_other_end(self):
+        rel = Relationship(id=5, type="T", start=1, end=2)
+        assert rel.other_end(1) == 2
+        assert rel.other_end(2) == 1
+        with pytest.raises(ValueError):
+            rel.other_end(3)
+
+    def test_property_access(self):
+        rel = Relationship(id=5, type="T", start=1, end=2, properties={"w": 3})
+        assert rel["w"] == 3
+        assert rel.get("missing") is None
+        assert "w" in rel
+
+    def test_is_relationship_predicate(self):
+        rel = Relationship(id=5, type="T", start=1, end=2)
+        assert is_relationship(rel)
+        assert not is_node(rel)
+
+    def test_with_updates(self):
+        rel = Relationship(id=5, type="T", start=1, end=2, properties={"w": 3})
+        updated = rel.with_updates(properties={"w": 9})
+        assert rel.properties["w"] == 3
+        assert updated.properties["w"] == 9
+        assert updated.type == "T"

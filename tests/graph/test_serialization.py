@@ -1,0 +1,97 @@
+"""Tests for JSON serialization and the networkx adapter."""
+
+import datetime
+
+import pytest
+
+from repro.graph import (
+    PropertyGraph,
+    dumps,
+    from_networkx,
+    graph_from_dict,
+    graph_to_dict,
+    load,
+    loads,
+    save,
+    to_networkx,
+)
+
+
+@pytest.fixture
+def sample_graph():
+    graph = PropertyGraph("sample")
+    hospital = graph.create_node(["Hospital"], {"name": "Sacco", "icuBeds": 20})
+    patient = graph.create_node(
+        ["Patient", "HospitalizedPatient"],
+        {"ssn": "P1", "admission": datetime.date(2021, 3, 14)},
+    )
+    graph.create_relationship("TreatedAt", patient.id, hospital.id, {"since": 2021})
+    graph.create_property_index("Hospital", "name")
+    return graph
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_structure(self, sample_graph):
+        restored = loads(dumps(sample_graph))
+        assert restored.node_count() == sample_graph.node_count()
+        assert restored.relationship_count() == sample_graph.relationship_count()
+        assert restored.property_indexes() == sample_graph.property_indexes()
+
+    def test_round_trip_preserves_values_and_dates(self, sample_graph):
+        restored = loads(dumps(sample_graph))
+        patients = restored.find_nodes("Patient")
+        assert patients[0].properties["admission"] == datetime.date(2021, 3, 14)
+        rels = restored.relationships_with_type("TreatedAt")
+        assert rels[0].properties["since"] == 2021
+
+    def test_round_trip_preserves_ids(self, sample_graph):
+        original_ids = sorted(n.id for n in sample_graph.nodes())
+        restored = loads(dumps(sample_graph))
+        assert sorted(n.id for n in restored.nodes()) == original_ids
+
+    def test_datetime_round_trip(self):
+        graph = PropertyGraph()
+        stamp = datetime.datetime(2021, 3, 14, 15, 9, 26)
+        graph.create_node(["Alert"], {"time": stamp})
+        restored = loads(dumps(graph))
+        assert list(restored.nodes())[0].properties["time"] == stamp
+
+    def test_unknown_version_rejected(self, sample_graph):
+        payload = graph_to_dict(sample_graph)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            graph_from_dict(payload)
+
+    def test_file_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save(sample_graph, path)
+        restored = load(path)
+        assert restored.node_count() == sample_graph.node_count()
+
+
+class TestNetworkxAdapter:
+    def test_to_networkx_structure(self, sample_graph):
+        nx_graph = to_networkx(sample_graph)
+        assert nx_graph.number_of_nodes() == sample_graph.node_count()
+        assert nx_graph.number_of_edges() == sample_graph.relationship_count()
+        labels = [data["labels"] for _, data in nx_graph.nodes(data=True)]
+        assert ["Hospital"] in labels
+
+    def test_round_trip_through_networkx(self, sample_graph):
+        restored = from_networkx(to_networkx(sample_graph), name="back")
+        assert restored.node_count() == sample_graph.node_count()
+        assert restored.relationship_count() == sample_graph.relationship_count()
+        assert len(restored.find_nodes("Hospital", {"name": "Sacco"})) == 1
+        assert restored.relationships_with_type("TreatedAt")
+
+    def test_from_networkx_with_string_ids(self):
+        networkx = pytest.importorskip("networkx")
+        source = networkx.MultiDiGraph()
+        source.add_node("a", labels=["City"], name="Milan")
+        source.add_node("b", labels="City", name="Rome")
+        source.add_edge("a", "b", type="ConnectedTo", distance=570)
+        graph = from_networkx(source)
+        assert graph.node_count() == 2
+        assert graph.count_nodes_with_label("City") == 2
+        rels = graph.relationships_with_type("ConnectedTo")
+        assert rels[0].properties["distance"] == 570

@@ -1,0 +1,48 @@
+"""Tests for graph statistics."""
+
+from repro.graph import PropertyGraph, compute_statistics, describe
+
+
+def build_graph():
+    graph = PropertyGraph("stats")
+    h1 = graph.create_node(["Hospital"], {"name": "Sacco"})
+    h2 = graph.create_node(["Hospital"], {"name": "Meyer"})
+    p = graph.create_node(["Patient"], {"ssn": "P1"})
+    graph.create_node()  # unlabeled
+    graph.create_relationship("TreatedAt", p.id, h1.id)
+    graph.create_relationship("ConnectedTo", h1.id, h2.id, {"distance": 280})
+    return graph
+
+
+class TestStatistics:
+    def test_counts(self):
+        stats = compute_statistics(build_graph())
+        assert stats.node_count == 4
+        assert stats.relationship_count == 2
+        assert stats.labels == {"Hospital": 2, "Patient": 1}
+        assert stats.relationship_types == {"ConnectedTo": 1, "TreatedAt": 1}
+        assert stats.unlabeled_nodes == 1
+
+    def test_degree_summary(self):
+        stats = compute_statistics(build_graph())
+        assert stats.max_degree == 2  # Sacco: TreatedAt + ConnectedTo
+        assert stats.min_degree == 0  # the unlabeled node
+        assert 0 < stats.mean_degree < 2
+
+    def test_property_key_counts(self):
+        stats = compute_statistics(build_graph())
+        assert stats.node_property_keys == {"name": 2, "ssn": 1}
+        assert stats.relationship_property_keys == {"distance": 1}
+
+    def test_empty_graph(self):
+        stats = compute_statistics(PropertyGraph())
+        assert stats.node_count == 0
+        assert stats.mean_degree == 0.0
+
+    def test_as_dict_and_describe(self):
+        graph = build_graph()
+        payload = compute_statistics(graph).as_dict()
+        assert payload["node_count"] == 4
+        text = describe(graph)
+        assert "4 nodes" in text
+        assert "Hospital=2" in text

@@ -1,0 +1,148 @@
+"""Tests for PGSchema construction, hierarchies and keys."""
+
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.schema import (
+    Int32Type,
+    PGKey,
+    PGSchema,
+    PropertySpec,
+    SchemaDefinitionError,
+    StringType,
+    check_keys,
+)
+
+
+@pytest.fixture
+def schema():
+    s = PGSchema("CovidGraphType", strict=True)
+    s.add_node_type("Patient", {
+        "ssn": PropertySpec("ssn", StringType(), is_key=True),
+        "name": PropertySpec("name", StringType(), optional=True),
+    })
+    s.add_node_type(
+        "HospitalizedPatient",
+        {"id": Int32Type(), "prognosis": StringType()},
+        supertype="PatientType",
+    )
+    s.add_node_type(
+        "IcuPatient", {"admittedToICU": PropertySpec("admittedToICU", StringType(), optional=True)},
+        supertype="HospitalizedPatientType",
+    )
+    s.add_node_type("Hospital", {"name": StringType(), "icuBeds": Int32Type()})
+    s.add_edge_type("TreatedAt", "HospitalizedPatient", "Hospital")
+    return s
+
+
+class TestDefinition:
+    def test_node_and_edge_counts(self, schema):
+        assert len(schema.node_types()) == 4
+        assert len(schema.edge_types()) == 1
+
+    def test_duplicate_node_type_rejected(self, schema):
+        with pytest.raises(SchemaDefinitionError):
+            schema.add_node_type("Patient")
+
+    def test_unknown_supertype_rejected(self, schema):
+        with pytest.raises(SchemaDefinitionError):
+            schema.add_node_type("Orphan", supertype="NoSuchType")
+
+    def test_edge_type_requires_known_endpoints(self, schema):
+        with pytest.raises(SchemaDefinitionError):
+            schema.add_edge_type("LocatedIn", "Hospital", "Region")
+
+    def test_key_registered_from_key_property(self, schema):
+        keys = schema.keys()
+        assert any(k.label == "Patient" and k.properties == ("ssn",) for k in keys)
+
+    def test_lookup_by_label_or_name(self, schema):
+        assert schema.node_type("Patient").name == "PatientType"
+        assert schema.node_type("PatientType").label == "Patient"
+        assert schema.has_node_label("Hospital")
+        assert not schema.has_node_label("Laboratory")
+        assert schema.has_edge_label("TreatedAt")
+
+    def test_duplicate_edge_labels_allowed(self, schema):
+        schema.add_node_type("Region", {"name": StringType()})
+        schema.add_edge_type("LocatedIn", "Hospital", "Region")
+        schema.add_edge_type("LocatedIn", "Patient", "Region")
+        assert len(schema.edge_type_for_label("LocatedIn")) == 2
+
+
+class TestHierarchy:
+    def test_supertype_chain(self, schema):
+        chain = [t.label for t in schema.supertypes("IcuPatient")]
+        assert chain == ["HospitalizedPatient", "Patient"]
+
+    def test_subtypes(self, schema):
+        subs = {t.label for t in schema.subtypes("Patient")}
+        assert subs == {"HospitalizedPatient", "IcuPatient"}
+
+    def test_effective_properties_inherit(self, schema):
+        props = schema.effective_properties("IcuPatient")
+        assert {"ssn", "name", "id", "prognosis", "admittedToICU"} <= set(props)
+
+    def test_expected_labels(self, schema):
+        assert schema.expected_labels("IcuPatient") == {
+            "IcuPatient",
+            "HospitalizedPatient",
+            "Patient",
+        }
+        assert schema.expected_labels("Patient") == {"Patient"}
+
+    def test_open_propagation(self, schema):
+        schema.add_node_type("Alert", open=True)
+        schema.add_node_type("CriticalAlert", supertype="AlertType")
+        assert schema.is_open("Alert")
+        assert schema.is_open("CriticalAlert")
+        assert not schema.is_open("Patient")
+
+
+class TestKeys:
+    def test_key_violations_duplicate(self):
+        graph = PropertyGraph()
+        graph.create_node(["Patient"], {"ssn": "X"})
+        graph.create_node(["Patient"], {"ssn": "X"})
+        key = PGKey("Patient", ("ssn",))
+        problems = key.violations(graph)
+        assert len(problems) == 1
+        assert "share key" in problems[0]
+
+    def test_key_violations_missing(self):
+        graph = PropertyGraph()
+        graph.create_node(["Patient"], {"name": "Ada"})
+        key = PGKey("Patient", ("ssn",))
+        assert any("missing key" in p for p in key.violations(graph))
+
+    def test_composite_key(self):
+        graph = PropertyGraph()
+        graph.create_node(["Sample"], {"lab": "L1", "code": 1})
+        graph.create_node(["Sample"], {"lab": "L1", "code": 2})
+        key = PGKey("Sample", ("lab", "code"))
+        assert key.is_satisfied(graph)
+
+    def test_non_mandatory_key_allows_missing(self):
+        graph = PropertyGraph()
+        graph.create_node(["Patient"], {})
+        key = PGKey("Patient", ("ssn",), mandatory=False)
+        assert key.is_satisfied(graph)
+
+    def test_check_keys_aggregates(self):
+        graph = PropertyGraph()
+        graph.create_node(["A"], {})
+        graph.create_node(["B"], {})
+        problems = check_keys(graph, [PGKey("A", ("k",)), PGKey("B", ("k",))])
+        assert len(problems) == 2
+
+    def test_key_str(self):
+        assert str(PGKey("Patient", ("ssn",))) == "FOR (x:Patient) EXCLUSIVE MANDATORY SINGLETON x.ssn"
+
+
+class TestRendering:
+    def test_to_spec_round_trippable_fragment(self, schema):
+        spec = schema.to_spec()
+        assert "CREATE GRAPH TYPE CovidGraphType STRICT {" in spec
+        assert "(PatientType: Patient" in spec
+        assert "TreatedAtType: TreatedAt" in spec
+        assert "FOR (x:Patient)" in spec

@@ -1,0 +1,118 @@
+"""Tests for PG-Schema data types and property specs."""
+
+import datetime
+
+import pytest
+
+from repro.schema import (
+    AnyType,
+    ArrayType,
+    BoolType,
+    CharType,
+    DateTimeType,
+    DateType,
+    FloatType,
+    Int32Type,
+    IntType,
+    PropertySpec,
+    StringType,
+    type_from_name,
+)
+
+
+class TestScalarTypes:
+    def test_string(self):
+        assert StringType().accepts("abc")
+        assert not StringType().accepts(3)
+
+    def test_char(self):
+        assert CharType().accepts("M")
+        assert not CharType().accepts("MF")
+        assert not CharType().accepts(1)
+
+    def test_int_rejects_bool(self):
+        assert IntType().accepts(5)
+        assert not IntType().accepts(True)
+        assert not IntType().accepts(2.5)
+
+    def test_int32_bounds(self):
+        assert Int32Type().accepts(2 ** 31 - 1)
+        assert not Int32Type().accepts(2 ** 31)
+        assert Int32Type().accepts(-(2 ** 31))
+
+    def test_float_accepts_int(self):
+        assert FloatType().accepts(2.5)
+        assert FloatType().accepts(3)
+        assert not FloatType().accepts("3")
+
+    def test_bool(self):
+        assert BoolType().accepts(True)
+        assert not BoolType().accepts(1)
+
+    def test_date_and_datetime_are_distinct(self):
+        assert DateType().accepts(datetime.date(2021, 1, 1))
+        assert not DateType().accepts(datetime.datetime(2021, 1, 1))
+        assert DateTimeType().accepts(datetime.datetime(2021, 1, 1))
+        assert not DateTimeType().accepts(datetime.date(2021, 1, 1))
+
+    def test_any(self):
+        assert AnyType().accepts(object())
+
+    def test_equality_by_type(self):
+        assert StringType() == StringType()
+        assert StringType() != IntType()
+
+
+class TestArrayType:
+    def test_typed_array(self):
+        array = ArrayType(StringType())
+        assert array.accepts(["a", "b"])
+        assert not array.accepts(["a", 3])
+        assert not array.accepts("abc")
+
+    def test_untyped_array(self):
+        assert ArrayType().accepts([1, "x"])
+
+    def test_name(self):
+        assert ArrayType(StringType()).name == "ARRAY[STRING]"
+
+
+class TestTypeFromName:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("STRING", StringType()),
+            ("string", StringType()),
+            ("INT32", Int32Type()),
+            ("INTEGER", IntType()),
+            ("BOOL", BoolType()),
+            ("DATE", DateType()),
+            ("DATETIME", DateTimeType()),
+            ("CHAR", CharType()),
+            ("FLOAT", FloatType()),
+            ("ANY", AnyType()),
+        ],
+    )
+    def test_scalar_names(self, text, expected):
+        assert type_from_name(text) == expected
+
+    def test_array_names(self):
+        assert type_from_name("ARRAY[STRING]") == ArrayType(StringType())
+        assert type_from_name("ARRAY") == ArrayType(AnyType())
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            type_from_name("DECIMAL")
+
+
+class TestPropertySpec:
+    def test_accepts_delegates_to_type(self):
+        spec = PropertySpec("icuBeds", Int32Type())
+        assert spec.accepts(10)
+        assert not spec.accepts("ten")
+
+    def test_str_rendering(self):
+        spec = PropertySpec("ssn", StringType(), is_key=True)
+        assert str(spec) == "ssn STRING KEY"
+        spec = PropertySpec("whoDesignation", StringType(), optional=True)
+        assert str(spec) == "whoDesignation STRING OPTIONAL"

@@ -1,0 +1,222 @@
+"""Tests for schema validation and the textual PG-Schema parser."""
+
+import datetime
+
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.schema import (
+    Int32Type,
+    PGSchema,
+    PropertySpec,
+    SchemaParseError,
+    SchemaValidationError,
+    StringType,
+    ViolationKind,
+    assert_valid,
+    conforms,
+    parse_schema,
+    validate_graph,
+)
+
+SPEC = """
+CREATE GRAPH TYPE CovidGraphType STRICT {
+  (MutationType: Mutation {name STRING, protein STRING}),
+  (CriticalEffectType: CriticalEffect {description STRING}),
+  (SequenceType: Sequence {accession STRING KEY, collection DATE OPTIONAL}),
+  (LineageType: Lineage {name STRING, whoDesignation STRING OPTIONAL}),
+  (PatientType: Patient {ssn STRING KEY, name STRING OPTIONAL, sex CHAR OPTIONAL,
+                         comorbidity ARRAY[STRING] OPTIONAL, vaccinated INT32 OPTIONAL}),
+  (HospitalizedPatientType: PatientType & HospitalizedPatient
+        {id INT32 OPTIONAL, prognosis STRING OPTIONAL, admission DATE OPTIONAL}),
+  (IcuPatientType: HospitalizedPatientType & IcuPatient {admittedToICU BOOL OPTIONAL}),
+  (HospitalType: Hospital {name STRING, icuBeds INT32}),
+  (RegionType: Region {name STRING}),
+  (LaboratoryType: Laboratory {name STRING}),
+  (AlertType: Alert OPEN),
+  (:MutationType)-[RiskType: Risk]->(:CriticalEffectType),
+  (:MutationType)-[FoundInType: FoundIn]->(:SequenceType),
+  (:SequenceType)-[BelongsToType: BelongsTo]->(:LineageType),
+  (:SequenceType)-[SequencedAtType: SequencedAt]->(:LaboratoryType),
+  (:PatientType)-[HasSampleType: HasSample]->(:SequenceType),
+  (:HospitalizedPatientType)-[TreatedAtType: TreatedAt]->(:HospitalType),
+  (:HospitalType)-[LocatedInType: LocatedIn]->(:RegionType),
+  (:LaboratoryType)-[LocatedInLabType: LocatedIn]->(:RegionType),
+  (:HospitalType)-[ConnectedToType: ConnectedTo {distance INT32}]->(:HospitalType)
+}
+"""
+
+
+@pytest.fixture
+def schema():
+    return parse_schema(SPEC)
+
+
+class TestParser:
+    def test_header(self, schema):
+        assert schema.name == "CovidGraphType"
+        assert schema.strict
+
+    def test_node_types_parsed(self, schema):
+        assert len(schema.node_types()) == 11
+        patient = schema.node_type("Patient")
+        assert patient.properties["ssn"].is_key
+        assert patient.properties["comorbidity"].data_type.name == "ARRAY[STRING]"
+
+    def test_hierarchy_parsed(self, schema):
+        chain = [t.label for t in schema.supertypes("IcuPatient")]
+        assert chain == ["HospitalizedPatient", "Patient"]
+
+    def test_open_type_parsed(self, schema):
+        assert schema.is_open("Alert")
+
+    def test_edge_types_parsed(self, schema):
+        assert len(schema.edge_types()) == 9
+        connected = schema.edge_type_for_label("ConnectedTo")[0]
+        assert connected.properties["distance"].data_type == Int32Type()
+        assert len(schema.edge_type_for_label("LocatedIn")) == 2
+
+    def test_keys_registered(self, schema):
+        labels = {k.label for k in schema.keys()}
+        assert labels == {"Sequence", "Patient"}
+
+    def test_loose_mode(self):
+        loose = parse_schema("CREATE GRAPH TYPE T LOOSE { (AType: A) }")
+        assert not loose.strict
+
+    def test_round_trip_through_to_spec(self, schema):
+        reparsed = parse_schema(schema.to_spec().split("\nFOR ")[0])
+        assert len(reparsed.node_types()) == len(schema.node_types())
+        assert len(reparsed.edge_types()) == len(schema.edge_types())
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "CREATE GRAPH TYPE T { (AType: A) }",  # missing mode
+            "CREATE GRAPH TYPE T STRICT { (A B C) }",  # malformed node entry
+            "CREATE GRAPH TYPE T STRICT { (AType: A {x DECIMAL}) }",  # bad type
+            "CREATE GRAPH TYPE T STRICT { (AType: A {x STRING WEIRD}) }",  # bad modifier
+        ],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(SchemaParseError):
+            parse_schema(bad)
+
+
+class TestValidation:
+    def make_valid_graph(self, schema):
+        graph = PropertyGraph()
+        hospital = graph.create_node(["Hospital"], {"name": "Sacco", "icuBeds": 20})
+        patient = graph.create_node(
+            ["Patient", "HospitalizedPatient"],
+            {"ssn": "P1", "prognosis": "severe"},
+        )
+        graph.create_relationship("TreatedAt", patient.id, hospital.id)
+        return graph
+
+    def test_valid_graph_has_no_violations(self, schema):
+        graph = self.make_valid_graph(schema)
+        assert conforms(graph, schema)
+        assert_valid(graph, schema)  # does not raise
+
+    def test_unlabeled_node_rejected_in_strict(self, schema):
+        graph = self.make_valid_graph(schema)
+        graph.create_node()
+        kinds = {v.kind for v in validate_graph(graph, schema)}
+        assert ViolationKind.UNLABELED_ITEM in kinds
+
+    def test_unknown_label_rejected_in_strict(self, schema):
+        graph = self.make_valid_graph(schema)
+        graph.create_node(["Spaceship"], {})
+        kinds = {v.kind for v in validate_graph(graph, schema)}
+        assert ViolationKind.UNKNOWN_LABEL in kinds
+
+    def test_loose_mode_accepts_unknown_labels(self):
+        loose = PGSchema("T", strict=False)
+        loose.add_node_type("Known", {"name": StringType()})
+        graph = PropertyGraph()
+        graph.create_node(["Whatever"], {"x": 1})
+        graph.create_node()
+        assert conforms(graph, loose)
+
+    def test_missing_required_property(self, schema):
+        graph = PropertyGraph()
+        graph.create_node(["Hospital"], {"name": "Sacco"})  # icuBeds missing
+        kinds = {v.kind for v in validate_graph(graph, schema)}
+        assert ViolationKind.MISSING_PROPERTY in kinds
+
+    def test_wrong_property_type(self, schema):
+        graph = PropertyGraph()
+        graph.create_node(["Hospital"], {"name": "Sacco", "icuBeds": "twenty"})
+        kinds = {v.kind for v in validate_graph(graph, schema)}
+        assert ViolationKind.WRONG_TYPE in kinds
+
+    def test_undeclared_property_rejected_unless_open(self, schema):
+        graph = PropertyGraph()
+        graph.create_node(["Hospital"], {"name": "Sacco", "icuBeds": 5, "helipad": True})
+        kinds = {v.kind for v in validate_graph(graph, schema)}
+        assert ViolationKind.UNDECLARED_PROPERTY in kinds
+        # Alert is OPEN: arbitrary properties allowed
+        open_graph = PropertyGraph()
+        open_graph.create_node(["Alert"], {"time": datetime.datetime.now(), "whatever": 1})
+        assert conforms(open_graph, schema)
+
+    def test_subtype_must_carry_supertype_label(self, schema):
+        graph = PropertyGraph()
+        graph.create_node(["HospitalizedPatient"], {"ssn": "P1"})
+        kinds = {v.kind for v in validate_graph(graph, schema)}
+        assert ViolationKind.MISSING_SUPERTYPE_LABEL in kinds
+
+    def test_relationship_endpoint_checking(self, schema):
+        graph = PropertyGraph()
+        mutation = graph.create_node(["Mutation"], {"name": "Spike:D614G", "protein": "Spike"})
+        region = graph.create_node(["Region"], {"name": "Lombardy"})
+        graph.create_relationship("Risk", mutation.id, region.id)
+        kinds = {v.kind for v in validate_graph(graph, schema)}
+        assert ViolationKind.BAD_ENDPOINT in kinds
+
+    def test_relationship_endpoint_accepts_subtypes(self, schema):
+        graph = PropertyGraph()
+        hospital = graph.create_node(["Hospital"], {"name": "Sacco", "icuBeds": 2})
+        icu = graph.create_node(
+            ["Patient", "HospitalizedPatient", "IcuPatient"], {"ssn": "P9"}
+        )
+        graph.create_relationship("TreatedAt", icu.id, hospital.id)
+        assert conforms(graph, schema)
+
+    def test_unknown_relationship_type_strict(self, schema):
+        graph = self.make_valid_graph(schema)
+        nodes = list(graph.nodes())
+        graph.create_relationship("Teleports", nodes[0].id, nodes[1].id)
+        kinds = {v.kind for v in validate_graph(graph, schema)}
+        assert ViolationKind.UNKNOWN_LABEL in kinds
+
+    def test_key_violation_reported(self, schema):
+        graph = self.make_valid_graph(schema)
+        graph.create_node(["Patient"], {"ssn": "P1"})
+        graph.create_node(["Patient"], {"ssn": "P1"})
+        kinds = {v.kind for v in validate_graph(graph, schema)}
+        assert ViolationKind.KEY_VIOLATION in kinds
+
+    def test_assert_valid_raises_with_details(self, schema):
+        graph = PropertyGraph()
+        graph.create_node(["Spaceship"])
+        with pytest.raises(SchemaValidationError) as excinfo:
+            assert_valid(graph, schema)
+        assert excinfo.value.violations
+
+    def test_edge_property_type_checked(self, schema):
+        graph = PropertyGraph()
+        a = graph.create_node(["Hospital"], {"name": "A", "icuBeds": 1})
+        b = graph.create_node(["Hospital"], {"name": "B", "icuBeds": 1})
+        graph.create_relationship("ConnectedTo", a.id, b.id, {"distance": "far"})
+        kinds = {v.kind for v in validate_graph(graph, schema)}
+        assert ViolationKind.WRONG_TYPE in kinds
+
+    def test_abstract_type_cannot_be_instantiated(self):
+        schema = PGSchema("T", strict=True)
+        schema.add_node_type("Base", abstract=True)
+        graph = PropertyGraph()
+        graph.create_node(["Base"])
+        kinds = {v.kind for v in validate_graph(graph, schema)}
+        assert ViolationKind.ABSTRACT_INSTANCE in kinds

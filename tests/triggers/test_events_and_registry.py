@@ -1,0 +1,317 @@
+"""Tests for activation computation (Table 3 semantics) and the registry."""
+
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.tx import Transaction
+from repro.triggers import (
+    ActionTime,
+    EventType,
+    Granularity,
+    ItemKind,
+    TriggerDefinition,
+    TriggerDefinitionError,
+    TriggerRegistrationError,
+    TriggerRegistry,
+    compute_activations,
+)
+
+
+def definition(**overrides):
+    base = dict(
+        name="T",
+        time=ActionTime.AFTER,
+        event=EventType.CREATE,
+        label="Patient",
+        statement="CREATE (:Alert)",
+    )
+    base.update(overrides)
+    return TriggerDefinition(**base)
+
+
+@pytest.fixture
+def graph():
+    return PropertyGraph()
+
+
+@pytest.fixture
+def tx(graph):
+    return Transaction(graph)
+
+
+class TestNodeActivations:
+    def test_create_node(self, tx):
+        tx.create_node(["Patient"], {"ssn": "P1"})
+        tx.create_node(["Hospital"])
+        activations = compute_activations(definition(), tx.statement_delta)
+        assert len(activations) == 1
+        assert activations[0].old is None
+        assert activations[0].new.properties["ssn"] == "P1"
+
+    def test_create_ignores_other_labels(self, tx):
+        tx.create_node(["Hospital"])
+        assert compute_activations(definition(), tx.statement_delta) == []
+
+    def test_delete_node(self, tx):
+        node = tx.create_node(["Patient"], {"ssn": "P1"})
+        tx.end_statement()
+        tx.delete_node(node.id)
+        activations = compute_activations(
+            definition(event=EventType.DELETE), tx.statement_delta
+        )
+        assert len(activations) == 1
+        assert activations[0].new is None
+        assert activations[0].old.properties["ssn"] == "P1"
+
+    def test_set_property_with_target_property(self, tx):
+        node = tx.create_node(["Lineage"], {"whoDesignation": "Indian"})
+        tx.end_statement()
+        tx.set_node_property(node.id, "whoDesignation", "Delta")
+        trigger = definition(event=EventType.SET, label="Lineage", property="whoDesignation")
+        activations = compute_activations(trigger, tx.statement_delta)
+        assert len(activations) == 1
+        assert activations[0].old.properties["whoDesignation"] == "Indian"
+        assert activations[0].new.properties["whoDesignation"] == "Delta"
+
+    def test_set_property_other_property_ignored(self, tx):
+        node = tx.create_node(["Lineage"], {"name": "B.1.1.7"})
+        tx.end_statement()
+        tx.set_node_property(node.id, "name", "B.1.617.2")
+        trigger = definition(event=EventType.SET, label="Lineage", property="whoDesignation")
+        assert compute_activations(trigger, tx.statement_delta) == []
+
+    def test_set_without_property_catches_any_property(self, tx):
+        node = tx.create_node(["Lineage"], {"name": "X"})
+        tx.end_statement()
+        tx.set_node_property(node.id, "name", "Y")
+        trigger = definition(event=EventType.SET, label="Lineage")
+        assert len(compute_activations(trigger, tx.statement_delta)) == 1
+
+    def test_set_label_on_target_node(self, tx):
+        node = tx.create_node(["Patient"])
+        tx.end_statement()
+        tx.add_label(node.id, "IcuPatient")
+        trigger = definition(event=EventType.SET, label="Patient")
+        assert len(compute_activations(trigger, tx.statement_delta)) == 1
+
+    def test_setting_the_target_label_itself_never_activates(self, tx):
+        node = tx.create_node(["Patient"])
+        tx.end_statement()
+        tx.add_label(node.id, "IcuPatient")
+        # The trigger targets IcuPatient: the assignment of IcuPatient itself
+        # is excluded by the Section 4.2 legality rule.
+        trigger = definition(event=EventType.SET, label="IcuPatient")
+        assert compute_activations(trigger, tx.statement_delta) == []
+
+    def test_remove_property(self, tx):
+        node = tx.create_node(["Patient"], {"prognosis": "severe"})
+        tx.end_statement()
+        tx.remove_node_property(node.id, "prognosis")
+        trigger = definition(event=EventType.REMOVE, label="Patient", property="prognosis")
+        activations = compute_activations(trigger, tx.statement_delta)
+        assert len(activations) == 1
+        assert activations[0].old.properties["prognosis"] == "severe"
+        assert activations[0].new is None
+
+    def test_remove_label_from_target_node(self, tx):
+        node = tx.create_node(["Patient", "IcuPatient"])
+        tx.end_statement()
+        tx.remove_label(node.id, "IcuPatient")
+        trigger = definition(event=EventType.REMOVE, label="Patient")
+        assert len(compute_activations(trigger, tx.statement_delta)) == 1
+        # but not for the trigger targeting the removed label itself
+        trigger = definition(event=EventType.REMOVE, label="IcuPatient")
+        assert compute_activations(trigger, tx.statement_delta) == []
+
+
+class TestRelationshipActivations:
+    def make_rel(self, tx, rel_type="BelongsTo", props=None):
+        a = tx.create_node(["Sequence"])
+        b = tx.create_node(["Lineage"])
+        return tx.create_relationship(rel_type, a.id, b.id, props or {})
+
+    def test_create_relationship(self, tx):
+        self.make_rel(tx)
+        trigger = definition(label="BelongsTo", item=ItemKind.RELATIONSHIP)
+        activations = compute_activations(trigger, tx.statement_delta)
+        assert len(activations) == 1
+        assert activations[0].new.type == "BelongsTo"
+
+    def test_delete_relationship(self, tx):
+        rel = self.make_rel(tx)
+        tx.end_statement()
+        tx.delete_relationship(rel.id)
+        trigger = definition(
+            label="BelongsTo", item=ItemKind.RELATIONSHIP, event=EventType.DELETE
+        )
+        assert len(compute_activations(trigger, tx.statement_delta)) == 1
+
+    def test_set_relationship_property(self, tx):
+        rel = self.make_rel(tx, "ConnectedTo", {"distance": 100})
+        tx.end_statement()
+        tx.set_relationship_property(rel.id, "distance", 90)
+        trigger = definition(
+            label="ConnectedTo",
+            item=ItemKind.RELATIONSHIP,
+            event=EventType.SET,
+            property="distance",
+        )
+        activations = compute_activations(trigger, tx.statement_delta)
+        assert activations[0].old.properties["distance"] == 100
+        assert activations[0].new.properties["distance"] == 90
+
+    def test_node_trigger_ignores_relationship_events(self, tx):
+        self.make_rel(tx)
+        trigger = definition(label="BelongsTo", item=ItemKind.NODE)
+        assert compute_activations(trigger, tx.statement_delta) == []
+
+
+class TestRegistry:
+    def test_install_and_order(self):
+        registry = TriggerRegistry()
+        registry.install(definition(name="B"))
+        registry.install(definition(name="A"))
+        assert registry.names() == ["B", "A"]  # creation order, not alphabetical
+        assert len(registry) == 2
+        assert "A" in registry
+
+    def test_install_from_text(self):
+        registry = TriggerRegistry()
+        installed = registry.install(
+            "CREATE TRIGGER FromText AFTER CREATE ON X FOR EACH NODE BEGIN CREATE (:Y) END"
+        )
+        assert installed.name == "FromText"
+
+    def test_duplicate_name_rejected(self):
+        registry = TriggerRegistry()
+        registry.install(definition(name="T"))
+        with pytest.raises(TriggerRegistrationError):
+            registry.install(definition(name="T"))
+
+    def test_drop_and_drop_all(self):
+        registry = TriggerRegistry()
+        registry.install(definition(name="T1"))
+        registry.install(definition(name="T2"))
+        registry.drop("T1")
+        assert registry.names() == ["T2"]
+        assert registry.drop_all() == 1
+        assert len(registry) == 0
+
+    def test_drop_unknown_rejected(self):
+        registry = TriggerRegistry()
+        with pytest.raises(TriggerRegistrationError):
+            registry.drop("missing")
+
+    def test_stop_start(self):
+        registry = TriggerRegistry()
+        registry.install(definition(name="T"))
+        registry.stop("T")
+        assert registry.ordered(enabled_only=True) == []
+        registry.start("T")
+        assert len(registry.ordered(enabled_only=True)) == 1
+
+    def test_filter_by_action_time(self):
+        registry = TriggerRegistry()
+        registry.install(definition(name="A", time=ActionTime.AFTER))
+        registry.install(definition(name="C", time=ActionTime.ONCOMMIT))
+        names = [t.name for t in registry.ordered(times=(ActionTime.ONCOMMIT,))]
+        assert names == ["C"]
+
+
+class TestDefinitionValidation:
+    def test_statement_may_not_touch_target_label(self):
+        registry = TriggerRegistry()
+        bad = definition(statement="MATCH (n:Patient) SET n:Patient")
+        with pytest.raises(TriggerDefinitionError):
+            registry.install(bad)
+        bad = definition(statement="MATCH (n) REMOVE n:Patient")
+        with pytest.raises(TriggerDefinitionError):
+            registry.install(bad)
+
+    def test_statement_touching_other_labels_is_fine(self):
+        registry = TriggerRegistry()
+        registry.install(definition(statement="MATCH (n:Patient) SET n:Reviewed"))
+
+    def test_foreach_bodies_are_checked(self):
+        registry = TriggerRegistry()
+        bad = definition(
+            statement="MATCH (n:X) FOREACH (i IN [1] | SET n:Patient)"
+        )
+        with pytest.raises(TriggerDefinitionError):
+            registry.install(bad)
+
+    def test_before_trigger_cannot_create(self):
+        registry = TriggerRegistry()
+        bad = definition(time=ActionTime.BEFORE, statement="CREATE (:Alert)")
+        with pytest.raises(TriggerDefinitionError):
+            registry.install(bad)
+
+    def test_before_trigger_may_set(self):
+        registry = TriggerRegistry()
+        registry.install(
+            definition(
+                time=ActionTime.BEFORE,
+                statement="MATCH (n:NEW) SET n.normalised = true",
+            )
+        )
+
+    def test_unparseable_statement_rejected(self):
+        registry = TriggerRegistry()
+        with pytest.raises(TriggerDefinitionError):
+            registry.install(definition(statement="THIS IS NOT CYPHER ((("))
+
+    def test_set_level_variable_requires_for_all(self):
+        from repro.triggers import ReferencingAlias, TransitionVariable
+
+        registry = TriggerRegistry()
+        bad = definition(
+            referencing=(ReferencingAlias(TransitionVariable.NEWNODES, "admitted"),),
+            granularity=Granularity.EACH,
+        )
+        with pytest.raises(TriggerDefinitionError):
+            registry.install(bad)
+
+    def test_item_level_variable_requires_for_each(self):
+        from repro.triggers import ReferencingAlias, TransitionVariable
+
+        registry = TriggerRegistry()
+        bad = definition(
+            referencing=(ReferencingAlias(TransitionVariable.NEW, "created"),),
+            granularity=Granularity.ALL,
+        )
+        with pytest.raises(TriggerDefinitionError):
+            registry.install(bad)
+
+    def test_relationship_variable_on_node_trigger_rejected(self):
+        from repro.triggers import ReferencingAlias, TransitionVariable
+
+        registry = TriggerRegistry()
+        bad = definition(
+            referencing=(ReferencingAlias(TransitionVariable.NEWRELS, "rels"),),
+            granularity=Granularity.ALL,
+            item=ItemKind.NODE,
+        )
+        with pytest.raises(TriggerDefinitionError):
+            registry.install(bad)
+
+    def test_old_variable_on_create_rejected(self):
+        from repro.triggers import ReferencingAlias, TransitionVariable
+
+        registry = TriggerRegistry()
+        bad = definition(
+            event=EventType.CREATE,
+            referencing=(ReferencingAlias(TransitionVariable.OLD, "before"),),
+        )
+        with pytest.raises(TriggerDefinitionError):
+            registry.install(bad)
+
+    def test_new_variable_on_delete_rejected(self):
+        from repro.triggers import ReferencingAlias, TransitionVariable
+
+        registry = TriggerRegistry()
+        bad = definition(
+            event=EventType.DELETE,
+            referencing=(ReferencingAlias(TransitionVariable.NEW, "after"),),
+        )
+        with pytest.raises(TriggerDefinitionError):
+            registry.install(bad)

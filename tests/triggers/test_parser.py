@@ -1,0 +1,242 @@
+"""Tests for the PG-Trigger parser (the Figure 1 grammar)."""
+
+import pytest
+
+from repro.triggers import (
+    ActionTime,
+    EventType,
+    Granularity,
+    ItemKind,
+    TransitionVariable,
+    TriggerSyntaxError,
+    parse_trigger,
+    parse_triggers,
+)
+
+NEW_CRITICAL_MUTATION = """
+CREATE TRIGGER NewCriticalMutation
+AFTER CREATE
+ON 'Mutation'
+FOR EACH NODE
+WHEN EXISTS (NEW)-[:Risk]-(:CriticalEffect)
+BEGIN
+CREATE (:Alert{time:DATETIME(),
+desc:'New critical mutation',
+mutation:NEW.name})
+END
+"""
+
+WHO_DESIGNATION_CHANGE = """
+CREATE TRIGGER WhoDesignationChange
+AFTER SET
+ON 'Lineage'.'whoDesignation'
+FOR EACH NODE
+WHEN OLD.whoDesignation <> NEW.whoDesignation
+BEGIN
+CREATE (:Alert{time: DATETIME(),
+desc:'New Designation for an existing Lineage'})
+END
+"""
+
+ICU_OVER_THRESHOLD = """
+CREATE TRIGGER IcuPatientsOverThreshold
+AFTER CREATE
+ON 'IcuPatient'
+FOR ALL NODES
+WHEN
+MATCH (p:HospitalizedPatient:IcuPatient)
+-[:TreatedAt]-(:Hospital{name:'Sacco'})
+WITH COUNT(p) AS icuPat
+WHERE icuPat > 50
+BEGIN
+CREATE (:Alert{time:DATETIME(),desc:'ICU patients
+at Sacco Hospital are more than 50'})
+END
+"""
+
+
+class TestBasicParsing:
+    def test_new_critical_mutation(self):
+        t = parse_trigger(NEW_CRITICAL_MUTATION)
+        assert t.name == "NewCriticalMutation"
+        assert t.time == ActionTime.AFTER
+        assert t.event == EventType.CREATE
+        assert t.label == "Mutation"
+        assert t.property is None
+        assert t.granularity == Granularity.EACH
+        assert t.item == ItemKind.NODE
+        assert t.condition.startswith("EXISTS")
+        assert "CREATE (:Alert" in t.statement
+
+    def test_property_target(self):
+        t = parse_trigger(WHO_DESIGNATION_CHANGE)
+        assert t.label == "Lineage"
+        assert t.property == "whoDesignation"
+        assert t.target == "Lineage.whoDesignation"
+        assert "OLD.whoDesignation <> NEW.whoDesignation" in t.condition
+
+    def test_set_granularity_with_query_condition(self):
+        t = parse_trigger(ICU_OVER_THRESHOLD)
+        assert t.granularity == Granularity.ALL
+        assert t.item == ItemKind.NODE
+        assert "WITH COUNT(p) AS icuPat" in t.condition
+        assert "WHERE icuPat > 50" in t.condition
+
+    def test_unquoted_label(self):
+        t = parse_trigger(
+            "CREATE TRIGGER T AFTER CREATE ON Mutation FOR EACH NODE BEGIN CREATE (:X) END"
+        )
+        assert t.label == "Mutation"
+
+    def test_all_action_times(self):
+        for time in ("BEFORE", "AFTER", "ONCOMMIT", "DETACHED"):
+            t = parse_trigger(
+                f"CREATE TRIGGER T {time} CREATE ON A FOR EACH NODE BEGIN CREATE (:X) END"
+            )
+            assert t.time == ActionTime(time)
+
+    def test_all_events(self):
+        for event in ("CREATE", "DELETE", "SET", "REMOVE"):
+            t = parse_trigger(
+                f"CREATE TRIGGER T AFTER {event} ON A FOR EACH NODE BEGIN CREATE (:X) END"
+            )
+            assert t.event == EventType(event)
+
+    def test_relationship_item(self):
+        t = parse_trigger(
+            "CREATE TRIGGER T AFTER CREATE ON BelongsTo FOR EACH RELATIONSHIP "
+            "BEGIN CREATE (:X) END"
+        )
+        assert t.item == ItemKind.RELATIONSHIP
+
+    def test_plural_item_words(self):
+        t = parse_trigger(
+            "CREATE TRIGGER T AFTER CREATE ON A FOR ALL RELATIONSHIPS BEGIN CREATE (:X) END"
+        )
+        assert t.item == ItemKind.RELATIONSHIP
+        assert t.granularity == Granularity.ALL
+
+    def test_case_insensitive_keywords(self):
+        t = parse_trigger(
+            "create trigger T after create on A for each node begin create (:X) end"
+        )
+        assert t.time == ActionTime.AFTER
+
+    def test_without_condition(self):
+        t = parse_trigger(
+            "CREATE TRIGGER T AFTER CREATE ON A FOR EACH NODE BEGIN CREATE (:X) END"
+        )
+        assert t.condition is None
+
+
+class TestReferencing:
+    def test_referencing_aliases(self):
+        t = parse_trigger(
+            "CREATE TRIGGER T AFTER SET ON Lineage REFERENCING OLD AS before, NEW AS after "
+            "FOR EACH NODE WHEN before.x <> after.x BEGIN CREATE (:Alert) END"
+        )
+        assert t.alias_for(TransitionVariable.OLD) == "before"
+        assert t.alias_for(TransitionVariable.NEW) == "after"
+        assert t.transition_names()["before"] == TransitionVariable.OLD
+
+    def test_referencing_set_level(self):
+        t = parse_trigger(
+            "CREATE TRIGGER T AFTER CREATE ON IcuPatient REFERENCING NEWNODES AS admitted "
+            "FOR ALL NODES BEGIN CREATE (:Alert) END"
+        )
+        assert t.alias_for(TransitionVariable.NEWNODES) == "admitted"
+
+    def test_referencing_requires_alias(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger(
+                "CREATE TRIGGER T AFTER CREATE ON A REFERENCING FOR EACH NODE "
+                "BEGIN CREATE (:X) END"
+            )
+
+
+class TestStatementCapture:
+    def test_nested_begin_end(self):
+        t = parse_trigger(
+            "CREATE TRIGGER T AFTER CREATE ON A FOR EACH NODE "
+            "BEGIN FOREACH (x IN [1] | CREATE (:Y)) BEGIN CREATE (:Z) END END"
+        )
+        assert "BEGIN CREATE (:Z) END" in t.statement
+
+    def test_case_end_does_not_close_block(self):
+        t = parse_trigger(
+            "CREATE TRIGGER T AFTER CREATE ON A FOR EACH NODE "
+            "BEGIN MATCH (n:B) SET n.level = CASE WHEN n.x > 1 THEN 'high' ELSE 'low' END END"
+        )
+        assert "CASE WHEN" in t.statement
+        assert t.statement.rstrip().endswith("END")
+
+    def test_strings_containing_keywords(self):
+        t = parse_trigger(
+            "CREATE TRIGGER T AFTER CREATE ON A FOR EACH NODE "
+            "BEGIN CREATE (:Alert {desc: 'begin and end are just words'}) END"
+        )
+        assert "just words" in t.statement
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger("CREATE TRIGGER T AFTER CREATE ON A FOR EACH NODE BEGIN CREATE (:X)")
+
+    def test_missing_begin_rejected(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger("CREATE TRIGGER T AFTER CREATE ON A FOR EACH NODE CREATE (:X) END")
+
+    def test_empty_statement_rejected(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger("CREATE TRIGGER T AFTER CREATE ON A FOR EACH NODE BEGIN END")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger(
+                "CREATE TRIGGER T AFTER CREATE ON A FOR EACH NODE BEGIN CREATE (:X) END garbage"
+            )
+
+    def test_property_target_on_create_rejected(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger(
+                "CREATE TRIGGER T AFTER CREATE ON 'A'.'x' FOR EACH NODE BEGIN CREATE (:X) END"
+            )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text", [NEW_CRITICAL_MUTATION, WHO_DESIGNATION_CHANGE, ICU_OVER_THRESHOLD]
+    )
+    def test_unparse_reparse_fixpoint(self, text):
+        first = parse_trigger(text)
+        second = parse_trigger(first.to_pg_trigger())
+        assert second.name == first.name
+        assert second.time == first.time
+        assert second.event == first.event
+        assert second.label == first.label
+        assert second.property == first.property
+        assert second.granularity == first.granularity
+        assert second.item == first.item
+        # Condition/statement text is preserved up to surrounding whitespace.
+        assert (second.condition or "").split() == (first.condition or "").split()
+        assert second.statement.split() == first.statement.split()
+
+
+class TestParseMany:
+    def test_parse_triggers_splits_statements(self):
+        text = ";\n".join(
+            [NEW_CRITICAL_MUTATION.strip(), WHO_DESIGNATION_CHANGE.strip(), ICU_OVER_THRESHOLD.strip()]
+        )
+        definitions = parse_triggers(text)
+        assert [d.name for d in definitions] == [
+            "NewCriticalMutation",
+            "WhoDesignationChange",
+            "IcuPatientsOverThreshold",
+        ]
+
+    def test_create_inside_body_is_not_a_boundary(self):
+        definitions = parse_triggers(NEW_CRITICAL_MUTATION)
+        assert len(definitions) == 1
+
+    def test_no_trigger_found(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_triggers("MATCH (n) RETURN n")
