@@ -1,0 +1,26 @@
+# Developer / CI entry points.  Everything runs from the repository root.
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke explain-demo
+
+## Run the full tier-1 suite (unit + integration + benchmark assertions).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Run the complete benchmark suite with timing output.
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## The 3-benchmark smoke subset used by CI: the two trigger hot paths plus
+## the planner/plan-cache experiment.
+bench-smoke:
+	$(PYTHON) -m pytest \
+		benchmarks/test_perf_trigger_overhead.py \
+		benchmarks/test_section63_apoc_worked_translations.py \
+		benchmarks/test_perf_plan_cache.py \
+		-q --benchmark-columns=min,mean,rounds
+
+## Print the P5 experiment (EXPLAIN output + plan-cache statistics).
+explain-demo:
+	$(PYTHON) -c "from repro.bench import perf_plan_cache; print(perf_plan_cache().to_text())"

@@ -9,6 +9,7 @@ from .experiments import (
     perf_cascading,
     perf_compat_routes,
     perf_granularity_action_time,
+    perf_plan_cache,
     perf_trigger_overhead,
     section62_trigger_suite,
     section63_apoc_worked_translations,
@@ -29,6 +30,7 @@ __all__ = [
     "perf_cascading",
     "perf_compat_routes",
     "perf_granularity_action_time",
+    "perf_plan_cache",
     "perf_trigger_overhead",
     "run_experiments",
     "section62_trigger_suite",

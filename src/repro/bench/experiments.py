@@ -20,6 +20,7 @@ Added performance experiments (labelled P1–P4 in DESIGN.md / EXPERIMENTS.md):
 * :func:`perf_cascading`         — cascade depth sweep + termination analysis verdicts
 * :func:`perf_granularity_action_time` — FOR EACH vs FOR ALL × action times
 * :func:`perf_compat_routes`     — native engine vs APOC route vs Memgraph route
+* :func:`perf_plan_cache`        — index-aware planning and the global plan cache
 """
 
 from __future__ import annotations
@@ -29,6 +30,8 @@ import time
 from typing import Callable
 
 from ..compat.apoc import ApocEmulator, transition_parameters, TABLE2_ROWS
+from ..cypher.executor import QueryExecutor
+from ..cypher.planner import PLAN_CACHE
 from ..compat.apoc_translator import translate_to_apoc
 from ..compat.comparison import table1_rows
 from ..compat.memgraph import MemgraphEmulator, predefined_variables, TABLE4_ROWS
@@ -561,6 +564,57 @@ def perf_compat_routes(admissions: int = 40) -> ExperimentResult:
     return result
 
 
+def perf_plan_cache(nodes: int = 2000, queries: int = 200) -> ExperimentResult:
+    """P5 — the planner's index access path and the shared parse+plan cache.
+
+    Runs the same parameterised point lookup with and without a property
+    index; the EXPLAIN output shows the chosen access path flipping from a
+    label scan to a ``PropertyIndex`` lookup, and the cache statistics show
+    that re-executions hit the plan cache instead of re-parsing.
+    """
+    result = ExperimentResult("P5", "P5 — index-aware planning and plan-cache behaviour")
+    graph = PropertyGraph()
+    for index in range(nodes):
+        graph.create_node(["Patient"], {"mrn": index, "severity": index % 5})
+    query = "MATCH (p:Patient) WHERE p.mrn = $mrn RETURN p.severity AS severity"
+
+    def run_queries() -> float:
+        executor = QueryExecutor(graph)
+        started = time.perf_counter()
+        for index in range(queries):
+            executor.execute(query, parameters={"mrn": index % nodes})
+        return time.perf_counter() - started
+
+    probe = QueryExecutor(graph)
+    before_stats = PLAN_CACHE.stats.snapshot()
+    scan_seconds = run_queries()
+    scan_plan = probe.plan_description(query)
+    graph.create_property_index("Patient", "mrn")
+    index_seconds = run_queries()
+    index_plan = probe.plan_description(query)
+    after_stats = PLAN_CACHE.stats.snapshot()
+
+    result.add_row(
+        route="label scan (no index)",
+        queries=queries,
+        seconds=scan_seconds,
+        mean_us_per_query=1_000_000 * scan_seconds / queries,
+        plan=scan_plan,
+    )
+    result.add_row(
+        route="property index",
+        queries=queries,
+        seconds=index_seconds,
+        mean_us_per_query=1_000_000 * index_seconds / queries,
+        plan=index_plan,
+    )
+    plan_hits = after_stats["plan_hits"] - before_stats["plan_hits"]
+    parse_misses = after_stats["parse_misses"] - before_stats["parse_misses"]
+    result.note(f"plan cache hits during the run: {plan_hits}; query parses: {parse_misses}")
+    result.note("index DDL bumps the graph's index epoch, re-planning the cached query")
+    return result
+
+
 #: Registry used by the CLI runner and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "T1": table1_feature_matrix,
@@ -577,4 +631,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "P2": perf_cascading,
     "P3": perf_granularity_action_time,
     "P4": perf_compat_routes,
+    "P5": perf_plan_cache,
 }

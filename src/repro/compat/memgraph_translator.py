@@ -10,6 +10,7 @@ action statement.  The emitted DDL is executable against
 
 from __future__ import annotations
 
+import functools as _functools
 from dataclasses import dataclass
 
 from ..triggers.ast import (
@@ -65,8 +66,14 @@ class MemgraphTranslation:
         return self.ddl
 
 
+@_functools.lru_cache(maxsize=256)
 def translate_to_memgraph(definition: TriggerDefinition) -> MemgraphTranslation:
-    """Translate ``definition`` into a Memgraph CREATE TRIGGER statement."""
+    """Translate ``definition`` into a Memgraph CREATE TRIGGER statement.
+
+    Definitions and translations are immutable, so repeated translations of
+    the same trigger are memoised (the token-level rewriting helpers shared
+    with the APOC translator also reuse the global plan cache's tokenizer).
+    """
     if definition.time == ActionTime.BEFORE:
         raise TranslationError(
             f"trigger {definition.name!r}: BEFORE action time has no Memgraph counterpart; "

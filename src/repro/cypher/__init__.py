@@ -34,25 +34,39 @@ from .errors import (
 from .executor import ProcedureInvocation, QueryExecutor
 from .expressions import EvaluationContext, evaluate
 from .parser import parse_expression, parse_query
+from .planner import (
+    PLAN_CACHE,
+    AccessPath,
+    PlanCache,
+    QueryPlan,
+    explain,
+    plan_query,
+)
 from .result import QueryResult, QueryStatistics
 
 __all__ = [
+    "AccessPath",
     "CypherError",
     "CypherRuntimeError",
     "CypherSyntaxError",
     "CypherTypeError",
     "EvaluationContext",
+    "PLAN_CACHE",
+    "PlanCache",
     "ProcedureInvocation",
     "Query",
     "QueryExecutor",
+    "QueryPlan",
     "QueryResult",
     "QueryStatistics",
     "UnsupportedFeatureError",
     "evaluate",
     "execute",
+    "explain",
     "expression_text",
     "parse_expression",
     "parse_query",
+    "plan_query",
 ]
 
 

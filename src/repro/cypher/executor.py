@@ -63,7 +63,7 @@ from .ast import (
 from .errors import CypherRuntimeError, CypherTypeError, UnsupportedFeatureError
 from .expressions import EvaluationContext, evaluate
 from .functions import AGGREGATE_FUNCTIONS, is_aggregate_function
-from .parser import parse_query
+from .planner import INDEX, PLAN_CACHE, AccessPath, QueryPlan
 from .result import QueryResult, QueryStatistics
 
 #: Signature of a registered procedure: ``(arguments, invocation) -> rows``.
@@ -133,6 +133,7 @@ class QueryExecutor:
         self.virtual_labels = {k: set(v) for k, v in (virtual_labels or {}).items()}
         self.max_hops = max_hops
         self.last_statistics = QueryStatistics()
+        self._plan: QueryPlan | None = None
 
     # ------------------------------------------------------------------
     # public API
@@ -151,7 +152,13 @@ class QueryExecutor:
         condition and action statements.
         """
         if isinstance(query, str):
-            query = parse_query(query)
+            query, self._plan = PLAN_CACHE.get(
+                query, self.graph, frozenset(self.virtual_labels)
+            )
+        else:
+            self._plan = PLAN_CACHE.get_for_parsed(
+                query, self.graph, frozenset(self.virtual_labels)
+            )
         if parameters:
             self.parameters.update(parameters)
         self.last_statistics = QueryStatistics()
@@ -167,6 +174,21 @@ class QueryExecutor:
                 return result
             rows = self._execute_clause(clause, rows)
         return result
+
+    def plan_description(self, query: Query | str) -> str:
+        """EXPLAIN-style description of the access paths chosen for ``query``.
+
+        Uses the same global plan cache as :meth:`execute`, so this is also
+        the way tests assert that an indexed workload actually takes a
+        ``PropertyIndex`` lookup.
+        """
+        if isinstance(query, str):
+            _, plan = PLAN_CACHE.get(query, self.graph, frozenset(self.virtual_labels))
+        else:
+            plan = PLAN_CACHE.get_for_parsed(
+                query, self.graph, frozenset(self.virtual_labels)
+            )
+        return plan.plan_description()
 
     def statistics_merge(self, other: QueryStatistics) -> None:
         """Fold the statistics of a nested execution into this one."""
@@ -266,10 +288,16 @@ class QueryExecutor:
     def _match_pattern(self, pattern: PathPattern, row: dict) -> list[dict]:
         """All ways of matching ``pattern`` starting from the bindings in ``row``."""
         elements = pattern.elements
+        access: AccessPath | None = None
+        if self._plan is not None:
+            pattern_plan = self._plan.for_pattern(pattern)
+            if pattern_plan is not None:
+                elements = pattern_plan.elements
+                access = pattern_plan.start
         results: list[dict] = []
         first = elements[0]
         assert isinstance(first, NodePattern)
-        for node, bindings in self._candidate_nodes(first, row):
+        for node, bindings in self._candidate_nodes(first, row, access):
             self._extend_path(
                 elements, 1, node, bindings, used_rels=set(), path_nodes=[node], path_rels=[],
                 pattern=pattern, results=results,
@@ -360,7 +388,12 @@ class QueryExecutor:
 
         recurse(current_node, [], set())
 
-    def _candidate_nodes(self, node_pattern: NodePattern, row: dict) -> Iterator[tuple[Node, dict]]:
+    def _candidate_nodes(
+        self,
+        node_pattern: NodePattern,
+        row: dict,
+        access: AccessPath | None = None,
+    ) -> Iterator[tuple[Node, dict]]:
         """Yield (node, updated bindings) pairs satisfying ``node_pattern``."""
         variable = node_pattern.variable
         if variable is not None and row.get(variable) is not None:
@@ -371,15 +404,44 @@ class QueryExecutor:
             if self._node_satisfies(node_pattern, refreshed, row):
                 yield refreshed, dict(row)
             return
-        for node in self._scan_nodes(node_pattern, row):
+        for node in self._scan_nodes(node_pattern, row, access):
             if self._node_satisfies(node_pattern, node, row):
                 bindings = dict(row)
                 if variable is not None:
                     bindings[variable] = node
                 yield node, bindings
 
-    def _scan_nodes(self, node_pattern: NodePattern, row: dict) -> Iterable[Node]:
-        """Pick the cheapest starting candidate set for a node pattern."""
+    def _scan_nodes(
+        self,
+        node_pattern: NodePattern,
+        row: dict,
+        access: AccessPath | None = None,
+    ) -> Iterable[Node]:
+        """Pick the cheapest starting candidate set for a node pattern.
+
+        A planned access path is advisory: every candidate it produces is
+        still checked by :meth:`_node_satisfies` (and any WHERE clause), so
+        an index path can only narrow the candidate set, never change the
+        result.  When the index is gone or the looked-up value is null the
+        path degrades to the unplanned logic below.
+        """
+        if access is not None and access.kind == INDEX:
+            try:
+                value = self._evaluate(access.value, row)
+                hit = (
+                    self.graph.property_index_lookup(access.label, access.property, value)
+                    if value is not None
+                    else None
+                )
+            except (TypeError, CypherRuntimeError):
+                # Unhashable parameter value (dict, set, …) or a missing
+                # parameter: the probe cannot run eagerly.  Fall back to the
+                # scan below, which reproduces the unplanned semantics — the
+                # WHERE/property re-check raises (or filters) per candidate
+                # exactly as it did before planning existed.
+                hit = None
+            if hit is not None:
+                return hit
         for label in node_pattern.labels:
             if label in self.virtual_labels:
                 ids = self.virtual_labels[label]

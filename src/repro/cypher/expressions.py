@@ -94,56 +94,79 @@ class EvaluationContext:
 
 
 def evaluate(expr: Expression, row: Mapping[str, Any], context: EvaluationContext) -> Any:
-    """Evaluate ``expr`` against one binding ``row``."""
-    if isinstance(expr, Literal):
-        return expr.value
-    if isinstance(expr, Parameter):
-        if expr.name not in context.parameters:
-            raise CypherRuntimeError(f"missing query parameter ${expr.name}")
-        return context.parameters[expr.name]
-    if isinstance(expr, Variable):
-        if expr.name in row:
-            return row[expr.name]
-        if expr.name in context.parameters:
-            return context.parameters[expr.name]
-        raise CypherRuntimeError(f"unknown variable {expr.name!r}")
-    if isinstance(expr, ListLiteral):
-        return [evaluate(item, row, context) for item in expr.items]
-    if isinstance(expr, MapLiteral):
-        return {key: evaluate(value, row, context) for key, value in expr.entries}
-    if isinstance(expr, PropertyAccess):
-        return _evaluate_property(expr, row, context)
-    if isinstance(expr, LabelPredicate):
-        return _evaluate_label_predicate(expr, row, context)
-    if isinstance(expr, UnaryOp):
-        return _evaluate_unary(expr, row, context)
-    if isinstance(expr, BinaryOp):
-        return _evaluate_binary(expr, row, context)
-    if isinstance(expr, IsNull):
-        value = evaluate(expr.operand, row, context)
-        return (value is not None) if expr.negated else (value is None)
-    if isinstance(expr, ListIndex):
-        return _evaluate_list_index(expr, row, context)
-    if isinstance(expr, CaseExpression):
-        for condition, value in expr.whens:
-            if evaluate(condition, row, context) is True:
-                return evaluate(value, row, context)
-        if expr.default is not None:
-            return evaluate(expr.default, row, context)
-        return None
-    if isinstance(expr, ListComprehension):
-        return _evaluate_list_comprehension(expr, row, context)
-    if isinstance(expr, ExistsPattern):
-        if context.pattern_matcher is None:
-            raise CypherRuntimeError("EXISTS patterns require a query execution context")
-        return context.pattern_matcher(expr, dict(row))
-    if isinstance(expr, CountStar):
-        return _aggregate_value(expr, context)
-    if isinstance(expr, FunctionCall):
-        if is_aggregate_function(expr.name):
-            return _aggregate_value(expr, context)
-        return _evaluate_scalar_call(expr, row, context)
+    """Evaluate ``expr`` against one binding ``row``.
+
+    Dispatch is a ``type(expr)``-keyed table (expression evaluation sits on
+    the trigger-condition and MATCH-filter hot paths); unexpected subclasses
+    fall back to the isinstance-based path below.
+    """
+    handler = _DISPATCH.get(type(expr))
+    if handler is not None:
+        return handler(expr, row, context)
+    return _evaluate_fallback(expr, row, context)
+
+
+def _evaluate_fallback(expr: Expression, row: Mapping[str, Any], context: EvaluationContext) -> Any:
+    for node_type, handler in _DISPATCH.items():
+        if isinstance(expr, node_type):
+            return handler(expr, row, context)
     raise CypherTypeError(f"cannot evaluate expression of type {type(expr).__name__}")
+
+
+def _evaluate_literal(expr: Literal, row, context) -> Any:
+    return expr.value
+
+
+def _evaluate_parameter(expr: Parameter, row, context) -> Any:
+    if expr.name not in context.parameters:
+        raise CypherRuntimeError(f"missing query parameter ${expr.name}")
+    return context.parameters[expr.name]
+
+
+def _evaluate_variable(expr: Variable, row, context) -> Any:
+    if expr.name in row:
+        return row[expr.name]
+    if expr.name in context.parameters:
+        return context.parameters[expr.name]
+    raise CypherRuntimeError(f"unknown variable {expr.name!r}")
+
+
+def _evaluate_list_literal(expr: ListLiteral, row, context) -> Any:
+    return [evaluate(item, row, context) for item in expr.items]
+
+
+def _evaluate_map_literal(expr: MapLiteral, row, context) -> Any:
+    return {key: evaluate(value, row, context) for key, value in expr.entries}
+
+
+def _evaluate_is_null(expr: IsNull, row, context) -> Any:
+    value = evaluate(expr.operand, row, context)
+    return (value is not None) if expr.negated else (value is None)
+
+
+def _evaluate_case(expr: CaseExpression, row, context) -> Any:
+    for condition, value in expr.whens:
+        if evaluate(condition, row, context) is True:
+            return evaluate(value, row, context)
+    if expr.default is not None:
+        return evaluate(expr.default, row, context)
+    return None
+
+
+def _evaluate_exists(expr: ExistsPattern, row, context) -> Any:
+    if context.pattern_matcher is None:
+        raise CypherRuntimeError("EXISTS patterns require a query execution context")
+    return context.pattern_matcher(expr, dict(row))
+
+
+def _evaluate_count_star(expr: CountStar, row, context) -> Any:
+    return _aggregate_value(expr, context)
+
+
+def _evaluate_function_call(expr: FunctionCall, row, context) -> Any:
+    if is_aggregate_function(expr.name):
+        return _aggregate_value(expr, context)
+    return _evaluate_scalar_call(expr, row, context)
 
 
 # ---------------------------------------------------------------------------
@@ -361,3 +384,24 @@ def _evaluate_scalar_call(expr: FunctionCall, row, context) -> Any:
         raise CypherRuntimeError(f"unknown function {expr.name}()")
     args = [evaluate(argument, row, context) for argument in expr.args]
     return implementation(args, context)
+
+
+#: type(expr) -> handler table backing :func:`evaluate`'s fast dispatch.
+_DISPATCH: dict[type, Any] = {
+    Literal: _evaluate_literal,
+    Parameter: _evaluate_parameter,
+    Variable: _evaluate_variable,
+    ListLiteral: _evaluate_list_literal,
+    MapLiteral: _evaluate_map_literal,
+    PropertyAccess: _evaluate_property,
+    LabelPredicate: _evaluate_label_predicate,
+    UnaryOp: _evaluate_unary,
+    BinaryOp: _evaluate_binary,
+    IsNull: _evaluate_is_null,
+    ListIndex: _evaluate_list_index,
+    CaseExpression: _evaluate_case,
+    ListComprehension: _evaluate_list_comprehension,
+    ExistsPattern: _evaluate_exists,
+    CountStar: _evaluate_count_star,
+    FunctionCall: _evaluate_function_call,
+}

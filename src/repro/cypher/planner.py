@@ -1,0 +1,602 @@
+"""Index-aware query planning and the global parse+plan cache.
+
+Until this module existed, every layer of the system paid the same two
+costs on each query execution: the text was re-tokenised and re-parsed
+(the trigger engine kept two ad-hoc per-trigger dicts; everything else
+re-parsed every time), and MATCH always started from a label scan even
+when a :class:`~repro.graph.indexes.PropertyIndex` could answer the
+predicate directly.  Both costs dominate the trigger hot path, where a
+handful of statements and conditions are executed thousands of times.
+
+Two things live here:
+
+* **The planner** — :func:`plan_query` inspects the MATCH (and MERGE)
+  patterns of a parsed query together with the graph's index metadata and
+  chooses, per path pattern, the cheapest *access path* for the starting
+  node:
+
+  - ``index`` — a :class:`~repro.graph.indexes.PropertyIndex` equality
+    lookup, derived from inline property maps ``(n:Label {k: v})`` and
+    from sargable ``WHERE n.k = <literal/parameter>`` conjuncts;
+  - ``virtual`` — a virtual-label id set (the trigger engine's transition
+    variables such as ``NEWNODES``);
+  - ``label`` — a label-index scan over the most selective label;
+  - ``scan`` — a full node scan.
+
+  When the cheapest entry point is the *last* node of a path, the planner
+  re-orders the pattern start point by reversing the element sequence
+  (flipping relationship directions), which preserves the produced
+  bindings exactly.
+
+  Every access path is advisory: the executor re-verifies labels and
+  properties on each candidate (and the WHERE clause still runs), so a
+  stale or wrong plan can only cost performance, never change results.
+
+* **The plan cache** — :class:`PlanCache`, a module-level LRU shared by
+  the executor, the trigger engine, the APOC/Memgraph emulation layers
+  and the benchmark harness.  Parses are cached by query text; plans are
+  cached by ``(text, graph identity, virtual-label names)`` and checked
+  against the graph's *index epoch* (bumped whenever a property index is
+  created or dropped), so index DDL and virtual-label changes invalidate
+  stale plans.  Plans store virtual-label *names* only — the id sets are
+  resolved by each executor at run time, so cached plans never leak
+  virtual-label state between executors.
+
+``EXPLAIN``-style output is available through :func:`explain` or
+:meth:`QueryPlan.plan_description`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Union
+
+from .ast import (
+    BinaryOp,
+    ExistsPattern,
+    Expression,
+    Literal,
+    MatchClause,
+    MergeClause,
+    NodePattern,
+    Parameter,
+    PathPattern,
+    PropertyAccess,
+    Query,
+    RelationshipPattern,
+    ReturnClause,
+    Variable,
+    expression_text,
+    walk_expression,
+)
+from .errors import CypherSyntaxError
+from .lexer import Token, tokenize
+from .parser import parse_expression, parse_query
+
+#: Access-path kinds, in decreasing priority.
+INDEX = "index"
+VIRTUAL = "virtual"
+LABEL = "label"
+SCAN = "scan"
+
+
+# ---------------------------------------------------------------------------
+# plan data model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """How the executor should produce the starting candidate set."""
+
+    kind: str
+    #: Label of the index / virtual-label entry (``index``/``virtual``).
+    label: Optional[str] = None
+    #: Indexed property (``index`` only).
+    property: Optional[str] = None
+    #: Expression producing the looked-up value (``index`` only).  Always a
+    #: literal or parameter, so it never depends on other pattern variables.
+    value: Optional[Expression] = None
+    #: Candidate real labels for a ``label`` scan (the executor picks the
+    #: most selective one at run time, so counts never go stale).
+    labels: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """One-line human-readable rendering (used by EXPLAIN output)."""
+        if self.kind == INDEX:
+            return (
+                f"IndexLookup({self.label}.{self.property} = "
+                f"{expression_text(self.value)})"
+            )
+        if self.kind == VIRTUAL:
+            return f"VirtualLabelScan({self.label})"
+        if self.kind == LABEL:
+            return "LabelScan(" + "|".join(self.labels) + ")"
+        return "AllNodesScan"
+
+
+@dataclass(frozen=True)
+class PatternPlan:
+    """Plan for one path pattern: element order and start access path."""
+
+    pattern: PathPattern
+    elements: tuple[Union[NodePattern, RelationshipPattern], ...]
+    start: AccessPath
+    reversed: bool = False
+
+    def describe(self) -> str:
+        start = self.elements[0]
+        name = start.variable or "_"
+        direction = " (reversed)" if self.reversed else ""
+        return f"start=({name}) {self.start.describe()}{direction}"
+
+
+class QueryPlan:
+    """Per-pattern access plans for one parsed query against one graph."""
+
+    __slots__ = ("query", "_by_pattern", "_lines")
+
+    def __init__(self, query: Query, pattern_plans: Iterable[PatternPlan]) -> None:
+        self.query = query
+        self._by_pattern: dict[int, PatternPlan] = {}
+        self._lines: list[str] = []
+        for plan in pattern_plans:
+            self._by_pattern[id(plan.pattern)] = plan
+            self._lines.append(plan.describe())
+
+    def for_pattern(self, pattern: PathPattern) -> Optional[PatternPlan]:
+        """The plan for ``pattern``, or None when it was not planned."""
+        plan = self._by_pattern.get(id(pattern))
+        if plan is not None and plan.pattern is pattern:
+            return plan
+        return None
+
+    def pattern_plans(self) -> list[PatternPlan]:
+        """All pattern plans, in clause order."""
+        return list(self._by_pattern.values())
+
+    def uses_index(self) -> bool:
+        """True when any pattern starts from a property-index lookup."""
+        return any(p.start.kind == INDEX for p in self._by_pattern.values())
+
+    def plan_description(self) -> str:
+        """EXPLAIN-style description, one line per planned pattern."""
+        if not self._lines:
+            return "(no MATCH patterns to plan)"
+        return "\n".join(self._lines)
+
+
+# ---------------------------------------------------------------------------
+# planning
+# ---------------------------------------------------------------------------
+
+
+def plan_query(
+    query: Query,
+    graph,
+    virtual_labels: Iterable[str] = (),
+) -> QueryPlan:
+    """Choose access paths for every MATCH/MERGE pattern of ``query``.
+
+    ``graph`` only needs the index-metadata surface of
+    :class:`~repro.graph.store.PropertyGraph` (``property_indexes()``,
+    ``count_nodes_with_label()``, ``node_count()``).
+    """
+    virtual = frozenset(virtual_labels)
+    indexed = frozenset(graph.property_indexes())
+    plans: list[PatternPlan] = []
+    for clause in query.clauses:
+        if isinstance(clause, MatchClause):
+            equalities = _sargable_equalities(clause.where)
+            for pattern in clause.patterns:
+                plans.append(_plan_pattern(pattern, equalities, graph, virtual, indexed))
+        elif isinstance(clause, MergeClause):
+            # MERGE's match phase benefits from the same start-point choice;
+            # only inline property maps are sargable here (no WHERE).
+            plans.append(_plan_pattern(clause.pattern, {}, graph, virtual, indexed))
+    return QueryPlan(query, plans)
+
+
+def explain(text: str, graph, virtual_labels: Iterable[str] = ()) -> str:
+    """Parse, plan and describe ``text`` against ``graph`` (EXPLAIN)."""
+    query, plan = PLAN_CACHE.get(text, graph, frozenset(virtual_labels))
+    del query
+    return plan.plan_description()
+
+
+def _plan_pattern(
+    pattern: PathPattern,
+    equalities: dict[str, list[tuple[str, Expression]]],
+    graph,
+    virtual: frozenset,
+    indexed: frozenset,
+) -> PatternPlan:
+    first = pattern.elements[0]
+    assert isinstance(first, NodePattern)
+    first_path, first_cost = _access_path(first, equalities, graph, virtual, indexed)
+    # Reversing changes the order nodes/relationships are appended to a
+    # bound path variable and to a variable-length relationship's hop
+    # list, so only anonymous, fixed-length paths are eligible; and since
+    # it also changes the order in which element property maps are
+    # evaluated, every property value must be static (a literal or
+    # parameter) — an expression like ``{w: a.prop}`` may reference a
+    # variable the forward traversal binds first.
+    can_reverse = (
+        len(pattern.elements) > 2
+        and pattern.variable is None
+        and not any(
+            isinstance(element, RelationshipPattern) and element.is_variable_length
+            for element in pattern.elements
+        )
+        and _pattern_properties_static(pattern)
+    )
+    if can_reverse:
+        last = pattern.elements[-1]
+        assert isinstance(last, NodePattern)
+        last_path, last_cost = _access_path(last, equalities, graph, virtual, indexed)
+        if last_cost < first_cost:
+            return PatternPlan(
+                pattern=pattern,
+                elements=_reverse_elements(pattern.elements),
+                start=last_path,
+                reversed=True,
+            )
+    return PatternPlan(pattern=pattern, elements=pattern.elements, start=first_path)
+
+
+def _access_path(
+    node_pattern: NodePattern,
+    equalities: dict[str, list[tuple[str, Expression]]],
+    graph,
+    virtual: frozenset,
+    indexed: frozenset,
+) -> tuple[AccessPath, float]:
+    """Best access path for one node pattern plus its estimated cost."""
+    # Virtual labels mirror the executor's existing precedence: they are
+    # typically tiny transition-variable sets, so they come first.
+    for label in node_pattern.labels:
+        if label in virtual:
+            return AccessPath(kind=VIRTUAL, label=label), 0.0
+
+    real_labels = tuple(l for l in node_pattern.labels if l not in virtual)
+    candidates = _equality_candidates(node_pattern, equalities)
+    for label in real_labels:
+        for prop, value in candidates:
+            if (label, prop) in indexed:
+                return AccessPath(kind=INDEX, label=label, property=prop, value=value), 1.0
+
+    if real_labels:
+        cost = min(graph.count_nodes_with_label(l) for l in real_labels)
+        return AccessPath(kind=LABEL, labels=real_labels), float(max(cost, 1))
+    return AccessPath(kind=SCAN), float(max(graph.node_count(), 2))
+
+
+def _pattern_properties_static(pattern: PathPattern) -> bool:
+    """True when no element property value can depend on pattern variables."""
+    return all(
+        isinstance(expr, (Literal, Parameter))
+        for element in pattern.elements
+        for _, expr in element.properties
+    )
+
+
+def _equality_candidates(
+    node_pattern: NodePattern,
+    equalities: dict[str, list[tuple[str, Expression]]],
+) -> list[tuple[str, Expression]]:
+    """(property, value-expression) pairs usable for an index lookup.
+
+    Only literal and parameter values qualify: they evaluate independently
+    of the other pattern variables, so narrowing the candidate set with
+    them can never drop a row the full match would have produced.
+    """
+    pairs: list[tuple[str, Expression]] = []
+    for key, expr in node_pattern.properties:
+        if isinstance(expr, (Literal, Parameter)):
+            pairs.append((key, expr))
+    if node_pattern.variable is not None:
+        pairs.extend(equalities.get(node_pattern.variable, ()))
+    return pairs
+
+
+def _sargable_equalities(where: Optional[Expression]) -> dict[str, list[tuple[str, Expression]]]:
+    """Extract ``var.prop = <literal/parameter>`` conjuncts from a WHERE tree."""
+    if where is None:
+        return {}
+    result: dict[str, list[tuple[str, Expression]]] = {}
+    for conjunct in _conjuncts(where):
+        if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+            continue
+        for access, value in ((conjunct.left, conjunct.right), (conjunct.right, conjunct.left)):
+            if (
+                isinstance(access, PropertyAccess)
+                and isinstance(access.subject, Variable)
+                and isinstance(value, (Literal, Parameter))
+            ):
+                result.setdefault(access.subject.name, []).append((access.key, value))
+                break
+    return result
+
+
+def _conjuncts(expr: Expression) -> Iterator[Expression]:
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def _reverse_elements(
+    elements: tuple[Union[NodePattern, RelationshipPattern], ...]
+) -> tuple[Union[NodePattern, RelationshipPattern], ...]:
+    """Reverse a path, flipping relationship directions."""
+    flipped: list[Union[NodePattern, RelationshipPattern]] = []
+    for element in reversed(elements):
+        if isinstance(element, RelationshipPattern):
+            direction = {"out": "in", "in": "out", "both": "both"}[element.direction]
+            element = RelationshipPattern(
+                variable=element.variable,
+                types=element.types,
+                properties=element.properties,
+                direction=direction,
+                min_hops=element.min_hops,
+                max_hops=element.max_hops,
+            )
+        flipped.append(element)
+    return tuple(flipped)
+
+
+# ---------------------------------------------------------------------------
+# the global parse + plan cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters for observing cache behaviour (tests, benchmarks, EXPLAIN)."""
+
+    parse_hits: int = 0
+    parse_misses: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_invalidations: int = 0
+    condition_hits: int = 0
+    condition_misses: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy (handy for benchmark notes)."""
+        return {
+            "parse_hits": self.parse_hits,
+            "parse_misses": self.parse_misses,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_invalidations": self.plan_invalidations,
+            "condition_hits": self.condition_hits,
+            "condition_misses": self.condition_misses,
+        }
+
+
+@dataclass
+class _PlanEntry:
+    """One cached (query, plan) pair, validated against the graph epoch.
+
+    Used by both the text-keyed and the id()-keyed plan stores; in the
+    latter, holding ``query`` also pins the object so its id cannot be
+    reused while the entry is alive, and the identity check on lookup
+    rejects entries that somehow outlive their query object.
+    """
+
+    epoch: int
+    query: Query
+    plan: QueryPlan
+
+
+@dataclass(frozen=True)
+class CompiledCondition:
+    """A cached PG-Trigger WHEN body plus cheap-to-test shape flags.
+
+    ``is_query`` distinguishes condition queries (MATCH/WITH pipelines)
+    from plain predicates; ``has_exists`` tells the trigger engine whether
+    evaluating the predicate needs a full executor (for EXISTS patterns)
+    or can run through the bare expression evaluator.
+    """
+
+    parsed: Union[Expression, Query]
+    is_query: bool
+    has_exists: bool
+
+
+class PlanCache:
+    """LRU parse+plan cache shared process-wide.
+
+    Three layers, all keyed on query text:
+
+    * parses (graph-independent);
+    * plans, additionally keyed on the graph's identity token and the
+      executor's virtual-label *names*, validated against the graph's
+      index epoch on every hit;
+    * trigger conditions (expression-or-query, with the trigger engine's
+      wildcard-RETURN normalisation applied to query-shaped conditions).
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self.max_entries = max_entries
+        self._lock = threading.RLock()
+        self._parses: OrderedDict[str, Query] = OrderedDict()
+        self._plans: OrderedDict[tuple, _PlanEntry] = OrderedDict()
+        self._parsed_plans: OrderedDict[tuple, _PlanEntry] = OrderedDict()
+        self._conditions: OrderedDict[str, CompiledCondition] = OrderedDict()
+        self._tokens: OrderedDict[str, list[Token]] = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    # -- parsing --------------------------------------------------------
+
+    def parse(self, text: str) -> Query:
+        """Parse ``text`` (cached)."""
+        with self._lock:
+            cached = self._parses.get(text)
+            if cached is not None:
+                self._parses.move_to_end(text)
+                self.stats.parse_hits += 1
+                return cached
+        query = parse_query(text)
+        with self._lock:
+            self.stats.parse_misses += 1
+            self._insert(self._parses, text, query)
+        return query
+
+    def tokenize(self, text: str) -> list[Token]:
+        """Tokenise ``text`` (cached; callers must not mutate the list)."""
+        with self._lock:
+            cached = self._tokens.get(text)
+            if cached is not None:
+                self._tokens.move_to_end(text)
+                return cached
+        tokens = tokenize(text)
+        with self._lock:
+            self._insert(self._tokens, text, tokens)
+        return tokens
+
+    # -- planning -------------------------------------------------------
+
+    def get(
+        self,
+        text: str,
+        graph,
+        virtual_label_names: frozenset = frozenset(),
+    ) -> tuple[Query, QueryPlan]:
+        """Parse and plan ``text`` for ``graph`` (both cached).
+
+        A cached plan is reused only while the graph's index epoch is
+        unchanged; creating or dropping a property index bumps the epoch
+        and evicts the stale entry on the next lookup.  Virtual-label
+        names participate in the key, so registering a new virtual label
+        re-plans rather than reusing a plan that ignored it.
+        """
+        key = (text, _graph_token(graph), virtual_label_names)
+        epoch = _graph_epoch(graph)
+        with self._lock:
+            entry = self._plans.get(key)
+            if entry is not None:
+                if entry.epoch == epoch:
+                    self._plans.move_to_end(key)
+                    self.stats.plan_hits += 1
+                    return entry.query, entry.plan
+                del self._plans[key]
+                self.stats.plan_invalidations += 1
+        query = self.parse(text)
+        plan = plan_query(query, graph, virtual_label_names)
+        with self._lock:
+            self.stats.plan_misses += 1
+            self._insert(self._plans, key, _PlanEntry(epoch=epoch, query=query, plan=plan))
+        return query, plan
+
+    def get_for_parsed(
+        self,
+        query: Query,
+        graph,
+        virtual_label_names: frozenset = frozenset(),
+    ) -> QueryPlan:
+        """Plan an already-parsed query (cached by object identity).
+
+        Used for query objects that live outside the text cache, e.g. the
+        trigger engine's compiled condition queries, which are executed once
+        per activation and would otherwise be re-planned on every firing.
+        The entry keeps a reference to ``query``, so the id()-based key can
+        never alias a different, later object.
+        """
+        key = (id(query), _graph_token(graph), virtual_label_names)
+        epoch = _graph_epoch(graph)
+        with self._lock:
+            entry = self._parsed_plans.get(key)
+            if entry is not None and entry.query is query:
+                if entry.epoch == epoch:
+                    self._parsed_plans.move_to_end(key)
+                    self.stats.plan_hits += 1
+                    return entry.plan
+                del self._parsed_plans[key]
+                self.stats.plan_invalidations += 1
+        plan = plan_query(query, graph, virtual_label_names)
+        with self._lock:
+            self.stats.plan_misses += 1
+            self._insert(
+                self._parsed_plans, key, _PlanEntry(epoch=epoch, query=query, plan=plan)
+            )
+        return plan
+
+    # -- trigger conditions ---------------------------------------------
+
+    def condition_compiled(self, text: str) -> CompiledCondition:
+        """Parse a PG-Trigger WHEN body (cached), with shape flags.
+
+        Plain predicates parse as expressions; MATCH/UNWIND/WITH pipelines
+        parse as queries and get a wildcard RETURN appended when absent, so
+        the surviving rows become the condition rows.
+        """
+        with self._lock:
+            cached = self._conditions.get(text)
+            if cached is not None:
+                self._conditions.move_to_end(text)
+                self.stats.condition_hits += 1
+                return cached
+        try:
+            expression = parse_expression(text)
+            compiled = CompiledCondition(
+                parsed=expression,
+                is_query=False,
+                has_exists=any(
+                    isinstance(sub, ExistsPattern) for sub in walk_expression(expression)
+                ),
+            )
+        except CypherSyntaxError:
+            query = parse_query(text)
+            if not any(isinstance(clause, ReturnClause) for clause in query.clauses):
+                query = Query(
+                    clauses=query.clauses + (ReturnClause(items=(), include_wildcard=True),)
+                )
+            compiled = CompiledCondition(parsed=query, is_query=True, has_exists=False)
+        with self._lock:
+            self.stats.condition_misses += 1
+            self._insert(self._conditions, text, compiled)
+        return compiled
+
+    # -- maintenance ----------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every cached parse, plan and condition; reset statistics."""
+        with self._lock:
+            self._parses.clear()
+            self._plans.clear()
+            self._parsed_plans.clear()
+            self._conditions.clear()
+            self._tokens.clear()
+            self.stats = PlanCacheStats()
+
+    def plan_entry_count(self) -> int:
+        """Number of cached plans (for tests)."""
+        with self._lock:
+            return len(self._plans)
+
+    def _insert(self, store: OrderedDict, key, value) -> None:
+        store[key] = value
+        store.move_to_end(key)
+        while len(store) > self.max_entries:
+            store.popitem(last=False)
+
+
+def _graph_token(graph) -> int:
+    """A stable per-graph-instance identity for plan-cache keys."""
+    token = getattr(graph, "plan_token", None)
+    return id(graph) if token is None else token
+
+
+def _graph_epoch(graph) -> int:
+    """The graph's index epoch (0 for graph-likes that don't track one)."""
+    return getattr(graph, "index_epoch", 0)
+
+
+#: The process-wide cache instance shared by the executor, trigger engine,
+#: compatibility emulators and benchmark harness.
+PLAN_CACHE = PlanCache()

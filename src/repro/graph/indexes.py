@@ -75,7 +75,12 @@ class PropertyIndex:
         self._entries: dict[tuple[str, str], dict[Hashable, set[int]]] = {}
 
     def create(self, label: str, prop: str) -> None:
-        """Declare an index on ``label``/``prop`` (idempotent)."""
+        """Declare an index on ``label``/``prop`` (idempotent).
+
+        DDL-driven plan invalidation lives in
+        :attr:`repro.graph.store.PropertyGraph.index_epoch`, which the
+        store bumps around calls to this method.
+        """
         pair = (label, prop)
         if pair in self._indexed_pairs:
             return

@@ -39,6 +39,11 @@ OUTGOING = "out"
 INCOMING = "in"
 BOTH = "both"
 
+#: Per-process counter handing every graph instance a unique identity for
+#: the query planner's plan cache (ids of dead graphs can be reused by the
+#: allocator; these tokens never are).
+_PLAN_TOKENS = itertools.count(1)
+
 
 class PropertyGraph:
     """A mutable, in-memory property graph with label and property indexes."""
@@ -54,6 +59,8 @@ class PropertyGraph:
         self._property_index = PropertyIndex()
         self._outgoing: dict[int, set[int]] = {}
         self._incoming: dict[int, set[int]] = {}
+        self._index_epoch = 0
+        self.plan_token = next(_PLAN_TOKENS)
 
     # ------------------------------------------------------------------
     # size and iteration
@@ -218,14 +225,32 @@ class PropertyGraph:
         for node in self.nodes_with_label(label):
             if prop in node.properties:
                 self._property_index.add(label, prop, node.properties[prop], node.id)
+        self._index_epoch += 1
 
     def drop_property_index(self, label: str, prop: str) -> None:
         """Drop a previously declared property index."""
         self._property_index.drop(label, prop)
+        self._index_epoch += 1
 
     def property_indexes(self) -> list[tuple[str, str]]:
         """Declared (label, property) index pairs."""
         return self._property_index.indexed_pairs()
+
+    @property
+    def index_epoch(self) -> int:
+        """Monotonic counter bumped by index DDL; keys cached query plans."""
+        return self._index_epoch
+
+    def property_index_lookup(self, label: str, prop: str, value: Any) -> list[Node] | None:
+        """Nodes with ``label`` whose ``prop`` equals ``value``, via the index.
+
+        Returns ``None`` when no index is declared for the pair, so callers
+        (the query planner's index access path) can fall back to a scan.
+        """
+        hit = self._property_index.lookup(label, prop, value)
+        if hit is None:
+            return None
+        return [self._nodes[i] for i in sorted(hit) if i in self._nodes]
 
     # ------------------------------------------------------------------
     # mutation primitives

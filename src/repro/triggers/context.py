@@ -34,8 +34,17 @@ class TriggerBindings:
 
 def item_bindings(trigger: TriggerDefinition, activation: Activation) -> TriggerBindings:
     """Bindings for one FOR EACH activation (OLD/NEW and aliases)."""
-    variables: dict[str, Any] = {}
-    virtual_labels: dict[str, set[int]] = {}
+    if not trigger.referencing:
+        # Hot path: without REFERENCING aliases the names are fixed.
+        variables = {"OLD": activation.old, "NEW": activation.new}
+        virtual_labels: dict[str, set[int]] = {}
+        if activation.old is not None:
+            virtual_labels["OLD"] = {activation.old.id}
+        if activation.new is not None:
+            virtual_labels["NEW"] = {activation.new.id}
+        return TriggerBindings(variables=variables, virtual_labels=virtual_labels)
+    variables = {}
+    virtual_labels = {}
     names = {
         TransitionVariable.OLD: trigger.alias_for(TransitionVariable.OLD),
         TransitionVariable.NEW: trigger.alias_for(TransitionVariable.NEW),

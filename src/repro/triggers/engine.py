@@ -31,19 +31,34 @@ from __future__ import annotations
 import datetime as _dt
 from typing import Any, Callable, Iterable, Mapping, Optional
 
-from ..cypher.ast import Query, ReturnClause
-from ..cypher.errors import CypherError, CypherSyntaxError
+from ..cypher.ast import ExistsPattern, Expression, Query
+from ..cypher.errors import CypherError
 from ..cypher.executor import QueryExecutor
-from ..cypher.parser import parse_expression, parse_query
+from ..cypher.expressions import EvaluationContext, evaluate
+from ..cypher.planner import PLAN_CACHE
 from ..graph.delta import GraphDelta
+from ..graph.model import Node
 from ..graph.store import PropertyGraph
 from ..tx.errors import TransactionAborted
 from ..tx.manager import TransactionManager
 from ..tx.transaction import Transaction
-from .ast import ActionTime, Granularity, InstalledTrigger, TriggerDefinition
-from .context import ExecutionContext, TriggerBindings, TriggerFiring, bindings_for
+from .ast import (
+    ActionTime,
+    EventType,
+    Granularity,
+    InstalledTrigger,
+    ItemKind,
+    TriggerDefinition,
+)
+from .context import (
+    ExecutionContext,
+    TriggerBindings,
+    TriggerFiring,
+    bindings_for,
+    item_bindings,
+)
 from .errors import TriggerExecutionError, TriggerRecursionError
-from .events import compute_activations
+from .events import Activation, compute_activations
 from .registry import TriggerRegistry
 
 #: Maximum cascade depth before the engine assumes non-termination.
@@ -82,8 +97,9 @@ class TriggerEngine:
         self.max_detached_depth = max_detached_depth
         #: Audit log of trigger firings (cleared with :meth:`clear_firings`).
         self.firings: list[TriggerFiring] = []
-        self._condition_cache: dict[str, Any] = {}
-        self._statement_cache: dict[str, Query] = {}
+        # Condition and statement texts are compiled through the global
+        # parse+plan cache (repro.cypher.planner.PLAN_CACHE), shared with
+        # the executor and the compatibility emulators.
         self._detached_depth = 0
         #: Extra procedures made available inside trigger statements.
         self.procedures = {"db.abort": _abort_procedure, "abort": _abort_procedure}
@@ -94,14 +110,20 @@ class TriggerEngine:
 
     def run_statement_triggers(self, tx: Transaction, delta: GraphDelta) -> GraphDelta:
         """Process BEFORE and AFTER triggers for one statement's delta."""
-        produced = GraphDelta()
-        produced = produced.merge(
-            self._process(tx, delta, (ActionTime.BEFORE,), depth=0, parent=None)
+        # Both rounds see the same delta, so they can share one label summary
+        # (built lazily by whichever round first has triggers to filter).
+        shared: list[_DeltaLabelSummary] = []
+        before = self._process(
+            tx, delta, (ActionTime.BEFORE,), depth=0, parent=None, shared_summary=shared
         )
-        produced = produced.merge(
-            self._process(tx, delta, (ActionTime.AFTER,), depth=0, parent=None)
+        after = self._process(
+            tx, delta, (ActionTime.AFTER,), depth=0, parent=None, shared_summary=shared
         )
-        return produced
+        if before.is_empty():
+            return after
+        if after.is_empty():
+            return before
+        return before.merge(after)
 
     def run_commit_triggers(self, tx: Transaction, delta: GraphDelta) -> GraphDelta:
         """Process ONCOMMIT triggers for the whole transaction delta."""
@@ -152,8 +174,15 @@ class TriggerEngine:
         times: tuple[ActionTime, ...],
         depth: int,
         parent: Optional[ExecutionContext],
+        shared_summary: Optional[list["_DeltaLabelSummary"]] = None,
     ) -> GraphDelta:
-        """Run all triggers of ``times`` over ``delta``; cascade recursively."""
+        """Run all triggers of ``times`` over ``delta``; cascade recursively.
+
+        ``shared_summary`` is a one-element memo cell letting sibling calls
+        over the *same* delta (the BEFORE and AFTER rounds of one statement)
+        share the label summary; cascades operate on new deltas and pass
+        nothing.
+        """
         if delta.is_empty():
             return GraphDelta()
         if depth > self.max_cascade_depth:
@@ -161,9 +190,20 @@ class TriggerEngine:
             raise TriggerRecursionError(self.max_cascade_depth, chain)
 
         produced_total = GraphDelta()
-        for installed in self.registry.ordered(times, enabled_only=True):
-            produced = self._run_trigger(installed, tx, delta, depth, parent)
-            produced_total = produced_total.merge(produced)
+        triggers = self.registry.ordered(times, enabled_only=True)
+        if triggers:
+            if shared_summary is None:
+                touched = _DeltaLabelSummary(delta)
+            else:
+                if not shared_summary:
+                    shared_summary.append(_DeltaLabelSummary(delta))
+                touched = shared_summary[0]
+            for installed in triggers:
+                if not _may_activate(installed.definition, touched):
+                    continue
+                produced = self._run_trigger(installed, tx, delta, depth, parent)
+                if not produced.is_empty():
+                    produced_total = produced_total.merge(produced)
 
         if not produced_total.is_empty():
             cascade_times = self._cascade_times(times)
@@ -199,37 +239,40 @@ class TriggerEngine:
         activations = compute_activations(trigger, delta)
         if not activations:
             return GraphDelta()
-        context = ExecutionContext(
-            trigger_name=trigger.name,
-            depth=depth,
-            activation_count=len(activations),
-            granularity=trigger.granularity,
-            parent=parent,
-        )
-        produced = GraphDelta()
         activations = [self._refresh_new_side(a) for a in activations]
+        run = _TriggerRun(self, installed, tx, depth, parent, len(activations))
+
+        # Fast suppress path: a FOR EACH trigger whose WHEN body is a plain
+        # predicate (no condition query, no EXISTS, no REFERENCING aliases)
+        # only needs OLD/NEW and the bare expression evaluator to decide
+        # whether it fires; suppressed activations skip the bindings
+        # machinery entirely.  Statement execution and firing accounting go
+        # through the same _TriggerRun.fire as the full path below.
+        if (
+            trigger.condition is not None
+            and trigger.granularity == Granularity.EACH
+            and not trigger.referencing
+        ):
+            compiled = self._compiled_condition(trigger)
+            if not compiled.is_query and not compiled.has_exists:
+                eval_context = EvaluationContext(graph=self.graph, clock=self.clock)
+                parsed = compiled.parsed
+                for activation in activations:
+                    row = {"OLD": activation.old, "NEW": activation.new}
+                    try:
+                        value = evaluate(parsed, row, eval_context)
+                    except CypherError as exc:
+                        raise TriggerExecutionError(trigger.name, "condition", exc) from exc
+                    if value is True:
+                        binding = item_bindings(trigger, activation)
+                        run.fire(binding, [dict(binding.variables)])
+                    else:
+                        run.fire(None, _NO_ROWS)
+                return run.produced
+
         for binding in bindings_for(trigger, activations):
-            condition_rows = self._condition_rows(trigger, binding, tx)
-            executed = bool(condition_rows)
-            if executed:
-                tx.end_statement()  # isolate the trigger's own changes
-                for row in condition_rows:
-                    self._execute_statement(trigger, binding, row, tx, context)
-                produced = produced.merge(tx.end_statement())
-                installed.executions += 1
-            else:
-                installed.suppressed += 1
-            self.firings.append(
-                TriggerFiring(
-                    trigger_name=trigger.name,
-                    depth=depth,
-                    activation_count=len(activations),
-                    condition_rows=len(condition_rows),
-                    executed=executed,
-                    action_time=trigger.time.value,
-                )
-            )
-        return produced
+            run.fire(binding, self._condition_rows(trigger, binding, tx))
+        return run.produced
 
     def _refresh_new_side(self, activation):
         """Re-read the NEW side from the store so earlier triggers' writes are visible.
@@ -240,9 +283,7 @@ class TriggerEngine:
         new = activation.new
         if new is None:
             return activation
-        from ..graph.model import Node as _Node
-
-        if isinstance(new, _Node):
+        if isinstance(new, Node):
             if self.graph.has_node(new.id):
                 refreshed = self.graph.node(new.id)
             else:
@@ -254,9 +295,7 @@ class TriggerEngine:
                 return activation
         if refreshed is new:
             return activation
-        from .events import Activation as _Activation
-
-        return _Activation(
+        return Activation(
             item=activation.item, old=activation.old, new=refreshed, property=activation.property
         )
 
@@ -271,45 +310,53 @@ class TriggerEngine:
         if trigger.condition is None:
             return [{}]
         parsed = self._parse_condition(trigger)
-        executor = self._executor(tx, binding)
-        base = dict(binding.variables)
         try:
             if isinstance(parsed, Query):
-                result = executor.execute(parsed, bindings=base)
+                executor = self._executor(tx, binding)
+                result = executor.execute(parsed, bindings=dict(binding.variables))
                 return [dict(row) for row in result.rows]
-            # Plain expression: evaluate it as a WHERE filter over the bindings.
-            query = Query(clauses=(ReturnClause(items=(), include_wildcard=True),))
-            result = executor.execute(query, bindings=base)
-            survivors = []
-            for row in result.rows:
-                value = executor._evaluate(parsed, {**base, **row})
-                if value is True:
-                    survivors.append(dict(row))
-            return survivors
+            # Plain expression: a WHERE filter over the single bindings row.
+            # (Running it through a wildcard-RETURN query would project the
+            # very same row back, so evaluate it directly, and only build a
+            # full executor if an EXISTS pattern actually needs one.)
+            value = self._evaluate_condition_expression(
+                parsed, binding.variables, tx, binding
+            )
+            return [dict(binding.variables)] if value is True else []
         except TransactionAborted:
             raise
         except CypherError as exc:
             raise TriggerExecutionError(trigger.name, "condition", exc) from exc
 
+    def _evaluate_condition_expression(
+        self,
+        parsed: Expression,
+        row: dict[str, Any],
+        tx: Transaction,
+        binding: TriggerBindings,
+    ) -> Any:
+        executor: list[QueryExecutor] = []  # built lazily, shared across EXISTS evaluations
+
+        def match_exists(exists: ExistsPattern, exists_row: dict[str, Any]) -> bool:
+            if not executor:
+                executor.append(self._executor(tx, binding))
+            return executor[0]._exists_matcher(exists, exists_row)
+
+        context = EvaluationContext(
+            graph=self.graph,
+            clock=self.clock,
+            pattern_matcher=match_exists,
+        )
+        return evaluate(parsed, row, context)
+
     def _parse_condition(self, trigger: TriggerDefinition):
-        cached = self._condition_cache.get(trigger.name)
-        if cached is not None:
-            return cached
-        text = trigger.condition or ""
+        return self._compiled_condition(trigger).parsed
+
+    def _compiled_condition(self, trigger: TriggerDefinition):
         try:
-            parsed: Any = parse_expression(text)
-        except CypherSyntaxError:
-            try:
-                query = parse_query(text)
-            except CypherError as exc:
-                raise TriggerExecutionError(trigger.name, "condition", exc) from exc
-            if not any(isinstance(clause, ReturnClause) for clause in query.clauses):
-                query = Query(
-                    clauses=query.clauses + (ReturnClause(items=(), include_wildcard=True),)
-                )
-            parsed = query
-        self._condition_cache[trigger.name] = parsed
-        return parsed
+            return PLAN_CACHE.condition_compiled(trigger.condition or "")
+        except CypherError as exc:
+            raise TriggerExecutionError(trigger.name, "condition", exc) from exc
 
     # ------------------------------------------------------------------
     # statement handling
@@ -323,17 +370,12 @@ class TriggerEngine:
         tx: Transaction,
         context: ExecutionContext,
     ) -> None:
-        parsed = self._statement_cache.get(trigger.name)
-        if parsed is None:
-            try:
-                parsed = parse_query(trigger.statement)
-            except CypherError as exc:
-                raise TriggerExecutionError(trigger.name, "statement", exc) from exc
-            self._statement_cache[trigger.name] = parsed
         executor = self._executor(tx, binding)
         bindings = {**binding.variables, **condition_row}
         try:
-            executor.execute(parsed, bindings=bindings)
+            # Passing the text routes the statement through the global
+            # parse+plan cache (shared with every other execution layer).
+            executor.execute(trigger.statement, bindings=bindings)
         except TransactionAborted:
             raise
         except CypherError as exc:
@@ -369,3 +411,168 @@ class TriggerEngine:
                 entry["suppressed"] += 1
             entry["max_depth"] = max(entry["max_depth"], firing.depth)
         return summary
+
+
+# ---------------------------------------------------------------------------
+# per-trigger execution bookkeeping
+# ---------------------------------------------------------------------------
+
+#: Shared empty condition-row list for suppressed fast-path firings.
+_NO_ROWS: list[dict[str, Any]] = []
+
+
+class _TriggerRun:
+    """Bookkeeping for one trigger's firings over one delta.
+
+    Both condition-evaluation paths (the fast predicate path and the full
+    executor path) funnel statement execution, the executed/suppressed
+    counters and the :class:`TriggerFiring` audit records through
+    :meth:`fire`, so their semantics cannot diverge.
+    """
+
+    __slots__ = (
+        "engine", "installed", "trigger", "tx", "depth", "parent",
+        "activation_count", "context", "produced",
+    )
+
+    def __init__(
+        self,
+        engine: "TriggerEngine",
+        installed: InstalledTrigger,
+        tx: Transaction,
+        depth: int,
+        parent: Optional[ExecutionContext],
+        activation_count: int,
+    ) -> None:
+        self.engine = engine
+        self.installed = installed
+        self.trigger = installed.definition
+        self.tx = tx
+        self.depth = depth
+        self.parent = parent
+        self.activation_count = activation_count
+        # The context frame is only needed when a condition actually passes;
+        # most firings on the hot path are suppressed, so build it lazily.
+        self.context: Optional[ExecutionContext] = None
+        self.produced = GraphDelta()
+
+    def fire(
+        self,
+        binding: Optional[TriggerBindings],
+        condition_rows: list[dict[str, Any]],
+    ) -> None:
+        """Run the action for each surviving row and record one firing."""
+        executed = bool(condition_rows)
+        if executed:
+            if self.context is None:
+                self.context = ExecutionContext(
+                    trigger_name=self.trigger.name,
+                    depth=self.depth,
+                    activation_count=self.activation_count,
+                    granularity=self.trigger.granularity,
+                    parent=self.parent,
+                )
+            self.tx.end_statement()  # isolate the trigger's own changes
+            for row in condition_rows:
+                self.engine._execute_statement(
+                    self.trigger, binding, row, self.tx, self.context
+                )
+            self.produced = self.produced.merge(self.tx.end_statement())
+            self.installed.executions += 1
+        else:
+            self.installed.suppressed += 1
+        self.engine.firings.append(
+            TriggerFiring(
+                trigger_name=self.trigger.name,
+                depth=self.depth,
+                activation_count=self.activation_count,
+                condition_rows=len(condition_rows),
+                executed=executed,
+                action_time=self.trigger.time.value,
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# cheap trigger/delta prefiltering
+# ---------------------------------------------------------------------------
+
+
+class _DeltaLabelSummary:
+    """Label/type footprint of a delta, built once per processing round.
+
+    :func:`_may_activate` checks a trigger's monitored label against these
+    sets before the per-trigger activation computation runs; with many
+    installed triggers targeting disjoint labels this avoids walking the
+    delta once per trigger.  The check over-approximates
+    :func:`~repro.triggers.events.compute_activations` (it may say yes when
+    there are no activations, never the reverse).
+    """
+
+    __slots__ = (
+        "created_node_labels", "deleted_node_labels",
+        "assigned_label_node_labels", "removed_label_node_labels",
+        "node_prop_set_labels", "node_prop_removed_labels",
+        "created_rel_types", "deleted_rel_types",
+        "rel_prop_set_types", "rel_prop_removed_types",
+    )
+
+    def __init__(self, delta: GraphDelta) -> None:
+        self.created_node_labels: set[str] = set()
+        for node in delta.created_nodes:
+            self.created_node_labels.update(node.labels)
+        self.deleted_node_labels: set[str] = set()
+        for node in delta.deleted_nodes:
+            self.deleted_node_labels.update(node.labels)
+        self.assigned_label_node_labels: set[str] = set()
+        for assignment in delta.assigned_labels:
+            self.assigned_label_node_labels.update(assignment.node.labels)
+        self.removed_label_node_labels: set[str] = set()
+        for removal in delta.removed_labels:
+            self.removed_label_node_labels.update(removal.node.labels)
+        self.node_prop_set_labels: set[str] = set()
+        self.rel_prop_set_types: set[str] = set()
+        for change in delta.assigned_properties:
+            if change.is_node:
+                self.node_prop_set_labels.update(change.item.labels)
+            else:
+                self.rel_prop_set_types.add(change.item.type)
+        self.node_prop_removed_labels: set[str] = set()
+        self.rel_prop_removed_types: set[str] = set()
+        for change in delta.removed_properties:
+            if change.is_node:
+                self.node_prop_removed_labels.update(change.item.labels)
+            else:
+                self.rel_prop_removed_types.add(change.item.type)
+        self.created_rel_types = {rel.type for rel in delta.created_relationships}
+        self.deleted_rel_types = {rel.type for rel in delta.deleted_relationships}
+
+
+def _may_activate(trigger: TriggerDefinition, touched: _DeltaLabelSummary) -> bool:
+    """Can ``trigger`` possibly have activations in the summarised delta?"""
+    label = trigger.label
+    if trigger.item == ItemKind.NODE:
+        if trigger.event == EventType.CREATE:
+            return label in touched.created_node_labels
+        if trigger.event == EventType.DELETE:
+            return label in touched.deleted_node_labels
+        if trigger.event == EventType.SET:
+            if trigger.property is None:
+                return (
+                    label in touched.assigned_label_node_labels
+                    or label in touched.node_prop_set_labels
+                )
+            return label in touched.node_prop_set_labels
+        if trigger.property is None:
+            return (
+                label in touched.removed_label_node_labels
+                or label in touched.node_prop_removed_labels
+            )
+        return label in touched.node_prop_removed_labels
+    if trigger.event == EventType.CREATE:
+        return label in touched.created_rel_types
+    if trigger.event == EventType.DELETE:
+        return label in touched.deleted_rel_types
+    if trigger.event == EventType.SET:
+        return label in touched.rel_prop_set_types
+    return label in touched.rel_prop_removed_types

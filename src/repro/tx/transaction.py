@@ -101,8 +101,9 @@ class Transaction:
         empty statement delta is started.
         """
         finished = self._statement_delta
-        self._transaction_delta = self._transaction_delta.merge(finished)
         self._statement_delta = GraphDelta()
+        if not finished.is_empty():
+            self._transaction_delta = self._transaction_delta.merge(finished)
         return finished
 
     def write_count(self) -> int:

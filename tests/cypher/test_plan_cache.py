@@ -1,0 +1,127 @@
+"""Plan-cache behaviour: hits, index-epoch invalidation, virtual-label keys,
+LRU bounds, and isolation of virtual-label state between executors."""
+
+from repro.cypher import QueryExecutor, execute
+from repro.cypher.planner import PLAN_CACHE, PlanCache
+from repro.graph.store import PropertyGraph
+
+
+def make_graph(count: int = 5) -> PropertyGraph:
+    graph = PropertyGraph()
+    for index in range(count):
+        graph.create_node(["Item"], {"sku": index})
+    return graph
+
+
+QUERY = "MATCH (i:Item {sku: 3}) RETURN i.sku AS sku"
+
+
+class TestCacheHits:
+    def test_repeated_text_hits_plan_cache(self):
+        cache = PlanCache()
+        graph = make_graph()
+        query1, plan1 = cache.get(QUERY, graph)
+        query2, plan2 = cache.get(QUERY, graph)
+        assert query1 is query2
+        assert plan1 is plan2
+        assert cache.stats.plan_hits == 1
+        assert cache.stats.plan_misses == 1
+        assert cache.stats.parse_misses == 1
+
+    def test_parse_shared_across_graphs(self):
+        cache = PlanCache()
+        graph_a, graph_b = make_graph(), make_graph()
+        query_a, plan_a = cache.get(QUERY, graph_a)
+        query_b, plan_b = cache.get(QUERY, graph_b)
+        assert query_a is query_b  # one parse
+        assert plan_a is not plan_b  # but per-graph plans
+        assert cache.stats.parse_misses == 1
+        assert cache.stats.plan_misses == 2
+
+    def test_lru_bound_is_enforced(self):
+        cache = PlanCache(max_entries=4)
+        graph = make_graph()
+        for index in range(10):
+            cache.get(f"MATCH (i:Item {{sku: {index}}}) RETURN i", graph)
+        assert cache.plan_entry_count() <= 4
+
+
+class TestIndexEpochInvalidation:
+    def test_creating_index_evicts_stale_plan(self):
+        cache = PlanCache()
+        graph = make_graph()
+        _, scan_plan = cache.get(QUERY, graph)
+        assert "LabelScan" in scan_plan.plan_description()
+        graph.create_property_index("Item", "sku")
+        _, index_plan = cache.get(QUERY, graph)
+        assert "IndexLookup(Item.sku = 3)" in index_plan.plan_description()
+        assert cache.stats.plan_invalidations == 1
+
+    def test_dropping_index_evicts_stale_plan(self):
+        cache = PlanCache()
+        graph = make_graph()
+        graph.create_property_index("Item", "sku")
+        _, index_plan = cache.get(QUERY, graph)
+        assert index_plan.uses_index()
+        graph.drop_property_index("Item", "sku")
+        _, scan_plan = cache.get(QUERY, graph)
+        assert not scan_plan.uses_index()
+        # and execution through the global cache stays correct end to end
+        assert execute(graph, QUERY).rows == [{"sku": 3}]
+
+    def test_global_cache_execution_tracks_index_ddl(self):
+        graph = make_graph()
+        executor = QueryExecutor(graph)
+        assert "LabelScan" in executor.plan_description(QUERY)
+        graph.create_property_index("Item", "sku")
+        assert "IndexLookup" in executor.plan_description(QUERY)
+        assert executor.execute(QUERY).rows == [{"sku": 3}]
+        graph.drop_property_index("Item", "sku")
+        assert "LabelScan" in executor.plan_description(QUERY)
+        assert executor.execute(QUERY).rows == [{"sku": 3}]
+
+
+class TestVirtualLabelKeys:
+    def test_virtual_label_names_key_the_cache(self):
+        cache = PlanCache()
+        graph = make_graph()
+        _, without = cache.get("MATCH (n:NEWNODES) RETURN n", graph)
+        _, with_virtual = cache.get(
+            "MATCH (n:NEWNODES) RETURN n", graph, frozenset({"NEWNODES"})
+        )
+        assert without is not with_virtual
+        assert with_virtual.pattern_plans()[0].start.kind == "virtual"
+        assert without.pattern_plans()[0].start.kind != "virtual"
+
+    def test_cached_plans_do_not_leak_virtual_label_ids_between_executors(self):
+        graph = make_graph()
+        first = QueryExecutor(graph, virtual_labels={"NEWNODES": {0}})
+        second = QueryExecutor(graph, virtual_labels={"NEWNODES": {3, 4}})
+        text = "MATCH (n:NEWNODES) RETURN n.sku AS sku"
+        assert [r["sku"] for r in first.execute(text).rows] == [0]
+        # same query text and virtual-label *name*: the plan is shared, the
+        # id sets are each executor's own
+        assert sorted(r["sku"] for r in second.execute(text).rows) == [3, 4]
+        # an executor without the virtual label sees no such nodes at all
+        assert QueryExecutor(graph).execute(text).rows == []
+
+    def test_registering_virtual_label_replans(self):
+        graph = make_graph()
+        graph.create_property_index("Item", "sku")
+        plain = QueryExecutor(graph)
+        assert "IndexLookup" in plain.plan_description(QUERY)
+        # a virtual label shadowing the pattern label must win over the index
+        shadowed = QueryExecutor(graph, virtual_labels={"Item": {1}})
+        assert "VirtualLabelScan(Item)" in shadowed.plan_description(QUERY)
+        assert [r["sku"] for r in shadowed.execute(QUERY).rows] == []
+
+
+class TestGlobalCacheMaintenance:
+    def test_clear_resets_entries_and_stats(self):
+        graph = make_graph()
+        execute(graph, QUERY)
+        PLAN_CACHE.clear()
+        assert PLAN_CACHE.plan_entry_count() == 0
+        assert PLAN_CACHE.stats.plan_hits == 0
+        # still fully functional after a clear
+        assert execute(graph, QUERY).rows == [{"sku": 3}]

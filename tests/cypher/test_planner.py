@@ -1,0 +1,273 @@
+"""Planner tests: access-path choice, EXPLAIN output, and — most importantly —
+result equivalence with and without property indexes.
+
+The index access path is advisory: it narrows the starting candidate set but
+every candidate is still re-verified, so for any query the result must be
+identical whether or not an index exists.  The corpus below covers inline
+property maps, sargable WHERE conjuncts, parameters, null/missing-property
+edge cases, OPTIONAL MATCH and pattern reversal.
+"""
+
+import pytest
+
+from repro.cypher import QueryExecutor, execute, explain, plan_query, parse_query
+from repro.cypher.planner import INDEX, LABEL, SCAN, VIRTUAL
+from repro.graph.model import Node, Relationship
+from repro.graph.store import PropertyGraph
+
+
+def build_graph() -> PropertyGraph:
+    graph = PropertyGraph()
+    people = [
+        ("alice", 30, "al"),
+        ("bob", 40, None),
+        ("carol", 30, "caz"),
+        ("dave", 25, "d"),
+        ("erin", 40, None),
+    ]
+    nodes = {}
+    for name, age, nickname in people:
+        properties = {"name": name, "age": age}
+        if nickname is not None:
+            properties["nickname"] = nickname
+        nodes[name] = graph.create_node(["Person"], properties)
+    graph.create_node(["City"], {"name": "milan"})
+    graph.create_relationship("KNOWS", nodes["alice"].id, nodes["bob"].id, {"since": 30})
+    graph.create_relationship("KNOWS", nodes["bob"].id, nodes["carol"].id)
+    graph.create_relationship("KNOWS", nodes["dave"].id, nodes["carol"].id)
+    graph.create_relationship("KNOWS", nodes["erin"].id, nodes["alice"].id)
+    return graph
+
+
+INDEX_PAIRS = [("Person", "name"), ("Person", "age"), ("Person", "nickname")]
+
+#: (query, parameters) pairs whose results must not depend on indexing.
+EQUIVALENCE_CORPUS = [
+    ("MATCH (p:Person {name: 'alice'}) RETURN p.age AS age", None),
+    ("MATCH (p:Person {name: 'nobody'}) RETURN p.age AS age", None),
+    ("MATCH (p:Person) WHERE p.name = 'bob' RETURN p.age AS age", None),
+    ("MATCH (p:Person) WHERE p.name = $name RETURN p.age AS age", {"name": "carol"}),
+    ("MATCH (p:Person) WHERE p.age = 30 RETURN p.name AS name", None),
+    ("MATCH (p:Person) WHERE p.age = 30 AND p.name = 'carol' RETURN p.name AS name", None),
+    ("MATCH (p:Person {name: 'alice'})-[:KNOWS]->(q:Person) RETURN q.name AS name", None),
+    ("MATCH (a:Person)-[:KNOWS]->(b:Person {name: 'carol'}) RETURN a.name AS name", None),
+    ("MATCH (a)-[:KNOWS]->(b:Person {age: 30}) RETURN a.name AS name, b.name AS other", None),
+    # Inline null map entries match *missing* properties; the planner must
+    # not turn them into (empty) index lookups.
+    ("MATCH (p:Person {nickname: null}) RETURN p.name AS name", None),
+    # WHERE-level null equality filters every row under three-valued logic.
+    ("MATCH (p:Person) WHERE p.nickname = null RETURN p.name AS name", None),
+    ("MATCH (p:Person) WHERE p.nickname = $nick RETURN p.name AS name", {"nick": None}),
+    ("MATCH (p:Person) WHERE p.nickname = 'al' RETURN p.name AS name", None),
+    ("OPTIONAL MATCH (p:Person {name: 'zed'}) RETURN p", None),
+    ("MATCH (p:Person) WHERE p.name = 'alice' OR p.name = 'bob' RETURN p.name AS name", None),
+    ("MATCH (p:Person {age: 40}) RETURN count(*) AS n", None),
+    ("MERGE (p:Person {name: 'alice'}) RETURN p.age AS age", None),
+    # Relationship property maps referencing a pattern variable: the planner
+    # must not reverse the traversal (the forward order binds `a` first).
+    (
+        "MATCH (a:Person)-[r:KNOWS {since: a.age}]->(b:Person {name: 'bob'}) "
+        "RETURN a.name AS name",
+        None,
+    ),
+    (
+        "MATCH (a:Person)-[r:KNOWS {since: 30}]->(b:Person {name: 'bob'}) "
+        "RETURN a.name AS name",
+        None,
+    ),
+]
+
+
+def canonical(value):
+    if isinstance(value, Node):
+        return ("node", value.id, tuple(sorted(value.labels)), tuple(sorted(value.properties.items())))
+    if isinstance(value, Relationship):
+        return ("rel", value.id)
+    if isinstance(value, list):
+        return tuple(canonical(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, canonical(v)) for k, v in value.items()))
+    return value
+
+
+def run_rows(graph, query, parameters):
+    result = execute(graph, query, parameters=parameters)
+    return sorted(
+        (tuple(sorted((k, canonical(v)) for k, v in row.items())) for row in result.rows),
+        key=repr,
+    )
+
+
+class TestIndexEquivalence:
+    @pytest.mark.parametrize("query,parameters", EQUIVALENCE_CORPUS)
+    def test_results_identical_with_and_without_indexes(self, query, parameters):
+        plain = build_graph()
+        indexed = build_graph()
+        for label, prop in INDEX_PAIRS:
+            indexed.create_property_index(label, prop)
+        assert run_rows(plain, query, parameters) == run_rows(indexed, query, parameters)
+
+    def test_index_dropped_mid_session_falls_back_to_scan(self):
+        graph = build_graph()
+        graph.create_property_index("Person", "name")
+        query = "MATCH (p:Person {name: 'alice'}) RETURN p.age AS age"
+        assert execute(graph, query).rows == [{"age": 30}]
+        graph.drop_property_index("Person", "name")
+        assert execute(graph, query).rows == [{"age": 30}]
+
+    def test_missing_parameter_behaviour_independent_of_index(self):
+        # With zero candidates, the unindexed path never evaluates WHERE, so
+        # a missing $parameter yields empty rows; an index must not change
+        # that to an eager CypherRuntimeError.
+        graph = PropertyGraph()
+        query = "MATCH (p:Ghost) WHERE p.k = $v RETURN p"
+        assert execute(graph, query).rows == []
+        graph.create_property_index("Ghost", "k")
+        assert execute(graph, query).rows == []
+        # and with candidates present, both paths raise the same error
+        graph.create_node(["Ghost"], {"k": 1})
+        with pytest.raises(Exception, match="missing query parameter"):
+            execute(graph, query)
+
+    def test_unhashable_equality_value_falls_back_to_scan(self):
+        graph = build_graph()
+        graph.create_property_index("Person", "name")
+        query = "MATCH (p:Person) WHERE p.name = $v RETURN p.name AS name"
+        # a dict parameter cannot probe the index; result must match the
+        # unindexed semantics (no rows) instead of raising TypeError
+        assert execute(graph, query, parameters={"v": {"a": 1}}).rows == []
+        assert execute(graph, query, parameters={"v": "alice"}).rows == [{"name": "alice"}]
+
+    def test_updates_visible_through_index_path(self):
+        graph = build_graph()
+        graph.create_property_index("Person", "name")
+        execute(graph, "MATCH (p:Person {name: 'alice'}) SET p.name = 'alicia'")
+        assert execute(graph, "MATCH (p:Person {name: 'alice'}) RETURN p").rows == []
+        rows = execute(graph, "MATCH (p:Person {name: 'alicia'}) RETURN p.age AS age").rows
+        assert rows == [{"age": 30}]
+
+
+class TestAccessPathChoice:
+    def test_inline_map_uses_property_index(self):
+        graph = build_graph()
+        graph.create_property_index("Person", "name")
+        plan = plan_query(parse_query("MATCH (p:Person {name: 'alice'}) RETURN p"), graph)
+        [pattern_plan] = plan.pattern_plans()
+        assert pattern_plan.start.kind == INDEX
+        assert pattern_plan.start.label == "Person"
+        assert pattern_plan.start.property == "name"
+        assert plan.uses_index()
+
+    def test_sargable_where_uses_property_index(self):
+        graph = build_graph()
+        graph.create_property_index("Person", "name")
+        plan = plan_query(
+            parse_query("MATCH (p:Person) WHERE p.name = $name RETURN p"), graph
+        )
+        assert plan.pattern_plans()[0].start.kind == INDEX
+
+    def test_non_sargable_predicates_do_not_use_index(self):
+        graph = build_graph()
+        graph.create_property_index("Person", "age")
+        for where in ("p.age > 30", "p.age = q.age", "p.age = 30 OR p.name = 'x'"):
+            plan = plan_query(
+                parse_query(f"MATCH (p:Person), (q:Person) WHERE {where} RETURN p"), graph
+            )
+            assert plan.pattern_plans()[0].start.kind == LABEL, where
+
+    def test_unindexed_label_scans_and_bare_pattern_full_scans(self):
+        graph = build_graph()
+        plan = plan_query(parse_query("MATCH (p:Person {name: 'alice'}) RETURN p"), graph)
+        assert plan.pattern_plans()[0].start.kind == LABEL
+        plan = plan_query(parse_query("MATCH (x) RETURN x"), graph)
+        assert plan.pattern_plans()[0].start.kind == SCAN
+        assert not plan.uses_index()
+
+    def test_virtual_label_takes_priority_over_index(self):
+        graph = build_graph()
+        graph.create_property_index("Person", "name")
+        plan = plan_query(
+            parse_query("MATCH (p:NEWNODES {name: 'alice'}) RETURN p"),
+            graph,
+            virtual_labels={"NEWNODES"},
+        )
+        assert plan.pattern_plans()[0].start.kind == VIRTUAL
+
+    def test_pattern_reversal_starts_from_indexed_end(self):
+        graph = build_graph()
+        graph.create_property_index("Person", "name")
+        plan = plan_query(
+            parse_query("MATCH (a)-[:KNOWS]->(b:Person {name: 'carol'}) RETURN a"), graph
+        )
+        [pattern_plan] = plan.pattern_plans()
+        assert pattern_plan.reversed
+        assert pattern_plan.start.kind == INDEX
+        # reversal flips the relationship direction so semantics are intact
+        rows = execute(
+            graph, "MATCH (a)-[:KNOWS]->(b:Person {name: 'carol'}) RETURN a.name AS name"
+        ).rows
+        assert sorted(row["name"] for row in rows) == ["bob", "dave"]
+
+    def test_dynamic_property_maps_block_reversal(self):
+        graph = build_graph()
+        graph.create_property_index("Person", "name")
+        plan = plan_query(
+            parse_query(
+                "MATCH (a:Person)-[r:KNOWS {since: a.age}]->(b:Person {name: 'bob'}) RETURN a"
+            ),
+            graph,
+        )
+        assert not plan.pattern_plans()[0].reversed
+        rows = execute(
+            graph,
+            "MATCH (a:Person)-[r:KNOWS {since: a.age}]->(b:Person {name: 'bob'}) "
+            "RETURN a.name AS name",
+        ).rows
+        assert [row["name"] for row in rows] == ["alice"]
+
+    def test_named_paths_are_never_reversed(self):
+        graph = build_graph()
+        graph.create_property_index("Person", "name")
+        plan = plan_query(
+            parse_query("MATCH p = (a)-[:KNOWS]->(b:Person {name: 'carol'}) RETURN p"), graph
+        )
+        assert not plan.pattern_plans()[0].reversed
+
+    def test_variable_length_patterns_are_never_reversed(self):
+        # A var-length relationship variable binds the hop *list* in
+        # traversal order; reversal would flip it and change results.
+        graph = PropertyGraph()
+        a = graph.create_node(["A"], {})
+        m = graph.create_node([], {})
+        b = graph.create_node(["B"], {"k": 1})
+        for _ in range(20):
+            graph.create_node(["A"], {})
+        first = graph.create_relationship("R", a.id, m.id)
+        second = graph.create_relationship("R", m.id, b.id)
+        graph.create_property_index("B", "k")
+        query = "MATCH (x:A)-[r:R*2..2]->(y:B) WHERE y.k = 1 RETURN r"
+        plan = plan_query(parse_query(query), graph)
+        assert not plan.pattern_plans()[0].reversed
+        [row] = execute(graph, query).rows
+        assert [rel.id for rel in row["r"]] == [first.id, second.id]
+
+
+class TestExplain:
+    def test_plan_description_shows_index_lookup(self):
+        graph = build_graph()
+        graph.create_property_index("Person", "name")
+        description = explain("MATCH (p:Person {name: 'alice'}) RETURN p", graph)
+        assert "IndexLookup(Person.name = 'alice')" in description
+
+    def test_executor_plan_description_matches_execution(self):
+        graph = build_graph()
+        graph.create_property_index("Person", "age")
+        executor = QueryExecutor(graph)
+        description = executor.plan_description(
+            "MATCH (p:Person) WHERE p.age = $age RETURN p"
+        )
+        assert "IndexLookup(Person.age = $age)" in description
+
+    def test_plan_description_without_match_patterns(self):
+        graph = build_graph()
+        assert "no MATCH patterns" in explain("RETURN 1 AS one", graph)

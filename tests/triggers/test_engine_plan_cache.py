@@ -1,0 +1,200 @@
+"""Trigger-engine hot-path regressions after moving to the shared plan cache.
+
+The engine used to keep two ad-hoc per-trigger dicts; conditions and action
+statements now compile through ``repro.cypher.planner.PLAN_CACHE``, shared
+with every other execution layer.  These tests pin down the properties that
+move relied on: one parse per distinct text regardless of firing count,
+cache hits on repeated fires, sharing across engines, and identical firing
+accounting on the fast suppress path.
+"""
+
+import datetime as dt
+import itertools
+
+from repro.cypher.planner import PLAN_CACHE
+from repro.graph.store import PropertyGraph
+from repro.triggers.ast import ActionTime, EventType, ItemKind, TriggerDefinition
+from repro.triggers.engine import _DeltaLabelSummary, _may_activate
+from repro.triggers.events import compute_activations
+from repro.triggers.session import GraphSession
+from repro.tx.transaction import Transaction
+
+CLOCK = lambda: dt.datetime(2021, 3, 14, 12, 0, 0)  # noqa: E731
+
+
+def make_session() -> GraphSession:
+    return GraphSession(clock=CLOCK)
+
+
+class TestConditionCompilation:
+    def test_condition_parsed_once_over_many_fires(self):
+        PLAN_CACHE.clear()
+        session = make_session()
+        session.create_trigger(
+            "CREATE TRIGGER Watch AFTER CREATE ON 'Entity' FOR EACH NODE "
+            "WHEN NEW.value > 100 BEGIN CREATE (:Alert) END"
+        )
+        for index in range(20):
+            session.run("CREATE (:Entity {value: $v})", {"v": index})
+        assert PLAN_CACHE.stats.condition_misses == 1
+        assert PLAN_CACHE.stats.condition_hits >= 19
+
+    def test_statement_compiles_through_global_plan_cache(self):
+        PLAN_CACHE.clear()
+        session = make_session()
+        session.create_trigger(
+            "CREATE TRIGGER Audit AFTER CREATE ON 'Entity' FOR EACH NODE "
+            "BEGIN CREATE (:AuditEntry {source: NEW.value}) END"
+        )
+        before = PLAN_CACHE.stats.snapshot()
+        for index in range(10):
+            session.run("CREATE (:Entity {value: $v})", {"v": index})
+        after = PLAN_CACHE.stats.snapshot()
+        assert session.graph.count_nodes_with_label("AuditEntry") == 10
+        # the workload uses two distinct texts (the CREATE statement and the
+        # trigger action); everything beyond the first compilation is a hit
+        assert after["parse_misses"] - before["parse_misses"] <= 2
+        assert after["plan_hits"] - before["plan_hits"] >= 18
+
+    def test_condition_cache_shared_between_engines(self):
+        PLAN_CACHE.clear()
+        trigger = (
+            "CREATE TRIGGER Shared AFTER CREATE ON 'Entity' FOR EACH NODE "
+            "WHEN NEW.value > 7 BEGIN CREATE (:Alert) END"
+        )
+        first, second = make_session(), make_session()
+        first.create_trigger(trigger)
+        second.create_trigger(trigger)
+        first.run("CREATE (:Entity {value: 1})")
+        misses_after_first = PLAN_CACHE.stats.condition_misses
+        second.run("CREATE (:Entity {value: 1})")
+        # the second engine reuses the first engine's compiled condition
+        assert PLAN_CACHE.stats.condition_misses == misses_after_first == 1
+
+
+class TestFastSuppressPath:
+    def test_suppressed_and_executed_counters_match_semantics(self):
+        session = make_session()
+        session.create_trigger(
+            "CREATE TRIGGER Gate AFTER CREATE ON 'Entity' FOR EACH NODE "
+            "WHEN NEW.value > 10 BEGIN CREATE (:Alert {value: NEW.value}) END"
+        )
+        for value in (5, 15, 3, 20, 11):
+            session.run("CREATE (:Entity {value: $v})", {"v": value})
+        summary = session.engine.firing_summary()["Gate"]
+        assert summary["executed"] == 3
+        assert summary["suppressed"] == 2
+        assert sorted(a["value"] for a in session.alerts()) == [11, 15, 20]
+        installed = session.registry.get("Gate")
+        assert installed.executions == 3
+        assert installed.suppressed == 2
+
+    def test_fast_path_audit_log_matches_slow_path_shape(self):
+        session = make_session()
+        session.create_trigger(
+            "CREATE TRIGGER Gate AFTER CREATE ON 'Entity' FOR EACH NODE "
+            "WHEN NEW.value > 10 BEGIN CREATE (:Alert) END"
+        )
+        session.run("CREATE (:Entity {value: 99})")
+        session.run("CREATE (:Entity {value: 1})")
+        fired, suppressed = session.engine.firings
+        assert fired.executed and fired.condition_rows == 1
+        assert not suppressed.executed and suppressed.condition_rows == 0
+        assert fired.trigger_name == suppressed.trigger_name == "Gate"
+        assert fired.action_time == suppressed.action_time == "AFTER"
+
+    def test_exists_conditions_still_take_the_executor_path(self):
+        session = make_session()
+        session.run("CREATE (:CriticalEffect {name: 'severe'})")
+        session.create_trigger(
+            "CREATE TRIGGER Critical AFTER CREATE ON 'Mutation' FOR EACH NODE "
+            "WHEN EXISTS (NEW)-[:Causes]->(:CriticalEffect) "
+            "BEGIN CREATE (:Alert {kind: 'critical'}) END"
+        )
+        session.run(
+            "MATCH (e:CriticalEffect) CREATE (m:Mutation {name: 'x'})-[:Causes]->(e)"
+        )
+        session.run("CREATE (:Mutation {name: 'benign'})")
+        assert len(session.alerts()) == 1
+
+    def test_referencing_aliases_use_the_general_path(self):
+        session = make_session()
+        session.create_trigger(
+            "CREATE TRIGGER Aliased AFTER CREATE ON 'Entity' REFERENCING NEW AS fresh "
+            "FOR EACH NODE "
+            "WHEN fresh.value > 10 BEGIN CREATE (:Alert {value: fresh.value}) END"
+        )
+        session.run("CREATE (:Entity {value: 42})")
+        session.run("CREATE (:Entity {value: 2})")
+        assert [a["value"] for a in session.alerts()] == [42]
+
+    def test_condition_query_triggers_unaffected(self):
+        session = make_session()
+        session.create_trigger(
+            "CREATE TRIGGER Counted AFTER CREATE ON 'Entity' FOR EACH NODE "
+            "WHEN MATCH (e:Entity) WITH count(e) AS total WHERE total >= 3 "
+            "BEGIN CREATE (:Alert {total: total}) END"
+        )
+        for _ in range(4):
+            session.run("CREATE (:Entity)")
+        totals = sorted(a["total"] for a in session.alerts())
+        assert totals == [3, 4]
+
+
+class TestPrefilterConsistency:
+    """_may_activate must over-approximate compute_activations.
+
+    The engine skips a trigger entirely when the prefilter says no, so a
+    divergence from the events-module targeting rules fails in the silent
+    direction (triggers never fire).  This exercises every change kind in
+    one delta against a full matrix of trigger shapes and asserts the
+    implication: activations present => prefilter says maybe.
+    """
+
+    def build_delta(self):
+        graph = PropertyGraph()
+        tx = Transaction(graph)
+        lineage = tx.create_node(["Lineage"], {"name": "B.1.1.7", "who": "Alpha"})
+        seq = tx.create_node(["Sequence"], {"acc": "A1"})
+        doomed = tx.create_node(["Sequence"], {"acc": "A2"})
+        rel = tx.create_relationship("BelongsTo", seq.id, lineage.id, {"since": 2020})
+        doomed_rel = tx.create_relationship("BelongsTo", doomed.id, lineage.id)
+        tx.set_node_property(lineage.id, "who", "Delta")
+        tx.add_label(lineage.id, "VariantOfConcern")
+        tx.remove_label(lineage.id, "VariantOfConcern")
+        tx.set_relationship_property(rel.id, "since", 2021)
+        tx.remove_relationship_property(rel.id, "since")
+        tx.remove_node_property(lineage.id, "who")
+        tx.delete_relationship(doomed_rel.id)
+        tx.delete_node(doomed.id)
+        return tx.statement_delta
+
+    def test_prefilter_over_approximates_activations(self):
+        delta = self.build_delta()
+        summary = _DeltaLabelSummary(delta)
+        labels = ["Lineage", "Sequence", "VariantOfConcern", "BelongsTo", "Absent"]
+        properties = [None, "who", "since", "acc", "other"]
+        checked = 0
+        for event, item, label, prop in itertools.product(
+            EventType, ItemKind, labels, properties
+        ):
+            if prop is not None and event in (EventType.CREATE, EventType.DELETE):
+                continue  # illegal combination per Section 4.2
+            trigger = TriggerDefinition(
+                name="probe",
+                time=ActionTime.AFTER,
+                event=event,
+                label=label,
+                property=prop,
+                item=item,
+                statement="CREATE (:X)",
+            )
+            activations = compute_activations(trigger, delta)
+            if activations:
+                assert _may_activate(trigger, summary), (
+                    f"prefilter dropped an activating trigger: "
+                    f"{event.value} {item.value} ON {label}"
+                    + (f".{prop}" if prop else "")
+                )
+            checked += 1
+        assert checked > 100  # the matrix actually covered the space

@@ -217,6 +217,49 @@ class TestRegistry:
         names = [t.name for t in registry.ordered(times=(ActionTime.ONCOMMIT,))]
         assert names == ["C"]
 
+    def test_ordered_accepts_one_shot_iterator(self):
+        # `times` is documented as an Iterable; a generator must filter
+        # correctly and must not poison the memoised order cache
+        registry = TriggerRegistry()
+        registry.install(definition(name="A", time=ActionTime.AFTER))
+        from_generator = registry.ordered(
+            times=(t for t in (ActionTime.AFTER,)), enabled_only=True
+        )
+        assert [t.name for t in from_generator] == ["A"]
+        from_tuple = registry.ordered(times=(ActionTime.AFTER,), enabled_only=True)
+        assert [t.name for t in from_tuple] == ["A"]
+
+    def test_ordered_respects_direct_enabled_toggle(self):
+        # InstalledTrigger.enabled is public; toggling it without going
+        # through stop()/start() must be visible immediately
+        registry = TriggerRegistry()
+        registry.install(definition(name="A", time=ActionTime.AFTER))
+        assert len(registry.ordered(times=(ActionTime.AFTER,), enabled_only=True)) == 1
+        registry.get("A").enabled = False
+        assert registry.ordered(times=(ActionTime.AFTER,), enabled_only=True) == []
+        registry.get("A").enabled = True
+        assert len(registry.ordered(times=(ActionTime.AFTER,), enabled_only=True)) == 1
+
+    def test_ordered_results_are_caller_owned_copies(self):
+        registry = TriggerRegistry()
+        registry.install(definition(name="A", time=ActionTime.AFTER))
+        first = registry.ordered(times=(ActionTime.AFTER,))
+        first.clear()
+        assert [t.name for t in registry.ordered(times=(ActionTime.AFTER,))] == ["A"]
+
+    def test_ordered_cache_invalidated_on_changes(self):
+        registry = TriggerRegistry()
+        registry.install(definition(name="A", time=ActionTime.AFTER))
+        assert len(registry.ordered(times=(ActionTime.AFTER,), enabled_only=True)) == 1
+        registry.install(definition(name="B", time=ActionTime.AFTER))
+        assert len(registry.ordered(times=(ActionTime.AFTER,), enabled_only=True)) == 2
+        registry.stop("A")
+        assert [
+            t.name for t in registry.ordered(times=(ActionTime.AFTER,), enabled_only=True)
+        ] == ["B"]
+        registry.drop("B")
+        assert registry.ordered(times=(ActionTime.AFTER,), enabled_only=True) == []
+
 
 class TestDefinitionValidation:
     def test_statement_may_not_touch_target_label(self):
