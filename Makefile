@@ -12,15 +12,22 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-## The 3-benchmark smoke subset used by CI: the two trigger hot paths plus
-## the planner/plan-cache experiment.
+## The benchmark smoke subset used by CI: the two trigger hot paths, the
+## planner/plan-cache experiment and the streaming-vs-eager P6 comparison.
+## Timings are dumped to BENCH_smoke.json (uploaded as a CI artifact).
 bench-smoke:
 	$(PYTHON) -m pytest \
 		benchmarks/test_perf_trigger_overhead.py \
 		benchmarks/test_section63_apoc_worked_translations.py \
 		benchmarks/test_perf_plan_cache.py \
-		-q --benchmark-columns=min,mean,rounds
+		benchmarks/test_perf_streaming.py \
+		-q --benchmark-columns=min,mean,rounds \
+		--benchmark-json=BENCH_smoke.json
 
 ## Print the P5 experiment (EXPLAIN output + plan-cache statistics).
 explain-demo:
 	$(PYTHON) -c "from repro.bench import perf_plan_cache; print(perf_plan_cache().to_text())"
+
+## Print the P6 experiment (streaming vs eager MATCH … LIMIT latency).
+streaming-demo:
+	$(PYTHON) -c "from repro.bench import perf_streaming_limit; print(perf_streaming_limit().to_text())"

@@ -1,22 +1,25 @@
 #!/usr/bin/env python3
-"""Quickstart: a property graph, a PG-Trigger, and a few updates.
+"""Quickstart: the GraphDatabase driver API, a PG-Trigger, streaming results.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.triggers import GraphSession
+import repro
 
 
 def main() -> None:
-    session = GraphSession()
+    # 1. Connect.  `repro.connect()` is the one-liner onto the process-wide
+    #    default database; a named catalog works the same way:
+    #        db = repro.GraphDatabase(); session = db.graph("covid")
+    session = repro.connect("covid")
 
-    # 1. Build a tiny graph with plain openCypher.
+    # 2. Build a tiny graph with plain openCypher.
     session.run("CREATE (:Hospital {name: 'Sacco', icuBeds: 2})")
     session.run("CREATE (:Hospital {name: 'Meyer', icuBeds: 5})")
 
-    # 2. Install a PG-Trigger (the Figure 1 syntax): every new ICU patient
+    # 3. Install a PG-Trigger (the Figure 1 syntax): every new ICU patient
     #    at a full hospital raises an alert.
     session.create_trigger("""
         CREATE TRIGGER IcuCapacityWatch
@@ -32,7 +35,7 @@ def main() -> None:
         END
     """)
 
-    # 3. Admit patients; the trigger reacts at each statement boundary.
+    # 4. Admit patients; the trigger reacts at each statement boundary.
     for index in range(4):
         session.run(
             "MATCH (h:Hospital {name: 'Sacco'}) "
@@ -40,10 +43,17 @@ def main() -> None:
             {"ssn": f"P{index}"},
         )
 
-    # 4. Inspect results: alerts created by the trigger, plus a regular query.
+    # 5. Read results.  `run` returns a lazily-consumed Result: iterating
+    #    pulls records straight out of the execution pipeline, so LIMIT /
+    #    single() stop the matching work early.
     print("Alerts:")
     for alert in session.alerts():
         print("  ", alert)
+
+    first = session.run(
+        "MATCH (p:IcuPatient) RETURN p.ssn AS ssn ORDER BY ssn LIMIT 1"
+    ).single("ssn")
+    print("\nFirst ICU patient:", first)
 
     result = session.run(
         "MATCH (p:IcuPatient)-[:TreatedAt]->(h:Hospital) "
@@ -51,6 +61,13 @@ def main() -> None:
     )
     print("\nICU occupancy:")
     print(result.to_table())
+
+    # 6. consume() discards any remaining records and returns the summary:
+    #    write counters, the planner's access-path description, timings.
+    summary = session.run("MATCH (a:Alert) RETURN a LIMIT 1").consume()
+    print("\nSummary of the last query:")
+    print("   plan:", summary.plan)
+    print("   counters:", summary.counters.as_dict())
 
     print("\nTrigger firing log:")
     for line in session.firing_log():

@@ -12,10 +12,45 @@ subpackages are:
 * :mod:`repro.compat` — APOC / Memgraph emulation and translators;
 * :mod:`repro.datasets` — CoV2K-style data and synthetic workloads;
 * :mod:`repro.bench` — experiment harness regenerating the paper artifacts.
+
+The driver-style public API lives at the top level::
+
+    import repro
+
+    session = repro.connect()            # default database, "default" graph
+    session.run("CREATE (:Hospital {name: 'Sacco'})")
+    for record in session.run("MATCH (h:Hospital) RETURN h.name AS name"):
+        print(record["name"])            # records stream lazily
+
+    db = repro.GraphDatabase()           # an explicit catalog of named graphs
+    covid = db.graph("covid")
 """
 
+from .cypher.result import QueryStatistics, Result, ResultSummary
+from .database import (
+    DEFAULT_GRAPH_NAME,
+    GraphDatabase,
+    connect,
+    default_database,
+    reset_default_database,
+)
 from .graph import Node, PropertyGraph, Relationship
+from .triggers.session import GraphSession
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["Node", "PropertyGraph", "Relationship", "__version__"]
+__all__ = [
+    "DEFAULT_GRAPH_NAME",
+    "GraphDatabase",
+    "GraphSession",
+    "Node",
+    "PropertyGraph",
+    "QueryStatistics",
+    "Relationship",
+    "Result",
+    "ResultSummary",
+    "connect",
+    "default_database",
+    "reset_default_database",
+    "__version__",
+]

@@ -21,6 +21,7 @@ Added performance experiments (labelled P1–P4 in DESIGN.md / EXPERIMENTS.md):
 * :func:`perf_granularity_action_time` — FOR EACH vs FOR ALL × action times
 * :func:`perf_compat_routes`     — native engine vs APOC route vs Memgraph route
 * :func:`perf_plan_cache`        — index-aware planning and the global plan cache
+* :func:`perf_streaming_limit`   — streaming vs eager MATCH … LIMIT latency
 """
 
 from __future__ import annotations
@@ -615,6 +616,61 @@ def perf_plan_cache(nodes: int = 2000, queries: int = 200) -> ExperimentResult:
     return result
 
 
+def perf_streaming_limit(
+    nodes: int = 50_000, limit: int = 10, repeats: int = 5
+) -> ExperimentResult:
+    """P6 — ``MATCH … LIMIT k`` latency: streaming pipeline vs eager baseline.
+
+    Builds a synthetic graph of ``nodes`` people (half matching the
+    predicate) and runs the same point query through two executors: the
+    streaming pipeline (pulls rows lazily, so LIMIT stops the scan after a
+    handful of candidates) and the ``eager=True`` baseline that
+    materialises every clause fully — the pre-pipeline behaviour, which
+    scanned all ``nodes`` before slicing off ``limit`` rows.
+    """
+    result = ExperimentResult(
+        "P6", "P6 — streaming vs eager MATCH … LIMIT over a synthetic graph"
+    )
+    graph = PropertyGraph()
+    for index in range(nodes):
+        graph.create_node(["Person"], {"seq": index, "flag": index % 2})
+    query = f"MATCH (p:Person) WHERE p.flag = 1 RETURN p.seq AS seq LIMIT {limit}"
+
+    def best_of(eager: bool) -> tuple[float, list[dict]]:
+        timings = []
+        rows: list[dict] = []
+        for _ in range(repeats):
+            executor = QueryExecutor(graph, eager=eager)
+            started = time.perf_counter()
+            _, records = executor.stream(query)
+            rows = list(records)
+            timings.append(time.perf_counter() - started)
+        return min(timings), rows
+
+    eager_seconds, eager_rows = best_of(eager=True)
+    stream_seconds, stream_rows = best_of(eager=False)
+    assert stream_rows == eager_rows, "streaming and eager rows must agree"
+    speedup = eager_seconds / stream_seconds if stream_seconds else float("inf")
+
+    result.add_row(
+        route="eager (materialise every clause)",
+        nodes=nodes,
+        limit=limit,
+        best_ms=1000 * eager_seconds,
+        rows=len(eager_rows),
+    )
+    result.add_row(
+        route="streaming pipeline",
+        nodes=nodes,
+        limit=limit,
+        best_ms=1000 * stream_seconds,
+        rows=len(stream_rows),
+    )
+    result.note(f"speedup (eager / streaming): {speedup:.1f}x")
+    result.note("both executions returned identical rows")
+    return result
+
+
 #: Registry used by the CLI runner and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "T1": table1_feature_matrix,
@@ -632,4 +688,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "P3": perf_granularity_action_time,
     "P4": perf_compat_routes,
     "P5": perf_plan_cache,
+    "P6": perf_streaming_limit,
 }

@@ -31,7 +31,7 @@ from .errors import (
     CypherTypeError,
     UnsupportedFeatureError,
 )
-from .executor import ProcedureInvocation, QueryExecutor
+from .executor import ProcedureInvocation, QueryExecutor, query_is_read_only
 from .expressions import EvaluationContext, evaluate
 from .parser import parse_expression, parse_query
 from .planner import (
@@ -42,7 +42,7 @@ from .planner import (
     explain,
     plan_query,
 )
-from .result import QueryResult, QueryStatistics
+from .result import QueryResult, QueryStatistics, Result, ResultSummary
 
 __all__ = [
     "AccessPath",
@@ -59,6 +59,8 @@ __all__ = [
     "QueryPlan",
     "QueryResult",
     "QueryStatistics",
+    "Result",
+    "ResultSummary",
     "UnsupportedFeatureError",
     "evaluate",
     "execute",
@@ -67,6 +69,7 @@ __all__ = [
     "parse_expression",
     "parse_query",
     "plan_query",
+    "query_is_read_only",
 ]
 
 

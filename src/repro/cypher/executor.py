@@ -1,9 +1,34 @@
-"""Clause-by-clause executor for the Cypher subset.
+"""Streaming (Volcano-style) executor for the Cypher subset.
 
-The executor processes a query as a pipeline over *binding rows* (plain
-dictionaries mapping variable names to values).  Each clause consumes the
-current row list and produces a new one; RETURN materialises the final
-:class:`~repro.cypher.result.QueryResult`.
+The executor processes a query as a *pull pipeline* over binding rows
+(plain dictionaries mapping variable names to values).  Each clause is a
+row-iterator stage wired to the previous one; nothing is computed until a
+consumer pulls, so ``LIMIT``/``single()`` terminate early and read-only
+queries run in near-constant memory regardless of how wide the
+intermediate row sets would be.
+
+:meth:`QueryExecutor.stream` exposes the pipeline as ``(columns, row
+iterator)``; :meth:`QueryExecutor.execute` drains it into the eager
+:class:`~repro.cypher.result.QueryResult` for callers that want the whole
+answer at once (the trigger engine, the compatibility emulators, tests).
+
+Not every clause can stream.  The following are *pipeline breakers* that
+drain their input (and, for clauses with side effects, compute their
+entire output) at pipeline-construction time, preserving the exact
+semantics of the fully-materialising executor this replaced:
+
+* write clauses (CREATE/MERGE/SET/REMOVE/DELETE/FOREACH) — their effects
+  must be applied even when a downstream LIMIT stops pulling, and later
+  clauses must observe a graph state as if the clause had run to
+  completion;
+* CALL — procedures may have side effects (the APOC emulation's
+  ``apoc.do.when`` runs write subqueries);
+* projections with aggregation, ORDER BY, or ``*`` wildcards — they need
+  the complete input (the wildcard also needs it to discover columns).
+
+Construction with ``eager=True`` materialises every stage clause-by-
+clause, reproducing the pre-pipeline behaviour exactly; the property
+tests and the P6 benchmark use it as the comparison baseline.
 
 Writes go through a :class:`~repro.tx.transaction.Transaction` so that the
 transaction's delta captures every change (which is what the PG-Trigger
@@ -124,6 +149,7 @@ class QueryExecutor:
         procedures: Mapping[str, ProcedureCallable] | None = None,
         virtual_labels: Mapping[str, set[int]] | None = None,
         max_hops: int = DEFAULT_MAX_HOPS,
+        eager: bool = False,
     ) -> None:
         self.graph = graph
         self.transaction = transaction or Transaction(graph)
@@ -132,6 +158,9 @@ class QueryExecutor:
         self.procedures = dict(procedures or {})
         self.virtual_labels = {k: set(v) for k, v in (virtual_labels or {}).items()}
         self.max_hops = max_hops
+        #: Materialise every pipeline stage clause-by-clause (the
+        #: pre-streaming behaviour); baseline for equivalence tests/benchmarks.
+        self.eager = eager
         self.last_statistics = QueryStatistics()
         self._plan: QueryPlan | None = None
 
@@ -145,11 +174,33 @@ class QueryExecutor:
         parameters: Mapping[str, Any] | None = None,
         bindings: Mapping[str, Any] | None = None,
     ) -> QueryResult:
-        """Execute ``query`` (text or parsed) and return its result.
+        """Execute ``query`` (text or parsed) and return its eager result.
 
-        ``bindings`` pre-populates the initial row; the trigger engine uses
-        this to expose transition variables (``NEW``, ``OLD``, …) to
-        condition and action statements.
+        Drains the streaming pipeline built by :meth:`stream`, so eager and
+        streaming execution share one code path.  ``bindings`` pre-populates
+        the initial row; the trigger engine uses this to expose transition
+        variables (``NEW``, ``OLD``, …) to condition and action statements.
+        """
+        columns, rows = self.stream(query, parameters=parameters, bindings=bindings)
+        result = QueryResult(statistics=self.last_statistics)
+        result.columns = columns
+        result.rows = list(rows)
+        return result
+
+    def stream(
+        self,
+        query: Query | str,
+        parameters: Mapping[str, Any] | None = None,
+        bindings: Mapping[str, Any] | None = None,
+    ) -> tuple[list[str], Iterator[dict[str, Any]]]:
+        """Build the pull pipeline for ``query`` and return ``(columns, rows)``.
+
+        The returned iterator is lazy for streamable clause chains: pulling
+        one row does the minimum matching work needed to produce it.
+        Pipeline-breaker clauses (writes, CALL, aggregation/ORDER BY/``*``
+        projections — see the module docstring) run during this call, so a
+        query with side effects has applied all of them by the time
+        ``stream`` returns, whether or not the iterator is ever consumed.
         """
         if isinstance(query, str):
             query, self._plan = PLAN_CACHE.get(
@@ -162,18 +213,23 @@ class QueryExecutor:
         if parameters:
             self.parameters.update(parameters)
         self.last_statistics = QueryStatistics()
-        rows: list[dict[str, Any]] = [dict(bindings or {})]
-        result = QueryResult(statistics=self.last_statistics)
+        rows: Iterator[dict[str, Any]] = iter([dict(bindings or {})])
         for index, clause in enumerate(query.clauses):
             if isinstance(clause, ReturnClause):
                 if index != len(query.clauses) - 1:
                     raise UnsupportedFeatureError("RETURN must be the final clause")
-                columns, projected = self._project(clause, rows)
-                result.columns = columns
-                result.rows = projected
-                return result
-            rows = self._execute_clause(clause, rows)
-        return result
+                return self._stream_projection(clause, rows)
+            rows = self._stream_clause(clause, rows)
+        # No RETURN: drain now so the query's effects are fully applied at
+        # statement execution time, exactly as in the eager executor.
+        for _ in rows:
+            pass
+        return [], iter(())
+
+    @property
+    def last_plan(self) -> QueryPlan | None:
+        """The :class:`QueryPlan` chosen by the most recent execution."""
+        return self._plan
 
     def plan_description(self, query: Query | str) -> str:
         """EXPLAIN-style description of the access paths chosen for ``query``.
@@ -206,13 +262,29 @@ class QueryExecutor:
     # clause dispatch
     # ------------------------------------------------------------------
 
-    def _execute_clause(self, clause: Clause, rows: list[dict]) -> list[dict]:
+    def _stream_clause(
+        self, clause: Clause, rows: Iterator[dict]
+    ) -> Iterator[dict]:
+        """Wire one clause stage onto the pipeline.
+
+        Streamable clauses return a lazy generator over ``rows``; breaker
+        clauses drain ``rows`` and run to completion right here (see the
+        module docstring for which ones and why).
+        """
         if isinstance(clause, MatchClause):
-            return self._execute_match(clause, rows)
-        if isinstance(clause, UnwindClause):
-            return self._execute_unwind(clause, rows)
-        if isinstance(clause, WithClause):
-            return self._execute_with(clause, rows)
+            out: Iterator[dict] = self._iter_match(clause, rows)
+        elif isinstance(clause, UnwindClause):
+            out = self._iter_unwind(clause, rows)
+        elif isinstance(clause, WithClause):
+            out = self._stream_with(clause, rows)
+        else:
+            out = iter(self._execute_breaker(clause, list(rows)))
+        if self.eager:
+            out = iter(list(out))
+        return out
+
+    def _execute_breaker(self, clause: Clause, rows: list[dict]) -> list[dict]:
+        """Run a pipeline-breaker clause eagerly over its materialised input."""
         if isinstance(clause, CreateClause):
             return self._execute_create(clause, rows)
         if isinstance(clause, MergeClause):
@@ -228,6 +300,10 @@ class QueryExecutor:
         if isinstance(clause, CallClause):
             return self._execute_call(clause, rows)
         raise UnsupportedFeatureError(f"clause {type(clause).__name__} is not supported")
+
+    def _execute_clause(self, clause: Clause, rows: list[dict]) -> list[dict]:
+        """Eager list-in/list-out execution of one clause (FOREACH bodies)."""
+        return list(self._stream_clause(clause, iter(rows)))
 
     # ------------------------------------------------------------------
     # evaluation helpers
@@ -247,46 +323,51 @@ class QueryExecutor:
         return evaluate(expr, row, self._context(aggregate_lookup))
 
     def _exists_matcher(self, exists: ExistsPattern, row: dict[str, Any]) -> bool:
-        rows = [dict(row)]
-        for pattern in exists.patterns:
-            next_rows: list[dict] = []
-            for current in rows:
-                next_rows.extend(self._match_pattern(pattern, current))
-            rows = next_rows
-            if not rows:
-                return False
-        if exists.where is not None:
-            rows = [r for r in rows if self._evaluate(exists.where, r) is True]
-        return bool(rows)
+        # Pulls the lazy pattern pipeline and stops at the first surviving
+        # row: EXISTS never needs more than one witness.
+        for candidate in self._iter_patterns(exists.patterns, dict(row)):
+            if exists.where is None or self._evaluate(exists.where, candidate) is True:
+                return True
+        return False
+
+    def _iter_patterns(
+        self, patterns: Sequence[PathPattern], row: dict
+    ) -> Iterator[dict]:
+        """Lazily join several path patterns, nested-loop style."""
+        if not patterns:
+            yield row
+            return
+        for extended in self._iter_pattern(patterns[0], row):
+            yield from self._iter_patterns(patterns[1:], extended)
 
     # ------------------------------------------------------------------
     # MATCH
     # ------------------------------------------------------------------
 
-    def _execute_match(self, clause: MatchClause, rows: list[dict]) -> list[dict]:
-        output: list[dict] = []
+    def _iter_match(self, clause: MatchClause, rows: Iterator[dict]) -> Iterator[dict]:
         for row in rows:
-            matched = [dict(row)]
-            for pattern in clause.patterns:
-                extended: list[dict] = []
-                for current in matched:
-                    extended.extend(self._match_pattern(pattern, current))
-                matched = extended
-                if not matched:
-                    break
-            if clause.where is not None:
-                matched = [r for r in matched if self._evaluate(clause.where, r) is True]
-            if matched:
-                output.extend(matched)
-            elif clause.optional:
-                padded = dict(row)
-                for name in _pattern_variables(clause.patterns):
-                    padded.setdefault(name, None)
-                output.append(padded)
-        return output
+            yield from self._iter_match_row(clause, row)
+
+    def _iter_match_row(self, clause: MatchClause, row: dict) -> Iterator[dict]:
+        """All bindings one input row produces for a MATCH clause, lazily."""
+        produced = False
+        for candidate in self._iter_patterns(clause.patterns, dict(row)):
+            if clause.where is not None and self._evaluate(clause.where, candidate) is not True:
+                continue
+            produced = True
+            yield candidate
+        if not produced and clause.optional:
+            padded = dict(row)
+            for name in _pattern_variables(clause.patterns):
+                padded.setdefault(name, None)
+            yield padded
 
     def _match_pattern(self, pattern: PathPattern, row: dict) -> list[dict]:
         """All ways of matching ``pattern`` starting from the bindings in ``row``."""
+        return list(self._iter_pattern(pattern, row))
+
+    def _iter_pattern(self, pattern: PathPattern, row: dict) -> Iterator[dict]:
+        """Lazily yield every way of matching ``pattern`` from ``row``."""
         elements = pattern.elements
         access: AccessPath | None = None
         if self._plan is not None:
@@ -294,15 +375,13 @@ class QueryExecutor:
             if pattern_plan is not None:
                 elements = pattern_plan.elements
                 access = pattern_plan.start
-        results: list[dict] = []
         first = elements[0]
         assert isinstance(first, NodePattern)
         for node, bindings in self._candidate_nodes(first, row, access):
-            self._extend_path(
-                elements, 1, node, bindings, used_rels=set(), path_nodes=[node], path_rels=[],
-                pattern=pattern, results=results,
+            yield from self._extend_path(
+                elements, 1, node, bindings, used_rels=set(),
+                path_nodes=[node], path_rels=[], pattern=pattern,
             )
-        return results
 
     def _extend_path(
         self,
@@ -314,8 +393,7 @@ class QueryExecutor:
         path_nodes: list[Node],
         path_rels: list[Relationship],
         pattern: PathPattern,
-        results: list[dict],
-    ) -> None:
+    ) -> Iterator[dict]:
         if index >= len(elements):
             final = dict(bindings)
             if pattern.variable is not None:
@@ -323,16 +401,16 @@ class QueryExecutor:
                     "nodes": list(path_nodes),
                     "relationships": list(path_rels),
                 }
-            results.append(final)
+            yield final
             return
         rel_pattern = elements[index]
         node_pattern = elements[index + 1]
         assert isinstance(rel_pattern, RelationshipPattern)
         assert isinstance(node_pattern, NodePattern)
         if rel_pattern.is_variable_length:
-            self._expand_variable_length(
+            yield from self._expand_variable_length(
                 rel_pattern, node_pattern, elements, index, current_node, bindings,
-                used_rels, path_nodes, path_rels, pattern, results,
+                used_rels, path_nodes, path_rels, pattern,
             )
             return
         for rel in self._candidate_relationships(rel_pattern, current_node, bindings):
@@ -352,29 +430,29 @@ class QueryExecutor:
                     continue
                 new_bindings = dict(new_bindings)
                 new_bindings[rel_pattern.variable] = rel
-            self._extend_path(
+            yield from self._extend_path(
                 elements, index + 2, other, new_bindings, used_rels | {rel.id},
-                path_nodes + [other], path_rels + [rel], pattern, results,
+                path_nodes + [other], path_rels + [rel], pattern,
             )
 
     def _expand_variable_length(
         self, rel_pattern, node_pattern, elements, index, current_node, bindings,
-        used_rels, path_nodes, path_rels, pattern, results,
-    ) -> None:
+        used_rels, path_nodes, path_rels, pattern,
+    ) -> Iterator[dict]:
         min_hops = rel_pattern.min_hops if rel_pattern.min_hops is not None else 1
         max_hops = rel_pattern.max_hops if rel_pattern.max_hops is not None else self.max_hops
 
-        def recurse(node: Node, hops: list[Relationship], visited_rels: set[int]) -> None:
+        def recurse(node: Node, hops: list[Relationship], visited_rels: set[int]) -> Iterator[dict]:
             if len(hops) >= min_hops:
                 target_bindings = self._bind_node(node_pattern, node, bindings)
                 if target_bindings is not None:
                     final_bindings = dict(target_bindings)
                     if rel_pattern.variable is not None:
                         final_bindings[rel_pattern.variable] = list(hops)
-                    self._extend_path(
+                    yield from self._extend_path(
                         elements, index + 2, node, final_bindings,
                         used_rels | visited_rels,
-                        path_nodes + [node], path_rels + list(hops), pattern, results,
+                        path_nodes + [node], path_rels + list(hops), pattern,
                     )
             if len(hops) >= max_hops:
                 return
@@ -384,9 +462,9 @@ class QueryExecutor:
                 other_id = rel.other_end(node.id)
                 if not self.graph.has_node(other_id):
                     continue
-                recurse(self.graph.node(other_id), hops + [rel], visited_rels | {rel.id})
+                yield from recurse(self.graph.node(other_id), hops + [rel], visited_rels | {rel.id})
 
-        recurse(current_node, [], set())
+        yield from recurse(current_node, [], set())
 
     def _candidate_nodes(
         self,
@@ -533,8 +611,7 @@ class QueryExecutor:
     # UNWIND
     # ------------------------------------------------------------------
 
-    def _execute_unwind(self, clause: UnwindClause, rows: list[dict]) -> list[dict]:
-        output: list[dict] = []
+    def _iter_unwind(self, clause: UnwindClause, rows: Iterator[dict]) -> Iterator[dict]:
         for row in rows:
             value = self._evaluate(clause.expression, row)
             if value is None:
@@ -543,8 +620,7 @@ class QueryExecutor:
             for element in elements:
                 new_row = dict(row)
                 new_row[clause.variable] = element
-                output.append(new_row)
-        return output
+                yield new_row
 
     # ------------------------------------------------------------------
     # WITH / RETURN (projection and aggregation)
@@ -555,6 +631,68 @@ class QueryExecutor:
         if clause.where is not None:
             projected = [row for row in projected if self._evaluate(clause.where, row) is True]
         return projected
+
+    def _stream_with(self, clause: WithClause, rows: Iterator[dict]) -> Iterator[dict]:
+        if self._projection_breaks(clause):
+            return iter(self._execute_with(clause, list(rows)))
+        projected = self._iter_projection(clause, rows)
+        if clause.where is not None:
+            projected = (
+                row for row in projected if self._evaluate(clause.where, row) is True
+            )
+        return projected
+
+    def _stream_projection(
+        self, clause: ReturnClause, rows: Iterator[dict]
+    ) -> tuple[list[str], Iterator[dict]]:
+        """Terminal RETURN stage: ``(columns, lazily projected rows)``."""
+        if self.eager or self._projection_breaks(clause):
+            columns, projected = self._project(clause, list(rows))
+            return columns, iter(projected)
+        columns = [item.output_name() for item in clause.items]
+        return columns, self._iter_projection(clause, rows)
+
+    def _projection_breaks(self, clause: WithClause | ReturnClause) -> bool:
+        """Projections that need their whole input before emitting anything.
+
+        Aggregation and ORDER BY are inherently blocking; a ``*`` wildcard
+        needs every row to discover the output columns.  DISTINCT and
+        SKIP/LIMIT stream (a running seen-set / counters suffice).
+        """
+        return bool(
+            clause.include_wildcard
+            or clause.order_by
+            or _collect_aggregates(list(clause.items))
+        )
+
+    def _iter_projection(
+        self, clause: WithClause | ReturnClause, rows: Iterator[dict]
+    ) -> Iterator[dict]:
+        """Streaming projection with DISTINCT and SKIP/LIMIT short-circuiting."""
+        items = list(clause.items)
+        seen: set | None = set() if clause.distinct else None
+        skip = max(0, int(self._evaluate(clause.skip, {}))) if clause.skip is not None else 0
+        limit = max(0, int(self._evaluate(clause.limit, {}))) if clause.limit is not None else None
+        if limit is not None and limit <= 0:
+            return
+        emitted = 0
+        skipped = 0
+        for row in rows:
+            out: dict[str, Any] = {}
+            for item in items:
+                out[item.output_name()] = self._evaluate(item.expression, row)
+            if seen is not None:
+                key = tuple(sorted((k, _hashable(v)) for k, v in out.items()))
+                if key in seen:
+                    continue
+                seen.add(key)
+            if skipped < skip:
+                skipped += 1
+                continue
+            yield out
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
 
     def _project(
         self, clause: WithClause | ReturnClause, rows: list[dict]
@@ -590,10 +728,12 @@ class QueryExecutor:
         if clause.order_by:
             pairs = self._order_rows(pairs, clause.order_by)
         if clause.skip is not None:
-            skip = int(self._evaluate(clause.skip, {}))
+            # Clamp at 0 so a (nonsensical) negative value cannot trip
+            # Python's negative-index slicing; mirrors _iter_projection.
+            skip = max(0, int(self._evaluate(clause.skip, {})))
             pairs = pairs[skip:]
         if clause.limit is not None:
-            limit = int(self._evaluate(clause.limit, {}))
+            limit = max(0, int(self._evaluate(clause.limit, {})))
             pairs = pairs[:limit]
         return columns, [projected for projected, _ in pairs]
 
@@ -781,8 +921,10 @@ class QueryExecutor:
                     if not isinstance(target, Node):
                         raise CypherTypeError("labels can only be set on nodes")
                     for label in item.labels:
+                        already = label in self._current_snapshot(target).labels
                         self.transaction.add_label(target.id, label)
-                        stats.labels_added += 1
+                        if not already:
+                            stats.labels_added += 1
                 elif isinstance(item, SetFromMapItem):
                     target = self._resolve_item(row, item.subject)
                     if target is None:
@@ -806,22 +948,33 @@ class QueryExecutor:
         elif isinstance(item, Relationship) and self.graph.has_relationship(item.id):
             row[name] = self.graph.relationship(item.id)
 
+    def _current_snapshot(self, target: Node | Relationship) -> Node | Relationship:
+        """The store's current snapshot of ``target`` (or ``target`` if gone)."""
+        if isinstance(target, Node):
+            if self.graph.has_node(target.id):
+                return self.graph.node(target.id)
+        elif self.graph.has_relationship(target.id):
+            return self.graph.relationship(target.id)
+        return target
+
     def _set_property(self, target: Node | Relationship, key: str, value: Any) -> None:
         stats = self.last_statistics
-        if isinstance(target, Node):
-            if value is None:
+        if value is None:
+            # Removing an absent property is a no-op and must not count
+            # (removal counters drive ResultSummary / trigger accounting).
+            present = key in self._current_snapshot(target).properties
+            if isinstance(target, Node):
                 self.transaction.remove_node_property(target.id, key)
-                stats.properties_removed += 1
             else:
-                self.transaction.set_node_property(target.id, key, value)
-                stats.properties_set += 1
-        else:
-            if value is None:
                 self.transaction.remove_relationship_property(target.id, key)
+            if present:
                 stats.properties_removed += 1
+        else:
+            if isinstance(target, Node):
+                self.transaction.set_node_property(target.id, key, value)
             else:
                 self.transaction.set_relationship_property(target.id, key, value)
-                stats.properties_set += 1
+            stats.properties_set += 1
 
     def _set_from_map(self, target: Node | Relationship, value: Mapping, replace: bool) -> None:
         if replace:
@@ -847,8 +1000,10 @@ class QueryExecutor:
                     if not isinstance(target, Node):
                         raise CypherTypeError("labels can only be removed from nodes")
                     for label in item.labels:
+                        present = label in self._current_snapshot(target).labels
                         self.transaction.remove_label(target.id, label)
-                        stats.labels_removed += 1
+                        if present:
+                            stats.labels_removed += 1
                 self._refresh_binding(row, item.subject)
         return rows
 
@@ -920,6 +1075,20 @@ class QueryExecutor:
 # ---------------------------------------------------------------------------
 # module-level helpers
 # ---------------------------------------------------------------------------
+
+#: Clauses with no side effects; anything else (writes, CALL — procedures
+#: may run write subqueries) makes a query non-read-only.
+_READ_ONLY_CLAUSES = (MatchClause, UnwindClause, WithClause, ReturnClause)
+
+
+def query_is_read_only(query: Query) -> bool:
+    """True when every clause of ``query`` is side-effect free.
+
+    Read-only queries are the ones :class:`repro.triggers.session.GraphSession`
+    may hand out as lazily-consumed streaming results: deferring their
+    evaluation can never defer a write.
+    """
+    return all(isinstance(clause, _READ_ONLY_CLAUSES) for clause in query.clauses)
 
 
 class _SortValue:

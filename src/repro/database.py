@@ -1,0 +1,166 @@
+"""The driver-style entry point: :class:`GraphDatabase` and :func:`connect`.
+
+A :class:`GraphDatabase` owns a catalog of *named graphs*, each backed by
+one long-lived :class:`~repro.triggers.session.GraphSession` (so a graph's
+installed triggers, transaction manager and firing log live with the
+graph, not with whoever happens to reference it).  The facade mirrors the
+ergonomics of a Neo4j driver::
+
+    import repro
+
+    db = repro.GraphDatabase()
+    covid = db.graph("covid")                   # created on first use
+    covid.run("CREATE (:Hospital {name: 'Sacco', icuBeds: 20})")
+    with db.graph("covid").run("MATCH (h:Hospital) RETURN h.name AS name") as _:
+        ...
+
+    for record in covid.run("MATCH (h:Hospital) RETURN h.name AS name"):
+        print(record["name"])                   # records stream lazily
+
+    summary = covid.run("MATCH (h) RETURN h LIMIT 1").consume()
+    print(summary.counters.as_dict(), summary.plan)
+
+A process-wide default database makes the one-liner work::
+
+    session = repro.connect()                   # default db, "default" graph
+    session = repro.connect("covid")            # default db, named graph
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import threading
+from typing import Callable, Iterator, Optional
+
+from .graph.store import PropertyGraph
+from .schema.schema import PGSchema
+from .triggers.session import GraphSession
+
+#: Name used when callers do not pick one.
+DEFAULT_GRAPH_NAME = "default"
+
+
+class GraphDatabase:
+    """A catalog of named property graphs, each served by a `GraphSession`.
+
+    Sessions are minted lazily and cached per graph name: every call to
+    :meth:`graph` (or :meth:`session`) with the same name returns the same
+    session, so triggers installed through it are visible to all users of
+    that catalog entry.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], _dt.datetime] | None = None,
+        max_cascade_depth: int = 16,
+    ) -> None:
+        self._clock = clock
+        self._max_cascade_depth = max_cascade_depth
+        self._sessions: dict[str, GraphSession] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # catalog management
+    # ------------------------------------------------------------------
+
+    def create_graph(
+        self,
+        name: str,
+        graph: PropertyGraph | None = None,
+        schema: PGSchema | None = None,
+    ) -> GraphSession:
+        """Register a new named graph; error if ``name`` already exists.
+
+        ``graph`` lets callers adopt an existing :class:`PropertyGraph`
+        (e.g. a loaded dataset); by default a fresh empty graph is created.
+        """
+        with self._lock:
+            if name in self._sessions:
+                raise ValueError(f"graph {name!r} already exists")
+            session = GraphSession(
+                graph=graph,
+                schema=schema,
+                clock=self._clock,
+                max_cascade_depth=self._max_cascade_depth,
+            )
+            self._sessions[name] = session
+            return session
+
+    def drop_graph(self, name: str) -> None:
+        """Remove a named graph (and its session) from the catalog."""
+        with self._lock:
+            if name not in self._sessions:
+                raise KeyError(f"no graph named {name!r}")
+            del self._sessions[name]
+
+    def list_graphs(self) -> list[str]:
+        """The catalog's graph names, in creation order."""
+        with self._lock:
+            return list(self._sessions)
+
+    def has_graph(self, name: str) -> bool:
+        """True when ``name`` is in the catalog."""
+        with self._lock:
+            return name in self._sessions
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.has_graph(name)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.list_graphs())
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+
+    def graph(self, name: str = DEFAULT_GRAPH_NAME) -> GraphSession:
+        """The session bound to graph ``name``, creating the graph on demand."""
+        with self._lock:
+            session = self._sessions.get(name)
+            if session is None:
+                session = self.create_graph(name)
+            return session
+
+    def session(self, graph: str = DEFAULT_GRAPH_NAME) -> GraphSession:
+        """Driver-style alias for :meth:`graph`."""
+        return self.graph(graph)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GraphDatabase(graphs={self.list_graphs()!r})"
+
+
+# ---------------------------------------------------------------------------
+# the process-wide default database
+# ---------------------------------------------------------------------------
+
+_default_lock = threading.Lock()
+_default_database: Optional[GraphDatabase] = None
+
+
+def default_database() -> GraphDatabase:
+    """The process-wide :class:`GraphDatabase` (created on first use)."""
+    global _default_database
+    with _default_lock:
+        if _default_database is None:
+            _default_database = GraphDatabase()
+        return _default_database
+
+
+def connect(graph: str = DEFAULT_GRAPH_NAME) -> GraphSession:
+    """One-liner entry point: a session on the default database.
+
+    ``repro.connect()`` gives the ``"default"`` graph;
+    ``repro.connect("covid")`` a named one (created on demand).
+    """
+    return default_database().graph(graph)
+
+
+def reset_default_database() -> None:
+    """Drop the process-wide default database (tests and REPL hygiene)."""
+    global _default_database
+    with _default_lock:
+        _default_database = None

@@ -312,13 +312,19 @@ class TriggerEngine:
         parsed = self._parse_condition(trigger)
         try:
             if isinstance(parsed, Query):
+                # Condition queries end in a wildcard RETURN, a pipeline
+                # breaker, so the stream is already materialised; consuming
+                # it directly skips the eager QueryResult wrapper and the
+                # per-row copy it would force.
                 executor = self._executor(tx, binding)
-                result = executor.execute(parsed, bindings=dict(binding.variables))
-                return [dict(row) for row in result.rows]
+                _, records = executor.stream(parsed, bindings=dict(binding.variables))
+                return list(records)
             # Plain expression: a WHERE filter over the single bindings row.
             # (Running it through a wildcard-RETURN query would project the
             # very same row back, so evaluate it directly, and only build a
-            # full executor if an EXISTS pattern actually needs one.)
+            # full executor if an EXISTS pattern actually needs one.  EXISTS
+            # itself now early-exits: the executor's pattern pipeline stops
+            # at the first witness row.)
             value = self._evaluate_condition_expression(
                 parsed, binding.variables, tx, binding
             )

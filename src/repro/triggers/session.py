@@ -27,10 +27,12 @@ from __future__ import annotations
 
 import contextlib
 import datetime as _dt
+import time
 from typing import Any, Callable, Iterator, Mapping, Optional
 
-from ..cypher.executor import QueryExecutor
-from ..cypher.result import QueryResult
+from ..cypher.executor import QueryExecutor, query_is_read_only
+from ..cypher.planner import PLAN_CACHE
+from ..cypher.result import Result
 from ..graph.delta import GraphDelta
 from ..graph.store import PropertyGraph
 from ..schema.schema import PGSchema
@@ -66,6 +68,7 @@ class GraphSession:
             max_cascade_depth=max_cascade_depth,
         )
         self._open_transaction: Optional[Transaction] = None
+        self._active_result: Optional[Result] = None
         self.manager.add_before_commit_hook(self._on_before_commit)
         self.manager.add_after_commit_hook(self._on_after_commit)
 
@@ -105,8 +108,8 @@ class GraphSession:
         self,
         query: str,
         parameters: Mapping[str, Any] | None = None,
-    ) -> QueryResult:
-        """Execute one openCypher statement.
+    ) -> Result:
+        """Execute one openCypher statement and return its :class:`Result`.
 
         Outside an explicit transaction the statement runs in auto-commit
         mode: statement-time triggers (BEFORE/AFTER) fire at the statement
@@ -114,30 +117,132 @@ class GraphSession:
         right after the commit.  Inside a :meth:`transaction` block only the
         statement-time triggers fire per statement; commit-time processing
         happens when the block exits.
+
+        Read-only auto-commit statements are *streamed*: records are pulled
+        lazily from the execution pipeline, and the backing transaction is
+        committed when the stream is exhausted (or :meth:`Result.consume`
+        is called) and rolled back if draining raises.  Statements with
+        side effects — and every statement inside an explicit transaction —
+        are executed to completion before ``run`` returns, so their writes
+        and trigger firings are never deferred.  Running a new statement
+        while a streamed result is still open first detaches that result
+        (its remaining records are buffered), as in the Neo4j driver; if
+        buffering the pending stream fails, its transaction is rolled
+        back and the error surfaces here — before the new statement runs
+        — rather than being swallowed.
         """
+        self._detach_active_result()
         if self._open_transaction is not None:
             return self._run_in_transaction(self._open_transaction, query, parameters)
+        started = time.perf_counter()
+        read_only = query_is_read_only(PLAN_CACHE.parse(query))
         tx = self.manager.begin()
+        if not read_only:
+            # Same code path as explicit transactions, plus the commit.
+            try:
+                result = self._run_in_transaction(tx, query, parameters)
+                self.manager.commit(tx)
+            except Exception:
+                if tx.is_active:
+                    self.manager.rollback(tx)
+                raise
+            return result
         try:
-            result = self._run_in_transaction(tx, query, parameters)
-            self.manager.commit(tx)
+            executor = QueryExecutor(
+                self.graph, transaction=tx, parameters=parameters, clock=self.clock
+            )
+            columns, records = executor.stream(query)
         except Exception:
             if tx.is_active:
                 self.manager.rollback(tx)
             raise
+        result = Result(
+            columns,
+            records,
+            executor.last_statistics,
+            query=query,
+            parameters=parameters,
+            plan=self._plan_text(executor),
+            on_success=lambda: self._finalize_streaming(tx),
+            on_failure=lambda: self._abort_streaming(tx),
+            started=started,
+            available_after=(time.perf_counter() - started) * 1000,
+        )
+        self._active_result = result
         return result
 
     def _run_in_transaction(
         self, tx: Transaction, query: str, parameters: Mapping[str, Any] | None
-    ) -> QueryResult:
+    ) -> Result:
+        started = time.perf_counter()
         executor = QueryExecutor(
             self.graph, transaction=tx, parameters=parameters, clock=self.clock
         )
-        result = executor.execute(query)
+        columns, records = executor.stream(query)
+        rows = list(records)
+        self._finish_statement(tx)
+        return self._wrap(columns, rows, executor, query, parameters, started)
+
+    def _finish_statement(self, tx: Transaction) -> None:
+        """Close the statement and fire its BEFORE/AFTER triggers."""
         delta = tx.end_statement()
         if not delta.is_empty():
             self.engine.run_statement_triggers(tx, delta)
+
+    def _finalize_streaming(self, tx: Transaction) -> None:
+        """Successful exhaustion of a streamed read: commit its transaction."""
+        self._forget(tx)
+        if tx.is_active:
+            self._finish_statement(tx)
+            self.manager.commit(tx)
+
+    def _abort_streaming(self, tx: Transaction) -> None:
+        """A streamed result failed mid-drain: roll its transaction back."""
+        self._forget(tx)
+        if tx.is_active:
+            self.manager.rollback(tx)
+
+    def _forget(self, tx: Transaction) -> None:
+        del tx
+        self._active_result = None
+
+    def _detach_active_result(self) -> None:
+        """Buffer and finalise the previous streamed result, if any.
+
+        Keeps a pending stream from observing writes made by later
+        statements (and from holding its auto-commit transaction open).
+        """
+        pending, self._active_result = self._active_result, None
+        if pending is not None and not pending.consumed:
+            pending.rows  # materialises the remainder and finalises
+
+    def _wrap(
+        self,
+        columns: list[str],
+        rows: list[dict[str, Any]],
+        executor: QueryExecutor,
+        query: str,
+        parameters: Mapping[str, Any] | None,
+        started: float,
+    ) -> Result:
+        elapsed = (time.perf_counter() - started) * 1000
+        result = Result(
+            columns,
+            rows,
+            executor.last_statistics,
+            query=query,
+            parameters=parameters,
+            plan=self._plan_text(executor),
+            started=started,
+            available_after=elapsed,
+        )
+        result.summary().result_consumed_after = elapsed
         return result
+
+    @staticmethod
+    def _plan_text(executor: QueryExecutor) -> str | None:
+        plan = executor.last_plan
+        return plan.plan_description() if plan is not None else None
 
     @contextlib.contextmanager
     def transaction(self) -> Iterator[Transaction]:
@@ -150,6 +255,7 @@ class GraphSession:
         """
         if self._open_transaction is not None:
             raise RuntimeError("a session transaction is already open")
+        self._detach_active_result()
         tx = self.manager.begin()
         self._open_transaction = tx
         try:

@@ -1,0 +1,96 @@
+"""End-to-end audit of the QueryStatistics counters.
+
+Each counter must reflect *actual* changes: a SET of an already-present
+label or a REMOVE of an absent property is a no-op and must not count
+(the counters feed ResultSummary and the comparison benchmarks, where
+phantom updates would be indistinguishable from real ones).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cypher import execute
+from repro.graph import PropertyGraph
+
+
+@pytest.fixture
+def graph() -> PropertyGraph:
+    g = PropertyGraph()
+    node = g.create_node(["Person"], {"name": "Ada"})
+    other = g.create_node(["Person"], {"name": "Grace"})
+    g.create_relationship("Knows", node.id, other.id, {"since": 1970})
+    return g
+
+
+def stats(graph, query):
+    return execute(graph, query).statistics
+
+
+class TestLabelCounters:
+    def test_adding_a_new_label_counts(self, graph):
+        s = stats(graph, "MATCH (p:Person {name: 'Ada'}) SET p:Pioneer")
+        assert s.labels_added == 1
+
+    def test_adding_a_present_label_does_not_count(self, graph):
+        s = stats(graph, "MATCH (p:Person {name: 'Ada'}) SET p:Person")
+        assert s.labels_added == 0
+
+    def test_removing_a_present_label_counts(self, graph):
+        s = stats(graph, "MATCH (p:Person {name: 'Ada'}) REMOVE p:Person")
+        assert s.labels_removed == 1
+
+    def test_removing_an_absent_label_does_not_count(self, graph):
+        s = stats(graph, "MATCH (p:Person {name: 'Ada'}) REMOVE p:Ghost")
+        assert s.labels_removed == 0
+
+    def test_create_counts_every_initial_label(self, graph):
+        s = stats(graph, "CREATE (:A:B:C)")
+        assert s.labels_added == 3
+
+
+class TestPropertyCounters:
+    def test_setting_a_node_property_counts(self, graph):
+        s = stats(graph, "MATCH (p:Person {name: 'Ada'}) SET p.born = 1815")
+        assert s.properties_set == 1
+
+    def test_setting_a_relationship_property_counts(self, graph):
+        s = stats(graph, "MATCH (:Person)-[k:Knows]->(:Person) SET k.weight = 2")
+        assert s.properties_set == 1
+
+    def test_removing_a_present_relationship_property_counts(self, graph):
+        s = stats(graph, "MATCH (:Person)-[k:Knows]->(:Person) REMOVE k.since")
+        assert s.properties_removed == 1
+
+    def test_removing_an_absent_property_does_not_count(self, graph):
+        s = stats(graph, "MATCH (p:Person {name: 'Ada'}) REMOVE p.ghost")
+        assert s.properties_removed == 0
+
+    def test_set_null_on_absent_property_does_not_count(self, graph):
+        s = stats(graph, "MATCH (p:Person {name: 'Ada'}) SET p.ghost = null")
+        assert s.properties_removed == 0
+
+    def test_set_null_on_present_property_counts_as_removal(self, graph):
+        s = stats(graph, "MATCH (p:Person {name: 'Ada'}) SET p.name = null")
+        assert s.properties_removed == 1
+        assert s.properties_set == 0
+
+    def test_replace_map_counts_removals_of_dropped_keys(self, graph):
+        s = stats(graph, "MATCH (p:Person {name: 'Ada'}) SET p = {role: 'math'}")
+        # 'name' dropped (1 removal), 'role' written (1 set)
+        assert s.properties_removed == 1
+        assert s.properties_set == 1
+
+
+class TestDeleteCounters:
+    def test_detach_delete_counts_node_and_relationships(self, graph):
+        s = stats(graph, "MATCH (p:Person {name: 'Ada'}) DETACH DELETE p")
+        assert s.nodes_deleted == 1
+        assert s.relationships_deleted == 1
+
+    def test_counters_surface_in_as_dict(self, graph):
+        s = stats(graph, "CREATE (:A {x: 1})")
+        as_dict = s.as_dict()
+        assert as_dict["nodes_created"] == 1
+        assert as_dict["labels_added"] == 1
+        assert as_dict["properties_set"] == 1

@@ -1,0 +1,230 @@
+"""The streaming execution pipeline and the driver-style Result API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cypher import parse_query, query_is_read_only
+from repro.cypher.executor import QueryExecutor
+from repro.cypher.result import QueryStatistics, Result
+from repro.graph import PropertyGraph
+
+
+@pytest.fixture
+def graph() -> PropertyGraph:
+    g = PropertyGraph()
+    for index in range(20):
+        g.create_node(["Person"], {"seq": index, "flag": index % 2})
+    return g
+
+
+def stream_rows(graph, query, **kwargs):
+    executor = QueryExecutor(graph, **kwargs)
+    _, records = executor.stream(query)
+    return list(records)
+
+
+class TestStreamingPipeline:
+    def test_stream_matches_eager_execution(self, graph):
+        queries = [
+            "MATCH (p:Person) RETURN p.seq AS seq",
+            "MATCH (p:Person) WHERE p.flag = 1 RETURN p.seq AS seq",
+            "MATCH (p:Person) RETURN p.seq AS seq SKIP 3 LIMIT 4",
+            "MATCH (p:Person) RETURN DISTINCT p.flag AS flag",
+            "UNWIND [3, 1, 2] AS x RETURN x",
+            "MATCH (p:Person) WITH p.flag AS flag, count(*) AS n RETURN flag, n ORDER BY flag",
+            # nonsensical negative bounds clamp to 0 in both engines
+            "MATCH (p:Person) RETURN p.seq AS seq LIMIT 0",
+            "MATCH (p:Person) RETURN p.seq AS seq SKIP 25",
+        ]
+        for query in queries:
+            assert stream_rows(graph, query) == stream_rows(graph, query, eager=True), query
+
+    def test_negative_skip_and_limit_clamp_to_zero(self, graph):
+        assert stream_rows(graph, "MATCH (p:Person) RETURN p.seq AS seq LIMIT $l",
+                           parameters={"l": -1}) == []
+        eager = stream_rows(graph, "MATCH (p:Person) RETURN p.seq AS seq LIMIT $l",
+                            parameters={"l": -1}, eager=True)
+        assert eager == []
+        full = stream_rows(graph, "MATCH (p:Person) RETURN p.seq AS seq SKIP $s",
+                           parameters={"s": -3})
+        assert len(full) == 20
+        assert full == stream_rows(graph, "MATCH (p:Person) RETURN p.seq AS seq SKIP $s",
+                                   parameters={"s": -3}, eager=True)
+
+    def test_limit_terminates_scan_early(self, graph, monkeypatch):
+        checked: list[int] = []
+        original = QueryExecutor._node_satisfies
+
+        def counting(self, node_pattern, node, row):
+            checked.append(node.id)
+            return original(self, node_pattern, node, row)
+
+        monkeypatch.setattr(QueryExecutor, "_node_satisfies", counting)
+        rows = stream_rows(graph, "MATCH (p:Person) RETURN p.seq AS seq LIMIT 2")
+        assert [row["seq"] for row in rows] == [0, 1]
+        # Streaming stops pulling candidates once LIMIT is satisfied: far
+        # fewer than the 20 nodes an eager scan would have checked.
+        assert len(checked) <= 3
+
+        checked.clear()
+        stream_rows(graph, "MATCH (p:Person) RETURN p.seq AS seq LIMIT 2", eager=True)
+        assert len(checked) == 20
+
+    def test_exists_stops_at_first_witness(self, monkeypatch):
+        graph = PropertyGraph()
+        hub = graph.create_node(["Hub"], {})
+        for index in range(50):
+            spoke = graph.create_node(["Spoke"], {"seq": index})
+            graph.create_relationship("Links", hub.id, spoke.id)
+        checked: list[int] = []
+        original = QueryExecutor._node_satisfies
+
+        def counting(self, node_pattern, node, row):
+            checked.append(node.id)
+            return original(self, node_pattern, node, row)
+
+        monkeypatch.setattr(QueryExecutor, "_node_satisfies", counting)
+        rows = stream_rows(
+            graph, "MATCH (h:Hub) WHERE EXISTS (h)-[:Links]->(:Spoke) RETURN h"
+        )
+        assert len(rows) == 1
+        # 1 Hub candidate + a handful of Spoke candidates, not all 50.
+        assert len(checked) <= 5
+
+    def test_writes_apply_even_when_stream_is_not_consumed(self, graph):
+        executor = QueryExecutor(graph)
+        _, records = executor.stream("CREATE (:Alert {desc: 'pending'}) RETURN 1 AS one")
+        # The CREATE is a pipeline breaker: it ran during stream construction.
+        assert graph.count_nodes_with_label("Alert") == 1
+        del records
+
+    def test_return_must_be_last_still_enforced(self, graph):
+        from repro.cypher.errors import UnsupportedFeatureError
+
+        with pytest.raises(UnsupportedFeatureError):
+            QueryExecutor(graph).stream("RETURN 1 AS x MATCH (p:Person)")
+
+    def test_query_is_read_only(self):
+        assert query_is_read_only(parse_query("MATCH (n) RETURN n"))
+        assert query_is_read_only(parse_query("UNWIND [1] AS x WITH x RETURN x"))
+        assert not query_is_read_only(parse_query("CREATE (:X)"))
+        assert not query_is_read_only(parse_query("MATCH (n) SET n.a = 1"))
+        assert not query_is_read_only(parse_query("MATCH (n) DETACH DELETE n"))
+        assert not query_is_read_only(
+            parse_query("CALL apoc.do.when(true, 'RETURN 1') YIELD value RETURN value")
+        )
+
+
+class TestResultAPI:
+    def records(self):
+        return [{"x": 1}, {"x": 2}, {"x": 3}]
+
+    def test_iterate_once(self):
+        result = Result(["x"], iter(self.records()))
+        assert [r["x"] for r in result] == [1, 2, 3]
+        assert list(result) == []
+        assert result.consumed
+
+    def test_peek_does_not_consume(self):
+        result = Result(["x"], iter(self.records()))
+        assert result.peek() == {"x": 1}
+        assert result.peek() == {"x": 1}
+        assert [r["x"] for r in result] == [1, 2, 3]
+
+    def test_peek_at_end_returns_none(self):
+        result = Result(["x"], iter([]))
+        assert result.peek() is None
+        assert result.consumed
+
+    def test_single_value_and_errors(self):
+        assert Result(["x"], iter([{"x": 7}])).single() == 7
+        assert Result(["x", "y"], iter([{"x": 7, "y": 8}])).single("y") == 8
+        assert Result(["x", "y"], iter([{"x": 7, "y": 8}])).single() == {"x": 7, "y": 8}
+        with pytest.raises(ValueError):
+            Result(["x"], iter([])).single()
+        with pytest.raises(ValueError):
+            Result(["x"], iter(self.records())).single()
+
+    def test_single_pulls_at_most_two_records(self):
+        pulled: list[int] = []
+
+        def generator():
+            for value in range(100):
+                pulled.append(value)
+                yield {"x": value}
+
+        result = Result(["x"], generator())
+        with pytest.raises(ValueError):
+            result.single()
+        assert len(pulled) == 2
+
+    def test_consume_returns_summary_with_counters(self):
+        stats = QueryStatistics(nodes_created=2)
+        result = Result(["x"], iter(self.records()), stats, query="Q", plan="PLAN")
+        summary = result.consume()
+        assert summary.counters is stats
+        assert summary.as_dict()["counters"]["nodes_created"] == 2
+        assert summary.plan == "PLAN"
+        assert summary.query == "Q"
+        assert list(result) == []
+
+    def test_finalize_callbacks_fire_once(self):
+        calls: list[str] = []
+        result = Result(
+            ["x"], iter(self.records()), on_success=lambda: calls.append("ok")
+        )
+        list(result)
+        result.consume()
+        assert calls == ["ok"]
+
+    def test_failure_callback_on_mid_stream_error(self):
+        calls: list[str] = []
+
+        def generator():
+            yield {"x": 1}
+            raise RuntimeError("boom")
+
+        result = Result(
+            ["x"],
+            generator(),
+            on_success=lambda: calls.append("ok"),
+            on_failure=lambda: calls.append("fail"),
+        )
+        assert next(result) == {"x": 1}
+        with pytest.raises(RuntimeError):
+            next(result)
+        assert calls == ["fail"]
+
+    def test_close_finalizes_without_draining(self):
+        pulled: list[int] = []
+
+        def generator():
+            for value in range(100):
+                pulled.append(value)
+                yield {"x": value}
+
+        result = Result(["x"], generator())
+        assert next(result)["x"] == 0
+        result.close()
+        assert result.consumed
+        assert pulled == [0]
+        assert list(result) == []
+
+    def test_close_after_materialization_stops_iteration(self):
+        result = Result(["x"], iter(self.records()))
+        assert len(result.rows) == 3  # materialises the stream
+        result.close()
+        assert list(result) == []
+        assert result.peek() is None
+
+    def test_eager_compat_surface(self):
+        result = Result(["x"], iter(self.records()))
+        assert result.rows == self.records()
+        assert len(result) == 3
+        assert bool(result)
+        assert result.values("x") == [1, 2, 3]
+        assert "x" in result.to_table()
+        assert result.keys() == ["x"]
+        # materialised records stay iterable afterwards
+        assert [r["x"] for r in result] == [1, 2, 3]

@@ -1,0 +1,132 @@
+"""The GraphDatabase facade: named-graph catalog and driver-style sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import GraphDatabase, GraphSession, connect, default_database, reset_default_database
+from repro.cypher.result import QueryResult
+from repro.graph import PropertyGraph
+
+
+@pytest.fixture(autouse=True)
+def clean_default_database():
+    reset_default_database()
+    yield
+    reset_default_database()
+
+
+class TestCatalog:
+    def test_graph_creates_on_demand_and_caches(self):
+        db = GraphDatabase()
+        covid = db.graph("covid")
+        assert isinstance(covid, GraphSession)
+        assert db.graph("covid") is covid
+        assert db.session("covid") is covid
+        assert db.list_graphs() == ["covid"]
+
+    def test_create_graph_rejects_duplicates(self):
+        db = GraphDatabase()
+        db.create_graph("g")
+        with pytest.raises(ValueError):
+            db.create_graph("g")
+
+    def test_create_graph_adopts_existing_store(self):
+        store = PropertyGraph()
+        store.create_node(["Seed"], {})
+        db = GraphDatabase()
+        session = db.create_graph("seeded", graph=store)
+        assert session.graph is store
+        assert session.run("MATCH (s:Seed) RETURN count(*) AS n").single("n") == 1
+
+    def test_drop_graph(self):
+        db = GraphDatabase()
+        db.graph("a")
+        db.graph("b")
+        db.drop_graph("a")
+        assert db.list_graphs() == ["b"]
+        with pytest.raises(KeyError):
+            db.drop_graph("a")
+
+    def test_containment_and_iteration(self):
+        db = GraphDatabase()
+        db.graph("x")
+        assert "x" in db
+        assert "y" not in db
+        assert len(db) == 1
+        assert list(db) == ["x"]
+
+    def test_graphs_are_isolated(self):
+        db = GraphDatabase()
+        db.graph("a").run("CREATE (:OnlyInA)")
+        assert db.graph("b").graph.count_nodes_with_label("OnlyInA") == 0
+        assert db.graph("a").graph.count_nodes_with_label("OnlyInA") == 1
+
+    def test_triggers_live_with_the_catalog_graph(self):
+        db = GraphDatabase()
+        db.graph("monitored").create_trigger(
+            "CREATE TRIGGER T AFTER CREATE ON 'Patient' FOR EACH NODE "
+            "BEGIN CREATE (:Alert) END"
+        )
+        # the same catalog entry later: trigger still installed
+        db.graph("monitored").run("CREATE (:Patient {ssn: 'P1'})")
+        assert db.graph("monitored").graph.count_nodes_with_label("Alert") == 1
+
+
+class TestDefaultDatabase:
+    def test_connect_is_a_one_liner(self):
+        session = connect()
+        session.run("CREATE (:Hello)")
+        assert connect() is session
+        assert repro.DEFAULT_GRAPH_NAME in default_database()
+
+    def test_connect_named_graph(self):
+        covid = connect("covid")
+        covid.run("CREATE (:Hospital {name: 'Sacco'})")
+        assert connect("covid").graph.count_nodes_with_label("Hospital") == 1
+        assert default_database().list_graphs() == ["covid"]
+
+    def test_reset_default_database(self):
+        connect("temp").run("CREATE (:T)")
+        reset_default_database()
+        assert default_database().list_graphs() == []
+
+
+class TestDriverResultFlow:
+    def test_streaming_records_and_summary(self):
+        session = GraphDatabase().graph()
+        session.run("CREATE (:Person {name: 'Ada'})")
+        session.run("CREATE (:Person {name: 'Grace'})")
+        result = session.run("MATCH (p:Person) RETURN p.name AS name")
+        assert result.keys() == ["name"]
+        first = result.peek()
+        assert first["name"] == "Ada"
+        names = [record["name"] for record in result]
+        assert names == ["Ada", "Grace"]
+        summary = result.consume()
+        assert summary.query == "MATCH (p:Person) RETURN p.name AS name"
+        assert "LabelScan(Person)" in summary.plan
+
+    def test_write_summary_counters(self):
+        session = GraphDatabase().graph()
+        summary = session.run("CREATE (:A {x: 1})-[:R]->(:B)").consume()
+        counters = summary.counters.as_dict()
+        assert counters["nodes_created"] == 2
+        assert counters["relationships_created"] == 1
+        assert counters["properties_set"] == 1
+        assert summary.counters.contains_updates()
+
+    def test_deprecated_eager_shim_still_works(self):
+        """The old QueryResult surface keeps working on streamed results."""
+        session = GraphDatabase().graph()
+        session.run("CREATE (:Person {name: 'Ada'})")
+        result = session.run("MATCH (p:Person) RETURN p.name AS name")
+        assert result.rows == [{"name": "Ada"}]
+        assert result.values("name") == ["Ada"]
+        assert len(result) == 1
+        assert bool(result)
+        assert "Ada" in result.to_table()
+        # and the eager QueryResult class itself remains importable/usable
+        eager = QueryResult(columns=["x"], rows=[{"x": 1}])
+        assert eager.single("x") == 1

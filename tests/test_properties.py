@@ -8,7 +8,10 @@ Covered invariants:
 * APOC transition metadata and Memgraph predefined variables always agree
   with the delta they are derived from;
 * the Cypher lexer/parser and the trigger grammar round-trip generated
-  inputs without losing information.
+  inputs without losing information;
+* streaming and fully-materialised (eager) query execution return
+  identical rows, statistics and final graph states over randomised
+  read/write query mixes.
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.compat import predefined_variables, transition_parameters
 from repro.cypher import expression_text, parse_expression
+from repro.cypher.executor import QueryExecutor
+from repro.graph.model import Node, Relationship
 from repro.graph import PropertyGraph, graph_from_dict, graph_to_dict
 from repro.triggers import (
     ActionTime,
@@ -252,3 +257,83 @@ class TestLanguageRoundTrips:
         assert reparsed.property == prop
         assert reparsed.granularity == granularity
         assert reparsed.item == item
+
+
+# ---------------------------------------------------------------------------
+# streaming vs eager execution equivalence
+# ---------------------------------------------------------------------------
+
+#: Query templates mixing reads (streamable, incl. LIMIT/DISTINCT) with
+#: writes and blocking projections (pipeline breakers).  ``$v`` is bound
+#: per generated statement.
+_QUERY_TEMPLATES = [
+    "CREATE (:Person {value: $v})",
+    "CREATE (:Hospital {value: $v, beds: 3})",
+    "MERGE (:Person {value: $v})",
+    "UNWIND [$v, $v, 7] AS x CREATE (:Tag {value: x})",
+    "MATCH (n:Person) RETURN n.value AS value",
+    "MATCH (n:Person) WHERE n.value > $v RETURN n.value AS value LIMIT 3",
+    "MATCH (n:Person) RETURN DISTINCT n.value AS value",
+    "MATCH (n:Person) RETURN n.value AS value ORDER BY value SKIP 1",
+    "MATCH (n) RETURN count(n) AS c",
+    "MATCH (n:Person) WITH n.value AS v WHERE v >= $v RETURN v LIMIT 2",
+    "MATCH (n:Person) SET n.flag = $v",
+    "MATCH (n:Person) REMOVE n.flag",
+    "MATCH (n:Person {value: $v}) SET n:Marked",
+    "MATCH (n:Tag) WHERE n.value = $v DETACH DELETE n",
+    "MATCH (a:Person), (h:Hospital) CREATE (a)-[:TreatedAt {w: $v}]->(h)",
+    "MATCH (a:Person)-[r:TreatedAt]->(h:Hospital) RETURN a.value AS a, h.value AS h",
+    "MATCH (a:Person)-[r:TreatedAt]->(:Hospital) WHERE r.w = $v DELETE r",
+    "MATCH (p:Person) RETURN p",
+]
+
+query_mixes = st.lists(
+    st.tuples(st.sampled_from(_QUERY_TEMPLATES), st.integers(-5, 15)),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _canonical_value(value):
+    if isinstance(value, Node):
+        return ("node", value.id, tuple(sorted(value.labels)),
+                tuple(sorted(value.properties.items(), key=str)))
+    if isinstance(value, Relationship):
+        return ("rel", value.id, value.type, value.start, value.end,
+                tuple(sorted(value.properties.items(), key=str)))
+    if isinstance(value, list):
+        return tuple(_canonical_value(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _canonical_value(v)) for k, v in value.items()))
+    return value
+
+
+def _canonical_rows(columns, rows):
+    return [
+        tuple((column, _canonical_value(row.get(column))) for column in columns)
+        for row in rows
+    ]
+
+
+class TestStreamingEquivalence:
+    @given(query_mixes)
+    @settings(max_examples=60, deadline=None)
+    def test_streaming_and_eager_execution_agree(self, mix):
+        """Same queries, two engines: identical rows, statistics and state."""
+        streaming_graph = PropertyGraph()
+        eager_graph = PropertyGraph()
+        for template, value in mix:
+            parameters = {"v": value}
+            streaming = QueryExecutor(streaming_graph, parameters=parameters)
+            eager = QueryExecutor(eager_graph, parameters=parameters, eager=True)
+            s_columns, s_records = streaming.stream(template)
+            s_rows = list(s_records)  # lazy pull, row by row
+            e_result = eager.execute(template)  # clause-at-a-time lists
+            assert s_columns == e_result.columns, template
+            assert _canonical_rows(s_columns, s_rows) == _canonical_rows(
+                e_result.columns, e_result.rows
+            ), template
+            assert streaming.last_statistics.as_dict() == (
+                eager.last_statistics.as_dict()
+            ), template
+        assert _graph_snapshot(streaming_graph) == _graph_snapshot(eager_graph)

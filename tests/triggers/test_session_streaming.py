@@ -1,0 +1,109 @@
+"""GraphSession.run streaming semantics and auto-commit safety."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cypher.errors import CypherRuntimeError
+from repro.cypher.result import Result
+from repro.triggers import GraphSession
+
+
+@pytest.fixture
+def session() -> GraphSession:
+    s = GraphSession()
+    s.run("CREATE (:Item {name: 'ok', value: 1})")
+    s.run("CREATE (:Item {name: 'bad', value: 0})")
+    return s
+
+
+class TestStreamingAutoCommit:
+    def test_read_commits_when_stream_is_exhausted(self, session):
+        before = session.manager.committed_count
+        result = session.run("MATCH (i:Item) RETURN i.name AS name")
+        # Lazily consumed: the auto-commit transaction is still open.
+        assert session.manager.committed_count == before
+        assert sorted(record["name"] for record in result) == ["bad", "ok"]
+        assert session.manager.committed_count == before + 1
+
+    def test_consume_finalizes_and_reports_plan(self, session):
+        summary = session.run("MATCH (i:Item) RETURN i.name AS name").consume()
+        assert "LabelScan(Item)" in summary.plan
+        assert summary.result_available_after is not None
+        assert summary.result_consumed_after is not None
+        assert summary.counters.contains_updates() is False
+        assert summary.as_dict()["counters"]["nodes_created"] == 0
+
+    def test_failure_while_draining_rolls_back(self, session):
+        """Regression: an error raised mid-stream must roll the tx back."""
+        before_rollbacks = session.manager.rolled_back_count
+        before_commits = session.manager.committed_count
+        result = session.run("MATCH (i:Item) RETURN 1 / i.value AS inv")
+        assert next(result)["inv"] == 1  # the 'ok' row streams out fine
+        with pytest.raises(CypherRuntimeError):
+            next(result)  # the 'bad' row divides by zero
+        assert session.manager.rolled_back_count == before_rollbacks + 1
+        assert session.manager.committed_count == before_commits
+        # the session stays usable afterwards
+        assert session.run("MATCH (i:Item) RETURN count(*) AS n").single("n") == 2
+
+    def test_failure_during_compat_materialization_rolls_back(self, session):
+        before = session.manager.rolled_back_count
+        result = session.run("MATCH (i:Item) RETURN 1 / i.value AS inv")
+        with pytest.raises(CypherRuntimeError):
+            result.rows  # eager shim drains the stream
+        assert session.manager.rolled_back_count == before + 1
+
+    def test_new_statement_detaches_pending_stream(self, session):
+        pending = session.run("MATCH (i:Item) RETURN i.name AS name")
+        session.run("CREATE (:Item {name: 'later', value: 2})")
+        # the pending result was buffered before the write ran
+        assert sorted(r["name"] for r in pending) == ["bad", "ok"]
+        fresh = session.run("MATCH (i:Item) RETURN i.name AS name")
+        assert sorted(r["name"] for r in fresh) == ["bad", "later", "ok"]
+
+    def test_write_statements_apply_eagerly(self, session):
+        result = session.run("CREATE (:Item {name: 'eager', value: 3})")
+        assert isinstance(result, Result)
+        # no consumption needed: the write committed inside run()
+        assert session.graph.count_nodes_with_label("Item") == 3
+        assert result.consume().counters.nodes_created == 1
+
+    def test_triggers_fire_for_eager_writes_without_consumption(self):
+        session = GraphSession()
+        session.create_trigger(
+            "CREATE TRIGGER Audit AFTER CREATE ON 'Item' FOR EACH NODE "
+            "BEGIN CREATE (:Log) END"
+        )
+        session.run("CREATE (:Item {name: 'x'})")
+        assert session.graph.count_nodes_with_label("Log") == 1
+
+    def test_streaming_inside_explicit_transaction_is_materialized(self, session):
+        with session.transaction():
+            result = session.run("MATCH (i:Item) RETURN i.name AS name")
+            session.run("CREATE (:Item {name: 'tx', value: 9})")
+            assert sorted(r["name"] for r in result) == ["bad", "ok"]
+
+    def test_single_on_streamed_result(self, session):
+        value = session.run(
+            "MATCH (i:Item {name: 'ok'}) RETURN i.value AS v"
+        ).single("v")
+        assert value == 1
+
+    def test_single_on_multi_row_result_still_finalizes(self, session):
+        """Regression: a failed single() must not leave the tx open."""
+        before = session.manager.committed_count
+        result = session.run("MATCH (i:Item) RETURN i.name AS name")
+        with pytest.raises(ValueError):
+            result.single("name")
+        assert result.consumed
+        assert session.manager.committed_count == before + 1
+
+    def test_consumed_after_reflects_execution_not_caller_idle_time(self, session):
+        result = session.run("CREATE (:Item {name: 'timed', value: 4})")
+        recorded = result.summary().result_consumed_after
+        import time as _time
+
+        _time.sleep(0.05)
+        assert result.consume().result_consumed_after == recorded
+        assert recorded < 50  # ms; the write itself is sub-millisecond
