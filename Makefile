@@ -13,14 +13,16 @@ bench:
 	$(PYTHON) -m pytest benchmarks -q
 
 ## The benchmark smoke subset used by CI: the two trigger hot paths, the
-## planner/plan-cache experiment and the streaming-vs-eager P6 comparison.
-## Timings are dumped to BENCH_smoke.json (uploaded as a CI artifact).
+## planner/plan-cache experiment, the streaming-vs-eager P6 comparison and
+## the batched-vs-per-activation P7 trigger comparison.  Timings are dumped
+## to BENCH_smoke.json (uploaded as a CI artifact).
 bench-smoke:
 	$(PYTHON) -m pytest \
 		benchmarks/test_perf_trigger_overhead.py \
 		benchmarks/test_section63_apoc_worked_translations.py \
 		benchmarks/test_perf_plan_cache.py \
 		benchmarks/test_perf_streaming.py \
+		benchmarks/test_perf_batched_triggers.py \
 		-q --benchmark-columns=min,mean,rounds \
 		--benchmark-json=BENCH_smoke.json
 
@@ -31,3 +33,7 @@ explain-demo:
 ## Print the P6 experiment (streaming vs eager MATCH … LIMIT latency).
 streaming-demo:
 	$(PYTHON) -c "from repro.bench import perf_streaming_limit; print(perf_streaming_limit().to_text())"
+
+## Print the P7 experiment (batched vs per-activation trigger evaluation).
+batched-triggers-demo:
+	$(PYTHON) -c "from repro.bench import perf_batched_triggers; print(perf_batched_triggers().to_text())"

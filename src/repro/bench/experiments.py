@@ -22,6 +22,7 @@ Added performance experiments (labelled P1–P4 in DESIGN.md / EXPERIMENTS.md):
 * :func:`perf_compat_routes`     — native engine vs APOC route vs Memgraph route
 * :func:`perf_plan_cache`        — index-aware planning and the global plan cache
 * :func:`perf_streaming_limit`   — streaming vs eager MATCH … LIMIT latency
+* :func:`perf_batched_triggers`  — batched vs per-activation trigger evaluation
 """
 
 from __future__ import annotations
@@ -58,10 +59,13 @@ from ..datasets.workloads import (
 from ..graph.store import PropertyGraph
 from ..schema.validation import validate_graph
 from ..triggers.ast import EventType, ItemKind, TriggerDefinition, ActionTime, Granularity
+from ..triggers.engine import TriggerEngine
 from ..triggers.events import compute_activations
 from ..triggers.parser import parse_trigger
+from ..triggers.registry import TriggerRegistry
 from ..triggers.session import GraphSession
 from ..triggers.termination import analyse_termination
+from ..tx.manager import TransactionManager
 from ..tx.transaction import Transaction
 from .harness import ExperimentResult
 
@@ -671,6 +675,98 @@ def perf_streaming_limit(
     return result
 
 
+def perf_batched_triggers(
+    nodes: int = 50_000, gate_triggers: int = 2, configs: int = 96
+) -> ExperimentResult:
+    """P7 — batched vs per-activation trigger evaluation over a 50k-node delta.
+
+    One statement creates ``nodes`` Reading nodes, producing a delta with
+    ``nodes`` activations for each installed FOR EACH trigger:
+
+    * ``gate_triggers`` config-gated triggers whose condition matches a
+      feature-flag node out of a ``configs``-node Config catalog (the flag
+      is disabled, so they never fire) — the condition is activation-
+      invariant, so the batched engine matches it once per delta while the
+      per-activation engine re-scans the catalog ``nodes`` times;
+    * one Escalate trigger whose condition correlates with ``NEW`` against
+      the catalog's threshold entry, firing for the five highest readings
+      (creating Spike nodes);
+    * one Cascade trigger reacting to the produced Spikes — so the run
+      also exercises a cascade seeded from inside the batch.
+
+    The timed section is exactly the engine's processing of that delta,
+    through two engines differing only in ``batched_conditions``.  Both
+    routes must produce identical Spike/Audit populations; the batched
+    route must be ≥5x faster.
+    """
+    result = ExperimentResult(
+        "P7", "P7 — batched vs per-activation trigger condition evaluation"
+    )
+    outcomes: dict[str, tuple[int, int]] = {}
+    timings: dict[str, float] = {}
+    for route, batched in (("per-activation", False), ("batched", True)):
+        graph = PropertyGraph()
+        manager = TransactionManager(graph)
+        registry = TriggerRegistry()
+        engine = TriggerEngine(
+            graph, registry, manager, clock=_CLOCK, batched_conditions=batched
+        )
+        # A config catalog: one threshold entry, one (disabled) flag per
+        # gate trigger, and filler entries that make the catalog scan cost
+        # visible — the invariant work batching hoists out of the loop.
+        graph.create_node(["Config"], {"name": "threshold", "cutoff": nodes - 5})
+        for index in range(gate_triggers):
+            graph.create_node(["Config"], {"name": f"gate{index}", "enabled": False})
+        for index in range(configs):
+            graph.create_node(["Config"], {"name": f"entry{index}", "payload": index})
+        for index in range(gate_triggers):
+            registry.install(
+                f"CREATE TRIGGER Gate{index} AFTER CREATE ON 'Reading' FOR EACH NODE "
+                f"WHEN MATCH (c:Config {{name: 'gate{index}', enabled: true}}) "
+                "BEGIN CREATE (:NeverFired) END"
+            )
+        registry.install(
+            "CREATE TRIGGER Escalate AFTER CREATE ON 'Reading' FOR EACH NODE "
+            "WHEN MATCH (c:Config {name: 'threshold'}) WHERE NEW.value > c.cutoff "
+            "BEGIN CREATE (:Spike {value: NEW.value}) END"
+        )
+        registry.install(
+            "CREATE TRIGGER CascadeAudit AFTER CREATE ON 'Spike' FOR EACH NODE "
+            "BEGIN CREATE (:Audit {value: NEW.value}) END"
+        )
+        tx = manager.begin()
+        for index in range(nodes):
+            tx.create_node(["Reading"], {"value": index + 1})
+        delta = tx.end_statement()
+        started = time.perf_counter()
+        engine.run_statement_triggers(tx, delta)
+        elapsed = time.perf_counter() - started
+        manager.commit(tx)
+
+        spikes = graph.count_nodes_with_label("Spike")
+        audits = graph.count_nodes_with_label("Audit")
+        outcomes[route] = (spikes, audits)
+        timings[route] = elapsed
+        evaluations = nodes * (gate_triggers + 1)
+        result.add_row(
+            route=route,
+            nodes=nodes,
+            triggers=gate_triggers + 2,
+            seconds=elapsed,
+            mean_us_per_evaluation=1_000_000 * elapsed / evaluations,
+            spikes=spikes,
+            audits=audits,
+            batched_activations=engine.batch_stats["batched_activations"],
+        )
+    assert outcomes["per-activation"] == outcomes["batched"], (
+        "batched evaluation changed trigger results"
+    )
+    speedup = timings["per-activation"] / timings["batched"] if timings["batched"] else float("inf")
+    result.note(f"speedup (per-activation / batched): {speedup:.1f}x")
+    result.note("both routes produced identical Spike and Audit populations")
+    return result
+
+
 #: Registry used by the CLI runner and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "T1": table1_feature_matrix,
@@ -689,4 +785,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "P4": perf_compat_routes,
     "P5": perf_plan_cache,
     "P6": perf_streaming_limit,
+    "P7": perf_batched_triggers,
 }

@@ -519,3 +519,24 @@ def walk_expression(expr: Expression) -> Sequence[Expression]:
     for child in children:
         out.extend(walk_expression(child))
     return out
+
+
+def expression_variable_names(expr: Expression) -> set[str]:
+    """Row variables an expression may read (conservative superset).
+
+    Collects every :class:`Variable` name plus the element variables of
+    EXISTS sub-patterns — those are references into the row too, but
+    :func:`walk_expression` does not surface them as Variable nodes.
+    Used by the planner (reorder-decline checks) and the executor (match
+    memoization keys); both must see the identical dependency set.
+    """
+    names: set[str] = set()
+    for sub in walk_expression(expr):
+        if isinstance(sub, Variable):
+            names.add(sub.name)
+        elif isinstance(sub, ExistsPattern):
+            for pattern in sub.patterns:
+                for element in pattern.elements:
+                    if element.variable is not None:
+                        names.add(element.variable)
+    return names

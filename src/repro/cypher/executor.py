@@ -83,6 +83,7 @@ from .ast import (
     SetPropertyItem,
     UnwindClause,
     WithClause,
+    expression_variable_names,
     walk_expression,
 )
 from .errors import CypherRuntimeError, CypherTypeError, UnsupportedFeatureError
@@ -150,6 +151,9 @@ class QueryExecutor:
         virtual_labels: Mapping[str, set[int]] | None = None,
         max_hops: int = DEFAULT_MAX_HOPS,
         eager: bool = False,
+        join_ordering: bool = True,
+        memoize_match: bool = False,
+        memoize_skip_variables: Iterable[str] = (),
     ) -> None:
         self.graph = graph
         self.transaction = transaction or Transaction(graph)
@@ -161,8 +165,25 @@ class QueryExecutor:
         #: Materialise every pipeline stage clause-by-clause (the
         #: pre-streaming behaviour); baseline for equivalence tests/benchmarks.
         self.eager = eager
+        #: Apply the planner's cost-based multi-pattern join order.  Off, a
+        #: multi-pattern MATCH joins its patterns in clause order — the
+        #: naive baseline the differential tests compare against.
+        self.join_ordering = join_ordering
+        #: Memoise pattern extensions across input rows (see
+        #: :meth:`_iter_pattern_memoized`).  Only sound while the graph
+        #: cannot change under this executor — the trigger engine enables
+        #: it for its read-only batched condition passes.
+        self.memoize_match = memoize_match
+        #: Variables known to differ on every input row (the trigger
+        #: engine passes its transition-variable names): a pattern
+        #: depending on one can never get a memo hit, so it stays on the
+        #: live path instead of filling the memo with dead entries.
+        self.memoize_skip_variables = frozenset(memoize_skip_variables)
         self.last_statistics = QueryStatistics()
         self._plan: QueryPlan | None = None
+        self._base_context: EvaluationContext | None = None
+        self._match_memo: dict[tuple, _MatchMemo] = {}
+        self._match_deps: dict[int, tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -202,6 +223,32 @@ class QueryExecutor:
         query with side effects has applied all of them by the time
         ``stream`` returns, whether or not the iterator is ever consumed.
         """
+        return self._stream_rows(query, parameters, [dict(bindings or {})])
+
+    def stream_batch(
+        self,
+        query: Query | str,
+        rows: Iterable[Mapping[str, Any]],
+        parameters: Mapping[str, Any] | None = None,
+    ) -> tuple[list[str], Iterator[dict[str, Any]]]:
+        """Run one pipeline pass over many initial rows (UNWIND-style).
+
+        Exactly :meth:`stream`, except the pipeline starts from every row
+        of ``rows`` instead of a single bindings row.  Because every
+        streamable stage maps each input row independently and in order,
+        the output of a read-only Match/Unwind pipeline is the ordered
+        concatenation of what per-row executions would have produced —
+        which is what the trigger engine's batched condition evaluation
+        relies on.
+        """
+        return self._stream_rows(query, parameters, [dict(row) for row in rows])
+
+    def _stream_rows(
+        self,
+        query: Query | str,
+        parameters: Mapping[str, Any] | None,
+        initial_rows: list[dict[str, Any]],
+    ) -> tuple[list[str], Iterator[dict[str, Any]]]:
         if isinstance(query, str):
             query, self._plan = PLAN_CACHE.get(
                 query, self.graph, frozenset(self.virtual_labels)
@@ -213,7 +260,7 @@ class QueryExecutor:
         if parameters:
             self.parameters.update(parameters)
         self.last_statistics = QueryStatistics()
-        rows: Iterator[dict[str, Any]] = iter([dict(bindings or {})])
+        rows: Iterator[dict[str, Any]] = iter(initial_rows)
         for index, clause in enumerate(query.clauses):
             if isinstance(clause, ReturnClause):
                 if index != len(query.clauses) - 1:
@@ -310,6 +357,18 @@ class QueryExecutor:
     # ------------------------------------------------------------------
 
     def _context(self, aggregate_lookup: Optional[dict[int, Any]] = None) -> EvaluationContext:
+        if aggregate_lookup is None:
+            # The no-aggregate context is immutable and row-independent
+            # (``parameters`` is shared by reference), so one instance
+            # serves every evaluation of this executor.
+            if self._base_context is None:
+                self._base_context = EvaluationContext(
+                    graph=self.graph,
+                    parameters=self.parameters,
+                    clock=self.clock,
+                    pattern_matcher=self._exists_matcher,
+                )
+            return self._base_context
         return EvaluationContext(
             graph=self.graph,
             parameters=self.parameters,
@@ -345,13 +404,31 @@ class QueryExecutor:
     # ------------------------------------------------------------------
 
     def _iter_match(self, clause: MatchClause, rows: Iterator[dict]) -> Iterator[dict]:
+        patterns = self._ordered_patterns(clause)
         for row in rows:
-            yield from self._iter_match_row(clause, row)
+            yield from self._iter_match_row(clause, patterns, row)
 
-    def _iter_match_row(self, clause: MatchClause, row: dict) -> Iterator[dict]:
+    def _ordered_patterns(self, clause: MatchClause) -> Sequence[PathPattern]:
+        """The clause's patterns in the planner's cost-based join order.
+
+        Multi-pattern clauses join their patterns in the planned order
+        when one is available (the patterns form a commutative
+        conjunction, so the row *set* is order-independent);
+        ``join_ordering=False`` keeps the naive clause order.  Resolved
+        once per MATCH stage, not per input row.
+        """
+        if self.join_ordering and self._plan is not None and self._plan.has_join_orders:
+            join_order = self._plan.join_order_for(clause)
+            if join_order is not None:
+                return [clause.patterns[index] for index in join_order.order]
+        return clause.patterns
+
+    def _iter_match_row(
+        self, clause: MatchClause, patterns: Sequence[PathPattern], row: dict
+    ) -> Iterator[dict]:
         """All bindings one input row produces for a MATCH clause, lazily."""
         produced = False
-        for candidate in self._iter_patterns(clause.patterns, dict(row)):
+        for candidate in self._iter_patterns(patterns, dict(row)):
             if clause.where is not None and self._evaluate(clause.where, candidate) is not True:
                 continue
             produced = True
@@ -368,6 +445,87 @@ class QueryExecutor:
 
     def _iter_pattern(self, pattern: PathPattern, row: dict) -> Iterator[dict]:
         """Lazily yield every way of matching ``pattern`` from ``row``."""
+        if self.memoize_match and not any(
+            name in self.memoize_skip_variables
+            for name in self._pattern_dependencies(pattern)
+        ):
+            yield from self._iter_pattern_memoized(pattern, row)
+        else:
+            yield from self._iter_pattern_live(pattern, row)
+
+    def _iter_pattern_memoized(self, pattern: PathPattern, row: dict) -> Iterator[dict]:
+        """Cross-row memoization of pattern extensions (batched passes only).
+
+        A pattern reads a fixed set of row bindings — its element
+        variables plus whatever its property expressions reference
+        (:meth:`_pattern_dependencies`).  Two input rows agreeing on those
+        bindings therefore produce the same extensions, differing only in
+        the untouched pass-through variables; the first row's extension
+        *deltas* are cached (filled lazily, so EXISTS early-exit keeps
+        paying only for what it pulls) and replayed onto later rows.
+
+        A batch of trigger activations hits this hard: a condition
+        pattern over configuration/catalog nodes that never mentions
+        OLD/NEW is matched once instead of once per activation.  Keys use
+        binding *identity* (ids pinned via the entry), never value
+        equality, so two same-id snapshots with different properties can
+        never alias.  Only sound while the graph is frozen for the
+        executor's lifetime — which the trigger engine's read-only,
+        eagerly drained batch pass guarantees.
+        """
+        dependencies = self._pattern_dependencies(pattern)
+        key = (id(pattern),) + tuple(
+            (name, id(row[name])) for name in dependencies if name in row
+        )
+        entry = self._match_memo.get(key)
+        if entry is None:
+            entry = _MatchMemo(
+                base=row,
+                source=self._iter_pattern_live(pattern, row),
+                pins=[row.get(name) for name in dependencies],
+            )
+            self._match_memo[key] = entry
+        index = 0
+        while True:
+            if index < len(entry.deltas):
+                merged = dict(row)
+                merged.update(entry.deltas[index])
+                index += 1
+                yield merged
+                continue
+            if entry.complete:
+                return
+            try:
+                extended = next(entry.source)
+            except StopIteration:
+                entry.complete = True
+                entry.source = None
+                return
+            base = entry.base
+            entry.deltas.append(
+                {
+                    name: value
+                    for name, value in extended.items()
+                    if name not in base or base[name] is not value
+                }
+            )
+
+    def _pattern_dependencies(self, pattern: PathPattern) -> tuple[str, ...]:
+        """Row variables whose bindings can influence matching ``pattern``."""
+        dependencies = self._match_deps.get(id(pattern))
+        if dependencies is None:
+            names: set[str] = set()
+            for element in pattern.elements:
+                if element.variable is not None:
+                    names.add(element.variable)
+                for _, expr in element.properties:
+                    names.update(expression_variable_names(expr))
+            dependencies = tuple(sorted(names))
+            self._match_deps[id(pattern)] = dependencies
+        return dependencies
+
+    def _iter_pattern_live(self, pattern: PathPattern, row: dict) -> Iterator[dict]:
+        """Uncached matching of ``pattern`` against the live graph."""
         elements = pattern.elements
         access: AccessPath | None = None
         if self._plan is not None:
@@ -747,7 +905,7 @@ class QueryExecutor:
         if wildcard_names:
             raise UnsupportedFeatureError("WITH */RETURN * cannot be combined with aggregation")
         grouping_items = [
-            item for item in items if not _contains_aggregate(item.expression)
+            item for item in items if not contains_aggregate(item.expression)
         ]
         groups: dict[tuple, dict] = {}
         group_rows: dict[tuple, list[dict]] = {}
@@ -1076,6 +1234,28 @@ class QueryExecutor:
 # module-level helpers
 # ---------------------------------------------------------------------------
 
+
+class _MatchMemo:
+    """One memoized pattern extension set (see ``_iter_pattern_memoized``).
+
+    ``deltas`` grows lazily from ``source`` (the live match generator of
+    the first row that needed this key) until ``complete``; ``base`` is
+    that first row, against which deltas are computed; ``pins`` keeps the
+    keyed binding objects alive so their ids cannot be recycled while the
+    entry can still be hit.
+    """
+
+    __slots__ = ("base", "source", "pins", "deltas", "complete")
+
+    def __init__(self, base: dict, source: Iterator[dict], pins: list) -> None:
+        self.base = base
+        self.source: Iterator[dict] | None = source
+        self.pins = pins
+        self.deltas: list[dict] = []
+        self.complete = False
+
+
+
 #: Clauses with no side effects; anything else (writes, CALL — procedures
 #: may run write subqueries) makes a query non-read-only.
 _READ_ONLY_CLAUSES = (MatchClause, UnwindClause, WithClause, ReturnClause)
@@ -1133,7 +1313,13 @@ def _same_item(left: Any, right: Any) -> bool:
     return left == right
 
 
-def _contains_aggregate(expr: Expression) -> bool:
+def contains_aggregate(expr: Expression) -> bool:
+    """True when ``expr`` contains an aggregate call (or ``count(*)``).
+
+    Shared rule: the projection planner uses it to pick grouping items,
+    and the trigger engine's batchability check uses it to reject
+    conditions that would aggregate *across* activations.
+    """
     for sub in walk_expression(expr):
         if isinstance(sub, CountStar):
             return True

@@ -28,9 +28,22 @@ Two things live here:
   (flipping relationship directions), which preserves the produced
   bindings exactly.
 
-  Every access path is advisory: the executor re-verifies labels and
-  properties on each candidate (and the WHERE clause still runs), so a
-  stale or wrong plan can only cost performance, never change results.
+  On top of the per-pattern access paths, the planner performs
+  **cost-based join ordering** for multi-pattern MATCH clauses
+  (``MATCH (a:A), (b:B), …``): every pattern gets an estimated
+  cardinality from :class:`~repro.graph.statistics.CardinalityEstimator`
+  (label counts, index selectivity, relationship expansion factors), and
+  the patterns are ordered greedily — cheapest/most-bound first, then
+  always preferring patterns *connected* to an already-planned one over
+  disconnected patterns, so cartesian products are deferred as far as
+  possible.  The chosen :class:`JoinOrder` (with its estimates) is part
+  of the plan and shows up in ``EXPLAIN`` output.
+
+  Every access path — and the join order, since patterns of one MATCH
+  clause form a commutative conjunction — is advisory: the executor
+  re-verifies labels and properties on each candidate (and the WHERE
+  clause still runs), so a stale or wrong plan can only cost
+  performance, never change results.
 
 * **The plan cache** — :class:`PlanCache`, a module-level LRU shared by
   the executor, the trigger engine, the APOC/Memgraph emulation layers
@@ -53,8 +66,11 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Union
 
+from ..graph.statistics import CardinalityEstimator
 from .ast import (
     BinaryOp,
+    CallClause,
+    CreateClause,
     ExistsPattern,
     Expression,
     Literal,
@@ -67,8 +83,11 @@ from .ast import (
     Query,
     RelationshipPattern,
     ReturnClause,
+    UnwindClause,
     Variable,
+    WithClause,
     expression_text,
+    expression_variable_names,
     walk_expression,
 )
 from .errors import CypherSyntaxError
@@ -117,34 +136,87 @@ class AccessPath:
         return "AllNodesScan"
 
 
+def _format_rows(estimate: float) -> str:
+    """Compact human-readable row estimate for EXPLAIN output."""
+    if estimate >= 100:
+        return str(int(round(estimate)))
+    return f"{round(estimate, 2):g}"
+
+
 @dataclass(frozen=True)
 class PatternPlan:
-    """Plan for one path pattern: element order and start access path."""
+    """Plan for one path pattern: element order, start path and cardinality."""
 
     pattern: PathPattern
     elements: tuple[Union[NodePattern, RelationshipPattern], ...]
     start: AccessPath
     reversed: bool = False
+    #: Estimated result rows of matching this pattern standalone.
+    estimated_rows: float = 0.0
 
     def describe(self) -> str:
         start = self.elements[0]
         name = start.variable or "_"
         direction = " (reversed)" if self.reversed else ""
-        return f"start=({name}) {self.start.describe()}{direction}"
+        return (
+            f"start=({name}) {self.start.describe()}{direction} "
+            f"est~{_format_rows(self.estimated_rows)} rows"
+        )
+
+
+@dataclass(frozen=True)
+class JoinOrder:
+    """Execution order for the patterns of one multi-pattern MATCH clause.
+
+    ``order`` holds indexes into ``clause.patterns``; ``estimated_rows``
+    is the standalone estimate per pattern *in clause order* (so EXPLAIN
+    can print both the chosen order and what each pattern was thought to
+    cost).  ``cartesian`` records that at least one step had to start a
+    disconnected pattern (a cartesian product the clause itself forces).
+    """
+
+    clause: MatchClause
+    order: tuple[int, ...]
+    estimated_rows: tuple[float, ...]
+    cartesian: bool = False
+
+    @property
+    def reordered(self) -> bool:
+        """True when the chosen order differs from clause order."""
+        return self.order != tuple(range(len(self.order)))
+
+    def describe(self) -> str:
+        steps = ", ".join(
+            f"pattern[{index}] est~{_format_rows(self.estimated_rows[index])}"
+            for index in self.order
+        )
+        suffix = " cartesian" if self.cartesian else ""
+        return f"JoinOrder({steps}){suffix}"
 
 
 class QueryPlan:
     """Per-pattern access plans for one parsed query against one graph."""
 
-    __slots__ = ("query", "_by_pattern", "_lines")
+    __slots__ = ("query", "_by_pattern", "_by_clause", "_lines", "has_join_orders")
 
-    def __init__(self, query: Query, pattern_plans: Iterable[PatternPlan]) -> None:
+    def __init__(
+        self,
+        query: Query,
+        pattern_plans: Iterable[PatternPlan],
+        join_orders: Iterable[JoinOrder] = (),
+    ) -> None:
         self.query = query
         self._by_pattern: dict[int, PatternPlan] = {}
+        self._by_clause: dict[int, JoinOrder] = {}
         self._lines: list[str] = []
         for plan in pattern_plans:
             self._by_pattern[id(plan.pattern)] = plan
             self._lines.append(plan.describe())
+        for join_order in join_orders:
+            self._by_clause[id(join_order.clause)] = join_order
+            self._lines.append(join_order.describe())
+        #: Cheap executor-side check before the per-row clause lookup.
+        self.has_join_orders = bool(self._by_clause)
 
     def for_pattern(self, pattern: PathPattern) -> Optional[PatternPlan]:
         """The plan for ``pattern``, or None when it was not planned."""
@@ -153,16 +225,27 @@ class QueryPlan:
             return plan
         return None
 
+    def join_order_for(self, clause: MatchClause) -> Optional[JoinOrder]:
+        """The join order chosen for ``clause`` (None for single patterns)."""
+        join_order = self._by_clause.get(id(clause))
+        if join_order is not None and join_order.clause is clause:
+            return join_order
+        return None
+
     def pattern_plans(self) -> list[PatternPlan]:
         """All pattern plans, in clause order."""
         return list(self._by_pattern.values())
+
+    def join_orders(self) -> list[JoinOrder]:
+        """All multi-pattern join orders, in clause order."""
+        return list(self._by_clause.values())
 
     def uses_index(self) -> bool:
         """True when any pattern starts from a property-index lookup."""
         return any(p.start.kind == INDEX for p in self._by_pattern.values())
 
     def plan_description(self) -> str:
-        """EXPLAIN-style description, one line per planned pattern."""
+        """EXPLAIN-style description: pattern lines then join-order lines."""
         if not self._lines:
             return "(no MATCH patterns to plan)"
         return "\n".join(self._lines)
@@ -178,25 +261,38 @@ def plan_query(
     graph,
     virtual_labels: Iterable[str] = (),
 ) -> QueryPlan:
-    """Choose access paths for every MATCH/MERGE pattern of ``query``.
+    """Choose access paths and join orders for every pattern of ``query``.
 
     ``graph`` only needs the index-metadata surface of
     :class:`~repro.graph.store.PropertyGraph` (``property_indexes()``,
-    ``count_nodes_with_label()``, ``node_count()``).
+    ``count_nodes_with_label()``, ``node_count()``); richer statistics
+    surfaces (``relationship_count()``, ``property_index_selectivity()``)
+    sharpen the cardinality estimates when present.
     """
     virtual = frozenset(virtual_labels)
     indexed = frozenset(graph.property_indexes())
+    estimator = CardinalityEstimator(graph)
     plans: list[PatternPlan] = []
+    join_orders: list[JoinOrder] = []
+    bound: set[str] = set()
     for clause in query.clauses:
         if isinstance(clause, MatchClause):
             equalities = _sargable_equalities(clause.where)
-            for pattern in clause.patterns:
-                plans.append(_plan_pattern(pattern, equalities, graph, virtual, indexed))
+            clause_plans = [
+                _plan_pattern(pattern, equalities, graph, virtual, indexed, estimator)
+                for pattern in clause.patterns
+            ]
+            plans.extend(clause_plans)
+            if len(clause_plans) > 1:
+                join_order = _order_patterns(clause, clause_plans, bound)
+                if join_order is not None:
+                    join_orders.append(join_order)
         elif isinstance(clause, MergeClause):
             # MERGE's match phase benefits from the same start-point choice;
             # only inline property maps are sargable here (no WHERE).
-            plans.append(_plan_pattern(clause.pattern, {}, graph, virtual, indexed))
-    return QueryPlan(query, plans)
+            plans.append(_plan_pattern(clause.pattern, {}, graph, virtual, indexed, estimator))
+        bound = _advance_bound_variables(clause, bound)
+    return QueryPlan(query, plans, join_orders)
 
 
 def explain(text: str, graph, virtual_labels: Iterable[str] = ()) -> str:
@@ -212,10 +308,11 @@ def _plan_pattern(
     graph,
     virtual: frozenset,
     indexed: frozenset,
+    estimator: CardinalityEstimator,
 ) -> PatternPlan:
     first = pattern.elements[0]
     assert isinstance(first, NodePattern)
-    first_path, first_cost = _access_path(first, equalities, graph, virtual, indexed)
+    first_path, first_cost = _access_path(first, equalities, graph, virtual, indexed, estimator)
     # Reversing changes the order nodes/relationships are appended to a
     # bound path variable and to a variable-length relationship's hop
     # list, so only anonymous, fixed-length paths are eligible; and since
@@ -235,15 +332,22 @@ def _plan_pattern(
     if can_reverse:
         last = pattern.elements[-1]
         assert isinstance(last, NodePattern)
-        last_path, last_cost = _access_path(last, equalities, graph, virtual, indexed)
+        last_path, last_cost = _access_path(last, equalities, graph, virtual, indexed, estimator)
         if last_cost < first_cost:
+            elements = _reverse_elements(pattern.elements)
             return PatternPlan(
                 pattern=pattern,
-                elements=_reverse_elements(pattern.elements),
+                elements=elements,
                 start=last_path,
                 reversed=True,
+                estimated_rows=estimator.pattern_cardinality(last_cost, elements),
             )
-    return PatternPlan(pattern=pattern, elements=pattern.elements, start=first_path)
+    return PatternPlan(
+        pattern=pattern,
+        elements=pattern.elements,
+        start=first_path,
+        estimated_rows=estimator.pattern_cardinality(first_cost, pattern.elements),
+    )
 
 
 def _access_path(
@@ -252,6 +356,7 @@ def _access_path(
     graph,
     virtual: frozenset,
     indexed: frozenset,
+    estimator: CardinalityEstimator,
 ) -> tuple[AccessPath, float]:
     """Best access path for one node pattern plus its estimated cost."""
     # Virtual labels mirror the executor's existing precedence: they are
@@ -265,12 +370,132 @@ def _access_path(
     for label in real_labels:
         for prop, value in candidates:
             if (label, prop) in indexed:
-                return AccessPath(kind=INDEX, label=label, property=prop, value=value), 1.0
+                path = AccessPath(kind=INDEX, label=label, property=prop, value=value)
+                return path, estimator.index_selectivity(label, prop)
 
     if real_labels:
         cost = min(graph.count_nodes_with_label(l) for l in real_labels)
         return AccessPath(kind=LABEL, labels=real_labels), float(max(cost, 1))
     return AccessPath(kind=SCAN), float(max(graph.node_count(), 2))
+
+
+# ---------------------------------------------------------------------------
+# multi-pattern join ordering
+# ---------------------------------------------------------------------------
+
+
+def _order_patterns(
+    clause: MatchClause,
+    clause_plans: list[PatternPlan],
+    bound_before: set[str],
+) -> Optional[JoinOrder]:
+    """Greedy cost-based ordering for the patterns of one MATCH clause.
+
+    Start from the cheapest pattern (a pattern whose start variable is
+    already bound by an earlier clause is near-free); afterwards always
+    prefer patterns sharing a variable with what is planned so far —
+    their nested-loop cost starts from bound values — and only fall back
+    to a disconnected (cartesian) pattern when nothing connects.  Ties
+    break towards clause order, so equal-cost plans keep the author's
+    layout.  The order is advisory: patterns of one MATCH clause are a
+    commutative conjunction, so any order produces the same row *set*.
+
+    Exception: a pattern whose inline property map *reads* a variable
+    that neither an earlier clause nor a *preceding element of the same
+    pattern* binds (``(b:B {x: a.y})``, or ``(b:B {y: a.z})-[:R]->(a)``
+    where ``a`` comes from a sibling pattern) is evaluation-order
+    dependent — running it before the sibling binding the variable would
+    raise instead of producing the same rows, and whether it is reached
+    at all can depend on its clause position.  Such clauses are declined
+    (returns None) and keep their written order.
+    """
+    for plan in clause_plans:
+        if _pattern_has_external_reads(plan.pattern, bound_before):
+            return None
+    variables = [_pattern_variable_names(plan.pattern) for plan in clause_plans]
+    estimates = tuple(plan.estimated_rows for plan in clause_plans)
+    bound = set(bound_before)
+    remaining = list(range(len(clause_plans)))
+    order: list[int] = []
+    cartesian = False
+
+    def effective_cost(index: int) -> float:
+        start_variable = clause_plans[index].elements[0].variable
+        if start_variable is not None and start_variable in bound:
+            return 1.0
+        return estimates[index]
+
+    while remaining:
+        connected = [i for i in remaining if variables[i] & bound]
+        pool = connected or remaining
+        if order and not connected:
+            cartesian = True
+        best = min(pool, key=lambda i: (effective_cost(i), i))
+        order.append(best)
+        bound |= variables[best]
+        remaining.remove(best)
+    return JoinOrder(
+        clause=clause,
+        order=tuple(order),
+        estimated_rows=estimates,
+        cartesian=cartesian,
+    )
+
+
+def _pattern_variable_names(pattern: PathPattern) -> set[str]:
+    """Variables a pattern binds or references (connectivity for ordering)."""
+    names = {element.variable for element in pattern.elements if element.variable}
+    if pattern.variable is not None:
+        names.add(pattern.variable)
+    return names
+
+
+def _pattern_has_external_reads(pattern: PathPattern, bound_before: set[str]) -> bool:
+    """Does any element property map read a variable the pattern has not
+    bound by that point?
+
+    Matching proceeds element by element (reversal is blocked for
+    patterns with non-static property maps), so a property expression may
+    only rely on variables from earlier clauses (``bound_before``) or
+    from *preceding* elements of the same pattern.  Anything else — a
+    sibling pattern's variable, a forward reference, an element's own
+    variable — makes the pattern's behaviour depend on evaluation order.
+    """
+    available = set(bound_before)
+    for element in pattern.elements:
+        for _, expr in element.properties:
+            if expression_variable_names(expr) - available:
+                return True
+        if element.variable is not None:
+            available.add(element.variable)
+    return False
+
+
+def _advance_bound_variables(clause, bound: set[str]) -> set[str]:
+    """Variables visible after ``clause``, given ``bound`` before it.
+
+    Only used to inform join ordering (a bound start variable makes a
+    pattern near-free), so over- or under-approximating here affects plan
+    quality, never results.
+    """
+    if isinstance(clause, (MatchClause, CreateClause)):
+        out = set(bound)
+        for pattern in clause.patterns:
+            out |= _pattern_variable_names(pattern)
+        return out
+    if isinstance(clause, MergeClause):
+        return bound | _pattern_variable_names(clause.pattern)
+    if isinstance(clause, UnwindClause):
+        return bound | {clause.variable}
+    if isinstance(clause, CallClause):
+        return bound | {alias for _, alias in clause.yield_items}
+    if isinstance(clause, (WithClause, ReturnClause)):
+        names = {item.output_name() for item in clause.items}
+        if clause.include_wildcard:
+            return bound | names
+        # A projecting WITH narrows scope to exactly its output names.
+        return names
+    return bound
 
 
 def _pattern_properties_static(pattern: PathPattern) -> bool:

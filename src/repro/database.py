@@ -53,9 +53,11 @@ class GraphDatabase:
         self,
         clock: Callable[[], _dt.datetime] | None = None,
         max_cascade_depth: int = 16,
+        batched_triggers: bool = True,
     ) -> None:
         self._clock = clock
         self._max_cascade_depth = max_cascade_depth
+        self._batched_triggers = batched_triggers
         self._sessions: dict[str, GraphSession] = {}
         self._lock = threading.RLock()
 
@@ -82,6 +84,7 @@ class GraphDatabase:
                 schema=schema,
                 clock=self._clock,
                 max_cascade_depth=self._max_cascade_depth,
+                batched_triggers=self._batched_triggers,
             )
             self._sessions[name] = session
             return session

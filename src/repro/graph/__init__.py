@@ -27,11 +27,12 @@ from .errors import (
 from .model import GraphItem, Node, Relationship, is_node, is_relationship
 from .networkx_adapter import from_networkx, to_networkx
 from .serialization import dumps, graph_from_dict, graph_to_dict, load, loads, save
-from .statistics import GraphStatistics, compute_statistics, describe
+from .statistics import CardinalityEstimator, GraphStatistics, compute_statistics, describe
 from .store import BOTH, INCOMING, OUTGOING, PropertyGraph
 
 __all__ = [
     "BOTH",
+    "CardinalityEstimator",
     "GraphDelta",
     "GraphError",
     "GraphIntegrityError",

@@ -73,6 +73,9 @@ class PropertyIndex:
     def __init__(self) -> None:
         self._indexed_pairs: set[tuple[str, str]] = set()
         self._entries: dict[tuple[str, str], dict[Hashable, set[int]]] = {}
+        #: Running (total entries, distinct values) per pair, maintained
+        #: by add/remove so selectivity estimates never need a scan.
+        self._counts: dict[tuple[str, str], list[int]] = {}
 
     def create(self, label: str, prop: str) -> None:
         """Declare an index on ``label``/``prop`` (idempotent).
@@ -86,12 +89,14 @@ class PropertyIndex:
             return
         self._indexed_pairs.add(pair)
         self._entries[pair] = defaultdict(set)
+        self._counts[pair] = [0, 0]
 
     def drop(self, label: str, prop: str) -> None:
         """Drop the index on ``label``/``prop`` if present."""
         pair = (label, prop)
         self._indexed_pairs.discard(pair)
         self._entries.pop(pair, None)
+        self._counts.pop(pair, None)
 
     def is_indexed(self, label: str, prop: str) -> bool:
         """Return True when an index exists for ``label``/``prop``."""
@@ -107,7 +112,13 @@ class PropertyIndex:
         entries = self._entries.get(pair)
         if entries is None:
             return
-        entries[_freeze_value(value)].add(item_id)
+        bucket = entries[_freeze_value(value)]
+        if item_id not in bucket:
+            bucket.add(item_id)
+            counts = self._counts[pair]
+            counts[0] += 1
+            if len(bucket) == 1:
+                counts[1] += 1
 
     def remove(self, label: str, prop: str, value: Any, item_id: int) -> None:
         """Remove an entry if present."""
@@ -117,11 +128,29 @@ class PropertyIndex:
             return
         key = _freeze_value(value)
         bucket = entries.get(key)
-        if bucket is None:
+        if bucket is None or item_id not in bucket:
             return
         bucket.discard(item_id)
+        counts = self._counts[pair]
+        counts[0] -= 1
         if not bucket:
+            counts[1] -= 1
             del entries[key]
+
+    def selectivity(self, label: str, prop: str) -> float | None:
+        """Expected entries per distinct value, from the running counters.
+
+        O(1): the counters are maintained by :meth:`add`/:meth:`remove`.
+        Returns ``None`` when the pair is not indexed and ``1.0`` for a
+        declared-but-empty index (a probe behaves like a point lookup).
+        """
+        counts = self._counts.get((label, prop))
+        if counts is None:
+            return None
+        total, distinct = counts
+        if distinct == 0:
+            return 1.0
+        return total / distinct
 
     def lookup(self, label: str, prop: str, value: Any) -> set[int] | None:
         """Return matching ids, or ``None`` when the pair is not indexed.

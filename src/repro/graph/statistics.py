@@ -1,14 +1,24 @@
-"""Descriptive statistics over property graphs.
+"""Descriptive statistics and cardinality estimation over property graphs.
 
-Used by the benchmark harness to characterise generated workloads (so the
-EXPERIMENTS report can state the size and shape of the graphs each
-experiment ran on) and by examples to print dataset summaries.
+Two consumers live off this module:
+
+* the benchmark harness and examples use :func:`compute_statistics` /
+  :func:`describe` to characterise generated workloads;
+* the query planner (:mod:`repro.cypher.planner`) uses
+  :class:`CardinalityEstimator` to put numbers on MATCH patterns so it can
+  order the patterns of a multi-pattern clause by estimated cost.
+
+The estimates are deliberately cheap — every figure comes from an index
+count or a ratio of counts, never from a scan — and deliberately advisory:
+the executor re-verifies every candidate, so a wrong estimate can only cost
+performance, never correctness.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from .store import BOTH, PropertyGraph
 
@@ -80,6 +90,122 @@ def compute_statistics(graph: PropertyGraph) -> GraphStatistics:
         mean_degree=(sum(degrees) / node_count) if node_count else 0.0,
         unlabeled_nodes=unlabeled,
     )
+
+
+class CardinalityEstimator:
+    """Cheap cardinality estimates for the query planner's cost model.
+
+    Works against anything exposing the index-metadata surface of
+    :class:`~repro.graph.store.PropertyGraph`; graph-likes missing a method
+    degrade to neutral estimates instead of raising, so the planner keeps
+    working on reduced fakes used in tests.
+
+    All estimators return floats measured in *expected rows*.
+    """
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+
+    # -- node-level estimates -------------------------------------------
+
+    def node_cardinality(self) -> float:
+        """Expected rows of a full node scan: the node count."""
+        return float(self._call("node_count", 0))
+
+    def label_cardinality(self, labels: Iterable[str]) -> float:
+        """Expected rows of a label scan over the most selective of ``labels``.
+
+        The executor picks the smallest label bucket at run time, so the
+        estimate mirrors that choice: the minimum per-label count.
+        """
+        counts = [self._label_count(label) for label in labels]
+        if not counts:
+            return self.node_cardinality()
+        return float(min(counts))
+
+    def index_selectivity(self, label: str, prop: str) -> float:
+        """Expected rows of one equality probe into a declared index.
+
+        Total indexed entries divided by distinct indexed values — the
+        classic uniform-value assumption.  An empty or absent index
+        estimates one row (a point lookup).
+        """
+        probe = getattr(self.graph, "property_index_selectivity", None)
+        if probe is None:
+            return 1.0
+        selectivity = probe(label, prop)
+        if selectivity is None:
+            return 1.0
+        return max(float(selectivity), 1.0)
+
+    def label_fraction(self, labels: Iterable[str]) -> float:
+        """Fraction of all nodes carrying the most selective of ``labels``."""
+        total = self.node_cardinality()
+        if total <= 0:
+            return 1.0
+        return min(self.label_cardinality(labels) / total, 1.0)
+
+    # -- relationship-level estimates -----------------------------------
+
+    def expansion_factor(self, rel_types: Iterable[str] = ()) -> float:
+        """Expected neighbours reached by expanding one relationship hop.
+
+        With types given, only relationships of those types count.  Every
+        relationship is traversable from both endpoints, hence the factor
+        of two over the raw count.
+        """
+        nodes = self.node_cardinality()
+        if nodes <= 0:
+            return 0.0
+        types = tuple(rel_types)
+        if types:
+            rels = sum(self._type_count(rel_type) for rel_type in types)
+        else:
+            rels = self._call("relationship_count", 0)
+        return 2.0 * float(rels) / nodes
+
+    def pattern_cardinality(self, start_rows: float, elements: Sequence) -> float:
+        """Expected rows of matching a path pattern given its start estimate.
+
+        Walks the pattern left to right from ``start_rows``: each
+        relationship hop multiplies by the expansion factor of its types,
+        each labelled interior/target node filters by its label fraction.
+        ``elements`` uses the planner's representation (NodePattern /
+        RelationshipPattern alternation); only duck-typed attributes
+        (``types``, ``labels``, ``min_hops``) are touched.
+        """
+        estimate = float(start_rows)
+        for element in elements[1:]:
+            types = getattr(element, "types", None)
+            if types is not None:  # a relationship hop
+                factor = self.expansion_factor(types)
+                hops = getattr(element, "min_hops", None) or 1
+                estimate *= factor ** max(int(hops), 1)
+            else:  # an interior or target node
+                labels = tuple(getattr(element, "labels", ()) or ())
+                if labels:
+                    estimate *= self.label_fraction(labels)
+        return estimate
+
+    # -- internals ------------------------------------------------------
+
+    def _call(self, method: str, default: float) -> float:
+        candidate = getattr(self.graph, method, None)
+        if candidate is None:
+            return float(default)
+        return float(candidate())
+
+    def _label_count(self, label: str) -> float:
+        counter = getattr(self.graph, "count_nodes_with_label", None)
+        if counter is None:
+            return self.node_cardinality()
+        return float(counter(label))
+
+    def _type_count(self, rel_type: str) -> float:
+        counter = getattr(self.graph, "count_relationships_with_type", None)
+        if counter is None:
+            return self._call("relationship_count", 0)
+        return float(counter(rel_type))
 
 
 def describe(graph: PropertyGraph) -> str:

@@ -241,6 +241,17 @@ class PropertyGraph:
         """Monotonic counter bumped by index DDL; keys cached query plans."""
         return self._index_epoch
 
+    def property_index_selectivity(self, label: str, prop: str) -> float | None:
+        """Expected nodes per equality probe of the (label, prop) index.
+
+        Total indexed entries divided by distinct indexed values (the
+        uniform-value assumption the planner's cost model uses), read
+        from the index's running counters in O(1).  Returns ``None``
+        when no index is declared for the pair and ``1.0`` for a
+        declared-but-empty index (a probe then behaves like a point lookup).
+        """
+        return self._property_index.selectivity(label, prop)
+
     def property_index_lookup(self, label: str, prop: str, value: Any) -> list[Node] | None:
         """Nodes with ``label`` whose ``prop`` equals ``value``, via the index.
 

@@ -24,16 +24,48 @@ of MATCH/UNWIND/WITH clauses as in the paper's examples.  The rows that
 survive the condition are handed to the action statement, so variables
 bound in the condition (e.g. the overloaded hospital ``h``) are usable in
 the action.
+
+**Batched condition evaluation.**  A delta touching *n* items of a FOR
+EACH trigger's target produces *n* activations; evaluating the condition
+query once per activation pays the executor/pipeline setup cost *n*
+times.  When a condition is *batchable* — a read-only MATCH/UNWIND
+pipeline whose rows flow independently (no aggregation, DISTINCT, ORDER
+BY or SKIP/LIMIT) and whose patterns do not use a transition variable as
+a label — the engine instead runs **one** UNWIND-style pipeline pass
+over all activations (each initial row carries that activation's
+``OLD``/``NEW`` plus a correlation tag) and buckets the surviving rows
+per activation.  Statement execution, firing order and the audit log are
+untouched: the buckets are replayed activation by activation in order.
+
+The batch is advisory in the same sense as the query planner's access
+paths: verdicts taken from it are only trusted while they provably match
+what sequential evaluation would have seen.  Until the first activation
+fires, the graph is unchanged, so every verdict is exact; after a firing,
+verdicts are re-verified per activation unless a static independence
+check proved the trigger's action (CREATE-only, disjoint from every
+condition pattern) cannot change its own condition's rows.  Results can
+therefore never change — only speed.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Any, Callable, Iterable, Mapping, Optional
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
 
-from ..cypher.ast import ExistsPattern, Expression, Query
+from ..cypher.ast import (
+    CreateClause,
+    ExistsPattern,
+    Expression,
+    MatchClause,
+    NodePattern,
+    PathPattern,
+    Query,
+    ReturnClause,
+    UnwindClause,
+    walk_expression,
+)
 from ..cypher.errors import CypherError
-from ..cypher.executor import QueryExecutor
+from ..cypher.executor import QueryExecutor, contains_aggregate
 from ..cypher.expressions import EvaluationContext, evaluate
 from ..cypher.planner import PLAN_CACHE
 from ..graph.delta import GraphDelta
@@ -88,6 +120,7 @@ class TriggerEngine:
         clock: Callable[[], _dt.datetime] | None = None,
         max_cascade_depth: int = DEFAULT_MAX_CASCADE_DEPTH,
         max_detached_depth: int = DEFAULT_MAX_DETACHED_DEPTH,
+        batched_conditions: bool = True,
     ) -> None:
         self.graph = graph
         self.registry = registry
@@ -95,6 +128,18 @@ class TriggerEngine:
         self.clock = clock or _dt.datetime.now
         self.max_cascade_depth = max_cascade_depth
         self.max_detached_depth = max_detached_depth
+        #: Evaluate batchable FOR EACH condition queries in one pipeline
+        #: pass per delta (see the module docstring).  Off, every
+        #: activation runs its own executor — the reference behaviour the
+        #: differential tests compare against.
+        self.batched_conditions = batched_conditions
+        #: Counters observing the batched evaluator (tests and benchmarks).
+        self.batch_stats = {
+            "batched_runs": 0,
+            "batched_activations": 0,
+            "reverified_activations": 0,
+        }
+        self._batch_profiles: dict[tuple, tuple[bool, bool]] = {}
         #: Audit log of trigger firings (cleared with :meth:`clear_firings`).
         self.firings: list[TriggerFiring] = []
         # Condition and statement texts are compiled through the global
@@ -270,6 +315,55 @@ class TriggerEngine:
                         run.fire(None, _NO_ROWS)
                 return run.produced
 
+        # Batched path: evaluate a batchable FOR EACH condition query once
+        # over all activations, then replay the per-activation buckets in
+        # order.  Verdicts are trusted only while they provably equal what
+        # sequential evaluation would see (see the module docstring).
+        if (
+            self.batched_conditions
+            and trigger.condition is not None
+            and trigger.granularity == Granularity.EACH
+            and len(activations) > 1
+        ):
+            compiled = self._compiled_condition(trigger)
+            if compiled.is_query:
+                eligible, independent = self._batch_profile(trigger, compiled.parsed)
+                if eligible:
+                    buckets = self._batched_condition_rows(
+                        trigger, compiled.parsed, activations, tx
+                    )
+                    if buckets is None:
+                        # The condition errored somewhere in the batch.
+                        # No firing has happened yet, so falling through
+                        # to the sequential loop reproduces the reference
+                        # behaviour exactly: earlier activations fire,
+                        # then the erroring one raises.
+                        pass
+                    else:
+                        self.batch_stats["batched_runs"] += 1
+                        self.batch_stats["batched_activations"] += len(activations)
+                        fired = False
+                        for activation, rows in zip(activations, buckets):
+                            if fired and not independent:
+                                # An earlier firing may have changed what
+                                # this condition sees: fall back to the
+                                # sequential evaluation for the remaining
+                                # activations.
+                                binding = item_bindings(trigger, activation)
+                                rows = self._condition_rows(trigger, binding, tx)
+                                self.batch_stats["reverified_activations"] += 1
+                            elif rows:
+                                # Full bindings (with virtual-label sets)
+                                # are only needed when the action runs.
+                                binding = item_bindings(trigger, activation)
+                            else:
+                                run.fire(None, _NO_ROWS)
+                                continue
+                            if rows:
+                                fired = True
+                            run.fire(binding, rows)
+                        return run.produced
+
         for binding in bindings_for(trigger, activations):
             run.fire(binding, self._condition_rows(trigger, binding, tx))
         return run.produced
@@ -354,6 +448,97 @@ class TriggerEngine:
             pattern_matcher=match_exists,
         )
         return evaluate(parsed, row, context)
+
+    # ------------------------------------------------------------------
+    # batched condition evaluation
+    # ------------------------------------------------------------------
+
+    def _batch_profile(self, trigger: TriggerDefinition, condition: Query) -> tuple[bool, bool]:
+        """(batchable, action-independent) for one trigger, memoised.
+
+        *batchable* — the condition query can run as one multi-row
+        pipeline pass without changing any activation's rows;
+        *action-independent* — additionally, the trigger's own action can
+        never change what the condition sees, so batch verdicts stay
+        valid even after earlier activations fire.
+        """
+        key = (trigger.name, trigger.condition, trigger.statement, trigger.referencing)
+        cached = self._batch_profiles.get(key)
+        if cached is not None:
+            return cached
+        transition_names = _transition_names(trigger)
+        eligible = _batchable_condition(condition, transition_names)
+        independent = False
+        if eligible:
+            try:
+                statement = PLAN_CACHE.parse(trigger.statement)
+            except CypherError:
+                statement = None
+            if statement is not None:
+                independent = _action_independent(statement, condition, transition_names)
+        profile = (eligible, independent)
+        self._batch_profiles[key] = profile
+        return profile
+
+    def _batched_condition_rows(
+        self,
+        trigger: TriggerDefinition,
+        condition: Query,
+        activations: list[Activation],
+        tx: Transaction,
+    ) -> Optional[list[list[dict[str, Any]]]]:
+        """One pipeline pass over every activation, bucketed per activation.
+
+        Each initial row carries one activation's transition variables
+        plus a correlation tag.  Streamable stages map input rows
+        independently and in order, so bucket *i* holds exactly the rows
+        a per-activation execution would have produced for activation
+        *i*, in the same order.
+
+        Returns ``None`` when the condition raises anywhere in the batch:
+        sequential evaluation would have fired the activations *before*
+        the erroring one first (and their firings stay on the audit log),
+        so the caller must rerun the trigger sequentially rather than
+        fail the whole batch up front.
+        """
+        rows: list[dict[str, Any]] = []
+        if trigger.referencing:
+            for index, activation in enumerate(activations):
+                row = dict(item_bindings(trigger, activation).variables)
+                row[_BATCH_TAG] = index
+                rows.append(row)
+        else:
+            # Hot path: the variables are fixed, and the virtual-label sets
+            # of the full bindings are only needed by actually-firing
+            # activations (built lazily by the caller).
+            for index, activation in enumerate(activations):
+                rows.append(
+                    {"OLD": activation.old, "NEW": activation.new, _BATCH_TAG: index}
+                )
+        # memoize_match is sound here: the condition is a read-only
+        # pipeline (eligibility) and the pass drains before any statement
+        # runs, so the graph cannot change under this executor.  Patterns
+        # depending on the per-activation variables can never repeat a
+        # memo key, so they are excluded from memoization.
+        executor = QueryExecutor(
+            self.graph,
+            transaction=tx,
+            clock=self.clock,
+            procedures=self.procedures,
+            memoize_match=True,
+            memoize_skip_variables=_transition_names(trigger) | {_BATCH_TAG},
+        )
+        buckets: list[list[dict[str, Any]]] = [[] for _ in activations]
+        try:
+            _, records = executor.stream_batch(condition, rows)
+            for record in records:
+                buckets[record.pop(_BATCH_TAG)].append(record)
+        except TransactionAborted:
+            raise
+        except CypherError:
+            # Rerun sequentially so pre-error firings match the reference.
+            return None
+        return buckets
 
     def _parse_condition(self, trigger: TriggerDefinition):
         return self._compiled_condition(trigger).parsed
@@ -497,6 +682,146 @@ class _TriggerRun:
                 action_time=self.trigger.time.value,
             )
         )
+
+
+# ---------------------------------------------------------------------------
+# batched-evaluation static analysis
+# ---------------------------------------------------------------------------
+
+#: Correlation key carried through a batched condition pass; popped from
+#: every surviving row before it reaches the action statement.
+_BATCH_TAG = "__batch_activation__"
+
+
+def _transition_names(trigger: TriggerDefinition) -> set[str]:
+    """Every name an activation's bindings may use for OLD/NEW."""
+    names = {"OLD", "NEW"}
+    for alias in trigger.referencing:
+        names.add(alias.alias)
+    return names
+
+
+def _batchable_condition(query: Query, transition_names: set[str]) -> bool:
+    """Can this condition run as one multi-row pipeline pass, exactly?
+
+    Required shape: a MATCH/UNWIND pipeline ending in a wildcard RETURN
+    (the engine's normalisation appends one) with no DISTINCT, ORDER BY,
+    SKIP/LIMIT or aggregates — those mix rows *across* activations.  The
+    wildcard is what keeps the correlation tag and the transition
+    variables in the output rows.  Patterns must not use a transition
+    variable as a label or relationship type: those resolve through
+    per-activation virtual-label sets, which a shared pass cannot model
+    (using them as pre-bound pattern *variables* is fine).
+    """
+    for position, clause in enumerate(query.clauses):
+        if isinstance(clause, (MatchClause, UnwindClause)):
+            continue
+        if isinstance(clause, ReturnClause):
+            if position != len(query.clauses) - 1 or not clause.include_wildcard:
+                return False
+            if clause.distinct or clause.order_by:
+                return False
+            if clause.skip is not None or clause.limit is not None:
+                return False
+            if any(contains_aggregate(item.expression) for item in clause.items):
+                return False
+        else:
+            return False
+    for pattern in _condition_patterns(query):
+        for element in pattern.elements:
+            if isinstance(element, NodePattern):
+                if set(element.labels) & transition_names:
+                    return False
+            elif set(element.types) & transition_names:
+                return False
+    return True
+
+
+def _action_independent(
+    statement: Query, condition: Query, transition_names: set[str]
+) -> bool:
+    """True when the action can never change its own condition's rows.
+
+    Conservative static check: the statement must consist solely of
+    CREATE clauses, and nothing it creates may match any pattern element
+    of the condition — a labelled node pattern is safe unless some
+    created node carries all its labels; a typed relationship pattern is
+    safe unless a created relationship shares a type; unlabelled/untyped
+    pattern elements are only safe when they are pre-bound transition
+    variables.  Anything else (SET/DELETE/MERGE/CALL/…) fails the check
+    and the engine re-verifies sequentially after the first firing.
+    """
+    created_label_sets: list[frozenset] = []
+    created_types: set[str] = set()
+    creates_node = False
+    creates_rel = False
+    for clause in statement.clauses:
+        if not isinstance(clause, CreateClause):
+            return False
+        for pattern in clause.patterns:
+            for element in pattern.elements:
+                if isinstance(element, NodePattern):
+                    # A bound variable re-uses an existing node; boundness
+                    # is not tracked here, so treating every node element
+                    # as a potential creation is the conservative choice.
+                    creates_node = True
+                    created_label_sets.append(frozenset(element.labels))
+                else:
+                    creates_rel = True
+                    created_types.update(element.types)
+    for pattern in _condition_patterns(condition):
+        for element in pattern.elements:
+            if element.variable is not None and element.variable in transition_names:
+                continue  # pre-bound: can never rebind to a created item
+            if isinstance(element, NodePattern):
+                if not element.labels:
+                    if creates_node:
+                        return False
+                else:
+                    required = set(element.labels)
+                    if any(required.issubset(labels) for labels in created_label_sets):
+                        return False
+            else:
+                if not element.types:
+                    if creates_rel:
+                        return False
+                elif set(element.types) & created_types:
+                    return False
+    return True
+
+
+def _condition_patterns(query: Query) -> Iterator[PathPattern]:
+    """Every path pattern a condition query can match (incl. EXISTS).
+
+    EXISTS sub-patterns are reachable from three places: the WHERE tree,
+    projection expressions, and — easy to miss — the inline property
+    maps of pattern elements (``(c:Config {flag: EXISTS {(s:Spike)}})``).
+    All three feed the batched-evaluation safety checks, so missing one
+    would let a condition through that the batch pass evaluates
+    differently.
+    """
+    for clause in query.clauses:
+        if isinstance(clause, MatchClause):
+            for pattern in clause.patterns:
+                yield pattern
+                for element in pattern.elements:
+                    for _, expr in element.properties:
+                        yield from _exists_patterns(expr)
+            if clause.where is not None:
+                yield from _exists_patterns(clause.where)
+        elif isinstance(clause, UnwindClause):
+            yield from _exists_patterns(clause.expression)
+        elif isinstance(clause, ReturnClause):
+            for item in clause.items:
+                yield from _exists_patterns(item.expression)
+
+
+def _exists_patterns(expression: Expression) -> Iterator[PathPattern]:
+    # walk_expression descends into ExistsPattern.where, so nested EXISTS
+    # sub-patterns are reached through their own ExistsPattern node.
+    for sub in walk_expression(expression):
+        if isinstance(sub, ExistsPattern):
+            yield from sub.patterns
 
 
 # ---------------------------------------------------------------------------

@@ -54,6 +54,7 @@ class GraphSession:
         schema: PGSchema | None = None,
         clock: Callable[[], _dt.datetime] | None = None,
         max_cascade_depth: int = 16,
+        batched_triggers: bool = True,
     ) -> None:
         self.graph = graph or PropertyGraph()
         self.schema = schema
@@ -66,6 +67,7 @@ class GraphSession:
             self.manager,
             clock=self.clock,
             max_cascade_depth=max_cascade_depth,
+            batched_conditions=batched_triggers,
         )
         self._open_transaction: Optional[Transaction] = None
         self._active_result: Optional[Result] = None
@@ -243,6 +245,15 @@ class GraphSession:
     def _plan_text(executor: QueryExecutor) -> str | None:
         plan = executor.last_plan
         return plan.plan_description() if plan is not None else None
+
+    def explain(self, query: str) -> str:
+        """EXPLAIN: access paths and multi-pattern join order for ``query``.
+
+        Same plan the next :meth:`run` of this text would use (shared
+        global plan cache), without executing anything.
+        """
+        executor = QueryExecutor(self.graph, clock=self.clock)
+        return executor.plan_description(query)
 
     @contextlib.contextmanager
     def transaction(self) -> Iterator[Transaction]:

@@ -252,6 +252,129 @@ class TestAccessPathChoice:
         assert [rel.id for rel in row["r"]] == [first.id, second.id]
 
 
+class TestJoinOrdering:
+    def ordered_graph(self) -> PropertyGraph:
+        graph = PropertyGraph()
+        hub = graph.create_node(["Small"], {"k": 7})
+        for index in range(200):
+            n = graph.create_node(["Big"], {"v": index})
+            if index < 4:
+                graph.create_relationship("R", hub.id, n.id)
+        return graph
+
+    def test_cheapest_pattern_planned_first(self):
+        graph = self.ordered_graph()
+        plan = plan_query(
+            parse_query("MATCH (a:Big), (b:Small) RETURN a, b"), graph
+        )
+        [join_order] = plan.join_orders()
+        assert join_order.order == (1, 0)
+        assert join_order.reordered
+        assert join_order.cartesian
+        # estimates are reported in clause order
+        assert join_order.estimated_rows[0] == 200.0
+        assert join_order.estimated_rows[1] == 1.0
+
+    def test_clause_order_kept_when_already_cheapest(self):
+        graph = self.ordered_graph()
+        plan = plan_query(
+            parse_query("MATCH (b:Small), (a:Big) RETURN a, b"), graph
+        )
+        [join_order] = plan.join_orders()
+        assert join_order.order == (0, 1)
+        assert not join_order.reordered
+
+    def test_connected_pattern_beats_cheaper_disconnected_one(self):
+        graph = self.ordered_graph()
+        graph.create_node(["Tiny"], {})
+        # after (s:Small), the connected Big expansion is preferred over
+        # the cheaper-but-disconnected Tiny pattern
+        plan = plan_query(
+            parse_query("MATCH (t:Tiny), (s:Small)-[:R]->(x:Big), (s)-[:R]->(y) RETURN t"),
+            graph,
+        )
+        [join_order] = plan.join_orders()
+        assert join_order.order[-1] == 0
+        assert set(join_order.order[:2]) == {1, 2}
+        assert join_order.cartesian
+
+    def test_variable_bound_by_earlier_clause_makes_pattern_near_free(self):
+        graph = self.ordered_graph()
+        query = parse_query(
+            "MATCH (s:Small) MATCH (b:Big), (s)-[:R]->(x) RETURN b, x"
+        )
+        plan = plan_query(query, graph)
+        [join_order] = plan.join_orders()
+        # (s)-[:R]->(x) starts from the bound s, so it goes first even
+        # though its standalone estimate is not the smallest
+        assert join_order.order == (1, 0)
+
+    def test_single_pattern_clauses_have_no_join_order(self):
+        graph = self.ordered_graph()
+        plan = plan_query(parse_query("MATCH (a:Big) MATCH (b:Small) RETURN a, b"), graph)
+        assert plan.join_orders() == []
+        assert plan.join_order_for(plan.query.clauses[0]) is None
+
+    def test_cross_pattern_property_reference_declines_reordering(self):
+        # (b:B {x: a.y}) reads a variable bound by a sibling pattern, so
+        # running it first would raise instead of staying advisory; the
+        # planner must keep the written order for such clauses.
+        graph = PropertyGraph()
+        for index in range(20):
+            graph.create_node(["A"], {"y": 3})
+        graph.create_node(["B"], {"x": 3})
+        query = "MATCH (a:A), (b:B {x: a.y}) RETURN a.y AS ay"
+        plan = plan_query(parse_query(query), graph)
+        assert plan.join_orders() == []
+        ordered = QueryExecutor(graph).execute(query).rows
+        naive = QueryExecutor(graph, join_ordering=False).execute(query).rows
+        assert ordered == naive
+        assert len(ordered) == 20 and all(row["ay"] == 3 for row in ordered)
+
+    def test_intra_pattern_forward_reference_declines_reordering(self):
+        # (b:B {y: a.z})-[:R]->(a) reads `a` before its own trailing
+        # element could bind it, so only the sibling (a:A) running first
+        # makes it evaluable — the clause must keep its written order.
+        graph = PropertyGraph()
+        targets = [graph.create_node(["A"], {"z": 9}) for _ in range(50)]
+        b = graph.create_node(["B"], {"y": 9})
+        graph.create_relationship("R", b.id, targets[0].id)
+        query = "MATCH (a:A), (b:B {y: a.z})-[:R]->(a) RETURN b.y AS y"
+        plan = plan_query(parse_query(query), graph)
+        assert plan.join_orders() == []
+        ordered = QueryExecutor(graph).execute(query).rows
+        naive = QueryExecutor(graph, join_ordering=False).execute(query).rows
+        assert ordered == naive == [{"y": 9}]
+
+    def test_within_pattern_backward_reference_still_reorders(self):
+        # (a:A)-[r:R {since: a.age}]->(b) reads only a preceding element
+        # of its own pattern: safe under any clause-level order
+        graph = self.ordered_graph()
+        query = parse_query(
+            "MATCH (x:Big)-[r:R {w: x.v}]->(y), (s:Small) RETURN s"
+        )
+        plan = plan_query(query, graph)
+        assert len(plan.join_orders()) == 1
+
+    def test_reference_satisfied_by_earlier_clause_still_reorders(self):
+        graph = self.ordered_graph()
+        # a is bound by the previous clause, so {v: a.k} is evaluable in
+        # any order and the clause may still be reordered
+        query = parse_query(
+            "MATCH (a:Small) MATCH (x:Big {v: a.k}), (t:Small) RETURN x, t"
+        )
+        plan = plan_query(query, graph)
+        [join_order] = plan.join_orders()
+        assert join_order.order == (1, 0)
+
+    def test_join_order_is_advisory_for_results(self):
+        graph = self.ordered_graph()
+        query = "MATCH (a:Big), (b:Small {k: 7}) WHERE a.v < 2 RETURN a.v AS v, b.k AS k"
+        ordered = QueryExecutor(graph).execute(query).rows
+        naive = QueryExecutor(graph, join_ordering=False).execute(query).rows
+        assert sorted(r["v"] for r in ordered) == sorted(r["v"] for r in naive) == [0, 1]
+
+
 class TestExplain:
     def test_plan_description_shows_index_lookup(self):
         graph = build_graph()
@@ -271,3 +394,21 @@ class TestExplain:
     def test_plan_description_without_match_patterns(self):
         graph = build_graph()
         assert "no MATCH patterns" in explain("RETURN 1 AS one", graph)
+
+    def test_plan_description_reports_multi_pattern_order_and_estimates(self):
+        graph = build_graph()
+        description = explain(
+            "MATCH (p:Person), (c:City {name: 'milan'}) RETURN p, c", graph
+        )
+        # one est~ annotation per pattern line, plus the join-order line
+        # repeating the estimate of every pattern in chosen order
+        assert "JoinOrder(pattern[1] est~1, pattern[0] est~5)" in description
+        assert "LabelScan(Person) est~5 rows" in description
+        assert "LabelScan(City) est~1 rows" in description
+
+    def test_explain_reports_index_selectivity_as_estimate(self):
+        graph = build_graph()
+        graph.create_property_index("Person", "age")
+        description = explain("MATCH (p:Person {age: 30}) RETURN p", graph)
+        # ages 30,30,40,25,40 -> 5 entries over 3 distinct values
+        assert "IndexLookup(Person.age = 30) est~1.67 rows" in description

@@ -1,6 +1,12 @@
-"""Tests for graph statistics."""
+"""Tests for graph statistics and the planner's cardinality estimators.
 
-from repro.graph import PropertyGraph, compute_statistics, describe
+The estimator tests pin every figure against hand-counted fixtures: the
+estimates feed the query planner's cost model, so silent drift here would
+silently change join orders.
+"""
+
+from repro.cypher.parser import parse_query
+from repro.graph import CardinalityEstimator, PropertyGraph, compute_statistics, describe
 
 
 def build_graph():
@@ -46,3 +52,118 @@ class TestStatistics:
         text = describe(graph)
         assert "4 nodes" in text
         assert "Hospital=2" in text
+
+
+def estimator_graph() -> PropertyGraph:
+    """Hand-counted fixture: 6 Person, 2 City, 4 KNOWS, 2 LivesIn."""
+    graph = PropertyGraph("estimates")
+    ages = [30, 30, 30, 40, 40, 25]
+    people = [
+        graph.create_node(["Person"], {"age": age, "seq": index})
+        for index, age in enumerate(ages)
+    ]
+    cities = [graph.create_node(["City"], {"name": name}) for name in ("a", "b")]
+    for index in range(4):
+        graph.create_relationship("KNOWS", people[index].id, people[index + 1].id)
+    graph.create_relationship("LivesIn", people[0].id, cities[0].id)
+    graph.create_relationship("LivesIn", people[1].id, cities[1].id)
+    return graph
+
+
+class TestCardinalityEstimator:
+    def test_node_and_label_cardinalities(self):
+        estimator = CardinalityEstimator(estimator_graph())
+        assert estimator.node_cardinality() == 8.0
+        assert estimator.label_cardinality(["Person"]) == 6.0
+        assert estimator.label_cardinality(["City"]) == 2.0
+        # multiple labels: the most selective (smallest) bucket wins
+        assert estimator.label_cardinality(["Person", "City"]) == 2.0
+        assert estimator.label_cardinality(["Ghost"]) == 0.0
+        # no labels at all estimates a full node scan
+        assert estimator.label_cardinality([]) == 8.0
+
+    def test_label_fraction(self):
+        estimator = CardinalityEstimator(estimator_graph())
+        assert estimator.label_fraction(["Person"]) == 6.0 / 8.0
+        assert estimator.label_fraction(["City"]) == 2.0 / 8.0
+
+    def test_index_selectivity_is_entries_over_distinct_values(self):
+        graph = estimator_graph()
+        graph.create_property_index("Person", "age")
+        estimator = CardinalityEstimator(graph)
+        # ages 30,30,30,40,40,25 -> 6 entries over 3 distinct values
+        assert estimator.index_selectivity("Person", "age") == 2.0
+        # unique property: one row per probe
+        graph.create_property_index("Person", "seq")
+        assert estimator.index_selectivity("Person", "seq") == 1.0
+        # undeclared index behaves like a point lookup
+        assert estimator.index_selectivity("Person", "name") == 1.0
+
+    def test_store_selectivity_surface(self):
+        graph = estimator_graph()
+        assert graph.property_index_selectivity("Person", "age") is None
+        graph.create_property_index("Person", "age")
+        assert graph.property_index_selectivity("Person", "age") == 2.0
+        graph.create_property_index("City", "population")
+        # declared but empty index: probe estimated as a point lookup
+        assert graph.property_index_selectivity("City", "population") == 1.0
+
+    def test_selectivity_counters_track_mutations(self):
+        graph = estimator_graph()
+        graph.create_property_index("Person", "age")
+        assert graph.property_index_selectivity("Person", "age") == 2.0
+        [person] = [
+            n for n in graph.nodes_with_label("Person") if n.properties["age"] == 25
+        ]
+        # 25 disappears, 30 gains a member: 6 entries over 2 distinct values
+        graph.set_node_property(person.id, "age", 30)
+        assert graph.property_index_selectivity("Person", "age") == 3.0
+        # deleting the node drops its entry: 5 entries over 2 distinct values
+        graph.delete_node(person.id, detach=True)
+        assert graph.property_index_selectivity("Person", "age") == 2.5
+        graph.drop_property_index("Person", "age")
+        assert graph.property_index_selectivity("Person", "age") is None
+
+    def test_expansion_factor(self):
+        estimator = CardinalityEstimator(estimator_graph())
+        # 6 relationships, each traversable from both ends, over 8 nodes
+        assert estimator.expansion_factor() == 2.0 * 6 / 8
+        assert estimator.expansion_factor(["KNOWS"]) == 2.0 * 4 / 8
+        assert estimator.expansion_factor(["LivesIn"]) == 2.0 * 2 / 8
+        assert estimator.expansion_factor(["KNOWS", "LivesIn"]) == 2.0 * 6 / 8
+        assert estimator.expansion_factor(["Ghost"]) == 0.0
+
+    def test_pattern_cardinality_hand_counted(self):
+        estimator = CardinalityEstimator(estimator_graph())
+        query = parse_query("MATCH (p:Person)-[:LivesIn]->(c:City) RETURN p")
+        [pattern] = query.clauses[0].patterns
+        # start 6 Person x LivesIn expansion (0.5) x City fraction (0.25)
+        estimate = estimator.pattern_cardinality(6.0, pattern.elements)
+        assert estimate == 6.0 * 0.5 * 0.25
+        # a single-node pattern keeps its start estimate untouched
+        single = parse_query("MATCH (p:Person) RETURN p").clauses[0].patterns[0]
+        assert estimator.pattern_cardinality(6.0, single.elements) == 6.0
+
+    def test_variable_length_uses_min_hops(self):
+        estimator = CardinalityEstimator(estimator_graph())
+        query = parse_query("MATCH (p:Person)-[:KNOWS*2..3]->(q:Person) RETURN p")
+        [pattern] = query.clauses[0].patterns
+        factor = 2.0 * 4 / 8
+        expected = 6.0 * factor ** 2 * (6.0 / 8.0)
+        assert estimator.pattern_cardinality(6.0, pattern.elements) == expected
+
+    def test_degrades_on_reduced_graph_likes(self):
+        class Bare:
+            pass
+
+        estimator = CardinalityEstimator(Bare())
+        assert estimator.node_cardinality() == 0.0
+        assert estimator.expansion_factor() == 0.0
+        assert estimator.index_selectivity("L", "p") == 1.0
+        assert estimator.label_fraction(["L"]) == 1.0
+
+    def test_empty_graph_estimates(self):
+        estimator = CardinalityEstimator(PropertyGraph())
+        assert estimator.node_cardinality() == 0.0
+        assert estimator.expansion_factor() == 0.0
+        assert estimator.label_cardinality(["X"]) == 0.0

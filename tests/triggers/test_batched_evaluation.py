@@ -1,0 +1,359 @@
+"""Batched vs per-activation trigger evaluation: differential regression suite.
+
+Two :class:`~repro.triggers.session.GraphSession` instances differing only
+in ``batched_triggers`` must be observationally identical: same firing
+order, same per-trigger execution counts, same final graph state, same
+alerts, same termination behaviour — on the paper's trigger suite, on
+cascades whose actions re-activate other triggers, on self-interfering
+triggers (whose actions change their own condition), and on randomized
+trigger sets over randomized workloads.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.paper_triggers import (
+    all_paper_triggers,
+    icu_patients_over_threshold,
+    new_critical_lineage,
+    new_critical_mutation,
+    who_designation_change,
+)
+from repro.datasets.workloads import (
+    designation_change_stream,
+    hospital_setup,
+    icu_admission_stream,
+    lineage_assignment_stream,
+    mutation_discovery_stream,
+    replay,
+)
+from repro.graph import graph_to_dict
+from repro.triggers import GraphSession
+from repro.triggers.errors import TriggerRecursionError
+
+CLOCK = lambda: _dt.datetime(2021, 3, 14, 12, 0, 0)  # noqa: E731 - deterministic
+
+
+def run_pair(triggers, statements, **session_kwargs):
+    """Run the same triggers+workload through both engines and compare."""
+    sessions = []
+    for batched in (False, True):
+        session = GraphSession(clock=CLOCK, batched_triggers=batched, **session_kwargs)
+        for trigger in triggers:
+            session.create_trigger(trigger)
+        for query, parameters in statements:
+            session.run(query, parameters)
+        sessions.append(session)
+    per_activation, batched = sessions
+    assert_equivalent(per_activation, batched)
+    return per_activation, batched
+
+
+def assert_equivalent(per_activation: GraphSession, batched: GraphSession) -> None:
+    assert per_activation.firing_log() == batched.firing_log()
+    assert per_activation.engine.execution_counts() == batched.engine.execution_counts()
+    assert per_activation.alerts() == batched.alerts()
+    assert graph_to_dict(per_activation.graph) == graph_to_dict(batched.graph)
+    # the control engine must never have taken the batched path
+    assert per_activation.engine.batch_stats["batched_activations"] == 0
+
+
+# ---------------------------------------------------------------------------
+# the paper's trigger sets over the synthetic COVID workloads
+# ---------------------------------------------------------------------------
+
+
+class TestPaperTriggerSets:
+    def paper_statements(self):
+        workload = (
+            hospital_setup(hospitals=3, icu_beds=4)
+            + mutation_discovery_stream(count=18, critical_fraction=0.4)
+            + lineage_assignment_stream(sequences=12, critical_every=3)
+            + designation_change_stream(changes=5)
+            + icu_admission_stream(admissions=12, batch_size=3)
+        )
+        return [(s.query, s.parameters) for s in workload]
+
+    def test_section62_suite_is_equivalent(self):
+        run_pair(all_paper_triggers(threshold=6, fraction=0.2), self.paper_statements())
+
+    def test_simple_reaction_triggers_take_the_batch_path(self):
+        triggers = [
+            new_critical_mutation(),
+            new_critical_lineage(),
+            who_designation_change(),
+            icu_patients_over_threshold(threshold=5),
+        ]
+        statements = self.paper_statements() + [
+            # one statement assigning a whole sequence batch to a lineage:
+            # five BelongsTo activations in one delta, so NewCriticalLineage's
+            # (batchable) condition query goes through the batch evaluator
+            ("CREATE (:Lineage {name: 'BatchLineage'})", None),
+            (
+                "MATCH (l:Lineage {name: 'BatchLineage'}) "
+                "UNWIND range(1, 5) AS i "
+                "CREATE (:Sequence {accession: i})-[:BelongsTo]->(l)",
+                None,
+            ),
+        ]
+        _, batched = run_pair(triggers, statements)
+        assert batched.engine.batch_stats["batched_activations"] >= 5
+
+
+# ---------------------------------------------------------------------------
+# cascades whose actions re-activate other triggers
+# ---------------------------------------------------------------------------
+
+
+class TestCascadingReactivation:
+    def cascade_triggers(self):
+        return [
+            # stage 1: batchable query condition, fires for high readings
+            "CREATE TRIGGER Stage1 AFTER CREATE ON 'Reading' FOR EACH NODE "
+            "WHEN MATCH (t:Threshold) WHERE NEW.value > t.cutoff "
+            "BEGIN CREATE (:Spike {value: NEW.value}) END",
+            # stage 2: re-activated by stage 1's creations, also batchable
+            "CREATE TRIGGER Stage2 AFTER CREATE ON 'Spike' FOR EACH NODE "
+            "WHEN MATCH (t:Threshold) WHERE NEW.value > t.cutoff + 1 "
+            "BEGIN CREATE (:Escalation {value: NEW.value}) END",
+            # stage 3: unconditional audit of every escalation
+            "CREATE TRIGGER Stage3 AFTER CREATE ON 'Escalation' FOR EACH NODE "
+            "BEGIN CREATE (:Audit {value: NEW.value}) END",
+        ]
+
+    def test_cascade_identical_across_engines(self):
+        statements = [
+            ("CREATE (:Threshold {cutoff: 3})", None),
+            ("UNWIND range(1, 8) AS i CREATE (:Reading {value: i})", None),
+            ("UNWIND range(1, 4) AS i CREATE (:Reading {value: 10 - i})", None),
+        ]
+        _, batched = run_pair(self.cascade_triggers(), statements)
+        assert batched.graph.count_nodes_with_label("Spike") == 9
+        assert batched.graph.count_nodes_with_label("Escalation") == 8
+        assert batched.graph.count_nodes_with_label("Audit") == 8
+        assert batched.engine.batch_stats["batched_activations"] > 0
+
+    def test_nonterminating_cascade_raises_in_both_engines(self):
+        trigger = (
+            "CREATE TRIGGER Loop AFTER CREATE ON 'Ping' FOR EACH NODE "
+            "WHEN MATCH (f:Flag {armed: true}) "
+            "BEGIN CREATE (:Ping {value: NEW.value}) END"
+        )
+        logs = []
+        for batched in (False, True):
+            session = GraphSession(
+                clock=CLOCK, batched_triggers=batched, max_cascade_depth=5
+            )
+            session.create_trigger(trigger)
+            session.run("CREATE (:Flag {armed: true})")
+            with pytest.raises(TriggerRecursionError):
+                session.run("UNWIND range(1, 3) AS i CREATE (:Ping {value: i})")
+            logs.append(session.firing_log())
+        assert logs[0] == logs[1]
+
+
+# ---------------------------------------------------------------------------
+# self-interference: actions that change their own condition
+# ---------------------------------------------------------------------------
+
+
+class TestSelfInterference:
+    def test_self_limiting_trigger_reverifies_and_matches(self):
+        trigger = (
+            "CREATE TRIGGER SelfLimit AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN MATCH (c:Counter) WHERE c.count < 2 "
+            "BEGIN MATCH (c:Counter) SET c.count = c.count + 1 END"
+        )
+        statements = [
+            ("CREATE (:Counter {count: 0})", None),
+            ("UNWIND range(1, 6) AS i CREATE (:Item {value: i})", None),
+        ]
+        per_activation, batched = run_pair([trigger], statements)
+        [counter] = batched.graph.nodes_with_label("Counter")
+        assert counter.properties["count"] == 2
+        # the batch verdicts were re-checked after the first firing
+        assert batched.engine.batch_stats["reverified_activations"] > 0
+
+    def test_independent_create_only_action_skips_reverification(self):
+        trigger = (
+            "CREATE TRIGGER Promote AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN MATCH (f:Flag {enabled: true}) "
+            "BEGIN CREATE (:Promoted {value: NEW.value}) END"
+        )
+        statements = [
+            ("CREATE (:Flag {enabled: true})", None),
+            ("UNWIND range(1, 5) AS i CREATE (:Item {value: i})", None),
+        ]
+        _, batched = run_pair([trigger], statements)
+        assert batched.graph.count_nodes_with_label("Promoted") == 5
+        # CREATE (:Promoted) provably cannot match (f:Flag …): no re-checks
+        assert batched.engine.batch_stats["reverified_activations"] == 0
+        assert batched.engine.batch_stats["batched_activations"] >= 5
+
+    def test_condition_enabled_by_earlier_trigger_in_same_round(self):
+        # An earlier trigger's action creates the Flag a later trigger's
+        # condition matches; both engines must agree on what the later
+        # trigger saw for every activation of the same delta.
+        triggers = [
+            "CREATE TRIGGER Arm AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN NEW.value = 1 "
+            "BEGIN CREATE (:Flag {enabled: true}) END",
+            "CREATE TRIGGER Fire AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN MATCH (f:Flag {enabled: true}) "
+            "BEGIN CREATE (:Fired {value: NEW.value}) END",
+        ]
+        statements = [("UNWIND range(1, 4) AS i CREATE (:Item {value: i})", None)]
+        _, batched = run_pair(triggers, statements)
+        # Arm ran first (creation order), so Fire saw the flag for all rows
+        assert batched.graph.count_nodes_with_label("Fired") == 4
+
+
+    def test_exists_in_property_map_sees_own_creations(self):
+        # The EXISTS sub-pattern hides inside an inline property map; the
+        # action creates exactly what it matches, so batch verdicts go
+        # stale after the first firing and must be re-verified.
+        trigger = (
+            "CREATE TRIGGER Once AFTER CREATE ON 'Reading' FOR EACH NODE "
+            "WHEN MATCH (c:Config {flag: EXISTS {(s:Spike)}}) "
+            "BEGIN CREATE (:Spike) END"
+        )
+        statements = [
+            ("CREATE (:Config {flag: false})", None),
+            ("UNWIND range(1, 3) AS i CREATE (:Reading {value: i})", None),
+        ]
+        _, batched = run_pair([trigger], statements)
+        # only the first activation fires; afterwards a Spike exists and
+        # Config{flag: false} no longer matches
+        assert batched.graph.count_nodes_with_label("Spike") == 1
+
+    def test_exists_in_property_map_using_transition_label(self):
+        # (x:NEW) inside an EXISTS inside a property map needs the
+        # per-activation virtual label; the engine must refuse to batch it
+        trigger = (
+            "CREATE TRIGGER Tag AFTER CREATE ON 'Reading' FOR EACH NODE "
+            "WHEN MATCH (c:Config {flag: EXISTS {(x:NEW)}}) "
+            "BEGIN CREATE (:Tagged {value: NEW.value}) END"
+        )
+        statements = [
+            ("CREATE (:Config {flag: true})", None),
+            ("UNWIND range(1, 2) AS i CREATE (:Reading {value: i})", None),
+        ]
+        _, batched = run_pair([trigger], statements)
+        assert batched.graph.count_nodes_with_label("Tagged") == 2
+        assert batched.engine.batch_stats["batched_activations"] == 0
+
+
+# ---------------------------------------------------------------------------
+# condition errors mid-batch
+# ---------------------------------------------------------------------------
+
+
+class TestConditionErrors:
+    def test_partial_firings_before_condition_error_match(self):
+        # Sequential evaluation fires the activations *before* the one
+        # whose condition errors, and those firings stay on the audit log
+        # after the transaction rolls back.  The batched engine must
+        # reproduce that, not fail the whole batch up front.
+        trigger = (
+            "CREATE TRIGGER Cmp AFTER CREATE ON 'Reading' FOR EACH NODE "
+            "WHEN MATCH (t:Threshold) WHERE NEW.value > t.cutoff "
+            "BEGIN CREATE (:Spike {value: NEW.value}) END"
+        )
+        outcomes = []
+        for batched in (False, True):
+            session = GraphSession(clock=CLOCK, batched_triggers=batched)
+            session.create_trigger(trigger)
+            session.run("CREATE (:Threshold {cutoff: 1})")
+            with pytest.raises(Exception, match="cannot compare"):
+                session.run(
+                    "CREATE (:Reading {value: 5}), (:Reading {value: 6}), "
+                    "(:Reading {value: 'oops'}), (:Reading {value: 7})"
+                )
+            outcomes.append(
+                (session.firing_log(), graph_to_dict(session.graph))
+            )
+        assert outcomes[0] == outcomes[1]
+        per_activation_log = outcomes[0][0]
+        # the two in-range activations before the error did fire
+        assert len(per_activation_log) == 2
+        assert all("executed" in line for line in per_activation_log)
+
+
+# ---------------------------------------------------------------------------
+# randomized trigger sets over randomized workloads
+# ---------------------------------------------------------------------------
+
+#: Trigger templates covering every evaluation route: plain predicates
+#: (fast path), EXISTS conditions, batchable invariant and correlated
+#: query conditions, aggregating (non-batchable) conditions, FOR ALL set
+#: granularity, self-interfering actions, and cascading re-activation.
+TRIGGER_TEMPLATES = [
+    "CREATE TRIGGER TPred AFTER CREATE ON 'X' FOR EACH NODE "
+    "WHEN NEW.value > 2 BEGIN CREATE (:AlertP {value: NEW.value}) END",
+    "CREATE TRIGGER TInvariant AFTER CREATE ON 'X' FOR EACH NODE "
+    "WHEN MATCH (f:Flag {enabled: true}) BEGIN CREATE (:AlertI) END",
+    "CREATE TRIGGER TCorrelated AFTER CREATE ON 'X' FOR EACH NODE "
+    "WHEN MATCH (f:Flag) WHERE NEW.value > f.cutoff "
+    "BEGIN CREATE (:AlertC {value: NEW.value}) END",
+    "CREATE TRIGGER TAggregate AFTER CREATE ON 'X' FOR EACH NODE "
+    "WHEN MATCH (n:X) WITH count(n) AS c WHERE c > 3 "
+    "BEGIN CREATE (:AlertA) END",
+    "CREATE TRIGGER TSelf AFTER CREATE ON 'X' FOR EACH NODE "
+    "WHEN MATCH (c:Counter) WHERE c.count < 3 "
+    "BEGIN MATCH (c:Counter) SET c.count = c.count + 1 END",
+    "CREATE TRIGGER TCascade AFTER CREATE ON 'AlertC' FOR EACH NODE "
+    "BEGIN CREATE (:Audit) END",
+    "CREATE TRIGGER TAll AFTER CREATE ON 'X' FOR ALL NODES "
+    "WHEN MATCH (pn:NEWNODES) WHERE pn.value > 1 "
+    "BEGIN CREATE (:AlertS) END",
+    "CREATE TRIGGER TExists AFTER CREATE ON 'Y' FOR EACH NODE "
+    "WHEN EXISTS (NEW)-[:L]-(:X) BEGIN CREATE (:AlertE) END",
+    "CREATE TRIGGER TDelete AFTER DELETE ON 'X' FOR EACH NODE "
+    "WHEN MATCH (f:Flag) WHERE OLD.value = f.cutoff "
+    "BEGIN CREATE (:AlertD {value: OLD.value}) END",
+]
+
+#: Workload statement templates, parameterized by one small integer.
+STATEMENT_TEMPLATES = [
+    lambda v: (f"UNWIND range(1, {v % 6 + 1}) AS i CREATE (:X {{value: i}})", None),
+    lambda v: ("CREATE (:X {value: $v})", {"v": v}),
+    lambda v: ("CREATE (:Flag {enabled: true, cutoff: $c})", {"c": v % 4}),
+    lambda v: ("CREATE (:Counter {count: 0})", None),
+    lambda v: (
+        "MATCH (x:X {value: $v}) CREATE (:Y {value: $v})-[:L]->(x)",
+        {"v": v % 4 + 1},
+    ),
+    lambda v: ("MATCH (x:X) WHERE x.value = $v DETACH DELETE x", {"v": v % 4 + 1}),
+    lambda v: ("MATCH (f:Flag) SET f.cutoff = $c", {"c": v % 5}),
+    lambda v: (f"UNWIND range(1, {v % 4 + 2}) AS i CREATE (:Y {{value: i}})", None),
+]
+
+trigger_subsets = st.lists(
+    st.integers(min_value=0, max_value=len(TRIGGER_TEMPLATES) - 1),
+    min_size=1,
+    max_size=5,
+    unique=True,
+)
+workloads = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(STATEMENT_TEMPLATES) - 1),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestRandomizedDifferential:
+    @given(trigger_indexes=trigger_subsets, workload=workloads)
+    @settings(max_examples=100, deadline=None)
+    def test_batched_engine_matches_per_activation_engine(
+        self, trigger_indexes, workload
+    ):
+        triggers = [TRIGGER_TEMPLATES[i] for i in sorted(trigger_indexes)]
+        statements = [STATEMENT_TEMPLATES[kind](value) for kind, value in workload]
+        run_pair(triggers, statements)
