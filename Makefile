@@ -2,20 +2,25 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke explain-demo
+.PHONY: test lint bench bench-smoke explain-demo
 
 ## Run the full tier-1 suite (unit + integration + benchmark assertions).
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Static checks (requires ruff: `pip install ruff`; CI installs it).
+lint:
+	ruff check src tests benchmarks
 
 ## Run the complete benchmark suite with timing output.
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
 ## The benchmark smoke subset used by CI: the two trigger hot paths, the
-## planner/plan-cache experiment, the streaming-vs-eager P6 comparison and
-## the batched-vs-per-activation P7 trigger comparison.  Timings are dumped
-## to BENCH_smoke.json (uploaded as a CI artifact).
+## planner/plan-cache experiment, the streaming-vs-eager P6 comparison, the
+## batched-vs-per-activation P7 trigger comparison and the P8 physical
+## operator comparisons (range seek / hash join / top-k).  Timings are
+## dumped to BENCH_smoke.json (uploaded as a CI artifact).
 bench-smoke:
 	$(PYTHON) -m pytest \
 		benchmarks/test_perf_trigger_overhead.py \
@@ -23,6 +28,7 @@ bench-smoke:
 		benchmarks/test_perf_plan_cache.py \
 		benchmarks/test_perf_streaming.py \
 		benchmarks/test_perf_batched_triggers.py \
+		benchmarks/test_perf_physical_operators.py \
 		-q --benchmark-columns=min,mean,rounds \
 		--benchmark-json=BENCH_smoke.json
 
@@ -37,3 +43,7 @@ streaming-demo:
 ## Print the P7 experiment (batched vs per-activation trigger evaluation).
 batched-triggers-demo:
 	$(PYTHON) -c "from repro.bench import perf_batched_triggers; print(perf_batched_triggers().to_text())"
+
+## Print the P8 experiment (range seek / hash join / top-k vs baselines).
+physical-operators-demo:
+	$(PYTHON) -c "from repro.bench import perf_physical_operators; print(perf_physical_operators().to_text())"

@@ -15,7 +15,7 @@ def test_perf_plan_cache(benchmark, assert_result):
     scan = by_route["label scan (no index)"]
     indexed = by_route["property index"]
     # the planner must actually choose the PropertyIndex access path …
-    assert "IndexLookup(Patient.mrn = $mrn)" in indexed["plan"]
-    assert "IndexLookup" not in scan["plan"]
+    assert "IndexSeek(Patient.mrn = $mrn)" in indexed["plan"]
+    assert "IndexSeek" not in scan["plan"]
     # … and the indexed route must beat the label scan decisively
     assert indexed["seconds"] < scan["seconds"] / 5

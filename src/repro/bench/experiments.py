@@ -23,6 +23,7 @@ Added performance experiments (labelled P1–P4 in DESIGN.md / EXPERIMENTS.md):
 * :func:`perf_plan_cache`        — index-aware planning and the global plan cache
 * :func:`perf_streaming_limit`   — streaming vs eager MATCH … LIMIT latency
 * :func:`perf_batched_triggers`  — batched vs per-activation trigger evaluation
+* :func:`perf_physical_operators` — range seek / hash join / top-k vs baselines
 """
 
 from __future__ import annotations
@@ -58,13 +59,12 @@ from ..datasets.workloads import (
 )
 from ..graph.store import PropertyGraph
 from ..schema.validation import validate_graph
-from ..triggers.ast import EventType, ItemKind, TriggerDefinition, ActionTime, Granularity
+from ..triggers.ast import ActionTime, EventType, ItemKind, TriggerDefinition
 from ..triggers.engine import TriggerEngine
 from ..triggers.events import compute_activations
 from ..triggers.parser import parse_trigger
 from ..triggers.registry import TriggerRegistry
 from ..triggers.session import GraphSession
-from ..triggers.termination import analyse_termination
 from ..tx.manager import TransactionManager
 from ..tx.transaction import Transaction
 from .harness import ExperimentResult
@@ -767,6 +767,98 @@ def perf_batched_triggers(
     return result
 
 
+def perf_physical_operators(
+    nodes: int = 50_000, join_side: int = 400, limit: int = 10, repeats: int = 3
+) -> ExperimentResult:
+    """P8 — the physical operator layer over a 50k-node graph.
+
+    Three head-to-head comparisons, each between a physical operator and
+    the plan the engine was previously forced into:
+
+    * **range seek vs label scan** — ``MATCH (n:Item) WHERE n.v >= lo AND
+      n.v < hi`` through the ordered index (``IndexRangeSeek``) vs the
+      same query before ``create_range_index`` (full label scan);
+    * **hash join vs nested loop** — a disconnected pattern pair joined by
+      a WHERE equality: the planner's ``HashJoin`` (default executor) vs
+      the nested-loop cartesian (``join_ordering=False`` baseline);
+    * **top-k vs full sort** — ``ORDER BY … LIMIT k`` through the
+      streaming ``TopK`` heap vs the eager full-sort baseline.
+
+    Every comparison asserts identical rows; the range-seek and hash-join
+    routes must be ≥5x faster (the top-k ratio is reported — its win is
+    bounded by per-row projection cost, which both routes pay).
+    """
+    result = ExperimentResult("P8", "P8 — physical operators: range seek, hash join, top-k")
+    graph = PropertyGraph()
+    for index in range(nodes):
+        graph.create_node(["Item"], {"v": index})
+    for index in range(join_side):
+        graph.create_node(["L"], {"k": index % (join_side // 4), "i": index})
+        graph.create_node(["R"], {"k": index % (join_side // 4), "i": index})
+
+    def best_of(run) -> tuple[float, list[dict]]:
+        timings, rows = [], []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            rows = run()
+            timings.append(time.perf_counter() - started)
+        return min(timings), rows
+
+    def timed_query(query: str, **executor_kwargs):
+        return best_of(lambda: QueryExecutor(graph, **executor_kwargs).execute(query).rows)
+
+    # -- range seek vs label scan ---------------------------------------
+    lo, hi = nodes // 2, nodes // 2 + 20
+    range_query = f"MATCH (n:Item) WHERE n.v >= {lo} AND n.v < {hi} RETURN n.v AS v"
+    scan_seconds, scan_rows = timed_query(range_query)
+    graph.create_range_index("Item", "v")
+    seek_seconds, seek_rows = timed_query(range_query)
+    assert seek_rows == scan_rows and len(seek_rows) == 20
+    range_speedup = scan_seconds / seek_seconds if seek_seconds else float("inf")
+    probe = QueryExecutor(graph)
+    assert "IndexRangeSeek" in probe.plan_description(range_query)
+    result.add_row(route="label scan (no ordered index)", comparison="range predicate",
+                   best_ms=1000 * scan_seconds, rows=len(scan_rows))
+    result.add_row(route="IndexRangeSeek (ordered index)", comparison="range predicate",
+                   best_ms=1000 * seek_seconds, rows=len(seek_rows))
+
+    # -- hash join vs nested-loop cartesian -----------------------------
+    join_query = (
+        "MATCH (a:L), (b:R) WHERE a.k = b.k RETURN a.i AS ai, b.i AS bi"
+    )
+    nested_seconds, nested_rows = timed_query(join_query, join_ordering=False)
+    hash_seconds, hash_rows = timed_query(join_query)
+    assert sorted((r["ai"], r["bi"]) for r in hash_rows) == sorted(
+        (r["ai"], r["bi"]) for r in nested_rows
+    )
+    join_speedup = nested_seconds / hash_seconds if hash_seconds else float("inf")
+    assert "HashJoin" in probe.plan_description(join_query)
+    result.add_row(route="nested loop (join_ordering=False)", comparison="disconnected join",
+                   best_ms=1000 * nested_seconds, rows=len(nested_rows))
+    result.add_row(route="HashJoin", comparison="disconnected join",
+                   best_ms=1000 * hash_seconds, rows=len(hash_rows))
+
+    # -- streaming top-k vs eager full sort -----------------------------
+    topk_query = f"MATCH (n:Item) RETURN n.v AS v ORDER BY v DESC LIMIT {limit}"
+    sort_seconds, sort_rows = timed_query(topk_query, eager=True)
+    topk_seconds, topk_rows = timed_query(topk_query)
+    assert topk_rows == sort_rows and len(topk_rows) == limit
+    topk_speedup = sort_seconds / topk_seconds if topk_seconds else float("inf")
+    assert "TopK" in probe.plan_description(topk_query)
+    result.add_row(route="eager full sort", comparison="ORDER BY + LIMIT",
+                   best_ms=1000 * sort_seconds, rows=len(sort_rows))
+    result.add_row(route="streaming TopK", comparison="ORDER BY + LIMIT",
+                   best_ms=1000 * topk_seconds, rows=len(topk_rows))
+
+    assert range_speedup >= 5.0, f"range seek speedup only {range_speedup:.1f}x"
+    assert join_speedup >= 5.0, f"hash join speedup only {join_speedup:.1f}x"
+    result.note(f"range seek speedup (scan / seek): {range_speedup:.1f}x")
+    result.note(f"hash join speedup (nested loop / hash): {join_speedup:.1f}x")
+    result.note(f"top-k speedup (full sort / heap): {topk_speedup:.1f}x")
+    result.note("every comparison returned identical rows")
+    return result
+
+
 #: Registry used by the CLI runner and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "T1": table1_feature_matrix,
@@ -786,4 +878,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "P5": perf_plan_cache,
     "P6": perf_streaming_limit,
     "P7": perf_batched_triggers,
+    "P8": perf_physical_operators,
 }

@@ -24,8 +24,8 @@ routes on identical workloads.
 from __future__ import annotations
 
 import datetime as _dt
-from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
 
 from ..cypher.executor import ProcedureInvocation, QueryExecutor
 from ..cypher.result import QueryResult

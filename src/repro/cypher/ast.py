@@ -14,7 +14,7 @@ parsed condition/statement text).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence, Union
 
 # ---------------------------------------------------------------------------

@@ -49,6 +49,7 @@ Two extension points exist for the trigger and compatibility layers:
 from __future__ import annotations
 
 import datetime as _dt
+import heapq
 import itertools
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
@@ -56,7 +57,6 @@ from ..graph.model import Node, Relationship
 from ..graph.store import PropertyGraph
 from ..tx.transaction import Transaction
 from .ast import (
-    BinaryOp,
     CallClause,
     Clause,
     CountStar,
@@ -86,10 +86,24 @@ from .ast import (
     expression_variable_names,
     walk_expression,
 )
-from .errors import CypherRuntimeError, CypherTypeError, UnsupportedFeatureError
+from .errors import CypherError, CypherRuntimeError, CypherTypeError, UnsupportedFeatureError
 from .expressions import EvaluationContext, evaluate
 from .functions import AGGREGATE_FUNCTIONS, is_aggregate_function
-from .planner import INDEX, PLAN_CACHE, AccessPath, QueryPlan
+from .physical import HashJoin, JoinOperator
+from .planner import (
+    AGGREGATE,
+    IN_LIST,
+    INDEX,
+    PLAN_CACHE,
+    RANGE,
+    REL_INDEX,
+    SORT,
+    STREAM,
+    TOPK,
+    WILDCARD,
+    AccessPath,
+    QueryPlan,
+)
 from .result import QueryResult, QueryStatistics
 
 #: Signature of a registered procedure: ``(arguments, invocation) -> rows``.
@@ -404,31 +418,49 @@ class QueryExecutor:
     # ------------------------------------------------------------------
 
     def _iter_match(self, clause: MatchClause, rows: Iterator[dict]) -> Iterator[dict]:
-        patterns = self._ordered_patterns(clause)
+        steps = self._match_steps(clause)
+        # Hash-join build tables live per MATCH *stage*: one pipeline pass
+        # over (possibly many) input rows shares them, keyed by the build
+        # pattern's dependency bindings so rows differing in a dependency
+        # can never alias (same contract as the match memo).
+        join_state: dict[tuple, _JoinTable] = {}
         for row in rows:
-            yield from self._iter_match_row(clause, patterns, row)
+            yield from self._iter_match_row(clause, steps, row, join_state)
 
-    def _ordered_patterns(self, clause: MatchClause) -> Sequence[PathPattern]:
-        """The clause's patterns in the planner's cost-based join order.
+    def _match_steps(
+        self, clause: MatchClause
+    ) -> list[tuple[PathPattern, Optional[JoinOperator]]]:
+        """The clause's patterns in planned order, with per-step join operators.
 
-        Multi-pattern clauses join their patterns in the planned order
-        when one is available (the patterns form a commutative
-        conjunction, so the row *set* is order-independent);
-        ``join_ordering=False`` keeps the naive clause order.  Resolved
-        once per MATCH stage, not per input row.
+        Multi-pattern clauses join their patterns in the planner's
+        cost-based order (the patterns form a commutative conjunction, so
+        the row *set* is order-independent), and disconnected steps carry
+        the planner's HashJoin/CartesianProduct operator.
+        ``join_ordering=False`` keeps the naive clause order and pure
+        nested-loop joins — the differential baseline.  Resolved once per
+        MATCH stage, not per input row.
         """
         if self.join_ordering and self._plan is not None and self._plan.has_join_orders:
             join_order = self._plan.join_order_for(clause)
             if join_order is not None:
-                return [clause.patterns[index] for index in join_order.order]
-        return clause.patterns
+                if join_order.steps:
+                    return [
+                        (clause.patterns[step.pattern_index], step.operator)
+                        for step in join_order.steps
+                    ]
+                return [(clause.patterns[index], None) for index in join_order.order]
+        return [(pattern, None) for pattern in clause.patterns]
 
     def _iter_match_row(
-        self, clause: MatchClause, patterns: Sequence[PathPattern], row: dict
+        self,
+        clause: MatchClause,
+        steps: Sequence[tuple[PathPattern, Optional[JoinOperator]]],
+        row: dict,
+        join_state: dict,
     ) -> Iterator[dict]:
         """All bindings one input row produces for a MATCH clause, lazily."""
         produced = False
-        for candidate in self._iter_patterns(patterns, dict(row)):
+        for candidate in self._iter_join_steps(steps, 0, dict(row), join_state):
             if clause.where is not None and self._evaluate(clause.where, candidate) is not True:
                 continue
             produced = True
@@ -438,6 +470,65 @@ class QueryExecutor:
             for name in _pattern_variables(clause.patterns):
                 padded.setdefault(name, None)
             yield padded
+
+    def _iter_join_steps(
+        self,
+        steps: Sequence[tuple[PathPattern, Optional[JoinOperator]]],
+        index: int,
+        row: dict,
+        join_state: dict,
+    ) -> Iterator[dict]:
+        """Lazily join the clause's patterns step by step.
+
+        Connected steps (operator ``None``) nested-loop through
+        :meth:`_iter_pattern`, starting from the bound values in ``row``.
+        Disconnected steps interpret their HashJoin/CartesianProduct
+        operator: the pattern's extensions are matched once, stored as
+        row *deltas* (optionally bucketed by build-key values), and
+        replayed onto every partial row — the key match is only a
+        pre-filter, since :meth:`_iter_match_row` still evaluates the full
+        WHERE on each joined candidate.
+        """
+        if index >= len(steps):
+            yield row
+            return
+        pattern, operator = steps[index]
+        if operator is None:
+            for extended in self._iter_pattern(pattern, row):
+                yield from self._iter_join_steps(steps, index + 1, extended, join_state)
+            return
+        table = self._join_build_table(pattern, operator, row, join_state)
+        for delta in table.probe(self, row):
+            merged = dict(row)
+            merged.update(delta)
+            yield from self._iter_join_steps(steps, index + 1, merged, join_state)
+
+    def _join_build_table(
+        self,
+        pattern: PathPattern,
+        operator: JoinOperator,
+        row: dict,
+        join_state: dict,
+    ) -> "_JoinTable":
+        """The (cached) materialised build side of a disconnected join step.
+
+        A disconnected pattern reads nothing from its sibling patterns (the
+        planner declines clauses with cross-pattern property reads), so its
+        extensions depend only on its dependency bindings — outer-clause
+        variables referenced by its property maps.  The cache key pins
+        those bindings by identity, exactly like the cross-row match memo,
+        so two partial rows agreeing on them share one build.
+        """
+        key = self._dependency_key(pattern, row)
+        table = join_state.get(key)
+        if table is None:
+            keys = operator.keys if isinstance(operator, HashJoin) else ()
+            table = _JoinTable(keys)
+            for extended in self._iter_pattern(pattern, row):
+                table.insert(self, _row_delta(row, extended), extended)
+            table.pins = self._dependency_pins(pattern, row)
+            join_state[key] = table
+        return table
 
     def _match_pattern(self, pattern: PathPattern, row: dict) -> list[dict]:
         """All ways of matching ``pattern`` starting from the bindings in ``row``."""
@@ -473,16 +564,13 @@ class QueryExecutor:
         executor's lifetime — which the trigger engine's read-only,
         eagerly drained batch pass guarantees.
         """
-        dependencies = self._pattern_dependencies(pattern)
-        key = (id(pattern),) + tuple(
-            (name, id(row[name])) for name in dependencies if name in row
-        )
+        key = self._dependency_key(pattern, row)
         entry = self._match_memo.get(key)
         if entry is None:
             entry = _MatchMemo(
                 base=row,
                 source=self._iter_pattern_live(pattern, row),
-                pins=[row.get(name) for name in dependencies],
+                pins=self._dependency_pins(pattern, row),
             )
             self._match_memo[key] = entry
         index = 0
@@ -501,14 +589,26 @@ class QueryExecutor:
                 entry.complete = True
                 entry.source = None
                 return
-            base = entry.base
-            entry.deltas.append(
-                {
-                    name: value
-                    for name, value in extended.items()
-                    if name not in base or base[name] is not value
-                }
-            )
+            entry.deltas.append(_row_delta(entry.base, extended))
+
+    def _dependency_key(self, pattern: PathPattern, row: dict) -> tuple:
+        """Identity-based cache key over a pattern's dependency bindings.
+
+        Shared by the cross-row match memo and the hash-join build cache:
+        two rows agreeing (by object identity) on every dependency produce
+        identical pattern extensions, so they may share a cache entry —
+        provided the keyed objects are pinned (:meth:`_dependency_pins`)
+        so their ids cannot be recycled while the entry is alive.
+        """
+        return (id(pattern),) + tuple(
+            (name, id(row[name]))
+            for name in self._pattern_dependencies(pattern)
+            if name in row
+        )
+
+    def _dependency_pins(self, pattern: PathPattern, row: dict) -> list:
+        """The binding objects a :meth:`_dependency_key` must keep alive."""
+        return [row.get(name) for name in self._pattern_dependencies(pattern)]
 
     def _pattern_dependencies(self, pattern: PathPattern) -> tuple[str, ...]:
         """Row variables whose bindings can influence matching ``pattern``."""
@@ -533,6 +633,15 @@ class QueryExecutor:
             if pattern_plan is not None:
                 elements = pattern_plan.elements
                 access = pattern_plan.start
+        if access is not None and access.kind == REL_INDEX:
+            relationships = self._rel_seek_candidates(access, row)
+            if relationships is not None:
+                yield from self._iter_pattern_from_relationships(
+                    pattern, elements, relationships, row
+                )
+                return
+            # Index gone or value unusable: degrade to the node-anchored scan.
+            access = None
         first = elements[0]
         assert isinstance(first, NodePattern)
         for node, bindings in self._candidate_nodes(first, row, access):
@@ -540,6 +649,79 @@ class QueryExecutor:
                 elements, 1, node, bindings, used_rels=set(),
                 path_nodes=[node], path_rels=[], pattern=pattern,
             )
+
+    def _rel_seek_candidates(
+        self, access: AccessPath, row: dict
+    ) -> list[Relationship] | None:
+        """Probe the relationship-property index (``None`` forces a scan)."""
+        lookup = getattr(self.graph, "relationship_property_index_lookup", None)
+        if lookup is None:
+            return None
+        try:
+            value = self._evaluate(access.value, row)
+        except (CypherError, TypeError):
+            return None
+        if value is None:
+            return None
+        try:
+            return lookup(access.rel_type, access.property, value)
+        except TypeError:
+            # Unhashable probe value: the index cannot answer eagerly.
+            return None
+
+    def _iter_pattern_from_relationships(
+        self,
+        pattern: PathPattern,
+        elements: Sequence,
+        relationships: Iterable[Relationship],
+        row: dict,
+    ) -> Iterator[dict]:
+        """Match a pattern outward from index-seeked first relationships.
+
+        The seeked relationship pins ``elements[0..2]`` — both endpoint
+        node patterns are verified exactly as the node-anchored traversal
+        would, an undirected pattern tries both orientations (one for a
+        self-loop, matching the adjacency scan), and the rest of the
+        pattern extends through the ordinary :meth:`_extend_path` walk.
+        """
+        node_first = elements[0]
+        rel_pattern = elements[1]
+        node_second = elements[2]
+        assert isinstance(node_first, NodePattern)
+        assert isinstance(rel_pattern, RelationshipPattern)
+        assert isinstance(node_second, NodePattern)
+        for rel in relationships:
+            if rel_pattern.direction == "out":
+                orientations = [(rel.start, rel.end)]
+            elif rel_pattern.direction == "in":
+                orientations = [(rel.end, rel.start)]
+            elif rel.start == rel.end:
+                orientations = [(rel.start, rel.end)]
+            else:
+                orientations = [(rel.start, rel.end), (rel.end, rel.start)]
+            for start_id, end_id in orientations:
+                if not (self.graph.has_node(start_id) and self.graph.has_node(end_id)):
+                    continue
+                start_node = self.graph.node(start_id)
+                bindings = self._bind_node(node_first, start_node, row)
+                if bindings is None:
+                    continue
+                if not self._relationship_satisfies(rel_pattern, rel, start_node, bindings):
+                    continue
+                if rel_pattern.variable is not None:
+                    existing = bindings.get(rel_pattern.variable)
+                    if existing is not None and not _same_item(existing, rel):
+                        continue
+                    bindings = dict(bindings)
+                    bindings[rel_pattern.variable] = rel
+                end_node = self.graph.node(end_id)
+                target_bindings = self._bind_node(node_second, end_node, bindings)
+                if target_bindings is None:
+                    continue
+                yield from self._extend_path(
+                    elements, 3, end_node, target_bindings, used_rels={rel.id},
+                    path_nodes=[start_node, end_node], path_rels=[rel], pattern=pattern,
+                )
 
     def _extend_path(
         self,
@@ -678,6 +860,14 @@ class QueryExecutor:
                 hit = None
             if hit is not None:
                 return hit
+        elif access is not None and access.kind == IN_LIST:
+            hit = self._in_seek_candidates(access, row)
+            if hit is not None:
+                return hit
+        elif access is not None and access.kind == RANGE:
+            hit = self._range_seek_candidates(access, row)
+            if hit is not None:
+                return hit
         for label in node_pattern.labels:
             if label in self.virtual_labels:
                 ids = self.virtual_labels[label]
@@ -688,6 +878,72 @@ class QueryExecutor:
                 best = min(real_labels, key=self.graph.count_nodes_with_label)
                 return self.graph.nodes_with_label(best)
         return self.graph.nodes()
+
+    def _in_seek_candidates(self, access: AccessPath, row: dict) -> list[Node] | None:
+        """IN-list seek: the union of one equality probe per list element.
+
+        Returns ``None`` — fall back to scanning — whenever the seek cannot
+        reproduce scan semantics exactly: the list expression fails to
+        evaluate, is not a list (the live ``IN`` raises per candidate), an
+        element is unhashable, or the index has been dropped.  Null
+        elements are skipped: under three-valued logic they can only turn
+        a non-match into ``null``, never admit a row.
+        """
+        try:
+            values = self._evaluate(access.value, row)
+        except (CypherError, TypeError):
+            return None
+        if not isinstance(values, (list, tuple)):
+            return None
+        nodes: dict[int, Node] = {}
+        for element in values:
+            if element is None:
+                continue
+            try:
+                hit = self.graph.property_index_lookup(access.label, access.property, element)
+            except TypeError:
+                return None
+            if hit is None:
+                return None
+            for node in hit:
+                nodes[node.id] = node
+        return [nodes[node_id] for node_id in sorted(nodes)]
+
+    def _range_seek_candidates(self, access: AccessPath, row: dict) -> list[Node] | None:
+        """Range seek over the ordered index (``None`` forces a scan).
+
+        A ``None`` bound value falls back too: ``n.v > null`` is null for
+        every candidate, and sibling WHERE conjuncts must still see those
+        candidates (they may raise, exactly as an unplanned scan would).
+        The store itself returns ``None`` when entries of a foreign type
+        class exist — a scan would raise comparing them with the bound.
+        """
+        lookup = getattr(self.graph, "range_index_lookup", None)
+        if lookup is None:
+            return None
+        lower = upper = None
+        try:
+            if access.lower is not None:
+                lower = self._evaluate(access.lower, row)
+                if lower is None:
+                    return None
+            if access.upper is not None:
+                upper = self._evaluate(access.upper, row)
+                if upper is None:
+                    return None
+        except (CypherError, TypeError):
+            return None
+        try:
+            return lookup(
+                access.label,
+                access.property,
+                lower,
+                upper,
+                access.include_lower,
+                access.include_upper,
+            )
+        except TypeError:
+            return None
 
     def _node_satisfies(self, node_pattern: NodePattern, node: Node, row: dict) -> bool:
         for label in node_pattern.labels:
@@ -791,9 +1047,13 @@ class QueryExecutor:
         return projected
 
     def _stream_with(self, clause: WithClause, rows: Iterator[dict]) -> Iterator[dict]:
-        if self._projection_breaks(clause):
+        mode = self._projection_mode(clause)
+        if mode == TOPK and not self.eager:
+            projected: Iterator[dict] = self._iter_topk(clause, rows)
+        elif mode != STREAM:
             return iter(self._execute_with(clause, list(rows)))
-        projected = self._iter_projection(clause, rows)
+        else:
+            projected = self._iter_projection(clause, rows)
         if clause.where is not None:
             projected = (
                 row for row in projected if self._evaluate(clause.where, row) is True
@@ -804,24 +1064,75 @@ class QueryExecutor:
         self, clause: ReturnClause, rows: Iterator[dict]
     ) -> tuple[list[str], Iterator[dict]]:
         """Terminal RETURN stage: ``(columns, lazily projected rows)``."""
-        if self.eager or self._projection_breaks(clause):
+        mode = self._projection_mode(clause)
+        if self.eager or mode in (AGGREGATE, WILDCARD, SORT):
             columns, projected = self._project(clause, list(rows))
             return columns, iter(projected)
         columns = [item.output_name() for item in clause.items]
+        if mode == TOPK:
+            return columns, self._iter_topk(clause, rows)
         return columns, self._iter_projection(clause, rows)
 
-    def _projection_breaks(self, clause: WithClause | ReturnClause) -> bool:
-        """Projections that need their whole input before emitting anything.
+    def _projection_mode(self, clause: WithClause | ReturnClause) -> str:
+        """The planner's execution mode for this projection.
 
-        Aggregation and ORDER BY are inherently blocking; a ``*`` wildcard
-        needs every row to discover the output columns.  DISTINCT and
-        SKIP/LIMIT stream (a running seen-set / counters suffice).
+        Read from the physical plan when one is available (the common
+        case); re-derived only for clause objects executed outside a
+        planned query.  The ``eager`` baseline executes TOPK clauses
+        through the full-sort breaker, which is what the differential
+        suites compare the heap against.
         """
-        return bool(
-            clause.include_wildcard
-            or clause.order_by
-            or _collect_aggregates(list(clause.items))
-        )
+        if self._plan is not None and self._plan.has_projection_plans:
+            projection = self._plan.projection_for(clause)
+            if projection is not None:
+                return projection.mode
+        if _collect_aggregates(list(clause.items)):
+            return AGGREGATE
+        if clause.include_wildcard:
+            return WILDCARD
+        if clause.order_by:
+            if clause.limit is not None and not clause.distinct:
+                return TOPK
+            return SORT
+        return STREAM
+
+    def _iter_topk(
+        self, clause: WithClause | ReturnClause, rows: Iterator[dict]
+    ) -> Iterator[dict]:
+        """Heap-based ORDER BY + LIMIT: keep ``skip+limit`` rows, not all.
+
+        ``heapq.nsmallest`` is documented to equal ``sorted(...)[:k]`` —
+        including stability, via its internal input-order tiebreaker — so
+        this yields exactly what the full-sort breaker would, in O(n log k)
+        time and O(k) memory.
+        """
+        items = list(clause.items)
+        skip = max(0, int(self._evaluate(clause.skip, {}))) if clause.skip is not None else 0
+        limit = max(0, int(self._evaluate(clause.limit, {})))
+        if limit <= 0:
+            return
+        sort_items = clause.order_by
+
+        def pairs() -> Iterator[tuple[dict, dict]]:
+            for row in rows:
+                out: dict[str, Any] = {}
+                for item in items:
+                    out[item.output_name()] = self._evaluate(item.expression, row)
+                yield out, row
+
+        def sort_key(pair: tuple[dict, dict]) -> list:
+            projected, source = pair
+            # Same scoping rule as the full-sort path: ORDER BY sees both
+            # the projected aliases and the pre-projection variables.
+            scope = {**source, **projected}
+            return [
+                _SortValue(self._evaluate(item.expression, scope), descending=item.descending)
+                for item in sort_items
+            ]
+
+        top = heapq.nsmallest(skip + limit, pairs(), key=sort_key)
+        for projected, _ in top[skip:]:
+            yield projected
 
     def _iter_projection(
         self, clause: WithClause | ReturnClause, rows: Iterator[dict]
@@ -1255,6 +1566,59 @@ class _MatchMemo:
         self.complete = False
 
 
+class _JoinTable:
+    """The materialised build side of one disconnected join step.
+
+    Rows are stored as deltas against the build row.  With hash keys the
+    deltas are additionally bucketed by their build-key values
+    (``_hashable``-normalised, so node/relationship identity matches the
+    executor's equality semantics); without keys — or whenever a key fails
+    to evaluate or hash on either side — matching degrades to scanning
+    every delta, which keeps the join a strict superset of what the WHERE
+    clause will accept.  ``pins`` keeps the dependency bindings alive so
+    the id()-based cache key can never alias recycled objects.
+    """
+
+    __slots__ = ("keys", "buckets", "deltas", "overflow", "pins")
+
+    def __init__(self, keys: tuple) -> None:
+        self.keys = keys
+        self.buckets: dict[tuple, list[dict]] | None = {} if keys else None
+        self.deltas: list[dict] = []
+        self.overflow: list[dict] = []
+        self.pins: list = []
+
+    def insert(self, executor: "QueryExecutor", delta: dict, full_row: dict) -> None:
+        self.deltas.append(delta)
+        if not self.keys:
+            return
+        try:
+            key = tuple(
+                _hashable(executor._evaluate(build, full_row)) for _, build in self.keys
+            )
+            hash(key)
+        except (CypherError, TypeError):
+            self.overflow.append(delta)
+            return
+        self.buckets.setdefault(key, []).append(delta)
+
+    def probe(self, executor: "QueryExecutor", row: dict) -> Iterable[dict]:
+        """Deltas that may join with ``row`` (a superset of WHERE's matches)."""
+        if not self.keys:
+            return self.deltas
+        try:
+            key = tuple(
+                _hashable(executor._evaluate(probe, row)) for probe, _ in self.keys
+            )
+            hash(key)
+        except (CypherError, TypeError):
+            return self.deltas
+        bucket = self.buckets.get(key, ())
+        if self.overflow:
+            return itertools.chain(bucket, self.overflow)
+        return bucket
+
+
 
 #: Clauses with no side effects; anything else (writes, CALL — procedures
 #: may run write subqueries) makes a query non-read-only.
@@ -1294,6 +1658,20 @@ class _SortValue:
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, _SortValue) and self.value == other.value
+
+
+def _row_delta(base: dict, extended: dict) -> dict:
+    """The bindings ``extended`` adds (or rebinds, by identity) over ``base``.
+
+    The shared delta representation of the match memo and the hash-join
+    build tables: replaying a delta onto any row agreeing with ``base`` on
+    the pattern's dependencies reproduces the extension exactly.
+    """
+    return {
+        name: value
+        for name, value in extended.items()
+        if name not in base or base[name] is not value
+    }
 
 
 def _pattern_variables(patterns: Iterable[PathPattern]) -> list[str]:
@@ -1340,14 +1718,21 @@ def _collect_aggregates(items: Sequence[ProjectionItem]) -> list[Expression]:
 
 
 def _hashable(value: Any) -> Any:
+    """A hashable stand-in preserving the executor's value equality.
+
+    Every composite is tagged with its type: without the tags, a list of
+    pairs and a map lower to the *same* tuple-of-pairs (``[['a', 1]]`` vs
+    ``{a: 1}``), so DISTINCT and grouping would silently merge rows of
+    different types.
+    """
     if isinstance(value, Node):
         return ("node", value.id)
     if isinstance(value, Relationship):
         return ("rel", value.id)
     if isinstance(value, list):
-        return tuple(_hashable(v) for v in value)
+        return ("list", tuple(_hashable(v) for v in value))
     if isinstance(value, dict):
-        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+        return ("dict", tuple(sorted((k, _hashable(v)) for k, v in value.items())))
     return value
 
 

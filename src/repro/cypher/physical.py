@@ -1,0 +1,344 @@
+"""Physical operators — the vocabulary the planner lowers queries into.
+
+This module is the data model of the *physical plan layer*: the planner
+(:mod:`repro.cypher.planner`) turns each clause of a parsed query into a
+tree of the operators below, and the executor
+(:mod:`repro.cypher.executor`) interprets that tree instead of re-deriving
+strategy per clause.  ``EXPLAIN`` output is the ``describe()`` rendering of
+these operators, each annotated with the cardinality estimate the planner
+used when choosing it.
+
+Operator vocabulary
+-------------------
+
+Start operators — how a pattern's candidate set is produced
+(:class:`AccessPath`, discriminated by ``kind``):
+
+* ``AllNodesScan`` — every node (no label, no usable index);
+* ``LabelScan(L1|L2)`` — the most selective label bucket;
+* ``VirtualLabelScan(L)`` — a query-scoped virtual-label id set (the
+  trigger engine's transition variables);
+* ``IndexSeek(L.p = v)`` — equality probe into an exact-match or ordered
+  property index;
+* ``IndexSeek(L.p IN [...])`` — union of equality probes, one per list
+  element;
+* ``IndexRangeSeek(L.p > lo AND L.p <= hi)`` — sorted-index range seek
+  over the ordered property index;
+* ``RelIndexSeek(T.p = v)`` — equality probe into a relationship-property
+  index; the pattern is matched outward from the seeked relationships.
+
+Pattern operators:
+
+* :class:`Expand` — one relationship hop of a path pattern;
+* :class:`Filter` — a clause-level WHERE predicate (always re-evaluated,
+  whatever the access path already guaranteed).
+
+Join operators (between the disconnected pattern groups of one MATCH):
+
+* :class:`HashJoin` — build a hash table over the new pattern's rows keyed
+  by cross-group WHERE equality conjuncts, probe it with each partial row;
+* :class:`CartesianProduct` — no usable key: the new pattern's rows are
+  materialised once and replayed per partial row (still strictly better
+  than re-matching the pattern per row, which is what the nested-loop
+  baseline does).
+
+Projection operators:
+
+* :class:`TopK` — heap-based ORDER BY + LIMIT: keeps only ``skip+limit``
+  rows in memory instead of sorting the full input;
+* :class:`Sort` — full sort (ORDER BY without LIMIT);
+* :class:`Aggregate` — grouped aggregation (a pipeline breaker).
+
+Every operator is *advisory*: the executor re-verifies labels, properties
+and the WHERE clause on each candidate, so a wrong plan can cost
+performance but never change results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .ast import Expression, NodePattern, RelationshipPattern, expression_text
+
+#: Access-path kinds, in decreasing priority.
+INDEX = "index"
+IN_LIST = "in"
+RANGE = "range"
+REL_INDEX = "rel_index"
+VIRTUAL = "virtual"
+LABEL = "label"
+SCAN = "scan"
+
+
+def format_rows(estimate: float) -> str:
+    """Compact human-readable row estimate for EXPLAIN output."""
+    if estimate >= 100:
+        return str(int(round(estimate)))
+    return f"{round(estimate, 2):g}"
+
+
+def _est(estimate: float) -> str:
+    return f" est~{format_rows(estimate)} rows"
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """The start operator of one pattern: how its candidate set is produced.
+
+    One dataclass discriminated by ``kind`` rather than a subclass per
+    operator, so plans stay cheap to build and trivially hashable; the
+    ``describe()`` rendering is what gives each kind its EXPLAIN name.
+    """
+
+    kind: str
+    #: Label of the index / virtual-label entry (seek kinds / ``virtual``).
+    label: Optional[str] = None
+    #: Indexed property (seek kinds only).
+    property: Optional[str] = None
+    #: Expression producing the looked-up value (``index``: the equality
+    #: value; ``in``: the whole list expression).  Always a literal or
+    #: parameter (or a list of them), so it never depends on other pattern
+    #: variables.
+    value: Optional[Expression] = None
+    #: Candidate real labels for a ``label`` scan (the executor picks the
+    #: most selective one at run time, so counts never go stale).
+    labels: tuple[str, ...] = ()
+    #: Range bounds (``range`` only); ``None`` means unbounded on that side.
+    lower: Optional[Expression] = None
+    upper: Optional[Expression] = None
+    include_lower: bool = False
+    include_upper: bool = False
+    #: Relationship type of a ``rel_index`` seek.
+    rel_type: Optional[str] = None
+    #: Direction of the seeked relationship pattern (``rel_index`` only).
+    direction: str = "both"
+    #: Planner cardinality estimate for this operator's output.
+    estimated_rows: float = 0.0
+
+    def describe(self) -> str:
+        """One-line human-readable rendering (used by EXPLAIN output)."""
+        if self.kind == INDEX:
+            return (
+                f"IndexSeek({self.label}.{self.property} = "
+                f"{expression_text(self.value)})" + _est(self.estimated_rows)
+            )
+        if self.kind == IN_LIST:
+            return (
+                f"IndexSeek({self.label}.{self.property} IN "
+                f"{expression_text(self.value)})" + _est(self.estimated_rows)
+            )
+        if self.kind == RANGE:
+            parts = []
+            if self.lower is not None:
+                op = ">=" if self.include_lower else ">"
+                parts.append(
+                    f"{self.label}.{self.property} {op} {expression_text(self.lower)}"
+                )
+            if self.upper is not None:
+                op = "<=" if self.include_upper else "<"
+                parts.append(
+                    f"{self.label}.{self.property} {op} {expression_text(self.upper)}"
+                )
+            return "IndexRangeSeek(" + " AND ".join(parts) + ")" + _est(self.estimated_rows)
+        if self.kind == REL_INDEX:
+            return (
+                f"RelIndexSeek({self.rel_type}.{self.property} = "
+                f"{expression_text(self.value)})" + _est(self.estimated_rows)
+            )
+        if self.kind == VIRTUAL:
+            return f"VirtualLabelScan({self.label})"
+        if self.kind == LABEL:
+            return "LabelScan(" + "|".join(self.labels) + ")" + _est(self.estimated_rows)
+        return "AllNodesScan" + _est(self.estimated_rows)
+
+
+@dataclass(frozen=True)
+class Expand:
+    """One relationship hop of a path pattern (EXPLAIN bookkeeping).
+
+    The executor walks the pattern elements directly; this operator records
+    the hop's shape and the planner's running cardinality estimate so
+    EXPLAIN can show where a plan expects its rows to multiply.
+    """
+
+    types: tuple[str, ...] = ()
+    direction: str = "both"
+    min_hops: Optional[int] = None
+    max_hops: Optional[int] = None
+    target_labels: tuple[str, ...] = ()
+    estimated_rows: float = 0.0
+
+    @property
+    def is_variable_length(self) -> bool:
+        return self.min_hops is not None or self.max_hops is not None
+
+    def describe(self) -> str:
+        spec = ":" + "|".join(self.types) if self.types else ""
+        if self.is_variable_length:
+            low = self.min_hops if self.min_hops is not None else 1
+            high = self.max_hops if self.max_hops is not None else ""
+            spec += f"*{low}..{high}"
+        left = "<-" if self.direction == "in" else "-"
+        right = "->" if self.direction == "out" else "-"
+        target = ":" + ":".join(self.target_labels) if self.target_labels else ""
+        return f"Expand({left}[{spec}]{right}({target}))" + _est(self.estimated_rows)
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A WHERE predicate applied to every candidate row of a MATCH clause."""
+
+    expression: Expression
+
+    def describe(self) -> str:
+        return f"Filter({expression_text(self.expression)})"
+
+
+@dataclass(frozen=True)
+class HashJoin:
+    """Join a disconnected pattern group through a hash table.
+
+    ``keys`` holds ``(probe, build)`` expression pairs extracted from the
+    clause's WHERE equality conjuncts: ``build`` reads only the new
+    pattern's variables, ``probe`` only previously bound ones.  The build
+    side (``build_pattern`` indexes into the clause's patterns) is matched
+    once, bucketed by its key values, and probed with each partial row —
+    replacing the nested-loop cartesian whose cost is the *product* of the
+    two sides.  Key matching is a pre-filter: the WHERE clause is still
+    evaluated on every joined row, so hash collisions or Python-vs-Cypher
+    equality differences can only cost time, never correctness.
+    """
+
+    build_pattern: int
+    keys: tuple[tuple[Expression, Expression], ...]
+    estimated_rows: float = 0.0
+
+    def describe(self) -> str:
+        rendered = ", ".join(
+            f"{expression_text(probe)} = {expression_text(build)}"
+            for probe, build in self.keys
+        )
+        return (
+            f"HashJoin(pattern[{self.build_pattern}], {rendered})"
+            + _est(self.estimated_rows)
+        )
+
+
+@dataclass(frozen=True)
+class CartesianProduct:
+    """A keyless disconnected join: materialise the build side once.
+
+    Chosen when no cross-group equality conjunct exists.  The joined row
+    set is exactly the nested-loop cartesian's; only the re-matching work
+    per partial row is saved.
+    """
+
+    build_pattern: int
+    estimated_rows: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"CartesianProduct(pattern[{self.build_pattern}], materialized)"
+            + _est(self.estimated_rows)
+        )
+
+
+@dataclass(frozen=True)
+class TopK:
+    """Heap-based streaming ORDER BY + LIMIT (+ SKIP).
+
+    Keeps the ``skip + limit`` smallest rows (by the ORDER BY key, with
+    input order as the tiebreaker — identical to a stable full sort
+    followed by slicing) in a bounded heap while the input streams through,
+    so an ORDER BY stops forcing a full materialise-and-sort whenever a
+    LIMIT is present.
+    """
+
+    order_text: str
+    limit: Expression
+    skip: Optional[Expression] = None
+    estimated_rows: float = 0.0
+
+    def describe(self) -> str:
+        skip_text = f" SKIP {expression_text(self.skip)}" if self.skip is not None else ""
+        return (
+            f"TopK(ORDER BY {self.order_text}{skip_text} "
+            f"LIMIT {expression_text(self.limit)})" + _est(self.estimated_rows)
+        )
+
+
+@dataclass(frozen=True)
+class Sort:
+    """Full sort — ORDER BY without a LIMIT to bound the heap."""
+
+    order_text: str
+
+    def describe(self) -> str:
+        return f"Sort(ORDER BY {self.order_text})"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Grouped aggregation — inherently a pipeline breaker."""
+
+    aggregate_text: str
+
+    def describe(self) -> str:
+        return f"Aggregate({self.aggregate_text})"
+
+
+#: Operators that can appear in a pattern's physical chain.
+PatternOperator = Union[AccessPath, Expand]
+#: Operators that can join two pattern groups.
+JoinOperator = Union[HashJoin, CartesianProduct]
+#: Operators a WITH/RETURN projection can lower to.
+ProjectionOperator = Union[TopK, Sort, Aggregate]
+
+
+def physical_chain(
+    start: AccessPath,
+    elements,
+    estimator,
+) -> tuple[tuple[PatternOperator, ...], float]:
+    """Lower a pattern's element sequence into (start, Expand, …) operators.
+
+    Returns the operator chain and the final cardinality estimate, walking
+    the same arithmetic as
+    :meth:`repro.graph.statistics.CardinalityEstimator.pattern_cardinality`
+    but keeping the running estimate per hop so EXPLAIN can show it.
+
+    For a ``rel_index`` start the seek already binds the first
+    relationship and both its endpoints, so the chain resumes after them.
+    """
+    operators: list[PatternOperator] = [start]
+    estimate = start.estimated_rows
+    first_hop = 1
+    if start.kind == REL_INDEX:
+        # elements[0]/[1]/[2] are bound by the seek itself; account for the
+        # endpoint label filters, then continue expanding from elements[3].
+        for node in (elements[0], elements[2]):
+            if node.labels:
+                estimate *= estimator.label_fraction(node.labels)
+        first_hop = 3
+    for index in range(first_hop, len(elements) - 1, 2):
+        rel = elements[index]
+        node = elements[index + 1]
+        assert isinstance(rel, RelationshipPattern)
+        assert isinstance(node, NodePattern)
+        factor = estimator.expansion_factor(rel.types)
+        hops = rel.min_hops if rel.min_hops is not None else 1
+        estimate *= factor ** max(int(hops), 1)
+        if node.labels:
+            estimate *= estimator.label_fraction(node.labels)
+        operators.append(
+            Expand(
+                types=rel.types,
+                direction=rel.direction,
+                min_hops=rel.min_hops,
+                max_hops=rel.max_hops,
+                target_labels=node.labels,
+                estimated_rows=estimate,
+            )
+        )
+    return tuple(operators), estimate

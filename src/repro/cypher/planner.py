@@ -10,18 +10,23 @@ handful of statements and conditions are executed thousands of times.
 
 Two things live here:
 
-* **The planner** — :func:`plan_query` inspects the MATCH (and MERGE)
-  patterns of a parsed query together with the graph's index metadata and
-  chooses, per path pattern, the cheapest *access path* for the starting
-  node:
+* **The planner** — :func:`plan_query` lowers the clauses of a parsed
+  query into the *physical operators* of :mod:`repro.cypher.physical`,
+  choosing per path pattern the cheapest start operator:
 
-  - ``index`` — a :class:`~repro.graph.indexes.PropertyIndex` equality
-    lookup, derived from inline property maps ``(n:Label {k: v})`` and
-    from sargable ``WHERE n.k = <literal/parameter>`` conjuncts;
-  - ``virtual`` — a virtual-label id set (the trigger engine's transition
-    variables such as ``NEWNODES``);
-  - ``label`` — a label-index scan over the most selective label;
-  - ``scan`` — a full node scan.
+  - ``IndexSeek`` — an equality probe into an exact-match or ordered
+    property index, derived from inline property maps
+    ``(n:Label {k: v})`` and from sargable ``WHERE n.k =
+    <literal/parameter>`` conjuncts — or an IN-list probe from
+    ``WHERE n.k IN [...]``;
+  - ``IndexRangeSeek`` — a sorted-index range seek over an ordered
+    (range) index, fed by sargable ``<``/``<=``/``>``/``>=`` conjuncts;
+  - ``RelIndexSeek`` — an equality probe into a relationship-property
+    index, matching the pattern outward from the seeked relationships;
+  - ``VirtualLabelScan`` — a virtual-label id set (the trigger engine's
+    transition variables such as ``NEWNODES``);
+  - ``LabelScan`` — a label-index scan over the most selective label;
+  - ``AllNodesScan`` — a full node scan.
 
   When the cheapest entry point is the *last* node of a path, the planner
   re-orders the pattern start point by reversing the element sequence
@@ -36,14 +41,22 @@ Two things live here:
   the patterns are ordered greedily — cheapest/most-bound first, then
   always preferring patterns *connected* to an already-planned one over
   disconnected patterns, so cartesian products are deferred as far as
-  possible.  The chosen :class:`JoinOrder` (with its estimates) is part
-  of the plan and shows up in ``EXPLAIN`` output.
+  possible.  When a disconnected pattern *must* be joined, the planner
+  emits a :class:`~repro.cypher.physical.HashJoin` (keyed by cross-group
+  WHERE equality conjuncts) or a materialised
+  :class:`~repro.cypher.physical.CartesianProduct` instead of the
+  nested-loop re-match.  The chosen :class:`JoinOrder` (with its steps
+  and estimates) is part of the plan and shows up in ``EXPLAIN`` output.
 
-  Every access path — and the join order, since patterns of one MATCH
-  clause form a commutative conjunction — is advisory: the executor
-  re-verifies labels and properties on each candidate (and the WHERE
-  clause still runs), so a stale or wrong plan can only cost
-  performance, never change results.
+  WITH/RETURN projections are lowered too: ORDER BY + LIMIT becomes a
+  streaming :class:`~repro.cypher.physical.TopK`, ORDER BY alone a
+  :class:`~repro.cypher.physical.Sort`, and aggregation an
+  :class:`~repro.cypher.physical.Aggregate` breaker.
+
+  Every operator choice — access path, join order, join strategy,
+  projection mode — is advisory: the executor re-verifies labels and
+  properties on each candidate (and the WHERE clause still runs), so a
+  stale or wrong plan can only cost performance, never change results.
 
 * **The plan cache** — :class:`PlanCache`, a module-level LRU shared by
   the executor, the trigger engine, the APOC/Memgraph emulation layers
@@ -70,9 +83,12 @@ from ..graph.statistics import CardinalityEstimator
 from .ast import (
     BinaryOp,
     CallClause,
+    CountStar,
     CreateClause,
     ExistsPattern,
+    FunctionCall,
     Expression,
+    ListLiteral,
     Literal,
     MatchClause,
     MergeClause,
@@ -91,14 +107,31 @@ from .ast import (
     walk_expression,
 )
 from .errors import CypherSyntaxError
+from .functions import is_aggregate_function
 from .lexer import Token, tokenize
 from .parser import parse_expression, parse_query
+from .physical import (
+    IN_LIST,
+    INDEX,
+    LABEL,
+    RANGE,
+    REL_INDEX,
+    SCAN,
+    VIRTUAL,
+    AccessPath,
+    Aggregate,
+    CartesianProduct,
+    Filter,
+    HashJoin,
+    PatternOperator,
+    ProjectionOperator,
+    Sort,
+    TopK,
+    format_rows,
+    physical_chain,
+)
 
-#: Access-path kinds, in decreasing priority.
-INDEX = "index"
-VIRTUAL = "virtual"
-LABEL = "label"
-SCAN = "scan"
+_format_rows = format_rows
 
 
 # ---------------------------------------------------------------------------
@@ -107,45 +140,8 @@ SCAN = "scan"
 
 
 @dataclass(frozen=True)
-class AccessPath:
-    """How the executor should produce the starting candidate set."""
-
-    kind: str
-    #: Label of the index / virtual-label entry (``index``/``virtual``).
-    label: Optional[str] = None
-    #: Indexed property (``index`` only).
-    property: Optional[str] = None
-    #: Expression producing the looked-up value (``index`` only).  Always a
-    #: literal or parameter, so it never depends on other pattern variables.
-    value: Optional[Expression] = None
-    #: Candidate real labels for a ``label`` scan (the executor picks the
-    #: most selective one at run time, so counts never go stale).
-    labels: tuple[str, ...] = ()
-
-    def describe(self) -> str:
-        """One-line human-readable rendering (used by EXPLAIN output)."""
-        if self.kind == INDEX:
-            return (
-                f"IndexLookup({self.label}.{self.property} = "
-                f"{expression_text(self.value)})"
-            )
-        if self.kind == VIRTUAL:
-            return f"VirtualLabelScan({self.label})"
-        if self.kind == LABEL:
-            return "LabelScan(" + "|".join(self.labels) + ")"
-        return "AllNodesScan"
-
-
-def _format_rows(estimate: float) -> str:
-    """Compact human-readable row estimate for EXPLAIN output."""
-    if estimate >= 100:
-        return str(int(round(estimate)))
-    return f"{round(estimate, 2):g}"
-
-
-@dataclass(frozen=True)
 class PatternPlan:
-    """Plan for one path pattern: element order, start path and cardinality."""
+    """Plan for one path pattern: physical operator chain and cardinality."""
 
     pattern: PathPattern
     elements: tuple[Union[NodePattern, RelationshipPattern], ...]
@@ -153,25 +149,44 @@ class PatternPlan:
     reversed: bool = False
     #: Estimated result rows of matching this pattern standalone.
     estimated_rows: float = 0.0
+    #: The full physical chain: the start operator followed by one
+    #: :class:`~repro.cypher.physical.Expand` per relationship hop.
+    physical: tuple[PatternOperator, ...] = ()
 
     def describe(self) -> str:
         start = self.elements[0]
         name = start.variable or "_"
         direction = " (reversed)" if self.reversed else ""
-        return (
-            f"start=({name}) {self.start.describe()}{direction} "
-            f"est~{_format_rows(self.estimated_rows)} rows"
-        )
+        chain = self.physical or (self.start,)
+        rendered = " -> ".join(op.describe() for op in chain)
+        return f"start=({name}) {rendered}{direction}"
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One step of a multi-pattern join: which pattern, joined how.
+
+    ``operator`` is ``None`` for the first pattern and for patterns
+    connected to the already-planned set (nested-loop expansion from bound
+    variables); disconnected patterns carry the
+    :class:`~repro.cypher.physical.HashJoin` or
+    :class:`~repro.cypher.physical.CartesianProduct` the executor should
+    join them with.
+    """
+
+    pattern_index: int
+    operator: Optional[object] = None
 
 
 @dataclass(frozen=True)
 class JoinOrder:
     """Execution order for the patterns of one multi-pattern MATCH clause.
 
-    ``order`` holds indexes into ``clause.patterns``; ``estimated_rows``
-    is the standalone estimate per pattern *in clause order* (so EXPLAIN
-    can print both the chosen order and what each pattern was thought to
-    cost).  ``cartesian`` records that at least one step had to start a
+    ``order`` holds indexes into ``clause.patterns``; ``steps`` additionally
+    records the join operator per position.  ``estimated_rows`` is the
+    standalone estimate per pattern *in clause order* (so EXPLAIN can print
+    both the chosen order and what each pattern was thought to cost).
+    ``cartesian`` records that at least one step had to start a
     disconnected pattern (a cartesian product the clause itself forces).
     """
 
@@ -179,6 +194,7 @@ class JoinOrder:
     order: tuple[int, ...]
     estimated_rows: tuple[float, ...]
     cartesian: bool = False
+    steps: tuple[JoinStep, ...] = ()
 
     @property
     def reordered(self) -> bool:
@@ -194,29 +210,74 @@ class JoinOrder:
         return f"JoinOrder({steps}){suffix}"
 
 
-class QueryPlan:
-    """Per-pattern access plans for one parsed query against one graph."""
+#: Projection execution modes, chosen statically per WITH/RETURN clause.
+STREAM = "stream"
+TOPK = "topk"
+SORT = "sort"
+AGGREGATE = "aggregate"
+WILDCARD = "wildcard"
 
-    __slots__ = ("query", "_by_pattern", "_by_clause", "_lines", "has_join_orders")
+
+@dataclass(frozen=True)
+class ProjectionPlan:
+    """How one WITH/RETURN clause should execute.
+
+    ``mode`` is one of :data:`STREAM` (row-at-a-time projection),
+    :data:`TOPK` (heap-based ORDER BY + LIMIT), :data:`SORT` (full sort
+    breaker), :data:`AGGREGATE` (grouping breaker) or :data:`WILDCARD`
+    (``*`` needs the whole input to discover columns).  ``operator`` is the
+    physical operator rendered by EXPLAIN for the non-trivial modes.
+    """
+
+    clause: Union[WithClause, ReturnClause]
+    mode: str
+    operator: Optional[ProjectionOperator] = None
+
+
+class QueryPlan:
+    """The physical plan of one parsed query against one graph."""
+
+    __slots__ = (
+        "query",
+        "_by_pattern",
+        "_by_clause",
+        "_by_projection",
+        "_lines",
+        "has_join_orders",
+        "has_projection_plans",
+    )
 
     def __init__(
         self,
         query: Query,
         pattern_plans: Iterable[PatternPlan],
         join_orders: Iterable[JoinOrder] = (),
+        projection_plans: Iterable[ProjectionPlan] = (),
+        filters: Iterable[Filter] = (),
     ) -> None:
         self.query = query
         self._by_pattern: dict[int, PatternPlan] = {}
         self._by_clause: dict[int, JoinOrder] = {}
+        self._by_projection: dict[int, ProjectionPlan] = {}
         self._lines: list[str] = []
         for plan in pattern_plans:
             self._by_pattern[id(plan.pattern)] = plan
             self._lines.append(plan.describe())
+        for filter_op in filters:
+            self._lines.append(filter_op.describe())
         for join_order in join_orders:
             self._by_clause[id(join_order.clause)] = join_order
             self._lines.append(join_order.describe())
-        #: Cheap executor-side check before the per-row clause lookup.
+            for step in join_order.steps:
+                if step.operator is not None:
+                    self._lines.append(step.operator.describe())
+        for projection in projection_plans:
+            self._by_projection[id(projection.clause)] = projection
+            if projection.operator is not None:
+                self._lines.append(projection.operator.describe())
+        #: Cheap executor-side checks before the per-row clause lookups.
         self.has_join_orders = bool(self._by_clause)
+        self.has_projection_plans = bool(self._by_projection)
 
     def for_pattern(self, pattern: PathPattern) -> Optional[PatternPlan]:
         """The plan for ``pattern``, or None when it was not planned."""
@@ -232,6 +293,15 @@ class QueryPlan:
             return join_order
         return None
 
+    def projection_for(
+        self, clause: Union[WithClause, ReturnClause]
+    ) -> Optional[ProjectionPlan]:
+        """The projection plan for a WITH/RETURN clause (None if unplanned)."""
+        projection = self._by_projection.get(id(clause))
+        if projection is not None and projection.clause is clause:
+            return projection
+        return None
+
     def pattern_plans(self) -> list[PatternPlan]:
         """All pattern plans, in clause order."""
         return list(self._by_pattern.values())
@@ -240,12 +310,19 @@ class QueryPlan:
         """All multi-pattern join orders, in clause order."""
         return list(self._by_clause.values())
 
+    def projection_plans(self) -> list[ProjectionPlan]:
+        """All WITH/RETURN projection plans, in clause order."""
+        return list(self._by_projection.values())
+
     def uses_index(self) -> bool:
-        """True when any pattern starts from a property-index lookup."""
-        return any(p.start.kind == INDEX for p in self._by_pattern.values())
+        """True when any pattern starts from a property-index seek."""
+        return any(
+            p.start.kind in (INDEX, IN_LIST, RANGE, REL_INDEX)
+            for p in self._by_pattern.values()
+        )
 
     def plan_description(self) -> str:
-        """EXPLAIN-style description: pattern lines then join-order lines."""
+        """EXPLAIN-style description: one line per physical operator group."""
         if not self._lines:
             return "(no MATCH patterns to plan)"
         return "\n".join(self._lines)
@@ -256,33 +333,90 @@ class QueryPlan:
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class _Indexes:
+    """The graph's index metadata, captured once per planning run.
+
+    ``equality`` pairs can answer ``IndexSeek``/IN probes (the exact-match
+    *and* the ordered index both can); ``range`` pairs can answer
+    ``IndexRangeSeek``; ``relationship`` pairs can answer
+    ``RelIndexSeek``.
+    """
+
+    equality: frozenset
+    range: frozenset
+    relationship: frozenset
+
+
+def _graph_indexes(graph) -> _Indexes:
+    exact = frozenset(graph.property_indexes())
+    ranged = frozenset(_call_metadata(graph, "range_indexes"))
+    rel = frozenset(_call_metadata(graph, "relationship_property_indexes"))
+    return _Indexes(equality=exact | ranged, range=ranged, relationship=rel)
+
+
+def _call_metadata(graph, method: str) -> Iterable:
+    """Index metadata from ``graph``, tolerating reduced graph fakes."""
+    candidate = getattr(graph, method, None)
+    if candidate is None:
+        return ()
+    return candidate()
+
+
 def plan_query(
     query: Query,
     graph,
     virtual_labels: Iterable[str] = (),
 ) -> QueryPlan:
-    """Choose access paths and join orders for every pattern of ``query``.
+    """Lower every clause of ``query`` into physical operators.
 
     ``graph`` only needs the index-metadata surface of
     :class:`~repro.graph.store.PropertyGraph` (``property_indexes()``,
-    ``count_nodes_with_label()``, ``node_count()``); richer statistics
-    surfaces (``relationship_count()``, ``property_index_selectivity()``)
-    sharpen the cardinality estimates when present.
+    ``count_nodes_with_label()``, ``node_count()``); richer surfaces
+    (``range_indexes()``, ``relationship_property_indexes()``,
+    ``property_index_selectivity()``, …) unlock more operators and sharpen
+    the cardinality estimates when present.
     """
     virtual = frozenset(virtual_labels)
-    indexed = frozenset(graph.property_indexes())
+    indexes = _graph_indexes(graph)
     estimator = CardinalityEstimator(graph)
     plans: list[PatternPlan] = []
     join_orders: list[JoinOrder] = []
+    projections: list[ProjectionPlan] = []
+    filters: list[Filter] = []
     bound: set[str] = set()
     for clause in query.clauses:
         if isinstance(clause, MatchClause):
-            equalities = _sargable_equalities(clause.where)
+            sargable = _sargable_predicates(clause.where)
+            # A pattern reading a variable that nothing before it binds
+            # (``(e:B {v: a.v})`` with ``a`` from a sibling) raises when
+            # reached — and whether it is *reached* depends on how many
+            # rows its siblings produce.  Index seeks pre-filter exactly
+            # those rows, so a clause containing such a pattern must run
+            # entirely unseeked (label/virtual scans only) to raise — or
+            # not raise — exactly like the unplanned executor.  The same
+            # hazard already declines join reordering below.
+            external = [
+                _pattern_has_external_reads(pattern, bound)
+                for pattern in clause.patterns
+            ]
+            if any(external):
+                sargable = _SargablePredicates()
             clause_plans = [
-                _plan_pattern(pattern, equalities, graph, virtual, indexed, estimator)
+                _plan_pattern(
+                    pattern,
+                    sargable,
+                    graph,
+                    virtual,
+                    indexes,
+                    estimator,
+                    allow_index=not any(external),
+                )
                 for pattern in clause.patterns
             ]
             plans.extend(clause_plans)
+            if clause.where is not None:
+                filters.append(Filter(expression=clause.where))
             if len(clause_plans) > 1:
                 join_order = _order_patterns(clause, clause_plans, bound)
                 if join_order is not None:
@@ -290,9 +424,15 @@ def plan_query(
         elif isinstance(clause, MergeClause):
             # MERGE's match phase benefits from the same start-point choice;
             # only inline property maps are sargable here (no WHERE).
-            plans.append(_plan_pattern(clause.pattern, {}, graph, virtual, indexed, estimator))
+            plans.append(
+                _plan_pattern(
+                    clause.pattern, _SargablePredicates(), graph, virtual, indexes, estimator
+                )
+            )
+        elif isinstance(clause, (WithClause, ReturnClause)):
+            projections.append(_plan_projection(clause))
         bound = _advance_bound_variables(clause, bound)
-    return QueryPlan(query, plans, join_orders)
+    return QueryPlan(query, plans, join_orders, projections, filters)
 
 
 def explain(text: str, graph, virtual_labels: Iterable[str] = ()) -> str:
@@ -304,15 +444,23 @@ def explain(text: str, graph, virtual_labels: Iterable[str] = ()) -> str:
 
 def _plan_pattern(
     pattern: PathPattern,
-    equalities: dict[str, list[tuple[str, Expression]]],
+    sargable: "_SargablePredicates",
     graph,
     virtual: frozenset,
-    indexed: frozenset,
+    indexes: _Indexes,
     estimator: CardinalityEstimator,
+    allow_index: bool = True,
 ) -> PatternPlan:
+    if not allow_index:
+        # Scans-only planning for clauses with evaluation-order-dependent
+        # patterns: even *inline literal* seeks are unsafe there, because a
+        # live scan evaluates the raising property map per candidate while
+        # a seek could leave it zero candidates to raise on.
+        indexes = _Indexes(equality=frozenset(), range=frozenset(), relationship=frozenset())
+        sargable = _SargablePredicates()
     first = pattern.elements[0]
     assert isinstance(first, NodePattern)
-    first_path, first_cost = _access_path(first, equalities, graph, virtual, indexed, estimator)
+    first_path = _access_path(first, sargable, graph, virtual, indexes, estimator)
     # Reversing changes the order nodes/relationships are appended to a
     # bound path variable and to a variable-length relationship's hop
     # list, so only anonymous, fixed-length paths are eligible; and since
@@ -329,54 +477,155 @@ def _plan_pattern(
         )
         and _pattern_properties_static(pattern)
     )
+    chosen_elements = pattern.elements
+    chosen_path = first_path
+    is_reversed = False
     if can_reverse:
         last = pattern.elements[-1]
         assert isinstance(last, NodePattern)
-        last_path, last_cost = _access_path(last, equalities, graph, virtual, indexed, estimator)
-        if last_cost < first_cost:
-            elements = _reverse_elements(pattern.elements)
-            return PatternPlan(
-                pattern=pattern,
-                elements=elements,
-                start=last_path,
-                reversed=True,
-                estimated_rows=estimator.pattern_cardinality(last_cost, elements),
-            )
+        last_path = _access_path(last, sargable, graph, virtual, indexes, estimator)
+        if last_path.estimated_rows < first_path.estimated_rows:
+            chosen_elements = _reverse_elements(pattern.elements)
+            chosen_path = last_path
+            is_reversed = True
+    # A relationship-property seek competes with both node-anchored starts.
+    # It matches in the *written* orientation (the seeked relationship binds
+    # elements[0..2] directly), so choosing it discards any reversal.
+    rel_path = _rel_seek_path(pattern, sargable, virtual, indexes, estimator)
+    if rel_path is not None and rel_path.estimated_rows < chosen_path.estimated_rows:
+        chosen_elements = pattern.elements
+        chosen_path = rel_path
+        is_reversed = False
+    physical, estimated = physical_chain(chosen_path, chosen_elements, estimator)
     return PatternPlan(
         pattern=pattern,
-        elements=pattern.elements,
-        start=first_path,
-        estimated_rows=estimator.pattern_cardinality(first_cost, pattern.elements),
+        elements=chosen_elements,
+        start=chosen_path,
+        reversed=is_reversed,
+        estimated_rows=estimated,
+        physical=physical,
     )
 
 
 def _access_path(
     node_pattern: NodePattern,
-    equalities: dict[str, list[tuple[str, Expression]]],
+    sargable: "_SargablePredicates",
     graph,
     virtual: frozenset,
-    indexed: frozenset,
+    indexes: _Indexes,
     estimator: CardinalityEstimator,
-) -> tuple[AccessPath, float]:
-    """Best access path for one node pattern plus its estimated cost."""
+) -> AccessPath:
+    """Best start operator for one node pattern (with its cost estimate)."""
     # Virtual labels mirror the executor's existing precedence: they are
     # typically tiny transition-variable sets, so they come first.
     for label in node_pattern.labels:
         if label in virtual:
-            return AccessPath(kind=VIRTUAL, label=label), 0.0
+            return AccessPath(kind=VIRTUAL, label=label, estimated_rows=0.0)
 
     real_labels = tuple(l for l in node_pattern.labels if l not in virtual)
-    candidates = _equality_candidates(node_pattern, equalities)
+    equalities = _equality_candidates(node_pattern, sargable)
     for label in real_labels:
-        for prop, value in candidates:
-            if (label, prop) in indexed:
-                path = AccessPath(kind=INDEX, label=label, property=prop, value=value)
-                return path, estimator.index_selectivity(label, prop)
+        for prop, value in equalities:
+            if (label, prop) in indexes.equality:
+                return AccessPath(
+                    kind=INDEX,
+                    label=label,
+                    property=prop,
+                    value=value,
+                    estimated_rows=estimator.index_selectivity(label, prop),
+                )
+
+    # No equality seek: weigh IN-list and range seeks against the scans.
+    options: list[AccessPath] = []
+    variable = node_pattern.variable
+    if variable is not None:
+        for label in real_labels:
+            for prop, list_expr, count in sargable.in_lists.get(variable, ()):
+                if (label, prop) in indexes.equality:
+                    options.append(
+                        AccessPath(
+                            kind=IN_LIST,
+                            label=label,
+                            property=prop,
+                            value=list_expr,
+                            estimated_rows=estimator.in_list_rows(label, prop, count),
+                        )
+                    )
+        ranges = sargable.ranges.get(variable, {})
+        for label in real_labels:
+            for prop, bounds in ranges.items():
+                if (label, prop) in indexes.range:
+                    lower, include_lower = bounds.lower or (None, False)
+                    upper, include_upper = bounds.upper or (None, False)
+                    options.append(
+                        AccessPath(
+                            kind=RANGE,
+                            label=label,
+                            property=prop,
+                            lower=lower,
+                            upper=upper,
+                            include_lower=include_lower,
+                            include_upper=include_upper,
+                            estimated_rows=estimator.range_scan_rows(label, prop),
+                        )
+                    )
 
     if real_labels:
         cost = min(graph.count_nodes_with_label(l) for l in real_labels)
-        return AccessPath(kind=LABEL, labels=real_labels), float(max(cost, 1))
-    return AccessPath(kind=SCAN), float(max(graph.node_count(), 2))
+        options.append(
+            AccessPath(kind=LABEL, labels=real_labels, estimated_rows=float(max(cost, 1)))
+        )
+    else:
+        options.append(
+            AccessPath(kind=SCAN, estimated_rows=float(max(graph.node_count(), 2)))
+        )
+    return min(options, key=lambda path: path.estimated_rows)
+
+
+def _rel_seek_path(
+    pattern: PathPattern,
+    sargable: "_SargablePredicates",
+    virtual: frozenset,
+    indexes: _Indexes,
+    estimator: CardinalityEstimator,
+) -> Optional[AccessPath]:
+    """A ``RelIndexSeek`` start for the pattern's first relationship, if any.
+
+    Eligible when the first hop is a plain single-type relationship whose
+    type carries a declared (type, property) index and whose inline
+    property map — or a sargable WHERE conjunct on its variable — pins
+    that property to a literal/parameter value.
+    """
+    if len(pattern.elements) < 3 or not indexes.relationship:
+        return None
+    rel = pattern.elements[1]
+    assert isinstance(rel, RelationshipPattern)
+    if rel.is_variable_length or len(rel.types) != 1 or rel.types[0] in virtual:
+        return None
+    rel_type = rel.types[0]
+    candidates: list[tuple[str, Expression]] = [
+        (prop, value)
+        for prop, value in rel.properties
+        if isinstance(value, (Literal, Parameter)) and _literal_not_null(value)
+    ]
+    if rel.variable is not None:
+        candidates.extend(sargable.equalities.get(rel.variable, ()))
+    for prop, value in candidates:
+        if (rel_type, prop) in indexes.relationship:
+            return AccessPath(
+                kind=REL_INDEX,
+                rel_type=rel_type,
+                property=prop,
+                value=value,
+                direction=rel.direction,
+                estimated_rows=estimator.relationship_index_selectivity(rel_type, prop),
+            )
+    return None
+
+
+def _literal_not_null(expr: Expression) -> bool:
+    """False only for a literal ``null`` (which matches *missing* inline)."""
+    return not (isinstance(expr, Literal) and expr.value is None)
 
 
 # ---------------------------------------------------------------------------
@@ -417,6 +666,7 @@ def _order_patterns(
     bound = set(bound_before)
     remaining = list(range(len(clause_plans)))
     order: list[int] = []
+    steps: list[JoinStep] = []
     cartesian = False
 
     def effective_cost(index: int) -> float:
@@ -428,10 +678,30 @@ def _order_patterns(
     while remaining:
         connected = [i for i in remaining if variables[i] & bound]
         pool = connected or remaining
-        if order and not connected:
+        disconnected_step = bool(order) and not connected
+        if disconnected_step:
             cartesian = True
         best = min(pool, key=lambda i: (effective_cost(i), i))
+        operator = None
+        if disconnected_step:
+            # The new pattern shares no variable with anything planned so
+            # far: instead of re-matching it per partial row (a nested-loop
+            # cartesian), materialise it once — keyed by cross-group WHERE
+            # equality conjuncts when any exist (a real hash join), in a
+            # single bucket otherwise.
+            keys = _hash_join_keys(clause.where, variables[best], bound)
+            if keys:
+                operator = HashJoin(
+                    build_pattern=best,
+                    keys=keys,
+                    estimated_rows=estimates[best],
+                )
+            else:
+                operator = CartesianProduct(
+                    build_pattern=best, estimated_rows=estimates[best]
+                )
         order.append(best)
+        steps.append(JoinStep(pattern_index=best, operator=operator))
         bound |= variables[best]
         remaining.remove(best)
     return JoinOrder(
@@ -439,7 +709,44 @@ def _order_patterns(
         order=tuple(order),
         estimated_rows=estimates,
         cartesian=cartesian,
+        steps=tuple(steps),
     )
+
+
+def _hash_join_keys(
+    where: Optional[Expression],
+    build_variables: set[str],
+    bound_variables: set[str],
+) -> tuple[tuple[Expression, Expression], ...]:
+    """(probe, build) key pairs joining a disconnected pattern to the rest.
+
+    A usable key is a top-level WHERE equality conjunct with one side
+    reading only the new pattern's variables (the build key) and the other
+    reading only variables bound by earlier steps or clauses (the probe
+    key).  Keys are a pre-filter — the executor still evaluates the full
+    WHERE per joined row and falls back to scanning the whole build table
+    whenever a key fails to evaluate — so a wrong classification here can
+    only cost performance.
+    """
+    if where is None:
+        return ()
+    keys: list[tuple[Expression, Expression]] = []
+    for conjunct in _conjuncts(where):
+        if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+            continue
+        left_names = expression_variable_names(conjunct.left)
+        right_names = expression_variable_names(conjunct.right)
+        if not left_names or not right_names:
+            continue
+        if left_names <= build_variables and not (right_names & build_variables) and (
+            right_names <= bound_variables
+        ):
+            keys.append((conjunct.right, conjunct.left))
+        elif right_names <= build_variables and not (left_names & build_variables) and (
+            left_names <= bound_variables
+        ):
+            keys.append((conjunct.left, conjunct.right))
+    return tuple(keys)
 
 
 def _pattern_variable_names(pattern: PathPattern) -> set[str]:
@@ -509,7 +816,7 @@ def _pattern_properties_static(pattern: PathPattern) -> bool:
 
 def _equality_candidates(
     node_pattern: NodePattern,
-    equalities: dict[str, list[tuple[str, Expression]]],
+    sargable: "_SargablePredicates",
 ) -> list[tuple[str, Expression]]:
     """(property, value-expression) pairs usable for an index lookup.
 
@@ -522,27 +829,163 @@ def _equality_candidates(
         if isinstance(expr, (Literal, Parameter)):
             pairs.append((key, expr))
     if node_pattern.variable is not None:
-        pairs.extend(equalities.get(node_pattern.variable, ()))
+        pairs.extend(sargable.equalities.get(node_pattern.variable, ()))
     return pairs
 
 
-def _sargable_equalities(where: Optional[Expression]) -> dict[str, list[tuple[str, Expression]]]:
-    """Extract ``var.prop = <literal/parameter>`` conjuncts from a WHERE tree."""
+@dataclass(frozen=True)
+class _RangeBounds:
+    """The sargable bounds chosen for one (variable, property) pair.
+
+    Each side holds ``(value expression, inclusive)`` or ``None``.  When a
+    WHERE repeats a side (``n.v > 1 AND n.v > 5``) only the first conjunct
+    feeds the seek; the WHERE still applies the rest, so the seek merely
+    over-approximates.
+    """
+
+    lower: Optional[tuple[Expression, bool]] = None
+    upper: Optional[tuple[Expression, bool]] = None
+
+
+#: Comparison operators usable for range seeks, normalised so the property
+#: access sits on the left: ``5 > n.v`` reads as ``n.v < 5``.
+_RANGE_OPS = {"<": "<", "<=": "<=", ">": ">", ">=": ">="}
+_FLIPPED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass
+class _SargablePredicates:
+    """Per-variable sargable conjuncts extracted from one WHERE tree."""
+
+    #: var -> [(property, value expression)] from ``var.p = <lit/param>``.
+    equalities: dict = None
+    #: var -> {property: _RangeBounds} from ``var.p </<=/>/>= <lit/param>``.
+    ranges: dict = None
+    #: var -> [(property, list expression, element count or None)] from
+    #: ``var.p IN <list>``; the count is None for parameters.
+    in_lists: dict = None
+
+    def __post_init__(self) -> None:
+        self.equalities = {} if self.equalities is None else self.equalities
+        self.ranges = {} if self.ranges is None else self.ranges
+        self.in_lists = {} if self.in_lists is None else self.in_lists
+
+
+def _sargable_predicates(where: Optional[Expression]) -> _SargablePredicates:
+    """Extract equality, range and IN-list conjuncts usable by index seeks.
+
+    Only top-level AND conjuncts qualify (an OR branch cannot narrow the
+    candidate set safely), and only literal/parameter comparands (anything
+    else may read other pattern variables).
+    """
+    result = _SargablePredicates()
     if where is None:
-        return {}
-    result: dict[str, list[tuple[str, Expression]]] = {}
+        return result
     for conjunct in _conjuncts(where):
-        if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+        if not isinstance(conjunct, BinaryOp):
             continue
-        for access, value in ((conjunct.left, conjunct.right), (conjunct.right, conjunct.left)):
-            if (
-                isinstance(access, PropertyAccess)
-                and isinstance(access.subject, Variable)
-                and isinstance(value, (Literal, Parameter))
+        if conjunct.op == "=":
+            for access, value in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
             ):
-                result.setdefault(access.subject.name, []).append((access.key, value))
-                break
+                if _is_sargable_access(access) and isinstance(value, (Literal, Parameter)):
+                    result.equalities.setdefault(access.subject.name, []).append(
+                        (access.key, value)
+                    )
+                    break
+        elif conjunct.op in _RANGE_OPS:
+            for access, value, op in (
+                (conjunct.left, conjunct.right, conjunct.op),
+                (conjunct.right, conjunct.left, _FLIPPED_OPS[conjunct.op]),
+            ):
+                if _is_sargable_access(access) and isinstance(value, (Literal, Parameter)):
+                    bounds = result.ranges.setdefault(access.subject.name, {})
+                    current = bounds.get(access.key, _RangeBounds())
+                    if op in (">", ">=") and current.lower is None:
+                        bounds[access.key] = _RangeBounds(
+                            lower=(value, op == ">="), upper=current.upper
+                        )
+                    elif op in ("<", "<=") and current.upper is None:
+                        bounds[access.key] = _RangeBounds(
+                            lower=current.lower, upper=(value, op == "<=")
+                        )
+                    break
+        elif conjunct.op == "IN":
+            access, value = conjunct.left, conjunct.right
+            if not _is_sargable_access(access):
+                continue
+            if isinstance(value, ListLiteral) and all(
+                isinstance(item, Literal) for item in value.items
+            ):
+                count: Optional[int] = len(value.items)
+            elif isinstance(value, Literal) and isinstance(value.value, list):
+                count = len(value.value)
+            elif isinstance(value, Parameter):
+                count = None
+            else:
+                continue
+            result.in_lists.setdefault(access.subject.name, []).append(
+                (access.key, value, count)
+            )
     return result
+
+
+def _is_sargable_access(expr: Expression) -> bool:
+    """``var.prop`` — the only left-hand shape index seeks understand."""
+    return isinstance(expr, PropertyAccess) and isinstance(expr.subject, Variable)
+
+
+# ---------------------------------------------------------------------------
+# projection lowering
+# ---------------------------------------------------------------------------
+
+
+def _plan_projection(clause: Union[WithClause, ReturnClause]) -> ProjectionPlan:
+    """Choose the execution mode (and operator) for one WITH/RETURN clause.
+
+    ``TopK`` requires ORDER BY with a LIMIT and no DISTINCT (the heap
+    cannot deduplicate before ordering without holding every distinct row
+    anyway); aggregation and ``*`` wildcards remain full breakers.
+    """
+    aggregate_texts = [
+        expression_text(sub)
+        for item in clause.items
+        for sub in walk_expression(item.expression)
+        if isinstance(sub, CountStar)
+        or (isinstance(sub, FunctionCall) and is_aggregate_function(sub.name))
+    ]
+    if aggregate_texts:
+        return ProjectionPlan(
+            clause, AGGREGATE, Aggregate(aggregate_text=", ".join(aggregate_texts))
+        )
+    if clause.include_wildcard:
+        return ProjectionPlan(clause, WILDCARD)
+    if clause.order_by:
+        order_text = ", ".join(
+            expression_text(item.expression) + (" DESC" if item.descending else "")
+            for item in clause.order_by
+        )
+        if clause.limit is not None and not clause.distinct:
+            limit_estimate = (
+                float(clause.limit.value)
+                if isinstance(clause.limit, Literal)
+                and isinstance(clause.limit.value, (int, float))
+                and not isinstance(clause.limit.value, bool)
+                else 1.0
+            )
+            return ProjectionPlan(
+                clause,
+                TOPK,
+                TopK(
+                    order_text=order_text,
+                    limit=clause.limit,
+                    skip=clause.skip,
+                    estimated_rows=max(limit_estimate, 0.0),
+                ),
+            )
+        return ProjectionPlan(clause, SORT, Sort(order_text=order_text))
+    return ProjectionPlan(clause, STREAM)
 
 
 def _conjuncts(expr: Expression) -> Iterator[Expression]:

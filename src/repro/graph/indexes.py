@@ -1,20 +1,28 @@
 """Secondary indexes for the property graph store.
 
-Two index families are provided:
+Three index families are provided:
 
 * :class:`LabelIndex` — label -> set of item ids, used by the trigger
   engine's targeting step (a PG-Trigger targets all items with a label) and
   by Cypher's ``MATCH (n:Label)`` scans;
 * :class:`PropertyIndex` — (label, property, value) -> set of node ids, an
   optional exact-match index used to accelerate ``MATCH (n:Label {k: v})``.
+  The store also reuses it, keyed by relationship *type*, as the
+  relationship-property index behind ``RelIndexSeek``;
+* :class:`OrderedPropertyIndex` — an ordered (sorted-key) index over a
+  (label, property) pair that answers both equality probes and **range
+  seeks** (``<``, ``<=``, ``>``, ``>=``), backing the planner's
+  ``IndexRangeSeek`` physical operator.
 
-Both are maintained eagerly by :class:`repro.graph.store.PropertyGraph`.
+All are maintained eagerly by :class:`repro.graph.store.PropertyGraph`.
 """
 
 from __future__ import annotations
 
+import bisect
+import datetime as _dt
 from collections import defaultdict
-from typing import Any, Hashable, Iterable, Iterator
+from typing import Any, Hashable, Iterable, Iterator, Optional
 
 
 class LabelIndex:
@@ -171,3 +179,267 @@ class PropertyIndex:
         """Iterate over (value, ids) pairs of one declared index."""
         entries = self._entries.get((label, prop), {})
         return ((value, set(ids)) for value, ids in entries.items())
+
+
+# ---------------------------------------------------------------------------
+# ordered (range) index
+# ---------------------------------------------------------------------------
+
+#: Type classes whose members are totally ordered *among themselves* by
+#: Python's comparison operators.  Values of different classes are kept in
+#: separate sorted buckets: comparing across classes (``1 < 'a'``) raises in
+#: the executor's live predicate evaluation, so a range seek is only allowed
+#: to answer when every indexed entry lives in the bound's own class — any
+#: foreign-class entry forces a scan fallback, which reproduces the live
+#: error behaviour exactly.  ``bool``/``int``/``float`` share one class
+#: because Python (and the executor's ``_compare``) orders them together.
+_ORDERED_NUM = "num"
+_ORDERED_STR = "str"
+_ORDERED_DATETIME = "datetime"
+_ORDERED_DATE = "date"
+#: Values with no usable total order (lists, anything exotic): equality-only.
+_UNORDERED = "other"
+
+
+def _type_class(value: Any) -> str:
+    """The ordered-bucket class of a property value."""
+    if isinstance(value, float) and value != value:
+        # NaN compares False against everything, which would silently break
+        # bisect's sorted-list invariant (range seeks would then *drop*
+        # matching rows, which the WHERE re-check cannot recover).  Keep it
+        # in the unordered bucket: its presence forces the scan fallback,
+        # which filters NaN exactly like an unindexed comparison.
+        return _UNORDERED
+    if isinstance(value, (bool, int, float)):
+        return _ORDERED_NUM
+    if isinstance(value, str):
+        return _ORDERED_STR
+    if isinstance(value, _dt.datetime):  # before date: datetime subclasses date
+        return _ORDERED_DATETIME
+    if isinstance(value, _dt.date):
+        return _ORDERED_DATE
+    return _UNORDERED
+
+
+class _SortedBucket:
+    """Ids grouped by value, with the distinct values kept in sorted order.
+
+    The unordered bucket (``ordered=False``) serves equality probes only:
+    its values need not be mutually comparable (two list properties of
+    different element types, say), so no sorted key list is maintained —
+    ``range_ids`` is never called on it.
+    """
+
+    __slots__ = ("ordered", "keys", "ids_by_value")
+
+    def __init__(self, ordered: bool = True) -> None:
+        self.ordered = ordered
+        self.keys: list = []
+        self.ids_by_value: dict[Hashable, set[int]] = {}
+
+    def add(self, key: Hashable, item_id: int) -> bool:
+        """Insert; returns True when the id was new to this bucket."""
+        bucket = self.ids_by_value.get(key)
+        if bucket is None:
+            if self.ordered:
+                bisect.insort(self.keys, key)
+            bucket = self.ids_by_value[key] = set()
+        if item_id in bucket:
+            return False
+        bucket.add(item_id)
+        return True
+
+    def remove(self, key: Hashable, item_id: int) -> bool:
+        """Remove; returns True when the id was present."""
+        bucket = self.ids_by_value.get(key)
+        if bucket is None or item_id not in bucket:
+            return False
+        bucket.discard(item_id)
+        if not bucket:
+            del self.ids_by_value[key]
+            if self.ordered:
+                index = bisect.bisect_left(self.keys, key)
+                # Equal-comparing keys can alias (True vs 1): delete the
+                # exact one.
+                while index < len(self.keys):
+                    if self.keys[index] is key or self.keys[index] == key:
+                        del self.keys[index]
+                        break
+                    index += 1
+        return True
+
+    def range_ids(
+        self,
+        lower: Any,
+        upper: Any,
+        include_lower: bool,
+        include_upper: bool,
+    ) -> set[int]:
+        """Ids whose value falls inside the (possibly half-open) interval."""
+        start = 0
+        end = len(self.keys)
+        if lower is not None:
+            start = (
+                bisect.bisect_left(self.keys, lower)
+                if include_lower
+                else bisect.bisect_right(self.keys, lower)
+            )
+        if upper is not None:
+            end = (
+                bisect.bisect_right(self.keys, upper)
+                if include_upper
+                else bisect.bisect_left(self.keys, upper)
+            )
+        result: set[int] = set()
+        for key in self.keys[start:end]:
+            result |= self.ids_by_value[key]
+        return result
+
+    def __len__(self) -> int:
+        return sum(len(ids) for ids in self.ids_by_value.values())
+
+
+class OrderedPropertyIndex:
+    """Sorted index over (label, property) pairs: equality *and* range seeks.
+
+    Like :class:`PropertyIndex` the index is sparse — only explicitly
+    declared pairs are maintained — and DDL-driven plan invalidation lives
+    in the store's ``index_epoch``.  Internally each pair keeps one sorted
+    bucket per type class (see :func:`_type_class`): a range seek answers
+    from the bound's class bucket, but only while every other class bucket
+    is empty, because a live scan would raise ``CypherTypeError`` on the
+    first cross-class comparison and the seek must never hide that error.
+    """
+
+    def __init__(self) -> None:
+        self._indexed_pairs: set[tuple[str, str]] = set()
+        self._buckets: dict[tuple[str, str], dict[str, _SortedBucket]] = {}
+        #: Running (total entries, distinct values) per pair, as in
+        #: :class:`PropertyIndex`, so selectivity estimates are O(1).
+        self._counts: dict[tuple[str, str], list[int]] = {}
+
+    def create(self, label: str, prop: str) -> None:
+        """Declare an ordered index on ``label``/``prop`` (idempotent)."""
+        pair = (label, prop)
+        if pair in self._indexed_pairs:
+            return
+        self._indexed_pairs.add(pair)
+        self._buckets[pair] = {}
+        self._counts[pair] = [0, 0]
+
+    def drop(self, label: str, prop: str) -> None:
+        """Drop the ordered index on ``label``/``prop`` if present."""
+        pair = (label, prop)
+        self._indexed_pairs.discard(pair)
+        self._buckets.pop(pair, None)
+        self._counts.pop(pair, None)
+
+    def is_indexed(self, label: str, prop: str) -> bool:
+        """Return True when an ordered index exists for ``label``/``prop``."""
+        return (label, prop) in self._indexed_pairs
+
+    def indexed_pairs(self) -> list[tuple[str, str]]:
+        """Return the declared (label, property) pairs."""
+        return sorted(self._indexed_pairs)
+
+    def add(self, label: str, prop: str, value: Any, item_id: int) -> None:
+        """Add an entry if the (label, property) pair is indexed."""
+        buckets = self._buckets.get((label, prop))
+        if buckets is None:
+            return
+        tag = _type_class(value)
+        bucket = buckets.get(tag)
+        if bucket is None:
+            bucket = buckets[tag] = _SortedBucket(ordered=tag != _UNORDERED)
+        key = _freeze_value(value)
+        distinct_before = len(bucket.ids_by_value)
+        if bucket.add(key, item_id):
+            counts = self._counts[(label, prop)]
+            counts[0] += 1
+            counts[1] += len(bucket.ids_by_value) - distinct_before
+
+    def remove(self, label: str, prop: str, value: Any, item_id: int) -> None:
+        """Remove an entry if present."""
+        buckets = self._buckets.get((label, prop))
+        if buckets is None:
+            return
+        tag = _type_class(value)
+        bucket = buckets.get(tag)
+        if bucket is None:
+            return
+        key = _freeze_value(value)
+        distinct_before = len(bucket.ids_by_value)
+        if bucket.remove(key, item_id):
+            counts = self._counts[(label, prop)]
+            counts[0] -= 1
+            counts[1] -= distinct_before - len(bucket.ids_by_value)
+
+    def lookup(self, label: str, prop: str, value: Any) -> set[int] | None:
+        """Equality probe; ``None`` when the pair is not indexed."""
+        buckets = self._buckets.get((label, prop))
+        if buckets is None:
+            return None
+        bucket = buckets.get(_type_class(value))
+        if bucket is None:
+            return set()
+        return set(bucket.ids_by_value.get(_freeze_value(value), ()))
+
+    def range_lookup(
+        self,
+        label: str,
+        prop: str,
+        lower: Any = None,
+        upper: Any = None,
+        include_lower: bool = True,
+        include_upper: bool = True,
+    ) -> Optional[set[int]]:
+        """Ids whose value lies within the bounds, or ``None`` to force a scan.
+
+        Returns ``None`` — "cannot answer, fall back to scanning" — when the
+        pair is not indexed, when the bounds are of different (or unordered)
+        type classes, or when any entry of a *different* class exists: a live
+        scan would raise on comparing that entry with the bound, and the
+        fallback preserves that behaviour.
+        """
+        pair = (label, prop)
+        if pair not in self._indexed_pairs:
+            return None
+        bounds = [b for b in (lower, upper) if b is not None]
+        if not bounds:
+            return None
+        tags = {_type_class(b) for b in bounds}
+        if len(tags) != 1:
+            return None
+        tag = tags.pop()
+        if tag == _UNORDERED:
+            return None
+        buckets = self._buckets[pair]
+        for other_tag, bucket in buckets.items():
+            if other_tag != tag and len(bucket):
+                return None
+        bucket = buckets.get(tag)
+        if bucket is None:
+            return set()
+        return bucket.range_ids(
+            _freeze_value(lower) if lower is not None else None,
+            _freeze_value(upper) if upper is not None else None,
+            include_lower,
+            include_upper,
+        )
+
+    def selectivity(self, label: str, prop: str) -> float | None:
+        """Expected entries per distinct value (``None`` when not indexed)."""
+        counts = self._counts.get((label, prop))
+        if counts is None:
+            return None
+        total, distinct = counts
+        if distinct == 0:
+            return 1.0
+        return total / distinct
+
+    def entry_count(self, label: str, prop: str) -> int | None:
+        """Total indexed entries for the pair (``None`` when not indexed)."""
+        counts = self._counts.get((label, prop))
+        if counts is None:
+            return None
+        return counts[0]

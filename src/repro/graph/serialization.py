@@ -65,6 +65,10 @@ def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
             for rel in sorted(graph.relationships(), key=lambda r: r.id)
         ],
         "indexes": [list(pair) for pair in graph.property_indexes()],
+        "range_indexes": [list(pair) for pair in graph.range_indexes()],
+        "relationship_indexes": [
+            list(pair) for pair in graph.relationship_property_indexes()
+        ],
     }
 
 
@@ -90,6 +94,10 @@ def graph_from_dict(payload: dict[str, Any]) -> PropertyGraph:
         )
     for label, prop in payload.get("indexes", ()):
         graph.create_property_index(label, prop)
+    for label, prop in payload.get("range_indexes", ()):
+        graph.create_range_index(label, prop)
+    for rel_type, prop in payload.get("relationship_indexes", ()):
+        graph.create_relationship_property_index(rel_type, prop)
     return graph
 
 

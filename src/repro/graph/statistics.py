@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from .store import BOTH, PropertyGraph
 
@@ -134,6 +134,41 @@ class CardinalityEstimator:
         if probe is None:
             return 1.0
         selectivity = probe(label, prop)
+        if selectivity is None:
+            return 1.0
+        return max(float(selectivity), 1.0)
+
+    def range_scan_rows(self, label: str, prop: str) -> float:
+        """Expected rows of a range seek into a declared ordered index.
+
+        Without value histograms the planner uses the classic *one-third*
+        heuristic (System R's default for open range predicates): a range
+        seek is assumed to return a third of the indexed entries.  Degrades
+        to a third of the label cardinality when the entry count is
+        unavailable, and never estimates below one row.
+        """
+        counter = getattr(self.graph, "range_index_entry_count", None)
+        total = counter(label, prop) if counter is not None else None
+        if total is None:
+            total = self.label_cardinality((label,))
+        return max(float(total) / 3.0, 1.0)
+
+    def in_list_rows(self, label: str, prop: str, value_count: Optional[int]) -> float:
+        """Expected rows of an IN-list seek: one equality probe per element.
+
+        ``value_count`` is ``None`` when the list is a parameter whose
+        length is unknown at plan time; a small default is assumed.
+        """
+        per_probe = self.index_selectivity(label, prop)
+        count = 3 if value_count is None else value_count
+        return max(per_probe * count, 1.0)
+
+    def relationship_index_selectivity(self, rel_type: str, prop: str) -> float:
+        """Expected rows of one equality probe into a (type, prop) rel index."""
+        probe = getattr(self.graph, "relationship_property_index_selectivity", None)
+        if probe is None:
+            return 1.0
+        selectivity = probe(rel_type, prop)
         if selectivity is None:
             return 1.0
         return max(float(selectivity), 1.0)

@@ -31,7 +31,7 @@ from .errors import (
     NodeNotFoundError,
     RelationshipNotFoundError,
 )
-from .indexes import LabelIndex, PropertyIndex
+from .indexes import LabelIndex, OrderedPropertyIndex, PropertyIndex
 from .model import Node, Relationship, validate_properties, validate_property_value
 
 #: Direction selector for relationship traversal.
@@ -57,6 +57,8 @@ class PropertyGraph:
         self._node_labels = LabelIndex()
         self._rel_types = LabelIndex()
         self._property_index = PropertyIndex()
+        self._range_index = OrderedPropertyIndex()
+        self._rel_property_index = PropertyIndex()
         self._outgoing: dict[int, set[int]] = {}
         self._incoming: dict[int, set[int]] = {}
         self._index_epoch = 0
@@ -249,19 +251,121 @@ class PropertyGraph:
         from the index's running counters in O(1).  Returns ``None``
         when no index is declared for the pair and ``1.0`` for a
         declared-but-empty index (a probe then behaves like a point lookup).
+        An ordered index answers equality probes too, so its counters serve
+        as a fallback when only a range index covers the pair.
         """
-        return self._property_index.selectivity(label, prop)
+        selectivity = self._property_index.selectivity(label, prop)
+        if selectivity is None:
+            selectivity = self._range_index.selectivity(label, prop)
+        return selectivity
 
     def property_index_lookup(self, label: str, prop: str, value: Any) -> list[Node] | None:
-        """Nodes with ``label`` whose ``prop`` equals ``value``, via the index.
+        """Nodes with ``label`` whose ``prop`` equals ``value``, via an index.
 
-        Returns ``None`` when no index is declared for the pair, so callers
+        Both the exact-match and the ordered (range) index can answer
+        equality probes; the exact index wins when both are declared.
+        Returns ``None`` when neither index covers the pair, so callers
         (the query planner's index access path) can fall back to a scan.
         """
         hit = self._property_index.lookup(label, prop, value)
         if hit is None:
+            hit = self._range_index.lookup(label, prop, value)
+        if hit is None:
             return None
         return [self._nodes[i] for i in sorted(hit) if i in self._nodes]
+
+    # -- ordered (range) indexes ----------------------------------------
+
+    def create_range_index(self, label: str, prop: str) -> None:
+        """Declare an ordered index on ``label``/``prop`` and backfill it.
+
+        An ordered index answers equality probes *and* range seeks
+        (``IndexRangeSeek`` in query plans).  Creating one bumps the index
+        epoch, invalidating any cached plan that ignored it.
+        """
+        self._range_index.create(label, prop)
+        for node in self.nodes_with_label(label):
+            if prop in node.properties:
+                self._range_index.add(label, prop, node.properties[prop], node.id)
+        self._index_epoch += 1
+
+    def drop_range_index(self, label: str, prop: str) -> None:
+        """Drop a previously declared ordered index (bumps the index epoch)."""
+        self._range_index.drop(label, prop)
+        self._index_epoch += 1
+
+    def range_indexes(self) -> list[tuple[str, str]]:
+        """Declared ordered (label, property) index pairs."""
+        return self._range_index.indexed_pairs()
+
+    def range_index_lookup(
+        self,
+        label: str,
+        prop: str,
+        lower: Any = None,
+        upper: Any = None,
+        include_lower: bool = True,
+        include_upper: bool = True,
+    ) -> list[Node] | None:
+        """Nodes with ``label`` whose ``prop`` lies within the bounds.
+
+        Returns ``None`` whenever the ordered index cannot answer with the
+        exact semantics of a scan — pair not indexed, bounds of mixed or
+        unordered types, or entries of a different type class present (a
+        scan would raise ``CypherTypeError`` on those; see
+        :meth:`OrderedPropertyIndex.range_lookup`).
+        """
+        hit = self._range_index.range_lookup(
+            label, prop, lower, upper, include_lower, include_upper
+        )
+        if hit is None:
+            return None
+        return [self._nodes[i] for i in sorted(hit) if i in self._nodes]
+
+    def range_index_selectivity(self, label: str, prop: str) -> float | None:
+        """Entries per distinct value of the ordered index (``None`` if absent)."""
+        return self._range_index.selectivity(label, prop)
+
+    def range_index_entry_count(self, label: str, prop: str) -> int | None:
+        """Total entries of the ordered index (``None`` when not declared)."""
+        return self._range_index.entry_count(label, prop)
+
+    # -- relationship-property indexes ----------------------------------
+
+    def create_relationship_property_index(self, rel_type: str, prop: str) -> None:
+        """Declare an exact-match index on ``rel_type``/``prop`` and backfill it."""
+        self._rel_property_index.create(rel_type, prop)
+        for rel in self.relationships_with_type(rel_type):
+            if prop in rel.properties:
+                self._rel_property_index.add(rel_type, prop, rel.properties[prop], rel.id)
+        self._index_epoch += 1
+
+    def drop_relationship_property_index(self, rel_type: str, prop: str) -> None:
+        """Drop a relationship-property index (bumps the index epoch)."""
+        self._rel_property_index.drop(rel_type, prop)
+        self._index_epoch += 1
+
+    def relationship_property_indexes(self) -> list[tuple[str, str]]:
+        """Declared (relationship type, property) index pairs."""
+        return self._rel_property_index.indexed_pairs()
+
+    def relationship_property_index_lookup(
+        self, rel_type: str, prop: str, value: Any
+    ) -> list[Relationship] | None:
+        """Relationships of ``rel_type`` whose ``prop`` equals ``value``.
+
+        Returns ``None`` when the pair is not indexed (fall back to a scan).
+        """
+        hit = self._rel_property_index.lookup(rel_type, prop, value)
+        if hit is None:
+            return None
+        return [self._relationships[i] for i in sorted(hit) if i in self._relationships]
+
+    def relationship_property_index_selectivity(
+        self, rel_type: str, prop: str
+    ) -> float | None:
+        """Entries per distinct value of the (type, prop) index (``None`` if absent)."""
+        return self._rel_property_index.selectivity(rel_type, prop)
 
     # ------------------------------------------------------------------
     # mutation primitives
@@ -293,7 +397,8 @@ class PropertyGraph:
         for label in label_set:
             self._node_labels.add(label, node_id)
             for key, value in props.items():
-                self._property_index.add(label, key, value, node_id)
+                for index in self._node_property_indexes():
+                    index.add(label, key, value, node_id)
         return node
 
     def create_relationship(
@@ -323,6 +428,8 @@ class PropertyGraph:
         self._outgoing[start].add(rel_id)
         self._incoming[end].add(rel_id)
         self._rel_types.add(rel_type, rel_id)
+        for key, value in props.items():
+            self._rel_property_index.add(rel_type, key, value, rel_id)
         return rel
 
     def delete_node(self, node_id: int, detach: bool = False) -> Node:
@@ -343,7 +450,8 @@ class PropertyGraph:
         for label in node.labels:
             self._node_labels.remove(label, node_id)
             for key, value in node.properties.items():
-                self._property_index.remove(label, key, value, node_id)
+                for index in self._node_property_indexes():
+                    index.remove(label, key, value, node_id)
         return node
 
     def delete_relationship(self, rel_id: int) -> Relationship:
@@ -353,6 +461,8 @@ class PropertyGraph:
         self._outgoing.get(rel.start, set()).discard(rel_id)
         self._incoming.get(rel.end, set()).discard(rel_id)
         self._rel_types.remove(rel.type, rel_id)
+        for key, value in rel.properties.items():
+            self._rel_property_index.remove(rel.type, key, value, rel_id)
         return rel
 
     def add_label(self, node_id: int, label: str) -> tuple[Node, Node]:
@@ -367,7 +477,8 @@ class PropertyGraph:
         self._nodes[node_id] = new
         self._node_labels.add(label, node_id)
         for key, value in new.properties.items():
-            self._property_index.add(label, key, value, node_id)
+            for index in self._node_property_indexes():
+                index.add(label, key, value, node_id)
         return old, new
 
     def remove_label(self, node_id: int, label: str) -> tuple[Node, Node]:
@@ -379,7 +490,8 @@ class PropertyGraph:
         self._nodes[node_id] = new
         self._node_labels.remove(label, node_id)
         for key, value in old.properties.items():
-            self._property_index.remove(label, key, value, node_id)
+            for index in self._node_property_indexes():
+                index.remove(label, key, value, node_id)
         return old, new
 
     def set_node_property(self, node_id: int, key: str, value: Any) -> tuple[Node, Node]:
@@ -397,9 +509,10 @@ class PropertyGraph:
         new = old.with_updates(properties=props)
         self._nodes[node_id] = new
         for label in old.labels:
-            if previous is not None:
-                self._property_index.remove(label, key, previous, node_id)
-            self._property_index.add(label, key, value, node_id)
+            for index in self._node_property_indexes():
+                if previous is not None:
+                    index.remove(label, key, previous, node_id)
+                index.add(label, key, value, node_id)
         return old, new
 
     def remove_node_property(self, node_id: int, key: str) -> tuple[Node, Node]:
@@ -412,7 +525,8 @@ class PropertyGraph:
         new = old.with_updates(properties=props)
         self._nodes[node_id] = new
         for label in old.labels:
-            self._property_index.remove(label, key, previous, node_id)
+            for index in self._node_property_indexes():
+                index.remove(label, key, previous, node_id)
         return old, new
 
     def set_relationship_property(
@@ -424,9 +538,13 @@ class PropertyGraph:
             return self.remove_relationship_property(rel_id, key)
         value = validate_property_value(value)
         props = dict(old.properties)
+        previous = props.get(key)
         props[key] = value
         new = old.with_updates(properties=props)
         self._relationships[rel_id] = new
+        if previous is not None:
+            self._rel_property_index.remove(old.type, key, previous, rel_id)
+        self._rel_property_index.add(old.type, key, value, rel_id)
         return old, new
 
     def remove_relationship_property(
@@ -437,9 +555,10 @@ class PropertyGraph:
         if key not in old.properties:
             return old, old
         props = dict(old.properties)
-        del props[key]
+        previous = props.pop(key)
         new = old.with_updates(properties=props)
         self._relationships[rel_id] = new
+        self._rel_property_index.remove(old.type, key, previous, rel_id)
         return old, new
 
     # ------------------------------------------------------------------
@@ -458,6 +577,14 @@ class PropertyGraph:
         self._property_index = PropertyIndex()
         for label, prop in declared:
             self._property_index.create(label, prop)
+        declared_ranges = self._range_index.indexed_pairs()
+        self._range_index = OrderedPropertyIndex()
+        for label, prop in declared_ranges:
+            self._range_index.create(label, prop)
+        declared_rel = self._rel_property_index.indexed_pairs()
+        self._rel_property_index = PropertyIndex()
+        for rel_type, prop in declared_rel:
+            self._rel_property_index.create(rel_type, prop)
 
     def copy(self, name: str | None = None) -> "PropertyGraph":
         """Return an independent deep copy of the graph."""
@@ -470,11 +597,19 @@ class PropertyGraph:
             )
         for label, prop in self.property_indexes():
             clone.create_property_index(label, prop)
+        for label, prop in self.range_indexes():
+            clone.create_range_index(label, prop)
+        for rel_type, prop in self.relationship_property_indexes():
+            clone.create_relationship_property_index(rel_type, prop)
         return clone
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    def _node_property_indexes(self) -> tuple:
+        """The node property indexes every node mutation must maintain."""
+        return (self._property_index, self._range_index)
 
     def _peek_node_id(self) -> int:
         """Smallest id that the node counter would produce next."""

@@ -23,7 +23,7 @@ from typing import Iterable, Mapping, Optional
 
 from .errors import SchemaDefinitionError
 from .keys import PGKey
-from .types import AnyType, DataType, PropertySpec
+from .types import DataType, PropertySpec
 
 
 @dataclass

@@ -11,7 +11,7 @@ defines them and how the APOC/Memgraph translators consume them.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 #: The :class:`TriggerDefinition` dataclass has a field named ``property``

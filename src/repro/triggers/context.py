@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..graph.model import Node, Relationship
 from .ast import Granularity, TransitionVariable, TriggerDefinition
 from .events import Activation
 

@@ -50,7 +50,7 @@ therefore never change — only speed.
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
+from typing import Any, Callable, Iterator, Mapping, Optional
 
 from ..cypher.ast import (
     CreateClause,

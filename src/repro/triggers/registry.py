@@ -9,7 +9,7 @@ back triggers sorted by it.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Optional
+from typing import Iterable
 
 from ..cypher.ast import (
     ForeachClause,
@@ -26,8 +26,6 @@ from .ast import (
     EventType,
     Granularity,
     InstalledTrigger,
-    ItemKind,
-    TransitionVariable,
     TriggerDefinition,
 )
 from .errors import TriggerDefinitionError, TriggerRegistrationError

@@ -5,7 +5,7 @@ import datetime
 import pytest
 
 from repro.compat import ApocEmulator, ApocTriggerError, TABLE2_ROWS, transition_parameters
-from repro.graph import GraphDelta, Node, PropertyGraph, Relationship
+from repro.graph import GraphDelta, PropertyGraph
 from repro.tx import Transaction
 
 CLOCK = lambda: datetime.datetime(2021, 3, 14, 12, 0, 0)  # noqa: E731

@@ -1,0 +1,571 @@
+"""Physical operator layer tests: range/IN/relationship seeks, hash joins
+and streaming top-k.
+
+Every physical operator is advisory — the executor re-verifies labels,
+properties and the WHERE clause per candidate — so the core assertion
+throughout is *result equivalence*: the planned execution must return
+exactly what the unplanned/naive/eager baselines return, including raising
+the same errors.  EXPLAIN assertions pin that the intended operator was
+actually chosen (otherwise the equivalence tests would pass vacuously by
+falling back to scans).
+"""
+
+import pytest
+
+from repro.cypher import QueryExecutor, execute, explain, parse_query, plan_query
+from repro.cypher.errors import CypherError, CypherTypeError
+from repro.cypher.planner import IN_LIST, RANGE, REL_INDEX
+from repro.graph.model import Node, Relationship
+from repro.graph.store import PropertyGraph
+
+
+def canonical(value):
+    if isinstance(value, Node):
+        return ("node", value.id)
+    if isinstance(value, Relationship):
+        return ("rel", value.id)
+    if isinstance(value, list):
+        return ("list", tuple(canonical(v) for v in value))
+    if isinstance(value, dict):
+        return ("dict", tuple(sorted((k, canonical(v)) for k, v in value.items())))
+    return value
+
+
+def rows_of(graph, query, parameters=None, **executor_kwargs):
+    executor = QueryExecutor(graph, parameters=parameters, **executor_kwargs)
+    result = executor.execute(query)
+    return sorted(
+        (tuple(sorted((k, canonical(v)) for k, v in row.items())) for row in result.rows),
+        key=repr,
+    )
+
+
+def outcome(graph, query, parameters=None, **executor_kwargs):
+    """Sorted rows or the raised error type: both must be plan-independent."""
+    try:
+        return rows_of(graph, query, parameters, **executor_kwargs)
+    except CypherError as exc:
+        return ("error", type(exc).__name__)
+
+
+def assert_plan_independent(build_graph, query, parameters=None, indexer=None):
+    """The query's outcome must not depend on indexes or plan choices."""
+    plain = outcome(build_graph(), query, parameters)
+    indexed_graph = build_graph()
+    if indexer is not None:
+        indexer(indexed_graph)
+    indexed = outcome(indexed_graph, query, parameters)
+    naive = outcome(indexed_graph, query, parameters, join_ordering=False)
+    eager = outcome(indexed_graph, query, parameters, eager=True, join_ordering=False)
+    assert plain == indexed == naive == eager
+    return indexed
+
+
+# ---------------------------------------------------------------------------
+# range seeks
+# ---------------------------------------------------------------------------
+
+
+def range_graph() -> PropertyGraph:
+    graph = PropertyGraph()
+    for value in range(20):
+        graph.create_node(["Item"], {"v": value, "name": f"item{value}"})
+    graph.create_node(["Item"], {"name": "no-value"})  # v missing
+    return graph
+
+
+def index_v(graph: PropertyGraph) -> None:
+    graph.create_range_index("Item", "v")
+
+
+RANGE_CORPUS = [
+    ("MATCH (n:Item) WHERE n.v > 15 RETURN n.v AS v", None),
+    ("MATCH (n:Item) WHERE n.v >= 15 RETURN n.v AS v", None),
+    ("MATCH (n:Item) WHERE n.v < 3 RETURN n.v AS v", None),
+    ("MATCH (n:Item) WHERE n.v <= 3 RETURN n.v AS v", None),
+    ("MATCH (n:Item) WHERE n.v > 5 AND n.v <= 8 RETURN n.v AS v", None),
+    ("MATCH (n:Item) WHERE 5 < n.v AND 8 >= n.v RETURN n.v AS v", None),  # flipped
+    ("MATCH (n:Item) WHERE n.v > $lo AND n.v < $hi RETURN n.v AS v", {"lo": 10, "hi": 14}),
+    ("MATCH (n:Item) WHERE n.v > 100 RETURN n.v AS v", None),  # empty
+    ("MATCH (n:Item) WHERE n.v > $lo RETURN n.v AS v", {"lo": None}),  # null bound
+    # repeated bounds: only the first feeds the seek, WHERE applies both
+    ("MATCH (n:Item) WHERE n.v > 2 AND n.v > 10 RETURN n.v AS v", None),
+    # range + unindexed equality on another property
+    ("MATCH (n:Item) WHERE n.v >= 18 AND n.name = 'item19' RETURN n.v AS v", None),
+]
+
+
+class TestRangeSeek:
+    @pytest.mark.parametrize("query,parameters", RANGE_CORPUS)
+    def test_results_independent_of_range_index(self, query, parameters):
+        assert_plan_independent(range_graph, query, parameters, index_v)
+
+    def test_explain_shows_range_seek_with_estimate(self):
+        graph = range_graph()
+        index_v(graph)
+        description = explain("MATCH (n:Item) WHERE n.v > 5 AND n.v <= 8 RETURN n", graph)
+        assert "IndexRangeSeek(Item.v > 5 AND Item.v <= 8)" in description
+        assert "est~" in description
+
+    def test_range_seek_is_actually_chosen(self):
+        graph = range_graph()
+        index_v(graph)
+        plan = plan_query(parse_query("MATCH (n:Item) WHERE n.v > 5 RETURN n"), graph)
+        [pattern_plan] = plan.pattern_plans()
+        assert pattern_plan.start.kind == RANGE
+        assert plan.uses_index()
+
+    def test_equality_still_beats_range(self):
+        graph = range_graph()
+        index_v(graph)
+        plan = plan_query(
+            parse_query("MATCH (n:Item) WHERE n.v = 5 AND n.v > 1 RETURN n"), graph
+        )
+        assert pattern_kind(plan) == "index"
+
+    def test_ordered_index_answers_equality_probes(self):
+        graph = range_graph()
+        index_v(graph)
+        plan = plan_query(parse_query("MATCH (n:Item {v: 5}) RETURN n"), graph)
+        assert pattern_kind(plan) == "index"
+        assert execute(graph, "MATCH (n:Item {v: 5}) RETURN n.name AS name").rows == [
+            {"name": "item5"}
+        ]
+
+    def test_mixed_type_entries_force_scan_and_preserve_errors(self):
+        # one string value among numbers: a live scan raises CypherTypeError
+        # comparing it with the bound, so the seek must decline and the
+        # planned execution must raise identically.
+        def build():
+            graph = range_graph()
+            graph.create_node(["Item"], {"v": "not-a-number"})
+            return graph
+
+        result = assert_plan_independent(
+            build, "MATCH (n:Item) WHERE n.v > 5 RETURN n.v AS v", None, index_v
+        )
+        assert result == ("error", "CypherTypeError")
+
+    def test_string_range_seeks_work(self):
+        def build():
+            graph = PropertyGraph()
+            for name in ("ann", "bob", "cal", "dee"):
+                graph.create_node(["P"], {"name": name})
+            return graph
+
+        rows = assert_plan_independent(
+            build,
+            "MATCH (p:P) WHERE p.name >= 'b' AND p.name < 'd' RETURN p.name AS name",
+            None,
+            lambda g: g.create_range_index("P", "name"),
+        )
+        assert len(rows) == 2
+
+    def test_nan_entries_never_break_range_results(self):
+        # NaN compares False against everything: letting it into a sorted
+        # key list breaks bisect's invariant and silently *drops* matching
+        # rows.  It must live in the unordered bucket, forcing the scan
+        # fallback (which filters NaN like any unindexed comparison).
+        def build():
+            graph = PropertyGraph()
+            for value in (5.0, float("nan"), 1.0, 2.0, 3.0):
+                graph.create_node(["L"], {"p": value})
+            return graph
+
+        rows = assert_plan_independent(
+            build,
+            "MATCH (n:L) WHERE n.p >= 2 RETURN n.p AS p",
+            None,
+            lambda g: g.create_range_index("L", "p"),
+        )
+        assert len(rows) == 3  # 2.0, 3.0 and 5.0 — nothing silently dropped
+
+    def test_mixed_unorderable_values_do_not_break_maintenance(self):
+        # list properties of different element types are mutually
+        # incomparable; indexing them must not raise from create_node /
+        # set_node_property, and equality probes must still work
+        graph = PropertyGraph()
+        graph.create_range_index("L", "p")
+        graph.create_node(["L"], {"p": [1]})
+        graph.create_node(["L"], {"p": ["a"]})  # must not raise
+        node = graph.create_node(["L"], {"p": [2, 3]})
+        graph.set_node_property(node.id, "p", ["b"])
+        rows = execute(graph, "MATCH (n:L {p: ['a']}) RETURN n.p AS p").rows
+        assert rows == [{"p": ["a"]}]
+        # a numeric range over the same pair falls back to the scan, which
+        # raises on the incomparable list entries exactly as unindexed
+        graph.create_node(["L"], {"p": 7})
+        with pytest.raises(CypherTypeError):
+            execute(graph, "MATCH (n:L) WHERE n.p > 5 RETURN n.p AS p")
+        plain = PropertyGraph()
+        for value in ([1], ["a"], ["b"], 7):
+            plain.create_node(["L"], {"p": value})
+        with pytest.raises(CypherTypeError):
+            execute(plain, "MATCH (n:L) WHERE n.p > 5 RETURN n.p AS p")
+
+    def test_dropped_range_index_falls_back(self):
+        graph = range_graph()
+        index_v(graph)
+        query = "MATCH (n:Item) WHERE n.v > 17 RETURN n.v AS v"
+        assert sorted(r["v"] for r in execute(graph, query).rows) == [18, 19]
+        graph.drop_range_index("Item", "v")
+        assert sorted(r["v"] for r in execute(graph, query).rows) == [18, 19]
+
+
+def pattern_kind(plan):
+    [pattern_plan] = plan.pattern_plans()
+    return pattern_plan.start.kind
+
+
+# ---------------------------------------------------------------------------
+# IN-list seeks
+# ---------------------------------------------------------------------------
+
+
+IN_CORPUS = [
+    ("MATCH (n:Item) WHERE n.v IN [3, 5, 999] RETURN n.v AS v", None),
+    ("MATCH (n:Item) WHERE n.v IN [] RETURN n.v AS v", None),
+    ("MATCH (n:Item) WHERE n.v IN [3, null] RETURN n.v AS v", None),
+    ("MATCH (n:Item) WHERE n.v IN $vals RETURN n.v AS v", {"vals": [1, 2]}),
+    ("MATCH (n:Item) WHERE n.v IN $vals RETURN n.v AS v", {"vals": []}),
+    # a non-list parameter raises per candidate in a scan; the seek must
+    # fall back so the planned run raises identically
+    ("MATCH (n:Item) WHERE n.v IN $vals RETURN n.v AS v", {"vals": 7}),
+]
+
+
+class TestInSeek:
+    @pytest.mark.parametrize("query,parameters", IN_CORPUS)
+    def test_results_independent_of_index(self, query, parameters):
+        assert_plan_independent(range_graph, query, parameters, index_v)
+
+    def test_in_seek_chosen_and_shown(self):
+        graph = range_graph()
+        index_v(graph)
+        plan = plan_query(
+            parse_query("MATCH (n:Item) WHERE n.v IN [3, 5] RETURN n"), graph
+        )
+        assert pattern_kind(plan) == IN_LIST
+        assert "IndexSeek(Item.v IN [3, 5])" in plan.plan_description()
+
+    def test_in_seek_works_against_exact_index_too(self):
+        graph = range_graph()
+        graph.create_property_index("Item", "v")
+        plan = plan_query(
+            parse_query("MATCH (n:Item) WHERE n.v IN [3, 5] RETURN n"), graph
+        )
+        assert pattern_kind(plan) == IN_LIST
+        rows = execute(graph, "MATCH (n:Item) WHERE n.v IN [3, 5] RETURN n.v AS v").rows
+        assert sorted(r["v"] for r in rows) == [3, 5]
+
+
+# ---------------------------------------------------------------------------
+# relationship-property seeks
+# ---------------------------------------------------------------------------
+
+
+def rel_graph() -> PropertyGraph:
+    graph = PropertyGraph()
+    people = [graph.create_node(["P"], {"i": i}) for i in range(8)]
+    graph.create_relationship("KNOWS", people[0].id, people[1].id, {"since": 2020})
+    graph.create_relationship("KNOWS", people[1].id, people[2].id, {"since": 2021})
+    graph.create_relationship("KNOWS", people[2].id, people[3].id, {"since": 2020})
+    graph.create_relationship("KNOWS", people[3].id, people[3].id, {"since": 2020})  # loop
+    graph.create_relationship("KNOWS", people[4].id, people[5].id)  # no property
+    graph.create_relationship("LIKES", people[5].id, people[6].id, {"since": 2020})
+    return graph
+
+
+def index_since(graph: PropertyGraph) -> None:
+    graph.create_relationship_property_index("KNOWS", "since")
+
+
+REL_CORPUS = [
+    ("MATCH (a)-[r:KNOWS {since: 2020}]->(b) RETURN a, r, b", None),
+    ("MATCH (a)<-[r:KNOWS {since: 2020}]-(b) RETURN a, r, b", None),
+    ("MATCH (a)-[r:KNOWS {since: 2020}]-(b) RETURN a, r, b", None),  # both + loop
+    ("MATCH (a:P)-[r:KNOWS]->(b) WHERE r.since = $y RETURN a, b", {"y": 2021}),
+    ("MATCH (a)-[r:KNOWS {since: 1999}]->(b) RETURN a", None),  # empty
+    ("MATCH (a)-[r:KNOWS {since: null}]->(b) RETURN a", None),  # null matches nothing
+    # longer pattern continuing past the seeked relationship
+    ("MATCH (a)-[r:KNOWS {since: 2020}]->(b)-[s:KNOWS]->(c) RETURN a, b, c", None),
+    # named path through a rel seek keeps forward orientation
+    ("MATCH p = (a)-[r:KNOWS {since: 2021}]->(b) RETURN a.i AS ai, b.i AS bi", None),
+]
+
+
+class TestRelIndexSeek:
+    @pytest.mark.parametrize("query,parameters", REL_CORPUS)
+    def test_results_independent_of_rel_index(self, query, parameters):
+        assert_plan_independent(rel_graph, query, parameters, index_since)
+
+    def test_rel_seek_chosen_and_shown(self):
+        graph = rel_graph()
+        index_since(graph)
+        plan = plan_query(
+            parse_query("MATCH (a)-[r:KNOWS {since: 2020}]->(b) RETURN a"), graph
+        )
+        [pattern_plan] = plan.pattern_plans()
+        assert pattern_plan.start.kind == REL_INDEX
+        assert "RelIndexSeek(KNOWS.since = 2020)" in plan.plan_description()
+        assert "est~" in plan.plan_description()
+        assert plan.uses_index()
+
+    def test_where_conjunct_on_rel_variable_feeds_seek(self):
+        graph = rel_graph()
+        index_since(graph)
+        plan = plan_query(
+            parse_query("MATCH (a)-[r:KNOWS]->(b) WHERE r.since = 2021 RETURN a"), graph
+        )
+        assert plan.pattern_plans()[0].start.kind == REL_INDEX
+
+    def test_labelled_endpoint_can_beat_rel_seek(self):
+        # a highly selective node start should win over a poor rel seek
+        graph = rel_graph()
+        for _ in range(50):
+            a = graph.create_node(["P"], {})
+            b = graph.create_node(["P"], {})
+            graph.create_relationship("KNOWS", a.id, b.id, {"since": 2020})
+        graph.create_node(["Rare"], {})
+        index_since(graph)
+        graph.create_property_index("P", "i")
+        plan = plan_query(
+            parse_query("MATCH (a:P {i: 3})-[r:KNOWS {since: 2020}]->(b) RETURN a"),
+            graph,
+        )
+        assert plan.pattern_plans()[0].start.kind == "index"
+
+    def test_dropped_rel_index_falls_back(self):
+        graph = rel_graph()
+        index_since(graph)
+        query = "MATCH (a)-[r:KNOWS {since: 2020}]->(b) RETURN a.i AS i"
+        before = sorted(r["i"] for r in execute(graph, query).rows)
+        graph.drop_relationship_property_index("KNOWS", "since")
+        assert sorted(r["i"] for r in execute(graph, query).rows) == before
+
+
+# ---------------------------------------------------------------------------
+# hash joins and materialised cartesian products
+# ---------------------------------------------------------------------------
+
+
+def join_graph() -> PropertyGraph:
+    graph = PropertyGraph()
+    for i in range(12):
+        graph.create_node(["L"], {"k": i % 4, "i": i})
+    for i in range(9):
+        graph.create_node(["R"], {"k": i % 3, "i": i})
+    for i in range(3):
+        graph.create_node(["S"], {"k": i})
+    return graph
+
+
+JOIN_CORPUS = [
+    ("MATCH (a:L), (b:R) WHERE a.k = b.k RETURN a.i AS ai, b.i AS bi", None),
+    ("MATCH (a:L), (b:R) WHERE b.k = a.k AND a.i < 5 RETURN a.i AS ai, b.i AS bi", None),
+    ("MATCH (a:L), (b:R) RETURN a.i AS ai, b.i AS bi", None),  # keyless cartesian
+    ("MATCH (a:L), (b:R), (c:S) WHERE a.k = b.k AND b.k = c.k RETURN a.i AS ai, b.i AS bi, c.k AS ck", None),
+    # null keys: rows with k null on either side must simply not join
+    ("MATCH (a:L), (b:R) WHERE a.missing = b.k RETURN a.i AS ai", None),
+    # non-key conjuncts still apply on joined rows
+    ("MATCH (a:L), (b:R) WHERE a.k = b.k AND a.i > b.i RETURN a.i AS ai, b.i AS bi", None),
+    ("OPTIONAL MATCH (a:Nope), (b:AlsoNope) RETURN a, b", None),
+]
+
+
+class TestHashJoin:
+    @pytest.mark.parametrize("query,parameters", JOIN_CORPUS)
+    def test_results_match_nested_loop_baseline(self, query, parameters):
+        assert_plan_independent(join_graph, query, parameters)
+
+    def test_hash_join_planned_and_shown(self):
+        graph = join_graph()
+        description = explain(
+            "MATCH (a:L), (b:R) WHERE a.k = b.k RETURN a, b", graph
+        )
+        assert "HashJoin(" in description
+        assert "a.k = b.k" in description
+        assert "est~" in description
+
+    def test_keyless_disconnected_pair_materialises(self):
+        graph = join_graph()
+        description = explain("MATCH (a:L), (b:R) RETURN a, b", graph)
+        assert "CartesianProduct(" in description
+
+    def test_connected_patterns_use_no_join_operator(self):
+        graph = join_graph()
+        a = graph.create_node(["A"], {})
+        b = graph.create_node(["B"], {})
+        graph.create_relationship("T", a.id, b.id)
+        plan = plan_query(
+            parse_query("MATCH (x:A)-[:T]->(y), (y)-[:T]->(z) RETURN x"), graph
+        )
+        for join_order in plan.join_orders():
+            assert all(step.operator is None for step in join_order.steps)
+
+    def test_join_keys_with_list_values(self):
+        graph = PropertyGraph()
+        graph.create_node(["L"], {"k": [1, 2]})
+        graph.create_node(["L"], {"k": [3]})
+        graph.create_node(["R"], {"k": [1, 2]})
+        query = "MATCH (a:L), (b:R) WHERE a.k = b.k RETURN a.k AS k"
+        assert_plan_independent(lambda: graph.copy(), query)
+        rows = execute(graph, query).rows
+        assert rows == [{"k": [1, 2]}]
+
+    def test_bound_variable_dependencies_do_not_leak_across_rows(self):
+        # the disconnected pattern reads an outer variable in its property
+        # map; each outer row must get its own build
+        graph = PropertyGraph()
+        for k in (1, 2):
+            graph.create_node(["Outer"], {"k": k})
+            graph.create_node(["Inner"], {"k": k})
+            graph.create_node(["Probe"], {"p": k})
+        query = (
+            "MATCH (o:Outer) MATCH (p:Probe), (i:Inner {k: o.k}) "
+            "RETURN o.k AS ok, i.k AS ik, p.p AS pp"
+        )
+        ordered = rows_of(graph, query)
+        naive = rows_of(graph, query, join_ordering=False)
+        eager = rows_of(graph, query, eager=True, join_ordering=False)
+        assert ordered == naive == eager
+        assert len(ordered) == 4  # 2 outer × 2 probes, inner pinned per outer
+
+
+# ---------------------------------------------------------------------------
+# streaming top-k
+# ---------------------------------------------------------------------------
+
+
+def topk_graph() -> PropertyGraph:
+    graph = PropertyGraph()
+    for i in range(50):
+        graph.create_node(["N"], {"v": i % 10, "i": i})
+    return graph
+
+
+TOPK_CORPUS = [
+    ("MATCH (n:N) RETURN n.v AS v, n.i AS i ORDER BY v LIMIT 7", None),
+    ("MATCH (n:N) RETURN n.v AS v, n.i AS i ORDER BY v DESC LIMIT 7", None),
+    ("MATCH (n:N) RETURN n.v AS v, n.i AS i ORDER BY v SKIP 5 LIMIT 7", None),
+    ("MATCH (n:N) RETURN n.v AS v ORDER BY v LIMIT 0", None),
+    ("MATCH (n:N) RETURN n.v AS v ORDER BY v LIMIT $k", {"k": 4}),
+    ("MATCH (n:N) RETURN n.v AS v, n.i AS i ORDER BY v ASC, i DESC LIMIT 6", None),
+    # ORDER BY on a non-returned variable still works through the source row
+    ("MATCH (n:N) RETURN n.v AS v ORDER BY n.i DESC LIMIT 3", None),
+    # WITH-level top-k feeding a later clause
+    ("MATCH (n:N) WITH n ORDER BY n.i DESC LIMIT 5 RETURN n.i AS i", None),
+]
+
+
+class TestTopK:
+    @pytest.mark.parametrize("query,parameters", TOPK_CORPUS)
+    def test_topk_equals_eager_full_sort_exactly(self, query, parameters):
+        """Row-for-row (order included): the heap must replicate the stable
+        sort's tie-breaking, not just the row multiset."""
+        graph = topk_graph()
+        streaming = QueryExecutor(graph, parameters=parameters).execute(query).rows
+        eager = QueryExecutor(graph, parameters=parameters, eager=True).execute(query).rows
+        assert streaming == eager
+
+    def test_topk_planned_and_shown(self):
+        graph = topk_graph()
+        description = explain("MATCH (n:N) RETURN n.v AS v ORDER BY v LIMIT 7", graph)
+        assert "TopK(ORDER BY v LIMIT 7)" in description
+        assert "est~7 rows" in description
+
+    def test_order_by_without_limit_stays_a_sort(self):
+        graph = topk_graph()
+        description = explain("MATCH (n:N) RETURN n.v AS v ORDER BY v", graph)
+        assert "Sort(ORDER BY v)" in description
+        assert "TopK(" not in description
+
+    def test_distinct_order_by_limit_is_not_topk(self):
+        graph = topk_graph()
+        query = "MATCH (n:N) RETURN DISTINCT n.v AS v ORDER BY v DESC LIMIT 3"
+        description = explain(query, graph)
+        assert "TopK(" not in description
+        rows = execute(graph, query).rows
+        assert [r["v"] for r in rows] == [9, 8, 7]
+
+    def test_null_sort_values_order_like_the_full_sort(self):
+        graph = topk_graph()
+        graph.create_node(["N"], {"i": 1000})  # v missing -> null sort key
+        query = "MATCH (n:N) RETURN n.v AS v ORDER BY v LIMIT 60"
+        streaming = QueryExecutor(graph).execute(query).rows
+        eager = QueryExecutor(graph, eager=True).execute(query).rows
+        assert streaming == eager
+        assert streaming[-1] == {"v": None}
+
+
+# ---------------------------------------------------------------------------
+# evaluation-order-dependent clauses decline seeks entirely
+# ---------------------------------------------------------------------------
+
+
+class TestEvaluationOrderDependentClauses:
+    def test_where_seek_cannot_hide_sibling_pattern_errors(self):
+        # Shrunk hypothesis counterexample: (e:B {v: a.v}) raises when
+        # reached (`a` is never bound), and it is reached only if the
+        # sibling pattern produces rows.  An IndexSeek from `WHERE c.v = 1`
+        # would pre-filter those rows to zero and hide the error, so the
+        # planner must run the whole clause unseeked.
+        def build():
+            graph = PropertyGraph()
+            created = [
+                graph.create_node(["C"], {"v": 0}),
+                graph.create_node(["B"], {"v": 0}),
+                graph.create_node(["C"], {"v": 0}),
+            ]
+            graph.create_relationship("S", created[0].id, created[2].id)
+            return graph
+
+        def index_all(graph):
+            for label in ("A", "B", "C"):
+                graph.create_property_index(label, "v")
+            graph.create_range_index("C", "v")
+
+        query = (
+            "MATCH (x)-[:S]->(c:C), (e:B {v: a.v}) WHERE c.v = 1 "
+            "RETURN x AS x, c AS c, e AS e"
+        )
+        result = assert_plan_independent(build, query, None, index_all)
+        assert result == ("error", "CypherRuntimeError")
+
+    def test_seeks_still_used_when_reference_is_satisfied_earlier(self):
+        graph = PropertyGraph()
+        outer = graph.create_node(["O"], {"k": 1})
+        del outer
+        for value in range(10):
+            graph.create_node(["B"], {"v": value})
+        graph.create_property_index("B", "v")
+        # `o` is bound by the earlier clause, so the second clause is not
+        # evaluation-order dependent and keeps its index seek
+        plan = plan_query(
+            parse_query("MATCH (o:O) MATCH (e:B {v: o.k}), (f:B) WHERE f.v = 2 RETURN e, f"),
+            graph,
+        )
+        kinds = {p.start.kind for p in plan.pattern_plans()}
+        assert "index" in kinds
+
+
+# ---------------------------------------------------------------------------
+# DISTINCT/grouping collision regression (type-tagged _hashable)
+# ---------------------------------------------------------------------------
+
+
+class TestHashableTypeTags:
+    def test_list_of_pairs_does_not_collide_with_map_under_distinct(self):
+        graph = PropertyGraph()
+        rows = execute(
+            graph, "UNWIND [[['a', 1]], {a: 1}, [['a', 1]]] AS x RETURN DISTINCT x"
+        ).rows
+        assert len(rows) == 2  # the two list duplicates merge; the map survives
+
+    def test_list_and_map_group_separately(self):
+        graph = PropertyGraph()
+        rows = execute(
+            graph,
+            "UNWIND [[['a', 1]], {a: 1}] AS x RETURN x AS key, count(*) AS c",
+        ).rows
+        assert sorted(row["c"] for row in rows) == [1, 1]

@@ -54,7 +54,7 @@ class TestIndexEpochInvalidation:
         assert "LabelScan" in scan_plan.plan_description()
         graph.create_property_index("Item", "sku")
         _, index_plan = cache.get(QUERY, graph)
-        assert "IndexLookup(Item.sku = 3)" in index_plan.plan_description()
+        assert "IndexSeek(Item.sku = 3)" in index_plan.plan_description()
         assert cache.stats.plan_invalidations == 1
 
     def test_dropping_index_evicts_stale_plan(self):
@@ -74,7 +74,7 @@ class TestIndexEpochInvalidation:
         executor = QueryExecutor(graph)
         assert "LabelScan" in executor.plan_description(QUERY)
         graph.create_property_index("Item", "sku")
-        assert "IndexLookup" in executor.plan_description(QUERY)
+        assert "IndexSeek" in executor.plan_description(QUERY)
         assert executor.execute(QUERY).rows == [{"sku": 3}]
         graph.drop_property_index("Item", "sku")
         assert "LabelScan" in executor.plan_description(QUERY)
@@ -109,7 +109,7 @@ class TestVirtualLabelKeys:
         graph = make_graph()
         graph.create_property_index("Item", "sku")
         plain = QueryExecutor(graph)
-        assert "IndexLookup" in plain.plan_description(QUERY)
+        assert "IndexSeek" in plain.plan_description(QUERY)
         # a virtual label shadowing the pattern label must win over the index
         shadowed = QueryExecutor(graph, virtual_labels={"Item": {1}})
         assert "VirtualLabelScan(Item)" in shadowed.plan_description(QUERY)

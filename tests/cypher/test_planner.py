@@ -375,12 +375,78 @@ class TestJoinOrdering:
         assert sorted(r["v"] for r in ordered) == sorted(r["v"] for r in naive) == [0, 1]
 
 
+class TestPhysicalIndexInvalidation:
+    """Ordered and relationship indexes must flow through ``index_epoch``/
+    ``plan_token`` so the global plan cache never serves a plan against a
+    dropped or stale index."""
+
+    def range_graph(self) -> PropertyGraph:
+        graph = PropertyGraph()
+        for value in range(30):
+            graph.create_node(["Item"], {"v": value})
+        return graph
+
+    def test_range_index_ddl_bumps_epoch(self):
+        graph = self.range_graph()
+        epoch = graph.index_epoch
+        graph.create_range_index("Item", "v")
+        assert graph.index_epoch == epoch + 1
+        graph.drop_range_index("Item", "v")
+        assert graph.index_epoch == epoch + 2
+
+    def test_relationship_index_ddl_bumps_epoch(self):
+        graph = self.range_graph()
+        epoch = graph.index_epoch
+        graph.create_relationship_property_index("KNOWS", "since")
+        assert graph.index_epoch == epoch + 1
+        graph.drop_relationship_property_index("KNOWS", "since")
+        assert graph.index_epoch == epoch + 2
+
+    def test_cached_plan_replans_after_range_index_create_and_drop(self):
+        graph = self.range_graph()
+        executor = QueryExecutor(graph)
+        query = "MATCH (n:Item) WHERE n.v > 25 RETURN n.v AS v"
+        assert "LabelScan" in executor.plan_description(query)
+        graph.create_range_index("Item", "v")
+        description = executor.plan_description(query)
+        assert "IndexRangeSeek(Item.v > 25)" in description
+        assert sorted(r["v"] for r in executor.execute(query).rows) == [26, 27, 28, 29]
+        graph.drop_range_index("Item", "v")
+        assert "IndexRangeSeek" not in executor.plan_description(query)
+        assert sorted(r["v"] for r in executor.execute(query).rows) == [26, 27, 28, 29]
+
+    def test_cached_plan_replans_after_rel_index_create_and_drop(self):
+        graph = self.range_graph()
+        nodes = list(graph.nodes())
+        graph.create_relationship("KNOWS", nodes[0].id, nodes[1].id, {"since": 1})
+        graph.create_relationship("KNOWS", nodes[1].id, nodes[2].id, {"since": 2})
+        executor = QueryExecutor(graph)
+        query = "MATCH (a)-[r:KNOWS {since: 1}]->(b) RETURN b.v AS v"
+        assert "RelIndexSeek" not in executor.plan_description(query)
+        baseline = executor.execute(query).rows
+        graph.create_relationship_property_index("KNOWS", "since")
+        assert "RelIndexSeek(KNOWS.since = 1)" in executor.plan_description(query)
+        assert executor.execute(query).rows == baseline
+        graph.drop_relationship_property_index("KNOWS", "since")
+        assert "RelIndexSeek" not in executor.plan_description(query)
+        assert executor.execute(query).rows == baseline
+
+    def test_stale_plan_on_one_graph_never_leaks_to_another(self):
+        # plan tokens keep per-graph entries apart even for identical text
+        indexed = self.range_graph()
+        indexed.create_range_index("Item", "v")
+        plain = self.range_graph()
+        query = "MATCH (n:Item) WHERE n.v > 25 RETURN n"
+        assert "IndexRangeSeek" in QueryExecutor(indexed).plan_description(query)
+        assert "IndexRangeSeek" not in QueryExecutor(plain).plan_description(query)
+
+
 class TestExplain:
     def test_plan_description_shows_index_lookup(self):
         graph = build_graph()
         graph.create_property_index("Person", "name")
         description = explain("MATCH (p:Person {name: 'alice'}) RETURN p", graph)
-        assert "IndexLookup(Person.name = 'alice')" in description
+        assert "IndexSeek(Person.name = 'alice')" in description
 
     def test_executor_plan_description_matches_execution(self):
         graph = build_graph()
@@ -389,7 +455,7 @@ class TestExplain:
         description = executor.plan_description(
             "MATCH (p:Person) WHERE p.age = $age RETURN p"
         )
-        assert "IndexLookup(Person.age = $age)" in description
+        assert "IndexSeek(Person.age = $age)" in description
 
     def test_plan_description_without_match_patterns(self):
         graph = build_graph()
@@ -411,4 +477,4 @@ class TestExplain:
         graph.create_property_index("Person", "age")
         description = explain("MATCH (p:Person {age: 30}) RETURN p", graph)
         # ages 30,30,40,25,40 -> 5 entries over 3 distinct values
-        assert "IndexLookup(Person.age = 30) est~1.67 rows" in description
+        assert "IndexSeek(Person.age = 30) est~1.67 rows" in description

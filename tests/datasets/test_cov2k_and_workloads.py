@@ -1,6 +1,5 @@
 """Tests for the CoV2K generator, workload streams and synthetic graphs."""
 
-import pytest
 
 from repro.datasets import (
     Cov2kProfile,

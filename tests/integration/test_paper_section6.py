@@ -14,7 +14,6 @@ from repro.datasets import (
     Cov2kProfile,
     designation_change_stream,
     generate_cov2k,
-    hospital_setup,
     icu_admission_stream,
     icu_patient_increase,
     icu_patient_move,

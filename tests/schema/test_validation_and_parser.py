@@ -8,7 +8,6 @@ from repro.graph import PropertyGraph
 from repro.schema import (
     Int32Type,
     PGSchema,
-    PropertySpec,
     SchemaParseError,
     SchemaValidationError,
     StringType,

@@ -48,9 +48,10 @@ class TestRegistryAndCli:
     def test_registry_covers_every_design_artifact(self):
         # the per-experiment index of DESIGN.md: tables, figures, sections, perf
         # (P5 is the added planner/plan-cache experiment, P6 the streaming
-        # vs eager pipeline comparison, P7 the batched-trigger comparison)
+        # vs eager pipeline comparison, P7 the batched-trigger comparison,
+        # P8 the physical-operator comparisons)
         expected = {"T1", "F1", "F2", "T2", "T3", "F3", "T4", "F45", "S62", "S63",
-                    "P1", "P2", "P3", "P4", "P5", "P6", "P7"}
+                    "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8"}
         assert set(ALL_EXPERIMENTS) == expected
 
     def test_cli_runs_selected_experiments(self, capsys):

@@ -199,6 +199,121 @@ class TestJoinOrderingDifferential:
         assert "JoinOrder(" in description
 
 
+# ---------------------------------------------------------------------------
+# randomized ORDER BY / SKIP / LIMIT / range-predicate queries
+# ---------------------------------------------------------------------------
+
+#: WHERE templates exercising the physical layer's sargable shapes: range
+#: conjuncts (IndexRangeSeek when a range index exists), IN lists, and the
+#: cross-pattern equality that turns a disconnected pair into a HashJoin.
+PHYSICAL_WHERE_POOL = [
+    None,
+    (("a",), "a.v > 0"),
+    (("a",), "a.v >= 1 AND a.v < 3"),
+    (("b",), "b.v <= 2"),
+    (("c",), "c.v IN [0, 2, 7]"),
+    (("a", "b"), "a.v = b.v"),
+    (("a", "c"), "a.v > 0 AND a.v = c.v"),
+]
+
+physical_where_choice = st.integers(0, len(PHYSICAL_WHERE_POOL) - 1)
+order_direction = st.sampled_from(["", " DESC"])
+skip_choice = st.integers(min_value=-1, max_value=4)     # -1 = no SKIP
+limit_choice = st.integers(min_value=-1, max_value=5)    # -1 = no LIMIT
+
+
+def build_physical_query(choices, where_index, direction, skip, limit) -> str:
+    patterns = [PATTERN_POOL[i] for i in choices if PATTERN_POOL[i][0] != "(e:B {v: a.v})"]
+    if len(patterns) < 2:
+        patterns = [PATTERN_POOL[0], PATTERN_POOL[1]]
+    bound: list[str] = []
+    for _, variables in patterns:
+        for name in variables:
+            if name not in bound:
+                bound.append(name)
+    text = "MATCH " + ", ".join(text for text, _ in patterns)
+    where = PHYSICAL_WHERE_POOL[where_index]
+    if where is not None:
+        needed, condition = where
+        if set(needed) <= set(bound):
+            text += f" WHERE {condition}"
+    returns = ", ".join(f"{name}.v AS {name}_v" for name in bound if name not in ("r",))
+    text += f" RETURN {returns} ORDER BY {bound[0]}.v{direction}"
+    if skip >= 0:
+        text += f" SKIP {skip}"
+    if limit >= 0:
+        text += f" LIMIT {limit}"
+    return text
+
+
+def build_range_indexed_graph(nodes, rels) -> PropertyGraph:
+    graph = build_graph(nodes, rels, indexed=False)
+    for label in LABELS:
+        graph.create_range_index(label, "v")
+    return graph
+
+
+class TestPhysicalOperatorDifferential:
+    """Physical plans == naive order == eager baseline, under ORDER BY /
+    SKIP / LIMIT / range predicates, with and without ordered indexes.
+
+    ORDER BY ties are broken by *input order*, which legitimately differs
+    between join orders — so exact row sequences are compared only between
+    executors sharing one join order (streaming top-k vs eager full sort),
+    while the cross-join-order assertion compares sorted row multisets of
+    LIMIT-free queries (where the result set is order-independent).
+    """
+
+    @given(nodes=node_specs, rels=rel_specs, choices=pattern_choices,
+           where_index=physical_where_choice, direction=order_direction,
+           skip=skip_choice, limit=limit_choice)
+    @settings(max_examples=120, deadline=None)
+    def test_topk_equals_full_sort_per_join_order(
+        self, nodes, rels, choices, where_index, direction, skip, limit
+    ):
+        query = build_physical_query(choices, where_index, direction, skip, limit)
+        for graph in (build_graph(nodes, rels, False), build_range_indexed_graph(nodes, rels)):
+            for join_ordering in (True, False):
+                streaming = exact_outcome(
+                    QueryExecutor(graph, join_ordering=join_ordering), query
+                )
+                eager = exact_outcome(
+                    QueryExecutor(graph, eager=True, join_ordering=join_ordering), query
+                )
+                assert streaming == eager, query
+
+    @given(nodes=node_specs, rels=rel_specs, choices=pattern_choices,
+           where_index=physical_where_choice, direction=order_direction)
+    @settings(max_examples=80, deadline=None)
+    def test_row_sets_agree_across_plans_without_limit(
+        self, nodes, rels, choices, where_index, direction
+    ):
+        query = build_physical_query(choices, where_index, direction, -1, -1)
+        plain = outcome(QueryExecutor(build_graph(nodes, rels, False)), query)
+        plain_exact = outcome(
+            QueryExecutor(build_graph(nodes, rels, True)), query
+        )
+        indexed_graph = build_range_indexed_graph(nodes, rels)
+        ranged = outcome(QueryExecutor(indexed_graph), query)
+        naive = outcome(QueryExecutor(indexed_graph, join_ordering=False), query)
+        eager = outcome(
+            QueryExecutor(indexed_graph, eager=True, join_ordering=False), query
+        )
+        assert plain == plain_exact == ranged == naive == eager, query
+
+
+def exact_outcome(executor: QueryExecutor, query: str):
+    """Row list *in order* (or the error type) — for same-join-order pairs."""
+    try:
+        result = executor.execute(query)
+        return [
+            tuple(sorted((k, canonical(v)) for k, v in row.items()))
+            for row in result.rows
+        ]
+    except CypherError as exc:
+        return ("error", type(exc).__name__)
+
+
 class TestDeliberateCartesianProducts:
     def test_cartesian_product_rows_are_complete(self):
         graph = PropertyGraph()

@@ -29,7 +29,6 @@ from repro.datasets.workloads import (
     icu_admission_stream,
     lineage_assignment_stream,
     mutation_discovery_stream,
-    replay,
 )
 from repro.graph import graph_to_dict
 from repro.triggers import GraphSession
