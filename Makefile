@@ -2,11 +2,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke explain-demo
+.PHONY: test test-storage lint bench bench-smoke explain-demo
 
 ## Run the full tier-1 suite (unit + integration + benchmark assertions).
 test:
 	$(PYTHON) -m pytest -x -q
+
+## The durability suite alone: WAL/codec/recovery units, the crash-injection
+## matrix and the property-based differential tests.
+test-storage:
+	$(PYTHON) -m pytest tests/storage -q
 
 ## Static checks (requires ruff: `pip install ruff`; CI installs it).
 lint:
@@ -18,9 +23,10 @@ bench:
 
 ## The benchmark smoke subset used by CI: the two trigger hot paths, the
 ## planner/plan-cache experiment, the streaming-vs-eager P6 comparison, the
-## batched-vs-per-activation P7 trigger comparison and the P8 physical
-## operator comparisons (range seek / hash join / top-k).  Timings are
-## dumped to BENCH_smoke.json (uploaded as a CI artifact).
+## batched-vs-per-activation P7 trigger comparison, the P8 physical
+## operator comparisons (range seek / hash join / top-k) and the P9
+## durability throughput/recovery experiment.  Timings are dumped to
+## BENCH_smoke.json (uploaded as a CI artifact).
 bench-smoke:
 	$(PYTHON) -m pytest \
 		benchmarks/test_perf_trigger_overhead.py \
@@ -29,6 +35,7 @@ bench-smoke:
 		benchmarks/test_perf_streaming.py \
 		benchmarks/test_perf_batched_triggers.py \
 		benchmarks/test_perf_physical_operators.py \
+		benchmarks/test_perf_durability.py \
 		-q --benchmark-columns=min,mean,rounds \
 		--benchmark-json=BENCH_smoke.json
 
@@ -47,3 +54,7 @@ batched-triggers-demo:
 ## Print the P8 experiment (range seek / hash join / top-k vs baselines).
 physical-operators-demo:
 	$(PYTHON) -c "from repro.bench import perf_physical_operators; print(perf_physical_operators().to_text())"
+
+## Print the P9 experiment (in-memory vs fsync vs group-commit throughput).
+durability-demo:
+	$(PYTHON) -c "from repro.bench import perf_durability; print(perf_durability().to_text())"

@@ -1,0 +1,30 @@
+"""P9 (added) — durability cost: WAL fsync policies vs in-memory commits.
+
+The acceptance bar is correctness, not speed: both durable routes must
+recover — after close + reopen — a graph identical to the in-memory
+survivor's (the experiment itself asserts the fingerprints match).
+Throughput ratios are environment-dependent (an fsync on tmpfs is nearly
+free), so they are reported in the result's notes rather than asserted.
+"""
+
+from repro.bench import perf_durability
+
+
+def test_perf_durability(benchmark, assert_result):
+    result = benchmark.pedantic(
+        lambda: perf_durability(commits=150, group_commit_size=16),
+        rounds=2,
+        warmup_rounds=1,
+        iterations=1,
+    )
+    assert_result(result, "P9", min_rows=3)
+    by_route = {row["route"]: row for row in result.rows}
+    assert set(by_route) == {
+        "in-memory",
+        "durable fsync-per-commit",
+        "durable group-commit",
+    }
+    for row in result.rows:
+        assert row["commits"] == 150
+        assert row["commits_per_sec"] > 0
+    assert any("recovered a graph identical" in note for note in result.notes)

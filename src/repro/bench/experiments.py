@@ -24,6 +24,7 @@ Added performance experiments (labelled P1–P4 in DESIGN.md / EXPERIMENTS.md):
 * :func:`perf_streaming_limit`   — streaming vs eager MATCH … LIMIT latency
 * :func:`perf_batched_triggers`  — batched vs per-activation trigger evaluation
 * :func:`perf_physical_operators` — range seek / hash join / top-k vs baselines
+* :func:`perf_durability`        — in-memory vs WAL fsync vs group-commit throughput
 """
 
 from __future__ import annotations
@@ -859,6 +860,82 @@ def perf_physical_operators(
     return result
 
 
+# ---------------------------------------------------------------------------
+# P9 — durability cost and recovery fidelity
+# ---------------------------------------------------------------------------
+
+
+def perf_durability(commits: int = 200, group_commit_size: int = 16) -> ExperimentResult:
+    """P9 — commit throughput: in-memory vs fsync-per-commit vs group commit.
+
+    The same single-statement write workload runs through three sessions:
+
+    * **in-memory** — no durability layer at all (the pre-PR engine);
+    * **durable, fsync-per-commit** — one WAL record + fsync per commit
+      (``group_commit_size=1``, the default policy);
+    * **durable, group commit** — fsync every ``group_commit_size``
+      commits, trading a bounded window of acknowledged-but-unsynced
+      commits for throughput.
+
+    Throughput ratios are *reported*, not asserted — on tmpfs or with
+    aggressive write caching an fsync can be nearly free, so the only
+    hard assertions are correctness ones: both durable routes must
+    recover, after close + reopen, a graph identical to the in-memory
+    survivor's.
+    """
+    import shutil
+    import tempfile
+
+    from ..graph.serialization import fingerprint
+
+    result = ExperimentResult("P9", "P9 — durability: WAL fsync policies vs in-memory commits")
+
+    def workload(session: GraphSession) -> float:
+        started = time.perf_counter()
+        for index in range(commits):
+            session.run(f"CREATE (:Item {{seq: {index}}})")
+        return time.perf_counter() - started
+
+    memory_session = GraphSession(clock=_CLOCK)
+    memory_seconds = workload(memory_session)
+    reference = fingerprint(memory_session.graph)
+    result.add_row(route="in-memory", commits=commits,
+                   seconds=round(memory_seconds, 4),
+                   commits_per_sec=round(commits / memory_seconds))
+
+    throughput = {"in-memory": commits / memory_seconds}
+    for route, group in (("durable fsync-per-commit", 1),
+                         ("durable group-commit", group_commit_size)):
+        directory = tempfile.mkdtemp(prefix="repro-p9-")
+        try:
+            session = GraphSession(path=directory, clock=_CLOCK, group_commit_size=group)
+            seconds = workload(session)
+            survivor = fingerprint(session.graph)
+            session.close()
+            recovered = GraphSession(path=directory, clock=_CLOCK)
+            assert fingerprint(recovered.graph) == survivor == reference, (
+                f"{route}: recovered state diverged from the survivor"
+            )
+            recovered.close()
+            throughput[route] = commits / seconds
+            result.add_row(route=route, commits=commits,
+                           seconds=round(seconds, 4),
+                           commits_per_sec=round(commits / seconds))
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    fsync_cost = throughput["in-memory"] / throughput["durable fsync-per-commit"]
+    group_gain = (throughput["durable group-commit"]
+                  / throughput["durable fsync-per-commit"])
+    result.note(f"fsync-per-commit slowdown vs in-memory: {fsync_cost:.1f}x")
+    result.note(
+        f"group commit (size {group_commit_size}) vs fsync-per-commit: "
+        f"{group_gain:.1f}x throughput"
+    )
+    result.note("both durable routes recovered a graph identical to the in-memory survivor")
+    return result
+
+
 #: Registry used by the CLI runner and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "T1": table1_feature_matrix,
@@ -879,4 +956,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "P6": perf_streaming_limit,
     "P7": perf_batched_triggers,
     "P8": perf_physical_operators,
+    "P9": perf_durability,
 }

@@ -29,15 +29,21 @@ A process-wide default database makes the one-liner work::
 from __future__ import annotations
 
 import datetime as _dt
+import os
+import re
 import threading
 from typing import Callable, Iterator, Optional
 
 from .graph.store import PropertyGraph
 from .schema.schema import PGSchema
+from .storage import StorageIO
 from .triggers.session import GraphSession
 
 #: Name used when callers do not pick one.
 DEFAULT_GRAPH_NAME = "default"
+
+#: Durable graph names become directory names, so keep them filesystem-safe.
+_DURABLE_NAME = re.compile(r"^[A-Za-z0-9._-]+$")
 
 
 class GraphDatabase:
@@ -54,12 +60,25 @@ class GraphDatabase:
         clock: Callable[[], _dt.datetime] | None = None,
         max_cascade_depth: int = 16,
         batched_triggers: bool = True,
+        path: str | None = None,
+        storage_io: StorageIO | None = None,
+        group_commit_size: int = 1,
+        checkpoint_every: int | None = None,
     ) -> None:
         self._clock = clock
         self._max_cascade_depth = max_cascade_depth
         self._batched_triggers = batched_triggers
+        self._path = os.fspath(path) if path is not None else None
+        self._storage_io = storage_io
+        self._group_commit_size = group_commit_size
+        self._checkpoint_every = checkpoint_every
         self._sessions: dict[str, GraphSession] = {}
         self._lock = threading.RLock()
+
+    @property
+    def durable(self) -> bool:
+        """True when graphs persist under the database directory."""
+        return self._path is not None
 
     # ------------------------------------------------------------------
     # catalog management
@@ -79,32 +98,60 @@ class GraphDatabase:
         with self._lock:
             if name in self._sessions:
                 raise ValueError(f"graph {name!r} already exists")
-            session = GraphSession(
-                graph=graph,
-                schema=schema,
-                clock=self._clock,
-                max_cascade_depth=self._max_cascade_depth,
-                batched_triggers=self._batched_triggers,
-            )
+            if self._path is not None:
+                if graph is not None:
+                    raise ValueError(
+                        "a durable database recovers each graph from its own "
+                        "directory; cannot adopt an in-memory graph"
+                    )
+                session = GraphSession(
+                    schema=schema,
+                    clock=self._clock,
+                    max_cascade_depth=self._max_cascade_depth,
+                    batched_triggers=self._batched_triggers,
+                    path=self._graph_directory(name),
+                    storage_io=self._storage_io,
+                    group_commit_size=self._group_commit_size,
+                    checkpoint_every=self._checkpoint_every,
+                )
+            else:
+                session = GraphSession(
+                    graph=graph,
+                    schema=schema,
+                    clock=self._clock,
+                    max_cascade_depth=self._max_cascade_depth,
+                    batched_triggers=self._batched_triggers,
+                )
             self._sessions[name] = session
             return session
 
     def drop_graph(self, name: str) -> None:
-        """Remove a named graph (and its session) from the catalog."""
+        """Remove a named graph (and its session) from the catalog.
+
+        For a durable database the graph's persisted files are deleted as
+        well, so the name no longer resurrects on the next access.
+        """
         with self._lock:
-            if name not in self._sessions:
+            session = self._sessions.pop(name, None)
+            if session is None and name not in self._persisted_graphs():
                 raise KeyError(f"no graph named {name!r}")
-            del self._sessions[name]
+            if session is not None:
+                session.close()
+            if self._path is not None:
+                self._delete_persisted(name)
 
     def list_graphs(self) -> list[str]:
-        """The catalog's graph names, in creation order."""
+        """The catalog's graph names: open sessions first, then any
+        persisted-but-unopened graphs a durable database finds on disk."""
         with self._lock:
-            return list(self._sessions)
+            names = list(self._sessions)
+            names.extend(n for n in self._persisted_graphs() if n not in self._sessions)
+            return names
 
     def has_graph(self, name: str) -> bool:
-        """True when ``name`` is in the catalog."""
+        """True when ``name`` is in the catalog (open or persisted)."""
         with self._lock:
-            return name in self._sessions
+            return name in self._sessions or name in self._persisted_graphs()
 
     def __contains__(self, name: object) -> bool:
         return isinstance(name, str) and self.has_graph(name)
@@ -131,6 +178,70 @@ class GraphDatabase:
     def session(self, graph: str = DEFAULT_GRAPH_NAME) -> GraphSession:
         """Driver-style alias for :meth:`graph`."""
         return self.graph(graph)
+
+    # ------------------------------------------------------------------
+    # durability lifecycle
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Checkpoint every open session of a durable database."""
+        with self._lock:
+            for session in self._sessions.values():
+                if session.durable:
+                    session.checkpoint()
+
+    def close(self) -> None:
+        """Flush and close every open session (no-op when in-memory)."""
+        with self._lock:
+            for session in self._sessions.values():
+                session.close()
+
+    def __enter__(self) -> "GraphDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _graph_directory(self, name: str) -> str:
+        if not _DURABLE_NAME.match(name):
+            raise ValueError(
+                f"durable graph name {name!r} must match {_DURABLE_NAME.pattern}"
+                " (it becomes a directory name)"
+            )
+        return os.path.join(self._path, name)
+
+    def _discovery_io(self) -> StorageIO:
+        if self._storage_io is not None:
+            return self._storage_io
+        from .storage import FileIO
+
+        return FileIO()
+
+    def _persisted_graphs(self) -> list[str]:
+        """Graph names with on-disk state under the database directory."""
+        if self._path is None:
+            return []
+        io = self._discovery_io()
+        if not io.exists(self._path):
+            return []
+        from .storage.store import SNAPSHOT_NAME, WAL_NAME
+
+        names = []
+        for entry in io.listdir(self._path):
+            directory = os.path.join(self._path, entry)
+            if io.exists(os.path.join(directory, WAL_NAME)) or io.exists(
+                os.path.join(directory, SNAPSHOT_NAME)
+            ):
+                names.append(entry)
+        return names
+
+    def _delete_persisted(self, name: str) -> None:
+        from .storage.store import SNAPSHOT_NAME, SNAPSHOT_TMP_NAME, WAL_NAME
+
+        io = self._discovery_io()
+        directory = os.path.join(self._path, name)
+        for filename in (WAL_NAME, SNAPSHOT_NAME, SNAPSHOT_TMP_NAME):
+            io.remove(os.path.join(directory, filename))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"GraphDatabase(graphs={self.list_graphs()!r})"

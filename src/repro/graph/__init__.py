@@ -26,7 +26,17 @@ from .errors import (
 )
 from .model import GraphItem, Node, Relationship, is_node, is_relationship
 from .networkx_adapter import from_networkx, to_networkx
-from .serialization import dumps, graph_from_dict, graph_to_dict, load, loads, save
+from .serialization import (
+    decode_value,
+    dumps,
+    encode_value,
+    fingerprint,
+    graph_from_dict,
+    graph_to_dict,
+    load,
+    loads,
+    save,
+)
 from .statistics import CardinalityEstimator, GraphStatistics, compute_statistics, describe
 from .store import BOTH, INCOMING, OUTGOING, PropertyGraph
 
@@ -52,8 +62,11 @@ __all__ = [
     "Relationship",
     "RelationshipNotFoundError",
     "compute_statistics",
+    "decode_value",
     "describe",
     "dumps",
+    "encode_value",
+    "fingerprint",
     "from_networkx",
     "graph_from_dict",
     "graph_to_dict",

@@ -73,13 +73,29 @@ class PropertyRemoval:
         return isinstance(self.item, Node)
 
 
+#: Operation kinds used by the unified :meth:`GraphDelta.operations` view
+#: (and by the WAL codec in :mod:`repro.storage.codec`).
+OP_CREATE_NODE = "create_node"
+OP_DELETE_NODE = "delete_node"
+OP_CREATE_RELATIONSHIP = "create_relationship"
+OP_DELETE_RELATIONSHIP = "delete_relationship"
+OP_ASSIGN_LABEL = "assign_label"
+OP_REMOVE_LABEL = "remove_label"
+OP_ASSIGN_PROPERTY = "assign_property"
+OP_REMOVE_PROPERTY = "remove_property"
+
+
 @dataclass
 class GraphDelta:
     """Accumulated changes produced by a statement or transaction.
 
     The lists preserve occurrence order; consumers that need set semantics
     (e.g. "was this node created in this transaction?") use the helper
-    predicates instead of scanning.
+    predicates instead of scanning.  The per-kind lists do not preserve the
+    *interleaving* across kinds, so the delta also keeps a unified
+    operation journal (:meth:`operations`) — replaying a delta (the WAL
+    recovery path) needs the exact total order, e.g. for a node that is
+    created, labelled and then deleted within one transaction.
     """
 
     created_nodes: list[Node] = field(default_factory=list)
@@ -90,6 +106,7 @@ class GraphDelta:
     removed_labels: list[LabelRemoval] = field(default_factory=list)
     assigned_properties: list[PropertyAssignment] = field(default_factory=list)
     removed_properties: list[PropertyRemoval] = field(default_factory=list)
+    _ops: list[tuple[str, Any]] = field(default_factory=list, repr=False, compare=False)
 
     def is_empty(self) -> bool:
         """Return True when the delta records no changes at all."""
@@ -109,38 +126,83 @@ class GraphDelta:
     def record_node_created(self, node: Node) -> None:
         """Record the creation of ``node``."""
         self.created_nodes.append(node)
+        self._ops.append((OP_CREATE_NODE, node))
 
     def record_node_deleted(self, node: Node) -> None:
         """Record the deletion of ``node`` (snapshot taken before deletion)."""
         self.deleted_nodes.append(node)
+        self._ops.append((OP_DELETE_NODE, node))
 
     def record_relationship_created(self, rel: Relationship) -> None:
         """Record the creation of ``rel``."""
         self.created_relationships.append(rel)
+        self._ops.append((OP_CREATE_RELATIONSHIP, rel))
 
     def record_relationship_deleted(self, rel: Relationship) -> None:
         """Record the deletion of ``rel`` (snapshot taken before deletion)."""
         self.deleted_relationships.append(rel)
+        self._ops.append((OP_DELETE_RELATIONSHIP, rel))
 
     def record_label_assigned(self, node: Node, label: str) -> None:
         """Record that ``label`` was added to ``node``."""
-        self.assigned_labels.append(LabelAssignment(node=node, label=label))
+        assignment = LabelAssignment(node=node, label=label)
+        self.assigned_labels.append(assignment)
+        self._ops.append((OP_ASSIGN_LABEL, assignment))
 
     def record_label_removed(self, node: Node, label: str) -> None:
         """Record that ``label`` was removed from ``node``."""
-        self.removed_labels.append(LabelRemoval(node=node, label=label))
+        removal = LabelRemoval(node=node, label=label)
+        self.removed_labels.append(removal)
+        self._ops.append((OP_REMOVE_LABEL, removal))
 
     def record_property_assigned(
         self, item: Node | Relationship, key: str, old: Any, new: Any
     ) -> None:
         """Record that property ``key`` changed from ``old`` to ``new``."""
-        self.assigned_properties.append(
-            PropertyAssignment(item=item, key=key, old=old, new=new)
-        )
+        assignment = PropertyAssignment(item=item, key=key, old=old, new=new)
+        self.assigned_properties.append(assignment)
+        self._ops.append((OP_ASSIGN_PROPERTY, assignment))
 
     def record_property_removed(self, item: Node | Relationship, key: str, old: Any) -> None:
         """Record that property ``key`` (whose value was ``old``) was removed."""
-        self.removed_properties.append(PropertyRemoval(item=item, key=key, old=old))
+        removal = PropertyRemoval(item=item, key=key, old=old)
+        self.removed_properties.append(removal)
+        self._ops.append((OP_REMOVE_PROPERTY, removal))
+
+    def operations(self) -> list[tuple[str, Any]]:
+        """All changes as one (kind, record) list in exact occurrence order.
+
+        Deltas built through the ``record_*`` methods return their journal
+        verbatim.  Hand-assembled deltas (constructed from the per-kind
+        lists, as some tests and the compat emulators do) have no journal;
+        for those a canonical order is derived that is safe to replay:
+        creations before label/property changes before deletions, with
+        relationship deletions before node deletions.
+        """
+        recorded = sum(
+            (
+                len(self.created_nodes),
+                len(self.deleted_nodes),
+                len(self.created_relationships),
+                len(self.deleted_relationships),
+                len(self.assigned_labels),
+                len(self.removed_labels),
+                len(self.assigned_properties),
+                len(self.removed_properties),
+            )
+        )
+        if len(self._ops) == recorded:
+            return list(self._ops)
+        ops: list[tuple[str, Any]] = []
+        ops.extend((OP_CREATE_NODE, node) for node in self.created_nodes)
+        ops.extend((OP_CREATE_RELATIONSHIP, rel) for rel in self.created_relationships)
+        ops.extend((OP_ASSIGN_LABEL, a) for a in self.assigned_labels)
+        ops.extend((OP_REMOVE_LABEL, r) for r in self.removed_labels)
+        ops.extend((OP_ASSIGN_PROPERTY, a) for a in self.assigned_properties)
+        ops.extend((OP_REMOVE_PROPERTY, r) for r in self.removed_properties)
+        ops.extend((OP_DELETE_RELATIONSHIP, rel) for rel in self.deleted_relationships)
+        ops.extend((OP_DELETE_NODE, node) for node in self.deleted_nodes)
+        return ops
 
     # -- derived views ---------------------------------------------------
 
@@ -193,6 +255,7 @@ class GraphDelta:
             merged.removed_labels.extend(source.removed_labels)
             merged.assigned_properties.extend(source.assigned_properties)
             merged.removed_properties.extend(source.removed_properties)
+            merged._ops.extend(source.operations())
         return merged
 
     @staticmethod

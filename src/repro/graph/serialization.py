@@ -17,19 +17,28 @@ from .store import PropertyGraph
 FORMAT_VERSION = 1
 
 
-def _encode_value(value: Any) -> Any:
-    """Encode a property value into a JSON-safe representation."""
+def encode_value(value: Any) -> Any:
+    """Encode a property value into a JSON-safe representation.
+
+    Dates and datetimes become tagged objects; lists (and tuples, which the
+    store normalises to lists) are encoded element-wise.  Values the store
+    would reject (dicts, sets, arbitrary objects) raise ``ValueError`` here
+    rather than producing a payload that cannot be decoded back — WAL and
+    snapshot records must stay round-trippable.
+    """
     if isinstance(value, _dt.datetime):
         return {"$type": "datetime", "value": value.isoformat()}
     if isinstance(value, _dt.date):
         return {"$type": "date", "value": value.isoformat()}
-    if isinstance(value, list):
-        return [_encode_value(v) for v in value]
-    return value
+    if isinstance(value, (list, tuple)):
+        return [encode_value(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ValueError(f"unserializable property value type: {type(value).__name__}")
 
 
-def _decode_value(value: Any) -> Any:
-    """Decode a value previously produced by :func:`_encode_value`."""
+def decode_value(value: Any) -> Any:
+    """Decode a value previously produced by :func:`encode_value`."""
     if isinstance(value, dict) and "$type" in value:
         if value["$type"] == "datetime":
             return _dt.datetime.fromisoformat(value["value"])
@@ -37,8 +46,13 @@ def _decode_value(value: Any) -> Any:
             return _dt.date.fromisoformat(value["value"])
         raise ValueError(f"unknown tagged value type: {value['$type']}")
     if isinstance(value, list):
-        return [_decode_value(v) for v in value]
+        return [decode_value(v) for v in value]
     return value
+
+
+#: Backwards-compatible aliases (the public names are new in the durability PR).
+_encode_value = encode_value
+_decode_value = decode_value
 
 
 def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
@@ -99,6 +113,19 @@ def graph_from_dict(payload: dict[str, Any]) -> PropertyGraph:
     for rel_type, prop in payload.get("relationship_indexes", ()):
         graph.create_relationship_property_index(rel_type, prop)
     return graph
+
+
+def fingerprint(graph: PropertyGraph) -> str:
+    """Canonical JSON of the graph's structural state (name excluded).
+
+    Two graphs with identical nodes, relationships and index catalogs have
+    identical fingerprints regardless of their ``name`` or the order their
+    contents were inserted — the equality the durability tests assert
+    between a surviving graph and its recovered twin.
+    """
+    payload = graph_to_dict(graph)
+    payload.pop("name", None)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def dumps(graph: PropertyGraph, indent: int | None = 2) -> str:

@@ -63,6 +63,12 @@ class PropertyGraph:
         self._incoming: dict[int, set[int]] = {}
         self._index_epoch = 0
         self.plan_token = next(_PLAN_TOKENS)
+        #: Optional callback ``(action, kind, label, prop)`` invoked after
+        #: every index DDL operation ("create"/"drop" of a
+        #: "property"/"range"/"relationship" index).  The durability layer
+        #: uses it to write index DDL into the write-ahead log; it is never
+        #: copied by :meth:`copy` (clones are plain in-memory graphs).
+        self.ddl_listener = None
 
     # ------------------------------------------------------------------
     # size and iteration
@@ -221,6 +227,10 @@ class PropertyGraph:
     # property index management
     # ------------------------------------------------------------------
 
+    def _notify_ddl(self, action: str, kind: str, label: str, prop: str) -> None:
+        if self.ddl_listener is not None:
+            self.ddl_listener(action, kind, label, prop)
+
     def create_property_index(self, label: str, prop: str) -> None:
         """Declare an exact-match index on ``label``/``prop`` and backfill it."""
         self._property_index.create(label, prop)
@@ -228,11 +238,13 @@ class PropertyGraph:
             if prop in node.properties:
                 self._property_index.add(label, prop, node.properties[prop], node.id)
         self._index_epoch += 1
+        self._notify_ddl("create", "property", label, prop)
 
     def drop_property_index(self, label: str, prop: str) -> None:
         """Drop a previously declared property index."""
         self._property_index.drop(label, prop)
         self._index_epoch += 1
+        self._notify_ddl("drop", "property", label, prop)
 
     def property_indexes(self) -> list[tuple[str, str]]:
         """Declared (label, property) index pairs."""
@@ -288,11 +300,13 @@ class PropertyGraph:
             if prop in node.properties:
                 self._range_index.add(label, prop, node.properties[prop], node.id)
         self._index_epoch += 1
+        self._notify_ddl("create", "range", label, prop)
 
     def drop_range_index(self, label: str, prop: str) -> None:
         """Drop a previously declared ordered index (bumps the index epoch)."""
         self._range_index.drop(label, prop)
         self._index_epoch += 1
+        self._notify_ddl("drop", "range", label, prop)
 
     def range_indexes(self) -> list[tuple[str, str]]:
         """Declared ordered (label, property) index pairs."""
@@ -339,11 +353,13 @@ class PropertyGraph:
             if prop in rel.properties:
                 self._rel_property_index.add(rel_type, prop, rel.properties[prop], rel.id)
         self._index_epoch += 1
+        self._notify_ddl("create", "relationship", rel_type, prop)
 
     def drop_relationship_property_index(self, rel_type: str, prop: str) -> None:
         """Drop a relationship-property index (bumps the index epoch)."""
         self._rel_property_index.drop(rel_type, prop)
         self._index_epoch += 1
+        self._notify_ddl("drop", "relationship", rel_type, prop)
 
     def relationship_property_indexes(self) -> list[tuple[str, str]]:
         """Declared (relationship type, property) index pairs."""

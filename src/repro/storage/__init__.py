@@ -1,0 +1,44 @@
+"""Durability subsystem: write-ahead log, snapshots, crash recovery.
+
+Public surface:
+
+* :class:`DurableStore` — WAL + snapshot persistence for one graph
+  (recovery-on-open, checkpointing, group-commit batching);
+* :class:`WriteAheadLog` / :func:`scan_wal` — the framed, checksummed log;
+* :func:`encode_delta` / :func:`apply_operations` — delta ↔ WAL codec;
+* :class:`FileIO` / :class:`MemoryIO` — the injectable filesystem layer
+  the crash-injection test harness builds on;
+* :class:`TriggerState` / :class:`RecoveredState` — recovery results.
+
+Sessions normally do not touch this package directly: constructing a
+``GraphSession(path=...)`` (or a ``GraphDatabase(path=...)``) wires a
+:class:`DurableStore` through the transaction manager automatically.
+"""
+
+from .codec import DeltaCodecError, apply_operations, delta_round_trips, encode_delta
+from .io import FileIO, MemoryIO, StorageIO
+from .store import (
+    DurableStore,
+    RecoveredState,
+    RecoveryError,
+    TriggerState,
+)
+from .wal import WalScan, WriteAheadLog, encode_record, scan_wal
+
+__all__ = [
+    "DeltaCodecError",
+    "DurableStore",
+    "FileIO",
+    "MemoryIO",
+    "RecoveredState",
+    "RecoveryError",
+    "StorageIO",
+    "TriggerState",
+    "WalScan",
+    "WriteAheadLog",
+    "apply_operations",
+    "delta_round_trips",
+    "encode_delta",
+    "encode_record",
+    "scan_wal",
+]

@@ -1,0 +1,190 @@
+"""Encoding committed :class:`GraphDelta` changes as WAL operations.
+
+A committed transaction's delta becomes one WAL record whose ``ops`` array
+lists every primitive change in exact occurrence order (see
+:meth:`GraphDelta.operations` — the unified journal exists precisely so a
+node that is created, labelled and deleted inside one transaction replays
+correctly).  Recovery applies the operations straight to the store; index
+maintenance and statistics counters rebuild as a side effect of the store
+mutations, so no separate index log is needed for data changes.
+
+The codec only records what replay needs: creation snapshots carry labels
+and properties, deletions carry just the id (the transaction layer already
+deleted attached relationships first, and records those deletions ahead of
+the node's).  Old values are *not* persisted — the WAL is redo-only, which
+is sufficient because only committed deltas are ever logged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from ..graph import delta as _delta
+from ..graph.delta import GraphDelta
+from ..graph.model import Node, Relationship
+from ..graph.serialization import decode_value, encode_value
+from ..graph.store import PropertyGraph
+
+
+class DeltaCodecError(Exception):
+    """An operation payload could not be encoded or replayed."""
+
+
+def _encode_properties(properties: Mapping[str, Any]) -> dict[str, Any]:
+    return {key: encode_value(value) for key, value in properties.items()}
+
+
+def encode_delta(delta: GraphDelta) -> list[dict[str, Any]]:
+    """Encode a delta's operations as JSON-safe dictionaries."""
+    ops: list[dict[str, Any]] = []
+    for kind, record in delta.operations():
+        if kind == _delta.OP_CREATE_NODE:
+            ops.append(
+                {
+                    "op": kind,
+                    "id": record.id,
+                    "labels": sorted(record.labels),
+                    "properties": _encode_properties(record.properties),
+                }
+            )
+        elif kind == _delta.OP_DELETE_NODE:
+            ops.append({"op": kind, "id": record.id})
+        elif kind == _delta.OP_CREATE_RELATIONSHIP:
+            ops.append(
+                {
+                    "op": kind,
+                    "id": record.id,
+                    "type": record.type,
+                    "start": record.start,
+                    "end": record.end,
+                    "properties": _encode_properties(record.properties),
+                }
+            )
+        elif kind == _delta.OP_DELETE_RELATIONSHIP:
+            ops.append({"op": kind, "id": record.id})
+        elif kind in (_delta.OP_ASSIGN_LABEL, _delta.OP_REMOVE_LABEL):
+            ops.append({"op": kind, "id": record.node.id, "label": record.label})
+        elif kind == _delta.OP_ASSIGN_PROPERTY:
+            ops.append(
+                {
+                    "op": kind,
+                    "item": "node" if record.is_node else "relationship",
+                    "id": record.item.id,
+                    "key": record.key,
+                    "value": encode_value(record.new),
+                }
+            )
+        elif kind == _delta.OP_REMOVE_PROPERTY:
+            ops.append(
+                {
+                    "op": kind,
+                    "item": "node" if record.is_node else "relationship",
+                    "id": record.item.id,
+                    "key": record.key,
+                }
+            )
+        else:  # pragma: no cover - guards future delta kinds
+            raise DeltaCodecError(f"unknown delta operation kind: {kind!r}")
+    return ops
+
+
+def apply_operations(graph: PropertyGraph, ops: Iterable[Mapping[str, Any]]) -> None:
+    """Replay encoded operations onto ``graph`` in order.
+
+    Label additions/removals and property removals use the store's no-op
+    semantics (adding a present label, removing an absent property leave
+    the graph untouched), so replaying a hand-built delta that contains
+    such records is harmless — the same behaviour the transaction layer
+    pins by never recording them in the first place.
+    """
+    for op in ops:
+        kind = op["op"]
+        try:
+            if kind == _delta.OP_CREATE_NODE:
+                graph.create_node(
+                    labels=op.get("labels", ()),
+                    properties={
+                        key: decode_value(value)
+                        for key, value in op.get("properties", {}).items()
+                    },
+                    node_id=op["id"],
+                )
+            elif kind == _delta.OP_DELETE_NODE:
+                graph.delete_node(op["id"], detach=False)
+            elif kind == _delta.OP_CREATE_RELATIONSHIP:
+                graph.create_relationship(
+                    rel_type=op["type"],
+                    start=op["start"],
+                    end=op["end"],
+                    properties={
+                        key: decode_value(value)
+                        for key, value in op.get("properties", {}).items()
+                    },
+                    rel_id=op["id"],
+                )
+            elif kind == _delta.OP_DELETE_RELATIONSHIP:
+                graph.delete_relationship(op["id"])
+            elif kind == _delta.OP_ASSIGN_LABEL:
+                graph.add_label(op["id"], op["label"])
+            elif kind == _delta.OP_REMOVE_LABEL:
+                graph.remove_label(op["id"], op["label"])
+            elif kind == _delta.OP_ASSIGN_PROPERTY:
+                value = decode_value(op["value"])
+                if op["item"] == "node":
+                    graph.set_node_property(op["id"], op["key"], value)
+                else:
+                    graph.set_relationship_property(op["id"], op["key"], value)
+            elif kind == _delta.OP_REMOVE_PROPERTY:
+                if op["item"] == "node":
+                    graph.remove_node_property(op["id"], op["key"])
+                else:
+                    graph.remove_relationship_property(op["id"], op["key"])
+            else:
+                raise DeltaCodecError(f"unknown operation kind in WAL record: {kind!r}")
+        except DeltaCodecError:
+            raise
+        except Exception as exc:
+            raise DeltaCodecError(f"failed to replay {kind} operation {op!r}: {exc}") from exc
+
+
+def delta_round_trips(delta: GraphDelta, base: PropertyGraph) -> bool:
+    """True when replaying ``delta``'s encoding on ``base`` leaves it equal
+    to applying the delta's operations natively — the invariant the
+    round-trip regression tests assert per change kind.
+    """
+    from ..graph.serialization import fingerprint
+
+    replayed = base.copy()
+    apply_operations(replayed, encode_delta(delta))
+    native = base.copy()
+    for kind, record in delta.operations():
+        _apply_native(native, kind, record)
+    return fingerprint(replayed) == fingerprint(native)
+
+
+def _apply_native(graph: PropertyGraph, kind: str, record: Any) -> None:
+    """Apply one in-memory delta record directly (reference semantics)."""
+    if kind == _delta.OP_CREATE_NODE:
+        graph.create_node(record.labels, dict(record.properties), node_id=record.id)
+    elif kind == _delta.OP_DELETE_NODE:
+        graph.delete_node(record.id, detach=False)
+    elif kind == _delta.OP_CREATE_RELATIONSHIP:
+        graph.create_relationship(
+            record.type, record.start, record.end, dict(record.properties), rel_id=record.id
+        )
+    elif kind == _delta.OP_DELETE_RELATIONSHIP:
+        graph.delete_relationship(record.id)
+    elif kind == _delta.OP_ASSIGN_LABEL:
+        graph.add_label(record.node.id, record.label)
+    elif kind == _delta.OP_REMOVE_LABEL:
+        graph.remove_label(record.node.id, record.label)
+    elif kind == _delta.OP_ASSIGN_PROPERTY:
+        if isinstance(record.item, Node):
+            graph.set_node_property(record.item.id, record.key, record.new)
+        elif isinstance(record.item, Relationship):
+            graph.set_relationship_property(record.item.id, record.key, record.new)
+    elif kind == _delta.OP_REMOVE_PROPERTY:
+        if isinstance(record.item, Node):
+            graph.remove_node_property(record.item.id, record.key)
+        elif isinstance(record.item, Relationship):
+            graph.remove_relationship_property(record.item.id, record.key)

@@ -1,0 +1,227 @@
+"""Filesystem abstraction for the durability layer.
+
+Every byte the durability subsystem writes goes through a :class:`StorageIO`
+object, so that tests can substitute an instrumented implementation — the
+crash-injection harness (``tests/storage/crashpoints.py``) uses this to
+model an OS page cache (written-but-unsynced data that a crash loses) and
+to freeze the simulated disk at every enumerated crash point.
+
+Two implementations ship with the engine:
+
+* :class:`FileIO` — the real filesystem, with a small append-handle cache
+  so per-commit WAL appends do not reopen the log file;
+* :class:`MemoryIO` — an in-memory filesystem with identical semantics,
+  used by fast tests and as the substrate recovery runs against after a
+  simulated crash.
+
+The interface is deliberately low-level (append, fsync, atomic replace,
+truncate) because those are exactly the primitives whose interleaving
+determines crash safety.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import PurePosixPath
+from typing import BinaryIO
+
+
+class StorageIO:
+    """Interface contract for durability-layer filesystem access."""
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def file_size(self, path: str) -> int:
+        raise NotImplementedError
+
+    def makedirs(self, path: str) -> None:
+        raise NotImplementedError
+
+    def listdir(self, path: str) -> list[str]:
+        raise NotImplementedError
+
+    def read_bytes(self, path: str) -> bytes:
+        raise NotImplementedError
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        """Create or overwrite ``path`` with ``data`` (no durability implied)."""
+        raise NotImplementedError
+
+    def append_bytes(self, path: str, data: bytes) -> None:
+        """Append ``data`` to ``path``, creating it if missing (no fsync)."""
+        raise NotImplementedError
+
+    def fsync(self, path: str) -> None:
+        """Force ``path``'s written data to stable storage."""
+        raise NotImplementedError
+
+    def replace(self, source: str, destination: str) -> None:
+        """Atomically rename ``source`` over ``destination``."""
+        raise NotImplementedError
+
+    def truncate(self, path: str, size: int) -> None:
+        """Cut ``path`` down to ``size`` bytes (no durability implied)."""
+        raise NotImplementedError
+
+    def remove(self, path: str) -> None:
+        """Delete ``path`` if it exists."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any cached handles (idempotent)."""
+
+
+class FileIO(StorageIO):
+    """Real-filesystem implementation backed by :mod:`os`.
+
+    Append handles are cached per path: the WAL appends one framed record
+    per commit, and reopening the log for every commit would dominate the
+    group-commit benchmark.  Cached handles are flushed to the OS on every
+    append (so concurrent readers and :meth:`read_bytes` observe the
+    bytes), and invalidated by any operation that replaces or truncates
+    the file.
+    """
+
+    def __init__(self) -> None:
+        self._append_handles: dict[str, BinaryIO] = {}
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def file_size(self, path: str) -> int:
+        return os.path.getsize(path)
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def listdir(self, path: str) -> list[str]:
+        return sorted(os.listdir(path))
+
+    def read_bytes(self, path: str) -> bytes:
+        handle = self._append_handles.get(path)
+        if handle is not None:
+            handle.flush()
+        with open(path, "rb") as reader:
+            return reader.read()
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        self._drop_handle(path)
+        with open(path, "wb") as writer:
+            writer.write(data)
+
+    def append_bytes(self, path: str, data: bytes) -> None:
+        handle = self._append_handles.get(path)
+        if handle is None:
+            handle = open(path, "ab")
+            self._append_handles[path] = handle
+        handle.write(data)
+        handle.flush()
+
+    def fsync(self, path: str) -> None:
+        handle = self._append_handles.get(path)
+        if handle is not None:
+            handle.flush()
+            os.fsync(handle.fileno())
+            return
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, source: str, destination: str) -> None:
+        self._drop_handle(source)
+        self._drop_handle(destination)
+        os.replace(source, destination)
+
+    def truncate(self, path: str, size: int) -> None:
+        self._drop_handle(path)
+        os.truncate(path, size)
+
+    def remove(self, path: str) -> None:
+        self._drop_handle(path)
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        for handle in self._append_handles.values():
+            handle.close()
+        self._append_handles.clear()
+
+    def _drop_handle(self, path: str) -> None:
+        handle = self._append_handles.pop(path, None)
+        if handle is not None:
+            handle.close()
+
+
+class MemoryIO(StorageIO):
+    """In-memory filesystem with the same observable semantics as FileIO.
+
+    Paths are treated as POSIX-style strings; directories exist implicitly.
+    ``fsync`` is a no-op for durability (everything written is already
+    "stable") but is still a distinct call so instrumenting subclasses can
+    observe it.  The crash harness seeds a fresh ``MemoryIO`` with the
+    byte images a simulated crash left behind and runs recovery on top.
+    """
+
+    def __init__(self, files: dict[str, bytes] | None = None) -> None:
+        self.files: dict[str, bytearray] = {
+            path: bytearray(data) for path, data in (files or {}).items()
+        }
+        self.directories: set[str] = set()
+
+    def exists(self, path: str) -> bool:
+        if path in self.files or path in self.directories:
+            return True
+        prefix = path.rstrip("/") + "/"
+        return any(candidate.startswith(prefix) for candidate in self.files)
+
+    def file_size(self, path: str) -> int:
+        return len(self._require(path))
+
+    def makedirs(self, path: str) -> None:
+        pure = PurePosixPath(path)
+        self.directories.add(str(pure))
+        self.directories.update(str(parent) for parent in pure.parents)
+
+    def listdir(self, path: str) -> list[str]:
+        prefix = path.rstrip("/") + "/"
+        names = {
+            PurePosixPath(candidate[len(prefix):]).parts[0]
+            for candidate in list(self.files) + list(self.directories)
+            if candidate.startswith(prefix)
+        }
+        return sorted(names)
+
+    def read_bytes(self, path: str) -> bytes:
+        return bytes(self._require(path))
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        self.files[path] = bytearray(data)
+
+    def append_bytes(self, path: str, data: bytes) -> None:
+        self.files.setdefault(path, bytearray()).extend(data)
+
+    def fsync(self, path: str) -> None:
+        self._require(path)
+
+    def replace(self, source: str, destination: str) -> None:
+        self.files[destination] = self._require(source)
+        del self.files[source]
+
+    def truncate(self, path: str, size: int) -> None:
+        self.files[path] = self._require(path)[:size]
+
+    def remove(self, path: str) -> None:
+        self.files.pop(path, None)
+
+    def close(self) -> None:
+        pass
+
+    def _require(self, path: str) -> bytearray:
+        if path not in self.files:
+            raise FileNotFoundError(path)
+        return self.files[path]

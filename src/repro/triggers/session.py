@@ -37,6 +37,7 @@ from ..graph.delta import GraphDelta
 from ..graph.store import PropertyGraph
 from ..schema.schema import PGSchema
 from ..schema.validation import Violation, validate_graph
+from ..storage import DurableStore, StorageIO, TriggerState
 from ..tx.manager import TransactionManager
 from ..tx.transaction import Transaction
 from .ast import InstalledTrigger, TriggerDefinition
@@ -55,7 +56,23 @@ class GraphSession:
         clock: Callable[[], _dt.datetime] | None = None,
         max_cascade_depth: int = 16,
         batched_triggers: bool = True,
+        path: str | None = None,
+        storage_io: StorageIO | None = None,
+        group_commit_size: int = 1,
+        checkpoint_every: int | None = None,
     ) -> None:
+        if path is not None and graph is not None:
+            raise ValueError(
+                "pass either an in-memory graph or a durable path, not both: "
+                "a durable session recovers its graph from the path"
+            )
+        self.store: DurableStore | None = None
+        self.checkpoint_every = checkpoint_every
+        recovered = None
+        if path is not None:
+            self.store = DurableStore(path, io=storage_io, group_commit_size=group_commit_size)
+            recovered = self.store.open()
+            graph = recovered.graph
         self.graph = graph or PropertyGraph()
         self.schema = schema
         self.clock = clock or _dt.datetime.now
@@ -71,8 +88,21 @@ class GraphSession:
         )
         self._open_transaction: Optional[Transaction] = None
         self._active_result: Optional[Result] = None
+        self._checkpointing = False
         self.manager.add_before_commit_hook(self._on_before_commit)
         self.manager.add_after_commit_hook(self._on_after_commit)
+        if self.store is not None:
+            # Reinstall recovered triggers straight through the registry so
+            # the restore itself is not re-logged to the WAL.
+            for state in recovered.triggers:
+                self.registry.install(state.source)
+                if not state.enabled:
+                    self.registry.stop(state.name)
+            self.recovery = recovered
+            self.manager.set_commit_log(self._log_commit)
+            self.graph.ddl_listener = self.store.log_index
+            if checkpoint_every is not None:
+                self.manager.add_after_commit_hook(self._maybe_auto_checkpoint)
 
     # ------------------------------------------------------------------
     # trigger management
@@ -80,19 +110,31 @@ class GraphSession:
 
     def create_trigger(self, trigger: str | TriggerDefinition) -> InstalledTrigger:
         """Install a PG-Trigger (CREATE TRIGGER text or definition object)."""
-        return self.registry.install(trigger)
+        installed = self.registry.install(trigger)
+        if self.store is not None:
+            self.store.log_trigger(
+                "install", installed.name, source=installed.definition.to_pg_trigger()
+            )
+        return installed
 
     def drop_trigger(self, name: str) -> TriggerDefinition:
         """Remove a trigger by name."""
-        return self.registry.drop(name)
+        definition = self.registry.drop(name)
+        if self.store is not None:
+            self.store.log_trigger("drop", name)
+        return definition
 
     def stop_trigger(self, name: str) -> None:
         """Pause a trigger without dropping it."""
         self.registry.stop(name)
+        if self.store is not None:
+            self.store.log_trigger("stop", name)
 
     def start_trigger(self, name: str) -> None:
         """Resume a paused trigger."""
         self.registry.start(name)
+        if self.store is not None:
+            self.store.log_trigger("start", name)
 
     def triggers(self) -> list[TriggerDefinition]:
         """All installed trigger definitions (creation order)."""
@@ -279,6 +321,70 @@ class GraphSession:
         else:
             self._open_transaction = None
             self.manager.commit(tx)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """True when the session persists to disk (``path=`` was given)."""
+        return self.store is not None
+
+    def checkpoint(self) -> None:
+        """Snapshot the current state and empty the write-ahead log.
+
+        Requires a durable session and no open explicit transaction (the
+        snapshot must describe a committed state).
+        """
+        store = self._require_store()
+        if self._open_transaction is not None:
+            raise RuntimeError("cannot checkpoint while a session transaction is open")
+        self._detach_active_result()
+        store.checkpoint(self.graph, self._trigger_states())
+
+    def flush(self) -> None:
+        """Force any group-commit-deferred WAL appends to stable storage."""
+        self._require_store().sync()
+
+    def close(self) -> None:
+        """Flush and release the durable store (no-op for in-memory sessions)."""
+        if self.store is None:
+            return
+        self._detach_active_result()
+        self.store.close()
+
+    def __enter__(self) -> "GraphSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _require_store(self) -> DurableStore:
+        if self.store is None:
+            raise RuntimeError("this session is in-memory; construct it with path=... ")
+        return self.store
+
+    def _trigger_states(self) -> list[TriggerState]:
+        return [
+            TriggerState(t.name, t.definition.to_pg_trigger(), enabled=t.enabled)
+            for t in self.registry.ordered()
+        ]
+
+    def _log_commit(self, tx: Transaction, delta: GraphDelta) -> None:
+        """Commit-log sink: write the committed delta's WAL record."""
+        self.store.log_transaction(delta)
+
+    def _maybe_auto_checkpoint(self, tx: Transaction, delta: GraphDelta) -> None:
+        if self._checkpointing or self._open_transaction is not None:
+            return
+        if self.store.records_since_checkpoint < (self.checkpoint_every or 0):
+            return
+        self._checkpointing = True
+        try:
+            self.store.checkpoint(self.graph, self._trigger_states())
+        finally:
+            self._checkpointing = False
 
     # ------------------------------------------------------------------
     # commit hooks (ONCOMMIT / DETACHED action times)

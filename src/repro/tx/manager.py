@@ -37,6 +37,7 @@ class TransactionManager:
         self._statement_hooks: list[TransactionHook] = []
         self._before_commit_hooks: list[TransactionHook] = []
         self._after_commit_hooks: list[TransactionHook] = []
+        self._commit_log: TransactionHook | None = None
         self._committed_count = 0
         self._rolled_back_count = 0
 
@@ -61,6 +62,17 @@ class TransactionManager:
         for hooks in (self._statement_hooks, self._before_commit_hooks, self._after_commit_hooks):
             if hook in hooks:
                 hooks.remove(hook)
+
+    def set_commit_log(self, log: TransactionHook | None) -> None:
+        """Install the durability sink called at the commit point.
+
+        The sink runs after every before-commit hook (so it observes the
+        complete transaction delta, trigger writes included) and *before*
+        the transaction is marked committed.  If it raises, the transaction
+        is rolled back and the error propagates — a transaction is never
+        reported committed without its WAL record having been written.
+        """
+        self._commit_log = log
 
     # ------------------------------------------------------------------
     # statistics
@@ -115,6 +127,13 @@ class TransactionManager:
             self.rollback(tx)
             raise
         delta = tx.transaction_delta
+        if self._commit_log is not None and not delta.is_empty():
+            try:
+                self._commit_log(tx, delta)
+            except Exception:
+                if tx.is_active:
+                    self.rollback(tx)
+                raise
         tx._mark_committed()
         self._committed_count += 1
         for hook in list(self._after_commit_hooks):

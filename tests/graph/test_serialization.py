@@ -6,7 +6,10 @@ import pytest
 
 from repro.graph import (
     PropertyGraph,
+    decode_value,
     dumps,
+    encode_value,
+    fingerprint,
     from_networkx,
     graph_from_dict,
     graph_to_dict,
@@ -15,6 +18,7 @@ from repro.graph import (
     save,
     to_networkx,
 )
+from repro.graph.errors import InvalidPropertyValueError
 
 
 @pytest.fixture
@@ -67,6 +71,92 @@ class TestJsonRoundTrip:
         save(sample_graph, path)
         restored = load(path)
         assert restored.node_count() == sample_graph.node_count()
+
+
+class TestEdgeCaseRoundTrips:
+    """Regression coverage for the payloads WAL/snapshot persistence relies on."""
+
+    def test_empty_graph_round_trips(self):
+        restored = loads(dumps(PropertyGraph("empty")))
+        assert restored.node_count() == 0
+        assert restored.relationship_count() == 0
+        assert restored.property_indexes() == []
+        assert fingerprint(restored) == fingerprint(PropertyGraph("other-name"))
+
+    def test_empty_property_map_round_trips(self):
+        graph = PropertyGraph()
+        graph.create_node(["Bare"])
+        restored = loads(dumps(graph))
+        assert list(restored.nodes())[0].properties == {}
+
+    def test_mixed_type_list_round_trips(self):
+        graph = PropertyGraph()
+        graph.create_node(["Mixed"], {"bag": [1, "two", 3.5, False]})
+        restored = loads(dumps(graph))
+        assert list(restored.nodes())[0].properties["bag"] == [1, "two", 3.5, False]
+
+    def test_list_of_dates_round_trips(self):
+        graph = PropertyGraph()
+        dates = [datetime.date(2021, 3, 14), datetime.date(2021, 12, 1)]
+        stamps = [datetime.datetime(2021, 3, 14, 12, 0), datetime.datetime(2022, 1, 1, 0, 0)]
+        graph.create_node(["Timeline"], {"dates": dates, "stamps": stamps})
+        props = list(loads(dumps(graph)).nodes())[0].properties
+        assert props["dates"] == dates
+        assert props["stamps"] == stamps
+
+    def test_unicode_round_trips(self):
+        graph = PropertyGraph()
+        graph.create_node(["Città"], {"name": "Ospedale Sacco — 東京 ★"})
+        restored = loads(dumps(graph))
+        assert restored.count_nodes_with_label("Città") == 1
+        assert list(restored.nodes())[0].properties["name"] == "Ospedale Sacco — 東京 ★"
+
+    def test_all_index_kinds_round_trip(self):
+        graph = PropertyGraph()
+        a = graph.create_node(["A"], {"x": 1})
+        b = graph.create_node(["B"])
+        graph.create_relationship("R", a.id, b.id, {"w": 2})
+        graph.create_property_index("A", "x")
+        graph.create_range_index("A", "x")
+        graph.create_relationship_property_index("R", "w")
+        restored = loads(dumps(graph))
+        assert restored.property_indexes() == [("A", "x")]
+        assert restored.range_indexes() == [("A", "x")]
+        assert restored.relationship_property_indexes() == [("R", "w")]
+
+    def test_nested_collections_are_rejected_by_the_store(self):
+        graph = PropertyGraph()
+        with pytest.raises(InvalidPropertyValueError):
+            graph.create_node(["Bad"], {"nested": [[1, 2], [3]]})
+        with pytest.raises(InvalidPropertyValueError):
+            graph.create_node(["Bad"], {"map": {"k": "v"}})
+
+    def test_encode_value_rejects_unserializable_types(self):
+        with pytest.raises(ValueError, match="unserializable"):
+            encode_value({"k": "v"})
+        with pytest.raises(ValueError, match="unserializable"):
+            encode_value({1, 2})
+
+    def test_decode_value_rejects_unknown_tags(self):
+        with pytest.raises(ValueError, match="unknown tagged"):
+            decode_value({"$type": "complex", "value": "1+2j"})
+
+    def test_scalar_values_encode_unchanged(self):
+        for value in (None, True, 0, -7, 2.5, "plain"):
+            assert encode_value(value) == value
+            assert decode_value(encode_value(value)) == value
+
+    def test_tuple_encodes_as_list(self):
+        assert encode_value((1, 2)) == [1, 2]
+
+    def test_fingerprint_ignores_name_but_not_content(self):
+        left = PropertyGraph("left")
+        right = PropertyGraph("right")
+        for graph in (left, right):
+            graph.create_node(["A"], {"x": 1})
+        assert fingerprint(left) == fingerprint(right)
+        right.create_node(["B"])
+        assert fingerprint(left) != fingerprint(right)
 
 
 class TestNetworkxAdapter:

@@ -1,0 +1,276 @@
+"""Deterministic crash-injection harness for the durability layer.
+
+The harness answers one question exhaustively: *if the process dies at any
+point inside the durability layer's I/O sequence, does recovery restore
+exactly the last committed state?*  It does so without ever throwing an
+exception into the engine:
+
+1. A workload (a list of :class:`Step` callables) runs once, to completion,
+   on a :class:`CrashableIO` — an in-memory filesystem that keeps **two**
+   byte images per file: the *durable* image (bytes covered by an fsync)
+   and the *volatile* image (every byte written, as an OS page cache would
+   hold it).  Before every state-changing I/O operation the harness freezes
+   a copy of both images; each frozen pair is one enumerated crash point.
+   Appends are split into two sub-operations so crash points *inside* a WAL
+   record frame (torn records) are enumerated too.
+
+2. After each step the harness captures the session's logical state (graph
+   fingerprint + installed triggers).  The expected survivor of a crash at
+   operation ``k`` follows mechanically from the operation log:
+
+   * **lost** mode (power failure: unsynced bytes vanish) — a step's
+     effects survive iff its WAL fsync happened strictly before ``k``;
+   * **writeback** mode (the kernel flushed the page cache before dying:
+     every written byte is on disk, including torn half-records) — a
+     step's effects survive iff all of its WAL append sub-operations
+     happened strictly before ``k``.
+
+3. For every crash point the harness seeds a fresh ``MemoryIO`` with the
+   frozen image and opens a brand-new ``GraphSession(path=...)`` on top —
+   the exact recovery path a process restart would take — then compares
+   the recovered state against the expectation.
+
+Everything is deterministic: one workload run yields the complete crash
+matrix, and the same workload always yields the same matrix.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import posixpath
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.graph.serialization import fingerprint
+from repro.storage import MemoryIO
+from repro.triggers.session import GraphSession
+
+#: Fixed clock so trigger actions using datetime() stay deterministic.
+CLOCK = lambda: _dt.datetime(2021, 3, 14, 12, 0, 0)  # noqa: E731
+
+#: Crash-survival models (see module docstring).
+MODE_LOST = "lost"
+MODE_WRITEBACK = "writeback"
+MODES = (MODE_LOST, MODE_WRITEBACK)
+
+
+class CrashableIO(MemoryIO):
+    """MemoryIO that models an OS page cache and freezes crash images.
+
+    ``self.files`` (the inherited store) is the volatile image; ``durable``
+    holds what an fsync has pinned.  Every mutating operation is labelled
+    and counted, and the pre-operation state of both images is recorded in
+    ``images`` — ``images[k]`` is what disk would hold if the process died
+    immediately before operation ``k``.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.durable: dict[str, bytes] = {}
+        self.labels: list[str] = []
+        self.images: list[tuple[dict[str, bytes], dict[str, bytes]]] = []
+
+    # -- crash-point bookkeeping ---------------------------------------
+
+    @property
+    def op_count(self) -> int:
+        return len(self.labels)
+
+    def _op(self, label: str) -> None:
+        self.images.append((dict(self.durable), self._volatile_image()))
+        self.labels.append(label)
+
+    def _volatile_image(self) -> dict[str, bytes]:
+        return {path: bytes(data) for path, data in self.files.items()}
+
+    def finish(self) -> None:
+        """Record the final (post-workload) image pair."""
+        self.images.append((dict(self.durable), self._volatile_image()))
+
+    def image(self, index: int, mode: str) -> dict[str, bytes]:
+        """The simulated on-disk contents for a crash before op ``index``."""
+        durable, volatile = self.images[index]
+        if mode == MODE_LOST:
+            return dict(durable)
+        if mode == MODE_WRITEBACK:
+            return dict(volatile)
+        raise ValueError(f"unknown crash mode: {mode!r}")
+
+    # -- mutating operations (counted) ---------------------------------
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        self._op(f"write:{posixpath.basename(path)}")
+        super().write_bytes(path, data)
+
+    def append_bytes(self, path: str, data: bytes) -> None:
+        # Two sub-operations per append so a crash can land mid-frame.
+        half = max(1, len(data) // 2)
+        name = posixpath.basename(path)
+        self._op(f"append:{name}:1/2")
+        super().append_bytes(path, data[:half])
+        self._op(f"append:{name}:2/2")
+        super().append_bytes(path, data[half:])
+
+    def fsync(self, path: str) -> None:
+        self._op(f"fsync:{posixpath.basename(path)}")
+        super().fsync(path)
+        self.durable[path] = bytes(self.files[path])
+
+    def replace(self, source: str, destination: str) -> None:
+        self._op(f"replace:{posixpath.basename(destination)}")
+        # Rename is an atomic metadata operation; the destination's durable
+        # content is whatever of the source an fsync had pinned (the
+        # checkpoint protocol always fsyncs the temporary before renaming).
+        if source in self.durable:
+            self.durable[destination] = self.durable.pop(source)
+        super().replace(source, destination)
+
+    def truncate(self, path: str, size: int) -> None:
+        self._op(f"truncate:{posixpath.basename(path)}")
+        super().truncate(path, size)
+
+    def remove(self, path: str) -> None:
+        self._op(f"remove:{posixpath.basename(path)}")
+        self.durable.pop(path, None)
+        super().remove(path)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One workload action; must commit at most one WAL record."""
+
+    description: str
+    action: Callable[[GraphSession], None]
+
+
+@dataclass(frozen=True)
+class LogicalState:
+    """What must survive a crash: graph contents + trigger registry."""
+
+    graph: str
+    triggers: tuple[tuple[str, str, bool], ...]
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One enumerated crash: die immediately before operation ``index``."""
+
+    index: int
+    label: str
+    mode: str
+    files: dict[str, bytes]
+    expected: LogicalState
+
+    @property
+    def category(self) -> str:
+        """Operation family the crash interrupts (``append``, ``fsync``...)."""
+        return self.label.split(":", 1)[0]
+
+
+@dataclass
+class CrashMatrix:
+    """The full crash enumeration of one workload run."""
+
+    directory: str
+    labels: list[str]
+    points: list[CrashPoint] = field(default_factory=list)
+    final_state: LogicalState | None = None
+
+    def categories(self) -> set[str]:
+        return {point.category for point in self.points}
+
+
+def capture(session: GraphSession) -> LogicalState:
+    """Snapshot a session's logical state for comparison."""
+    return LogicalState(
+        graph=fingerprint(session.graph),
+        triggers=tuple(
+            (t.name, t.definition.to_pg_trigger(), t.enabled)
+            for t in session.registry.ordered()
+        ),
+    )
+
+
+def recover(directory: str, files: dict[str, bytes]) -> GraphSession:
+    """Open a fresh session over a frozen crash image (a process restart)."""
+    return GraphSession(path=directory, storage_io=MemoryIO(files), clock=CLOCK)
+
+
+def run_workload(
+    steps: list[Step],
+    directory: str = "/crashdb",
+    group_commit_size: int = 1,
+) -> CrashMatrix:
+    """Run ``steps`` once, enumerating every crash point in both modes."""
+    io = CrashableIO()
+    session = GraphSession(
+        path=directory,
+        storage_io=io,
+        clock=CLOCK,
+        group_commit_size=group_commit_size,
+    )
+    states = [capture(session)]
+    spans: list[tuple[int, int]] = []
+    for step in steps:
+        start = io.op_count
+        step.action(session)
+        spans.append((start, io.op_count))
+        states.append(capture(session))
+    session.close()
+    io.finish()
+
+    commit_ops = {
+        mode: [_commit_op(io.labels, start, end, mode) for start, end in spans]
+        for mode in MODES
+    }
+    matrix = CrashMatrix(directory=directory, labels=list(io.labels))
+    matrix.final_state = states[-1]
+    for index in range(len(io.images)):
+        label = io.labels[index] if index < len(io.labels) else "end"
+        for mode in MODES:
+            survivors = [
+                i for i, commit in enumerate(commit_ops[mode]) if commit < index
+            ]
+            expected = states[survivors[-1] + 1] if survivors else states[0]
+            matrix.points.append(
+                CrashPoint(
+                    index=index,
+                    label=label,
+                    mode=mode,
+                    files=io.image(index, mode),
+                    expected=expected,
+                )
+            )
+    return matrix
+
+
+def _commit_op(labels: list[str], start: int, end: int, mode: str) -> int:
+    """The operation index at which a step's effects become crash-proof.
+
+    A crash before (or at) this index loses the step; a crash strictly
+    after it keeps the step.  Steps that write no WAL record (checkpoints,
+    reads) change no logical state, so any index before the step works.
+    """
+    wal = "wal.log"
+    appends = [i for i in range(start, end) if labels[i].startswith(f"append:{wal}")]
+    if not appends:
+        return start - 1
+    if mode == MODE_WRITEBACK:
+        return appends[-1]
+    syncs = [i for i in range(start, end) if labels[i] == f"fsync:{wal}"]
+    if not syncs:
+        # Group commit deferred the fsync past the step: the record only
+        # becomes durable at a later step's (or close()'s) fsync.
+        later = [i for i in range(end, len(labels)) if labels[i] == f"fsync:{wal}"]
+        return later[0] if later else len(labels)
+    return syncs[-1]
+
+
+def iter_assertions(matrix: CrashMatrix) -> Iterator[tuple[CrashPoint, LogicalState]]:
+    """Yield ``(point, recovered_state)`` for every enumerated crash point."""
+    for point in matrix.points:
+        recovered = recover(matrix.directory, point.files)
+        try:
+            yield point, capture(recovered)
+        finally:
+            recovered.close()

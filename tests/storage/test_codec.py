@@ -1,0 +1,226 @@
+"""Delta ↔ WAL codec audit: every delta record kind must round-trip.
+
+Satellite of the durability PR: :mod:`repro.graph.delta` is audited for
+records that do not survive serialize → replay, and the found behaviours
+are pinned here.  The two noteworthy ones:
+
+* cross-kind ordering — a node created, labelled and deleted inside one
+  transaction only replays correctly because the delta keeps a unified
+  operation journal (``operations()``), not just per-kind lists;
+* hand-built deltas (no journal, e.g. constructed by tests or merged from
+  summaries) fall back to a canonical kind ordering that is safe because
+  the transaction layer never records no-op changes.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import pytest
+
+from repro.graph import GraphDelta, PropertyGraph
+from repro.graph.serialization import fingerprint
+from repro.storage import DeltaCodecError, apply_operations, delta_round_trips, encode_delta
+from repro.tx.manager import TransactionManager
+
+
+def committed_delta(graph, mutate):
+    """Run ``mutate(tx)`` in a transaction and return its committed delta."""
+    manager = TransactionManager(graph)
+    with manager.transaction() as tx:
+        mutate(tx)
+    return tx.transaction_delta
+
+
+class TestPerKindRoundTrips:
+    def test_create_node_with_labels_and_properties(self):
+        graph = PropertyGraph()
+        delta = committed_delta(
+            graph,
+            lambda tx: tx.create_node(
+                ["Hospital", "Facility"],
+                {"name": "Sacco", "beds": 20, "opened": _dt.date(1927, 1, 1)},
+            ),
+        )
+        assert delta_round_trips(delta, PropertyGraph())
+
+    def test_create_relationship(self):
+        graph = PropertyGraph()
+        base = PropertyGraph()
+
+        def mutate(tx):
+            a = tx.create_node(["A"])
+            b = tx.create_node(["B"])
+            tx.create_relationship("LINKS", a.id, b.id, {"weight": 1.5})
+
+        delta = committed_delta(graph, mutate)
+        assert delta_round_trips(delta, base)
+
+    def test_deletions(self):
+        graph = PropertyGraph()
+        n1 = graph.create_node(["A"])
+        n2 = graph.create_node(["B"])
+        rel = graph.create_relationship("R", n1.id, n2.id)
+        base = graph.copy()
+
+        def mutate(tx):
+            tx.delete_relationship(rel.id)
+            tx.delete_node(n2.id)
+
+        delta = committed_delta(graph, mutate)
+        assert delta_round_trips(delta, base)
+
+    def test_label_changes(self):
+        graph = PropertyGraph()
+        node = graph.create_node(["Patient"])
+        base = graph.copy()
+
+        def mutate(tx):
+            tx.add_label(node.id, "IcuPatient")
+            tx.remove_label(node.id, "Patient")
+
+        delta = committed_delta(graph, mutate)
+        assert delta_round_trips(delta, base)
+
+    def test_property_changes_on_nodes_and_relationships(self):
+        graph = PropertyGraph()
+        n1 = graph.create_node(["A"], {"x": 1, "gone": "yes"})
+        n2 = graph.create_node(["B"])
+        rel = graph.create_relationship("R", n1.id, n2.id, {"w": 1})
+        base = graph.copy()
+
+        def mutate(tx):
+            tx.set_node_property(n1.id, "x", [1, 2, 3])
+            tx.remove_node_property(n1.id, "gone")
+            tx.set_relationship_property(rel.id, "w", _dt.datetime(2021, 3, 14, 12, 0))
+
+        delta = committed_delta(graph, mutate)
+        assert delta_round_trips(delta, base)
+
+
+class TestInterleaving:
+    def test_create_label_then_delete_same_node_replays(self):
+        # The classic per-kind-list failure mode: without the unified
+        # journal, replay would create the node, then apply the label to a
+        # node it had already deleted (canonical order deletes last — fine)
+        # or delete before labelling (crash).  The journal keeps the exact
+        # interleaving, so replay works for any ordering.
+        graph = PropertyGraph()
+
+        def mutate(tx):
+            node = tx.create_node(["Temp"], {"x": 1})
+            tx.add_label(node.id, "Flagged")
+            keeper = tx.create_node(["Keeper"])
+            tx.delete_node(node.id)
+            tx.set_node_property(keeper.id, "saw", 1)
+
+        delta = committed_delta(graph, mutate)
+        replayed = PropertyGraph()
+        apply_operations(replayed, encode_delta(delta))
+        assert fingerprint(replayed) == fingerprint(graph)
+        assert delta_round_trips(delta, PropertyGraph())
+
+    def test_delete_then_recreate_relationship_endpoint(self):
+        graph = PropertyGraph()
+        a = graph.create_node(["A"])
+        b = graph.create_node(["B"])
+        rel = graph.create_relationship("R", a.id, b.id)
+        base = graph.copy()
+
+        def mutate(tx):
+            tx.delete_relationship(rel.id)
+            tx.delete_node(b.id)
+            c = tx.create_node(["C"])
+            tx.create_relationship("R2", a.id, c.id)
+
+        delta = committed_delta(graph, mutate)
+        assert delta_round_trips(delta, base)
+
+    def test_operations_preserves_exact_recording_order(self):
+        graph = PropertyGraph()
+
+        def mutate(tx):
+            node = tx.create_node(["A"])
+            tx.add_label(node.id, "B")
+            tx.delete_node(node.id)
+
+        delta = committed_delta(graph, mutate)
+        kinds = [kind for kind, _ in delta.operations()]
+        assert kinds == ["create_node", "assign_label", "delete_node"]
+
+
+class TestHandBuiltDeltas:
+    def test_fallback_uses_canonical_safe_ordering(self):
+        # A delta assembled by hand has no journal; operations() must fall
+        # back to creates-first / deletes-last so replay never references a
+        # missing item.
+        from repro.graph.model import Node, Relationship
+
+        delta = GraphDelta()
+        node_a = Node(id=0, labels=frozenset(["A"]), properties={})
+        node_b = Node(id=1, labels=frozenset(["B"]), properties={})
+        rel = Relationship(id=0, type="R", start=0, end=1, properties={})
+        # Record in a deliberately hostile order: deletion first.
+        delta.deleted_relationships.append(rel)
+        delta.created_nodes.extend([node_a, node_b])
+        delta.created_relationships.append(rel)
+        kinds = [kind for kind, _ in delta.operations()]
+        assert kinds.index("create_node") < kinds.index("create_relationship")
+        assert kinds.index("create_relationship") < kinds.index("delete_relationship")
+        replayed = PropertyGraph()
+        apply_operations(replayed, encode_delta(delta))
+        assert replayed.node_count() == 2
+        assert replayed.relationship_count() == 0
+
+    def test_merge_concatenates_journals(self):
+        graph = PropertyGraph()
+        first = committed_delta(graph, lambda tx: tx.create_node(["A"]))
+        second = committed_delta(graph, lambda tx: tx.create_node(["B"]))
+        merged = first.merge(second)
+        kinds = [record.id for kind, record in merged.operations()]
+        assert kinds == [0, 1]
+        assert delta_round_trips(merged, PropertyGraph())
+
+
+class TestNoOpChanges:
+    def test_adding_present_label_records_nothing(self):
+        # Pinned behaviour: the transaction layer does not record no-op
+        # label additions, so the WAL never carries them.
+        graph = PropertyGraph()
+        node = graph.create_node(["A"])
+        delta = committed_delta(graph, lambda tx: tx.add_label(node.id, "A"))
+        assert delta.is_empty()
+
+    def test_removing_absent_property_records_nothing(self):
+        graph = PropertyGraph()
+        node = graph.create_node(["A"])
+        delta = committed_delta(graph, lambda tx: tx.remove_node_property(node.id, "nope"))
+        assert delta.is_empty()
+
+    def test_replaying_noop_records_is_harmless(self):
+        # Even if a hand-built delta contains them, replay tolerates no-ops
+        # (store semantics: adding a present label / removing an absent
+        # property do nothing).
+        graph = PropertyGraph()
+        graph.create_node(["A"], {"x": 1})
+        before = fingerprint(graph)
+        apply_operations(
+            graph,
+            [
+                {"op": "assign_label", "id": 0, "label": "A"},
+                {"op": "remove_property", "item": "node", "id": 0, "key": "nope"},
+            ],
+        )
+        assert fingerprint(graph) == before
+
+
+class TestErrors:
+    def test_unknown_operation_kind_raises(self):
+        with pytest.raises(DeltaCodecError):
+            apply_operations(PropertyGraph(), [{"op": "explode"}])
+
+    def test_replay_against_missing_node_raises_codec_error(self):
+        with pytest.raises(DeltaCodecError):
+            apply_operations(
+                PropertyGraph(), [{"op": "assign_label", "id": 99, "label": "X"}]
+            )

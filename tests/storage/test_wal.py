@@ -1,0 +1,148 @@
+"""Unit tests for the WAL frame format, scanning and group commit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import MemoryIO, WriteAheadLog, encode_record, scan_wal
+from repro.storage.wal import RECORD_MAGIC, _FRAME_HEADER
+
+
+class CountingIO(MemoryIO):
+    """MemoryIO that counts fsync calls (group-commit observability)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.fsyncs = 0
+
+    def fsync(self, path: str) -> None:
+        super().fsync(path)
+        self.fsyncs += 1
+
+
+@pytest.fixture
+def io():
+    return CountingIO()
+
+
+def make_log(io, **kwargs):
+    return WriteAheadLog(io, "/db/wal.log", **kwargs)
+
+
+class TestFraming:
+    def test_record_round_trips(self, io):
+        log = make_log(io)
+        log.append({"type": "tx", "lsn": 1, "ops": []})
+        log.append({"type": "tx", "lsn": 2, "ops": [{"op": "create_node", "id": 0}]})
+        scan = log.scan()
+        assert [r["lsn"] for r in scan.records] == [1, 2]
+        assert scan.torn_bytes == 0
+
+    def test_frame_layout(self):
+        frame = encode_record({"a": 1})
+        magic, length, _crc = _FRAME_HEADER.unpack_from(frame)
+        assert magic == RECORD_MAGIC
+        assert len(frame) == _FRAME_HEADER.size + length
+
+    def test_scan_missing_file_is_empty(self, io):
+        scan = scan_wal(io, "/db/absent.log")
+        assert scan.records == [] and scan.total_size == 0
+
+    def test_unicode_payload_round_trips(self, io):
+        log = make_log(io)
+        log.append({"type": "tx", "lsn": 1, "name": "città ålesund 東京"})
+        assert log.scan().records[0]["name"] == "città ålesund 東京"
+
+
+class TestTornTails:
+    def test_partial_frame_is_a_torn_tail(self, io):
+        log = make_log(io)
+        log.append({"lsn": 1})
+        frame = encode_record({"lsn": 2})
+        io.append_bytes(log.path, frame[: len(frame) - 3])
+        scan = log.scan()
+        assert [r["lsn"] for r in scan.records] == [1]
+        assert scan.torn_bytes == len(frame) - 3
+
+    def test_corrupt_crc_stops_the_scan(self, io):
+        log = make_log(io)
+        log.append({"lsn": 1})
+        log.append({"lsn": 2})
+        # Flip a payload byte of the second record.
+        data = io.files[log.path]
+        data[-1] ^= 0xFF
+        scan = log.scan()
+        assert [r["lsn"] for r in scan.records] == [1]
+        assert scan.torn_bytes > 0
+
+    def test_bad_magic_stops_the_scan(self, io):
+        log = make_log(io)
+        log.append({"lsn": 1})
+        io.append_bytes(log.path, b"GARBAGE-NOT-A-FRAME")
+        scan = log.scan()
+        assert len(scan.records) == 1
+
+    def test_truncate_torn_tail_removes_garbage(self, io):
+        log = make_log(io)
+        log.append({"lsn": 1})
+        io.append_bytes(log.path, b"\x00\x01torn")
+        scan = log.truncate_torn_tail()
+        assert scan.torn_bytes > 0
+        after = log.scan()
+        assert after.torn_bytes == 0
+        assert [r["lsn"] for r in after.records] == [1]
+
+    def test_truncate_is_a_noop_on_clean_log(self, io):
+        log = make_log(io)
+        log.append({"lsn": 1})
+        size = io.file_size(log.path)
+        log.truncate_torn_tail()
+        assert io.file_size(log.path) == size
+
+
+class TestGroupCommit:
+    def test_default_policy_fsyncs_every_append(self, io):
+        log = make_log(io)
+        for lsn in range(1, 4):
+            log.append({"lsn": lsn})
+        assert io.fsyncs == 3
+
+    def test_group_commit_batches_fsyncs(self, io):
+        log = make_log(io, group_commit_size=3)
+        for lsn in range(1, 7):
+            log.append({"lsn": lsn})
+        assert io.fsyncs == 2  # after lsn 3 and lsn 6
+        log.append({"lsn": 7})
+        assert io.fsyncs == 2
+        assert log.unsynced_appends == 1
+        log.sync()
+        assert io.fsyncs == 3
+        assert log.unsynced_appends == 0
+
+    def test_sync_true_overrides_the_batch(self, io):
+        log = make_log(io, group_commit_size=10)
+        log.append({"lsn": 1})
+        assert io.fsyncs == 0
+        log.append({"lsn": 2}, sync=True)
+        assert io.fsyncs == 1
+
+    def test_sync_false_suppresses_the_fsync(self, io):
+        log = make_log(io)
+        log.append({"lsn": 1}, sync=False)
+        assert io.fsyncs == 0
+
+    def test_sync_without_appends_does_nothing(self, io):
+        log = make_log(io)
+        log.sync()
+        assert io.fsyncs == 0
+
+    def test_group_size_must_be_positive(self, io):
+        with pytest.raises(ValueError):
+            make_log(io, group_commit_size=0)
+
+    def test_reset_empties_the_log(self, io):
+        log = make_log(io)
+        log.append({"lsn": 1})
+        log.reset()
+        assert io.file_size(log.path) == 0
+        assert log.scan().records == []
