@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-storage lint bench bench-smoke explain-demo
+.PHONY: test test-storage test-concurrency lint bench bench-smoke explain-demo serve
 
 ## Run the full tier-1 suite (unit + integration + benchmark assertions).
 test:
@@ -12,6 +12,12 @@ test:
 ## matrix and the property-based differential tests.
 test-storage:
 	$(PYTHON) -m pytest tests/storage -q
+
+## The concurrency suite alone: the lock-manager units, the multi-threaded
+## stress tests (lost updates, torn reads, triggers under contention) and the
+## asyncio server tests (incl. 50 concurrent clients + graceful shutdown).
+test-concurrency:
+	$(PYTHON) -m pytest tests/tx tests/integration/test_concurrency_stress.py tests/server -q
 
 ## Static checks (requires ruff: `pip install ruff`; CI installs it).
 lint:
@@ -24,9 +30,10 @@ bench:
 ## The benchmark smoke subset used by CI: the two trigger hot paths, the
 ## planner/plan-cache experiment, the streaming-vs-eager P6 comparison, the
 ## batched-vs-per-activation P7 trigger comparison, the P8 physical
-## operator comparisons (range seek / hash join / top-k) and the P9
-## durability throughput/recovery experiment.  Timings are dumped to
-## BENCH_smoke.json (uploaded as a CI artifact).
+## operator comparisons (range seek / hash join / top-k), the P9
+## durability throughput/recovery experiment and the P10 concurrent-HTTP
+## throughput experiment (qps at 1/2/4/8 clients through the server).
+## Timings are dumped to BENCH_smoke.json (uploaded as a CI artifact).
 bench-smoke:
 	$(PYTHON) -m pytest \
 		benchmarks/test_perf_trigger_overhead.py \
@@ -36,6 +43,7 @@ bench-smoke:
 		benchmarks/test_perf_batched_triggers.py \
 		benchmarks/test_perf_physical_operators.py \
 		benchmarks/test_perf_durability.py \
+		benchmarks/test_perf_concurrency.py \
 		-q --benchmark-columns=min,mean,rounds \
 		--benchmark-json=BENCH_smoke.json
 
@@ -58,3 +66,12 @@ physical-operators-demo:
 ## Print the P9 experiment (in-memory vs fsync vs group-commit throughput).
 durability-demo:
 	$(PYTHON) -c "from repro.bench import perf_durability; print(perf_durability().to_text())"
+
+## Print the P10 experiment (HTTP qps at 1/2/4/8 concurrent clients).
+concurrency-demo:
+	$(PYTHON) -c "from repro.bench import perf_concurrency; print(perf_concurrency().to_text())"
+
+## Start the asyncio HTTP/JSON server on port 7688 (in-memory graphs; pass
+## SERVE_ARGS='--path data --port 7688' etc. for durable storage).
+serve:
+	$(PYTHON) -m repro.server $(SERVE_ARGS)

@@ -26,7 +26,7 @@ The driver-style public API lives at the top level::
     covid = db.graph("covid")
 """
 
-from .cypher.result import QueryStatistics, Result, ResultSummary
+from .cypher.result import QueryStatistics, Result, ResultConsumedError, ResultSummary
 from .database import (
     DEFAULT_GRAPH_NAME,
     GraphDatabase,
@@ -36,6 +36,8 @@ from .database import (
 )
 from .graph import Node, PropertyGraph, Relationship
 from .triggers.session import GraphSession
+from .tx.errors import LockTimeoutError
+from .tx.locks import LockManager
 
 __version__ = "1.1.0"
 
@@ -43,11 +45,14 @@ __all__ = [
     "DEFAULT_GRAPH_NAME",
     "GraphDatabase",
     "GraphSession",
+    "LockManager",
+    "LockTimeoutError",
     "Node",
     "PropertyGraph",
     "QueryStatistics",
     "Relationship",
     "Result",
+    "ResultConsumedError",
     "ResultSummary",
     "connect",
     "default_database",

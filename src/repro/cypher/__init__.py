@@ -42,7 +42,7 @@ from .planner import (
     explain,
     plan_query,
 )
-from .result import QueryResult, QueryStatistics, Result, ResultSummary
+from .result import QueryResult, QueryStatistics, Result, ResultConsumedError, ResultSummary
 
 __all__ = [
     "AccessPath",
@@ -60,6 +60,7 @@ __all__ = [
     "QueryResult",
     "QueryStatistics",
     "Result",
+    "ResultConsumedError",
     "ResultSummary",
     "UnsupportedFeatureError",
     "evaluate",

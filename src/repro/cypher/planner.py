@@ -75,11 +75,13 @@ Two things live here:
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Union
 
 from ..graph.statistics import CardinalityEstimator
+from ..graph.store import _PLAN_TOKENS
 from .ast import (
     BinaryOp,
     CallClause,
@@ -1254,10 +1256,42 @@ class PlanCache:
             store.popitem(last=False)
 
 
+#: Side table of monotonic tokens for graph-likes that cannot carry a
+#: ``plan_token`` attribute (e.g. ``__slots__`` without ``__dict__``).
+#: Weakly keyed, so dead graphs do not pin cache identities alive.
+_foreign_tokens: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_foreign_token_lock = threading.Lock()
+
+
 def _graph_token(graph) -> int:
-    """A stable per-graph-instance identity for plan-cache keys."""
+    """A stable, never-reused per-graph-instance identity for plan-cache keys.
+
+    ``PropertyGraph`` mints its token from a process-wide monotonic counter
+    at construction.  Graph-likes that arrive without one are assigned a
+    token from the *same* counter on first planning — first by setting the
+    attribute, else via a weak side table.  ``id(graph)`` is never used:
+    the allocator recycles addresses, so after a graph died a newcomer
+    could alias its id and silently hit the dead graph's cached plans.
+    """
     token = getattr(graph, "plan_token", None)
-    return id(graph) if token is None else token
+    if token is not None:
+        return token
+    with _foreign_token_lock:
+        token = getattr(graph, "plan_token", None)  # racing assigner won
+        if token is not None:
+            return token
+        token = next(_PLAN_TOKENS)
+        try:
+            graph.plan_token = token
+            return token
+        except (AttributeError, TypeError):
+            pass
+        try:
+            return _foreign_tokens.setdefault(graph, token)
+        except TypeError:
+            # Not weak-referenceable either; per-call tokens only make the
+            # cache miss (never alias), which is the safe failure mode.
+            return token
 
 
 def _graph_epoch(graph) -> int:

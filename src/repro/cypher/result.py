@@ -22,6 +22,19 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
 
 
+class ResultConsumedError(Exception):
+    """Records were requested from a :class:`Result` that no longer has any.
+
+    Raised — matching driver semantics — when a result is iterated (or
+    ``peek``/``single``/eagerly accessed) after its record stream was
+    finalised by :meth:`Result.consume`, :meth:`Result.close` or a
+    previous full iteration.  The remaining records were discarded at that
+    point; returning an empty iterator instead would silently hide the
+    consumer bug.  ``summary()``/``consume()``/``keys()`` remain valid on
+    a consumed result.
+    """
+
+
 @dataclass
 class QueryStatistics:
     """Counters describing the write effects of one query execution."""
@@ -170,6 +183,7 @@ class Result:
     # ------------------------------------------------------------------
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
+        self._require_records()
         return self
 
     def __next__(self) -> dict[str, Any]:
@@ -183,9 +197,25 @@ class Result:
             raise StopIteration
         return self._pull()
 
+    def _require_records(self) -> None:
+        """Guard record access on a finalised, non-materialised result.
+
+        Once the stream was finalised without buffering (a completed
+        iteration, :meth:`consume` or :meth:`close`), the records are gone
+        for good — consuming the result a second time is a caller bug that
+        must surface, not an empty iterator.  Materialised (eager) results
+        keep their buffer and stay freely re-readable.
+        """
+        if self._finalized and self._materialized is None:
+            raise ResultConsumedError(
+                "The result has already been consumed: its records were streamed "
+                "out (or discarded by consume()/close()) and are no longer "
+                "available.  Re-run the query, or materialise the result with "
+                ".rows before consuming it."
+            )
+
     def _pull(self) -> dict[str, Any]:
-        if self._finalized:
-            raise StopIteration
+        self._require_records()
         try:
             return next(self._iterator)
         except StopIteration:
@@ -302,6 +332,7 @@ class Result:
         mutating lists handed out to callers.
         """
         if self._materialized is None:
+            self._require_records()
             drained = list(self._peeked)
             self._peeked.clear()
             if not self._finalized:

@@ -28,6 +28,7 @@ A process-wide default database makes the one-liner work::
 
 from __future__ import annotations
 
+import contextlib
 import datetime as _dt
 import os
 import re
@@ -38,6 +39,7 @@ from .graph.store import PropertyGraph
 from .schema.schema import PGSchema
 from .storage import StorageIO
 from .triggers.session import GraphSession
+from .tx.locks import LockManager
 
 #: Name used when callers do not pick one.
 DEFAULT_GRAPH_NAME = "default"
@@ -64,6 +66,8 @@ class GraphDatabase:
         storage_io: StorageIO | None = None,
         group_commit_size: int = 1,
         checkpoint_every: int | None = None,
+        thread_safe: bool = False,
+        lock_timeout: float | None = None,
     ) -> None:
         self._clock = clock
         self._max_cascade_depth = max_cascade_depth
@@ -74,11 +78,23 @@ class GraphDatabase:
         self._checkpoint_every = checkpoint_every
         self._sessions: dict[str, GraphSession] = {}
         self._lock = threading.RLock()
+        # One lock manager per database: all sessions share it, keyed by
+        # graph name, so cross-graph operations (drop, server shutdown) can
+        # coordinate with per-graph readers and writers.
+        self._lock_timeout = lock_timeout
+        self.lock_manager: LockManager | None = (
+            LockManager(default_timeout=lock_timeout) if thread_safe else None
+        )
 
     @property
     def durable(self) -> bool:
         """True when graphs persist under the database directory."""
         return self._path is not None
+
+    @property
+    def thread_safe(self) -> bool:
+        """True when sessions serialise access through the shared lock manager."""
+        return self.lock_manager is not None
 
     # ------------------------------------------------------------------
     # catalog management
@@ -113,6 +129,9 @@ class GraphDatabase:
                     storage_io=self._storage_io,
                     group_commit_size=self._group_commit_size,
                     checkpoint_every=self._checkpoint_every,
+                    lock_manager=self.lock_manager,
+                    lock_timeout=self._lock_timeout,
+                    lock_name=name,
                 )
             else:
                 session = GraphSession(
@@ -121,6 +140,9 @@ class GraphDatabase:
                     clock=self._clock,
                     max_cascade_depth=self._max_cascade_depth,
                     batched_triggers=self._batched_triggers,
+                    lock_manager=self.lock_manager,
+                    lock_timeout=self._lock_timeout,
+                    lock_name=name,
                 )
             self._sessions[name] = session
             return session
@@ -130,15 +152,25 @@ class GraphDatabase:
 
         For a durable database the graph's persisted files are deleted as
         well, so the name no longer resurrects on the next access.
+
+        In thread-safe mode the drop takes the graph's exclusive write lock
+        first, so in-flight queries finish before the session is closed
+        (flushing any pending group-commit records) and the files vanish.
         """
         with self._lock:
             session = self._sessions.pop(name, None)
             if session is None and name not in self._persisted_graphs():
                 raise KeyError(f"no graph named {name!r}")
-            if session is not None:
-                session.close()
-            if self._path is not None:
-                self._delete_persisted(name)
+            drop_guard = (
+                self.lock_manager.write(name, timeout=self._lock_timeout)
+                if self.lock_manager is not None
+                else contextlib.nullcontext()
+            )
+            with drop_guard:
+                if session is not None:
+                    session.close()
+                if self._path is not None:
+                    self._delete_persisted(name)
 
     def list_graphs(self) -> list[str]:
         """The catalog's graph names: open sessions first, then any

@@ -1,0 +1,60 @@
+"""Command-line entry point: ``python -m repro.server``."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+
+from ..database import GraphDatabase
+from .app import DatabaseServer
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a repro graph database over HTTP/JSON.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7688)
+    parser.add_argument(
+        "--path",
+        default=None,
+        help="database directory for durable graphs (in-memory when omitted)",
+    )
+    parser.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=30.0,
+        help="seconds before a queued statement gives up with 503 (default 30)",
+    )
+    parser.add_argument("--max-connections", type=int, default=128)
+    parser.add_argument("--workers", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    database = GraphDatabase(
+        path=args.path, thread_safe=True, lock_timeout=args.lock_timeout
+    )
+    server = DatabaseServer(
+        database,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        workers=args.workers,
+    )
+
+    async def serve() -> None:
+        await server.start()
+        print(f"serving on {server.address} (Ctrl-C for graceful shutdown)")
+        stopped = asyncio.Event()
+        try:
+            await stopped.wait()
+        finally:
+            await server.stop()
+
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(serve())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,444 @@
+"""An asyncio HTTP/JSON front door for a :class:`~repro.database.GraphDatabase`.
+
+The server is deliberately dependency-free: a small hand-rolled HTTP/1.1
+implementation on top of ``asyncio.start_server`` with keep-alive support.
+The engine itself is synchronous, so every request body is executed on a
+thread-pool executor; the database **must** be thread-safe (constructed
+with ``thread_safe=True``) — its per-graph lock manager is what makes
+concurrent requests sound.
+
+Endpoints (all responses are JSON):
+
+========  ============  =====================================================
+method    path          body / behaviour
+========  ============  =====================================================
+GET       /health       liveness + catalog size
+GET       /graphs       ``{"graphs": [...]}``
+POST      /run          ``{"graph", "query", "parameters"}`` → columns, rows,
+                        summary counters
+POST      /explain      ``{"graph", "query"}`` → plan text
+POST      /trigger      ``{"graph", "action": install|drop|stop|start, ...}``
+========  ============  =====================================================
+
+Graceful shutdown (:meth:`DatabaseServer.stop`) stops accepting, drains
+in-flight requests, flushes any group-commit-buffered WAL records,
+checkpoints durable graphs and closes every session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from ..cypher.errors import CypherError
+from ..cypher.result import ResultConsumedError
+from ..database import DEFAULT_GRAPH_NAME, GraphDatabase
+from ..graph.errors import GraphError
+from ..triggers.errors import TriggerError
+from ..tx.errors import LockTimeoutError, TransactionError
+from .wire import record_to_wire
+
+_MAX_REQUEST_BYTES = 4 * 1024 * 1024
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+class _HttpError(Exception):
+    """Internal: abort request processing with a specific status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class DatabaseServer:
+    """Serve a thread-safe :class:`GraphDatabase` over HTTP/JSON."""
+
+    def __init__(
+        self,
+        database: GraphDatabase | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int = 128,
+        workers: int = 8,
+    ) -> None:
+        if database is None:
+            database = GraphDatabase(thread_safe=True)
+        if not database.thread_safe:
+            raise ValueError(
+                "DatabaseServer needs a thread-safe database: construct it "
+                "with GraphDatabase(thread_safe=True) so concurrent requests "
+                "serialise through the per-graph lock manager"
+            )
+        self.database = database
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-server"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections = 0
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._conn_writers: set[asyncio.StreamWriter] = set()
+        self._active_requests = 0
+        self._quiesced = asyncio.Event()
+        self._quiesced.set()
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections; resolves the real port."""
+        self._server = await asyncio.start_server(self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain, flush, checkpoint, close."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Every in-flight request runs to completion and sends its
+        # response (connections re-check the stopping flag between
+        # requests); idle keep-alive connections are parked in a read, so
+        # once the last active request has drained we close their
+        # transports — the pending read sees EOF and the handler exits on
+        # its own (cancelling the tasks instead is noisy in asyncio).
+        await self._quiesced.wait()
+        for writer in list(self._conn_writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, self._flush_and_close)
+        self._executor.shutdown(wait=True)
+
+    def _flush_and_close(self) -> None:
+        if self.database.durable:
+            self.database.checkpoint()
+        self.database.close()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        if self._connections >= self.max_connections:
+            await self._send(writer, 503, {"error": "server at connection limit"}, close=True)
+            writer.close()
+            return
+        self._connections += 1
+        self._conn_writers.add(writer)
+        try:
+            await self._request_loop(reader, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections -= 1
+            self._conn_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _request_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while not self._stopping:
+            try:
+                head = await reader.readuntil(b"\r\n\r\n")
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return  # client went away between requests
+            except asyncio.LimitOverrunError:
+                await self._send(writer, 413, {"error": "headers too large"}, close=True)
+                return
+            if len(head) > _MAX_HEADER_BYTES:
+                await self._send(writer, 413, {"error": "headers too large"}, close=True)
+                return
+            try:
+                method, path, headers = self._parse_head(head)
+            except ValueError as exc:
+                await self._send(writer, 400, {"error": str(exc)}, close=True)
+                return
+            length = int(headers.get("content-length", "0") or "0")
+            if length > _MAX_REQUEST_BYTES:
+                await self._send(writer, 413, {"error": "request body too large"}, close=True)
+                return
+            body = await reader.readexactly(length) if length else b""
+            keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+            self._begin_request()
+            try:
+                status, payload = await self._dispatch(method, path, body)
+                await self._send(writer, status, payload, close=not keep_alive)
+            finally:
+                self._end_request()
+            if not keep_alive:
+                return
+
+    def _begin_request(self) -> None:
+        self._active_requests += 1
+        self._quiesced.clear()
+
+    def _end_request(self) -> None:
+        self._active_requests -= 1
+        if self._active_requests == 0:
+            self._quiesced.set()
+
+    @staticmethod
+    def _parse_head(head: bytes) -> tuple[str, str, dict[str, str]]:
+        try:
+            text = head.decode("latin-1")
+        except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+            raise ValueError("undecodable request head") from exc
+        lines = text.split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise ValueError(f"malformed request line: {lines[0]!r}")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise ValueError(f"malformed header line: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), path, headers
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        close: bool = False,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        try:
+            if path == "/health" and method == "GET":
+                return 200, {"status": "ok", "graphs": len(self.database.list_graphs())}
+            if path == "/graphs" and method == "GET":
+                return 200, {"graphs": self.database.list_graphs()}
+            if path in ("/run", "/explain", "/trigger"):
+                if method != "POST":
+                    return 405, {"error": f"{path} requires POST"}
+                request = self._parse_json(body)
+                handler = {
+                    "/run": self._handle_run,
+                    "/explain": self._handle_explain,
+                    "/trigger": self._handle_trigger,
+                }[path]
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(self._executor, handler, request)
+            return 404, {"error": f"no route for {method} {path}"}
+        except _HttpError as exc:
+            return exc.status, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - last-resort response
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    @staticmethod
+    def _parse_json(body: bytes) -> dict[str, Any]:
+        if not body:
+            raise _HttpError(400, "request body must be a JSON object")
+        try:
+            request = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(request, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return request
+
+    def _session(self, request: dict[str, Any]):
+        graph = request.get("graph", DEFAULT_GRAPH_NAME)
+        if not isinstance(graph, str):
+            raise _HttpError(400, "'graph' must be a string")
+        return self.database.graph(graph)
+
+    # ------------------------------------------------------------------
+    # handlers (run on the executor threads)
+    # ------------------------------------------------------------------
+
+    def _handle_run(self, request: dict[str, Any]) -> tuple[int, dict]:
+        query = request.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise _HttpError(400, "'query' must be a non-empty string")
+        parameters = request.get("parameters")
+        if parameters is not None and not isinstance(parameters, dict):
+            raise _HttpError(400, "'parameters' must be an object")
+        session = self._session(request)
+        try:
+            result = session.run(query, parameters)
+            rows = [record_to_wire(record) for record in result.rows]
+            summary = result.consume()
+        except LockTimeoutError as exc:
+            return 503, {"error": str(exc), "graph": exc.graph, "mode": exc.mode}
+        except (CypherError, GraphError, TriggerError, ValueError) as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        except (TransactionError, ResultConsumedError, RuntimeError) as exc:
+            return 409, {"error": f"{type(exc).__name__}: {exc}"}
+        return 200, {
+            "columns": result.keys(),
+            "rows": rows,
+            "summary": {
+                "counters": summary.counters.as_dict(),
+                "contains_updates": summary.counters.contains_updates(),
+            },
+        }
+
+    def _handle_explain(self, request: dict[str, Any]) -> tuple[int, dict]:
+        query = request.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise _HttpError(400, "'query' must be a non-empty string")
+        session = self._session(request)
+        try:
+            return 200, {"plan": session.explain(query)}
+        except LockTimeoutError as exc:
+            return 503, {"error": str(exc)}
+        except (CypherError, ValueError) as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def _handle_trigger(self, request: dict[str, Any]) -> tuple[int, dict]:
+        action = request.get("action")
+        session = self._session(request)
+        try:
+            if action == "install":
+                source = request.get("trigger")
+                if not isinstance(source, str) or not source.strip():
+                    raise _HttpError(400, "'trigger' must be CREATE TRIGGER text")
+                installed = session.create_trigger(source)
+                return 200, {"installed": installed.name}
+            name = request.get("name")
+            if not isinstance(name, str) or not name:
+                raise _HttpError(400, "'name' must be a trigger name")
+            if action == "drop":
+                session.drop_trigger(name)
+                return 200, {"dropped": name}
+            if action == "stop":
+                session.stop_trigger(name)
+                return 200, {"stopped": name}
+            if action == "start":
+                session.start_trigger(name)
+                return 200, {"started": name}
+            raise _HttpError(400, "'action' must be install, drop, stop or start")
+        except LockTimeoutError as exc:
+            return 503, {"error": str(exc)}
+        except TriggerError as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+
+
+class ServerHandle:
+    """A :class:`DatabaseServer` running on a background event-loop thread.
+
+    The synchronous façade tests and benchmarks want: start, read
+    ``address``, and ``stop()`` when done (also usable as a context
+    manager).
+    """
+
+    def __init__(self, server: DatabaseServer) -> None:
+        self.server = server
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server-loop", daemon=True
+        )
+        self._startup_error: BaseException | None = None
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to starter
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        self._loop.run_forever()
+        self._loop.run_until_complete(self.server.stop())
+        self._loop.close()
+
+    def start(self) -> "ServerHandle":
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join()
+
+    @property
+    def address(self) -> str:
+        return self.server.address
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def __enter__(self) -> "ServerHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def run_in_thread(
+    database: GraphDatabase | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs: Any,
+) -> ServerHandle:
+    """Start a :class:`DatabaseServer` on a background thread and return its handle."""
+    server = DatabaseServer(database, host=host, port=port, **kwargs)
+    return ServerHandle(server).start()

@@ -1,0 +1,50 @@
+"""Wire encoding: engine values → JSON-safe payloads.
+
+The HTTP server returns query records as JSON.  Property values already
+have a canonical JSON form (see :mod:`repro.graph.serialization`, which the
+WAL shares); this module adds the *entity* encodings — nodes, relationships
+and paths never appear in storage records but routinely appear in RETURN
+clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..graph.model import Node, Relationship
+from ..graph.serialization import encode_value
+
+
+def to_wire(value: Any) -> Any:
+    """Encode one result value for the JSON response body."""
+    if isinstance(value, Node):
+        return {
+            "$type": "node",
+            "id": value.id,
+            "labels": sorted(value.labels),
+            "properties": {k: to_wire(v) for k, v in value.properties.items()},
+        }
+    if isinstance(value, Relationship):
+        return {
+            "$type": "relationship",
+            "id": value.id,
+            "type": value.type,
+            "start": value.start,
+            "end": value.end,
+            "properties": {k: to_wire(v) for k, v in value.properties.items()},
+        }
+    if isinstance(value, dict):
+        return {key: to_wire(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_wire(item) for item in value]
+    try:
+        return encode_value(value)
+    except ValueError:
+        # Aggregates can surface engine-internal values (e.g. frozensets);
+        # degrade to their textual form rather than failing the response.
+        return repr(value)
+
+
+def record_to_wire(record: dict[str, Any]) -> dict[str, Any]:
+    """Encode one result record (column → value) for the response body."""
+    return {column: to_wire(value) for column, value in record.items()}

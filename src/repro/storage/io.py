@@ -22,6 +22,7 @@ determines crash safety.
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import PurePosixPath
 from typing import BinaryIO
 
@@ -68,6 +69,14 @@ class StorageIO:
         """Delete ``path`` if it exists."""
         raise NotImplementedError
 
+    def release(self, path: str) -> None:
+        """Release any cached handle for ``path`` without touching the file.
+
+        A no-op for implementations that cache nothing.  A ``StorageIO``
+        shared between several durable stores must support releasing one
+        store's handles on close without invalidating every other store's
+        (``close`` would)."""
+
     def close(self) -> None:
         """Release any cached handles (idempotent)."""
 
@@ -79,12 +88,15 @@ class FileIO(StorageIO):
     per commit, and reopening the log for every commit would dominate the
     group-commit benchmark.  Cached handles are flushed to the OS on every
     append (so concurrent readers and :meth:`read_bytes` observe the
-    bytes), and invalidated by any operation that replaces or truncates
-    the file.
+    bytes), and invalidated by any operation that replaces, truncates or
+    removes the file.  The handle cache is guarded by a lock — one FileIO
+    may be shared by every graph of a database, with commits arriving from
+    different server threads.
     """
 
     def __init__(self) -> None:
         self._append_handles: dict[str, BinaryIO] = {}
+        self._lock = threading.RLock()
 
     def exists(self, path: str) -> bool:
         return os.path.exists(path)
@@ -99,31 +111,34 @@ class FileIO(StorageIO):
         return sorted(os.listdir(path))
 
     def read_bytes(self, path: str) -> bytes:
-        handle = self._append_handles.get(path)
-        if handle is not None:
-            handle.flush()
+        with self._lock:
+            handle = self._append_handles.get(path)
+            if handle is not None:
+                handle.flush()
         with open(path, "rb") as reader:
             return reader.read()
 
     def write_bytes(self, path: str, data: bytes) -> None:
-        self._drop_handle(path)
+        self.release(path)
         with open(path, "wb") as writer:
             writer.write(data)
 
     def append_bytes(self, path: str, data: bytes) -> None:
-        handle = self._append_handles.get(path)
-        if handle is None:
-            handle = open(path, "ab")
-            self._append_handles[path] = handle
-        handle.write(data)
-        handle.flush()
+        with self._lock:
+            handle = self._append_handles.get(path)
+            if handle is None:
+                handle = open(path, "ab")
+                self._append_handles[path] = handle
+            handle.write(data)
+            handle.flush()
 
     def fsync(self, path: str) -> None:
-        handle = self._append_handles.get(path)
-        if handle is not None:
-            handle.flush()
-            os.fsync(handle.fileno())
-            return
+        with self._lock:
+            handle = self._append_handles.get(path)
+            if handle is not None:
+                handle.flush()
+                os.fsync(handle.fileno())
+                return
         fd = os.open(path, os.O_RDONLY)
         try:
             os.fsync(fd)
@@ -131,29 +146,37 @@ class FileIO(StorageIO):
             os.close(fd)
 
     def replace(self, source: str, destination: str) -> None:
-        self._drop_handle(source)
-        self._drop_handle(destination)
+        self.release(source)
+        self.release(destination)
         os.replace(source, destination)
 
     def truncate(self, path: str, size: int) -> None:
-        self._drop_handle(path)
+        self.release(path)
         os.truncate(path, size)
 
     def remove(self, path: str) -> None:
-        self._drop_handle(path)
+        self.release(path)
         try:
             os.remove(path)
         except FileNotFoundError:
             pass
 
-    def close(self) -> None:
-        for handle in self._append_handles.values():
-            handle.close()
-        self._append_handles.clear()
-
-    def _drop_handle(self, path: str) -> None:
-        handle = self._append_handles.pop(path, None)
+    def release(self, path: str) -> None:
+        with self._lock:
+            handle = self._append_handles.pop(path, None)
         if handle is not None:
+            handle.close()
+
+    def cached_handle_count(self) -> int:
+        """Number of live append handles (fd-leak checks in tests)."""
+        with self._lock:
+            return len(self._append_handles)
+
+    def close(self) -> None:
+        with self._lock:
+            handles = list(self._append_handles.values())
+            self._append_handles.clear()
+        for handle in handles:
             handle.close()
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
@@ -87,6 +88,11 @@ class DurableStore:
         group_commit_size: int = 1,
     ) -> None:
         self.directory = os.fspath(path)
+        # A store that minted its own IO may close it outright; a shared IO
+        # (one FileIO serving every graph of a database) must only have
+        # *this* store's handles released, or closing one graph would tear
+        # down every sibling's cached WAL handle.
+        self._owns_io = io is None
         self.io = io or FileIO()
         self.wal_path = os.path.join(self.directory, WAL_NAME)
         self.snapshot_path = os.path.join(self.directory, SNAPSHOT_NAME)
@@ -94,6 +100,9 @@ class DurableStore:
         self.wal = WriteAheadLog(self.io, self.wal_path, group_commit_size=group_commit_size)
         self._next_lsn = 1
         self._records_since_checkpoint = 0
+        # LSNs must stay strictly monotonic even when commit records (graph
+        # write lock held) interleave with DDL from another thread.
+        self._lsn_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # recovery
@@ -224,10 +233,11 @@ class DurableStore:
         return lsn
 
     def _allocate_lsn(self) -> int:
-        lsn = self._next_lsn
-        self._next_lsn += 1
-        self._records_since_checkpoint += 1
-        return lsn
+        with self._lsn_lock:
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            self._records_since_checkpoint += 1
+            return lsn
 
     # ------------------------------------------------------------------
     # checkpointing and lifecycle
@@ -266,9 +276,19 @@ class DurableStore:
         self.wal.sync()
 
     def close(self) -> None:
-        """Flush pending appends and release file handles."""
+        """Flush pending appends and release file handles.
+
+        Group-commit-deferred WAL records are fsynced *before* any handle
+        is dropped, so a close can never silently discard an acknowledged
+        commit.  A store that owns its IO closes it; a store on a shared
+        IO releases only its own files' cached handles.
+        """
         self.sync()
-        self.io.close()
+        if self._owns_io:
+            self.io.close()
+        else:
+            for path in (self.wal_path, self.snapshot_path, self.snapshot_tmp_path):
+                self.io.release(path)
 
 
 def _payload_crc(payload: Mapping[str, Any]) -> int:

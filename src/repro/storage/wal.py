@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping
@@ -99,6 +100,13 @@ class WriteAheadLog:
         self.path = path
         self.group_commit_size = group_commit_size
         self._unsynced_appends = 0
+        # The group-commit buffer counter and the append/fsync interleaving
+        # are process-global state per log file; serialise them so two
+        # threads can never interleave their frames or double-count an
+        # fsync window.  (Commits on one graph already hold the graph's
+        # write lock, but DDL records and explicit `flush()` calls may
+        # arrive from other threads.)
+        self._lock = threading.RLock()
 
     @property
     def unsynced_appends(self) -> int:
@@ -112,16 +120,20 @@ class WriteAheadLog:
         it (the caller takes responsibility), ``None`` applies the
         ``group_commit_size`` batching knob.
         """
-        self.io.append_bytes(self.path, encode_record(payload))
-        self._unsynced_appends += 1
-        if sync is True or (sync is None and self._unsynced_appends >= self.group_commit_size):
-            self.sync()
+        with self._lock:
+            self.io.append_bytes(self.path, encode_record(payload))
+            self._unsynced_appends += 1
+            if sync is True or (
+                sync is None and self._unsynced_appends >= self.group_commit_size
+            ):
+                self.sync()
 
     def sync(self) -> None:
         """Flush pending appends to stable storage."""
-        if self._unsynced_appends and self.io.exists(self.path):
-            self.io.fsync(self.path)
-        self._unsynced_appends = 0
+        with self._lock:
+            if self._unsynced_appends and self.io.exists(self.path):
+                self.io.fsync(self.path)
+            self._unsynced_appends = 0
 
     def scan(self) -> WalScan:
         """Read all valid records currently in the log."""
@@ -141,7 +153,8 @@ class WriteAheadLog:
 
     def reset(self) -> None:
         """Empty the log (after a successful checkpoint) and fsync."""
-        if self.io.exists(self.path):
-            self.io.truncate(self.path, 0)
-            self.io.fsync(self.path)
-        self._unsynced_appends = 0
+        with self._lock:
+            if self.io.exists(self.path):
+                self.io.truncate(self.path, 0)
+                self.io.fsync(self.path)
+            self._unsynced_appends = 0

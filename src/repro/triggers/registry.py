@@ -9,6 +9,7 @@ back triggers sorted by it.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Iterable
 
 from ..cypher.ast import (
@@ -45,6 +46,10 @@ class TriggerRegistry:
         # field that callers may toggle directly, so it must never be baked
         # into a cached result.
         self._order_cache: dict[tuple, tuple[InstalledTrigger, ...]] = {}
+        # DDL and the order-cache rebuild may race with trigger evaluation
+        # on other graphs' threads that share this registry object; the
+        # lock keeps install/drop atomic with respect to cache rebuilds.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # installation
@@ -58,27 +63,32 @@ class TriggerRegistry:
         :class:`TriggerRegistrationError` on duplicate names.
         """
         definition = parse_trigger(trigger) if isinstance(trigger, str) else trigger
-        if definition.name in self._triggers:
-            raise TriggerRegistrationError(f"trigger {definition.name!r} is already installed")
         validate_definition(definition)
-        installed = InstalledTrigger(definition=definition, sequence=next(self._sequence))
-        self._triggers[definition.name] = installed
-        self._order_cache.clear()
-        return installed
+        with self._lock:
+            if definition.name in self._triggers:
+                raise TriggerRegistrationError(
+                    f"trigger {definition.name!r} is already installed"
+                )
+            installed = InstalledTrigger(definition=definition, sequence=next(self._sequence))
+            self._triggers[definition.name] = installed
+            self._order_cache.clear()
+            return installed
 
     def drop(self, name: str) -> TriggerDefinition:
         """Remove a trigger by name, returning its definition."""
-        installed = self._require(name)
-        del self._triggers[name]
-        self._order_cache.clear()
-        return installed.definition
+        with self._lock:
+            installed = self._require(name)
+            del self._triggers[name]
+            self._order_cache.clear()
+            return installed.definition
 
     def drop_all(self) -> int:
         """Remove every trigger, returning how many were removed."""
-        count = len(self._triggers)
-        self._triggers.clear()
-        self._order_cache.clear()
-        return count
+        with self._lock:
+            count = len(self._triggers)
+            self._triggers.clear()
+            self._order_cache.clear()
+            return count
 
     def stop(self, name: str) -> None:
         """Pause a trigger (it stays installed but no longer activates)."""
@@ -113,14 +123,15 @@ class TriggerRegistry:
     ) -> list[InstalledTrigger]:
         """Installed triggers sorted by creation sequence, optionally filtered."""
         times = tuple(times) if times is not None else None  # may be a one-shot iterator
-        cached = self._order_cache.get(times)
-        if cached is None:
-            selected = sorted(self._triggers.values(), key=lambda t: t.sequence)
-            if times is not None:
-                wanted = set(times)
-                selected = [t for t in selected if t.definition.time in wanted]
-            cached = tuple(selected)
-            self._order_cache[times] = cached
+        with self._lock:
+            cached = self._order_cache.get(times)
+            if cached is None:
+                selected = sorted(self._triggers.values(), key=lambda t: t.sequence)
+                if times is not None:
+                    wanted = set(times)
+                    selected = [t for t in selected if t.definition.time in wanted]
+                cached = tuple(selected)
+                self._order_cache[times] = cached
         if enabled_only:
             return [t for t in cached if t.enabled]
         return list(cached)

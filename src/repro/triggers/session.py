@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import contextlib
 import datetime as _dt
+import threading
 import time
 from typing import Any, Callable, Iterator, Mapping, Optional
 
@@ -38,6 +39,7 @@ from ..graph.store import PropertyGraph
 from ..schema.schema import PGSchema
 from ..schema.validation import Violation, validate_graph
 from ..storage import DurableStore, StorageIO, TriggerState
+from ..tx.locks import LockManager
 from ..tx.manager import TransactionManager
 from ..tx.transaction import Transaction
 from .ast import InstalledTrigger, TriggerDefinition
@@ -47,7 +49,24 @@ from .termination import TerminationReport, analyse_termination
 
 
 class GraphSession:
-    """A property graph with transactions, Cypher execution and PG-Triggers."""
+    """A property graph with transactions, Cypher execution and PG-Triggers.
+
+    A session is single-threaded by default (the streaming read path of
+    PR 3 hands out lazily-consumed results, which only one consumer can
+    own).  Constructed with ``thread_safe=True`` — or with the shared
+    ``lock_manager`` a :class:`~repro.database.GraphDatabase` passes in —
+    it becomes safe to use from many threads at once:
+
+    * statements with side effects, explicit :meth:`transaction` blocks,
+      trigger DDL and checkpoints run under the graph's exclusive write
+      lock (reentrant per thread, so cascades never self-deadlock);
+    * read-only auto-commit statements take the shared read lock and are
+      drained *while holding it* — each returns a fully-buffered snapshot
+      result: concurrent readers proceed in parallel, and no reader can
+      observe a half-applied transaction (no torn reads);
+    * lock waits bounded by ``lock_timeout`` raise the typed
+      :class:`~repro.tx.errors.LockTimeoutError` without touching state.
+    """
 
     def __init__(
         self,
@@ -60,6 +79,10 @@ class GraphSession:
         storage_io: StorageIO | None = None,
         group_commit_size: int = 1,
         checkpoint_every: int | None = None,
+        thread_safe: bool = False,
+        lock_manager: LockManager | None = None,
+        lock_timeout: float | None = None,
+        lock_name: str | None = None,
     ) -> None:
         if path is not None and graph is not None:
             raise ValueError(
@@ -89,6 +112,15 @@ class GraphSession:
         self._open_transaction: Optional[Transaction] = None
         self._active_result: Optional[Result] = None
         self._checkpointing = False
+        if thread_safe or lock_manager is not None:
+            self._locks: LockManager | None = lock_manager or LockManager(
+                default_timeout=lock_timeout
+            )
+        else:
+            self._locks = None
+        self._lock_timeout = lock_timeout
+        self._lock_name = lock_name or self.graph.name or "graph"
+        self._tx_owner: int | None = None
         self.manager.add_before_commit_hook(self._on_before_commit)
         self.manager.add_after_commit_hook(self._on_after_commit)
         if self.store is not None:
@@ -105,36 +137,59 @@ class GraphSession:
                 self.manager.add_after_commit_hook(self._maybe_auto_checkpoint)
 
     # ------------------------------------------------------------------
+    # concurrency guards
+    # ------------------------------------------------------------------
+
+    @property
+    def thread_safe(self) -> bool:
+        """True when this session serialises access through a lock manager."""
+        return self._locks is not None
+
+    def _write_guard(self):
+        if self._locks is None:
+            return contextlib.nullcontext()
+        return self._locks.write(self._lock_name, timeout=self._lock_timeout)
+
+    def _read_guard(self):
+        if self._locks is None:
+            return contextlib.nullcontext()
+        return self._locks.read(self._lock_name, timeout=self._lock_timeout)
+
+    # ------------------------------------------------------------------
     # trigger management
     # ------------------------------------------------------------------
 
     def create_trigger(self, trigger: str | TriggerDefinition) -> InstalledTrigger:
         """Install a PG-Trigger (CREATE TRIGGER text or definition object)."""
-        installed = self.registry.install(trigger)
-        if self.store is not None:
-            self.store.log_trigger(
-                "install", installed.name, source=installed.definition.to_pg_trigger()
-            )
-        return installed
+        with self._write_guard():
+            installed = self.registry.install(trigger)
+            if self.store is not None:
+                self.store.log_trigger(
+                    "install", installed.name, source=installed.definition.to_pg_trigger()
+                )
+            return installed
 
     def drop_trigger(self, name: str) -> TriggerDefinition:
         """Remove a trigger by name."""
-        definition = self.registry.drop(name)
-        if self.store is not None:
-            self.store.log_trigger("drop", name)
-        return definition
+        with self._write_guard():
+            definition = self.registry.drop(name)
+            if self.store is not None:
+                self.store.log_trigger("drop", name)
+            return definition
 
     def stop_trigger(self, name: str) -> None:
         """Pause a trigger without dropping it."""
-        self.registry.stop(name)
-        if self.store is not None:
-            self.store.log_trigger("stop", name)
+        with self._write_guard():
+            self.registry.stop(name)
+            if self.store is not None:
+                self.store.log_trigger("stop", name)
 
     def start_trigger(self, name: str) -> None:
         """Resume a paused trigger."""
-        self.registry.start(name)
-        if self.store is not None:
-            self.store.log_trigger("start", name)
+        with self._write_guard():
+            self.registry.start(name)
+            if self.store is not None:
+                self.store.log_trigger("start", name)
 
     def triggers(self) -> list[TriggerDefinition]:
         """All installed trigger definitions (creation order)."""
@@ -174,23 +229,68 @@ class GraphSession:
         buffering the pending stream fails, its transaction is rolled
         back and the error surfaces here — before the new statement runs
         — rather than being swallowed.
+
+        In thread-safe mode the same contract holds with one adjustment:
+        read-only auto-commit statements are *snapshot reads* — executed
+        and drained under the graph's shared read lock, then returned as
+        an already-buffered :class:`Result` (concurrent readers run in
+        parallel; writers wait).  Statements with side effects serialise
+        on the exclusive write lock.
         """
+        if self._locks is None:
+            return self._run_single_threaded(query, parameters)
+        if self._open_transaction is not None and self._tx_owner == threading.get_ident():
+            # We are inside this thread's own transaction() block and
+            # already hold the write lock.
+            return self._run_in_transaction(self._open_transaction, query, parameters)
+        if query_is_read_only(PLAN_CACHE.parse(query)):
+            with self._locks.read(self._lock_name, timeout=self._lock_timeout):
+                result = self._begin_streaming(query, parameters, register=False)
+                # Drain while holding the shared lock: the caller gets a
+                # consistent snapshot and never touches the engine again.
+                result.rows
+                return result
+        with self._locks.write(self._lock_name, timeout=self._lock_timeout):
+            return self._run_autocommit_write(query, parameters)
+
+    def _run_single_threaded(
+        self, query: str, parameters: Mapping[str, Any] | None
+    ) -> Result:
+        """The original (single-consumer) execution path, lazy reads included."""
         self._detach_active_result()
         if self._open_transaction is not None:
             return self._run_in_transaction(self._open_transaction, query, parameters)
-        started = time.perf_counter()
-        read_only = query_is_read_only(PLAN_CACHE.parse(query))
+        if not query_is_read_only(PLAN_CACHE.parse(query)):
+            return self._run_autocommit_write(query, parameters)
+        result = self._begin_streaming(query, parameters, register=True)
+        return result
+
+    def _run_autocommit_write(
+        self, query: str, parameters: Mapping[str, Any] | None
+    ) -> Result:
+        """One write statement in its own transaction (commit included)."""
         tx = self.manager.begin()
-        if not read_only:
-            # Same code path as explicit transactions, plus the commit.
-            try:
-                result = self._run_in_transaction(tx, query, parameters)
-                self.manager.commit(tx)
-            except Exception:
-                if tx.is_active:
-                    self.manager.rollback(tx)
-                raise
-            return result
+        # Same code path as explicit transactions, plus the commit.
+        try:
+            result = self._run_in_transaction(tx, query, parameters)
+            self.manager.commit(tx)
+        except Exception:
+            if tx.is_active:
+                self.manager.rollback(tx)
+            raise
+        return result
+
+    def _begin_streaming(
+        self, query: str, parameters: Mapping[str, Any] | None, register: bool
+    ) -> Result:
+        """Start a streamed read-only auto-commit statement.
+
+        ``register`` keeps the session-level active-result bookkeeping of
+        the single-threaded mode; snapshot reads pass False because they
+        are drained before the lock is released and never stay pending.
+        """
+        started = time.perf_counter()
+        tx = self.manager.begin()
         try:
             executor = QueryExecutor(
                 self.graph, transaction=tx, parameters=parameters, clock=self.clock
@@ -212,7 +312,8 @@ class GraphSession:
             started=started,
             available_after=(time.perf_counter() - started) * 1000,
         )
-        self._active_result = result
+        if register:
+            self._active_result = result
         return result
 
     def _run_in_transaction(
@@ -294,8 +395,9 @@ class GraphSession:
         Same plan the next :meth:`run` of this text would use (shared
         global plan cache), without executing anything.
         """
-        executor = QueryExecutor(self.graph, clock=self.clock)
-        return executor.plan_description(query)
+        with self._read_guard():
+            executor = QueryExecutor(self.graph, clock=self.clock)
+            return executor.plan_description(query)
 
     @contextlib.contextmanager
     def transaction(self) -> Iterator[Transaction]:
@@ -305,22 +407,31 @@ class GraphSession:
         when the block exits successfully; DETACHED triggers run after the
         commit.  On exception the transaction is rolled back and no commit-
         time trigger fires.
+
+        In thread-safe mode the block holds the graph's exclusive write
+        lock from entry to exit, so its statements — and its commit-time
+        trigger cascade — form one isolated unit with respect to every
+        other thread.
         """
-        if self._open_transaction is not None:
-            raise RuntimeError("a session transaction is already open")
-        self._detach_active_result()
-        tx = self.manager.begin()
-        self._open_transaction = tx
-        try:
-            yield tx
-        except Exception:
-            self._open_transaction = None
-            if tx.is_active:
-                self.manager.rollback(tx)
-            raise
-        else:
-            self._open_transaction = None
-            self.manager.commit(tx)
+        with self._write_guard():
+            if self._open_transaction is not None:
+                raise RuntimeError("a session transaction is already open")
+            self._detach_active_result()
+            tx = self.manager.begin()
+            self._open_transaction = tx
+            self._tx_owner = threading.get_ident()
+            try:
+                yield tx
+            except Exception:
+                self._open_transaction = None
+                self._tx_owner = None
+                if tx.is_active:
+                    self.manager.rollback(tx)
+                raise
+            else:
+                self._open_transaction = None
+                self._tx_owner = None
+                self.manager.commit(tx)
 
     # ------------------------------------------------------------------
     # durability
@@ -338,21 +449,30 @@ class GraphSession:
         snapshot must describe a committed state).
         """
         store = self._require_store()
-        if self._open_transaction is not None:
-            raise RuntimeError("cannot checkpoint while a session transaction is open")
-        self._detach_active_result()
-        store.checkpoint(self.graph, self._trigger_states())
+        with self._write_guard():
+            if self._open_transaction is not None:
+                raise RuntimeError("cannot checkpoint while a session transaction is open")
+            self._detach_active_result()
+            store.checkpoint(self.graph, self._trigger_states())
 
     def flush(self) -> None:
         """Force any group-commit-deferred WAL appends to stable storage."""
-        self._require_store().sync()
+        store = self._require_store()
+        with self._write_guard():
+            store.sync()
 
     def close(self) -> None:
-        """Flush and release the durable store (no-op for in-memory sessions)."""
+        """Flush and release the durable store (no-op for in-memory sessions).
+
+        Any WAL records still sitting in the group-commit buffer are synced
+        before the handles are released, so an acknowledged commit can never
+        be lost by closing the session.
+        """
         if self.store is None:
             return
-        self._detach_active_result()
-        self.store.close()
+        with self._write_guard():
+            self._detach_active_result()
+            self.store.close()
 
     def __enter__(self) -> "GraphSession":
         return self
@@ -413,11 +533,13 @@ class GraphSession:
         """Validate the graph against the session's PG-Schema (if any)."""
         if self.schema is None:
             return []
-        return validate_graph(self.graph, self.schema)
+        with self._read_guard():
+            return validate_graph(self.graph, self.schema)
 
     def alerts(self) -> list[dict[str, Any]]:
         """Convenience accessor for the ``Alert`` nodes the paper's triggers produce."""
-        return [dict(node.properties) for node in self.graph.nodes_with_label("Alert")]
+        with self._read_guard():
+            return [dict(node.properties) for node in self.graph.nodes_with_label("Alert")]
 
     def firing_log(self) -> list[str]:
         """Human-readable audit log of trigger firings."""

@@ -1,10 +1,14 @@
-"""Transaction substrate: transactions, undo logging, commit hooks."""
+"""Transaction substrate: transactions, undo logging, commit hooks, locks."""
 
-from .errors import TransactionAborted, TransactionError, TransactionStateError
+from .errors import LockTimeoutError, TransactionAborted, TransactionError, TransactionStateError
+from .locks import LockManager, ReadWriteLock
 from .manager import TransactionHook, TransactionManager
 from .transaction import Transaction, TransactionState
 
 __all__ = [
+    "LockManager",
+    "LockTimeoutError",
+    "ReadWriteLock",
     "Transaction",
     "TransactionAborted",
     "TransactionError",

@@ -12,6 +12,24 @@ class TransactionStateError(TransactionError):
     (e.g. writing through an already-committed transaction)."""
 
 
+class LockTimeoutError(TransactionError):
+    """A graph lock could not be acquired within the caller's timeout.
+
+    Raised by the per-named-graph lock manager (:mod:`repro.tx.locks`)
+    when a reader or writer waits longer than its timeout for the lock on
+    one graph.  Servers surface this as a retryable condition (the engine
+    state is untouched — nothing was executed)."""
+
+    def __init__(self, graph: str, mode: str, timeout: float) -> None:
+        super().__init__(
+            f"could not acquire the {mode} lock on graph {graph!r} "
+            f"within {timeout:.3f}s"
+        )
+        self.graph = graph
+        self.mode = mode
+        self.timeout = timeout
+
+
 class TransactionAborted(TransactionError):
     """Raised when a transaction is rolled back by a trigger or constraint.
 

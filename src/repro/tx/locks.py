@@ -1,0 +1,232 @@
+"""Per-named-graph locking: single-writer / multi-reader with timeouts.
+
+The concurrency model is deliberately coarse — one read-write lock per
+*named graph*, managed by a process-wide :class:`LockManager`:
+
+* **writers** (any statement with side effects, explicit transaction
+  blocks, trigger/index DDL, checkpoints) hold the graph's lock
+  exclusively; the lock is reentrant per thread, so a trigger cascade or
+  a ``session.run`` inside a ``session.transaction()`` block never
+  self-deadlocks;
+* **readers** (read-only auto-commit queries) share the lock with each
+  other and exclude only writers.  A read-only query drains its record
+  stream *while holding* the shared lock, so every result it returns is a
+  consistent snapshot — no torn reads, regardless of how many writers are
+  queued behind it;
+* **waiting writers block new readers** (writer preference), so a steady
+  stream of cheap reads cannot starve updates indefinitely;
+* acquisition accepts a **timeout** and raises the typed
+  :class:`~repro.tx.errors.LockTimeoutError` when it expires, leaving the
+  engine state untouched.
+
+Multi-graph acquisition (:meth:`LockManager.write_many`) always locks in
+sorted graph-name order, which makes deadlock between multi-graph writers
+structurally impossible: any two acquisition sequences order their common
+names identically.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Iterable, Iterator
+
+from .errors import LockTimeoutError
+
+
+class ReadWriteLock:
+    """One graph's single-writer / multi-reader lock.
+
+    Write acquisition is reentrant per thread.  A thread that holds the
+    write lock may also acquire the read side (it already excludes every
+    other thread), and a thread that holds the read side may acquire it
+    again even while writers are queued (refusing would deadlock the
+    reader against the writer it blocks).  Upgrading a read lock to a
+    write lock is refused outright — upgrade cycles are the classic
+    reader-writer deadlock.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._waiting_writers = 0
+        self._writer: int | None = None  # owning thread ident
+        self._write_depth = 0
+        self._local = threading.local()  # per-thread reader depth
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+
+    def acquire_read(self, timeout: float | None = None) -> None:
+        """Acquire the shared side; raise :class:`LockTimeoutError` on expiry."""
+        me = threading.get_ident()
+        depth = getattr(self._local, "read_depth", 0)
+        with self._cond:
+            if self._writer == me or depth > 0:
+                # Reentrant (or writer-held) read: admission control would
+                # deadlock us against ourselves, so bypass it.
+                self._active_readers += 1
+                self._local.read_depth = depth + 1
+                return
+            if not self._wait(
+                lambda: self._writer is None and self._waiting_writers == 0,
+                timeout,
+                "read",
+            ):
+                raise LockTimeoutError(self.name, "read", timeout or 0.0)
+            self._active_readers += 1
+            self._local.read_depth = 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            depth = getattr(self._local, "read_depth", 0)
+            if depth <= 0 or self._active_readers <= 0:
+                raise RuntimeError(f"read lock on {self.name!r} is not held by this thread")
+            self._local.read_depth = depth - 1
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+
+    def acquire_write(self, timeout: float | None = None) -> None:
+        """Acquire the exclusive side; reentrant for the owning thread."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            if getattr(self._local, "read_depth", 0) > 0:
+                raise RuntimeError(
+                    f"cannot upgrade a read lock on {self.name!r} to a write lock"
+                )
+            self._waiting_writers += 1
+            try:
+                if not self._wait(
+                    lambda: self._writer is None and self._active_readers == 0,
+                    timeout,
+                    "write",
+                ):
+                    raise LockTimeoutError(self.name, "write", timeout or 0.0)
+                self._writer = me
+                self._write_depth = 1
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError(f"write lock on {self.name!r} is not held by this thread")
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _wait(self, predicate, timeout: float | None, mode: str) -> bool:
+        """``Condition.wait_for`` with a deadline; True when acquired."""
+        del mode
+        if timeout is None:
+            while not predicate():
+                self._cond.wait()
+            return True
+        deadline = time.monotonic() + timeout
+        while not predicate():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            self._cond.wait(remaining)
+        return True
+
+    @contextlib.contextmanager
+    def read(self, timeout: float | None = None) -> Iterator[None]:
+        self.acquire_read(timeout)
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextlib.contextmanager
+    def write(self, timeout: float | None = None) -> Iterator[None]:
+        self.acquire_write(timeout)
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def held_by_me(self) -> bool:
+        """True when the calling thread owns the write lock."""
+        return self._writer == threading.get_ident()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReadWriteLock({self.name!r}, readers={self._active_readers}, "
+            f"writer={self._writer}, waiting_writers={self._waiting_writers})"
+        )
+
+
+class LockManager:
+    """The per-named-graph lock table shared by a database's sessions.
+
+    Locks are minted on first use and live for the life of the manager
+    (graph names are few; dropping a graph leaves a dormant lock behind,
+    which keeps a concurrent ``drop`` + re-``create`` of the same name
+    serialised instead of racing on two different lock objects).
+    """
+
+    def __init__(self, default_timeout: float | None = None) -> None:
+        self.default_timeout = default_timeout
+        self._locks: dict[str, ReadWriteLock] = {}
+        self._table_lock = threading.Lock()
+
+    def lock(self, name: str) -> ReadWriteLock:
+        """The (lazily created) lock for graph ``name``."""
+        with self._table_lock:
+            lock = self._locks.get(name)
+            if lock is None:
+                lock = self._locks[name] = ReadWriteLock(name)
+            return lock
+
+    @contextlib.contextmanager
+    def read(self, name: str, timeout: float | None = None) -> Iterator[None]:
+        """Shared (snapshot-read) access to graph ``name``."""
+        with self.lock(name).read(self._effective(timeout)):
+            yield
+
+    @contextlib.contextmanager
+    def write(self, name: str, timeout: float | None = None) -> Iterator[None]:
+        """Exclusive (writer) access to graph ``name``."""
+        with self.lock(name).write(self._effective(timeout)):
+            yield
+
+    @contextlib.contextmanager
+    def write_many(self, names: Iterable[str], timeout: float | None = None) -> Iterator[None]:
+        """Exclusive access to several graphs at once, deadlock-free.
+
+        Locks are always taken in sorted-name order (and released in
+        reverse), so two multi-graph writers can never wait on each other
+        in a cycle.
+        """
+        ordered = sorted(set(names))
+        effective = self._effective(timeout)
+        acquired: list[ReadWriteLock] = []
+        try:
+            for name in ordered:
+                lock = self.lock(name)
+                lock.acquire_write(effective)
+                acquired.append(lock)
+            yield
+        finally:
+            for lock in reversed(acquired):
+                lock.release_write()
+
+    def _effective(self, timeout: float | None) -> float | None:
+        return self.default_timeout if timeout is None else timeout

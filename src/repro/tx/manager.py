@@ -18,6 +18,7 @@ times of the paper require:
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Any, Callable, Iterator, Mapping
 
 from ..graph.delta import GraphDelta
@@ -40,6 +41,10 @@ class TransactionManager:
         self._commit_log: TransactionHook | None = None
         self._committed_count = 0
         self._rolled_back_count = 0
+        # Outcome counters are read by monitoring code from any thread and
+        # bumped by concurrent read-only commits (which share the graph's
+        # read lock), so `+=` needs its own guard.
+        self._counter_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # hooks
@@ -135,7 +140,8 @@ class TransactionManager:
                     self.rollback(tx)
                 raise
         tx._mark_committed()
-        self._committed_count += 1
+        with self._counter_lock:
+            self._committed_count += 1
         for hook in list(self._after_commit_hooks):
             hook(tx, delta)
         return delta
@@ -149,7 +155,8 @@ class TransactionManager:
                 f"cannot roll back transaction {tx.id} in state {tx.state.value}"
             )
         tx._rollback_changes()
-        self._rolled_back_count += 1
+        with self._counter_lock:
+            self._rolled_back_count += 1
 
     @contextlib.contextmanager
     def transaction(self, metadata: Mapping[str, Any] | None = None) -> Iterator[Transaction]:

@@ -125,3 +125,121 @@ class TestGlobalCacheMaintenance:
         assert PLAN_CACHE.stats.plan_hits == 0
         # still fully functional after a clear
         assert execute(graph, QUERY).rows == [{"sku": 3}]
+
+
+class TestGraphTokenNeverAliases:
+    """Regression: plan-cache identity must survive GC address reuse.
+
+    The cache key once fell back to ``id(graph)`` for graph-likes without a
+    ``plan_token``.  CPython recycles addresses, so a graph allocated after
+    another died could alias its id and silently hit the dead graph's
+    cached plans (e.g. an index scan against a graph with no index).
+    Tokens now come from one process-wide monotonic counter.
+    """
+
+    def test_tokens_unique_across_gc_address_reuse(self):
+        from repro.cypher.planner import _graph_token
+
+        class SlotGraph:
+            # No __dict__: the token cannot be pinned on the instance, which
+            # is exactly the shape the id() fallback used to serve.
+            __slots__ = ("__weakref__",)
+
+        seen_tokens = set()
+        seen_ids = set()
+        id_reused = False
+        for _ in range(200):
+            graph = SlotGraph()
+            if id(graph) in seen_ids:
+                id_reused = True
+            seen_ids.add(id(graph))
+            token = _graph_token(graph)
+            assert token not in seen_tokens, "token aliased a dead graph's"
+            seen_tokens.add(token)
+            del graph  # free the address for the next iteration
+        # The point of the test: the allocator really did recycle at least
+        # one address, and the tokens stayed unique anyway.
+        assert id_reused, "allocator never reused an address; test is vacuous"
+
+    def test_token_stable_while_object_lives(self):
+        from repro.cypher.planner import _graph_token
+
+        class SlotGraph:
+            __slots__ = ("__weakref__",)
+
+        graph = SlotGraph()
+        assert _graph_token(graph) == _graph_token(graph)
+
+        class PlainGraph:
+            pass
+
+        plain = PlainGraph()
+        token = _graph_token(plain)
+        assert plain.plan_token == token  # pinned on the instance
+        assert _graph_token(plain) == token
+
+    def test_unweakrefable_graph_gets_per_call_tokens(self):
+        """No __dict__ and no __weakref__: the safe failure mode is a cache
+        miss per call — never an aliased hit."""
+        from repro.cypher.planner import _graph_token
+
+        class SealedGraph:
+            __slots__ = ()
+
+        graph = SealedGraph()
+        assert _graph_token(graph) != _graph_token(graph)
+
+    def test_property_graphs_share_the_token_counter(self):
+        from repro.cypher.planner import _graph_token
+
+        class PlainGraph:
+            pass
+
+        token_between = _graph_token(PlainGraph())
+        first = PropertyGraph().plan_token
+        second = PropertyGraph().plan_token
+        assert token_between < first < second  # one monotonic sequence
+
+    def test_cache_does_not_serve_dead_graphs_plan(self):
+        """End-to-end: a new graph planned right after another died must
+        miss the cache, even though the dead graph's entries linger."""
+        cache = PlanCache()
+        graph = make_graph()
+        graph.create_property_index("Item", "sku")
+        cache.get(QUERY, graph)
+        assert cache.stats.plan_misses == 1
+        del graph
+
+        newcomer = make_graph()  # same shape, no index
+        _, plan = cache.get(QUERY, newcomer)
+        assert cache.stats.plan_misses == 2
+        assert cache.stats.plan_hits == 0
+        assert "index" not in plan.plan_description().lower() or (
+            "no index" in plan.plan_description().lower()
+        )
+
+    def test_graph_token_is_thread_safe(self):
+        import threading
+
+        from repro.cypher.planner import _graph_token
+
+        class SlotGraph:
+            __slots__ = ("__weakref__",)
+
+        graph = SlotGraph()
+        barrier = threading.Barrier(8, timeout=30)
+        tokens: list[int] = []
+        tokens_lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            token = _graph_token(graph)
+            with tokens_lock:
+                tokens.append(token)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert len(set(tokens)) == 1, f"racing threads minted {set(tokens)}"

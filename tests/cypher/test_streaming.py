@@ -6,7 +6,7 @@ import pytest
 
 from repro.cypher import parse_query, query_is_read_only
 from repro.cypher.executor import QueryExecutor
-from repro.cypher.result import QueryStatistics, Result
+from repro.cypher.result import QueryStatistics, Result, ResultConsumedError
 from repro.graph import PropertyGraph
 
 
@@ -123,8 +123,10 @@ class TestResultAPI:
     def test_iterate_once(self):
         result = Result(["x"], iter(self.records()))
         assert [r["x"] for r in result] == [1, 2, 3]
-        assert list(result) == []
         assert result.consumed
+        # Driver semantics: a second consumption attempt is a caller bug.
+        with pytest.raises(ResultConsumedError):
+            list(result)
 
     def test_peek_does_not_consume(self):
         result = Result(["x"], iter(self.records()))
@@ -167,7 +169,10 @@ class TestResultAPI:
         assert summary.as_dict()["counters"]["nodes_created"] == 2
         assert summary.plan == "PLAN"
         assert summary.query == "Q"
-        assert list(result) == []
+        with pytest.raises(ResultConsumedError):
+            list(result)
+        # consume() itself stays idempotent: the summary remains reachable.
+        assert result.consume() is summary
 
     def test_finalize_callbacks_fire_once(self):
         calls: list[str] = []
@@ -209,7 +214,8 @@ class TestResultAPI:
         result.close()
         assert result.consumed
         assert pulled == [0]
-        assert list(result) == []
+        with pytest.raises(ResultConsumedError):
+            list(result)
 
     def test_close_after_materialization_stops_iteration(self):
         result = Result(["x"], iter(self.records()))
@@ -217,6 +223,47 @@ class TestResultAPI:
         result.close()
         assert list(result) == []
         assert result.peek() is None
+
+    def test_consumed_result_raises_on_every_record_accessor(self):
+        """Satellite regression: consuming twice raises, never returns []."""
+        consumed = Result(["x"], iter(self.records()))
+        consumed.consume()
+        for access in (
+            lambda r: list(r),
+            lambda r: next(r),
+            lambda r: r.peek(),
+            lambda r: r.single(),
+            lambda r: r.rows,
+            lambda r: len(r),
+            lambda r: bool(r),
+            lambda r: r.values("x"),
+            lambda r: r.to_table(),
+        ):
+            with pytest.raises(ResultConsumedError, match="already been consumed"):
+                access(consumed)
+        # Metadata stays reachable on a consumed result.
+        assert consumed.keys() == ["x"]
+        assert consumed.summary() is consumed.consume()
+
+    def test_materialised_result_stays_rereadable(self):
+        # Eager access *before* finalisation buffers the records; the
+        # buffer is a legitimate random-access surface, not a second
+        # consumption of the stream.
+        result = Result(["x"], iter(self.records()))
+        assert len(result.rows) == 3
+        assert result.values("x") == [1, 2, 3]
+        assert [r["x"] for r in result] == [1, 2, 3]
+        assert list(result) == []  # buffered cursor is simply exhausted
+
+    def test_session_run_result_raises_after_consume(self, graph):
+        from repro.triggers.session import GraphSession
+
+        session = GraphSession(graph=graph)
+        result = session.run("MATCH (p:Person) RETURN p.seq AS seq")
+        result.consume()
+        with pytest.raises(ResultConsumedError):
+            for _ in result:
+                pass
 
     def test_eager_compat_surface(self):
         result = Result(["x"], iter(self.records()))

@@ -1,0 +1,387 @@
+"""Multi-threaded stress suite for thread-safe sessions (N writers × M readers).
+
+Every test synchronises with barriers and events — never sleeps — so the
+suite is deterministic: it can fail only if the locking protocol is wrong,
+not because a scheduler was slow.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.database import GraphDatabase
+from repro.triggers.session import GraphSession
+from repro.tx.errors import LockTimeoutError
+
+WRITERS = 4
+READERS = 4
+ROUNDS = 25
+
+
+def run_all(workers):
+    """Start every worker behind one barrier; join and re-raise failures."""
+    errors: list[BaseException] = []
+
+    def wrap(fn):
+        def target():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        return target
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+        assert not thread.is_alive(), "worker thread hung (probable deadlock)"
+    if errors:
+        raise errors[0]
+
+
+class TestLostUpdates:
+    def test_concurrent_increments_are_all_applied(self):
+        session = GraphSession(thread_safe=True)
+        session.run("CREATE (:Counter {value: 0})")
+        start = threading.Barrier(WRITERS, timeout=60)
+
+        def writer():
+            start.wait()
+            for _ in range(ROUNDS):
+                session.run("MATCH (c:Counter) SET c.value = c.value + 1")
+
+        run_all([writer] * WRITERS)
+        assert session.run("MATCH (c:Counter) RETURN c.value AS v").single() == (
+            WRITERS * ROUNDS
+        )
+
+    def test_final_state_equals_serial_schedule(self):
+        """The concurrent interleaving commutes to the same state a serial
+        run produces: same node count, same counter total."""
+        concurrent = GraphSession(thread_safe=True)
+        concurrent.run("CREATE (:Total {value: 0})")
+        start = threading.Barrier(WRITERS, timeout=60)
+
+        def writer(index):
+            def work():
+                start.wait()
+                for round_number in range(ROUNDS):
+                    with concurrent.transaction():
+                        concurrent.run(
+                            "CREATE (:Item {writer: $w, round: $r})",
+                            {"w": index, "r": round_number},
+                        )
+                        concurrent.run("MATCH (t:Total) SET t.value = t.value + 1")
+
+            return work
+
+        run_all([writer(i) for i in range(WRITERS)])
+
+        serial = GraphSession()
+        serial.run("CREATE (:Total {value: 0})")
+        for index in range(WRITERS):
+            for round_number in range(ROUNDS):
+                with serial.transaction():
+                    serial.run(
+                        "CREATE (:Item {writer: $w, round: $r})",
+                        {"w": index, "r": round_number},
+                    )
+                    serial.run("MATCH (t:Total) SET t.value = t.value + 1")
+
+        for probe in (
+            "MATCH (i:Item) RETURN count(*) AS c",
+            "MATCH (t:Total) RETURN t.value AS v",
+        ):
+            assert concurrent.run(probe).single() == serial.run(probe).single(), probe
+
+
+class TestTornReads:
+    def test_snapshot_readers_never_observe_partial_writes(self):
+        """Writers keep ``a`` and ``b`` equal inside each transaction; a
+        snapshot reader must never see them differ."""
+        session = GraphSession(thread_safe=True)
+        session.run("CREATE (:Pair {a: 0, b: 0})")
+        start = threading.Barrier(WRITERS + READERS, timeout=60)
+        stop = threading.Event()
+        observed: list[tuple[int, int]] = []
+        observed_lock = threading.Lock()
+
+        def writer():
+            start.wait()
+            for _ in range(ROUNDS):
+                # Two separate SETs inside one transaction: a torn read
+                # would catch the state between them.
+                with session.transaction():
+                    session.run("MATCH (p:Pair) SET p.a = p.a + 1")
+                    session.run("MATCH (p:Pair) SET p.b = p.b + 1")
+            stop.set()
+
+        def reader():
+            start.wait()
+            local: list[tuple[int, int]] = []
+            while not stop.is_set():
+                record = session.run("MATCH (p:Pair) RETURN p.a AS a, p.b AS b").peek()
+                local.append((record["a"], record["b"]))
+            with observed_lock:
+                observed.extend(local)
+
+        run_all([writer] * WRITERS + [reader] * READERS)
+        torn = [pair for pair in observed if pair[0] != pair[1]]
+        assert torn == [], f"torn reads observed: {torn[:5]}"
+        assert observed, "readers never ran"
+
+    def test_streamed_snapshot_is_internally_consistent(self):
+        """A multi-record read drained under the shared lock sees one
+        generation of the data, not a mix."""
+        session = GraphSession(thread_safe=True)
+        with session.transaction():
+            for index in range(10):
+                session.run("CREATE (:Cell {slot: $s, gen: 0})", {"s": index})
+        start = threading.Barrier(2, timeout=60)
+        stop = threading.Event()
+
+        def writer():
+            start.wait()
+            for generation in range(1, ROUNDS + 1):
+                session.run("MATCH (c:Cell) SET c.gen = $g", {"g": generation})
+            stop.set()
+
+        def reader():
+            start.wait()
+            while not stop.is_set():
+                generations = session.run("MATCH (c:Cell) RETURN c.gen AS g").values("g")
+                assert len(set(generations)) == 1, f"mixed generations: {generations}"
+
+        run_all([writer, reader])
+
+
+class TestTriggersUnderConcurrency:
+    def test_audit_count_matches_item_count(self):
+        session = GraphSession(thread_safe=True)
+        session.create_trigger("""
+            CREATE TRIGGER AuditItems
+            AFTER CREATE ON 'Item'
+            FOR EACH NODE
+            BEGIN
+              CREATE (:Audit {writer: NEW.writer})
+            END
+        """)
+        start = threading.Barrier(WRITERS, timeout=60)
+
+        def writer(index):
+            def work():
+                start.wait()
+                for round_number in range(ROUNDS):
+                    session.run(
+                        "CREATE (:Item {writer: $w, round: $r})",
+                        {"w": index, "r": round_number},
+                    )
+
+            return work
+
+        run_all([writer(i) for i in range(WRITERS)])
+        items = session.run("MATCH (i:Item) RETURN count(*) AS c").single()
+        audits = session.run("MATCH (a:Audit) RETURN count(*) AS c").single()
+        assert items == WRITERS * ROUNDS
+        assert audits == items
+
+    def test_concurrent_trigger_ddl_and_writes(self):
+        """Installing/dropping triggers while writers run never corrupts the
+        registry and every audit row matches an item that fired it."""
+        session = GraphSession(thread_safe=True)
+        start = threading.Barrier(WRITERS + 1, timeout=60)
+
+        def ddl_worker():
+            start.wait()
+            for round_number in range(ROUNDS):
+                name = f"T{round_number}"
+                session.create_trigger(f"""
+                    CREATE TRIGGER {name}
+                    AFTER CREATE ON 'Item'
+                    FOR EACH NODE
+                    BEGIN
+                      CREATE (:Audit {{via: '{name}'}})
+                    END
+                """)
+                session.drop_trigger(name)
+
+        def writer(index):
+            def work():
+                start.wait()
+                for round_number in range(ROUNDS):
+                    session.run(
+                        "CREATE (:Item {writer: $w, round: $r})",
+                        {"w": index, "r": round_number},
+                    )
+
+            return work
+
+        run_all([ddl_worker] + [writer(i) for i in range(WRITERS)])
+        assert len(session.registry) == 0
+        items = session.run("MATCH (i:Item) RETURN count(*) AS c").single()
+        audits = session.run("MATCH (a:Audit) RETURN count(*) AS c").single()
+        assert items == WRITERS * ROUNDS
+        # Each audit was created by a trigger that was installed at that
+        # moment; the count can range from 0 to items but the graph must be
+        # structurally sound either way.
+        assert 0 <= audits <= items
+
+
+class TestDatabaseLevelConcurrency:
+    def test_sessions_on_different_graphs_do_not_serialise(self):
+        """Writers on distinct graphs proceed in parallel: with per-graph
+        locks, a holder on graph A cannot block graph B."""
+        db = GraphDatabase(thread_safe=True)
+        inside = threading.Barrier(2, timeout=60)
+
+        def worker(name):
+            def work():
+                with db.lock_manager.write(name):
+                    # Rendezvous while both write locks are held: impossible
+                    # if the two graphs shared one lock.
+                    inside.wait()
+
+            return work
+
+        run_all([worker("a"), worker("b")])
+
+    def test_drop_graph_waits_for_inflight_writers(self):
+        db = GraphDatabase(thread_safe=True)
+        session = db.graph("doomed")
+        in_tx = threading.Event()
+        proceed = threading.Event()
+        dropped = threading.Event()
+
+        def writer():
+            with session.transaction():
+                session.run("CREATE (:Node)")
+                in_tx.set()
+                assert proceed.wait(60)
+
+        def dropper():
+            assert in_tx.wait(60)
+            proceed.set()
+            db.drop_graph("doomed")
+            dropped.set()
+
+        run_all([writer, dropper])
+        assert dropped.is_set()
+        assert not db.has_graph("doomed")
+
+    def test_lock_timeout_surfaces_as_typed_error(self):
+        db = GraphDatabase(thread_safe=True, lock_timeout=0.02)
+        session = db.graph("busy")
+        holding = threading.Event()
+        release = threading.Event()
+        timed_out: list[LockTimeoutError] = []
+
+        def holder():
+            with db.lock_manager.write("busy"):
+                holding.set()
+                assert release.wait(60)
+
+        def contender():
+            assert holding.wait(60)
+            try:
+                session.run("CREATE (:Blocked)")
+            except LockTimeoutError as exc:
+                timed_out.append(exc)
+            finally:
+                release.set()
+
+        run_all([holder, contender])
+        (error,) = timed_out
+        assert error.graph == "busy"
+        assert error.mode == "write"
+
+    def test_readers_proceed_in_parallel(self):
+        """Every snapshot reader is inside the shared lock at the same time.
+
+        The instrumented ``acquire_read`` parks each reader at a barrier
+        *while holding the lock*: if readers excluded each other, the ones
+        queued behind the first could never reach the barrier and it would
+        break (timeout) instead of releasing all four together.
+        """
+        db = GraphDatabase(thread_safe=True)
+        session = db.graph("shared")
+        session.run("CREATE (:Data {x: 1})")
+        lock = db.lock_manager.lock("shared")
+        inside = threading.Barrier(READERS, timeout=30)
+
+        original_acquire = lock.acquire_read
+
+        def rendezvous_acquire(timeout=None):
+            original_acquire(timeout)
+            inside.wait()  # held: all READERS are in the lock together
+
+        lock.acquire_read = rendezvous_acquire
+
+        def reader():
+            assert session.run("MATCH (d:Data) RETURN d.x AS x").values("x") == [1]
+
+        run_all([reader] * READERS)
+
+
+class TestSingleThreadedDefaultUnchanged:
+    def test_default_session_is_not_thread_safe(self):
+        assert GraphSession().thread_safe is False
+        assert GraphSession(thread_safe=True).thread_safe is True
+        assert GraphDatabase().thread_safe is False
+
+    def test_default_session_still_streams_lazily(self):
+        session = GraphSession()
+        for index in range(5):
+            session.run("CREATE (:N {i: $i})", {"i": index})
+        result = session.run("MATCH (n:N) RETURN n.i AS i")
+        assert not result.consumed  # lazy: nothing drained yet
+        assert [r["i"] for r in result] == [0, 1, 2, 3, 4]
+
+    def test_thread_safe_read_is_pre_drained_snapshot(self):
+        session = GraphSession(thread_safe=True)
+        session.run("CREATE (:N {i: 0})")
+        result = session.run("MATCH (n:N) RETURN n.i AS i")
+        # Already buffered: mutating afterwards cannot change the result.
+        session.run("MATCH (n:N) SET n.i = 99")
+        assert result.values("i") == [0]
+
+
+@pytest.mark.parametrize("workers", [2, 8])
+def test_stress_mixed_workload_no_deadlock(workers):
+    """Readers, writers, transactions and DDL interleaved — must terminate."""
+    session = GraphSession(thread_safe=True)
+    session.run("CREATE (:Counter {value: 0})")
+    start = threading.Barrier(workers, timeout=60)
+
+    def worker(index):
+        def work():
+            start.wait()
+            for round_number in range(10):
+                kind = (index + round_number) % 4
+                if kind == 0:
+                    session.run("MATCH (c:Counter) SET c.value = c.value + 1")
+                elif kind == 1:
+                    session.run("MATCH (c:Counter) RETURN c.value AS v").single()
+                elif kind == 2:
+                    with session.transaction():
+                        session.run("CREATE (:Scratch {w: $w})", {"w": index})
+                        session.run("MATCH (c:Counter) SET c.value = c.value + 1")
+                else:
+                    session.explain("MATCH (c:Counter) RETURN c")
+
+            return None
+
+        return work
+
+    run_all([worker(i) for i in range(workers)])
+    value = session.run("MATCH (c:Counter) RETURN c.value AS v").single()
+    expected = sum(
+        1
+        for index in range(workers)
+        for round_number in range(10)
+        if (index + round_number) % 4 in (0, 2)
+    )
+    assert value == expected

@@ -1,0 +1,246 @@
+"""End-to-end tests for the asyncio HTTP/JSON front door."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.database import GraphDatabase
+from repro.server import run_in_thread
+from repro.server.app import DatabaseServer
+from repro.storage import MemoryIO
+
+
+class Client:
+    """A keep-alive JSON client over one ``http.client`` connection."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.conn = http.client.HTTPConnection(host, port, timeout=30)
+
+    def request(self, method: str, path: str, body: dict | None = None):
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        self.conn.request(method, path, body=payload, headers=headers)
+        response = self.conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+
+    def get(self, path: str):
+        return self.request("GET", path)
+
+    def post(self, path: str, body: dict):
+        return self.request("POST", path, body)
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+@pytest.fixture
+def server():
+    handle = run_in_thread(GraphDatabase(thread_safe=True))
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(server):
+    c = Client(server.host, server.port)
+    yield c
+    c.close()
+
+
+class TestEndpoints:
+    def test_health(self, client):
+        status, body = client.get("/health")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_run_round_trip(self, client):
+        status, body = client.post(
+            "/run",
+            {"query": "CREATE (:Person {name: $n, age: 30})", "parameters": {"n": "Ada"}},
+        )
+        assert status == 200
+        assert body["summary"]["counters"]["nodes_created"] == 1
+        assert body["summary"]["contains_updates"]
+
+        status, body = client.post(
+            "/run", {"query": "MATCH (p:Person) RETURN p.name AS name, p.age AS age"}
+        )
+        assert status == 200
+        assert body["columns"] == ["name", "age"]
+        assert body["rows"] == [{"name": "Ada", "age": 30}]
+        assert not body["summary"]["contains_updates"]
+
+    def test_run_returns_wire_encoded_entities(self, client):
+        client.post("/run", {"query": "CREATE (:A {x: 1})-[:Knows {w: 2}]->(:B)"})
+        status, body = client.post(
+            "/run", {"query": "MATCH (a:A)-[r:Knows]->(b:B) RETURN a, r"}
+        )
+        assert status == 200
+        (row,) = body["rows"]
+        assert row["a"]["$type"] == "node"
+        assert row["a"]["labels"] == ["A"]
+        assert row["a"]["properties"] == {"x": 1}
+        assert row["r"]["$type"] == "relationship"
+        assert row["r"]["type"] == "Knows"
+        assert row["r"]["start"] == row["a"]["id"]
+
+    def test_graphs_catalog_and_isolation(self, client):
+        client.post("/run", {"graph": "g1", "query": "CREATE (:OnlyInG1)"})
+        client.post("/run", {"graph": "g2", "query": "CREATE (:OnlyInG2)"})
+        status, body = client.get("/graphs")
+        assert status == 200
+        assert {"g1", "g2"} <= set(body["graphs"])
+        status, body = client.post(
+            "/run", {"graph": "g2", "query": "MATCH (n:OnlyInG1) RETURN n"}
+        )
+        assert body["rows"] == []
+
+    def test_explain(self, client):
+        client.post("/run", {"query": "CREATE (:Person {name: 'Ada'})"})
+        status, body = client.post(
+            "/explain", {"query": "MATCH (p:Person) RETURN p.name AS name"}
+        )
+        assert status == 200
+        assert "Person" in body["plan"]
+
+    def test_trigger_lifecycle(self, client):
+        trigger = """
+            CREATE TRIGGER AuditPeople
+            AFTER CREATE ON 'Person'
+            FOR EACH NODE
+            BEGIN
+              CREATE (:Audit {name: NEW.name})
+            END
+        """
+        status, body = client.post("/trigger", {"action": "install", "trigger": trigger})
+        assert status == 200
+        assert body["installed"] == "AuditPeople"
+
+        client.post("/run", {"query": "CREATE (:Person {name: 'Ada'})"})
+        status, body = client.post("/run", {"query": "MATCH (a:Audit) RETURN a.name AS n"})
+        assert body["rows"] == [{"n": "Ada"}]
+
+        status, body = client.post("/trigger", {"action": "stop", "name": "AuditPeople"})
+        assert status == 200
+        client.post("/run", {"query": "CREATE (:Person {name: 'Bob'})"})
+        status, body = client.post("/run", {"query": "MATCH (a:Audit) RETURN count(*) AS c"})
+        assert body["rows"] == [{"c": 1}]
+
+        status, body = client.post("/trigger", {"action": "start", "name": "AuditPeople"})
+        assert status == 200
+        status, body = client.post("/trigger", {"action": "drop", "name": "AuditPeople"})
+        assert status == 200
+        assert body["dropped"] == "AuditPeople"
+
+    def test_error_paths(self, client):
+        assert client.get("/nope")[0] == 404
+        assert client.get("/run")[0] == 405
+        assert client.post("/run", {"query": "NOT CYPHER AT ALL"})[0] == 400
+        assert client.post("/run", {"no_query": True})[0] == 400
+        assert client.post("/trigger", {"action": "explode", "name": "x"})[0] == 400
+        assert client.post("/trigger", {"action": "drop", "name": "missing"})[0] == 400
+        status, body = client.request("POST", "/run")  # no body at all
+        assert status == 400
+
+    def test_malformed_json_body(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        conn.request("POST", "/run", body=b"{not json", headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        assert response.status == 400
+        conn.close()
+
+
+class TestServerBehaviour:
+    def test_requires_thread_safe_database(self):
+        with pytest.raises(ValueError, match="thread-safe"):
+            DatabaseServer(GraphDatabase())
+
+    def test_fifty_concurrent_clients(self, server):
+        """The CI smoke bar: 50 concurrent clients, every request answered."""
+        clients = 50
+        requests_each = 4
+        start = threading.Barrier(clients, timeout=30)
+        failures: list[str] = []
+
+        def worker(index: int) -> None:
+            client = Client(server.host, server.port)
+            try:
+                start.wait()
+                for round_number in range(requests_each):
+                    status, _ = client.post(
+                        "/run",
+                        {"query": "CREATE (:Hit {client: $c, round: $r})",
+                         "parameters": {"c": index, "r": round_number}},
+                    )
+                    if status != 200:
+                        failures.append(f"client {index} write got {status}")
+                    status, body = client.post(
+                        "/run", {"query": "MATCH (h:Hit) RETURN count(*) AS c"}
+                    )
+                    if status != 200:
+                        failures.append(f"client {index} read got {status}")
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                failures.append(f"client {index}: {type(exc).__name__}: {exc}")
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+            assert not thread.is_alive(), "client thread hung"
+        assert failures == []
+
+        check = Client(server.host, server.port)
+        status, body = check.post("/run", {"query": "MATCH (h:Hit) RETURN count(*) AS c"})
+        check.close()
+        assert status == 200
+        assert body["rows"] == [{"c": clients * requests_each}]
+
+    def test_connection_limit_returns_503(self):
+        handle = run_in_thread(GraphDatabase(thread_safe=True), max_connections=0)
+        try:
+            conn = http.client.HTTPConnection(handle.host, handle.port, timeout=10)
+            conn.request("GET", "/health")
+            response = conn.getresponse()
+            assert response.status == 503
+            conn.close()
+        finally:
+            handle.stop()
+
+    def test_graceful_shutdown_flushes_group_commit(self, tmp_path):
+        """Writes acked before shutdown survive a restart even when the WAL
+        group-commit buffer was still holding them."""
+        io = MemoryIO()
+        database = GraphDatabase(
+            path=str(tmp_path), storage_io=io, group_commit_size=1000, thread_safe=True
+        )
+        handle = run_in_thread(database)
+        client = Client(handle.host, handle.port)
+        for index in range(5):
+            status, _ = client.post(
+                "/run", {"query": "CREATE (:Durable {seq: $s})", "parameters": {"s": index}}
+            )
+            assert status == 200
+        client.close()
+        handle.stop()  # graceful: flushes the group-commit buffer
+
+        reopened = GraphDatabase(path=str(tmp_path), storage_io=io, thread_safe=True)
+        result = reopened.graph("default").run(
+            "MATCH (d:Durable) RETURN count(*) AS c"
+        )
+        assert result.single() == 5
+        reopened.close()
+
+    def test_stop_is_idempotent_and_clean(self, server):
+        client = Client(server.host, server.port)
+        status, _ = client.get("/health")
+        assert status == 200
+        client.close()
+        server.stop()
+        server.stop()  # second stop is a no-op

@@ -1,0 +1,140 @@
+"""Regressions for shared-StorageIO lifecycle bugs.
+
+A durable :class:`~repro.database.GraphDatabase` hands one ``StorageIO`` to
+every graph's store.  Two historical bugs lived there:
+
+* closing ONE graph's session called ``io.close()``, clearing every sibling
+  graph's cached append handles (and, for graphs mid-group-commit, dropping
+  acked-but-unflushed WAL records);
+* dropping graphs leaked the shared ``FileIO``'s append handles — the fd
+  count grew with every create/drop cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database import GraphDatabase
+from repro.storage import FileIO, MemoryIO
+from repro.triggers.session import GraphSession
+
+
+class SyncCountingIO(MemoryIO):
+    """MemoryIO that records which paths were fsynced, in order."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.synced: list[str] = []
+
+    def fsync(self, path: str) -> None:
+        super().fsync(path)
+        self.synced.append(path)
+
+
+class TestSharedFileIOHandles:
+    def test_closing_one_store_preserves_sibling_handles(self, tmp_path):
+        io = FileIO()
+        a = GraphSession(path=str(tmp_path / "a"), storage_io=io)
+        b = GraphSession(path=str(tmp_path / "b"), storage_io=io)
+        a.run("CREATE (:InA)")
+        b.run("CREATE (:InB)")
+        assert io.cached_handle_count() == 2  # one WAL handle per graph
+
+        a.close()
+        # Only a's handle goes away; b keeps working on its live handle.
+        assert io.cached_handle_count() == 1
+        b.run("CREATE (:InB)")
+        b.close()
+        assert io.cached_handle_count() == 0
+
+    def test_create_drop_loop_is_fd_bounded(self, tmp_path):
+        io = FileIO()
+        db = GraphDatabase(path=str(tmp_path), storage_io=io)
+        for cycle in range(10):
+            name = f"graph{cycle}"
+            session = db.graph(name)
+            session.run("CREATE (:Ephemeral {cycle: $c})", {"c": cycle})
+            db.drop_graph(name)
+            assert io.cached_handle_count() == 0, f"fd leak after cycle {cycle}"
+        db.close()
+
+    def test_session_owning_its_io_still_closes_it(self, tmp_path):
+        session = GraphSession(path=str(tmp_path / "own"))
+        io = session.store.io
+        session.run("CREATE (:N)")
+        assert io.cached_handle_count() == 1
+        session.close()
+        assert io.cached_handle_count() == 0
+
+
+class TestGroupCommitFlushOnClose:
+    def test_close_fsyncs_buffered_wal_records(self, tmp_path):
+        io = SyncCountingIO()
+        path = str(tmp_path / "g")
+        session = GraphSession(path=path, storage_io=io, group_commit_size=1000)
+        wal_path = session.store.wal_path
+        for index in range(3):
+            session.run("CREATE (:Acked {seq: $s})", {"s": index})
+        # Group commit is deferring: the records are appended but the WAL
+        # has not been fsynced for them yet.
+        assert session.store.wal.unsynced_appends == 3
+        synced_before = io.synced.count(wal_path)
+        session.close()
+        assert io.synced.count(wal_path) > synced_before
+        assert session.store.wal.unsynced_appends == 0
+
+        recovered = GraphSession(path=path, storage_io=io)
+        assert recovered.run("MATCH (a:Acked) RETURN count(*) AS c").single() == 3
+        recovered.close()
+
+    def test_database_drop_flushes_before_delete(self, tmp_path):
+        """drop_graph closes the session first (flushing) and then deletes;
+        the flush must not be skipped just because the files go away."""
+        io = SyncCountingIO()
+        db = GraphDatabase(path=str(tmp_path), storage_io=io, group_commit_size=1000)
+        session = db.graph("doomed")
+        wal_path = session.store.wal_path
+        session.run("CREATE (:N)")
+        assert session.store.wal.unsynced_appends == 1
+        db.drop_graph("doomed")
+        assert wal_path in io.synced
+        assert not io.exists(wal_path)
+
+    def test_double_close_is_idempotent(self, tmp_path):
+        session = GraphSession(path=str(tmp_path / "g"), storage_io=MemoryIO())
+        session.run("CREATE (:N)")
+        session.close()
+        session.close()
+
+
+class TestPendingAppendsAccessor:
+    def test_pending_appends_counts_unsynced_records(self, tmp_path):
+        io = MemoryIO()
+        session = GraphSession(path=str(tmp_path / "g"), storage_io=io, group_commit_size=3)
+        assert session.store.wal.unsynced_appends == 0
+        session.run("CREATE (:N)")
+        session.run("CREATE (:N)")
+        assert session.store.wal.unsynced_appends == 2
+        session.run("CREATE (:N)")  # hits the group size: auto-sync
+        assert session.store.wal.unsynced_appends == 0
+        session.close()
+
+
+@pytest.mark.parametrize("group_commit_size", [1, 7])
+def test_shared_memory_io_database_round_trip(tmp_path, group_commit_size):
+    """Several graphs on one MemoryIO: close the database, reopen, all there."""
+    io = MemoryIO()
+    path = str(tmp_path)
+    db = GraphDatabase(path=path, storage_io=io, group_commit_size=group_commit_size)
+    for name in ("alpha", "beta", "gamma"):
+        session = db.graph(name)
+        for index in range(5):
+            session.run("CREATE (:Row {graph: $g, seq: $s})", {"g": name, "s": index})
+    db.close()
+
+    reopened = GraphDatabase(path=path, storage_io=io)
+    assert sorted(reopened.list_graphs()) == ["alpha", "beta", "gamma"]
+    for name in ("alpha", "beta", "gamma"):
+        count = reopened.graph(name).run("MATCH (r:Row) RETURN count(*) AS c").single()
+        assert count == 5
+    reopened.close()

@@ -1,0 +1,251 @@
+"""Unit tests for the per-named-graph read-write locks.
+
+Synchronisation in these tests uses events and barriers only — never
+sleeps — so they are deterministic under any scheduler.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.tx.errors import LockTimeoutError
+from repro.tx.locks import LockManager, ReadWriteLock
+
+
+def run_in_thread(fn, *args):
+    """Run ``fn`` in a thread; re-raise its exception on join."""
+    box: dict = {}
+
+    def target():
+        try:
+            box["value"] = fn(*args)
+        except BaseException as exc:  # noqa: BLE001 - test harness
+            box["error"] = exc
+
+    thread = threading.Thread(target=target)
+    thread.start()
+
+    def join(timeout=10.0):
+        thread.join(timeout)
+        assert not thread.is_alive(), "worker thread hung"
+        if "error" in box:
+            raise box["error"]
+        return box.get("value")
+
+    return join
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock("g")
+        inside = threading.Barrier(3, timeout=10)
+
+        def reader():
+            with lock.read():
+                inside.wait()  # all three readers inside simultaneously
+
+        joins = [run_in_thread(reader) for _ in range(3)]
+        for join in joins:
+            join()
+
+    def test_writer_excludes_reader(self):
+        lock = ReadWriteLock("g")
+        lock.acquire_write()
+        with pytest.raises(LockTimeoutError) as excinfo:
+            run_in_thread(lambda: lock.acquire_read(timeout=0.01))()
+        assert excinfo.value.graph == "g"
+        assert excinfo.value.mode == "read"
+        lock.release_write()
+        with lock.read():  # acquirable again once released
+            pass
+
+    def test_writer_excludes_writer_across_threads(self):
+        lock = ReadWriteLock("g")
+        lock.acquire_write()
+        with pytest.raises(LockTimeoutError):
+            run_in_thread(lambda: lock.acquire_write(timeout=0.01))()
+        lock.release_write()
+
+    def test_reader_excludes_writer(self):
+        lock = ReadWriteLock("g")
+        lock.acquire_read()
+        with pytest.raises(LockTimeoutError) as excinfo:
+            run_in_thread(lambda: lock.acquire_write(timeout=0.01))()
+        assert excinfo.value.mode == "write"
+        lock.release_read()
+
+    def test_write_is_reentrant_per_thread(self):
+        lock = ReadWriteLock("g")
+        with lock.write():
+            with lock.write():
+                assert lock.held_by_me()
+            assert lock.held_by_me()
+        assert not lock.held_by_me()
+        # fully released: another thread can take it
+        run_in_thread(lambda: lock.acquire_write(timeout=1.0))()
+
+    def test_writer_may_take_read_side(self):
+        lock = ReadWriteLock("g")
+        with lock.write():
+            with lock.read():  # already exclusive; must not self-deadlock
+                pass
+
+    def test_read_reentrancy_survives_waiting_writer(self):
+        """A reader re-acquiring while a writer queues must not deadlock."""
+        lock = ReadWriteLock("g")
+        writer_waiting = threading.Event()
+
+        original_wait = lock._wait
+
+        def signalling_wait(predicate, timeout, mode):
+            if mode == "write":
+                writer_waiting.set()
+            return original_wait(predicate, timeout, mode)
+
+        lock._wait = signalling_wait
+
+        def writer():
+            with lock.write(timeout=10.0):
+                pass
+
+        with lock.read():
+            join = run_in_thread(writer)
+            assert writer_waiting.wait(10.0)
+            # Writer preference blocks *new* readers, but this thread
+            # already holds the read side: reentry must be admitted.
+            with lock.read(timeout=1.0):
+                pass
+        join()
+
+    def test_read_to_write_upgrade_refused(self):
+        lock = ReadWriteLock("g")
+        with lock.read():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                lock.acquire_write(timeout=0.01)
+
+    def test_release_without_hold_raises(self):
+        lock = ReadWriteLock("g")
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_timeout_error_carries_context(self):
+        lock = ReadWriteLock("covid")
+        lock.acquire_write()
+        with pytest.raises(LockTimeoutError) as excinfo:
+            run_in_thread(lambda: lock.acquire_write(timeout=0.02))()
+        err = excinfo.value
+        assert err.graph == "covid"
+        assert err.mode == "write"
+        assert err.timeout == pytest.approx(0.02)
+        assert "covid" in str(err)
+        lock.release_write()
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: a queued writer goes before fresh readers."""
+        lock = ReadWriteLock("g")
+        writer_waiting = threading.Event()
+        original_wait = lock._wait
+
+        def signalling_wait(predicate, timeout, mode):
+            if mode == "write":
+                writer_waiting.set()
+            return original_wait(predicate, timeout, mode)
+
+        lock._wait = signalling_wait
+
+        def writer():
+            lock.acquire_write(timeout=10.0)
+            lock.release_write()
+
+        lock.acquire_read()
+        writer_join = run_in_thread(writer)
+        assert writer_waiting.wait(10.0)
+        # A *new* reader (different thread, no prior hold) must now wait.
+        with pytest.raises(LockTimeoutError):
+            run_in_thread(lambda: lock.acquire_read(timeout=0.01))()
+        lock.release_read()
+        writer_join()  # writer got in once the reader drained
+        with lock.write(timeout=1.0):  # and released cleanly
+            pass
+
+
+class TestLockManager:
+    def test_lock_identity_per_name(self):
+        manager = LockManager()
+        assert manager.lock("a") is manager.lock("a")
+        assert manager.lock("a") is not manager.lock("b")
+
+    def test_default_timeout_applies(self):
+        manager = LockManager(default_timeout=0.01)
+        with manager.write("g"):
+            with pytest.raises(LockTimeoutError):
+                run_in_thread(lambda: manager.lock("g").acquire_write(0.01))()
+
+    def test_explicit_timeout_overrides_default(self):
+        manager = LockManager(default_timeout=30.0)
+        with manager.write("g"):
+            def contender():
+                with manager.write("g", timeout=0.01):
+                    pass
+
+            with pytest.raises(LockTimeoutError):
+                run_in_thread(contender)()
+
+    def test_write_many_sorts_names(self):
+        manager = LockManager()
+        order: list[str] = []
+
+        class Spy(ReadWriteLock):
+            def acquire_write(self, timeout=None):
+                order.append(self.name)
+                super().acquire_write(timeout)
+
+        for name in ("b", "a", "c"):
+            manager._locks[name] = Spy(name)
+        with manager.write_many(["c", "a", "b", "a"]):
+            pass
+        assert order == ["a", "b", "c"]
+
+    def test_write_many_is_exclusive_and_releases_all(self):
+        manager = LockManager()
+        with manager.write_many(["x", "y"]):
+            for name in ("x", "y"):
+                with pytest.raises(LockTimeoutError):
+                    run_in_thread(lambda n=name: manager.lock(n).acquire_write(0.01))()
+        # all released afterwards
+        for name in ("x", "y"):
+            run_in_thread(lambda n=name: manager.lock(n).acquire_write(0.5))()
+
+    def test_write_many_timeout_releases_partial_acquisition(self):
+        manager = LockManager()
+        with manager.write("b"):  # blocks the second name in sorted order
+            def contender():
+                with manager.write_many(["a", "b"], timeout=0.01):
+                    pass
+
+            with pytest.raises(LockTimeoutError):
+                run_in_thread(contender)()
+        # "a" must not be left locked by the failed attempt
+        run_in_thread(lambda: manager.lock("a").acquire_write(0.5))()
+
+    def test_opposed_orders_cannot_deadlock(self):
+        """Two writers asking for {a,b} in opposite textual order both finish."""
+        manager = LockManager()
+        start = threading.Barrier(2, timeout=10)
+
+        def worker(names):
+            start.wait()
+            for _ in range(50):
+                with manager.write_many(names, timeout=10.0):
+                    pass
+
+        joins = [
+            run_in_thread(worker, ["a", "b"]),
+            run_in_thread(worker, ["b", "a"]),
+        ]
+        for join in joins:
+            join()
