@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-storage test-concurrency lint bench bench-smoke explain-demo serve
+.PHONY: test test-storage test-concurrency test-paths lint bench bench-smoke explain-demo serve
 
 ## Run the full tier-1 suite (unit + integration + benchmark assertions).
 test:
@@ -19,6 +19,12 @@ test-storage:
 test-concurrency:
 	$(PYTHON) -m pytest tests/tx tests/integration/test_concurrency_stress.py tests/server -q
 
+## The path-query suite alone: var-length expansion, shortestPath and the
+## reachability accelerator units plus the property-based differential
+## tests (naive == iterative == accelerated) and translator passthrough.
+test-paths:
+	$(PYTHON) -m pytest tests/cypher/test_paths.py tests/cypher/test_path_properties.py tests/compat/test_path_passthrough.py -q
+
 ## Static checks (requires ruff: `pip install ruff`; CI installs it).
 lint:
 	ruff check src tests benchmarks
@@ -31,8 +37,9 @@ bench:
 ## planner/plan-cache experiment, the streaming-vs-eager P6 comparison, the
 ## batched-vs-per-activation P7 trigger comparison, the P8 physical
 ## operator comparisons (range seek / hash join / top-k), the P9
-## durability throughput/recovery experiment and the P10 concurrent-HTTP
-## throughput experiment (qps at 1/2/4/8 clients through the server).
+## durability throughput/recovery experiment, the P10 concurrent-HTTP
+## throughput experiment (qps at 1/2/4/8 clients through the server) and
+## the P11 path-query experiment (reachability accelerator vs DFS).
 ## Timings are dumped to BENCH_smoke.json (uploaded as a CI artifact).
 bench-smoke:
 	$(PYTHON) -m pytest \
@@ -44,6 +51,7 @@ bench-smoke:
 		benchmarks/test_perf_physical_operators.py \
 		benchmarks/test_perf_durability.py \
 		benchmarks/test_perf_concurrency.py \
+		benchmarks/test_perf_paths.py \
 		-q --benchmark-columns=min,mean,rounds \
 		--benchmark-json=BENCH_smoke.json
 
@@ -70,6 +78,15 @@ durability-demo:
 ## Print the P10 experiment (HTTP qps at 1/2/4/8 concurrent clients).
 concurrency-demo:
 	$(PYTHON) -c "from repro.bench import perf_concurrency; print(perf_concurrency().to_text())"
+
+## Print the P11 experiment (reachability accelerator vs DFS, shortestPath).
+paths-demo:
+	$(PYTHON) -c "from repro.bench import perf_paths; print(perf_paths().to_text())"
+
+## Run the contact-tracing path-query walkthrough (k-hop exposure rings,
+## shortest transmission chains, a path-predicate trigger).
+contact-tracing-demo:
+	$(PYTHON) examples/contact_tracing.py
 
 ## Start the asyncio HTTP/JSON server on port 7688 (in-memory graphs; pass
 ## SERVE_ARGS='--path data --port 7688' etc. for durable storage).

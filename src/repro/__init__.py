@@ -35,6 +35,7 @@ from .database import (
     reset_default_database,
 )
 from .graph import Node, PropertyGraph, Relationship
+from .paths import Path
 from .triggers.session import GraphSession
 from .tx.errors import LockTimeoutError
 from .tx.locks import LockManager
@@ -48,6 +49,7 @@ __all__ = [
     "LockManager",
     "LockTimeoutError",
     "Node",
+    "Path",
     "PropertyGraph",
     "QueryStatistics",
     "Relationship",

@@ -26,6 +26,7 @@ Added performance experiments (labelled P1–P4 in DESIGN.md / EXPERIMENTS.md):
 * :func:`perf_physical_operators` — range seek / hash join / top-k vs baselines
 * :func:`perf_durability`        — in-memory vs WAL fsync vs group-commit throughput
 * :func:`perf_concurrency`       — HTTP throughput at N concurrent clients (reads vs writes)
+* :func:`perf_paths`             — reachability accelerator vs DFS expansion + shortestPath
 """
 
 from __future__ import annotations
@@ -1086,6 +1087,123 @@ def perf_concurrency(
     return result
 
 
+# ---------------------------------------------------------------------------
+# P11 — path queries: reachability accelerator and shortestPath
+# ---------------------------------------------------------------------------
+
+
+def perf_paths(nodes: int = 50_000, branching: int = 3, repeats: int = 3) -> ExperimentResult:
+    """P11 — path queries over a 50k-node containment hierarchy.
+
+    The graph is a complete ``branching``-ary PART_OF tree (depth ~9 at
+    50k nodes) with a property index on ``pid`` so start/target lookup
+    never dominates the traversal being measured.  Three comparisons:
+
+    * **bound-pair reachability** — ``(root)-[:PART_OF*]->(leaf)`` with
+      both endpoints bound: the DFS route enumerates the whole subtree
+      under the root before the target filter applies, while the
+      reachability index answers with one O(1) interval-containment
+      probe.  This is the accelerator's headline win and must be ≥5x.
+    * **unbound subtree enumeration** — ``(root)-[:PART_OF*]->(x)``:
+      both routes touch every descendant, so the interval scan's win is
+      bounded (no per-path trail bookkeeping); the ratio is reported.
+    * **shortestPath latency** — bidirectional BFS vs the naive
+      enumerator (``naive_paths=True``) on the same bound pair; the
+      backward frontier is the parent chain, so the fast route explores
+      ~depth nodes instead of every rel-unique walk.
+
+    Every comparison asserts identical rows.
+    """
+    result = ExperimentResult("P11", "P11 — path queries: reachability accelerator, shortestPath")
+    graph = PropertyGraph()
+    created = [graph.create_node(["Part"], {"pid": 0})]
+    while len(created) < nodes:
+        index = len(created)
+        parent = created[(index - 1) // branching]
+        node = graph.create_node(["Part"], {"pid": index})
+        graph.create_relationship("PART_OF", parent.id, node.id)
+        created.append(node)
+    graph.create_property_index("Part", "pid")
+    leaf_pid = nodes - 1
+    depth = 0
+    probe_index = leaf_pid
+    while probe_index > 0:
+        probe_index = (probe_index - 1) // branching
+        depth += 1
+
+    def best_of(run) -> tuple[float, list[dict]]:
+        timings, rows = [], []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            rows = run()
+            timings.append(time.perf_counter() - started)
+        return min(timings), rows
+
+    def timed_query(query: str, **executor_kwargs):
+        return best_of(lambda: QueryExecutor(graph, **executor_kwargs).execute(query).rows)
+
+    # -- bound-pair reachability: DFS vs interval probe -----------------
+    bound_query = (
+        f"MATCH (b:Part {{pid: {leaf_pid}}}) "
+        "MATCH (a:Part {pid: 0})-[:PART_OF*]->(b) "
+        "RETURN b.pid AS pid"
+    )
+    dfs_seconds, dfs_rows = timed_query(bound_query)
+    graph.create_reachability_index("PART_OF")
+    graph.reachability_index("PART_OF").ensure(graph)  # build outside the timer
+    accel_seconds, accel_rows = timed_query(bound_query)
+    assert accel_rows == dfs_rows and len(accel_rows) == 1
+    probe = QueryExecutor(graph)
+    assert "reachability" in probe.plan_description(bound_query)
+    bound_speedup = dfs_seconds / accel_seconds if accel_seconds else float("inf")
+    result.add_row(route="VarLengthExpand (dfs)", comparison="bound-pair reachability",
+                   best_ms=1000 * dfs_seconds, rows=len(dfs_rows))
+    result.add_row(route="ReachabilityIndex probe", comparison="bound-pair reachability",
+                   best_ms=1000 * accel_seconds, rows=len(accel_rows))
+
+    # -- unbound subtree enumeration: DFS vs interval scan --------------
+    subtree_root = branching  # last node of depth 1: its subtree is ~1/b of the tree
+    subtree_query = (
+        f"MATCH (a:Part {{pid: {subtree_root}}})-[:PART_OF*]->(x) "
+        "RETURN count(x) AS n"
+    )
+    graph.drop_reachability_index("PART_OF")
+    scan_dfs_seconds, scan_dfs_rows = timed_query(subtree_query)
+    graph.create_reachability_index("PART_OF")
+    graph.reachability_index("PART_OF").ensure(graph)
+    scan_accel_seconds, scan_accel_rows = timed_query(subtree_query)
+    assert scan_accel_rows == scan_dfs_rows
+    scan_ratio = scan_dfs_seconds / scan_accel_seconds if scan_accel_seconds else float("inf")
+    result.add_row(route="VarLengthExpand (dfs)", comparison="subtree enumeration",
+                   best_ms=1000 * scan_dfs_seconds, rows=scan_dfs_rows[0]["n"])
+    result.add_row(route="ReachabilityIndex scan", comparison="subtree enumeration",
+                   best_ms=1000 * scan_accel_seconds, rows=scan_accel_rows[0]["n"])
+
+    # -- shortestPath: bidirectional BFS vs naive enumeration -----------
+    shortest_query = (
+        f"MATCH (b:Part {{pid: {leaf_pid}}}) "
+        "MATCH p = shortestPath((a:Part {pid: 0})-[:PART_OF*..15]->(b)) "
+        "RETURN length(p) AS len"
+    )
+    naive_seconds, naive_rows = timed_query(shortest_query, naive_paths=True)
+    bfs_seconds, bfs_rows = timed_query(shortest_query)
+    assert bfs_rows == naive_rows and bfs_rows == [{"len": depth}]
+    assert "ShortestPath(" in probe.plan_description(shortest_query)
+    shortest_speedup = naive_seconds / bfs_seconds if bfs_seconds else float("inf")
+    result.add_row(route="naive enumeration", comparison="shortestPath (bound pair)",
+                   best_ms=1000 * naive_seconds, rows=len(naive_rows))
+    result.add_row(route="bidirectional BFS", comparison="shortestPath (bound pair)",
+                   best_ms=1000 * bfs_seconds, rows=len(bfs_rows))
+
+    assert bound_speedup >= 5.0, f"reachability speedup only {bound_speedup:.1f}x"
+    result.note(f"bound-pair reachability speedup (dfs / probe): {bound_speedup:.1f}x")
+    result.note(f"subtree enumeration ratio (dfs / scan): {scan_ratio:.2f}x")
+    result.note(f"shortestPath speedup (naive / bidirectional): {shortest_speedup:.1f}x")
+    result.note(f"tree: {nodes} nodes, branching {branching}, target depth {depth}")
+    result.note("every comparison returned identical rows")
+    return result
+
+
 #: Registry used by the CLI runner and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "T1": table1_feature_matrix,
@@ -1108,4 +1226,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "P8": perf_physical_operators,
     "P9": perf_durability,
     "P10": perf_concurrency,
+    "P11": perf_paths,
 }

@@ -196,10 +196,15 @@ class RelationshipPattern:
 
 @dataclass(frozen=True)
 class PathPattern:
-    """An alternating sequence node, rel, node, rel, … starting/ending with nodes."""
+    """An alternating sequence node, rel, node, rel, … starting/ending with nodes.
+
+    ``shortest`` is ``"shortestPath"`` when the pattern was wrapped in that
+    function (the only supported selector), ``None`` for a plain pattern.
+    """
 
     elements: tuple[Union[NodePattern, RelationshipPattern], ...]
     variable: Optional[str] = None
+    shortest: Optional[str] = None
 
     @property
     def nodes(self) -> tuple[NodePattern, ...]:

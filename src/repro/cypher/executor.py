@@ -51,10 +51,17 @@ from __future__ import annotations
 import datetime as _dt
 import heapq
 import itertools
+from dataclasses import replace as _dc_replace
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..graph.model import Node, Relationship
 from ..graph.store import PropertyGraph
+from ..paths import (
+    Path,
+    bidirectional_shortest,
+    reachability_applicable,
+    single_source_shortest,
+)
 from ..tx.transaction import Transaction
 from .ast import (
     CallClause,
@@ -168,6 +175,7 @@ class QueryExecutor:
         join_ordering: bool = True,
         memoize_match: bool = False,
         memoize_skip_variables: Iterable[str] = (),
+        naive_paths: bool = False,
     ) -> None:
         self.graph = graph
         self.transaction = transaction or Transaction(graph)
@@ -193,6 +201,10 @@ class QueryExecutor:
         #: depending on one can never get a memo hit, so it stays on the
         #: live path instead of filling the memo with dead entries.
         self.memoize_skip_variables = frozenset(memoize_skip_variables)
+        #: Force the recursive path enumerator (and per-start shortest-path
+        #: enumeration) instead of the iterative/accelerated routes.  The
+        #: differential property suites treat this executor as ground truth.
+        self.naive_paths = naive_paths
         self.last_statistics = QueryStatistics()
         self._plan: QueryPlan | None = None
         self._base_context: EvaluationContext | None = None
@@ -633,6 +645,9 @@ class QueryExecutor:
             if pattern_plan is not None:
                 elements = pattern_plan.elements
                 access = pattern_plan.start
+        if pattern.shortest is not None:
+            yield from self._iter_shortest(pattern, elements, row, access)
+            return
         if access is not None and access.kind == REL_INDEX:
             relationships = self._rel_seek_candidates(access, row)
             if relationships is not None:
@@ -723,6 +738,146 @@ class QueryExecutor:
                     path_nodes=[start_node, end_node], path_rels=[rel], pattern=pattern,
                 )
 
+    # ------------------------------------------------------------------
+    # shortestPath
+    # ------------------------------------------------------------------
+    #
+    # Pinned semantics, shared by every route so differential comparison
+    # is exact: shortest means fewest relationships; ties break to the
+    # lexicographically smallest relationship-id tuple; a start node is
+    # never its own target except as the zero-length path when
+    # ``min_hops == 0``.  The fast searches only run for ``min_hops`` of 0
+    # or 1 (minimal walks are relationship-unique there); a larger minimum
+    # or ``naive_paths=True`` takes the enumerating ground-truth route.
+
+    def _iter_shortest(
+        self, pattern: PathPattern, elements: Sequence, row: dict,
+        access: AccessPath | None,
+    ) -> Iterator[dict]:
+        source_pattern, rel_pattern, target_pattern = elements
+        min_hops = rel_pattern.min_hops if rel_pattern.min_hops is not None else 1
+        max_hops = rel_pattern.max_hops if rel_pattern.max_hops is not None else self.max_hops
+        if access is not None and access.kind == REL_INDEX:
+            access = None
+        for node, bindings in self._candidate_nodes(source_pattern, row, access):
+            yield from self._shortest_from(
+                pattern, rel_pattern, target_pattern, node, bindings,
+                min_hops, max_hops,
+            )
+
+    def _shortest_from(
+        self, pattern, rel_pattern, target_pattern, start, bindings,
+        min_hops, max_hops,
+    ) -> Iterator[dict]:
+        variable = target_pattern.variable
+        bound = bindings.get(variable) if variable is not None else None
+        fast = not self.naive_paths and min_hops <= 1
+        if isinstance(bound, Node):
+            if bound.id == start.id:
+                if min_hops <= 0:
+                    yield from self._emit_shortest(
+                        pattern, rel_pattern, target_pattern, start, bindings, ()
+                    )
+                return
+            if fast:
+                rels = bidirectional_shortest(
+                    start.id,
+                    bound.id,
+                    self._shortest_expander(rel_pattern, bindings),
+                    self._shortest_expander(_flip_direction(rel_pattern), bindings),
+                    max_hops,
+                )
+            else:
+                rels = self._shortest_naive(
+                    rel_pattern, start, bindings, min_hops, max_hops
+                ).get(bound.id)
+            if rels is not None:
+                yield from self._emit_shortest(
+                    pattern, rel_pattern, target_pattern, start, bindings, rels
+                )
+            return
+        if fast:
+            best = single_source_shortest(
+                start.id, self._shortest_expander(rel_pattern, bindings), max_hops
+            )
+        else:
+            best = self._shortest_naive(
+                rel_pattern, start, bindings, min_hops, max_hops
+            )
+        if min_hops <= 0:
+            yield from self._emit_shortest(
+                pattern, rel_pattern, target_pattern, start, bindings, ()
+            )
+        for target_id in sorted(
+            best, key=lambda t: (len(best[t]), tuple(r.id for r in best[t]))
+        ):
+            yield from self._emit_shortest(
+                pattern, rel_pattern, target_pattern, start, bindings, best[target_id]
+            )
+
+    def _shortest_naive(
+        self, rel_pattern, start, bindings, min_hops, max_hops
+    ) -> dict[int, tuple]:
+        """Ground truth: enumerate every relationship-unique path, keep the
+        per-target minimum by (length, relationship-id tuple)."""
+        floor = max(min_hops, 1)
+        best: dict[int, tuple] = {}
+
+        def recurse(node: Node, hops: list, visited: set[int]) -> None:
+            if len(hops) >= floor and node.id != start.id:
+                key = (len(hops), tuple(r.id for r in hops))
+                current = best.get(node.id)
+                if current is None or key < (len(current), tuple(r.id for r in current)):
+                    best[node.id] = tuple(hops)
+            if len(hops) >= max_hops:
+                return
+            for rel in self._candidate_relationships(rel_pattern, node, bindings, ignore_bound=True):
+                if rel.id in visited:
+                    continue
+                other_id = rel.other_end(node.id)
+                if not self.graph.has_node(other_id):
+                    continue
+                recurse(self.graph.node(other_id), hops + [rel], visited | {rel.id})
+
+        recurse(start, [], set())
+        return best
+
+    def _shortest_expander(self, rel_pattern, bindings):
+        """Close pattern predicate filtering over a BFS frontier expansion."""
+
+        def expand(node_id: int):
+            if not self.graph.has_node(node_id):
+                return
+            node = self.graph.node(node_id)
+            for rel in self._candidate_relationships(
+                rel_pattern, node, bindings, ignore_bound=True
+            ):
+                other_id = rel.other_end(node_id)
+                if self.graph.has_node(other_id):
+                    yield rel, other_id
+
+        return expand
+
+    def _emit_shortest(
+        self, pattern, rel_pattern, target_pattern, start, bindings, rels
+    ) -> Iterator[dict]:
+        """Materialise one winning relationship tuple into a result row."""
+        nodes = [start]
+        for rel in rels:
+            next_id = rel.other_end(nodes[-1].id)
+            if not self.graph.has_node(next_id):
+                return
+            nodes.append(self.graph.node(next_id))
+        target_bindings = self._bind_node(target_pattern, nodes[-1], bindings)
+        if target_bindings is None:
+            return
+        final = dict(target_bindings)
+        if rel_pattern.variable is not None:
+            final[rel_pattern.variable] = list(rels)
+        if pattern.variable is not None:
+            final[pattern.variable] = Path(nodes, list(rels))
+        yield final
+
     def _extend_path(
         self,
         elements: Sequence,
@@ -737,10 +892,7 @@ class QueryExecutor:
         if index >= len(elements):
             final = dict(bindings)
             if pattern.variable is not None:
-                final[pattern.variable] = {
-                    "nodes": list(path_nodes),
-                    "relationships": list(path_rels),
-                }
+                final[pattern.variable] = Path(path_nodes, path_rels)
             yield final
             return
         rel_pattern = elements[index]
@@ -779,10 +931,58 @@ class QueryExecutor:
         self, rel_pattern, node_pattern, elements, index, current_node, bindings,
         used_rels, path_nodes, path_rels, pattern,
     ) -> Iterator[dict]:
+        """Dispatch one ``-[:T*min..max]-`` hop to the best applicable route.
+
+        All three routes produce identical rows in identical order (the
+        naive recursive enumerator's DFS preorder, candidates in
+        relationship-id order); the differential property suites hold them
+        to that.  ``naive_paths=True`` pins the recursive ground truth;
+        otherwise the iterative walk runs, upgraded to a reachability-index
+        interval scan when :func:`repro.paths.accelerator
+        .reachability_applicable` says the declared index covers the hop
+        and the lazily rebuilt encoding did not decline.
+        """
         min_hops = rel_pattern.min_hops if rel_pattern.min_hops is not None else 1
         max_hops = rel_pattern.max_hops if rel_pattern.max_hops is not None else self.max_hops
+        if not self.naive_paths:
+            rel_type = reachability_applicable(
+                self.graph, pattern, rel_pattern, elements, index, self.virtual_labels
+            )
+            if rel_type is not None:
+                accelerator = self.graph.reachability_index(rel_type)
+                if accelerator is not None and accelerator.ensure(self.graph):
+                    yield from self._expand_reachability(
+                        accelerator, rel_pattern, node_pattern, current_node,
+                        bindings, min_hops, max_hops,
+                    )
+                    return
+            yield from self._expand_variable_length_iterative(
+                rel_pattern, node_pattern, elements, index, current_node, bindings,
+                used_rels, path_nodes, path_rels, pattern, min_hops, max_hops,
+            )
+            return
+        yield from self._expand_variable_length_naive(
+            rel_pattern, node_pattern, elements, index, current_node, bindings,
+            used_rels, path_nodes, path_rels, pattern, min_hops, max_hops,
+        )
 
-        def recurse(node: Node, hops: list[Relationship], visited_rels: set[int]) -> Iterator[dict]:
+    def _expand_variable_length_naive(
+        self, rel_pattern, node_pattern, elements, index, current_node, bindings,
+        used_rels, path_nodes, path_rels, pattern, min_hops, max_hops,
+    ) -> Iterator[dict]:
+        """The recursive ground-truth enumerator (differential baseline).
+
+        ``trail`` carries the target node of every hop taken so far, so a
+        named path binds its intermediate nodes (and a zero-hop match does
+        not duplicate the start node).
+        """
+
+        def recurse(
+            node: Node,
+            hops: list[Relationship],
+            trail: list[Node],
+            visited_rels: set[int],
+        ) -> Iterator[dict]:
             if len(hops) >= min_hops:
                 target_bindings = self._bind_node(node_pattern, node, bindings)
                 if target_bindings is not None:
@@ -792,7 +992,7 @@ class QueryExecutor:
                     yield from self._extend_path(
                         elements, index + 2, node, final_bindings,
                         used_rels | visited_rels,
-                        path_nodes + [node], path_rels + list(hops), pattern,
+                        path_nodes + trail, path_rels + list(hops), pattern,
                     )
             if len(hops) >= max_hops:
                 return
@@ -802,9 +1002,131 @@ class QueryExecutor:
                 other_id = rel.other_end(node.id)
                 if not self.graph.has_node(other_id):
                     continue
-                yield from recurse(self.graph.node(other_id), hops + [rel], visited_rels | {rel.id})
+                other = self.graph.node(other_id)
+                yield from recurse(
+                    other, hops + [rel], trail + [other], visited_rels | {rel.id}
+                )
 
-        yield from recurse(current_node, [], set())
+        yield from recurse(current_node, [], [], set())
+
+    def _expand_variable_length_iterative(
+        self, rel_pattern, node_pattern, elements, index, current_node, bindings,
+        used_rels, path_nodes, path_rels, pattern, min_hops, max_hops,
+    ) -> Iterator[dict]:
+        """Iterative DFS reproducing the naive enumerator's exact preorder.
+
+        One running ``hops``/``trail``/``visited`` state mutated on
+        push/pop replaces the naive route's per-level list and set copies
+        and its O(depth) chain of suspended generator frames; snapshots are
+        only taken at emission time, where the naive route copies too.
+        """
+        hops: list[Relationship] = []
+        trail: list[Node] = []
+        visited: set[int] = set()
+
+        def emit(node: Node) -> Iterator[dict]:
+            target_bindings = self._bind_node(node_pattern, node, bindings)
+            if target_bindings is None:
+                return iter(())
+            final_bindings = dict(target_bindings)
+            if rel_pattern.variable is not None:
+                final_bindings[rel_pattern.variable] = list(hops)
+            return self._extend_path(
+                elements, index + 2, node, final_bindings, used_rels | visited,
+                path_nodes + trail, path_rels + list(hops), pattern,
+            )
+
+        if min_hops <= 0:
+            yield from emit(current_node)
+        if max_hops <= 0:
+            return
+        stack: list[tuple[Node, Optional[Relationship], Iterator[Relationship]]] = [
+            (
+                current_node,
+                None,
+                iter(self._candidate_relationships(
+                    rel_pattern, current_node, bindings, ignore_bound=True
+                )),
+            )
+        ]
+        while stack:
+            node, rel_in, candidates = stack[-1]
+            descended = False
+            for rel in candidates:
+                if rel.id in visited or rel.id in used_rels:
+                    continue
+                other_id = rel.other_end(node.id)
+                if not self.graph.has_node(other_id):
+                    continue
+                other = self.graph.node(other_id)
+                hops.append(rel)
+                trail.append(other)
+                visited.add(rel.id)
+                if len(hops) >= min_hops:
+                    yield from emit(other)
+                if len(hops) < max_hops:
+                    stack.append((
+                        other,
+                        rel,
+                        iter(self._candidate_relationships(
+                            rel_pattern, other, bindings, ignore_bound=True
+                        )),
+                    ))
+                    descended = True
+                    break
+                # Max depth: this hop is a leaf — retreat without a frame.
+                visited.discard(rel.id)
+                hops.pop()
+                trail.pop()
+            if not descended:
+                stack.pop()
+                if rel_in is not None:
+                    visited.discard(rel_in.id)
+                    hops.pop()
+                    trail.pop()
+
+    def _expand_reachability(
+        self, accelerator, rel_pattern, node_pattern, current_node, bindings,
+        min_hops, max_hops,
+    ) -> Iterator[dict]:
+        """Serve the hop from the interval encoding (final segment only).
+
+        Applicability guarantees there is no relationship variable, no
+        named path and nothing after the target node, so each reachable
+        target yields exactly one finished row; the forest shape plus the
+        build DFS's relationship-id child order make the scan's preorder
+        equal to the naive enumerator's emission order.
+        """
+        variable = node_pattern.variable
+        bound = bindings.get(variable) if variable is not None else None
+        if isinstance(bound, Node):
+            # Bound target: one O(1) interval-containment probe ("in"
+            # swaps the roles — the bound node must be the ancestor).
+            if rel_pattern.direction == "out":
+                hit = accelerator.reaches(current_node.id, bound.id, min_hops, max_hops)
+            else:
+                hit = accelerator.reaches(bound.id, current_node.id, min_hops, max_hops)
+            if not hit:
+                return
+            if not self.graph.has_node(bound.id):
+                return
+            refreshed = self.graph.node(bound.id)
+            target_bindings = self._bind_node(node_pattern, refreshed, bindings)
+            if target_bindings is not None:
+                yield target_bindings
+            return
+        if rel_pattern.direction == "out":
+            targets = accelerator.descendants(current_node.id, min_hops, max_hops)
+        else:
+            targets = accelerator.ancestors(current_node.id, min_hops, max_hops)
+        for target_id in targets:
+            if not self.graph.has_node(target_id):
+                continue
+            target_bindings = self._bind_node(
+                node_pattern, self.graph.node(target_id), bindings
+            )
+            if target_bindings is not None:
+                yield target_bindings
 
     def _candidate_nodes(
         self,
@@ -1685,6 +2007,12 @@ def _pattern_variables(patterns: Iterable[PathPattern]) -> list[str]:
     return names
 
 
+def _flip_direction(rel_pattern: RelationshipPattern) -> RelationshipPattern:
+    """The same relationship pattern traversed from the other end."""
+    flipped = {"out": "in", "in": "out", "both": "both"}[rel_pattern.direction]
+    return _dc_replace(rel_pattern, direction=flipped)
+
+
 def _same_item(left: Any, right: Any) -> bool:
     if isinstance(left, (Node, Relationship)) and isinstance(right, (Node, Relationship)):
         return type(left) is type(right) and left.id == right.id
@@ -1729,6 +2057,8 @@ def _hashable(value: Any) -> Any:
         return ("node", value.id)
     if isinstance(value, Relationship):
         return ("rel", value.id)
+    if isinstance(value, Path):
+        return ("path",) + value._key()
     if isinstance(value, list):
         return ("list", tuple(_hashable(v) for v in value))
     if isinstance(value, dict):

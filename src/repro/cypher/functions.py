@@ -13,9 +13,11 @@ Functions follow openCypher null semantics: most scalar functions return
 from __future__ import annotations
 
 import datetime as _dt
+from collections.abc import Mapping
 from typing import Any, Callable, Sequence
 
 from ..graph.model import Node, Relationship
+from ..paths import Path
 from .errors import CypherRuntimeError, CypherTypeError
 
 
@@ -104,12 +106,19 @@ def _fn_size(args, context):
     value = args[0]
     if value is None:
         return None
+    if isinstance(value, Path):
+        return value.length
     if isinstance(value, (list, tuple, str, dict)):
         return len(value)
     raise CypherTypeError("size() expects a list, string or map")
 
 
 def _fn_length(args, context):
+    _require_args("length", args, 1)
+    value = args[0]
+    if isinstance(value, Path):
+        # openCypher: the number of relationships in the path.
+        return value.length
     return _fn_size(args, context)
 
 
@@ -301,7 +310,7 @@ def _fn_nodes(args, context):
     path = args[0]
     if path is None:
         return None
-    if isinstance(path, dict) and "nodes" in path:
+    if isinstance(path, Mapping) and "nodes" in path:
         return list(path["nodes"])
     raise CypherTypeError("nodes() expects a path")
 
@@ -311,7 +320,7 @@ def _fn_relationships(args, context):
     path = args[0]
     if path is None:
         return None
-    if isinstance(path, dict) and "relationships" in path:
+    if isinstance(path, Mapping) and "relationships" in path:
         return list(path["relationships"])
     raise CypherTypeError("relationships() expects a path")
 

@@ -12,6 +12,7 @@ engine for WHEN conditions that are plain predicates).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from .ast import (
@@ -409,11 +410,48 @@ class Parser:
         ):
             variable = self.expect_identifier()
             self.expect_punct("=")
+        if (
+            self.current.type == TokenType.IDENTIFIER
+            and self.current.value.lower() in {"shortestpath", "allshortestpaths"}
+            and self.peek().value == "("
+        ):
+            return self._parse_shortest_path(variable)
         elements: list = [self._parse_node_pattern()]
         while self.at_punct("-") or self.at_punct("<"):
             elements.append(self._parse_relationship_pattern())
             elements.append(self._parse_node_pattern())
         return PathPattern(elements=tuple(elements), variable=variable)
+
+    def _parse_shortest_path(self, variable: Optional[str]) -> PathPattern:
+        token = self.advance()
+        if token.value.lower() == "allshortestpaths":
+            raise UnsupportedFeatureError(
+                f"{token.value!r} (line {token.line}, offset {token.position}) is not "
+                "supported; shortestPath returns the deterministic single winner"
+            )
+        self.expect_punct("(")
+        inner = self.current
+        elements: list = [self._parse_node_pattern()]
+        while self.at_punct("-") or self.at_punct("<"):
+            elements.append(self._parse_relationship_pattern())
+            elements.append(self._parse_node_pattern())
+        self.expect_punct(")")
+        if len(elements) != 3:
+            raise CypherSyntaxError(
+                "shortestPath requires a single-relationship pattern "
+                "(a)-[:TYPE*..k]-(b)",
+                inner.position,
+                inner.line,
+            )
+        rel = elements[1]
+        if not rel.is_variable_length:
+            # Neo4j also rejects fixed single hops inside shortestPath;
+            # treat ``-[:R]-`` as the equivalent ``-[:R*1..1]-``.
+            rel = replace(rel, min_hops=1, max_hops=1)
+            elements[1] = rel
+        return PathPattern(
+            elements=tuple(elements), variable=variable, shortest="shortestPath"
+        )
 
     def _parse_node_pattern(self) -> NodePattern:
         self.expect_punct("(")
@@ -470,10 +508,14 @@ class Parser:
         self.expect_punct("-")
         pointing_right = False
         if self.at_punct(">"):
-            self.advance()
+            arrow = self.advance()
             pointing_right = True
-        if pointing_left and pointing_right:
-            raise CypherSyntaxError("relationship cannot point in both directions")
+            if pointing_left:
+                raise CypherSyntaxError(
+                    "relationship cannot point in both directions",
+                    arrow.position,
+                    arrow.line,
+                )
         if pointing_left:
             direction = "in"
         elif pointing_right:

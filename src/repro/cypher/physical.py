@@ -29,7 +29,13 @@ Start operators — how a pattern's candidate set is produced
 
 Pattern operators:
 
-* :class:`Expand` — one relationship hop of a path pattern;
+* :class:`Expand` — one fixed relationship hop of a path pattern;
+* :class:`VarLengthExpand` — a ``-[:R*min..max]->`` hop: DFS frontier
+  expansion with relationship-uniqueness, or an interval-containment range
+  scan when a :class:`~repro.paths.accelerator.ReachabilityIndex` applies
+  (``mode`` records which route the planner expects);
+* :class:`ShortestPath` — a ``shortestPath(...)`` pattern: bidirectional
+  BFS when both endpoints are bound, single-source BFS otherwise;
 * :class:`Filter` — a clause-level WHERE predicate (always re-evaluated,
   whatever the access path already guaranteed).
 
@@ -59,6 +65,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from ..paths.accelerator import reachability_applicable
 from .ast import Expression, NodePattern, RelationshipPattern, expression_text
 
 #: Access-path kinds, in decreasing priority.
@@ -185,6 +192,77 @@ class Expand:
         return f"Expand({left}[{spec}]{right}({target}))" + _est(self.estimated_rows)
 
 
+def _hop_spec(types: tuple[str, ...], min_hops, max_hops, direction: str) -> str:
+    """The ``-[:T*lo..hi]->`` fragment shared by the path operators."""
+    spec = ":" + "|".join(types) if types else ""
+    low = min_hops if min_hops is not None else 1
+    high = max_hops if max_hops is not None else ""
+    spec += f"*{low}..{high}"
+    left = "<-" if direction == "in" else "-"
+    right = "->" if direction == "out" else "-"
+    return f"{left}[{spec}]{right}"
+
+
+@dataclass(frozen=True)
+class VarLengthExpand:
+    """A variable-length hop of a path pattern (EXPLAIN bookkeeping).
+
+    Like :class:`Expand` this is advisory: the executor walks the pattern
+    elements directly and re-derives the route.  ``mode`` records the
+    strategy the planner expects — ``"dfs"`` for iterative depth-first
+    frontier expansion with relationship-uniqueness, ``"reachability"``
+    when a declared :class:`~repro.paths.accelerator.ReachabilityIndex`
+    covers the hop and the expansion collapses to an interval range scan.
+    The executor may still fall back from ``reachability`` to ``dfs`` at
+    run time (index declined on a non-forest shape, stale applicability),
+    which costs time, never correctness.
+    """
+
+    types: tuple[str, ...] = ()
+    direction: str = "both"
+    min_hops: Optional[int] = None
+    max_hops: Optional[int] = None
+    target_labels: tuple[str, ...] = ()
+    mode: str = "dfs"
+    estimated_rows: float = 0.0
+
+    def describe(self) -> str:
+        spec = _hop_spec(self.types, self.min_hops, self.max_hops, self.direction)
+        target = ":" + ":".join(self.target_labels) if self.target_labels else ""
+        return (
+            f"VarLengthExpand({spec}({target}), {self.mode})"
+            + _est(self.estimated_rows)
+        )
+
+
+@dataclass(frozen=True)
+class ShortestPath:
+    """A ``shortestPath((a)-[:R*..k]-(b))`` pattern (EXPLAIN bookkeeping).
+
+    The executor picks the search at run time: bidirectional BFS when both
+    endpoints are already bound in the row, single-source BFS otherwise.
+    Both compute the same pinned winner (fewest hops, then lexicographically
+    smallest relationship-id tuple), so the choice is pure strategy.
+    """
+
+    types: tuple[str, ...] = ()
+    direction: str = "both"
+    min_hops: Optional[int] = None
+    max_hops: Optional[int] = None
+    source_labels: tuple[str, ...] = ()
+    target_labels: tuple[str, ...] = ()
+    estimated_rows: float = 0.0
+
+    def describe(self) -> str:
+        spec = _hop_spec(self.types, self.min_hops, self.max_hops, self.direction)
+        source = ":" + ":".join(self.source_labels) if self.source_labels else ""
+        target = ":" + ":".join(self.target_labels) if self.target_labels else ""
+        return (
+            f"ShortestPath(({source}){spec}({target}), bfs)"
+            + _est(self.estimated_rows)
+        )
+
+
 @dataclass(frozen=True)
 class Filter:
     """A WHERE predicate applied to every candidate row of a MATCH clause."""
@@ -289,7 +367,7 @@ class Aggregate:
 
 
 #: Operators that can appear in a pattern's physical chain.
-PatternOperator = Union[AccessPath, Expand]
+PatternOperator = Union[AccessPath, Expand, VarLengthExpand, ShortestPath]
 #: Operators that can join two pattern groups.
 JoinOperator = Union[HashJoin, CartesianProduct]
 #: Operators a WITH/RETURN projection can lower to.
@@ -300,6 +378,10 @@ def physical_chain(
     start: AccessPath,
     elements,
     estimator,
+    pattern=None,
+    graph=None,
+    virtual_labels=(),
+    hop_cap: int = 15,
 ) -> tuple[tuple[PatternOperator, ...], float]:
     """Lower a pattern's element sequence into (start, Expand, …) operators.
 
@@ -307,10 +389,35 @@ def physical_chain(
     the same arithmetic as
     :meth:`repro.graph.statistics.CardinalityEstimator.pattern_cardinality`
     but keeping the running estimate per hop so EXPLAIN can show it.
+    Variable-length hops lower to :class:`VarLengthExpand` (annotated with
+    the reachability-accelerator mode when ``pattern``/``graph`` are given
+    and :func:`repro.paths.accelerator.reachability_applicable` says the
+    declared index covers the hop), a ``shortestPath`` pattern to a single
+    :class:`ShortestPath` operator.
 
     For a ``rel_index`` start the seek already binds the first
     relationship and both its endpoints, so the chain resumes after them.
     """
+    if pattern is not None and getattr(pattern, "shortest", None) is not None:
+        source, rel, target = elements
+        estimate = start.estimated_rows
+        if target.labels:
+            estimate *= estimator.label_fraction(target.labels)
+        return (
+            (
+                start,
+                ShortestPath(
+                    types=rel.types,
+                    direction=rel.direction,
+                    min_hops=rel.min_hops,
+                    max_hops=rel.max_hops,
+                    source_labels=source.labels,
+                    target_labels=target.labels,
+                    estimated_rows=estimate,
+                ),
+            ),
+            estimate,
+        )
     operators: list[PatternOperator] = [start]
     estimate = start.estimated_rows
     first_hop = 1
@@ -326,6 +433,30 @@ def physical_chain(
         node = elements[index + 1]
         assert isinstance(rel, RelationshipPattern)
         assert isinstance(node, NodePattern)
+        if rel.is_variable_length:
+            estimate *= estimator.variable_length_cardinality(
+                rel.types, rel.min_hops, rel.max_hops, hop_cap=hop_cap
+            )
+            if node.labels:
+                estimate *= estimator.label_fraction(node.labels)
+            mode = "dfs"
+            if graph is not None and pattern is not None:
+                if reachability_applicable(
+                    graph, pattern, rel, elements, index, virtual_labels
+                ):
+                    mode = "reachability"
+            operators.append(
+                VarLengthExpand(
+                    types=rel.types,
+                    direction=rel.direction,
+                    min_hops=rel.min_hops,
+                    max_hops=rel.max_hops,
+                    target_labels=node.labels,
+                    mode=mode,
+                    estimated_rows=estimate,
+                )
+            )
+            continue
         factor = estimator.expansion_factor(rel.types)
         hops = rel.min_hops if rel.min_hops is not None else 1
         estimate *= factor ** max(int(hops), 1)

@@ -492,13 +492,24 @@ def _plan_pattern(
             is_reversed = True
     # A relationship-property seek competes with both node-anchored starts.
     # It matches in the *written* orientation (the seeked relationship binds
-    # elements[0..2] directly), so choosing it discards any reversal.
-    rel_path = _rel_seek_path(pattern, sargable, virtual, indexes, estimator)
+    # elements[0..2] directly), so choosing it discards any reversal.  A
+    # shortestPath pattern is excluded: its search is anchored at the source
+    # node, so a relationship-first start has nothing to resume from.
+    rel_path = None
+    if pattern.shortest is None:
+        rel_path = _rel_seek_path(pattern, sargable, virtual, indexes, estimator)
     if rel_path is not None and rel_path.estimated_rows < chosen_path.estimated_rows:
         chosen_elements = pattern.elements
         chosen_path = rel_path
         is_reversed = False
-    physical, estimated = physical_chain(chosen_path, chosen_elements, estimator)
+    physical, estimated = physical_chain(
+        chosen_path,
+        chosen_elements,
+        estimator,
+        pattern=pattern,
+        graph=graph,
+        virtual_labels=virtual,
+    )
     return PatternPlan(
         pattern=pattern,
         elements=chosen_elements,

@@ -83,6 +83,7 @@ def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
         "relationship_indexes": [
             list(pair) for pair in graph.relationship_property_indexes()
         ],
+        "reachability_indexes": list(graph.reachability_indexes()),
     }
 
 
@@ -112,6 +113,8 @@ def graph_from_dict(payload: dict[str, Any]) -> PropertyGraph:
         graph.create_range_index(label, prop)
     for rel_type, prop in payload.get("relationship_indexes", ()):
         graph.create_relationship_property_index(rel_type, prop)
+    for rel_type in payload.get("reachability_indexes", ()):
+        graph.create_reachability_index(rel_type)
     return graph
 
 

@@ -222,6 +222,33 @@ class CardinalityEstimator:
                     estimate *= self.label_fraction(labels)
         return estimate
 
+    def variable_length_cardinality(
+        self,
+        rel_types: Iterable[str] = (),
+        min_hops: int | None = None,
+        max_hops: int | None = None,
+        hop_cap: int = 15,
+    ) -> float:
+        """Expected targets of one ``-[:T*min..max]->`` variable-length hop.
+
+        A depth-``d`` expansion reaches ``factor ** d`` candidates, and the
+        hop emits a row per depth in the window, so the estimate is the sum
+        of ``factor ** d`` over ``d`` in ``[min, max]``.  An unbounded
+        ``max`` is capped at ``hop_cap`` — the executor's default traversal
+        cap — and ``0.0 ** 0 == 1.0`` makes the zero-hop self row fall out
+        of the arithmetic even on an edgeless graph.
+        """
+        factor = self.expansion_factor(rel_types)
+        low = int(min_hops) if min_hops is not None else 1
+        low = max(low, 0)
+        high = int(max_hops) if max_hops is not None else hop_cap
+        estimate = 0.0
+        for depth in range(low, max(high, low - 1) + 1):
+            estimate += factor**depth
+            if estimate > 1e18:  # saturate instead of overflowing
+                break
+        return estimate
+
     # -- internals ------------------------------------------------------
 
     def _call(self, method: str, default: float) -> float:

@@ -31,6 +31,7 @@ from .errors import (
     NodeNotFoundError,
     RelationshipNotFoundError,
 )
+from ..paths.accelerator import ReachabilityIndex
 from .indexes import LabelIndex, OrderedPropertyIndex, PropertyIndex
 from .model import Node, Relationship, validate_properties, validate_property_value
 
@@ -59,6 +60,9 @@ class PropertyGraph:
         self._property_index = PropertyIndex()
         self._range_index = OrderedPropertyIndex()
         self._rel_property_index = PropertyIndex()
+        #: Declared reachability accelerators, one per relationship type
+        #: (see :mod:`repro.paths.accelerator`); rebuilt lazily on use.
+        self._reachability: dict[str, ReachabilityIndex] = {}
         self._outgoing: dict[int, set[int]] = {}
         self._incoming: dict[int, set[int]] = {}
         self._index_epoch = 0
@@ -227,7 +231,7 @@ class PropertyGraph:
     # property index management
     # ------------------------------------------------------------------
 
-    def _notify_ddl(self, action: str, kind: str, label: str, prop: str) -> None:
+    def _notify_ddl(self, action: str, kind: str, label: str, prop: str | None) -> None:
         if self.ddl_listener is not None:
             self.ddl_listener(action, kind, label, prop)
 
@@ -383,6 +387,44 @@ class PropertyGraph:
         """Entries per distinct value of the (type, prop) index (``None`` if absent)."""
         return self._rel_property_index.selectivity(rel_type, prop)
 
+    # -- reachability accelerator indexes -------------------------------
+
+    def create_reachability_index(self, rel_type: str) -> None:
+        """Declare a reachability accelerator for one relationship type.
+
+        The interval encoding itself is built lazily on first use (and
+        after every invalidating mutation); declaring only registers the
+        type, bumps the plan-invalidating index epoch and logs the DDL.
+        Idempotent like the other index declarations.
+        """
+        if rel_type in self._reachability:
+            return
+        self._reachability[rel_type] = ReachabilityIndex(rel_type)
+        self._index_epoch += 1
+        self._notify_ddl("create", "reachability", rel_type, None)
+
+    def drop_reachability_index(self, rel_type: str) -> None:
+        """Drop a declared reachability accelerator (bumps the index epoch)."""
+        if rel_type not in self._reachability:
+            return
+        del self._reachability[rel_type]
+        self._index_epoch += 1
+        self._notify_ddl("drop", "reachability", rel_type, None)
+
+    def reachability_indexes(self) -> list[str]:
+        """Relationship types with a declared reachability accelerator."""
+        return sorted(self._reachability)
+
+    def reachability_index(self, rel_type: str) -> ReachabilityIndex | None:
+        """The declared accelerator for ``rel_type`` (``None`` if absent)."""
+        return self._reachability.get(rel_type)
+
+    def _touch_reachability(self, rel_type: str) -> None:
+        """Mark the type's accelerator stale after a topology mutation."""
+        accelerator = self._reachability.get(rel_type)
+        if accelerator is not None:
+            accelerator.invalidate()
+
     # ------------------------------------------------------------------
     # mutation primitives
     # ------------------------------------------------------------------
@@ -446,6 +488,7 @@ class PropertyGraph:
         self._rel_types.add(rel_type, rel_id)
         for key, value in props.items():
             self._rel_property_index.add(rel_type, key, value, rel_id)
+        self._touch_reachability(rel_type)
         return rel
 
     def delete_node(self, node_id: int, detach: bool = False) -> Node:
@@ -479,6 +522,7 @@ class PropertyGraph:
         self._rel_types.remove(rel.type, rel_id)
         for key, value in rel.properties.items():
             self._rel_property_index.remove(rel.type, key, value, rel_id)
+        self._touch_reachability(rel.type)
         return rel
 
     def add_label(self, node_id: int, label: str) -> tuple[Node, Node]:
@@ -601,6 +645,9 @@ class PropertyGraph:
         self._rel_property_index = PropertyIndex()
         for rel_type, prop in declared_rel:
             self._rel_property_index.create(rel_type, prop)
+        self._reachability = {
+            rel_type: ReachabilityIndex(rel_type) for rel_type in self._reachability
+        }
 
     def copy(self, name: str | None = None) -> "PropertyGraph":
         """Return an independent deep copy of the graph."""
@@ -617,6 +664,8 @@ class PropertyGraph:
             clone.create_range_index(label, prop)
         for rel_type, prop in self.relationship_property_indexes():
             clone.create_relationship_property_index(rel_type, prop)
+        for rel_type in self.reachability_indexes():
+            clone.create_reachability_index(rel_type)
         return clone
 
     # ------------------------------------------------------------------

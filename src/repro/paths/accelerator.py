@@ -1,0 +1,263 @@
+"""Reachability acceleration via pre/post-order interval encoding.
+
+The XPath-accelerator idea, transplanted to property graphs: when the
+subgraph formed by one relationship type is *forest-shaped* (directed, no
+node with two incoming edges of the type, no parallel edges, no cycles —
+org charts, variant lineages, dependency trees), number every node with a
+DFS preorder ``pre`` and the largest preorder in its subtree ``post``.
+Then
+
+    v is a descendant of u  ⇔  pre(u) < pre(v) <= post(u)
+
+so ``(u)-[:R*]->(v)`` stops being a frontier expansion and becomes one
+interval-containment range scan over the engine's ordered property index
+(:class:`~repro.graph.indexes.OrderedPropertyIndex`), plus an O(depth)
+filter for hop bounds via the stored depths.  Reachability between two
+*bound* nodes is two dict probes and a comparison.
+
+Determinism: the DFS visits children in relationship-id order — the exact
+candidate order of the executor's naive enumerator — and a forest has
+exactly one path to each descendant, so an ascending-``pre`` interval scan
+emits targets in precisely the order (and multiplicity) the naive DFS
+would.  The accelerator is therefore transparent: same rows, same order.
+
+Shapes the encoding cannot express (cycles, diamonds, parallel edges,
+self-loops) make the index *decline*: ``ensure()`` reports unusable and
+the executor falls back to DFS expansion.  Data mutations mark the index
+dirty (see ``PropertyGraph.create_relationship`` /
+``delete_relationship``); the next query triggers a lazy rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..graph.indexes import OrderedPropertyIndex
+
+#: The pseudo-property the interval encoding is stored under.
+_PRE = "pre"
+
+
+class _Decline(Exception):
+    """Internal: the relationship type's subgraph is not forest-shaped."""
+
+
+class ReachabilityIndex:
+    """Interval-encoded reachability over one relationship type."""
+
+    def __init__(self, rel_type: str) -> None:
+        self.rel_type = rel_type
+        #: Number of (re)builds performed — observability for tests/benchmarks.
+        self.builds = 0
+        self._dirty = True
+        self._declined: Optional[str] = None
+        self._pre: dict[int, int] = {}
+        self._post: dict[int, int] = {}
+        self._depth: dict[int, int] = {}
+        #: child node id -> (relationship id, parent node id)
+        self._parent: dict[int, tuple[int, int]] = {}
+        self._order = OrderedPropertyIndex()
+        self._order.create(rel_type, _PRE)
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def dirty(self) -> bool:
+        """True when a data mutation invalidated the current encoding."""
+        return self._dirty
+
+    @property
+    def declined(self) -> Optional[str]:
+        """Why the last build refused to encode (``None`` when usable)."""
+        return self._declined
+
+    def invalidate(self) -> None:
+        """Mark the encoding stale; the next :meth:`ensure` rebuilds it."""
+        self._dirty = True
+
+    def ensure(self, graph) -> bool:
+        """Rebuild if stale; return True when the index can answer queries."""
+        if self._dirty:
+            self._rebuild(graph)
+        return self._declined is None
+
+    def entry_count(self) -> int:
+        """Number of encoded nodes (0 when declined or empty)."""
+        return len(self._pre)
+
+    # -- queries --------------------------------------------------------
+    #
+    # All three assume a successful ``ensure()``.  ``min_hops``/``max_hops``
+    # are inclusive hop bounds; a node without any relationship of the type
+    # is absent from the encoding but still matches itself at zero hops.
+
+    def descendants(self, node_id: int, min_hops: int, max_hops: int) -> list[int]:
+        """Nodes reachable from ``node_id``, in naive-DFS (preorder) order."""
+        if max_hops < min_hops:
+            return []
+        pre = self._pre.get(node_id)
+        if pre is None:
+            return [node_id] if min_hops <= 0 else []
+        hit = self._order.range_lookup(
+            self.rel_type,
+            _PRE,
+            lower=pre,
+            upper=self._post[node_id],
+            include_lower=min_hops <= 0,
+            include_upper=True,
+        )
+        if hit is None:  # pragma: no cover - the bucket only ever holds ints
+            return []
+        base = self._depth[node_id]
+        low, high = base + max(min_hops, 0), base + max_hops
+        return [
+            candidate
+            for candidate in sorted(hit, key=self._pre.__getitem__)
+            if low <= self._depth[candidate] <= high
+        ]
+
+    def ancestors(self, node_id: int, min_hops: int, max_hops: int) -> list[int]:
+        """The parent chain above ``node_id``, nearest first (naive order)."""
+        if max_hops < min_hops:
+            return []
+        result: list[int] = []
+        if min_hops <= 0:
+            if node_id not in self._pre and node_id not in self._parent:
+                return [node_id]
+            result.append(node_id)
+        current, hops = node_id, 0
+        while hops < max_hops:
+            link = self._parent.get(current)
+            if link is None:
+                break
+            hops += 1
+            current = link[1]
+            if hops >= min_hops:
+                result.append(current)
+        return result
+
+    def reaches(
+        self, ancestor_id: int, descendant_id: int, min_hops: int, max_hops: int
+    ) -> bool:
+        """Interval containment: is there a path within the hop bounds?"""
+        if max_hops < min_hops:
+            return False
+        if ancestor_id == descendant_id:
+            return min_hops <= 0
+        pre_a = self._pre.get(ancestor_id)
+        pre_d = self._pre.get(descendant_id)
+        if pre_a is None or pre_d is None:
+            return False
+        if not (pre_a < pre_d <= self._post[ancestor_id]):
+            return False
+        hops = self._depth[descendant_id] - self._depth[ancestor_id]
+        return max(min_hops, 1) <= hops <= max_hops
+
+    # -- build ----------------------------------------------------------
+
+    def _rebuild(self, graph) -> None:
+        self.builds += 1
+        self._dirty = False
+        self._declined = None
+        self._pre, self._post, self._depth, self._parent = {}, {}, {}, {}
+        self._order = OrderedPropertyIndex()
+        self._order.create(self.rel_type, _PRE)
+        try:
+            self._encode(graph.relationships_with_type(self.rel_type))
+        except _Decline as decline:
+            self._declined = str(decline)
+            self._pre, self._post, self._depth, self._parent = {}, {}, {}, {}
+            self._order = OrderedPropertyIndex()
+            self._order.create(self.rel_type, _PRE)
+
+    def _encode(self, relationships: Iterable) -> None:
+        children: dict[int, list[tuple[int, int]]] = {}
+        nodes: set[int] = set()
+        parent: dict[int, tuple[int, int]] = {}
+        for rel in relationships:  # arrives sorted by relationship id
+            if rel.start == rel.end:
+                raise _Decline(f"self-loop at node {rel.start}")
+            nodes.add(rel.start)
+            nodes.add(rel.end)
+            if rel.end in parent:
+                raise _Decline(
+                    f"node {rel.end} has multiple incoming :{self.rel_type} "
+                    "relationships (not a forest)"
+                )
+            parent[rel.end] = (rel.id, rel.start)
+            children.setdefault(rel.start, []).append((rel.id, rel.end))
+        counter = 0
+        for root in sorted(node for node in nodes if node not in parent):
+            # Iterative DFS, children in relationship-id order (already
+            # sorted by construction): pre on entry, post = max pre in the
+            # subtree on exit.
+            counter += 1
+            self._pre[root] = counter
+            self._depth[root] = 0
+            stack: list[tuple[int, Iterable]] = [(root, iter(children.get(root, ())))]
+            while stack:
+                node_id, child_iter = stack[-1]
+                advanced = False
+                for _, child in child_iter:
+                    counter += 1
+                    self._pre[child] = counter
+                    self._depth[child] = self._depth[node_id] + 1
+                    stack.append((child, iter(children.get(child, ()))))
+                    advanced = True
+                    break
+                if not advanced:
+                    stack.pop()
+                    self._post[node_id] = counter
+        if len(self._pre) != len(nodes):
+            raise _Decline(
+                f"cycle among :{self.rel_type} relationships "
+                f"({len(nodes) - len(self._pre)} nodes unreachable from any root)"
+            )
+        self._parent = parent
+        for node_id, pre in self._pre.items():
+            self._order.add(self.rel_type, _PRE, pre, node_id)
+
+
+def reachability_applicable(
+    graph, pattern, rel_pattern, elements, index, virtual_labels=()
+) -> Optional[str]:
+    """The relationship type a declared accelerator could serve, or ``None``.
+
+    Shared by the planner (to annotate ``VarLengthExpand`` with its mode)
+    and the executor (to pick the route at run time), so plan and
+    execution agree by construction.  The expansion must be exactly the
+    shape the interval scan reproduces:
+
+    * directed, a single concrete (non-virtual) relationship type, no
+      relationship property map (the encoding ignores properties);
+    * no relationship variable and no named path — the scan yields
+      *targets*, not the hop lists a binding would need;
+    * the final segment of the pattern, with no earlier segment able to
+      consume relationships of the same type (relationship uniqueness
+      would otherwise have to subtract used relationships from the scan).
+
+    Everything here is advisory: the executor still re-verifies labels,
+    bound variables and ``ensure()`` before trusting the index.
+    """
+    if getattr(pattern, "shortest", None) is not None:
+        return None
+    if pattern.variable is not None or rel_pattern.variable is not None:
+        return None
+    if rel_pattern.properties or rel_pattern.direction == "both":
+        return None
+    if len(rel_pattern.types) != 1:
+        return None
+    if index + 2 < len(elements):
+        return None
+    rel_type = rel_pattern.types[0]
+    if rel_type in virtual_labels:
+        return None
+    for element in elements:
+        if element is rel_pattern or getattr(element, "types", None) is None:
+            continue
+        if not element.types or rel_type in element.types:
+            return None
+    lookup = getattr(graph, "reachability_index", None)
+    if lookup is None or lookup(rel_type) is None:
+        return None
+    return rel_type

@@ -1,0 +1,118 @@
+"""The first-class ``Path`` value.
+
+A named path pattern (``p = (a)-[:R*]->(b)``) and ``shortestPath`` bind a
+:class:`Path`: the node snapshots visited, in traversal order, and the
+relationships traversed between them (``len(nodes) == len(relationships)
++ 1``; a zero-length path is one node and no relationships).
+
+``Path`` subclasses :class:`collections.abc.Mapping` with the two keys
+``"nodes"`` and ``"relationships"`` — the shape earlier releases bound as a
+plain dict — so existing expression dispatch (property access ``p.nodes``,
+subscripting ``p["relationships"]``) keeps working unchanged while
+``length(p)``/``nodes(p)``/``relationships(p)`` and the wire encoder can
+recognise paths as their own type.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any, Iterator, Sequence
+
+from ..graph.model import Node, Relationship
+
+
+class Path(Mapping):
+    """An immutable traversal result: nodes and the relationships between them."""
+
+    __slots__ = ("_nodes", "_relationships")
+
+    def __init__(
+        self, nodes: Sequence[Node], relationships: Sequence[Relationship]
+    ) -> None:
+        nodes = tuple(nodes)
+        relationships = tuple(relationships)
+        if len(nodes) != len(relationships) + 1:
+            raise ValueError(
+                f"a path over {len(relationships)} relationships needs "
+                f"{len(relationships) + 1} nodes, got {len(nodes)}"
+            )
+        object.__setattr__(self, "_nodes", nodes)
+        object.__setattr__(self, "_relationships", relationships)
+
+    # -- path surface ---------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        """The node snapshots along the path, start first."""
+        return self._nodes
+
+    @property
+    def relationships(self) -> tuple[Relationship, ...]:
+        """The relationships traversed, in traversal order."""
+        return self._relationships
+
+    @property
+    def start_node(self) -> Node:
+        return self._nodes[0]
+
+    @property
+    def end_node(self) -> Node:
+        return self._nodes[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of relationships (what Cypher's ``length(p)`` returns)."""
+        return len(self._relationships)
+
+    # -- Mapping protocol (dict-shaped view, for expression dispatch) ---
+
+    def __getitem__(self, key: str) -> list:
+        if key == "nodes":
+            return list(self._nodes)
+        if key == "relationships":
+            return list(self._relationships)
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        yield "nodes"
+        yield "relationships"
+
+    def __len__(self) -> int:
+        return 2
+
+    # -- identity -------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (
+            tuple(node.id for node in self._nodes),
+            tuple(rel.id for rel in self._relationships),
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Path):
+            return self._key() == other._key()
+        if isinstance(other, Mapping):
+            # Dict-shaped path values (the pre-Path representation) compare
+            # by the same node/relationship identity.
+            try:
+                nodes = other["nodes"]
+                rels = other["relationships"]
+            except (KeyError, TypeError):
+                return NotImplemented
+            if len(other) != 2:
+                return False
+            return self._key() == (
+                tuple(getattr(n, "id", None) for n in nodes),
+                tuple(getattr(r, "id", None) for r in rels),
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("path",) + self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hops = "".join(
+            f"-[{rel.id}:{rel.type}]-({node.id})"
+            for rel, node in zip(self._relationships, self._nodes[1:])
+        )
+        return f"Path(({self._nodes[0].id}){hops})"

@@ -1,0 +1,156 @@
+"""Deterministic shortest-path searches.
+
+Cypher's ``shortestPath`` picks *one* path per endpoint pair.  To keep
+every execution strategy differentially comparable (naive enumeration,
+single-source BFS, bidirectional BFS), the engine pins the choice down:
+
+* shortest means fewest relationships;
+* among equal-length paths the winner is the one whose relationship-id
+  tuple is lexicographically smallest.
+
+Both searches below compute exactly that winner via a level-synchronous
+dynamic program: the minimal-key path of length ``d+1`` to ``v`` is
+``min over (u, rel)`` of ``best[u] + rel`` with ``u`` at distance ``d`` —
+valid because every prefix (and, backward, every suffix) of a shortest
+path is itself a shortest path, and for fixed-length tuples the
+lexicographic minimum of a concatenation decomposes per segment.
+
+A minimal-length walk can never repeat a relationship (dropping the cycle
+would shorten it), so Cypher's relationship-uniqueness comes for free and
+these searches agree with the naive rel-unique path enumerator.
+
+``expand`` callbacks yield ``(relationship, neighbour_id)`` pairs; the
+executor closes its direction/type/property filtering over them, which is
+what pushes pattern predicates into the frontier.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+Expander = Callable[[int], Iterable[tuple]]
+
+
+def _key(path: tuple) -> tuple[int, ...]:
+    return tuple(rel.id for rel in path)
+
+
+def single_source_shortest(
+    start_id: int, expand: Expander, max_depth: int
+) -> dict[int, tuple]:
+    """Minimal path (as a relationship tuple) from ``start_id`` to every node.
+
+    Level-synchronous BFS with a per-node minimum-key dynamic program.
+    The start node itself is excluded (its zero-length path is the
+    caller's ``min_hops == 0`` special case), as is any longer cycle back
+    to it — matching ``shortestPath``'s distinct-endpoints semantics.
+    """
+    best: dict[int, tuple] = {}
+    dist: dict[int, int] = {start_id: 0}
+    frontier: dict[int, tuple] = {start_id: ()}
+    depth = 0
+    while frontier and depth < max_depth:
+        depth += 1
+        next_frontier: dict[int, tuple] = {}
+        for node_id, path in frontier.items():
+            for rel, other_id in expand(node_id):
+                if dist.get(other_id, depth) < depth:
+                    continue  # reached strictly earlier: not on a shortest path
+                candidate = path + (rel,)
+                current = next_frontier.get(other_id)
+                if current is None or _key(candidate) < _key(current):
+                    next_frontier[other_id] = candidate
+        for node_id, path in next_frontier.items():
+            dist[node_id] = depth
+            best[node_id] = path
+        frontier = next_frontier
+    return best
+
+
+def bidirectional_shortest(
+    start_id: int,
+    end_id: int,
+    expand_forward: Expander,
+    expand_backward: Expander,
+    max_depth: int,
+) -> Optional[tuple]:
+    """Minimal path between two bound endpoints, or ``None``.
+
+    Alternating level expansion from both ends (smaller frontier first).
+    Once frontier depths sum to the best meeting total — or to
+    ``max_depth`` — every shortest path must contain a node discovered
+    from *both* sides, so the answer is the minimum over meeting nodes of
+    ``prefix + suffix``; per-side minimality makes that concatenation the
+    global lexicographic minimum.
+    """
+    if start_id == end_id:
+        raise ValueError("bidirectional search requires distinct endpoints")
+    # Forward prefixes are stored in traversal order, backward suffixes in
+    # *forward* order too (each backward hop prepends its relationship), so
+    # meeting-point concatenation is direct.
+    prefix: dict[int, tuple] = {start_id: ()}
+    suffix: dict[int, tuple] = {end_id: ()}
+    dist_f: dict[int, int] = {start_id: 0}
+    dist_b: dict[int, int] = {end_id: 0}
+    frontier_f: dict[int, tuple] = dict(prefix)
+    frontier_b: dict[int, tuple] = dict(suffix)
+    depth_f = depth_b = 0
+    best_total: Optional[int] = None
+
+    while frontier_f and frontier_b:
+        bound = max_depth if best_total is None else min(best_total, max_depth)
+        if depth_f + depth_b >= bound:
+            break
+        if len(frontier_f) <= len(frontier_b):
+            depth_f += 1
+            frontier_f = _advance(frontier_f, expand_forward, dist_f, depth_f, forward=True)
+            for node_id, path in frontier_f.items():
+                prefix[node_id] = path
+                if node_id in dist_b:
+                    total = depth_f + dist_b[node_id]
+                    if best_total is None or total < best_total:
+                        best_total = total
+        else:
+            depth_b += 1
+            frontier_b = _advance(frontier_b, expand_backward, dist_b, depth_b, forward=False)
+            for node_id, path in frontier_b.items():
+                suffix[node_id] = path
+                if node_id in dist_f:
+                    total = dist_f[node_id] + depth_b
+                    if best_total is None or total < best_total:
+                        best_total = total
+
+    if best_total is None or best_total > max_depth:
+        return None
+    winner: Optional[tuple] = None
+    for node_id, forward_path in prefix.items():
+        if dist_b.get(node_id) is None:
+            continue
+        if dist_f[node_id] + dist_b[node_id] != best_total:
+            continue
+        candidate = forward_path + suffix[node_id]
+        if winner is None or _key(candidate) < _key(winner):
+            winner = candidate
+    return winner
+
+
+def _advance(
+    frontier: dict[int, tuple],
+    expand: Expander,
+    dist: dict[int, int],
+    depth: int,
+    forward: bool,
+) -> dict[int, tuple]:
+    """One BFS level: the minimal-key path to every newly reached node."""
+    next_frontier: dict[int, tuple] = {}
+    for node_id, path in frontier.items():
+        for rel, other_id in expand(node_id):
+            if dist.get(other_id, depth) < depth:
+                continue
+            candidate = path + (rel,) if forward else (rel,) + path
+            current = next_frontier.get(other_id)
+            if current is None or _key(candidate) < _key(current):
+                next_frontier[other_id] = candidate
+    for node_id in next_frontier:
+        dist[node_id] = depth
+    return next_frontier

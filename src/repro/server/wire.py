@@ -13,10 +13,20 @@ from typing import Any
 
 from ..graph.model import Node, Relationship
 from ..graph.serialization import encode_value
+from ..paths import Path
 
 
 def to_wire(value: Any) -> Any:
     """Encode one result value for the JSON response body."""
+    if isinstance(value, Path):
+        # Before the dict branch: Path is a Mapping, not a dict, but an
+        # unguarded future isinstance(value, Mapping) must not shadow this.
+        return {
+            "$type": "path",
+            "length": value.length,
+            "nodes": [to_wire(node) for node in value.nodes],
+            "relationships": [to_wire(rel) for rel in value.relationships],
+        }
     if isinstance(value, Node):
         return {
             "$type": "node",

@@ -50,6 +50,14 @@ _INDEX_METHODS = {
     ("drop", "range"): PropertyGraph.drop_range_index,
     ("create", "relationship"): PropertyGraph.create_relationship_property_index,
     ("drop", "relationship"): PropertyGraph.drop_relationship_property_index,
+    # Reachability accelerators are keyed by relationship type alone; the
+    # record's prop round-trips as JSON null and is dropped here.
+    ("create", "reachability"): (
+        lambda graph, label, prop: graph.create_reachability_index(label)
+    ),
+    ("drop", "reachability"): (
+        lambda graph, label, prop: graph.drop_reachability_index(label)
+    ),
 }
 
 

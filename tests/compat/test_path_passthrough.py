@@ -1,0 +1,65 @@
+"""Translators must pass path syntax through untranslated.
+
+Variable-length quantifiers (``*``, ``*1..3``), ``shortestPath`` and path
+functions are plain Cypher understood by both Neo4j and Memgraph; the
+syntax-directed translations of Figures 2-3 only rewrite the trigger
+scaffolding (transition variables, granularity, conditions), so any path
+syntax inside WHEN conditions or action bodies must survive verbatim.
+"""
+
+import pytest
+
+from repro.compat import translate_to_apoc, translate_to_memgraph
+from repro.triggers import parse_trigger
+
+PATH_TRIGGER = """
+CREATE TRIGGER ExposureCascade
+AFTER CREATE ON 'CONTACT'
+FOR EACH RELATIONSHIP
+WHEN MATCH p = shortestPath((i:Person {status:'infected'})-[:CONTACT*..4]-(n:Person)) WHERE id(n) = NEW.end
+BEGIN
+MATCH (m:Person)-[:CONTACT*1..2]->(x) SET x.checked = true
+END
+"""
+
+PATH_FRAGMENTS = [
+    "shortestPath((i:Person {status:'infected'})-[:CONTACT*..4]-(n:Person))",
+    "-[:CONTACT*1..2]->",
+]
+
+
+@pytest.fixture
+def definition():
+    return parse_trigger(PATH_TRIGGER)
+
+
+class TestApocPassthrough:
+    def test_path_syntax_survives_verbatim(self, definition):
+        statement = str(translate_to_apoc(definition))
+        for fragment in PATH_FRAGMENTS:
+            assert fragment in statement
+
+    def test_no_quantifier_garbling(self, definition):
+        # the '*' of a var-length pattern must not be expanded, escaped or
+        # absorbed by the RETURN * the translation appends
+        statement = str(translate_to_apoc(definition))
+        assert "CONTACT*..4" in statement
+        assert "CONTACT*1..2" in statement
+
+
+class TestMemgraphPassthrough:
+    def test_path_syntax_survives_verbatim(self, definition):
+        translation = translate_to_memgraph(definition)
+        statement = str(translation)
+        for fragment in PATH_FRAGMENTS:
+            assert fragment in statement
+
+    def test_length_and_nodes_functions_survive(self):
+        definition = parse_trigger(
+            "CREATE TRIGGER PathStats AFTER CREATE ON 'Person' FOR EACH NODE "
+            "BEGIN MATCH p = (a:Person)-[:CONTACT*]->(b) "
+            "SET b.exposure = length(p) END"
+        )
+        statement = str(translate_to_memgraph(definition))
+        assert "length(p)" in statement
+        assert "-[:CONTACT*]->" in statement
