@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-storage test-concurrency test-paths lint bench bench-smoke explain-demo serve
+.PHONY: test test-storage test-concurrency test-paths test-optimizer lint bench bench-smoke explain-demo optimizer-demo serve
 
 ## Run the full tier-1 suite (unit + integration + benchmark assertions).
 test:
@@ -25,6 +25,12 @@ test-concurrency:
 test-paths:
 	$(PYTHON) -m pytest tests/cypher/test_paths.py tests/cypher/test_path_properties.py tests/compat/test_path_passthrough.py -q
 
+## The optimizer suite alone: composite indexes, histogram estimates,
+## index-backed ORDER BY, connected hash joins and narrow-hop routing,
+## plus the property-based histogram-maintenance and join-ordering tests.
+test-optimizer:
+	$(PYTHON) -m pytest tests/cypher/test_optimizer_v2.py tests/graph/test_histogram_properties.py tests/cypher/test_planner.py tests/test_join_ordering_properties.py -q
+
 ## Static checks (requires ruff: `pip install ruff`; CI installs it).
 lint:
 	ruff check src tests benchmarks
@@ -38,9 +44,12 @@ bench:
 ## batched-vs-per-activation P7 trigger comparison, the P8 physical
 ## operator comparisons (range seek / hash join / top-k), the P9
 ## durability throughput/recovery experiment, the P10 concurrent-HTTP
-## throughput experiment (qps at 1/2/4/8 clients through the server) and
-## the P11 path-query experiment (reachability accelerator vs DFS).
-## Timings are dumped to BENCH_smoke.json (uploaded as a CI artifact).
+## throughput experiment (qps at 1/2/4/8 clients through the server), the
+## P11 path-query experiment (reachability accelerator vs DFS) and the
+## P12 optimizer-torture experiment (q-error + plan-regret regression gate
+## against benchmarks/optimizer_baseline.json; the scored workload lands
+## in BENCH_optimizer_qerror.json).  Timings are dumped to
+## BENCH_smoke.json (both JSON files are uploaded as CI artifacts).
 bench-smoke:
 	$(PYTHON) -m pytest \
 		benchmarks/test_perf_trigger_overhead.py \
@@ -52,6 +61,7 @@ bench-smoke:
 		benchmarks/test_perf_durability.py \
 		benchmarks/test_perf_concurrency.py \
 		benchmarks/test_perf_paths.py \
+		benchmarks/test_perf_optimizer.py \
 		-q --benchmark-columns=min,mean,rounds \
 		--benchmark-json=BENCH_smoke.json
 
@@ -82,6 +92,11 @@ concurrency-demo:
 ## Print the P11 experiment (reachability accelerator vs DFS, shortestPath).
 paths-demo:
 	$(PYTHON) -c "from repro.bench import perf_paths; print(perf_paths().to_text())"
+
+## Print the P12 experiment (optimizer torture: per-kind q-error and plan
+## regret, histogram vs one-third heuristic, narrow-hop routing counters).
+optimizer-demo:
+	$(PYTHON) -c "from repro.bench import perf_optimizer; print(perf_optimizer().to_text())"
 
 ## Run the contact-tracing path-query walkthrough (k-hop exposure rings,
 ## shortest transmission chains, a path-predicate trigger).

@@ -27,6 +27,7 @@ Added performance experiments (labelled P1–P4 in DESIGN.md / EXPERIMENTS.md):
 * :func:`perf_durability`        — in-memory vs WAL fsync vs group-commit throughput
 * :func:`perf_concurrency`       — HTTP throughput at N concurrent clients (reads vs writes)
 * :func:`perf_paths`             — reachability accelerator vs DFS expansion + shortestPath
+* :func:`perf_optimizer`         — optimizer torture: q-error distribution + plan regret
 """
 
 from __future__ import annotations
@@ -1204,6 +1205,69 @@ def perf_paths(nodes: int = 50_000, branching: int = 3, repeats: int = 3) -> Exp
     return result
 
 
+def perf_optimizer(
+    seed: int = 0, cases_per_kind: int = 6, repeats: int = 2, report=None
+) -> ExperimentResult:
+    """P12 — optimizer torture: q-error distribution and plan regret.
+
+    Runs the seeded randomized workload of :mod:`repro.bench.torture`
+    over its skewed-distribution graph and reports, per query kind, the
+    median/worst multiplicative estimation error (``est~rows`` vs rows
+    actually produced) and the median plan regret (planned execution
+    time vs the best enumerated baseline: clause-order joins, naive
+    paths, eager).  Two satellite comparisons ride along: the equi-depth
+    histogram vs the one-third range heuristic on the same skewed range
+    queries, and the reachability accelerator's DFS-vs-interval routing
+    counters for narrow hop windows.
+
+    Pass a precomputed ``TortureReport`` via ``report`` to score an
+    existing run (the benchmark gate times ``run_torture`` separately
+    and reuses the report for the assertions here).
+    """
+    from .torture import run_torture
+
+    result = ExperimentResult(
+        "P12", "P12 — optimizer torture: q-error and plan regret"
+    )
+    if report is None:
+        report = run_torture(seed=seed, cases_per_kind=cases_per_kind, repeats=repeats)
+    for kind, cases in sorted(report.by_kind().items()):
+        errors = sorted(case.q_error for case in cases)
+        regrets = sorted(case.regret for case in cases)
+        result.add_row(
+            kind=kind,
+            queries=len(cases),
+            median_q_error=round(errors[len(errors) // 2], 2),
+            worst_q_error=round(errors[-1], 2),
+            median_regret=round(regrets[len(regrets) // 2], 2),
+        )
+    median = report.median_q_error()
+    assert median <= 2.0, f"median q-error {median:.2f} exceeds 2.0"
+    assert report.histogram_range_q_error < report.heuristic_range_q_error, (
+        "histogram estimates did not beat the one-third heuristic"
+    )
+    assert report.dfs_walks > 0, "no narrow-hop query routed through DFS"
+    result.note(f"median q-error over {len(report.cases)} queries: {median:.2f}")
+    result.note(f"median plan regret: {report.median_regret():.2f}")
+    result.note(
+        "skewed range estimates, median q-error: histogram "
+        f"{report.histogram_range_q_error:.2f} vs one-third heuristic "
+        f"{report.heuristic_range_q_error:.2f}"
+    )
+    result.note(
+        f"narrow-hop routing: {report.dfs_walks} DFS walks, "
+        f"{report.interval_scans} interval scans"
+    )
+    worst = report.worst_cases(3)
+    for case in worst:
+        result.note(
+            f"worst estimate [{case.kind}]: est~{case.estimated_rows:.1f} vs "
+            f"{case.actual_rows} actual (q={case.q_error:.1f}): {case.query}"
+        )
+    result.note(f"seed {report.seed}, {cases_per_kind} cases/kind, best of {repeats} runs")
+    return result
+
+
 #: Registry used by the CLI runner and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "T1": table1_feature_matrix,
@@ -1227,4 +1291,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "P9": perf_durability,
     "P10": perf_concurrency,
     "P11": perf_paths,
+    "P12": perf_optimizer,
 }

@@ -99,8 +99,10 @@ from .functions import AGGREGATE_FUNCTIONS, is_aggregate_function
 from .physical import HashJoin, JoinOperator
 from .planner import (
     AGGREGATE,
+    COMPOSITE,
     IN_LIST,
     INDEX,
+    ORDERED,
     PLAN_CACHE,
     RANGE,
     REL_INDEX,
@@ -109,6 +111,7 @@ from .planner import (
     TOPK,
     WILDCARD,
     AccessPath,
+    ProjectionPlan,
     QueryPlan,
 )
 from .result import QueryResult, QueryStatistics
@@ -121,6 +124,10 @@ ProcedureCallable = Callable[[Sequence[Any], "ProcedureInvocation"], Iterable[Ma
 #: Default bound applied to unbounded variable-length patterns (``[*]``);
 #: prevents accidental exponential blow-ups on dense graphs.
 DEFAULT_MAX_HOPS = 15
+
+#: Sentinel distinguishing "no first row" from a row when peeking a
+#: pipeline to finalise the presorted flag.
+_NO_ROW = object()
 
 
 class ProcedureInvocation:
@@ -210,6 +217,10 @@ class QueryExecutor:
         self._base_context: EvaluationContext | None = None
         self._match_memo: dict[tuple, _MatchMemo] = {}
         self._match_deps: dict[int, tuple[str, ...]] = {}
+        #: Whether a ``presorted`` projection may trust its input order.
+        #: Armed per :meth:`_stream_rows` pass and cleared the moment an
+        #: ``OrderedIndexScan`` start falls back to an unordered scan.
+        self._presorted_ok = False
 
     # ------------------------------------------------------------------
     # public API
@@ -286,6 +297,10 @@ class QueryExecutor:
         if parameters:
             self.parameters.update(parameters)
         self.last_statistics = QueryStatistics()
+        # A batch pass concatenates per-row outputs, so only a single
+        # initial row can arrive globally ordered; the eager baseline
+        # always re-sorts (it is the differential ground truth).
+        self._presorted_ok = len(initial_rows) == 1 and not self.eager
         rows: Iterator[dict[str, Any]] = iter(initial_rows)
         for index, clause in enumerate(query.clauses):
             if isinstance(clause, ReturnClause):
@@ -509,11 +524,49 @@ class QueryExecutor:
             for extended in self._iter_pattern(pattern, row):
                 yield from self._iter_join_steps(steps, index + 1, extended, join_state)
             return
+        join_variables = getattr(operator, "join_variables", ())
+        if join_variables and not self._connected_probe_ok(
+            pattern, row, join_variables
+        ):
+            # This probe row cannot use the shared-variable hash join: a
+            # join variable is unbound/non-node (OPTIONAL MATCH padding —
+            # unbound matches *everything*, which a hash key cannot
+            # express) or the row binds a pattern variable the planner
+            # thought free (the unbound build would ignore the anchor).
+            # The nested loop is always row-set-correct.
+            for extended in self._iter_pattern(pattern, row):
+                yield from self._iter_join_steps(steps, index + 1, extended, join_state)
+            return
         table = self._join_build_table(pattern, operator, row, join_state)
         for delta in table.probe(self, row):
+            if join_variables and not _delta_joins(row, delta, join_variables):
+                # Connected joins have no WHERE equality re-verifying the
+                # key downstream, so the bucket match is re-checked here by
+                # identity — overflow deltas never leak through.
+                continue
             merged = dict(row)
             merged.update(delta)
             yield from self._iter_join_steps(steps, index + 1, merged, join_state)
+
+    def _connected_probe_ok(
+        self, pattern: PathPattern, row: dict, join_variables: tuple[str, ...]
+    ) -> bool:
+        """May ``row`` probe the connected pattern's *unbound* build table?
+
+        Requires every join variable bound to a node (the build keys are
+        node identities) and every *other* variable the pattern reads to be
+        unbound in the row — the planner guarantees that statically, but a
+        caller-supplied binding can introduce one at run time.
+        """
+        if not all(isinstance(row.get(name), Node) for name in join_variables):
+            return False
+        names = set(self._pattern_dependencies(pattern))
+        if pattern.variable is not None:
+            names.add(pattern.variable)
+        return not any(
+            name not in join_variables and row.get(name) is not None
+            for name in names
+        )
 
     def _join_build_table(
         self,
@@ -531,6 +584,20 @@ class QueryExecutor:
         those bindings by identity, exactly like the cross-row match memo,
         so two partial rows agreeing on them share one build.
         """
+        if isinstance(operator, HashJoin) and operator.join_variables:
+            # A *connected* join builds the pattern unbound: its property
+            # maps are static (the planner requires it) and the probe row
+            # binds no pattern variable beyond the join keys (the runtime
+            # guard checked), so the build depends on nothing from the row
+            # and a single table serves the whole MATCH stage.
+            key = (id(pattern),)
+            table = join_state.get(key)
+            if table is None:
+                table = _JoinTable(operator.keys)
+                for extended in self._iter_pattern(pattern, {}):
+                    table.insert(self, _row_delta({}, extended), extended)
+                join_state[key] = table
+            return table
         key = self._dependency_key(pattern, row)
         table = join_state.get(key)
         if table is None:
@@ -1182,6 +1249,10 @@ class QueryExecutor:
                 hit = None
             if hit is not None:
                 return hit
+        elif access is not None and access.kind == COMPOSITE:
+            hit = self._composite_seek_candidates(access, row)
+            if hit is not None:
+                return hit
         elif access is not None and access.kind == IN_LIST:
             hit = self._in_seek_candidates(access, row)
             if hit is not None:
@@ -1190,6 +1261,13 @@ class QueryExecutor:
             hit = self._range_seek_candidates(access, row)
             if hit is not None:
                 return hit
+        elif access is not None and access.kind == ORDERED:
+            hit = self._ordered_scan_candidates(access)
+            if hit is not None:
+                return hit
+            # Index dropped or mixed-typed since planning: the label scan
+            # below is correct but unordered, so the projection must sort.
+            self._presorted_ok = False
         for label in node_pattern.labels:
             if label in self.virtual_labels:
                 ids = self.virtual_labels[label]
@@ -1200,6 +1278,43 @@ class QueryExecutor:
                 best = min(real_labels, key=self.graph.count_nodes_with_label)
                 return self.graph.nodes_with_label(best)
         return self.graph.nodes()
+
+    def _composite_seek_candidates(self, access: AccessPath, row: dict) -> list[Node] | None:
+        """Composite-index probe: every property pinned at once.
+
+        Falls back to scanning (``None``) whenever the probe cannot
+        reproduce scan semantics: a value fails to evaluate or is null
+        (null never equality-matches), a value is unhashable, or the
+        index has been dropped since planning.
+        """
+        lookup = getattr(self.graph, "composite_index_lookup", None)
+        if lookup is None:
+            return None
+        values: list[Any] = []
+        for expr in access.values:
+            try:
+                value = self._evaluate(expr, row)
+            except (CypherError, TypeError):
+                return None
+            if value is None:
+                return None
+            values.append(value)
+        try:
+            return lookup(access.label, access.properties, tuple(values))
+        except TypeError:
+            return None
+
+    def _ordered_scan_candidates(self, access: AccessPath) -> list[Node] | None:
+        """Key-ordered label members from the ordered index (``None``: scan).
+
+        The store declines (returns ``None``) when the index is gone or
+        holds mixed type classes; candidates with the property unset come
+        last in both directions, matching ``_SortValue``'s null-last rule.
+        """
+        scan = getattr(self.graph, "ordered_label_scan", None)
+        if scan is None:
+            return None
+        return scan(access.label, access.property, access.descending)
 
     def _in_seek_candidates(self, access: AccessPath, row: dict) -> list[Node] | None:
         """IN-list seek: the union of one equality probe per list element.
@@ -1433,6 +1548,18 @@ class QueryExecutor:
         limit = max(0, int(self._evaluate(clause.limit, {})))
         if limit <= 0:
             return
+        projection = self._projection_plan(clause)
+        if projection is not None and projection.presorted and self._presorted_ok:
+            # Peek one row first: producing it forces the MATCH stage to
+            # pick its start operator, so ``_presorted_ok`` is final.
+            first = next(rows, _NO_ROW)
+            source = rows if first is _NO_ROW else itertools.chain([first], rows)
+            if self._presorted_ok:
+                yield from self._iter_topk_presorted(
+                    items, source, skip, limit, projection.early_exit
+                )
+                return
+            rows = source  # ordered scan fell back: take the heap below
         sort_items = clause.order_by
 
         def pairs() -> Iterator[tuple[dict, dict]]:
@@ -1455,6 +1582,55 @@ class QueryExecutor:
         top = heapq.nsmallest(skip + limit, pairs(), key=sort_key)
         for projected, _ in top[skip:]:
             yield projected
+
+    def _iter_topk_presorted(
+        self,
+        items: list[ProjectionItem],
+        rows: Iterator[dict],
+        skip: int,
+        limit: int,
+        early_exit: bool,
+    ) -> Iterator[dict]:
+        """TopK over input the ordered scan already sorted: no heap at all.
+
+        With ``early_exit`` (every projection expression evaluation-safe)
+        the input stops being pulled once LIMIT rows are out — the whole
+        point of the ordered scan.  Without it, every row is still
+        projected *before* anything is yielded, so an expression that
+        raises surfaces exactly as the heap path (which projects all rows
+        inside ``nsmallest``) would have surfaced it.
+        """
+        if early_exit:
+            skipped = emitted = 0
+            for row in rows:
+                out = {
+                    item.output_name(): self._evaluate(item.expression, row)
+                    for item in items
+                }
+                if skipped < skip:
+                    skipped += 1
+                    continue
+                yield out
+                emitted += 1
+                if emitted >= limit:
+                    return
+            return
+        kept: list[dict] = []
+        for row in rows:
+            out = {
+                item.output_name(): self._evaluate(item.expression, row)
+                for item in items
+            }
+            if len(kept) < skip + limit:
+                kept.append(out)
+        yield from kept[skip:]
+
+    def _projection_plan(
+        self, clause: WithClause | ReturnClause
+    ) -> ProjectionPlan | None:
+        if self._plan is not None and self._plan.has_projection_plans:
+            return self._plan.projection_for(clause)
+        return None
 
     def _iter_projection(
         self, clause: WithClause | ReturnClause, rows: Iterator[dict]
@@ -1516,7 +1692,7 @@ class QueryExecutor:
 
         if clause.distinct:
             pairs = _distinct_pairs(pairs)
-        if clause.order_by:
+        if clause.order_by and not self._input_presorted(clause):
             pairs = self._order_rows(pairs, clause.order_by)
         if clause.skip is not None:
             # Clamp at 0 so a (nonsensical) negative value cannot trip
@@ -1580,6 +1756,15 @@ class QueryExecutor:
             value = self._evaluate(argument, row) if argument is not None else 1
             aggregator.update(value)
         return aggregator.result()
+
+    def _input_presorted(self, clause: WithClause | ReturnClause) -> bool:
+        """May this projection skip its sort?  Only after its input is
+        fully materialised (``_project`` receives a list), so the ordered
+        scan has already run — or declined — and the flag is final."""
+        if not self._presorted_ok:
+            return False
+        projection = self._projection_plan(clause)
+        return projection is not None and projection.presorted
 
     def _order_rows(
         self, pairs: list[tuple[dict, dict]], sort_items
@@ -1994,6 +2179,20 @@ def _row_delta(base: dict, extended: dict) -> dict:
         for name, value in extended.items()
         if name not in base or base[name] is not value
     }
+
+
+def _delta_joins(row: dict, delta: dict, join_variables: tuple[str, ...]) -> bool:
+    """Does a build delta bind every join variable to the row's node?
+
+    The exactness check behind connected hash joins: the hash bucket is
+    only a pre-filter (overflow deltas bypass it), and unlike disconnected
+    joins no WHERE conjunct re-verifies the key equality afterwards.
+    """
+    for name in join_variables:
+        build_value = delta.get(name)
+        if not isinstance(build_value, Node) or not _same_item(row[name], build_value):
+            return False
+    return True
 
 
 def _pattern_variables(patterns: Iterable[PathPattern]) -> list[str]:

@@ -69,6 +69,7 @@ from ..paths.accelerator import reachability_applicable
 from .ast import Expression, NodePattern, RelationshipPattern, expression_text
 
 #: Access-path kinds, in decreasing priority.
+COMPOSITE = "composite"
 INDEX = "index"
 IN_LIST = "in"
 RANGE = "range"
@@ -76,6 +77,9 @@ REL_INDEX = "rel_index"
 VIRTUAL = "virtual"
 LABEL = "label"
 SCAN = "scan"
+#: Not selectivity-ranked: chosen only to serve an ORDER BY, never to shrink
+#: the candidate set (it emits the whole label in index order).
+ORDERED = "ordered"
 
 
 def format_rows(estimate: float) -> str:
@@ -120,11 +124,31 @@ class AccessPath:
     rel_type: Optional[str] = None
     #: Direction of the seeked relationship pattern (``rel_index`` only).
     direction: str = "both"
+    #: Properties and value expressions of a ``composite`` seek (aligned).
+    properties: tuple[str, ...] = ()
+    values: tuple[Expression, ...] = ()
+    #: Sort direction of an ``ordered`` scan.
+    descending: bool = False
     #: Planner cardinality estimate for this operator's output.
     estimated_rows: float = 0.0
 
     def describe(self) -> str:
         """One-line human-readable rendering (used by EXPLAIN output)."""
+        if self.kind == COMPOSITE:
+            pairs = ", ".join(
+                f"{prop} = {expression_text(value)}"
+                for prop, value in zip(self.properties, self.values)
+            )
+            return (
+                f"CompositeIndexSeek({self.label}({pairs}))"
+                + _est(self.estimated_rows)
+            )
+        if self.kind == ORDERED:
+            order = "DESC" if self.descending else "ASC"
+            return (
+                f"OrderedIndexScan({self.label}.{self.property} {order})"
+                + _est(self.estimated_rows)
+            )
         if self.kind == INDEX:
             return (
                 f"IndexSeek({self.label}.{self.property} = "
@@ -224,13 +248,21 @@ class VarLengthExpand:
     max_hops: Optional[int] = None
     target_labels: tuple[str, ...] = ()
     mode: str = "dfs"
+    #: For ``mode="reachability"``: the sub-route the accelerator's cost
+    #: model picked at plan time (``"interval"`` or ``"dfs"``) and why.
+    #: Advisory — the index re-decides per start node at run time.
+    route: Optional[str] = None
+    route_reason: Optional[str] = None
     estimated_rows: float = 0.0
 
     def describe(self) -> str:
         spec = _hop_spec(self.types, self.min_hops, self.max_hops, self.direction)
         target = ":" + ":".join(self.target_labels) if self.target_labels else ""
+        mode = self.mode
+        if self.route is not None:
+            mode += f":{self.route} ({self.route_reason})"
         return (
-            f"VarLengthExpand({spec}({target}), {self.mode})"
+            f"VarLengthExpand({spec}({target}), {mode})"
             + _est(self.estimated_rows)
         )
 
@@ -290,9 +322,20 @@ class HashJoin:
 
     build_pattern: int
     keys: tuple[tuple[Expression, Expression], ...]
+    #: Variables shared with earlier patterns when this joins a *connected*
+    #: pattern (empty for the classic disconnected WHERE-equality join).
+    #: The build side is then matched unbound and keyed on these
+    #: variables' item identities; the probe re-checks every binding.
+    join_variables: tuple[str, ...] = ()
     estimated_rows: float = 0.0
 
     def describe(self) -> str:
+        if self.join_variables:
+            rendered = ", ".join(self.join_variables)
+            return (
+                f"HashJoin(pattern[{self.build_pattern}], shared: {rendered})"
+                + _est(self.estimated_rows)
+            )
         rendered = ", ".join(
             f"{expression_text(probe)} = {expression_text(build)}"
             for probe, build in self.keys
@@ -364,6 +407,26 @@ class Aggregate:
 
     def describe(self) -> str:
         return f"Aggregate({self.aggregate_text})"
+
+
+def _reachability_route(
+    graph, rel_type: str, rel, hop_cap: int
+) -> tuple[Optional[str], Optional[str]]:
+    """Plan-time (route, reason) annotation for a reachability expansion.
+
+    Builds the index if stale — the first execution would anyway, and a
+    built index is what makes the EXPLAIN annotation deterministic.  The
+    choice stays advisory: :meth:`ReachabilityIndex.descendants` re-runs
+    the cost model per start node.
+    """
+    index = graph.reachability_index(rel_type)
+    if index is None:  # pragma: no cover - applicability already checked
+        return None, None
+    if not index.ensure(graph):
+        return None, None
+    min_hops = rel.min_hops if rel.min_hops is not None else 1
+    max_hops = rel.max_hops if rel.max_hops is not None else hop_cap
+    return index.route_hint(min_hops, max_hops)
 
 
 #: Operators that can appear in a pattern's physical chain.
@@ -439,12 +502,16 @@ def physical_chain(
             )
             if node.labels:
                 estimate *= estimator.label_fraction(node.labels)
-            mode = "dfs"
+            mode, route, route_reason = "dfs", None, None
             if graph is not None and pattern is not None:
-                if reachability_applicable(
+                rel_type = reachability_applicable(
                     graph, pattern, rel, elements, index, virtual_labels
-                ):
+                )
+                if rel_type:
                     mode = "reachability"
+                    route, route_reason = _reachability_route(
+                        graph, rel_type, rel, hop_cap
+                    )
             operators.append(
                 VarLengthExpand(
                     types=rel.types,
@@ -453,6 +520,8 @@ def physical_chain(
                     max_hops=rel.max_hops,
                     target_labels=node.labels,
                     mode=mode,
+                    route=route,
+                    route_reason=route_reason,
                     estimated_rows=estimate,
                 )
             )

@@ -77,10 +77,15 @@ from __future__ import annotations
 import threading
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Iterable, Iterator, Optional, Union
 
-from ..graph.statistics import CardinalityEstimator
+from ..graph.statistics import (
+    DEFAULT_SELECTIVITY,
+    EQUALITY_SELECTIVITY,
+    RANGE_SELECTIVITY,
+    CardinalityEstimator,
+)
 from ..graph.store import _PLAN_TOKENS
 from .ast import (
     BinaryOp,
@@ -113,9 +118,11 @@ from .functions import is_aggregate_function
 from .lexer import Token, tokenize
 from .parser import parse_expression, parse_query
 from .physical import (
+    COMPOSITE,
     IN_LIST,
     INDEX,
     LABEL,
+    ORDERED,
     RANGE,
     REL_INDEX,
     SCAN,
@@ -154,6 +161,11 @@ class PatternPlan:
     #: The full physical chain: the start operator followed by one
     #: :class:`~repro.cypher.physical.Expand` per relationship hop.
     physical: tuple[PatternOperator, ...] = ()
+    #: ``estimated_rows`` corrected by the selectivity of the WHERE
+    #: conjuncts the access path did *not* consume (None when the WHERE
+    #: adds nothing).  EXPLAIN surfaces both numbers; join ordering ranks
+    #: patterns by this one.
+    filtered_rows: Optional[float] = None
 
     def describe(self) -> str:
         start = self.elements[0]
@@ -161,7 +173,10 @@ class PatternPlan:
         direction = " (reversed)" if self.reversed else ""
         chain = self.physical or (self.start,)
         rendered = " -> ".join(op.describe() for op in chain)
-        return f"start=({name}) {rendered}{direction}"
+        where = ""
+        if self.filtered_rows is not None:
+            where = f" (~{_format_rows(self.filtered_rows)} rows after WHERE)"
+        return f"start=({name}) {rendered}{direction}{where}"
 
 
 @dataclass(frozen=True)
@@ -234,6 +249,16 @@ class ProjectionPlan:
     clause: Union[WithClause, ReturnClause]
     mode: str
     operator: Optional[ProjectionOperator] = None
+    #: The clause's input arrives already ordered by its single ORDER BY
+    #: key (an ``OrderedIndexScan`` start feeds it), so the executor may
+    #: skip the sort/heap.  Advisory: the executor re-checks at run time
+    #: that the ordered scan actually served the candidates.
+    presorted: bool = False
+    #: With ``presorted``, the executor may additionally stop pulling
+    #: input once LIMIT rows are out — set only when every projection
+    #: expression is evaluation-safe, so truncated rows cannot hide an
+    #: error the full pipeline would have raised.
+    early_exit: bool = False
 
 
 class QueryPlan:
@@ -319,7 +344,7 @@ class QueryPlan:
     def uses_index(self) -> bool:
         """True when any pattern starts from a property-index seek."""
         return any(
-            p.start.kind in (INDEX, IN_LIST, RANGE, REL_INDEX)
+            p.start.kind in (INDEX, IN_LIST, RANGE, REL_INDEX, COMPOSITE)
             for p in self._by_pattern.values()
         )
 
@@ -342,19 +367,27 @@ class _Indexes:
     ``equality`` pairs can answer ``IndexSeek``/IN probes (the exact-match
     *and* the ordered index both can); ``range`` pairs can answer
     ``IndexRangeSeek``; ``relationship`` pairs can answer
-    ``RelIndexSeek``.
+    ``RelIndexSeek``; ``composite`` (label, properties-tuple) entries can
+    answer ``CompositeIndexSeek``.
     """
 
     equality: frozenset
     range: frozenset
     relationship: frozenset
+    composite: tuple = ()
 
 
 def _graph_indexes(graph) -> _Indexes:
     exact = frozenset(graph.property_indexes())
     ranged = frozenset(_call_metadata(graph, "range_indexes"))
     rel = frozenset(_call_metadata(graph, "relationship_property_indexes"))
-    return _Indexes(equality=exact | ranged, range=ranged, relationship=rel)
+    composite = tuple(
+        (label, tuple(props))
+        for label, props in _call_metadata(graph, "composite_indexes")
+    )
+    return _Indexes(
+        equality=exact | ranged, range=ranged, relationship=rel, composite=composite
+    )
 
 
 def _call_metadata(graph, method: str) -> Iterable:
@@ -416,6 +449,10 @@ def plan_query(
                 )
                 for pattern in clause.patterns
             ]
+            if clause.where is not None:
+                clause_plans = [
+                    _with_filtered_rows(plan, clause.where) for plan in clause_plans
+                ]
             plans.extend(clause_plans)
             if clause.where is not None:
                 filters.append(Filter(expression=clause.where))
@@ -434,6 +471,9 @@ def plan_query(
         elif isinstance(clause, (WithClause, ReturnClause)):
             projections.append(_plan_projection(clause))
         bound = _advance_bound_variables(clause, bound)
+    plans, projections = _apply_ordered_scan(
+        query, graph, virtual, indexes, plans, projections
+    )
     return QueryPlan(query, plans, join_orders, projections, filters)
 
 
@@ -537,16 +577,48 @@ def _access_path(
 
     real_labels = tuple(l for l in node_pattern.labels if l not in virtual)
     equalities = _equality_candidates(node_pattern, sargable)
-    for label in real_labels:
+    seeks: list[AccessPath] = []
+    # A declared composite index whose every property is pinned by an
+    # equality candidate competes with the single-property seek on
+    # estimated rows (its combined selectivity is at most as wide).
+    if indexes.composite and equalities:
+        by_prop: dict[str, Expression] = {}
         for prop, value in equalities:
-            if (label, prop) in indexes.equality:
-                return AccessPath(
-                    kind=INDEX,
+            by_prop.setdefault(prop, value)
+        for label, props in indexes.composite:
+            if label not in real_labels or not all(p in by_prop for p in props):
+                continue
+            rows = estimator.composite_rows(label, props)
+            seeks.append(
+                AccessPath(
+                    kind=COMPOSITE,
                     label=label,
-                    property=prop,
-                    value=value,
-                    estimated_rows=estimator.index_selectivity(label, prop),
+                    properties=props,
+                    values=tuple(by_prop[p] for p in props),
+                    estimated_rows=rows if rows is not None else 1.0,
                 )
+            )
+    single = next(
+        (
+            AccessPath(
+                kind=INDEX,
+                label=label,
+                property=prop,
+                value=value,
+                estimated_rows=estimator.index_selectivity(label, prop),
+            )
+            for label in real_labels
+            for prop, value in equalities
+            if (label, prop) in indexes.equality
+        ),
+        None,
+    )
+    if single is not None:
+        seeks.append(single)
+    if seeks:
+        # min() is stable, so a composite that ties its single-property
+        # rival wins by sitting first (it can only be narrower).
+        return min(seeks, key=lambda path: path.estimated_rows)
 
     # No equality seek: weigh IN-list and range seeks against the scans.
     options: list[AccessPath] = []
@@ -579,7 +651,17 @@ def _access_path(
                             upper=upper,
                             include_lower=include_lower,
                             include_upper=include_upper,
-                            estimated_rows=estimator.range_scan_rows(label, prop),
+                            # Literal bounds flow into the estimator so the
+                            # index-bounds clamp and the histogram can see
+                            # them; parameter bounds stay opaque (None).
+                            estimated_rows=estimator.range_scan_rows(
+                                label,
+                                prop,
+                                lower=_literal_value(lower),
+                                upper=_literal_value(upper),
+                                include_lower=include_lower,
+                                include_upper=include_upper,
+                            ),
                         )
                     )
 
@@ -641,6 +723,11 @@ def _literal_not_null(expr: Expression) -> bool:
     return not (isinstance(expr, Literal) and expr.value is None)
 
 
+def _literal_value(expr: Optional[Expression]):
+    """The plan-time-known value of a bound expression (None if opaque)."""
+    return expr.value if isinstance(expr, Literal) else None
+
+
 # ---------------------------------------------------------------------------
 # multi-pattern join ordering
 # ---------------------------------------------------------------------------
@@ -675,12 +762,18 @@ def _order_patterns(
         if _pattern_has_external_reads(plan.pattern, bound_before):
             return None
     variables = [_pattern_variable_names(plan.pattern) for plan in clause_plans]
-    estimates = tuple(plan.estimated_rows for plan in clause_plans)
+    # Rank (and report) by the WHERE-corrected estimate where one exists:
+    # a pattern whose rows the WHERE decimates should be joined early.
+    estimates = tuple(
+        plan.filtered_rows if plan.filtered_rows is not None else plan.estimated_rows
+        for plan in clause_plans
+    )
     bound = set(bound_before)
     remaining = list(range(len(clause_plans)))
     order: list[int] = []
     steps: list[JoinStep] = []
     cartesian = False
+    prior_rows = 1.0
 
     def effective_cost(index: int) -> float:
         start_variable = clause_plans[index].elements[0].variable
@@ -713,10 +806,17 @@ def _order_patterns(
                 operator = CartesianProduct(
                     build_pattern=best, estimated_rows=estimates[best]
                 )
+        elif order:
+            operator = _connected_hash_join(
+                clause_plans[best], best, variables[best] & bound,
+                prior_rows, estimates[best],
+            )
+        step_cost = max(effective_cost(best), 1.0)  # before bound absorbs it
         order.append(best)
         steps.append(JoinStep(pattern_index=best, operator=operator))
         bound |= variables[best]
         remaining.remove(best)
+        prior_rows = min(prior_rows * step_cost, 1e12)
     return JoinOrder(
         clause=clause,
         order=tuple(order),
@@ -760,6 +860,138 @@ def _hash_join_keys(
         ):
             keys.append((conjunct.left, conjunct.right))
     return tuple(keys)
+
+
+def _connected_hash_join(
+    plan: PatternPlan,
+    index: int,
+    shared: set[str],
+    prior_rows: float,
+    estimated_rows: float,
+) -> Optional[HashJoin]:
+    """A hash join for a *connected* pattern whose expansion looks poor.
+
+    A connected pattern normally runs as a nested loop resuming from its
+    bound variables; when many prior rows would each re-match a pattern
+    whose start anchor is *not* among the shared variables, matching the
+    pattern once (unbound) and probing the materialised rows by the shared
+    node variables is cheaper.  Eligibility mirrors the executor's runtime
+    guard: only node *element* variables may join (path and relationship
+    variables have positional binding semantics a key cannot express), the
+    property maps must be static so the unbound build reads no row state,
+    and shortestPath is excluded (its search is anchored per source row).
+    The executor falls back to the nested loop for any probe row that does
+    not bind every join variable to a node — so a wrong choice here can
+    only cost performance, never rows.
+    """
+    if plan.pattern.shortest is not None:
+        return None
+    node_variables = {
+        element.variable
+        for element in plan.elements
+        if isinstance(element, NodePattern) and element.variable
+    }
+    if not shared or not shared <= node_variables:
+        return None
+    if plan.elements[0].variable in shared:
+        return None  # the nested loop starts bound — already near-free
+    if not _pattern_properties_static(plan.pattern):
+        return None
+    build_cost = plan.estimated_rows
+    if prior_rows * build_cost <= 2.0 * (build_cost + prior_rows):
+        return None  # nested loop is no worse than build + probe
+    key_variables = tuple(sorted(shared))
+    keys = tuple((Variable(name=v), Variable(name=v)) for v in key_variables)
+    return HashJoin(
+        build_pattern=index,
+        keys=keys,
+        join_variables=key_variables,
+        estimated_rows=estimated_rows,
+    )
+
+
+def _with_filtered_rows(plan: PatternPlan, where: Expression) -> PatternPlan:
+    """Correct a pattern's estimate by the WHERE conjuncts it re-filters.
+
+    The access path already consumed the sargable conjunct that seeded it;
+    every *other* conjunct reading only this pattern's variables still runs
+    per candidate row, so the rows surviving the clause filter are fewer
+    than the match estimate.  EXPLAIN surfaces both numbers and join
+    ordering ranks by the corrected one.  Purely advisory — estimates
+    steer plans, never results.
+    """
+    names = _pattern_variable_names(plan.pattern)
+    selectivity = 1.0
+    for conjunct in _conjuncts(where):
+        used = expression_variable_names(conjunct)
+        if not used or not used <= names:
+            continue  # cross-pattern or constant conjunct: not this pattern's
+        if _start_consumes(conjunct, plan):
+            continue
+        selectivity *= _conjunct_selectivity(conjunct)
+    if selectivity >= 1.0:
+        return plan
+    return _dc_replace(plan, filtered_rows=plan.estimated_rows * selectivity)
+
+
+def _conjunct_selectivity(conjunct: Expression) -> float:
+    """Heuristic fraction of rows one non-consumed WHERE conjunct keeps."""
+    if isinstance(conjunct, BinaryOp):
+        if conjunct.op == "=":
+            return EQUALITY_SELECTIVITY
+        if conjunct.op in _RANGE_OPS:
+            return RANGE_SELECTIVITY
+        if conjunct.op == "IN" and isinstance(conjunct.right, ListLiteral):
+            return min(len(conjunct.right.items) * EQUALITY_SELECTIVITY, 1.0)
+    return DEFAULT_SELECTIVITY
+
+
+def _start_consumes(conjunct: Expression, plan: PatternPlan) -> bool:
+    """Did the plan's access path already narrow candidates by this conjunct?
+
+    Counting a consumed conjunct again would double-discount: an
+    ``IndexSeek`` on ``n.k = 1`` already *is* the equality's selectivity.
+    Matching is shape-based (same variable, same property, compatible
+    operator); over-matching merely under-corrects the estimate.
+    """
+    start = plan.start
+    if start.kind in (INDEX, COMPOSITE, RANGE, IN_LIST):
+        anchor = plan.elements[0].variable
+        if anchor is None or not isinstance(conjunct, BinaryOp):
+            return False
+        props = start.properties if start.kind == COMPOSITE else (start.property,)
+        if start.kind in (INDEX, COMPOSITE):
+            ops: tuple[str, ...] = ("=",)
+        elif start.kind == RANGE:
+            ops = tuple(_RANGE_OPS)
+        else:
+            ops = ("IN",)
+        if conjunct.op not in ops:
+            return False
+        sides = (
+            (conjunct.left,)
+            if conjunct.op == "IN"
+            else (conjunct.left, conjunct.right)
+        )
+        return any(
+            _is_sargable_access(side)
+            and side.subject.name == anchor
+            and side.key in props
+            for side in sides
+        )
+    if start.kind == REL_INDEX and len(plan.elements) > 1:
+        rel_anchor = plan.elements[1].variable
+        if rel_anchor is None:
+            return False
+        if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+            return False
+        return any(
+            _is_sargable_access(side)
+            and side.subject.name == rel_anchor
+            and side.key == start.property
+            for side in (conjunct.left, conjunct.right)
+        )
+    return False
 
 
 def _pattern_variable_names(pattern: PathPattern) -> set[str]:
@@ -999,6 +1231,140 @@ def _plan_projection(clause: Union[WithClause, ReturnClause]) -> ProjectionPlan:
             )
         return ProjectionPlan(clause, SORT, Sort(order_text=order_text))
     return ProjectionPlan(clause, STREAM)
+
+
+# ---------------------------------------------------------------------------
+# index-backed ORDER BY
+# ---------------------------------------------------------------------------
+
+
+def _apply_ordered_scan(
+    query: Query,
+    graph,
+    virtual: frozenset,
+    indexes: _Indexes,
+    plans: list[PatternPlan],
+    projections: list[ProjectionPlan],
+) -> tuple[list[PatternPlan], list[ProjectionPlan]]:
+    """Rewrite ``MATCH (n:L) RETURN … ORDER BY n.p`` onto an ordered scan.
+
+    Eligibility is deliberately narrow: a two-clause query (one plain
+    single-pattern MATCH without WHERE, one RETURN), a single-node pattern
+    with exactly one real label and static properties, a single ORDER BY
+    key resolving to an ordered-indexed ``(label, property)`` pair, and a
+    start that would otherwise be a plain label scan — an index seek is
+    never displaced, because it filters while the ordered scan does not.
+    The rewrite swaps the start operator for ``OrderedIndexScan`` and
+    flags the projection ``presorted`` (plus ``early_exit`` for TopK over
+    evaluation-safe projections).  Advisory: the executor re-verifies at
+    run time that the ordered scan actually served the candidates before
+    skipping its sort.
+    """
+    if len(query.clauses) != 2:
+        return plans, projections
+    match, ret = query.clauses
+    if not isinstance(match, MatchClause) or not isinstance(ret, ReturnClause):
+        return plans, projections
+    if match.optional or match.where is not None or len(match.patterns) != 1:
+        return plans, projections
+    pattern = match.patterns[0]
+    if pattern.shortest is not None or pattern.variable is not None:
+        return plans, projections
+    if len(pattern.elements) != 1:
+        return plans, projections
+    node = pattern.elements[0]
+    assert isinstance(node, NodePattern)
+    if node.variable is None or len(node.labels) != 1:
+        return plans, projections
+    label = node.labels[0]
+    if label in virtual or not _pattern_properties_static(pattern):
+        return plans, projections
+    if getattr(graph, "ordered_label_scan", None) is None:
+        return plans, projections
+    if len(plans) != 1 or plans[0].pattern is not pattern:
+        return plans, projections
+    if plans[0].start.kind != LABEL:
+        return plans, projections
+    if len(projections) != 1:
+        return plans, projections
+    projection = projections[0]
+    if projection.mode not in (SORT, TOPK):
+        return plans, projections
+    if ret.distinct or ret.include_wildcard or len(ret.order_by) != 1:
+        return plans, projections
+    sort_item = ret.order_by[0]
+    prop = _ordered_key(sort_item.expression, ret, node.variable)
+    if prop is None or (label, prop) not in indexes.range:
+        return plans, projections
+    path = AccessPath(
+        kind=ORDERED,
+        label=label,
+        property=prop,
+        descending=sort_item.descending,
+        estimated_rows=plans[0].estimated_rows,
+    )
+    new_plan = _dc_replace(plans[0], start=path, physical=(path,))
+    early = projection.mode == TOPK and all(
+        _safe_projection(item.expression) for item in ret.items
+    )
+    new_projection = _dc_replace(projection, presorted=True, early_exit=early)
+    return [new_plan], [new_projection]
+
+
+def _ordered_key(
+    expr: Expression, clause: ReturnClause, node_variable: str
+) -> Optional[str]:
+    """The scanned node's property an ORDER BY key reads (None if opaque).
+
+    Two shapes qualify: ``ORDER BY n.p`` directly — provided the
+    projection does not rebind ``n``, since RETURN's ORDER BY sees the
+    projected scope — and ``ORDER BY alias`` where the clause projects
+    ``n.p AS alias`` (projection expressions always read the source
+    scope, so rebinding cannot interfere there).
+    """
+    if isinstance(expr, PropertyAccess) and isinstance(expr.subject, Variable):
+        if expr.subject.name != node_variable or _rebinds(clause, node_variable):
+            return None
+        return expr.key
+    if isinstance(expr, Variable):
+        for item in clause.items:
+            if item.output_name() != expr.name:
+                continue
+            target = item.expression
+            if (
+                isinstance(target, PropertyAccess)
+                and isinstance(target.subject, Variable)
+                and target.subject.name == node_variable
+            ):
+                return target.key
+            return None
+    return None
+
+
+def _rebinds(clause: ReturnClause, name: str) -> bool:
+    """Does the projection bind ``name`` to anything but itself?"""
+    return any(
+        item.output_name() == name
+        and not (
+            isinstance(item.expression, Variable) and item.expression.name == name
+        )
+        for item in clause.items
+    )
+
+
+def _safe_projection(expr: Expression) -> bool:
+    """Can this projection expression never raise at evaluation time?
+
+    Early exit stops pulling input once LIMIT rows are out; only
+    expressions that cannot raise (variables, literals, parameters and
+    property reads on a variable) qualify, or the truncation could hide
+    an error the full pipeline would have surfaced.
+    """
+    if isinstance(expr, (Literal, Parameter, Variable)):
+        return True
+    if isinstance(expr, PropertyAccess) and isinstance(expr.subject, Variable):
+        return True
+    return False
 
 
 def _conjuncts(expr: Expression) -> Iterator[Expression]:

@@ -24,6 +24,7 @@ from .errors import (
     NodeNotFoundError,
     RelationshipNotFoundError,
 )
+from .histogram import EquiDepthHistogram
 from .model import GraphItem, Node, Relationship, is_node, is_relationship
 from .networkx_adapter import from_networkx, to_networkx
 from .serialization import (
@@ -43,6 +44,7 @@ from .store import BOTH, INCOMING, OUTGOING, PropertyGraph
 __all__ = [
     "BOTH",
     "CardinalityEstimator",
+    "EquiDepthHistogram",
     "GraphDelta",
     "GraphError",
     "GraphIntegrityError",

@@ -1,0 +1,211 @@
+"""Equi-depth value histograms for the ordered (range) indexes.
+
+A histogram summarises one ordered index bucket (one type class of one
+``(label, property)`` pair) as ``bucket_target`` roughly equal-count value
+ranges.  The planner's :class:`~repro.graph.statistics.CardinalityEstimator`
+uses it to replace the one-third range heuristic with a real estimate:
+full buckets inside the queried range count exactly, the two edge buckets
+are interpolated (linearly for numbers and dates, half-a-bucket for types
+without arithmetic).
+
+Histograms are *advisory* — a stale or absent histogram can only make an
+estimate worse, never a result wrong — so maintenance is deliberately
+lazy: :meth:`EquiDepthHistogram.note_add` / :meth:`note_remove` adjust
+bucket counts in O(log buckets) while the value stays inside the built
+range, and the owning index rebuilds from scratch once accumulated drift
+exceeds a fraction of the built population (see
+:class:`repro.graph.indexes.OrderedPropertyIndex.histogram`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime as _dt
+from typing import Any, Iterable, Optional
+
+#: Default number of buckets per histogram.  Equi-depth means each holds
+#: roughly ``total / DEFAULT_BUCKETS`` entries, which bounds the estimate
+#: error of a range query at about one bucket depth per range edge.
+DEFAULT_BUCKETS = 32
+
+
+def _span_fraction(low: Any, high: Any, lo: Any, hi: Any) -> Optional[float]:
+    """Fraction of bucket ``[low, high]`` overlapped by range ``[lo, hi]``.
+
+    Returns ``None`` for types without usable subtraction (strings); the
+    caller then charges half the bucket, keeping the error within the
+    equi-depth bound.
+    """
+    try:
+        width = high - low
+        overlap_lo = lo if lo > low else low
+        overlap_hi = hi if hi < high else high
+        overlap = overlap_hi - overlap_lo
+    except TypeError:
+        return None
+    if isinstance(width, _dt.timedelta):
+        width = width.total_seconds()
+        overlap = overlap.total_seconds()
+    try:
+        width = float(width)
+        overlap = float(overlap)
+    except (TypeError, ValueError):
+        return None
+    if width <= 0.0:
+        return 1.0
+    return min(max(overlap / width, 0.0), 1.0)
+
+
+class EquiDepthHistogram:
+    """Fixed bucket boundaries with incrementally maintained counts."""
+
+    __slots__ = (
+        "type_class",
+        "lows",
+        "highs",
+        "counts",
+        "total",
+        "distinct",
+        "built_total",
+    )
+
+    def __init__(
+        self,
+        type_class: str,
+        keys: Iterable[Any],
+        counts_by_key,
+        bucket_target: int = DEFAULT_BUCKETS,
+    ) -> None:
+        """Build from an index bucket's sorted ``keys``.
+
+        ``counts_by_key`` maps each key to its entry count (the index's
+        per-value id sets).  Boundaries are frozen at build time; only the
+        per-bucket counts move afterwards.
+        """
+        self.type_class = type_class
+        self.lows: list[Any] = []
+        self.highs: list[Any] = []
+        self.counts: list[int] = []
+        keys = list(keys)
+        total = sum(counts_by_key(key) for key in keys)
+        self.total = total
+        self.built_total = total
+        self.distinct = len(keys)
+        if not keys:
+            return
+        depth = max(total // max(bucket_target, 1), 1)
+        bucket_count = 0
+        bucket_low = keys[0]
+        previous = keys[0]
+        for key in keys:
+            if bucket_count >= depth:
+                self.lows.append(bucket_low)
+                self.highs.append(previous)
+                self.counts.append(bucket_count)
+                bucket_low = key
+                bucket_count = 0
+            bucket_count += counts_by_key(key)
+            previous = key
+        self.lows.append(bucket_low)
+        self.highs.append(previous)
+        self.counts.append(bucket_count)
+
+    # -- bounds ----------------------------------------------------------
+
+    @property
+    def min_value(self) -> Any:
+        return self.lows[0] if self.lows else None
+
+    @property
+    def max_value(self) -> Any:
+        return self.highs[-1] if self.highs else None
+
+    def bucket_depth(self) -> int:
+        """The largest bucket count — the estimate error unit."""
+        return max(self.counts, default=0)
+
+    # -- incremental maintenance -----------------------------------------
+
+    def note_add(self, key: Any) -> bool:
+        """Record one added entry; False when ``key`` falls outside the
+        built boundaries (the caller must mark the histogram stale)."""
+        index = self._locate(key)
+        if index is None:
+            return False
+        self.counts[index] += 1
+        self.total += 1
+        return True
+
+    def note_remove(self, key: Any) -> bool:
+        """Record one removed entry; False when it cannot be attributed."""
+        index = self._locate(key)
+        if index is None:
+            return False
+        if self.counts[index] > 0:
+            self.counts[index] -= 1
+        self.total = max(self.total - 1, 0)
+        return True
+
+    def _locate(self, key: Any) -> Optional[int]:
+        if not self.lows:
+            return None
+        try:
+            if key < self.lows[0] or key > self.highs[-1]:
+                return None
+            index = bisect.bisect_left(self.highs, key)
+        except TypeError:
+            return None
+        return min(index, len(self.highs) - 1)
+
+    # -- estimation ------------------------------------------------------
+
+    def estimate_range(
+        self,
+        lower: Any = None,
+        upper: Any = None,
+        include_lower: bool = True,
+        include_upper: bool = True,
+    ) -> Optional[float]:
+        """Expected entries with value in the (possibly half-open) interval.
+
+        ``None`` when the bounds cannot be compared with the bucket
+        boundaries (cross-type probe) — the caller falls back to its
+        heuristic.  Open bounds (``None``) extend to the histogram edge.
+        """
+        if not self.lows:
+            return 0.0
+        lo = lower if lower is not None else self.lows[0]
+        hi = upper if upper is not None else self.highs[-1]
+        try:
+            if lo > hi:
+                return 0.0
+            if hi < self.lows[0] or lo > self.highs[-1]:
+                return 0.0
+        except TypeError:
+            return None
+        rows = 0.0
+        try:
+            for low, high, count in zip(self.lows, self.highs, self.counts):
+                if high < lo or low > hi:
+                    continue
+                if lo <= low and high <= hi:
+                    rows += count
+                    continue
+                fraction = _span_fraction(low, high, lo, hi)
+                rows += count * (0.5 if fraction is None else fraction)
+        except TypeError:
+            return None
+        # Exclusive point ranges ([v, v) or (v, v]) match nothing.
+        if lower is not None and upper is not None:
+            try:
+                if lower == upper and not (include_lower and include_upper):
+                    return 0.0
+            except TypeError:
+                pass
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EquiDepthHistogram({self.type_class}, buckets={len(self.counts)}, "
+            f"total={self.total}, range=[{self.min_value!r}, {self.max_value!r}])"
+        )

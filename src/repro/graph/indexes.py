@@ -12,7 +12,13 @@ Three index families are provided:
 * :class:`OrderedPropertyIndex` — an ordered (sorted-key) index over a
   (label, property) pair that answers both equality probes and **range
   seeks** (``<``, ``<=``, ``>``, ``>=``), backing the planner's
-  ``IndexRangeSeek`` physical operator.
+  ``IndexRangeSeek`` physical operator.  Each pair also lazily maintains
+  an equi-depth value histogram (:mod:`repro.graph.histogram`) feeding the
+  planner's range-selectivity estimates, plus ordered-id enumeration for
+  index-backed ``ORDER BY``;
+* :class:`CompositeIndex` — exact-match index over (label, (prop, ...))
+  tuples, accelerating conjunctions of equality predicates with combined
+  (multi-column) selectivity.
 
 All are maintained eagerly by :class:`repro.graph.store.PropertyGraph`.
 """
@@ -21,8 +27,11 @@ from __future__ import annotations
 
 import bisect
 import datetime as _dt
+import threading
 from collections import defaultdict
-from typing import Any, Hashable, Iterable, Iterator, Optional
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from .histogram import DEFAULT_BUCKETS, EquiDepthHistogram
 
 
 class LabelIndex:
@@ -311,12 +320,22 @@ class OrderedPropertyIndex:
     first cross-class comparison and the seek must never hide that error.
     """
 
+    #: Rebuild a histogram once accumulated drift (mutations since build)
+    #: exceeds ``max(_HISTOGRAM_MIN_DRIFT, built_total // 4)``.
+    _HISTOGRAM_MIN_DRIFT = 16
+
     def __init__(self) -> None:
         self._indexed_pairs: set[tuple[str, str]] = set()
         self._buckets: dict[tuple[str, str], dict[str, _SortedBucket]] = {}
         #: Running (total entries, distinct values) per pair, as in
         #: :class:`PropertyIndex`, so selectivity estimates are O(1).
         self._counts: dict[tuple[str, str], list[int]] = {}
+        #: Lazily built equi-depth histograms per pair: value is a
+        #: ``[histogram | None, drift, stale]`` triple (see :meth:`histogram`).
+        self._histograms: dict[tuple[str, str], list] = {}
+        # Guards histogram (re)builds so concurrent readers (thread-safe
+        # snapshot reads share the graph's read lock) build each at most once.
+        self._histogram_lock = threading.Lock()
 
     def create(self, label: str, prop: str) -> None:
         """Declare an ordered index on ``label``/``prop`` (idempotent)."""
@@ -326,6 +345,7 @@ class OrderedPropertyIndex:
         self._indexed_pairs.add(pair)
         self._buckets[pair] = {}
         self._counts[pair] = [0, 0]
+        self._histograms[pair] = [None, 0, True]
 
     def drop(self, label: str, prop: str) -> None:
         """Drop the ordered index on ``label``/``prop`` if present."""
@@ -333,6 +353,7 @@ class OrderedPropertyIndex:
         self._indexed_pairs.discard(pair)
         self._buckets.pop(pair, None)
         self._counts.pop(pair, None)
+        self._histograms.pop(pair, None)
 
     def is_indexed(self, label: str, prop: str) -> bool:
         """Return True when an ordered index exists for ``label``/``prop``."""
@@ -357,6 +378,7 @@ class OrderedPropertyIndex:
             counts = self._counts[(label, prop)]
             counts[0] += 1
             counts[1] += len(bucket.ids_by_value) - distinct_before
+            self._note_mutation((label, prop), tag, key, added=True)
 
     def remove(self, label: str, prop: str, value: Any, item_id: int) -> None:
         """Remove an entry if present."""
@@ -373,6 +395,133 @@ class OrderedPropertyIndex:
             counts = self._counts[(label, prop)]
             counts[0] -= 1
             counts[1] -= distinct_before - len(bucket.ids_by_value)
+            self._note_mutation((label, prop), tag, key, added=False)
+
+    def _note_mutation(
+        self, pair: tuple[str, str], tag: str, key: Hashable, added: bool
+    ) -> None:
+        """Keep the pair's histogram loosely in sync with one mutation.
+
+        In-range mutations adjust a bucket count directly; anything the
+        histogram cannot absorb (a value outside its built boundaries, or
+        of a different type class) marks it stale for a lazy rebuild.
+        Either way drift accumulates, bounding how far incremental counts
+        may wander from a fresh build.
+        """
+        state = self._histograms.get(pair)
+        if state is None:
+            return
+        histogram = state[0]
+        state[1] += 1
+        if histogram is None:
+            return
+        if tag != histogram.type_class:
+            state[2] = True
+            return
+        absorbed = histogram.note_add(key) if added else histogram.note_remove(key)
+        if not absorbed:
+            state[2] = True
+
+    def histogram(
+        self, label: str, prop: str, bucket_target: int = DEFAULT_BUCKETS
+    ) -> tuple[Optional[EquiDepthHistogram], bool]:
+        """The pair's equi-depth histogram, rebuilt lazily when drifted.
+
+        Returns ``(histogram, refreshed)``; ``refreshed`` is True when this
+        call rebuilt it (the store bumps its index epoch then, so cached
+        plans carrying the old estimates are invalidated).  ``(None,
+        False)`` when the pair is not indexed or its entries span more than
+        one type class — the same condition under which
+        :meth:`range_lookup` declines, so no estimate is ever offered for a
+        seek that would fall back to a scan.
+        """
+        pair = (label, prop)
+        state = self._histograms.get(pair)
+        if state is None:
+            return None, False
+        buckets = self._buckets.get(pair, {})
+        populated = [
+            (tag, bucket) for tag, bucket in buckets.items() if len(bucket.ids_by_value)
+        ]
+        if len(populated) > 1 or (populated and populated[0][0] == _UNORDERED):
+            return None, False
+        histogram = state[0]
+        threshold = self._HISTOGRAM_MIN_DRIFT
+        if histogram is not None:
+            threshold = max(threshold, histogram.built_total // 4)
+        if histogram is not None and not state[2] and state[1] <= threshold:
+            return histogram, False
+        with self._histogram_lock:
+            state = self._histograms.get(pair)
+            if state is None:
+                return None, False
+            if populated:
+                tag, bucket = populated[0]
+                rebuilt = EquiDepthHistogram(
+                    tag,
+                    bucket.keys,
+                    lambda key: len(bucket.ids_by_value.get(key, ())),
+                    bucket_target=bucket_target,
+                )
+            else:
+                rebuilt = EquiDepthHistogram(_ORDERED_NUM, (), lambda key: 0)
+            state[0] = rebuilt
+            state[1] = 0
+            state[2] = False
+        return rebuilt, True
+
+    def bounds(self, label: str, prop: str) -> Optional[tuple[Any, Any]]:
+        """The (min, max) indexed value, for provably-empty-range clamping.
+
+        ``(None, None)`` for a declared-but-empty index (every range over
+        it is provably empty); ``None`` when the pair is not indexed or its
+        entries span multiple type classes (no clamp can be trusted then).
+        """
+        pair = (label, prop)
+        if pair not in self._indexed_pairs:
+            return None
+        populated = [
+            (tag, bucket)
+            for tag, bucket in self._buckets.get(pair, {}).items()
+            if len(bucket.ids_by_value)
+        ]
+        if not populated:
+            return (None, None)
+        if len(populated) > 1 or populated[0][0] == _UNORDERED:
+            return None
+        bucket = populated[0][1]
+        return (bucket.keys[0], bucket.keys[-1])
+
+    def ordered_ids(
+        self, label: str, prop: str, descending: bool = False
+    ) -> Optional[list[int]]:
+        """Indexed ids in value order (ids ascending within equal values).
+
+        Backs index-backed ``ORDER BY``: the id tie-break reproduces the
+        stable-sort order of the heap/sort route, whose input scans emit
+        ids ascending.  ``None`` — "cannot answer, sort instead" — when the
+        pair is not indexed or entries span more than one type class (a
+        live sort would raise comparing across classes, and the fallback
+        must preserve that error).
+        """
+        pair = (label, prop)
+        if pair not in self._indexed_pairs:
+            return None
+        populated = [
+            (tag, bucket)
+            for tag, bucket in self._buckets.get(pair, {}).items()
+            if len(bucket.ids_by_value)
+        ]
+        if not populated:
+            return []
+        if len(populated) > 1 or populated[0][0] == _UNORDERED:
+            return None
+        bucket = populated[0][1]
+        keys = reversed(bucket.keys) if descending else bucket.keys
+        ordered: list[int] = []
+        for key in keys:
+            ordered.extend(sorted(bucket.ids_by_value[key]))
+        return ordered
 
     def lookup(self, label: str, prop: str, value: Any) -> set[int] | None:
         """Equality probe; ``None`` when the pair is not indexed."""
@@ -443,3 +592,121 @@ class OrderedPropertyIndex:
         if counts is None:
             return None
         return counts[0]
+
+
+# ---------------------------------------------------------------------------
+# composite (multi-property) index
+# ---------------------------------------------------------------------------
+
+
+class CompositeIndex:
+    """Exact-match index over (label, (prop, ..., prop)) tuples.
+
+    Indexes the *tuple* of a node's values for the declared properties, so
+    a conjunction of equality predicates costs one probe with combined
+    selectivity instead of one single-property probe plus residual
+    filtering.  Nodes missing any of the declared properties are not
+    indexed — ``n.p = v`` can never hold for a missing ``p`` (``null``
+    equality is not ``true``), so a probe cannot miss them.
+    """
+
+    def __init__(self) -> None:
+        self._indexed_keys: set[tuple[str, tuple[str, ...]]] = set()
+        self._by_label: dict[str, list[tuple[str, ...]]] = defaultdict(list)
+        self._entries: dict[
+            tuple[str, tuple[str, ...]], dict[tuple, set[int]]
+        ] = {}
+        #: Running (total entries, distinct value tuples) per key.
+        self._counts: dict[tuple[str, tuple[str, ...]], list[int]] = {}
+
+    @staticmethod
+    def _key(label: str, props: Sequence[str]) -> tuple[str, tuple[str, ...]]:
+        return (label, tuple(props))
+
+    def create(self, label: str, props: Sequence[str]) -> None:
+        """Declare a composite index on ``label`` over ``props`` (idempotent)."""
+        key = self._key(label, props)
+        if key in self._indexed_keys:
+            return
+        self._indexed_keys.add(key)
+        self._by_label[label].append(key[1])
+        self._entries[key] = defaultdict(set)
+        self._counts[key] = [0, 0]
+
+    def drop(self, label: str, props: Sequence[str]) -> None:
+        """Drop the composite index if present."""
+        key = self._key(label, props)
+        if key not in self._indexed_keys:
+            return
+        self._indexed_keys.discard(key)
+        self._by_label[label].remove(key[1])
+        if not self._by_label[label]:
+            del self._by_label[label]
+        self._entries.pop(key, None)
+        self._counts.pop(key, None)
+
+    def is_indexed(self, label: str, props: Sequence[str]) -> bool:
+        """True when a composite index exists for exactly these properties."""
+        return self._key(label, props) in self._indexed_keys
+
+    def indexed_keys(self) -> list[tuple[str, tuple[str, ...]]]:
+        """The declared (label, properties) keys, sorted."""
+        return sorted(self._indexed_keys)
+
+    def for_label(self, label: str) -> tuple[tuple[str, ...], ...]:
+        """Property tuples declared for ``label`` (maintenance fast path)."""
+        return tuple(self._by_label.get(label, ()))
+
+    def add_item(self, label: str, properties: Mapping[str, Any], item_id: int) -> None:
+        """Index ``item_id`` under every declared composite it satisfies."""
+        for props in self._by_label.get(label, ()):
+            if any(prop not in properties for prop in props):
+                continue
+            values = tuple(_freeze_value(properties[prop]) for prop in props)
+            bucket = self._entries[(label, props)][values]
+            if item_id not in bucket:
+                bucket.add(item_id)
+                counts = self._counts[(label, props)]
+                counts[0] += 1
+                if len(bucket) == 1:
+                    counts[1] += 1
+
+    def remove_item(
+        self, label: str, properties: Mapping[str, Any], item_id: int
+    ) -> None:
+        """Remove ``item_id``'s entries computed from ``properties``."""
+        for props in self._by_label.get(label, ()):
+            if any(prop not in properties for prop in props):
+                continue
+            values = tuple(_freeze_value(properties[prop]) for prop in props)
+            entries = self._entries[(label, props)]
+            bucket = entries.get(values)
+            if bucket is None or item_id not in bucket:
+                continue
+            bucket.discard(item_id)
+            counts = self._counts[(label, props)]
+            counts[0] -= 1
+            if not bucket:
+                counts[1] -= 1
+                del entries[values]
+
+    def lookup(
+        self, label: str, props: Sequence[str], values: Sequence[Any]
+    ) -> set[int] | None:
+        """Matching ids, or ``None`` when no such composite is declared."""
+        key = self._key(label, props)
+        entries = self._entries.get(key)
+        if entries is None:
+            return None
+        frozen = tuple(_freeze_value(value) for value in values)
+        return set(entries.get(frozen, ()))
+
+    def selectivity(self, label: str, props: Sequence[str]) -> float | None:
+        """Expected entries per distinct value tuple (``None`` if undeclared)."""
+        counts = self._counts.get(self._key(label, props))
+        if counts is None:
+            return None
+        total, distinct = counts
+        if distinct == 0:
+            return 1.0
+        return total / distinct

@@ -83,6 +83,9 @@ def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
         "relationship_indexes": [
             list(pair) for pair in graph.relationship_property_indexes()
         ],
+        "composite_indexes": [
+            [label, list(props)] for label, props in graph.composite_indexes()
+        ],
         "reachability_indexes": list(graph.reachability_indexes()),
     }
 
@@ -113,6 +116,8 @@ def graph_from_dict(payload: dict[str, Any]) -> PropertyGraph:
         graph.create_range_index(label, prop)
     for rel_type, prop in payload.get("relationship_indexes", ()):
         graph.create_relationship_property_index(rel_type, prop)
+    for label, props in payload.get("composite_indexes", ()):
+        graph.create_composite_index(label, props)
     for rel_type in payload.get("reachability_indexes", ()):
         graph.create_reachability_index(rel_type)
     return graph

@@ -22,6 +22,13 @@ from typing import Iterable, Optional, Sequence
 
 from .store import BOTH, PropertyGraph
 
+#: Default selectivities for WHERE conjuncts the planner cannot answer from
+#: an index: the System R-style constants applied per unestimated conjunct
+#: when correcting a pattern's estimate for its residual filter.
+EQUALITY_SELECTIVITY = 0.1
+RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_SELECTIVITY = 0.25
+
 
 @dataclass
 class GraphStatistics:
@@ -138,20 +145,111 @@ class CardinalityEstimator:
             return 1.0
         return max(float(selectivity), 1.0)
 
-    def range_scan_rows(self, label: str, prop: str) -> float:
+    def range_scan_rows(
+        self,
+        label: str,
+        prop: str,
+        lower: object = None,
+        upper: object = None,
+        include_lower: bool = True,
+        include_upper: bool = True,
+    ) -> float:
         """Expected rows of a range seek into a declared ordered index.
 
-        Without value histograms the planner uses the classic *one-third*
-        heuristic (System R's default for open range predicates): a range
-        seek is assumed to return a third of the indexed entries.  Degrades
-        to a third of the label cardinality when the entry count is
-        unavailable, and never estimates below one row.
+        Three tiers, each only as good as what the graph exposes:
+
+        1. **Clamp** — a provably empty range (inverted bounds, an
+           exclusive point range, or bounds entirely outside the index's
+           min/max) estimates exactly ``0.0``, before any histogram or
+           heuristic gets a say.
+        2. **Histogram** — with literal bounds and an equi-depth histogram
+           (:meth:`~repro.graph.store.PropertyGraph.range_histogram`), sum
+           the overlapped buckets.
+        3. **Heuristic** — otherwise the classic *one-third* rule (System
+           R's default for range predicates): a third of the indexed
+           entries, degrading to a third of the label cardinality, never
+           below one row.
         """
         counter = getattr(self.graph, "range_index_entry_count", None)
         total = counter(label, prop) if counter is not None else None
+        if self._range_provably_empty(
+            label, prop, lower, upper, include_lower, include_upper, total
+        ):
+            return 0.0
+        if lower is not None or upper is not None:
+            probe = getattr(self.graph, "range_histogram", None)
+            histogram = probe(label, prop) if probe is not None else None
+            if histogram is not None:
+                estimate = histogram.estimate_range(
+                    lower, upper, include_lower, include_upper
+                )
+                if estimate is not None:
+                    return max(float(estimate), 0.0)
         if total is None:
             total = self.label_cardinality((label,))
         return max(float(total) / 3.0, 1.0)
+
+    def _range_provably_empty(
+        self,
+        label: str,
+        prop: str,
+        lower: object,
+        upper: object,
+        include_lower: bool,
+        include_upper: bool,
+        total: int | None,
+    ) -> bool:
+        """True when no value can satisfy the bounds — estimate zero rows.
+
+        Cross-type bound comparisons are treated as inconclusive (the live
+        evaluation would raise, and the executor's fallback handles that);
+        an unindexed pair never clamps.
+        """
+        bounded = lower is not None or upper is not None
+        if lower is not None and upper is not None:
+            try:
+                if lower > upper:
+                    return True
+                if lower == upper and not (include_lower and include_upper):
+                    return True
+            except TypeError:
+                return False
+        if total == 0:
+            return bounded  # declared-but-empty index: every range is empty
+        probe = getattr(self.graph, "range_index_bounds", None)
+        bounds = probe(label, prop) if probe is not None else None
+        if bounds is None:
+            return False
+        low, high = bounds
+        if low is None and high is None:
+            return bounded
+        try:
+            if lower is not None and (
+                lower > high or (lower == high and not include_lower)
+            ):
+                return True
+            if upper is not None and (
+                upper < low or (upper == low and not include_upper)
+            ):
+                return True
+        except TypeError:
+            return False
+        return False
+
+    def composite_rows(self, label: str, props: Sequence[str]) -> float | None:
+        """Expected rows of one probe into a composite index.
+
+        Combined (multi-column) selectivity from the composite's running
+        counters; ``None`` when no composite index covers exactly ``props``
+        (the planner then falls back to single-property probes).
+        """
+        probe = getattr(self.graph, "composite_index_selectivity", None)
+        if probe is None:
+            return None
+        selectivity = probe(label, props)
+        if selectivity is None:
+            return None
+        return max(float(selectivity), 1.0)
 
     def in_list_rows(self, label: str, prop: str, value_count: Optional[int]) -> float:
         """Expected rows of an IN-list seek: one equality probe per element.

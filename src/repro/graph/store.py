@@ -32,7 +32,7 @@ from .errors import (
     RelationshipNotFoundError,
 )
 from ..paths.accelerator import ReachabilityIndex
-from .indexes import LabelIndex, OrderedPropertyIndex, PropertyIndex
+from .indexes import CompositeIndex, LabelIndex, OrderedPropertyIndex, PropertyIndex
 from .model import Node, Relationship, validate_properties, validate_property_value
 
 #: Direction selector for relationship traversal.
@@ -60,6 +60,7 @@ class PropertyGraph:
         self._property_index = PropertyIndex()
         self._range_index = OrderedPropertyIndex()
         self._rel_property_index = PropertyIndex()
+        self._composite_index = CompositeIndex()
         #: Declared reachability accelerators, one per relationship type
         #: (see :mod:`repro.paths.accelerator`); rebuilt lazily on use.
         self._reachability: dict[str, ReachabilityIndex] = {}
@@ -231,7 +232,9 @@ class PropertyGraph:
     # property index management
     # ------------------------------------------------------------------
 
-    def _notify_ddl(self, action: str, kind: str, label: str, prop: str | None) -> None:
+    def _notify_ddl(
+        self, action: str, kind: str, label: str, prop: str | list[str] | None
+    ) -> None:
         if self.ddl_listener is not None:
             self.ddl_listener(action, kind, label, prop)
 
@@ -348,6 +351,108 @@ class PropertyGraph:
         """Total entries of the ordered index (``None`` when not declared)."""
         return self._range_index.entry_count(label, prop)
 
+    def range_index_bounds(self, label: str, prop: str) -> tuple[Any, Any] | None:
+        """(min, max) indexed value of the pair, for range clamping.
+
+        ``(None, None)`` for a declared-but-empty index — every range over
+        it is provably empty; ``None`` when the pair is not indexed or its
+        entries span multiple type classes (no clamp can be trusted).
+        """
+        return self._range_index.bounds(label, prop)
+
+    def range_histogram(self, label: str, prop: str):
+        """The pair's equi-depth value histogram, or ``None``.
+
+        Built (and rebuilt, once mutations since the last build exceed the
+        drift threshold) lazily on access.  A rebuild changes the estimates
+        cached plans were costed with, so it bumps the index epoch exactly
+        like index DDL — the plan cache re-plans affected queries once.
+        """
+        histogram, refreshed = self._range_index.histogram(label, prop)
+        if refreshed:
+            self._index_epoch += 1
+        return histogram
+
+    def ordered_label_scan(
+        self, label: str, prop: str, descending: bool = False
+    ) -> list[Node] | None:
+        """Nodes with ``label`` in ``prop`` order, nulls last — or ``None``.
+
+        Backs index-backed ``ORDER BY``: indexed nodes stream in value
+        order (ids ascending within equal values, reproducing the stable
+        sort's tie order), followed by the label's unindexed nodes (missing
+        the property — ``null`` sorts last in both directions) in id order.
+        ``None`` whenever the ordered index cannot answer (pair not
+        indexed, or entries spanning type classes whose live comparison
+        would raise), in which case the caller must sort.
+        """
+        ordered = self._range_index.ordered_ids(label, prop, descending)
+        if ordered is None:
+            return None
+        result = [self._nodes[i] for i in ordered if i in self._nodes]
+        members = self._node_labels.get(label)
+        if len(result) < len(members):
+            indexed = set(ordered)
+            result.extend(
+                self._nodes[i] for i in sorted(members - indexed) if i in self._nodes
+            )
+        return result
+
+    # -- composite (multi-property) indexes -----------------------------
+
+    def create_composite_index(self, label: str, props: Iterable[str]) -> None:
+        """Declare a composite index on ``label`` over ``props`` and backfill it.
+
+        ``props`` is an ordered tuple of at least two property names; a
+        probe must supply a value for every one of them (the planner only
+        picks the index when a WHERE clause pins all of them by equality).
+        """
+        props = tuple(props)
+        if len(props) < 2:
+            raise GraphIntegrityError(
+                "a composite index needs at least two properties; "
+                "use create_property_index for single properties"
+            )
+        self._composite_index.create(label, props)
+        for node in self.nodes_with_label(label):
+            self._composite_index.add_item(label, node.properties, node.id)
+        self._index_epoch += 1
+        self._notify_ddl("create", "composite", label, list(props))
+
+    def drop_composite_index(self, label: str, props: Iterable[str]) -> None:
+        """Drop a composite index (bumps the index epoch)."""
+        props = tuple(props)
+        self._composite_index.drop(label, props)
+        self._index_epoch += 1
+        self._notify_ddl("drop", "composite", label, list(props))
+
+    def composite_indexes(self) -> list[tuple[str, tuple[str, ...]]]:
+        """Declared (label, properties) composite index keys."""
+        return self._composite_index.indexed_keys()
+
+    def composite_indexes_for_label(self, label: str) -> tuple[tuple[str, ...], ...]:
+        """Property tuples of the composites declared for ``label``."""
+        return self._composite_index.for_label(label)
+
+    def composite_index_lookup(
+        self, label: str, props: Iterable[str], values: Iterable[Any]
+    ) -> list[Node] | None:
+        """Nodes with ``label`` matching every ``prop = value`` pair.
+
+        Returns ``None`` when no composite index covers exactly ``props``
+        (fall back to single-property probes or a scan).
+        """
+        hit = self._composite_index.lookup(label, tuple(props), tuple(values))
+        if hit is None:
+            return None
+        return [self._nodes[i] for i in sorted(hit) if i in self._nodes]
+
+    def composite_index_selectivity(
+        self, label: str, props: Iterable[str]
+    ) -> float | None:
+        """Entries per distinct value tuple (``None`` when not declared)."""
+        return self._composite_index.selectivity(label, tuple(props))
+
     # -- relationship-property indexes ----------------------------------
 
     def create_relationship_property_index(self, rel_type: str, prop: str) -> None:
@@ -457,6 +562,7 @@ class PropertyGraph:
             for key, value in props.items():
                 for index in self._node_property_indexes():
                     index.add(label, key, value, node_id)
+            self._composite_index.add_item(label, props, node_id)
         return node
 
     def create_relationship(
@@ -511,6 +617,7 @@ class PropertyGraph:
             for key, value in node.properties.items():
                 for index in self._node_property_indexes():
                     index.remove(label, key, value, node_id)
+            self._composite_index.remove_item(label, node.properties, node_id)
         return node
 
     def delete_relationship(self, rel_id: int) -> Relationship:
@@ -539,6 +646,7 @@ class PropertyGraph:
         for key, value in new.properties.items():
             for index in self._node_property_indexes():
                 index.add(label, key, value, node_id)
+        self._composite_index.add_item(label, new.properties, node_id)
         return old, new
 
     def remove_label(self, node_id: int, label: str) -> tuple[Node, Node]:
@@ -552,6 +660,7 @@ class PropertyGraph:
         for key, value in old.properties.items():
             for index in self._node_property_indexes():
                 index.remove(label, key, value, node_id)
+        self._composite_index.remove_item(label, old.properties, node_id)
         return old, new
 
     def set_node_property(self, node_id: int, key: str, value: Any) -> tuple[Node, Node]:
@@ -573,6 +682,8 @@ class PropertyGraph:
                 if previous is not None:
                     index.remove(label, key, previous, node_id)
                 index.add(label, key, value, node_id)
+            self._composite_index.remove_item(label, old.properties, node_id)
+            self._composite_index.add_item(label, new.properties, node_id)
         return old, new
 
     def remove_node_property(self, node_id: int, key: str) -> tuple[Node, Node]:
@@ -587,6 +698,8 @@ class PropertyGraph:
         for label in old.labels:
             for index in self._node_property_indexes():
                 index.remove(label, key, previous, node_id)
+            self._composite_index.remove_item(label, old.properties, node_id)
+            self._composite_index.add_item(label, new.properties, node_id)
         return old, new
 
     def set_relationship_property(
@@ -645,6 +758,10 @@ class PropertyGraph:
         self._rel_property_index = PropertyIndex()
         for rel_type, prop in declared_rel:
             self._rel_property_index.create(rel_type, prop)
+        declared_composites = self._composite_index.indexed_keys()
+        self._composite_index = CompositeIndex()
+        for label, props in declared_composites:
+            self._composite_index.create(label, props)
         self._reachability = {
             rel_type: ReachabilityIndex(rel_type) for rel_type in self._reachability
         }
@@ -664,6 +781,8 @@ class PropertyGraph:
             clone.create_range_index(label, prop)
         for rel_type, prop in self.relationship_property_indexes():
             clone.create_relationship_property_index(rel_type, prop)
+        for label, props in self.composite_indexes():
+            clone.create_composite_index(label, props)
         for rel_type in self.reachability_indexes():
             clone.create_reachability_index(rel_type)
         return clone

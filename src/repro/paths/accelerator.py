@@ -49,11 +49,19 @@ class ReachabilityIndex:
         self.rel_type = rel_type
         #: Number of (re)builds performed — observability for tests/benchmarks.
         self.builds = 0
+        #: Route counters — how often each expansion strategy actually ran.
+        self.interval_scans = 0
+        self.dfs_walks = 0
         self._dirty = True
         self._declined: Optional[str] = None
         self._pre: dict[int, int] = {}
         self._post: dict[int, int] = {}
         self._depth: dict[int, int] = {}
+        #: subtree height below each node (0 for leaves)
+        self._height: dict[int, int] = {}
+        #: child node ids in relationship-id (= preorder) order
+        self._children: dict[int, list[int]] = {}
+        self._roots: list[int] = []
         #: child node id -> (relationship id, parent node id)
         self._parent: dict[int, tuple[int, int]] = {}
         self._order = OrderedPropertyIndex()
@@ -92,12 +100,23 @@ class ReachabilityIndex:
     # is absent from the encoding but still matches itself at zero hops.
 
     def descendants(self, node_id: int, min_hops: int, max_hops: int) -> list[int]:
-        """Nodes reachable from ``node_id``, in naive-DFS (preorder) order."""
+        """Nodes reachable from ``node_id``, in naive-DFS (preorder) order.
+
+        Cost-routed: a narrow hop window over a deep subtree walks a
+        depth-bounded DFS over the stored child lists instead of scanning
+        (and depth-filtering) the whole pre/post interval.  Both routes
+        emit preorder with the same depth filter, so the rows and their
+        order are identical by construction — only the work differs.
+        """
         if max_hops < min_hops:
             return []
         pre = self._pre.get(node_id)
         if pre is None:
             return [node_id] if min_hops <= 0 else []
+        if self.prefer_dfs(node_id, min_hops, max_hops):
+            self.dfs_walks += 1
+            return self._bounded_dfs(node_id, min_hops, max_hops)
+        self.interval_scans += 1
         hit = self._order.range_lookup(
             self.rel_type,
             _PRE,
@@ -115,6 +134,80 @@ class ReachabilityIndex:
             for candidate in sorted(hit, key=self._pre.__getitem__)
             if low <= self._depth[candidate] <= high
         ]
+
+    def subtree_stats(self, node_id: int) -> tuple[int, int]:
+        """(node count, height) of the encoded subtree under ``node_id``."""
+        pre = self._pre.get(node_id)
+        if pre is None:
+            return 1, 0
+        return self._post[node_id] - pre + 1, self._height.get(node_id, 0)
+
+    def prefer_dfs(self, node_id: int, min_hops: int, max_hops: int) -> bool:
+        """Would a depth-bounded DFS beat the interval scan for this start?
+
+        The interval scan always touches the *whole* subtree (``size``
+        nodes) before the depth filter runs.  A DFS prunes at depth
+        ``max_hops``, visiting roughly ``sum(b**i)`` nodes for effective
+        branching ``b = size ** (1/height)``.  DFS per-node work is
+        heavier (dict probes per child vs. one sorted-bucket slice), so
+        it only wins when the pruned frontier is well under half the
+        subtree — i.e. narrow ``*n..m`` windows over deep trees.
+        """
+        size, height = self.subtree_stats(node_id)
+        if max_hops >= height or size <= 8:
+            return False  # DFS would visit (nearly) everything anyway
+        return self._dfs_cost(size, height, max_hops) * 2.0 < size
+
+    @staticmethod
+    def _dfs_cost(size: int, height: int, max_hops: int) -> float:
+        branching = size ** (1.0 / height) if height > 0 else 1.0
+        cost, layer = 1.0, 1.0
+        for _ in range(max(max_hops, 0)):
+            layer *= branching
+            cost += layer
+            if cost >= size:
+                break
+        return min(cost, float(size))
+
+    def route_hint(self, min_hops: int, max_hops: int) -> tuple[str, str]:
+        """Plan-time (route, reason) for EXPLAIN — the deepest root decides.
+
+        Advisory only: :meth:`descendants` re-decides per start node at
+        run time.  The deepest root is the representative because that is
+        where the interval scan's full-subtree cost hurts most.
+        """
+        if self._declined is not None or not self._roots:
+            return "interval", "no encoded subtrees"
+        root = max(self._roots, key=lambda r: self._height.get(r, 0))
+        size, height = self.subtree_stats(root)
+        if self.prefer_dfs(root, min_hops, max_hops):
+            cost = int(self._dfs_cost(size, height, max_hops))
+            return (
+                "dfs",
+                f"hop window ..{max_hops} shallow vs height {height}: "
+                f"~{cost} of {size} nodes",
+            )
+        return (
+            "interval",
+            f"hop window ..{max_hops} covers height-{height} subtree "
+            f"({size} nodes)",
+        )
+
+    def _bounded_dfs(self, node_id: int, min_hops: int, max_hops: int) -> list[int]:
+        result = [node_id] if min_hops <= 0 else []
+        # Explicit stack of (node, depth); children pushed in reverse so
+        # they pop in relationship-id order — exactly preorder.
+        stack = [(child, 1) for child in reversed(self._children.get(node_id, ()))]
+        while stack:
+            current, depth = stack.pop()
+            if depth >= min_hops:
+                result.append(current)
+            if depth < max_hops:
+                stack.extend(
+                    (child, depth + 1)
+                    for child in reversed(self._children.get(current, ()))
+                )
+        return result
 
     def ancestors(self, node_id: int, min_hops: int, max_hops: int) -> list[int]:
         """The parent chain above ``node_id``, nearest first (naive order)."""
@@ -159,16 +252,18 @@ class ReachabilityIndex:
         self.builds += 1
         self._dirty = False
         self._declined = None
-        self._pre, self._post, self._depth, self._parent = {}, {}, {}, {}
-        self._order = OrderedPropertyIndex()
-        self._order.create(self.rel_type, _PRE)
+        self._reset_encoding()
         try:
             self._encode(graph.relationships_with_type(self.rel_type))
         except _Decline as decline:
             self._declined = str(decline)
-            self._pre, self._post, self._depth, self._parent = {}, {}, {}, {}
-            self._order = OrderedPropertyIndex()
-            self._order.create(self.rel_type, _PRE)
+            self._reset_encoding()
+
+    def _reset_encoding(self) -> None:
+        self._pre, self._post, self._depth, self._parent = {}, {}, {}, {}
+        self._height, self._children, self._roots = {}, {}, []
+        self._order = OrderedPropertyIndex()
+        self._order.create(self.rel_type, _PRE)
 
     def _encode(self, relationships: Iterable) -> None:
         children: dict[int, list[tuple[int, int]]] = {}
@@ -208,12 +303,20 @@ class ReachabilityIndex:
                 if not advanced:
                     stack.pop()
                     self._post[node_id] = counter
+                    self._height[node_id] = 1 + max(
+                        (self._height[c] for _, c in children.get(node_id, ())),
+                        default=-1,
+                    )
         if len(self._pre) != len(nodes):
             raise _Decline(
                 f"cycle among :{self.rel_type} relationships "
                 f"({len(nodes) - len(self._pre)} nodes unreachable from any root)"
             )
         self._parent = parent
+        self._children = {
+            node: [child for _, child in links] for node, links in children.items()
+        }
+        self._roots = sorted(node for node in nodes if node not in parent)
         for node_id, pre in self._pre.items():
             self._order.add(self.rel_type, _PRE, pre, node_id)
 

@@ -50,6 +50,9 @@ _INDEX_METHODS = {
     ("drop", "range"): PropertyGraph.drop_range_index,
     ("create", "relationship"): PropertyGraph.create_relationship_property_index,
     ("drop", "relationship"): PropertyGraph.drop_relationship_property_index,
+    # Composite-index records carry the property list in the prop field.
+    ("create", "composite"): PropertyGraph.create_composite_index,
+    ("drop", "composite"): PropertyGraph.drop_composite_index,
     # Reachability accelerators are keyed by relationship type alone; the
     # record's prop round-trips as JSON null and is dropped here.
     ("create", "reachability"): (
@@ -231,7 +234,9 @@ class DurableStore:
         self.wal.append(payload, sync=True)
         return payload["lsn"]
 
-    def log_index(self, action: str, kind: str, label: str, prop: str) -> int:
+    def log_index(
+        self, action: str, kind: str, label: str, prop: str | list[str] | None
+    ) -> int:
         """Append an index-DDL record (always fsynced)."""
         lsn = self._allocate_lsn()
         self.wal.append(

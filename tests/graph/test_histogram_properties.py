@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis): histogram maintenance under mutation.
+
+The equi-depth histogram behind ``PropertyGraph.range_histogram`` is
+maintained incrementally: in-range mutations adjust a bucket count, anything
+else marks the histogram stale for a lazy rebuild on the next access.  These
+tests pin the invariants that make its estimates trustworthy under arbitrary
+interleavings of inserts, updates, deletes, clears and reads:
+
+* every access returns a histogram whose ``total`` counts exactly the
+  entries the ordered index holds at that moment (absorbed mutations keep
+  counts exact; anything unabsorbed forces a rebuild before the read
+  returns);
+* a freshly built histogram answers any range within the equi-depth error
+  bound — at most the two partially-overlapped edge buckets;
+* an incrementally maintained histogram stays within that bound plus one
+  per mutation since the build (drift is capped by the rebuild threshold);
+* a rebuild bumps the graph's index epoch exactly like index DDL (cached
+  plans were costed with the old estimates), and a plain cached read
+  never does;
+* ``copy()`` detaches histogram state — mutating the clone leaves the
+  original's estimates untouched;
+* entries spanning more than one type class withdraw the histogram
+  entirely (the same condition under which range seeks decline), rather
+  than offering an estimate a scan would contradict.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import PropertyGraph
+
+LABEL = "Person"
+PROP = "score"
+
+scores = st.integers(min_value=-500, max_value=500)
+
+#: One mutation against the indexed (Person, score) pair.  Indices are
+#: taken modulo the live node list, as in tests/test_properties.py.
+mutations = st.one_of(
+    st.tuples(st.just("insert"), scores),
+    st.tuples(st.just("update"), st.integers(0, 40), scores),
+    st.tuples(st.just("remove_prop"), st.integers(0, 40)),
+    st.tuples(st.just("delete"), st.integers(0, 40)),
+    st.tuples(st.just("clear"),),
+    st.tuples(st.just("read"), scores, scores),
+)
+
+
+def _apply(graph: PropertyGraph, operation) -> None:
+    kind = operation[0]
+    node_ids = [node.id for node in graph.nodes_with_label(LABEL)]
+    if kind == "insert":
+        graph.create_node([LABEL], {PROP: operation[1]})
+    elif kind == "update" and node_ids:
+        graph.set_node_property(node_ids[operation[1] % len(node_ids)], PROP, operation[2])
+    elif kind == "remove_prop" and node_ids:
+        graph.remove_node_property(node_ids[operation[1] % len(node_ids)], PROP)
+    elif kind == "delete" and node_ids:
+        graph.delete_node(node_ids[operation[1] % len(node_ids)], detach=True)
+    elif kind == "clear":
+        graph.clear()
+
+
+def _indexed_scores(graph: PropertyGraph) -> list[int]:
+    return sorted(
+        node.properties[PROP]
+        for node in graph.nodes_with_label(LABEL)
+        if PROP in node.properties
+    )
+
+
+def _true_count(graph: PropertyGraph, lo: int, hi: int) -> int:
+    return sum(1 for value in _indexed_scores(graph) if lo <= value <= hi)
+
+
+class TestHistogramMaintenance:
+    @given(operations=st.lists(mutations, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_total_tracks_index_through_any_interleaving(self, operations):
+        """At every read point, the histogram counts exactly the indexed
+        entries — incremental counts never silently drift from the index."""
+        graph = PropertyGraph()
+        graph.create_range_index(LABEL, PROP)
+        for operation in operations:
+            _apply(graph, operation)
+            if operation[0] == "read":
+                histogram = graph.range_histogram(LABEL, PROP)
+                assert histogram is not None
+                assert histogram.total == len(_indexed_scores(graph))
+        histogram = graph.range_histogram(LABEL, PROP)
+        assert histogram is not None
+        assert histogram.total == len(_indexed_scores(graph))
+
+    @given(
+        operations=st.lists(mutations, max_size=60),
+        ranges=st.lists(st.tuples(scores, scores), min_size=1, max_size=5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_estimates_stay_within_equi_depth_bound(self, operations, ranges):
+        """Full buckets count exactly, so an estimate can miss the truth by
+        at most the two edge buckets — plus one per unrebuilt mutation for
+        the incrementally maintained histogram (values absorbed into the
+        gaps between frozen bucket boundaries)."""
+        graph = PropertyGraph()
+        graph.create_range_index(LABEL, PROP)
+        for operation in operations:
+            _apply(graph, operation)
+        maintained = graph.range_histogram(LABEL, PROP)
+        # A fresh graph with the same final entries builds from scratch:
+        # drift zero, the pure equi-depth bound applies.
+        rebuilt_graph = PropertyGraph()
+        rebuilt_graph.create_range_index(LABEL, PROP)
+        for value in _indexed_scores(graph):
+            rebuilt_graph.create_node([LABEL], {PROP: value})
+        fresh = rebuilt_graph.range_histogram(LABEL, PROP)
+        assert maintained is not None and fresh is not None
+        for lo, hi in ranges:
+            lo, hi = min(lo, hi), max(lo, hi)
+            actual = _true_count(graph, lo, hi)
+            fresh_error = abs(fresh.estimate_range(lo, hi) - actual)
+            assert fresh_error <= 2 * fresh.bucket_depth() + 1e-9
+            maintained_error = abs(maintained.estimate_range(lo, hi) - actual)
+            assert maintained_error <= 2 * maintained.bucket_depth() + len(operations) + 1e-9
+
+    @given(operations=st.lists(mutations, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_epoch_bumps_exactly_on_rebuild(self, operations):
+        """index_epoch moves iff an access returned a rebuilt histogram, so
+        cached plans re-cost exactly when the estimates changed."""
+        graph = PropertyGraph()
+        graph.create_range_index(LABEL, PROP)
+        previous = graph.range_histogram(LABEL, PROP)
+        epoch = graph.index_epoch
+        for operation in operations:
+            _apply(graph, operation)
+            if operation[0] != "read":
+                continue
+            histogram = graph.range_histogram(LABEL, PROP)
+            if histogram is previous:
+                assert graph.index_epoch == epoch
+            else:
+                assert graph.index_epoch == epoch + 1
+            previous, epoch = histogram, graph.index_epoch
+        # A read with no intervening mutations is always a cache hit.
+        histogram = graph.range_histogram(LABEL, PROP)
+        again = graph.range_histogram(LABEL, PROP)
+        assert again is histogram
+        assert graph.index_epoch == (epoch if histogram is previous else epoch + 1)
+
+    @given(
+        operations=st.lists(mutations, min_size=1, max_size=30),
+        clone_operations=st.lists(mutations, min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_copy_detaches_histogram_state(self, operations, clone_operations):
+        graph = PropertyGraph()
+        graph.create_range_index(LABEL, PROP)
+        for operation in operations:
+            _apply(graph, operation)
+        clone = graph.copy()
+        before = _indexed_scores(graph)
+        for operation in clone_operations:
+            _apply(clone, operation)
+        histogram = graph.range_histogram(LABEL, PROP)
+        assert _indexed_scores(graph) == before
+        assert histogram is not None and histogram.total == len(before)
+        clone_histogram = clone.range_histogram(LABEL, PROP)
+        assert clone_histogram is not None
+        assert clone_histogram.total == len(_indexed_scores(clone))
+
+    def test_mixed_type_classes_withdraw_the_histogram(self):
+        """Ints and strings under one pair: range seeks decline (a live scan
+        would raise comparing across classes) and so must the histogram."""
+        graph = PropertyGraph()
+        graph.create_range_index(LABEL, PROP)
+        for value in range(20):
+            graph.create_node([LABEL], {PROP: value})
+        assert graph.range_histogram(LABEL, PROP) is not None
+        poisoned = graph.create_node([LABEL], {PROP: "not-a-number"})
+        assert graph.range_histogram(LABEL, PROP) is None
+        graph.delete_node(poisoned.id)
+        histogram = graph.range_histogram(LABEL, PROP)
+        assert histogram is not None and histogram.total == 20
