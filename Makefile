@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-storage test-concurrency test-paths test-optimizer lint bench bench-smoke explain-demo optimizer-demo serve
+.PHONY: test test-storage test-concurrency test-paths test-optimizer test-triggers lint bench bench-smoke explain-demo optimizer-demo serve
 
 ## Run the full tier-1 suite (unit + integration + benchmark assertions).
 test:
@@ -31,6 +31,13 @@ test-paths:
 test-optimizer:
 	$(PYTHON) -m pytest tests/cypher/test_optimizer_v2.py tests/graph/test_histogram_properties.py tests/cypher/test_planner.py tests/test_join_ordering_properties.py -q
 
+## The trigger suite alone: engine/registry/session units, the batched
+## two-way differential and the incremental three-way differential
+## (sequential == batched == incremental, incl. mid-stream DDL and
+## trigger install/drop, with Hypothesis randomized streams).
+test-triggers:
+	$(PYTHON) -m pytest tests/triggers -q
+
 ## Static checks (requires ruff: `pip install ruff`; CI installs it).
 lint:
 	ruff check src tests benchmarks
@@ -48,8 +55,11 @@ bench:
 ## P11 path-query experiment (reachability accelerator vs DFS) and the
 ## P12 optimizer-torture experiment (q-error + plan-regret regression gate
 ## against benchmarks/optimizer_baseline.json; the scored workload lands
-## in BENCH_optimizer_qerror.json).  Timings are dumped to
-## BENCH_smoke.json (both JSON files are uploaded as CI artifacts).
+## in BENCH_optimizer_qerror.json) and the P13 incremental-trigger
+## firehose experiment (≥5x deltas/sec gate against
+## benchmarks/triggers_baseline.json; the result table lands in
+## BENCH_triggers_firehose.json).  Timings are dumped to
+## BENCH_smoke.json (all three JSON files are uploaded as CI artifacts).
 bench-smoke:
 	$(PYTHON) -m pytest \
 		benchmarks/test_perf_trigger_overhead.py \
@@ -62,6 +72,7 @@ bench-smoke:
 		benchmarks/test_perf_concurrency.py \
 		benchmarks/test_perf_paths.py \
 		benchmarks/test_perf_optimizer.py \
+		benchmarks/test_perf_incremental_triggers.py \
 		-q --benchmark-columns=min,mean,rounds \
 		--benchmark-json=BENCH_smoke.json
 
@@ -97,6 +108,11 @@ paths-demo:
 ## regret, histogram vs one-third heuristic, narrow-hop routing counters).
 optimizer-demo:
 	$(PYTHON) -c "from repro.bench import perf_optimizer; print(perf_optimizer().to_text())"
+
+## Print the P13 experiment (incremental trigger views vs batched:
+## sustained deltas/sec over a firehose delta stream).
+incremental-triggers-demo:
+	$(PYTHON) -c "from repro.bench import perf_incremental_triggers; print(perf_incremental_triggers().to_text())"
 
 ## Run the contact-tracing path-query walkthrough (k-hop exposure rings,
 ## shortest transmission chains, a path-predicate trigger).

@@ -712,8 +712,15 @@ def perf_batched_triggers(
         graph = PropertyGraph()
         manager = TransactionManager(graph)
         registry = TriggerRegistry()
+        # The incremental tier is disabled on both routes: P7 isolates the
+        # batched-vs-sequential comparison (P13 grades the incremental tier).
         engine = TriggerEngine(
-            graph, registry, manager, clock=_CLOCK, batched_conditions=batched
+            graph,
+            registry,
+            manager,
+            clock=_CLOCK,
+            batched_conditions=batched,
+            incremental_conditions=False,
         )
         # A config catalog: one threshold entry, one (disabled) flag per
         # gate trigger, and filler entries that make the catalog scan cost
@@ -1268,6 +1275,122 @@ def perf_optimizer(
     return result
 
 
+def perf_incremental_triggers(
+    nodes: int = 50_000,
+    statements: int = 250,
+    catalog: int = 10_000,
+    gate_triggers: int = 10,
+) -> ExperimentResult:
+    """P13 — incremental (delta-maintained views) vs batched evaluation.
+
+    The firehose scenario batching cannot save: ``statements`` small
+    deltas (``nodes`` created nodes in total) flowing through an
+    installed set of ``gate_triggers + 2`` triggers.  Batched evaluation
+    re-executes every condition query once *per delta* — for the
+    config-gated triggers that is a full scan of the ``catalog``-node
+    Config catalog, repeated ``statements`` times per trigger even
+    though no delta ever touches the catalog.  The incremental tier
+    compiles the same conditions into delta-maintained views: the
+    catalog is scanned once at view build, mutations are routed by
+    label (Reading creates never reach a Config memory), and the
+    invariant gate products are cached between deltas, so the sustained
+    cost per delta collapses to dict probes.
+
+    The trigger set mirrors P7's shapes so both tiers are graded on the
+    same semantics: ``gate_triggers`` invariant config gates (disabled
+    flag — never fire), one Escalate trigger correlating ``NEW`` with
+    the catalog's threshold entry (fires for the five highest
+    readings), and one cascade trigger reacting to the Spikes it
+    produces.  Both routes must produce identical Spike/Audit
+    populations; the incremental route must sustain ≥5x the batched
+    route's deltas/second.
+    """
+    result = ExperimentResult(
+        "P13", "P13 — incremental trigger views vs batched: firehose delta streams"
+    )
+    per_statement = nodes // statements
+    outcomes: dict[str, tuple[int, int]] = {}
+    rates: dict[str, float] = {}
+    for route, incremental in (("batched", False), ("incremental", True)):
+        graph = PropertyGraph()
+        manager = TransactionManager(graph)
+        registry = TriggerRegistry()
+        engine = TriggerEngine(
+            graph,
+            registry,
+            manager,
+            clock=_CLOCK,
+            batched_conditions=True,
+            incremental_conditions=incremental,
+        )
+        graph.create_node(["Config"], {"name": "threshold", "cutoff": nodes - 5})
+        for index in range(gate_triggers):
+            graph.create_node(["Config"], {"name": f"gate{index}", "enabled": False})
+        for index in range(catalog):
+            graph.create_node(["Config"], {"name": f"entry{index}", "payload": index})
+        for index in range(gate_triggers):
+            registry.install(
+                f"CREATE TRIGGER Gate{index} AFTER CREATE ON 'Reading' FOR EACH NODE "
+                f"WHEN MATCH (c:Config {{name: 'gate{index}', enabled: true}}) "
+                "BEGIN CREATE (:NeverFired) END"
+            )
+        registry.install(
+            "CREATE TRIGGER Escalate AFTER CREATE ON 'Reading' FOR EACH NODE "
+            "WHEN MATCH (c:Config {name: 'threshold'}) WHERE NEW.value > c.cutoff "
+            "BEGIN CREATE (:Spike {value: NEW.value}) END"
+        )
+        registry.install(
+            "CREATE TRIGGER CascadeAudit AFTER CREATE ON 'Spike' FOR EACH NODE "
+            "BEGIN CREATE (:Audit {value: NEW.value}) END"
+        )
+        value = 0
+        elapsed = 0.0
+        for _ in range(statements):
+            tx = manager.begin()
+            for _ in range(per_statement):
+                value += 1
+                tx.create_node(["Reading"], {"value": value})
+            delta = tx.end_statement()
+            started = time.perf_counter()
+            engine.run_statement_triggers(tx, delta)
+            elapsed += time.perf_counter() - started
+            manager.commit(tx)
+
+        spikes = graph.count_nodes_with_label("Spike")
+        audits = graph.count_nodes_with_label("Audit")
+        outcomes[route] = (spikes, audits)
+        rates[route] = statements / elapsed if elapsed else float("inf")
+        row = dict(
+            route=route,
+            statements=statements,
+            nodes_per_statement=per_statement,
+            triggers=gate_triggers + 2,
+            catalog=catalog,
+            seconds=round(elapsed, 3),
+            deltas_per_sec=round(rates[route], 1),
+            spikes=spikes,
+            audits=audits,
+        )
+        if incremental:
+            row["incremental_activations"] = engine.incremental_stats[
+                "incremental_activations"
+            ]
+            views = list(engine.views.views())
+            row["views"] = len(views)
+            row["product_reuses"] = sum(v.stats["product_reuses"] for v in views)
+        result.add_row(**row)
+    assert outcomes["batched"] == outcomes["incremental"], (
+        "incremental evaluation changed trigger results"
+    )
+    speedup = rates["incremental"] / rates["batched"]
+    result.note(
+        f"sustained deltas/sec: incremental {rates['incremental']:.0f} vs "
+        f"batched {rates['batched']:.0f} ({speedup:.1f}x)"
+    )
+    result.note("both routes produced identical Spike and Audit populations")
+    return result
+
+
 #: Registry used by the CLI runner and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "T1": table1_feature_matrix,
@@ -1292,4 +1415,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "P10": perf_concurrency,
     "P11": perf_paths,
     "P12": perf_optimizer,
+    "P13": perf_incremental_triggers,
 }

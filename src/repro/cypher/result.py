@@ -86,6 +86,14 @@ class ResultSummary:
     fields are wall-clock milliseconds measured by the session
     (``result_available_after``: run() call to first record available;
     ``result_consumed_after``: run() call to stream exhausted).
+    ``trigger_evaluation`` — present when the statement went through the
+    trigger engine with triggers installed (streamed reads never do) —
+    is the engine's per-trigger evaluation report at the time
+    the statement finished: which tier handled each run (incremental /
+    batched / sequential / predicate), demotions with reasons, and the
+    condition views' maintenance counters.  Counters are cumulative over
+    the session, so diffing two statements' summaries isolates one
+    statement's work.
     """
 
     def __init__(
@@ -97,6 +105,7 @@ class ResultSummary:
         plan: str | None = None,
         result_available_after: float | None = None,
         result_consumed_after: float | None = None,
+        trigger_evaluation: Mapping[str, Any] | None = None,
     ) -> None:
         self.query = query
         self.parameters = dict(parameters or {})
@@ -104,6 +113,7 @@ class ResultSummary:
         self.plan = plan
         self.result_available_after = result_available_after
         self.result_consumed_after = result_consumed_after
+        self.trigger_evaluation = dict(trigger_evaluation) if trigger_evaluation else None
 
     @property
     def statistics(self) -> QueryStatistics:
@@ -120,6 +130,7 @@ class ResultSummary:
             "plan": self.plan,
             "result_available_after": self.result_available_after,
             "result_consumed_after": self.result_consumed_after,
+            "trigger_evaluation": self.trigger_evaluation,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -158,6 +169,7 @@ class Result:
         on_failure: Callable[[], None] | None = None,
         started: float | None = None,
         available_after: float | None = None,
+        trigger_evaluation: Mapping[str, Any] | None = None,
     ) -> None:
         self.columns = list(columns)
         self.statistics = statistics if statistics is not None else QueryStatistics()
@@ -176,6 +188,7 @@ class Result:
             counters=self.statistics,
             plan=plan,
             result_available_after=available_after,
+            trigger_evaluation=trigger_evaluation,
         )
 
     # ------------------------------------------------------------------

@@ -62,6 +62,7 @@ class GraphDatabase:
         clock: Callable[[], _dt.datetime] | None = None,
         max_cascade_depth: int = 16,
         batched_triggers: bool = True,
+        incremental_triggers: bool = True,
         path: str | None = None,
         storage_io: StorageIO | None = None,
         group_commit_size: int = 1,
@@ -72,6 +73,7 @@ class GraphDatabase:
         self._clock = clock
         self._max_cascade_depth = max_cascade_depth
         self._batched_triggers = batched_triggers
+        self._incremental_triggers = incremental_triggers
         self._path = os.fspath(path) if path is not None else None
         self._storage_io = storage_io
         self._group_commit_size = group_commit_size
@@ -125,6 +127,7 @@ class GraphDatabase:
                     clock=self._clock,
                     max_cascade_depth=self._max_cascade_depth,
                     batched_triggers=self._batched_triggers,
+                    incremental_triggers=self._incremental_triggers,
                     path=self._graph_directory(name),
                     storage_io=self._storage_io,
                     group_commit_size=self._group_commit_size,
@@ -140,6 +143,7 @@ class GraphDatabase:
                     clock=self._clock,
                     max_cascade_depth=self._max_cascade_depth,
                     batched_triggers=self._batched_triggers,
+                    incremental_triggers=self._incremental_triggers,
                     lock_manager=self.lock_manager,
                     lock_timeout=self._lock_timeout,
                     lock_name=name,

@@ -23,7 +23,7 @@ Design notes
 from __future__ import annotations
 
 import itertools
-from typing import Any, Iterable, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping, Optional
 
 from .errors import (
     GraphIntegrityError,
@@ -32,6 +32,16 @@ from .errors import (
     RelationshipNotFoundError,
 )
 from ..paths.accelerator import ReachabilityIndex
+from .delta import (
+    OP_ASSIGN_LABEL,
+    OP_ASSIGN_PROPERTY,
+    OP_CREATE_NODE,
+    OP_CREATE_RELATIONSHIP,
+    OP_DELETE_NODE,
+    OP_DELETE_RELATIONSHIP,
+    OP_REMOVE_LABEL,
+    OP_REMOVE_PROPERTY,
+)
 from .indexes import CompositeIndex, LabelIndex, OrderedPropertyIndex, PropertyIndex
 from .model import Node, Relationship, validate_properties, validate_property_value
 
@@ -44,6 +54,11 @@ BOTH = "both"
 #: the query planner's plan cache (ids of dead graphs can be reused by the
 #: allocator; these tokens never are).
 _PLAN_TOKENS = itertools.count(1)
+
+#: Pseudo-op reported to mutation listeners when the graph changes in a way
+#: that cannot be expressed as a single-item delta (``clear()``).  Listeners
+#: maintaining derived state must treat it as "rebuild from scratch".
+OP_BULK = "bulk"
 
 
 class PropertyGraph:
@@ -74,6 +89,33 @@ class PropertyGraph:
         #: uses it to write index DDL into the write-ahead log; it is never
         #: copied by :meth:`copy` (clones are plain in-memory graphs).
         self.ddl_listener = None
+        #: Mutation listeners ``(op, old, new)`` invoked after every
+        #: primitive mutation (op names from :mod:`repro.graph.delta`, plus
+        #: :data:`OP_BULK` for ``clear()``).  Because the transaction layer's
+        #: undo records and detach-delete cascades funnel through these same
+        #: public primitives, a listener observes rollbacks and cascades
+        #: without any help from the caller.  Never copied by :meth:`copy`.
+        self._mutation_listeners: list = []
+
+    # ------------------------------------------------------------------
+    # mutation listeners
+    # ------------------------------------------------------------------
+
+    def add_mutation_listener(self, listener) -> None:
+        """Register ``listener(op, old, new)`` to observe every mutation."""
+        if listener not in self._mutation_listeners:
+            self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(self, listener) -> None:
+        """Unregister a previously added mutation listener (idempotent)."""
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_mutation(self, op: str, old, new) -> None:
+        for listener in self._mutation_listeners:
+            listener(op, old, new)
 
     # ------------------------------------------------------------------
     # size and iteration
@@ -129,6 +171,18 @@ class PropertyGraph:
             return self._nodes[node_id]
         except KeyError:
             raise NodeNotFoundError(node_id) from None
+
+    def node_or_none(self, node_id: int) -> Optional[Node]:
+        """Return the node snapshot for ``node_id``, or None if deleted.
+
+        One dict probe — the trigger engine's per-activation snapshot
+        refresh sits on the firehose hot path.
+        """
+        return self._nodes.get(node_id)
+
+    def relationship_or_none(self, rel_id: int) -> Optional[Relationship]:
+        """Return the relationship snapshot for ``rel_id``, or None."""
+        return self._relationships.get(rel_id)
 
     def relationship(self, rel_id: int) -> Relationship:
         """Return the relationship snapshot for ``rel_id`` or raise."""
@@ -563,6 +617,8 @@ class PropertyGraph:
                 for index in self._node_property_indexes():
                     index.add(label, key, value, node_id)
             self._composite_index.add_item(label, props, node_id)
+        if self._mutation_listeners:
+            self._notify_mutation(OP_CREATE_NODE, None, node)
         return node
 
     def create_relationship(
@@ -595,6 +651,8 @@ class PropertyGraph:
         for key, value in props.items():
             self._rel_property_index.add(rel_type, key, value, rel_id)
         self._touch_reachability(rel_type)
+        if self._mutation_listeners:
+            self._notify_mutation(OP_CREATE_RELATIONSHIP, None, rel)
         return rel
 
     def delete_node(self, node_id: int, detach: bool = False) -> Node:
@@ -618,6 +676,8 @@ class PropertyGraph:
                 for index in self._node_property_indexes():
                     index.remove(label, key, value, node_id)
             self._composite_index.remove_item(label, node.properties, node_id)
+        if self._mutation_listeners:
+            self._notify_mutation(OP_DELETE_NODE, node, None)
         return node
 
     def delete_relationship(self, rel_id: int) -> Relationship:
@@ -630,6 +690,8 @@ class PropertyGraph:
         for key, value in rel.properties.items():
             self._rel_property_index.remove(rel.type, key, value, rel_id)
         self._touch_reachability(rel.type)
+        if self._mutation_listeners:
+            self._notify_mutation(OP_DELETE_RELATIONSHIP, rel, None)
         return rel
 
     def add_label(self, node_id: int, label: str) -> tuple[Node, Node]:
@@ -647,6 +709,8 @@ class PropertyGraph:
             for index in self._node_property_indexes():
                 index.add(label, key, value, node_id)
         self._composite_index.add_item(label, new.properties, node_id)
+        if self._mutation_listeners:
+            self._notify_mutation(OP_ASSIGN_LABEL, old, new)
         return old, new
 
     def remove_label(self, node_id: int, label: str) -> tuple[Node, Node]:
@@ -661,6 +725,8 @@ class PropertyGraph:
             for index in self._node_property_indexes():
                 index.remove(label, key, value, node_id)
         self._composite_index.remove_item(label, old.properties, node_id)
+        if self._mutation_listeners:
+            self._notify_mutation(OP_REMOVE_LABEL, old, new)
         return old, new
 
     def set_node_property(self, node_id: int, key: str, value: Any) -> tuple[Node, Node]:
@@ -684,6 +750,8 @@ class PropertyGraph:
                 index.add(label, key, value, node_id)
             self._composite_index.remove_item(label, old.properties, node_id)
             self._composite_index.add_item(label, new.properties, node_id)
+        if self._mutation_listeners:
+            self._notify_mutation(OP_ASSIGN_PROPERTY, old, new)
         return old, new
 
     def remove_node_property(self, node_id: int, key: str) -> tuple[Node, Node]:
@@ -700,6 +768,8 @@ class PropertyGraph:
                 index.remove(label, key, previous, node_id)
             self._composite_index.remove_item(label, old.properties, node_id)
             self._composite_index.add_item(label, new.properties, node_id)
+        if self._mutation_listeners:
+            self._notify_mutation(OP_REMOVE_PROPERTY, old, new)
         return old, new
 
     def set_relationship_property(
@@ -718,6 +788,8 @@ class PropertyGraph:
         if previous is not None:
             self._rel_property_index.remove(old.type, key, previous, rel_id)
         self._rel_property_index.add(old.type, key, value, rel_id)
+        if self._mutation_listeners:
+            self._notify_mutation(OP_ASSIGN_PROPERTY, old, new)
         return old, new
 
     def remove_relationship_property(
@@ -732,6 +804,8 @@ class PropertyGraph:
         new = old.with_updates(properties=props)
         self._relationships[rel_id] = new
         self._rel_property_index.remove(old.type, key, previous, rel_id)
+        if self._mutation_listeners:
+            self._notify_mutation(OP_REMOVE_PROPERTY, old, new)
         return old, new
 
     # ------------------------------------------------------------------
@@ -765,6 +839,8 @@ class PropertyGraph:
         self._reachability = {
             rel_type: ReachabilityIndex(rel_type) for rel_type in self._reachability
         }
+        if self._mutation_listeners:
+            self._notify_mutation(OP_BULK, None, None)
 
     def copy(self, name: str | None = None) -> "PropertyGraph":
         """Return an independent deep copy of the graph."""

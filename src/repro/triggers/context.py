@@ -31,6 +31,19 @@ class TriggerBindings:
     virtual_labels: dict[str, set[int]] = field(default_factory=dict)
 
 
+def transition_names(trigger: TriggerDefinition) -> set[str]:
+    """Every name an activation's bindings may use for OLD/NEW.
+
+    Shared by the batched and incremental evaluators: a condition that
+    uses one of these names as a label or pattern variable resolves
+    per-activation state, which a shared evaluation pass cannot model.
+    """
+    names = {"OLD", "NEW"}
+    for alias in trigger.referencing:
+        names.add(alias.alias)
+    return names
+
+
 def item_bindings(trigger: TriggerDefinition, activation: Activation) -> TriggerBindings:
     """Bindings for one FOR EACH activation (OLD/NEW and aliases)."""
     if not trigger.referencing:
@@ -119,9 +132,13 @@ class ExecutionContext:
         return list(reversed(names))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TriggerFiring:
-    """Audit record of one trigger statement execution (kept by the engine)."""
+    """Audit record of one trigger statement execution (kept by the engine).
+
+    ``slots=True``: one record is appended per activation, so construction
+    cost is visible at firehose rates.
+    """
 
     trigger_name: str
     depth: int

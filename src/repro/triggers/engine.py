@@ -50,18 +50,29 @@ therefore never change — only speed.
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Any, Callable, Iterator, Mapping, Optional
+from itertools import chain as _chain
+from typing import Any, Callable, Iterator, Mapping, NamedTuple, Optional, Union
 
 from ..cypher.ast import (
     CreateClause,
     ExistsPattern,
     Expression,
+    FunctionCall,
+    LabelPredicate,
     MatchClause,
     NodePattern,
     PathPattern,
+    PropertyAccess,
     Query,
+    RemoveClause,
+    RemovePropertyItem,
     ReturnClause,
+    SetClause,
+    SetLabelsItem,
+    SetPropertyItem,
     UnwindClause,
+    Variable,
+    WithClause,
     walk_expression,
 )
 from ..cypher.errors import CypherError
@@ -88,9 +99,11 @@ from .context import (
     TriggerFiring,
     bindings_for,
     item_bindings,
+    transition_names,
 )
 from .errors import TriggerExecutionError, TriggerRecursionError
 from .events import Activation, compute_activations
+from .incremental import IncrementalTriggerViews
 from .registry import TriggerRegistry
 
 #: Maximum cascade depth before the engine assumes non-termination.
@@ -121,6 +134,7 @@ class TriggerEngine:
         max_cascade_depth: int = DEFAULT_MAX_CASCADE_DEPTH,
         max_detached_depth: int = DEFAULT_MAX_DETACHED_DEPTH,
         batched_conditions: bool = True,
+        incremental_conditions: bool = True,
     ) -> None:
         self.graph = graph
         self.registry = registry
@@ -133,12 +147,29 @@ class TriggerEngine:
         #: activation runs its own executor — the reference behaviour the
         #: differential tests compare against.
         self.batched_conditions = batched_conditions
+        #: Evaluate view-compilable FOR EACH condition queries against
+        #: delta-maintained materialized views (the top tier of the
+        #: incremental → batched → sequential demotion ladder; see
+        #: :mod:`repro.triggers.incremental`).
+        self.incremental_conditions = incremental_conditions
+        self.views: Optional[IncrementalTriggerViews] = (
+            IncrementalTriggerViews(graph, registry) if incremental_conditions else None
+        )
         #: Counters observing the batched evaluator (tests and benchmarks).
         self.batch_stats = {
             "batched_runs": 0,
             "batched_activations": 0,
             "reverified_activations": 0,
         }
+        #: Counters observing the incremental evaluator.
+        self.incremental_stats = {
+            "incremental_runs": 0,
+            "incremental_activations": 0,
+            "view_rebuilds": 0,
+        }
+        #: Per-trigger evaluation trace: which tier ran, how often, and
+        #: why demotions happened (see :meth:`evaluation_report`).
+        self.tier_trace: dict[str, dict[str, dict[str, int]]] = {}
         self._batch_profiles: dict[tuple, tuple[bool, bool]] = {}
         #: Audit log of trigger firings (cleared with :meth:`clear_firings`).
         self.firings: list[TriggerFiring] = []
@@ -243,10 +274,19 @@ class TriggerEngine:
                 if not shared_summary:
                     shared_summary.append(_DeltaLabelSummary(delta))
                 touched = shared_summary[0]
+            # Activations depend only on the trigger's event selector, not
+            # on its condition or action — triggers sharing a selector
+            # (every ``AFTER CREATE ON 'X' FOR EACH NODE`` gate in a
+            # firehose suite, say) share one scan of the delta.  The
+            # refresh of the NEW side stays per trigger in _run_trigger,
+            # so later triggers still see earlier triggers' writes.
+            activation_memo: dict[tuple, list] = {}
             for installed in triggers:
                 if not _may_activate(installed.definition, touched):
                     continue
-                produced = self._run_trigger(installed, tx, delta, depth, parent)
+                produced = self._run_trigger(
+                    installed, tx, delta, depth, parent, activation_memo
+                )
                 if not produced.is_empty():
                     produced_total = produced_total.merge(produced)
 
@@ -279,9 +319,17 @@ class TriggerEngine:
         delta: GraphDelta,
         depth: int,
         parent: Optional[ExecutionContext],
+        activation_memo: Optional[dict[tuple, list]] = None,
     ) -> GraphDelta:
         trigger = installed.definition
-        activations = compute_activations(trigger, delta)
+        if activation_memo is None:
+            activations = compute_activations(trigger, delta)
+        else:
+            selector = (trigger.item, trigger.event, trigger.label, trigger.property)
+            activations = activation_memo.get(selector)
+            if activations is None:
+                activations = compute_activations(trigger, delta)
+                activation_memo[selector] = activations
         if not activations:
             return GraphDelta()
         activations = [self._refresh_new_side(a) for a in activations]
@@ -313,12 +361,35 @@ class TriggerEngine:
                         run.fire(binding, [dict(binding.variables)])
                     else:
                         run.fire(None, _NO_ROWS)
+                self._note_tier(trigger.name, "predicate")
                 return run.produced
 
-        # Batched path: evaluate a batchable FOR EACH condition query once
-        # over all activations, then replay the per-activation buckets in
-        # order.  Verdicts are trusted only while they provably equal what
-        # sequential evaluation would see (see the module docstring).
+        # Incremental path (top of the demotion ladder): evaluate each
+        # activation against the trigger's delta-maintained condition view.
+        # The view is live — the store's mutation listeners fold every
+        # firing's writes into it before the next activation evaluates —
+        # so lazy per-activation evaluation is sequential-equal by
+        # construction, at any activation count.  Conditions outside the
+        # compiled footprint demote to the batched tier below.
+        if (
+            self.views is not None
+            and trigger.condition is not None
+            and trigger.granularity == Granularity.EACH
+        ):
+            compiled = self._compiled_condition(trigger)
+            if compiled.is_query:
+                view = self.views.view_for(installed, compiled.parsed)
+                if view is not None:
+                    self._note_tier(trigger.name, "incremental")
+                    return self._run_incremental(run, view, trigger, activations)
+                reason = self.views.rejection_reason(trigger.name)
+                self._note_demotion(trigger.name, reason or "ineligible")
+
+        # Batched path: evaluate a batchable FOR EACH condition (query or
+        # EXISTS predicate) once over all activations, then replay the
+        # per-activation buckets in order.  Verdicts are trusted only
+        # while they provably equal what sequential evaluation would see
+        # (see the module docstring).
         if (
             self.batched_conditions
             and trigger.condition is not None
@@ -326,46 +397,100 @@ class TriggerEngine:
             and len(activations) > 1
         ):
             compiled = self._compiled_condition(trigger)
-            if compiled.is_query:
-                eligible, independent = self._batch_profile(trigger, compiled.parsed)
-                if eligible:
-                    buckets = self._batched_condition_rows(
-                        trigger, compiled.parsed, activations, tx
-                    )
-                    if buckets is None:
-                        # The condition errored somewhere in the batch.
-                        # No firing has happened yet, so falling through
-                        # to the sequential loop reproduces the reference
-                        # behaviour exactly: earlier activations fire,
-                        # then the erroring one raises.
-                        pass
-                    else:
-                        self.batch_stats["batched_runs"] += 1
-                        self.batch_stats["batched_activations"] += len(activations)
-                        fired = False
-                        for activation, rows in zip(activations, buckets):
-                            if fired and not independent:
-                                # An earlier firing may have changed what
-                                # this condition sees: fall back to the
-                                # sequential evaluation for the remaining
-                                # activations.
-                                binding = item_bindings(trigger, activation)
-                                rows = self._condition_rows(trigger, binding, tx)
-                                self.batch_stats["reverified_activations"] += 1
-                            elif rows:
-                                # Full bindings (with virtual-label sets)
-                                # are only needed when the action runs.
-                                binding = item_bindings(trigger, activation)
-                            else:
-                                run.fire(None, _NO_ROWS)
-                                continue
-                            if rows:
-                                fired = True
-                            run.fire(binding, rows)
-                        return run.produced
+            profile = self._batch_profile(trigger, compiled)
+            independent = profile.independent
+            if not profile.eligible:
+                self._note_demotion(trigger.name, "not batchable")
+            else:
+                buckets = self._batched_condition_rows(
+                    trigger, compiled, profile, activations, tx
+                )
+                if buckets is None:
+                    # The condition errored somewhere in the batch.
+                    # No firing has happened yet, so falling through
+                    # to the sequential loop reproduces the reference
+                    # behaviour exactly: earlier activations fire,
+                    # then the erroring one raises.
+                    self._note_demotion(trigger.name, "condition error")
+                else:
+                    self.batch_stats["batched_runs"] += 1
+                    self.batch_stats["batched_activations"] += len(activations)
+                    fired = False
+                    for activation, rows in zip(activations, buckets):
+                        if fired and not independent:
+                            # An earlier firing may have changed what
+                            # this condition sees: fall back to the
+                            # sequential evaluation for the remaining
+                            # activations.
+                            binding = item_bindings(trigger, activation)
+                            rows = self._condition_rows(trigger, binding, tx)
+                            self.batch_stats["reverified_activations"] += 1
+                        elif rows:
+                            # Full bindings (with virtual-label sets)
+                            # are only needed when the action runs.
+                            binding = item_bindings(trigger, activation)
+                        else:
+                            run.fire(None, _NO_ROWS)
+                            continue
+                        if rows:
+                            fired = True
+                        run.fire(binding, rows)
+                    self._note_tier(trigger.name, "batched")
+                    return run.produced
 
+        self._note_tier(trigger.name, "sequential")
         for binding in bindings_for(trigger, activations):
             run.fire(binding, self._condition_rows(trigger, binding, tx))
+        return run.produced
+
+    def _run_incremental(
+        self,
+        run: "_TriggerRun",
+        view,
+        trigger: TriggerDefinition,
+        activations: list[Activation],
+    ) -> GraphDelta:
+        """Replay activations against the trigger's live condition view.
+
+        Each activation is evaluated lazily, *after* every earlier
+        activation's firings have flowed into the view through the store's
+        mutation listeners — exactly what sequential evaluation sees.  A
+        condition error therefore surfaces at the same activation position
+        (with the same earlier firings on the audit log) as the reference,
+        so it is raised directly rather than demoted.
+        """
+        stats = self.incremental_stats
+        stats["incremental_runs"] += 1
+        stats["incremental_activations"] += len(activations)
+        context = EvaluationContext(graph=self.graph, clock=self.clock)
+        # The epoch/bulk rail only needs re-checking after something could
+        # have mutated mid-replay — i.e. after a firing ran an action.  The
+        # replay itself is single-threaded, so between non-firing
+        # activations the view provably cannot have been invalidated.
+        check_view = True
+        referencing = trigger.referencing
+        rows_for = view.rows_for
+        fire = run.fire
+        for activation in activations:
+            if check_view:
+                if view.ensure_current(self.graph):
+                    stats["view_rebuilds"] += 1
+                check_view = False
+            if referencing:
+                base = dict(item_bindings(trigger, activation).variables)
+            else:
+                base = {"OLD": activation.old, "NEW": activation.new}
+            try:
+                rows = rows_for(base, context)
+            except TransactionAborted:
+                raise
+            except CypherError as exc:
+                raise TriggerExecutionError(trigger.name, "condition", exc) from exc
+            if rows:
+                fire(item_bindings(trigger, activation), rows)
+                check_view = True
+            else:
+                fire(None, _NO_ROWS)
         return run.produced
 
     def _refresh_new_side(self, activation):
@@ -378,16 +503,10 @@ class TriggerEngine:
         if new is None:
             return activation
         if isinstance(new, Node):
-            if self.graph.has_node(new.id):
-                refreshed = self.graph.node(new.id)
-            else:
-                return activation
+            refreshed = self.graph.node_or_none(new.id)
         else:
-            if self.graph.has_relationship(new.id):
-                refreshed = self.graph.relationship(new.id)
-            else:
-                return activation
-        if refreshed is new:
+            refreshed = self.graph.relationship_or_none(new.id)
+        if refreshed is new or refreshed is None:
             return activation
         return Activation(
             item=activation.item, old=activation.old, new=refreshed, property=activation.property
@@ -453,21 +572,47 @@ class TriggerEngine:
     # batched condition evaluation
     # ------------------------------------------------------------------
 
-    def _batch_profile(self, trigger: TriggerDefinition, condition: Query) -> tuple[bool, bool]:
-        """(batchable, action-independent) for one trigger, memoised.
+    def _batch_profile(self, trigger: TriggerDefinition, compiled) -> "_BatchProfile":
+        """The memoised batch-evaluation shape of one trigger's condition.
 
-        *batchable* — the condition query can run as one multi-row
-        pipeline pass without changing any activation's rows;
-        *action-independent* — additionally, the trigger's own action can
-        never change what the condition sees, so batch verdicts stay
-        valid even after earlier activations fire.
+        *eligible* — the condition (query or EXISTS predicate) can run as
+        one multi-row pass without changing any activation's rows;
+        *independent* — additionally, the trigger's own action can never
+        change what the condition sees, so batch verdicts stay valid even
+        after earlier activations fire; *prefix*/*suffix* — for query
+        conditions, the streamable stage shared by all activations and
+        the per-activation replay stage (aggregating WITH pipelines and
+        non-streamable RETURNs go in the suffix; ``suffix is None`` means
+        the whole condition streams).  The prefix/suffix query objects
+        are built once and pinned here so the parsed-plan cache (keyed on
+        object identity) keeps working.
         """
         key = (trigger.name, trigger.condition, trigger.statement, trigger.referencing)
         cached = self._batch_profiles.get(key)
         if cached is not None:
             return cached
         transition_names = _transition_names(trigger)
-        eligible = _batchable_condition(condition, transition_names)
+        condition = compiled.parsed
+        prefix: Optional[Query] = None
+        suffix: Optional[Query] = None
+        if compiled.is_query:
+            split = None
+            if _patterns_transition_free(_condition_patterns(condition), transition_names):
+                split = _condition_split(condition)
+            eligible = split is not None
+            if eligible:
+                if split >= len(condition.clauses):
+                    prefix = condition  # pure streamable: the original object
+                else:
+                    prefix = Query(
+                        clauses=condition.clauses[:split]
+                        + (ReturnClause(items=(), include_wildcard=True),)
+                    )
+                    suffix = Query(clauses=condition.clauses[split:])
+        else:
+            eligible = _patterns_transition_free(
+                _exists_patterns(condition), transition_names
+            ) and not contains_aggregate(condition)
         independent = False
         if eligible:
             try:
@@ -476,24 +621,38 @@ class TriggerEngine:
                 statement = None
             if statement is not None:
                 independent = _action_independent(statement, condition, transition_names)
-        profile = (eligible, independent)
+        profile = _BatchProfile(eligible, independent, prefix, suffix)
         self._batch_profiles[key] = profile
         return profile
 
     def _batched_condition_rows(
         self,
         trigger: TriggerDefinition,
-        condition: Query,
+        compiled,
+        profile: "_BatchProfile",
         activations: list[Activation],
         tx: Transaction,
     ) -> Optional[list[list[dict[str, Any]]]]:
-        """One pipeline pass over every activation, bucketed per activation.
+        """One evaluation pass over every activation, bucketed per activation.
 
-        Each initial row carries one activation's transition variables
-        plus a correlation tag.  Streamable stages map input rows
-        independently and in order, so bucket *i* holds exactly the rows
-        a per-activation execution would have produced for activation
-        *i*, in the same order.
+        Query conditions: each initial row carries one activation's
+        transition variables plus a correlation tag, and the streamable
+        *prefix* maps input rows independently and in order, so bucket
+        *i* holds exactly the rows a per-activation execution would have
+        produced for activation *i*, in the same order.  When the
+        condition has a non-streamable *suffix* (aggregating WITH
+        pipeline, DISTINCT/ORDER BY/aggregate RETURN), the suffix then
+        replays over each bucket separately — per-activation grouping and
+        the one-row-on-empty-input semantics of global aggregates are
+        preserved because each replay sees only its own activation's
+        rows.  Activations whose prefix produced nothing share a single
+        empty-input suffix execution: with no input rows the suffix's
+        result cannot depend on the activation.
+
+        EXISTS predicates: a witness pass evaluates the expression once
+        per activation against one shared pattern-memoizing executor;
+        bucket *i* is the activation's bindings row when the predicate
+        held, empty otherwise — exactly the sequential rows.
 
         Returns ``None`` when the condition raises anywhere in the batch:
         sequential evaluation would have fired the activations *before*
@@ -528,16 +687,63 @@ class TriggerEngine:
             memoize_match=True,
             memoize_skip_variables=_transition_names(trigger) | {_BATCH_TAG},
         )
-        buckets: list[list[dict[str, Any]]] = [[] for _ in activations]
         try:
-            _, records = executor.stream_batch(condition, rows)
+            if not compiled.is_query:
+                return self._witness_pass(compiled.parsed, executor, rows)
+            buckets: list[list[dict[str, Any]]] = [[] for _ in activations]
+            _, records = executor.stream_batch(profile.prefix, rows)
             for record in records:
                 buckets[record.pop(_BATCH_TAG)].append(record)
+            if profile.suffix is not None:
+                shared_empty: Optional[list[dict[str, Any]]] = None
+                replayed: list[list[dict[str, Any]]] = []
+                for bucket in buckets:
+                    if bucket:
+                        _, records = executor.stream_batch(profile.suffix, bucket)
+                        replayed.append(list(records))
+                    else:
+                        if shared_empty is None:
+                            _, records = executor.stream_batch(profile.suffix, [])
+                            shared_empty = list(records)
+                        # Copy per activation: condition rows flow into
+                        # statement execution, which must never see a row
+                        # object shared with another activation.
+                        replayed.append([dict(record) for record in shared_empty])
+                buckets = replayed
         except TransactionAborted:
             raise
         except CypherError:
             # Rerun sequentially so pre-error firings match the reference.
             return None
+        return buckets
+
+    def _witness_pass(
+        self,
+        parsed: Expression,
+        executor: QueryExecutor,
+        rows: list[dict[str, Any]],
+    ) -> list[list[dict[str, Any]]]:
+        """Evaluate an (EXISTS-bearing) predicate once per tagged row.
+
+        The rows are per-activation bindings, so there is nothing to mix
+        across activations; the batch win is the shared executor, whose
+        match memos let repeated EXISTS witnesses short-circuit across
+        the whole batch instead of once per activation.
+        """
+
+        def match_exists(exists: ExistsPattern, exists_row: dict[str, Any]) -> bool:
+            return executor._exists_matcher(exists, exists_row)
+
+        context = EvaluationContext(
+            graph=self.graph,
+            clock=self.clock,
+            pattern_matcher=match_exists,
+        )
+        buckets: list[list[dict[str, Any]]] = []
+        for row in rows:
+            row.pop(_BATCH_TAG, None)
+            value = evaluate(parsed, row, context)
+            buckets.append([row] if value is True else [])
         return buckets
 
     def _parse_condition(self, trigger: TriggerDefinition):
@@ -585,6 +791,53 @@ class TriggerEngine:
     # statistics
     # ------------------------------------------------------------------
 
+    def _note_tier(self, name: str, tier: str) -> None:
+        entry = self.tier_trace.get(name)
+        if entry is None:
+            entry = self.tier_trace[name] = {"tiers": {}, "demotions": {}}
+        tiers = entry["tiers"]
+        tiers[tier] = tiers.get(tier, 0) + 1
+
+    def _note_demotion(self, name: str, reason: str) -> None:
+        entry = self.tier_trace.get(name)
+        if entry is None:
+            entry = self.tier_trace[name] = {"tiers": {}, "demotions": {}}
+        demotions = entry["demotions"]
+        demotions[reason] = demotions.get(reason, 0) + 1
+
+    def evaluation_report(self) -> dict[str, dict[str, Any]]:
+        """Per-trigger evaluation observability (tiers, demotions, views).
+
+        For every installed trigger: which evaluation tier handled each
+        run (``incremental``/``batched``/``sequential``/``predicate``),
+        every demotion with its reason, and — when a condition view
+        exists — the view's alpha-memory size and maintenance counters.
+        Surfaced through :meth:`GraphSession.explain_triggers` and the
+        per-statement :class:`~repro.cypher.result.ResultSummary`.
+        """
+        report: dict[str, dict[str, Any]] = {}
+        for installed in self.registry.ordered():
+            name = installed.name
+            trace = self.tier_trace.get(name)
+            entry: dict[str, Any] = {
+                "tiers": dict(trace["tiers"]) if trace else {},
+                "demotions": dict(trace["demotions"]) if trace else {},
+            }
+            if self.views is not None:
+                view = self.views.view(name)
+                if view is not None:
+                    entry["view"] = {
+                        "partial_matches": view.partial_matches(),
+                        "invariant": view.invariant,
+                        **view.stats,
+                    }
+                else:
+                    reason = self.views.rejection_reason(name)
+                    if reason is not None:
+                        entry["ineligible"] = reason
+            report[name] = entry
+        return report
+
     def execution_counts(self) -> dict[str, int]:
         """Executions per trigger (from the registry's counters)."""
         return {t.name: t.executions for t in self.registry.ordered()}
@@ -623,7 +876,7 @@ class _TriggerRun:
 
     __slots__ = (
         "engine", "installed", "trigger", "tx", "depth", "parent",
-        "activation_count", "context", "produced",
+        "activation_count", "context", "produced", "_action_time",
     )
 
     def __init__(
@@ -646,6 +899,9 @@ class _TriggerRun:
         # most firings on the hot path are suppressed, so build it lazily.
         self.context: Optional[ExecutionContext] = None
         self.produced = GraphDelta()
+        # Hoisted out of fire(): the enum attribute access is measurable
+        # at firehose activation counts.
+        self._action_time = installed.definition.time.value
 
     def fire(
         self,
@@ -679,7 +935,7 @@ class _TriggerRun:
                 activation_count=self.activation_count,
                 condition_rows=len(condition_rows),
                 executed=executed,
-                action_time=self.trigger.time.value,
+                action_time=self._action_time,
             )
         )
 
@@ -693,41 +949,70 @@ class _TriggerRun:
 _BATCH_TAG = "__batch_activation__"
 
 
-def _transition_names(trigger: TriggerDefinition) -> set[str]:
-    """Every name an activation's bindings may use for OLD/NEW."""
-    names = {"OLD", "NEW"}
-    for alias in trigger.referencing:
-        names.add(alias.alias)
-    return names
+# Shared with the incremental view compiler (repro.triggers.context).
+_transition_names = transition_names
 
 
-def _batchable_condition(query: Query, transition_names: set[str]) -> bool:
-    """Can this condition run as one multi-row pipeline pass, exactly?
+class _BatchProfile(NamedTuple):
+    """How (and whether) one trigger's condition batches; see _batch_profile."""
 
-    Required shape: a MATCH/UNWIND pipeline ending in a wildcard RETURN
-    (the engine's normalisation appends one) with no DISTINCT, ORDER BY,
-    SKIP/LIMIT or aggregates — those mix rows *across* activations.  The
-    wildcard is what keeps the correlation tag and the transition
-    variables in the output rows.  Patterns must not use a transition
-    variable as a label or relationship type: those resolve through
-    per-activation virtual-label sets, which a shared pass cannot model
-    (using them as pre-bound pattern *variables* is fine).
+    eligible: bool
+    independent: bool
+    prefix: Optional[Query]
+    suffix: Optional[Query]
+
+
+def _condition_split(query: Query) -> Optional[int]:
+    """Where the per-activation suffix of a batchable condition starts.
+
+    ``clauses[:split]`` is the streamable prefix — MATCH/UNWIND stages
+    that map input rows independently and in order, so one tagged pass
+    buckets exactly.  ``clauses[split:]`` is the suffix that must replay
+    per activation because it mixes rows *within* an activation:
+    aggregating or row-reordering WITH pipelines, and RETURNs with
+    DISTINCT/ORDER BY/SKIP/LIMIT/aggregates (or without the engine's
+    wildcard normalisation).  ``split == len(clauses)`` means the whole
+    condition streams; ``None`` means the condition cannot batch at all
+    (an unsupported clause kind somewhere).
     """
     for position, clause in enumerate(query.clauses):
         if isinstance(clause, (MatchClause, UnwindClause)):
             continue
+        if isinstance(clause, WithClause):
+            return position if _suffix_supported(query.clauses[position:]) else None
         if isinstance(clause, ReturnClause):
-            if position != len(query.clauses) - 1 or not clause.include_wildcard:
-                return False
-            if clause.distinct or clause.order_by:
-                return False
-            if clause.skip is not None or clause.limit is not None:
-                return False
-            if any(contains_aggregate(item.expression) for item in clause.items):
-                return False
-        else:
-            return False
-    for pattern in _condition_patterns(query):
+            if position != len(query.clauses) - 1:
+                return None
+            if (
+                clause.include_wildcard
+                and not clause.distinct
+                and not clause.order_by
+                and clause.skip is None
+                and clause.limit is None
+                and not any(contains_aggregate(item.expression) for item in clause.items)
+            ):
+                return position + 1
+            return position
+        return None
+    return None  # no RETURN: not an engine-normalised condition
+
+
+def _suffix_supported(clauses) -> bool:
+    """Suffix replay handles exactly what the stream pipeline handles."""
+    return all(
+        isinstance(clause, (MatchClause, UnwindClause, WithClause, ReturnClause))
+        for clause in clauses
+    )
+
+
+def _patterns_transition_free(patterns, transition_names: set[str]) -> bool:
+    """No pattern uses a transition name as a label or relationship type.
+
+    Those resolve through per-activation virtual-label sets, which a
+    shared pass cannot model (using them as pre-bound pattern
+    *variables* is fine).
+    """
+    for pattern in patterns:
         for element in pattern.elements:
             if isinstance(element, NodePattern):
                 if set(element.labels) & transition_names:
@@ -738,40 +1023,102 @@ def _batchable_condition(query: Query, transition_names: set[str]) -> bool:
 
 
 def _action_independent(
-    statement: Query, condition: Query, transition_names: set[str]
+    statement: Query, condition: Union[Query, Expression], transition_names: set[str]
 ) -> bool:
     """True when the action can never change its own condition's rows.
 
-    Conservative static check: the statement must consist solely of
-    CREATE clauses, and nothing it creates may match any pattern element
-    of the condition — a labelled node pattern is safe unless some
-    created node carries all its labels; a typed relationship pattern is
-    safe unless a created relationship shares a type; unlabelled/untyped
-    pattern elements are only safe when they are pre-bound transition
-    variables.  Anything else (SET/DELETE/MERGE/CALL/…) fails the check
-    and the engine re-verifies sequentially after the first firing.
+    Conservative static check built from two footprints.  The statement's
+    *write footprint*: the label sets / relationship types it can CREATE,
+    the property keys it SETs or REMOVEs, and the labels it SETs or
+    REMOVEs.  The condition's *read footprint*: the labels/types its
+    patterns require, the property keys its patterns test inline, and
+    the property keys / labels its expressions read on anything other
+    than a transition variable — transition snapshots are frozen at
+    activation time, so action writes can never reach them (pattern
+    elements that *re-bind* a transition variable are the exception: the
+    matcher refreshes pre-bound variables from the live graph, so their
+    inline keys and labels count as reads).
+
+    The action stays independent iff nothing it creates can match a
+    condition pattern element, no key it writes is read, and no label it
+    writes is read.  MATCH/UNWIND/WITH/RETURN in the statement are pure
+    reads; DELETE/MERGE/CALL/FOREACH and map-style SET (`n = {…}` /
+    `n += {…}`) stay unanalysable and fail the check, sending the engine
+    back to sequential re-verification after the first firing.
     """
     created_label_sets: list[frozenset] = []
     created_types: set[str] = set()
     creates_node = False
     creates_rel = False
+    written_keys: set[str] = set()
+    written_labels: set[str] = set()
     for clause in statement.clauses:
-        if not isinstance(clause, CreateClause):
-            return False
-        for pattern in clause.patterns:
-            for element in pattern.elements:
-                if isinstance(element, NodePattern):
-                    # A bound variable re-uses an existing node; boundness
-                    # is not tracked here, so treating every node element
-                    # as a potential creation is the conservative choice.
-                    creates_node = True
-                    created_label_sets.append(frozenset(element.labels))
+        if isinstance(clause, (MatchClause, UnwindClause, WithClause, ReturnClause)):
+            continue
+        if isinstance(clause, CreateClause):
+            for pattern in clause.patterns:
+                for element in pattern.elements:
+                    if isinstance(element, NodePattern):
+                        # A bound variable re-uses an existing node;
+                        # boundness is not tracked here, so treating every
+                        # node element as a potential creation is the
+                        # conservative choice.
+                        creates_node = True
+                        created_label_sets.append(frozenset(element.labels))
+                    else:
+                        creates_rel = True
+                        created_types.update(element.types)
+        elif isinstance(clause, SetClause):
+            for item in clause.items:
+                if isinstance(item, SetPropertyItem):
+                    written_keys.add(item.key)
+                elif isinstance(item, SetLabelsItem):
+                    written_labels.update(item.labels)
+                else:  # SetFromMapItem: the written key set is dynamic
+                    return False
+        elif isinstance(clause, RemoveClause):
+            for item in clause.items:
+                if isinstance(item, RemovePropertyItem):
+                    written_keys.add(item.key)
                 else:
-                    creates_rel = True
-                    created_types.update(element.types)
-    for pattern in _condition_patterns(condition):
+                    written_labels.update(item.labels)
+        else:
+            return False
+
+    # UNWIND (or a WITH alias) in a query condition may shadow a
+    # transition name; a shadowed variable is an ordinary row value, so
+    # its reads are live again.  Expression conditions (EXISTS
+    # predicates) bind nothing, so every transition stays frozen.
+    shadowed: set[str] = set()
+    if isinstance(condition, Query):
+        for clause in condition.clauses:
+            if isinstance(clause, UnwindClause):
+                shadowed.add(clause.variable)
+            elif isinstance(clause, WithClause):
+                shadowed.update(item.alias for item in clause.items if item.alias)
+        patterns = _condition_patterns(condition)
+        expressions = _condition_expressions(condition)
+    else:
+        patterns = _exists_patterns(condition)
+        expressions = iter((condition,))
+    frozen = transition_names - shadowed
+
+    read_keys: set[str] = set()
+    read_labels: set[str] = set()
+    reads_all_keys = False
+    reads_all_labels = False
+    inline_values: list[Expression] = []
+    for pattern in patterns:
         for element in pattern.elements:
-            if element.variable is not None and element.variable in transition_names:
+            # Inline property tests read the *live* graph even on
+            # pre-bound transition variables (the matcher refreshes
+            # candidates), so their keys always join the read footprint;
+            # their value expressions are walked with the rest below.
+            read_keys.update(key for key, _ in element.properties)
+            inline_values.extend(expr for _, expr in element.properties)
+            if isinstance(element, NodePattern):
+                read_labels.update(element.labels)
+            if element.variable is not None and element.variable in frozen:
                 continue  # pre-bound: can never rebind to a created item
             if isinstance(element, NodePattern):
                 if not element.labels:
@@ -782,12 +1129,72 @@ def _action_independent(
                     if any(required.issubset(labels) for labels in created_label_sets):
                         return False
             else:
+                read_labels.update(element.types)
                 if not element.types:
                     if creates_rel:
                         return False
                 elif set(element.types) & created_types:
                     return False
+    for expression in _chain(inline_values, expressions):
+        for sub in walk_expression(expression):
+            if isinstance(sub, PropertyAccess):
+                if isinstance(sub.subject, Variable) and sub.subject.name in frozen:
+                    continue  # snapshot read: frozen at activation time
+                read_keys.add(sub.key)
+            elif isinstance(sub, LabelPredicate):
+                if isinstance(sub.subject, Variable) and sub.subject.name in frozen:
+                    continue
+                read_labels.update(sub.labels)
+            elif isinstance(sub, FunctionCall):
+                # keys()/properties() and labels()/type() read an entity's
+                # whole key set / label set dynamically — no static key to
+                # intersect, so they widen the footprint to "everything"
+                # unless they read a frozen transition snapshot.
+                name = sub.name.lower()
+                if name in ("keys", "properties", "labels", "type"):
+                    args = sub.args
+                    if (
+                        len(args) == 1
+                        and isinstance(args[0], Variable)
+                        and args[0].name in frozen
+                    ):
+                        continue
+                    if name in ("keys", "properties"):
+                        reads_all_keys = True
+                    else:
+                        reads_all_labels = True
+
+    if written_keys & read_keys:
+        return False
+    if written_labels & read_labels:
+        return False
+    if reads_all_keys and written_keys:
+        return False
+    if reads_all_labels and written_labels:
+        return False
     return True
+
+
+def _condition_expressions(query: Query) -> Iterator[Expression]:
+    """Every clause-level expression tree a condition query evaluates.
+
+    Covers clause WHEREs, UNWIND sources and projection items;
+    ``walk_expression`` then descends into EXISTS sub-WHEREs.  Inline
+    property-map values are *not* yielded here — the read-footprint
+    analysis walks them off the pattern elements directly (via
+    ``_condition_patterns``, which also surfaces EXISTS sub-patterns).
+    """
+    for clause in query.clauses:
+        if isinstance(clause, MatchClause):
+            if clause.where is not None:
+                yield clause.where
+        elif isinstance(clause, UnwindClause):
+            yield clause.expression
+        elif isinstance(clause, (WithClause, ReturnClause)):
+            for item in clause.items:
+                yield item.expression
+            if isinstance(clause, WithClause) and clause.where is not None:
+                yield clause.where
 
 
 def _condition_patterns(query: Query) -> Iterator[PathPattern]:
@@ -818,10 +1225,16 @@ def _condition_patterns(query: Query) -> Iterator[PathPattern]:
 
 def _exists_patterns(expression: Expression) -> Iterator[PathPattern]:
     # walk_expression descends into ExistsPattern.where, so nested EXISTS
-    # sub-patterns are reached through their own ExistsPattern node.
+    # sub-patterns there are reached through their own ExistsPattern node;
+    # the explicit recursion covers EXISTS hiding inside an inline
+    # property map of another EXISTS's pattern elements.
     for sub in walk_expression(expression):
         if isinstance(sub, ExistsPattern):
-            yield from sub.patterns
+            for pattern in sub.patterns:
+                yield pattern
+                for element in pattern.elements:
+                    for _, expr in element.properties:
+                        yield from _exists_patterns(expr)
 
 
 # ---------------------------------------------------------------------------

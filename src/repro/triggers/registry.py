@@ -50,6 +50,15 @@ class TriggerRegistry:
         # on other graphs' threads that share this registry object; the
         # lock keeps install/drop atomic with respect to cache rebuilds.
         self._lock = threading.RLock()
+        # Bumped on every install/drop so derived per-trigger state (the
+        # incremental condition views) can prune entries for triggers that
+        # were dropped or re-installed without scanning on every delta.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of trigger-set changes (install/drop)."""
+        return self._version
 
     # ------------------------------------------------------------------
     # installation
@@ -72,6 +81,7 @@ class TriggerRegistry:
             installed = InstalledTrigger(definition=definition, sequence=next(self._sequence))
             self._triggers[definition.name] = installed
             self._order_cache.clear()
+            self._version += 1
             return installed
 
     def drop(self, name: str) -> TriggerDefinition:
@@ -80,6 +90,7 @@ class TriggerRegistry:
             installed = self._require(name)
             del self._triggers[name]
             self._order_cache.clear()
+            self._version += 1
             return installed.definition
 
     def drop_all(self) -> int:
@@ -88,6 +99,7 @@ class TriggerRegistry:
             count = len(self._triggers)
             self._triggers.clear()
             self._order_cache.clear()
+            self._version += 1
             return count
 
     def stop(self, name: str) -> None:

@@ -75,6 +75,7 @@ class GraphSession:
         clock: Callable[[], _dt.datetime] | None = None,
         max_cascade_depth: int = 16,
         batched_triggers: bool = True,
+        incremental_triggers: bool = True,
         path: str | None = None,
         storage_io: StorageIO | None = None,
         group_commit_size: int = 1,
@@ -108,6 +109,7 @@ class GraphSession:
             clock=self.clock,
             max_cascade_depth=max_cascade_depth,
             batched_conditions=batched_triggers,
+            incremental_conditions=incremental_triggers,
         )
         self._open_transaction: Optional[Transaction] = None
         self._active_result: Optional[Result] = None
@@ -380,6 +382,9 @@ class GraphSession:
             plan=self._plan_text(executor),
             started=started,
             available_after=elapsed,
+            trigger_evaluation=(
+                self.engine.evaluation_report() if len(self.registry) else None
+            ),
         )
         result.summary().result_consumed_after = elapsed
         return result
@@ -398,6 +403,21 @@ class GraphSession:
         with self._read_guard():
             executor = QueryExecutor(self.graph, clock=self.clock)
             return executor.plan_description(query)
+
+    def explain_triggers(self) -> dict[str, dict[str, Any]]:
+        """Per-trigger evaluation observability (tiers, demotions, views).
+
+        For every installed trigger: how many runs each evaluation tier
+        handled (``incremental``/``batched``/``sequential``/``predicate``),
+        every demotion down the ladder with its reason, and — for
+        triggers with a compiled condition view — the view's current
+        partial-match count and delta-maintenance counters, or the reason
+        the condition was outside the compiled footprint.  The same
+        report rides on every write statement's
+        :attr:`~repro.cypher.result.ResultSummary.trigger_evaluation`.
+        """
+        with self._read_guard():
+            return self.engine.evaluation_report()
 
     @contextlib.contextmanager
     def transaction(self) -> Iterator[Transaction]:

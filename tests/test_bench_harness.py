@@ -52,10 +52,11 @@ class TestRegistryAndCli:
         # P8 the physical-operator comparisons, P9 the durability cost
         # comparison, P10 the concurrent-HTTP throughput experiment,
         # P11 the path-query / reachability-accelerator experiment,
-        # P12 the optimizer-torture q-error / plan-regret experiment)
+        # P12 the optimizer-torture q-error / plan-regret experiment,
+        # P13 the incremental-trigger firehose experiment)
         expected = {"T1", "F1", "F2", "T2", "T3", "F3", "T4", "F45", "S62", "S63",
                     "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10",
-                    "P11", "P12"}
+                    "P11", "P12", "P13"}
         assert set(ALL_EXPERIMENTS) == expected
 
     def test_cli_runs_selected_experiments(self, capsys):

@@ -41,7 +41,15 @@ def run_pair(triggers, statements, **session_kwargs):
     """Run the same triggers+workload through both engines and compare."""
     sessions = []
     for batched in (False, True):
-        session = GraphSession(clock=CLOCK, batched_triggers=batched, **session_kwargs)
+        # The incremental tier is switched off: this suite pins the *batched*
+        # machinery specifically (the three-way comparison including the
+        # incremental tier lives in test_incremental_evaluation.py).
+        session = GraphSession(
+            clock=CLOCK,
+            batched_triggers=batched,
+            incremental_triggers=False,
+            **session_kwargs,
+        )
         for trigger in triggers:
             session.create_trigger(trigger)
         for query, parameters in statements:
@@ -145,7 +153,10 @@ class TestCascadingReactivation:
         logs = []
         for batched in (False, True):
             session = GraphSession(
-                clock=CLOCK, batched_triggers=batched, max_cascade_depth=5
+                clock=CLOCK,
+                batched_triggers=batched,
+                incremental_triggers=False,
+                max_cascade_depth=5,
             )
             session.create_trigger(trigger)
             session.run("CREATE (:Flag {armed: true})")
@@ -247,6 +258,253 @@ class TestSelfInterference:
 
 
 # ---------------------------------------------------------------------------
+# footprint-based independence: SET/REMOVE actions keep batch verdicts
+# when their write footprint is disjoint from the condition's reads
+# ---------------------------------------------------------------------------
+
+
+class TestFootprintIndependence:
+    def test_set_disjoint_key_skips_reverification(self):
+        # The action writes `seen`; the condition reads only `level`, so
+        # the per-property analysis keeps every batch verdict.
+        trigger = (
+            "CREATE TRIGGER Mark AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN MATCH (g:Gauge) WHERE g.level > 0 "
+            "BEGIN MATCH (g:Gauge) SET g.seen = true END"
+        )
+        statements = [
+            ("CREATE (:Gauge {level: 3})", None),
+            ("UNWIND range(1, 5) AS i CREATE (:Item {value: i})", None),
+        ]
+        _, batched = run_pair([trigger], statements)
+        [gauge] = batched.graph.nodes_with_label("Gauge")
+        assert gauge.properties["seen"] is True
+        assert batched.engine.batch_stats["batched_activations"] >= 5
+        assert batched.engine.batch_stats["reverified_activations"] == 0
+
+    def test_match_then_create_skips_reverification(self):
+        # A read-only MATCH prefix before CREATE is analysable now; the
+        # created label cannot match the condition's pattern.
+        trigger = (
+            "CREATE TRIGGER Echo AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN MATCH (g:Gauge) WHERE g.level > 0 "
+            "BEGIN MATCH (g:Gauge) CREATE (:Echoed {level: g.level}) END"
+        )
+        statements = [
+            ("CREATE (:Gauge {level: 2})", None),
+            ("UNWIND range(1, 4) AS i CREATE (:Item {value: i})", None),
+        ]
+        _, batched = run_pair([trigger], statements)
+        assert batched.graph.count_nodes_with_label("Echoed") == 4
+        assert batched.engine.batch_stats["reverified_activations"] == 0
+
+    def test_frozen_transition_read_is_not_a_live_read(self):
+        # The condition reads `value` only through the frozen NEW snapshot,
+        # so the action's SET of `value` cannot reach it.
+        trigger = (
+            "CREATE TRIGGER Stamp AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN MATCH (g:Gauge) WHERE NEW.value > g.floor "
+            "BEGIN MATCH (g:Gauge) SET g.value = NEW.value END"
+        )
+        statements = [
+            ("CREATE (:Gauge {floor: 0})", None),
+            ("UNWIND range(1, 4) AS i CREATE (:Item {value: i})", None),
+        ]
+        _, batched = run_pair([trigger], statements)
+        [gauge] = batched.graph.nodes_with_label("Gauge")
+        assert gauge.properties["value"] == 4
+        assert batched.engine.batch_stats["reverified_activations"] == 0
+
+    def test_set_overlapping_key_still_reverifies(self):
+        # The action writes the very key the condition reads: verdicts go
+        # stale after the first firing and must be re-checked.
+        trigger = (
+            "CREATE TRIGGER Drain AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN MATCH (g:Gauge) WHERE g.level > 0 "
+            "BEGIN MATCH (g:Gauge) SET g.level = g.level - 1 END"
+        )
+        statements = [
+            ("CREATE (:Gauge {level: 2})", None),
+            ("UNWIND range(1, 5) AS i CREATE (:Item {value: i})", None),
+        ]
+        _, batched = run_pair([trigger], statements)
+        [gauge] = batched.graph.nodes_with_label("Gauge")
+        assert gauge.properties["level"] == 0
+        assert batched.engine.batch_stats["reverified_activations"] > 0
+
+    def test_remove_overlapping_label_still_reverifies(self):
+        trigger = (
+            "CREATE TRIGGER Disarm AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN MATCH (f:Flag {on: true}) "
+            "BEGIN MATCH (f:Flag) REMOVE f:Flag END"
+        )
+        statements = [
+            ("CREATE (:Flag {on: true})", None),
+            ("UNWIND range(1, 4) AS i CREATE (:Item {value: i})", None),
+        ]
+        _, batched = run_pair([trigger], statements)
+        # only the first activation fired; the label was gone afterwards
+        assert batched.graph.count_nodes_with_label("Flag") == 0
+        assert batched.engine.batch_stats["reverified_activations"] > 0
+
+    def test_dynamic_keys_read_widens_the_footprint(self):
+        # keys(c) reads every property, so any SET must force re-checks.
+        trigger = (
+            "CREATE TRIGGER Widen AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN MATCH (c:Cfg) WHERE size(keys(c)) > 1 "
+            "BEGIN MATCH (c:Cfg) SET c.extra = true END"
+        )
+        statements = [
+            ("CREATE (:Cfg {a: 1, b: 2})", None),
+            ("UNWIND range(1, 4) AS i CREATE (:Item {value: i})", None),
+        ]
+        _, batched = run_pair([trigger], statements)
+        assert batched.engine.batch_stats["reverified_activations"] > 0
+
+    def test_map_style_set_stays_unanalysable(self):
+        trigger = (
+            "CREATE TRIGGER Blob AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN MATCH (c:Cfg) WHERE c.level > 0 "
+            "BEGIN MATCH (c:Cfg) SET c += {note: 'hit'} END"
+        )
+        statements = [
+            ("CREATE (:Cfg {level: 1})", None),
+            ("UNWIND range(1, 3) AS i CREATE (:Item {value: i})", None),
+        ]
+        _, batched = run_pair([trigger], statements)
+        assert batched.engine.batch_stats["reverified_activations"] > 0
+
+
+# ---------------------------------------------------------------------------
+# expanded eligibility: aggregating conditions and EXISTS predicates
+# ---------------------------------------------------------------------------
+
+
+class TestAggregatingConditions:
+    def test_global_aggregate_condition_batches(self):
+        trigger = (
+            "CREATE TRIGGER Overload AFTER CREATE ON 'Patient' FOR EACH NODE "
+            "WHEN MATCH (p:Patient) WITH count(p) AS c WHERE c > 3 "
+            "BEGIN CREATE (:Alarm {count: 1}) END"
+        )
+        statements = [("UNWIND range(1, 6) AS i CREATE (:Patient {n: i})", None)]
+        _, batched = run_pair([trigger], statements)
+        assert batched.graph.count_nodes_with_label("Alarm") == 6
+        assert batched.engine.batch_stats["batched_activations"] >= 6
+
+    def test_grouped_aggregate_condition_batches(self):
+        trigger = (
+            "CREATE TRIGGER PerWard AFTER CREATE ON 'Admit' FOR EACH NODE "
+            "WHEN MATCH (a:Admit) WITH a.ward AS ward, count(a) AS c WHERE c >= 2 "
+            "BEGIN CREATE (:WardAlert {ward: ward, count: c}) END"
+        )
+        statements = [
+            ("UNWIND ['icu','icu','er','icu','er'] AS w CREATE (:Admit {ward: w})", None)
+        ]
+        _, batched = run_pair([trigger], statements)
+        assert batched.engine.batch_stats["batched_activations"] >= 5
+
+    def test_zero_row_global_aggregate_parity(self):
+        # A global aggregate over an empty match still yields one row
+        # (count = 0); the shared empty-bucket suffix execution must
+        # reproduce that for every activation whose prefix matched nothing.
+        trigger = (
+            "CREATE TRIGGER NoSpikes AFTER CREATE ON 'Reading' FOR EACH NODE "
+            "WHEN MATCH (s:Spike) WITH count(s) AS c WHERE c = 0 "
+            "BEGIN CREATE (:Calm {ok: true}) END"
+        )
+        statements = [("UNWIND range(1, 4) AS i CREATE (:Reading {v: i})", None)]
+        _, batched = run_pair([trigger], statements)
+        assert batched.graph.count_nodes_with_label("Calm") == 4
+        assert batched.engine.batch_stats["batched_activations"] == 4
+
+    def test_self_interfering_aggregate_reverifies(self):
+        # The action creates the very nodes the aggregate counts, so batch
+        # verdicts go stale after the first firing.
+        trigger = (
+            "CREATE TRIGGER CapAlarms AFTER CREATE ON 'Reading' FOR EACH NODE "
+            "WHEN MATCH (a:Alarm) WITH count(a) AS c WHERE c < 2 "
+            "BEGIN CREATE (:Alarm) END"
+        )
+        statements = [("UNWIND range(1, 5) AS i CREATE (:Reading {v: i})", None)]
+        _, batched = run_pair([trigger], statements)
+        assert batched.graph.count_nodes_with_label("Alarm") == 2
+        assert batched.engine.batch_stats["reverified_activations"] > 0
+
+    def test_order_by_limit_suffix_batches(self):
+        trigger = (
+            "CREATE TRIGGER TopReading AFTER CREATE ON 'Probe' FOR EACH NODE "
+            "WHEN MATCH (r:Reading) WITH r ORDER BY r.v DESC LIMIT 1 WHERE r.v > 5 "
+            "BEGIN CREATE (:Hot {v: r.v}) END"
+        )
+        statements = [
+            ("UNWIND [3, 9, 6] AS v CREATE (:Reading {v: v})", None),
+            ("UNWIND range(1, 3) AS i CREATE (:Probe {n: i})", None),
+        ]
+        _, batched = run_pair([trigger], statements)
+        assert batched.graph.count_nodes_with_label("Hot") == 3
+        assert batched.engine.batch_stats["batched_activations"] >= 3
+
+
+class TestExistsPredicateConditions:
+    def test_exists_predicate_batches(self):
+        trigger = (
+            "CREATE TRIGGER HasCfg AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN NEW.v > 1 AND EXISTS {(c:Config {on: true})} "
+            "BEGIN CREATE (:Seen {v: NEW.v}) END"
+        )
+        statements = [
+            ("CREATE (:Config {on: true})", None),
+            ("UNWIND range(1, 5) AS i CREATE (:Item {v: i})", None),
+        ]
+        _, batched = run_pair([trigger], statements)
+        assert batched.graph.count_nodes_with_label("Seen") == 4
+        assert batched.engine.batch_stats["batched_activations"] >= 5
+
+    def test_self_interfering_exists_predicate_reverifies(self):
+        # NOT EXISTS {(m:Marker)} is true only until the first firing
+        # creates the Marker; reverification must catch the flip.
+        trigger = (
+            "CREATE TRIGGER FirstOnly AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN NOT EXISTS {(m:Marker)} "
+            "BEGIN CREATE (:Marker) END"
+        )
+        statements = [("UNWIND range(1, 4) AS i CREATE (:Item {v: i})", None)]
+        _, batched = run_pair([trigger], statements)
+        assert batched.graph.count_nodes_with_label("Marker") == 1
+        assert batched.engine.batch_stats["reverified_activations"] > 0
+
+    def test_exists_with_transition_label_stays_sequential(self):
+        # (x:NEW) needs the per-activation virtual label, which the shared
+        # witness pass cannot model.
+        trigger = (
+            "CREATE TRIGGER VL AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN EXISTS {(x:NEW)} "
+            "BEGIN CREATE (:Tagged) END"
+        )
+        statements = [("UNWIND range(1, 3) AS i CREATE (:Item {v: i})", None)]
+        _, batched = run_pair([trigger], statements)
+        assert batched.graph.count_nodes_with_label("Tagged") == 3
+        assert batched.engine.batch_stats["batched_activations"] == 0
+
+    def test_exists_predicate_independent_create_skips_reverification(self):
+        # The created label cannot witness the EXISTS pattern, so the
+        # footprint analysis keeps every verdict.
+        trigger = (
+            "CREATE TRIGGER Note AFTER CREATE ON 'Item' FOR EACH NODE "
+            "WHEN EXISTS {(c:Config {on: true})} "
+            "BEGIN CREATE (:Noted {v: NEW.v}) END"
+        )
+        statements = [
+            ("CREATE (:Config {on: true})", None),
+            ("UNWIND range(1, 4) AS i CREATE (:Item {v: i})", None),
+        ]
+        _, batched = run_pair([trigger], statements)
+        assert batched.graph.count_nodes_with_label("Noted") == 4
+        assert batched.engine.batch_stats["reverified_activations"] == 0
+
+
+# ---------------------------------------------------------------------------
 # condition errors mid-batch
 # ---------------------------------------------------------------------------
 
@@ -264,7 +522,9 @@ class TestConditionErrors:
         )
         outcomes = []
         for batched in (False, True):
-            session = GraphSession(clock=CLOCK, batched_triggers=batched)
+            session = GraphSession(
+                clock=CLOCK, batched_triggers=batched, incremental_triggers=False
+            )
             session.create_trigger(trigger)
             session.run("CREATE (:Threshold {cutoff: 1})")
             with pytest.raises(Exception, match="cannot compare"):
